@@ -1,0 +1,44 @@
+// Ablation (§5.5): the SEND/SEND-over-UD HERD variant.
+//
+// "mitigating this effect may necessitate switching to a SEND/SEND
+//  architecture over Unreliable Datagram transport. Figure 5 shows there is
+//  a 4-5 Mops decrease to this change, but once made, the system should
+//  scale up to many thousands of clients."
+//
+// We run full HERD in both request modes and sweep client counts: WRITE/SEND
+// wins below the connection-scaling knee; SEND/SEND costs ~4-5 Mops at peak
+// but its curve stays flat as clients grow (no connected state at all).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herd;
+using herd::bench::E2eParams;
+
+void Ablation_SendSend(benchmark::State& state) {
+  E2eParams p;
+  p.put_fraction = 0.05;
+  p.value_size = 32;
+  p.n_clients = static_cast<std::uint32_t>(state.range(1));
+  p.mode = state.range(0) == 0 ? core::RequestMode::kWriteUc
+                               : core::RequestMode::kSendUd;
+
+  bench::E2e r{};
+  for (auto _ : state) {
+    r = bench::run_herd(bench::apt(), p);
+  }
+  state.counters["Mops"] = r.mops;
+  state.counters["avg_us"] = r.avg_us;
+  state.SetLabel(std::string(state.range(0) == 0 ? "WRITE/SEND" : "SEND/SEND") +
+                 " clients=" + std::to_string(p.n_clients));
+}
+
+}  // namespace
+
+BENCHMARK(Ablation_SendSend)
+    ->ArgsProduct({{0, 1}, {51, 260, 400, 500}})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Shared plumbing for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table or figure from the paper's evaluation.
+// Simulated time is what matters, so each benchmark runs its experiment once
+// (google-benchmark Iterations(1)) and reports the paper's series as
+// counters: `Mops`, `avg_us`, etc. Wall time measured by the framework is
+// just the cost of running the simulator.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/emulated_kv.hpp"
+#include "cluster/cluster.hpp"
+#include "herd/testbed.hpp"
+
+namespace herd::bench {
+
+/// Uniform result row for the end-to-end comparisons (Figs. 9-13).
+struct E2e {
+  double mops = 0;
+  double avg_us = 0;
+  double p5_us = 0;
+  double p95_us = 0;
+};
+
+struct E2eParams {
+  double put_fraction = 0.05;   // read-intensive default
+  std::uint32_t value_size = 32;
+  std::uint32_t n_clients = 51;
+  std::uint32_t window = 4;
+  std::uint32_t n_server_procs = 6;
+  bool zipf = false;
+  core::RequestMode mode = core::RequestMode::kWriteUc;
+};
+
+/// Full HERD (real MICA backend) under the paper's §5.1 setup.
+inline E2e run_herd(const cluster::ClusterConfig& cc, const E2eParams& p,
+                    sim::Tick warmup = sim::ms(1),
+                    sim::Tick measure = sim::ms(2)) {
+  core::TestbedConfig cfg;
+  cfg.cluster = cc;
+  cfg.herd.n_server_procs = p.n_server_procs;
+  cfg.herd.n_clients = p.n_clients;
+  cfg.herd.window = p.window;
+  cfg.herd.mode = p.mode;
+  cfg.herd.inline_threshold = cc.name == "Susitna-RoCE" ? 192 : 144;
+  cfg.herd.mica.bucket_count_log2 = 15;
+  cfg.herd.mica.log_bytes = 32u << 20;
+  cfg.workload.get_fraction = 1.0 - p.put_fraction;
+  cfg.workload.value_len = p.value_size;
+  cfg.workload.n_keys = 1u << 16;
+  cfg.workload.zipf = p.zipf;
+  core::HerdTestbed bed(cfg);
+  auto r = bed.run(warmup, measure);
+  return E2e{r.mops, r.avg_latency_us, r.p5_latency_us, r.p95_latency_us};
+}
+
+/// Emulated Pilaf / FaRM-KV under the same workload parameters.
+inline E2e run_emulated(const cluster::ClusterConfig& cc,
+                        baselines::System sys, const E2eParams& p,
+                        sim::Tick warmup = sim::ms(1),
+                        sim::Tick measure = sim::ms(2)) {
+  baselines::EmulatedConfig cfg;
+  cfg.system = sys;
+  cfg.cluster = cc;
+  cfg.n_server_procs = p.n_server_procs;
+  cfg.n_clients = p.n_clients;
+  cfg.window = p.window;
+  cfg.get_fraction = 1.0 - p.put_fraction;
+  cfg.value_size = p.value_size;
+  baselines::EmulatedKvTestbed bed(cfg);
+  auto r = bed.run(warmup, measure);
+  return E2e{r.mops, r.avg_latency_us, r.p5_latency_us, r.p95_latency_us};
+}
+
+inline cluster::ClusterConfig apt() { return cluster::ClusterConfig::apt(); }
+inline cluster::ClusterConfig susitna() {
+  return cluster::ClusterConfig::susitna();
+}
+
+/// Applies the standard single-run setup to a benchmark.
+inline benchmark::internal::Benchmark* one_shot(
+    benchmark::internal::Benchmark* b) {
+  return b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace herd::bench

@@ -1,0 +1,37 @@
+// Figure 2: Latency of verbs and ECHO operations.
+//
+// Paper series (Apt, Fig. 2b): WR-INLINE, WRITE, READ, ECHO over payloads
+// 4..1024 B. Expected shape: READ ~= signaled WRITE (identical path length);
+// inlining cuts ~0.4 us off small WRITEs; ECHO ~= READ for <= 64 B payloads
+// so one unsignaled WRITE ~= 1/2 READ (~1 us); WR-INLINE/ECHO series stop at
+// the 256 B inline limit.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "microbench/verb_latency.hpp"
+
+namespace {
+
+using namespace herd;
+
+void Fig02_VerbLatency(benchmark::State& state) {
+  auto payload = static_cast<std::uint32_t>(state.range(0));
+  microbench::LatencyResult r{};
+  for (auto _ : state) {
+    r = microbench::verb_latency(bench::apt(), payload, 1000);
+  }
+  state.counters["READ_us"] = r.read_us;
+  state.counters["WRITE_us"] = r.write_us;
+  state.counters["WR_INLINE_us"] = r.write_inline_us;
+  state.counters["ECHO_us"] = r.echo_us;
+  state.counters["ECHO_half_us"] = r.echo_us / 2.0;
+}
+
+}  // namespace
+
+BENCHMARK(Fig02_VerbLatency)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Arg(512)->Arg(1024)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Figure 3: Comparison of inbound verbs throughput.
+//
+// N client machines issue verbs to one server (Fig. 3a). Paper anchors
+// (Fig. 3b): WRITEs reach 35 Mops for payloads up to 128 B — ~34% above the
+// 26 Mops READ ceiling; WRITE-UC ~= WRITE-RC ("nearly identical"); all
+// series converge to the wire bandwidth at large payloads.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "microbench/throughput.hpp"
+
+namespace {
+
+using namespace herd;
+using microbench::TputSpec;
+
+void Fig03_Inbound(benchmark::State& state) {
+  auto payload = static_cast<std::uint32_t>(state.range(0));
+  TputSpec write_uc{verbs::Opcode::kWrite, verbs::Transport::kUc,
+                    /*inlined=*/payload <= 256, payload, 32, 4};
+  TputSpec write_rc{verbs::Opcode::kWrite, verbs::Transport::kRc,
+                    payload <= 256, payload, 32, 4};
+  TputSpec read_rc{verbs::Opcode::kRead, verbs::Transport::kRc, false,
+                   payload, 16, 1};
+  double wuc = 0, wrc = 0, rrc = 0;
+  for (auto _ : state) {
+    wuc = microbench::inbound_tput(bench::apt(), write_uc);
+    wrc = microbench::inbound_tput(bench::apt(), write_rc);
+    rrc = microbench::inbound_tput(bench::apt(), read_rc);
+  }
+  state.counters["WRITE_UC_Mops"] = wuc;
+  state.counters["WRITE_RC_Mops"] = wrc;
+  state.counters["READ_RC_Mops"] = rrc;
+}
+
+}  // namespace
+
+BENCHMARK(Fig03_Inbound)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Arg(512)->Arg(1024)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Figure 6: UD vs UC for all-to-all communication, 32-byte payloads.
+//
+// N client processes and N server processes, random peers, all verbs
+// inlined and unsignaled. Paper anchors: inbound WRITEs over UC scale to
+// 256 QPs (stay ~35 Mops); outbound WRITEs over UC collapse to ~21% of peak
+// at N = 16 (QP-context cache misses); outbound SENDs over UD scale, with a
+// slight sag beyond ~10 clients from outstanding-unsignaled pressure.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "microbench/throughput.hpp"
+
+namespace {
+
+using namespace herd;
+using microbench::TputSpec;
+
+void Fig06_AllToAll(benchmark::State& state) {
+  auto n = static_cast<std::uint32_t>(state.range(0));
+  TputSpec wr{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 32, 32, 4};
+  TputSpec ud{verbs::Opcode::kSend, verbs::Transport::kUd, true, 32, 32, 4};
+  double in_wr = 0, out_wr = 0, out_ud = 0;
+  for (auto _ : state) {
+    in_wr = microbench::all_to_all_inbound(bench::apt(), wr, n);
+    out_wr = microbench::all_to_all_outbound(bench::apt(), wr, n);
+    out_ud = microbench::all_to_all_outbound(bench::apt(), ud, n);
+  }
+  state.counters["In_WRITE_UC_Mops"] = in_wr;
+  state.counters["Out_WRITE_UC_Mops"] = out_wr;
+  state.counters["Out_SEND_UD_Mops"] = out_ud;
+}
+
+}  // namespace
+
+BENCHMARK(Fig06_AllToAll)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12)->Arg(14)
+    ->Arg(16)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

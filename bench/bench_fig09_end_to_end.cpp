@@ -1,0 +1,53 @@
+// Figure 9: End-to-end throughput comparison for 48-byte key-value items
+// (16 B keys, 32 B values) at PUT fractions 5%, 50%, 100%, on both clusters.
+//
+// Paper anchors (Apt): HERD 26 Mops at every mix (GETs and PUTs both fit a
+// cacheline at the RDMA layer); Pilaf-em-OPT GETs 9.9 Mops (2.6 READs each);
+// FaRM-em 17.2 Mops (one 288 B READ); FaRM-em-VAR 11.4 Mops (two READs);
+// "surprisingly", the emulated systems' PUT throughput beats their GET
+// throughput — messaging, done right, outruns multiple READs. Susitna
+// numbers are lower across the board (PCIe 2.0 x8).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herd;
+using herd::bench::E2eParams;
+
+const double kPutFracs[] = {0.05, 0.50, 1.00};
+
+void Fig09_EndToEnd(benchmark::State& state) {
+  cluster::ClusterConfig cc =
+      state.range(0) == 0 ? bench::apt() : bench::susitna();
+  E2eParams p;
+  p.put_fraction = kPutFracs[state.range(1)];
+  p.value_size = 32;
+  int sys = static_cast<int>(state.range(2));  // 0=HERD, 1..3 = emulated
+
+  bench::E2e r{};
+  const char* name = "HERD";
+  for (auto _ : state) {
+    if (sys == 0) {
+      r = bench::run_herd(cc, p);
+    } else {
+      auto s = static_cast<baselines::System>(sys - 1);
+      name = baselines::system_name(s);
+      p.window = 8;  // READ-based clients need deeper windows to saturate
+      r = bench::run_emulated(cc, s, p);
+    }
+  }
+  state.counters["Mops"] = r.mops;
+  state.SetLabel(std::string(cc.name) + " " + name + " PUT=" +
+                 std::to_string(static_cast<int>(p.put_fraction * 100)) +
+                 "%");
+}
+
+}  // namespace
+
+BENCHMARK(Fig09_EndToEnd)
+    ->ArgsProduct({{0, 1}, {0, 1, 2}, {0, 1, 2, 3}})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

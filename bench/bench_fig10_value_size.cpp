@@ -1,0 +1,51 @@
+// Figure 10: End-to-end throughput vs value size (16 B keys, 95% GET),
+// on both clusters.
+//
+// Paper anchors: HERD holds >= 26 Mops up to 60 B values on Apt (32 B on
+// Susitna), then becomes PIO-bound and switches to non-inlined SENDs at
+// 144 B (192 B on Susitna); FaRM-em collapses fastest because its READ size
+// grows as 6*(SV+16) — saturating the 56 Gbps link by 32 B values on Apt
+// (PCIe 2.0 by 4 B on Susitna); for ~1 KB values all systems converge
+// within ~10% of each other.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herd;
+using herd::bench::E2eParams;
+
+void Fig10_ValueSize(benchmark::State& state) {
+  cluster::ClusterConfig cc =
+      state.range(0) == 0 ? bench::apt() : bench::susitna();
+  E2eParams p;
+  p.put_fraction = 0.05;
+  p.value_size = static_cast<std::uint32_t>(state.range(1));
+  int sys = static_cast<int>(state.range(2));
+
+  bench::E2e r{};
+  const char* name = "HERD";
+  for (auto _ : state) {
+    if (sys == 0) {
+      r = bench::run_herd(cc, p);
+    } else {
+      auto s = static_cast<baselines::System>(sys - 1);
+      name = baselines::system_name(s);
+      p.window = 8;
+      r = bench::run_emulated(cc, s, p);
+    }
+  }
+  state.counters["Mops"] = r.mops;
+  state.SetLabel(std::string(cc.name) + " " + name + " SV=" +
+                 std::to_string(state.range(1)));
+}
+
+}  // namespace
+
+BENCHMARK(Fig10_ValueSize)
+    ->ArgsProduct({{0, 1}, {4, 8, 16, 32, 64, 128, 256, 512, 1000},
+                   {0, 1, 2, 3}})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Figure 11: End-to-end latency vs throughput, 48-byte items, read-intensive
+// workload (Apt).
+//
+// Load is increased by adding clients until each system saturates, as in the
+// paper ("To understand the dependency of latency on throughput, we increase
+// the load on the server by adding more clients"). Paper anchors: HERD
+// delivers 26 Mops at ~5 us average; Pilaf-em-OPT and FaRM-em-VAR pay
+// multiple RTTs per GET; FaRM-em (one READ, no server CPU) has the lowest
+// unloaded latency; at their respective peak throughputs HERD's latency is
+// over 2x lower.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herd;
+using herd::bench::E2eParams;
+
+const std::uint32_t kClientSteps[] = {3, 6, 12, 24, 36, 51};
+
+void Fig11_LatencyVsTput(benchmark::State& state) {
+  E2eParams p;
+  p.put_fraction = 0.05;
+  p.value_size = 32;
+  p.n_clients = kClientSteps[state.range(1)];
+  int sys = static_cast<int>(state.range(0));
+
+  bench::E2e r{};
+  const char* name = "HERD";
+  for (auto _ : state) {
+    if (sys == 0) {
+      r = bench::run_herd(bench::apt(), p);
+    } else {
+      auto s = static_cast<baselines::System>(sys - 1);
+      name = baselines::system_name(s);
+      p.window = 8;
+      r = bench::run_emulated(bench::apt(), s, p);
+    }
+  }
+  state.counters["Mops"] = r.mops;
+  state.counters["avg_us"] = r.avg_us;
+  state.counters["p5_us"] = r.p5_us;
+  state.counters["p95_us"] = r.p95_us;
+  state.SetLabel(std::string(name) + " clients=" +
+                 std::to_string(p.n_clients));
+}
+
+}  // namespace
+
+BENCHMARK(Fig11_LatencyVsTput)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3, 4, 5}})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Figure 12: HERD throughput vs number of client processes, window sizes
+// 4 and 16 (16 B keys, 32 B values).
+//
+// Paper anchors: peak throughput holds to ~260 client processes, then
+// "starts decreasing almost linearly" — QP-state cache misses at the server
+// RNIC — and a larger per-client window softens the decline ("more
+// outstanding verbs in a queue can reduce cache pressure").
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herd;
+using herd::bench::E2eParams;
+
+void Fig12_ClientScalability(benchmark::State& state) {
+  E2eParams p;
+  p.put_fraction = 0.05;
+  p.value_size = 32;
+  p.n_clients = static_cast<std::uint32_t>(state.range(0));
+  p.window = static_cast<std::uint32_t>(state.range(1));
+
+  bench::E2e r{};
+  for (auto _ : state) {
+    r = bench::run_herd(bench::apt(), p, sim::ms(1), sim::ms(2));
+  }
+  state.counters["Mops"] = r.mops;
+  state.SetLabel("WS=" + std::to_string(p.window) + " clients=" +
+                 std::to_string(p.n_clients));
+}
+
+}  // namespace
+
+BENCHMARK(Fig12_ClientScalability)
+    ->ArgsProduct({{30, 60, 120, 200, 260, 320, 400, 500}, {4, 16}})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Figure 13: Throughput as a function of server CPU cores (48 B items).
+//
+// HERD runs its real workload (50% PUT); the emulated systems run 100% PUT —
+// the paper's point is what it costs to *provision* for PUTs: "even ignoring
+// the cost of updating data structures, provisioning for 100% PUT throughput
+// in Pilaf and FaRM-KV requires over 5 CPU cores". Paper anchors: HERD
+// delivers >95% of peak with 5 cores (one core alone: ~6.3 Mops);
+// Pilaf-em-OPT needs more cores than FaRM-em because posting RECVs beats
+// request-region polling in cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herd;
+using herd::bench::E2eParams;
+
+void Fig13_CpuCores(benchmark::State& state) {
+  E2eParams p;
+  p.value_size = 32;
+  p.n_server_procs = static_cast<std::uint32_t>(state.range(1));
+  int sys = static_cast<int>(state.range(0));
+
+  bench::E2e r{};
+  const char* name = "HERD";
+  for (auto _ : state) {
+    if (sys == 0) {
+      p.put_fraction = 0.50;
+      r = bench::run_herd(bench::apt(), p);
+    } else {
+      auto s = static_cast<baselines::System>(sys - 1);
+      name = baselines::system_name(s);
+      p.put_fraction = 1.0;  // 100% PUT provisioning
+      p.window = 8;
+      r = bench::run_emulated(bench::apt(), s, p);
+    }
+  }
+  state.counters["Mops"] = r.mops;
+  state.SetLabel(std::string(name) + " cores=" +
+                 std::to_string(p.n_server_procs));
+}
+
+}  // namespace
+
+BENCHMARK(Fig13_CpuCores)
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 3, 4, 5, 6, 7}})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

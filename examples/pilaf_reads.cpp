@@ -1,0 +1,150 @@
+// A real READ-based GET protocol, end to end (the design HERD argues
+// against, §2.3): the server hosts an actual self-verifying 3-1 cuckoo
+// table inside RDMA-registered memory; the client GETs keys with raw RDMA
+// READs only — fetch a candidate bucket, verify its checksum, chase the
+// extent pointer with a second READ, verify again. The server CPU does
+// nothing on the GET path.
+//
+// This demonstrates two things the paper discusses: the multi-RTT cost of
+// READ-based GETs (compare the latency printed here with quickstart's), and
+// the self-verification machinery Pilaf needs because nobody synchronizes
+// the reader with concurrent writers.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "kv/cuckoo.hpp"
+#include "sim/stats.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace herd;
+
+  cluster::Cluster cl(cluster::ClusterConfig::apt(), 2, 8 << 20);
+  auto& server = cl.host(0);
+  auto& client = cl.host(1);
+  auto& eng = cl.engine();
+
+  // --- server: build the cuckoo table inside registered memory ------------
+  constexpr std::uint32_t kBuckets = 1 << 14;
+  const std::size_t bucket_bytes =
+      kv::PilafCuckooTable::bucket_mem_bytes(kBuckets);
+  constexpr std::size_t kExtentBytes = 4 << 20;
+  auto table_mr = server.ctx().register_mr(
+      0, static_cast<std::uint32_t>(bucket_bytes + kExtentBytes),
+      {.remote_read = true});
+  kv::PilafCuckooTable table(
+      server.memory().span(0, static_cast<std::uint32_t>(bucket_bytes)),
+      server.memory().span(bucket_bytes, kExtentBytes),
+      {.n_buckets = kBuckets});
+
+  constexpr std::uint64_t kKeys = 8000;
+  constexpr std::uint32_t kValueLen = 32;
+  std::vector<std::byte> val(kValueLen);
+  for (std::uint64_t r = 0; r < kKeys; ++r) {
+    workload::WorkloadGenerator::fill_value(r, val);
+    if (!table.insert(kv::hash_of_rank(r), val)) {
+      std::printf("insert failed at %llu\n",
+                  static_cast<unsigned long long>(r));
+      return 1;
+    }
+  }
+
+  // --- client: GET via RDMA READs ------------------------------------------
+  auto scq = client.ctx().create_cq();
+  auto rcq = client.ctx().create_cq();
+  auto qp = client.ctx().create_qp(
+      {verbs::Transport::kRc, scq.get(), rcq.get()});
+  auto sdq = server.ctx().create_cq();
+  auto sqp = server.ctx().create_qp(
+      {verbs::Transport::kRc, sdq.get(), sdq.get()});
+  qp->connect(*sqp);
+  auto cmr = client.ctx().register_mr(0, 64 << 10, {});
+
+  sim::LatencyHistogram latency;
+  std::uint64_t gets = 0, hits = 0, probes = 0, mismatches = 0;
+  sim::Tick start_tick = 0;
+  std::uint64_t current_rank = 0;
+  std::uint32_t probe_idx = 0;
+  std::array<std::uint64_t, 3> candidates{};
+  kv::PilafCuckooTable::BucketView view{};
+  sim::Pcg32 rng(7, 9);
+
+  auto post_read = [&](std::uint64_t remote, std::uint32_t len,
+                       std::uint64_t wr_id) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::Opcode::kRead;
+    wr.wr_id = wr_id;
+    wr.sge = {0, len, cmr.lkey};
+    wr.remote_addr = remote;
+    wr.rkey = table_mr.rkey;
+    qp->post_send(wr);
+  };
+
+  std::function<void()> start_get = [&]() {
+    current_rank = rng.next_u64() % kKeys;
+    candidates = table.candidate_offsets(kv::hash_of_rank(current_rank));
+    probe_idx = 0;
+    start_tick = eng.now();
+    ++gets;
+    post_read(candidates[0], kv::PilafCuckooTable::kBucketBytes, 0);
+  };
+
+  scq->set_notify([&]() {
+    verbs::Wc wc;
+    while (scq->poll({&wc, 1}) == 1) {
+      auto key = kv::hash_of_rank(current_rank);
+      if (wc.wr_id == 0) {  // a bucket READ landed
+        ++probes;
+        auto raw = client.memory().span(0, kv::PilafCuckooTable::kBucketBytes);
+        auto v = kv::PilafCuckooTable::verify_bucket(raw, key);
+        if (v) {
+          view = *v;  // pointer found: chase the extent
+          post_read(bucket_bytes + view.extent_offset,
+                    kv::PilafCuckooTable::kExtentHeader + view.value_len, 1);
+        } else if (++probe_idx < kv::PilafCuckooTable::kNumHashes) {
+          post_read(candidates[probe_idx],
+                    kv::PilafCuckooTable::kBucketBytes, 0);
+        } else {
+          latency.record(eng.now() - start_tick);  // miss
+          if (gets < 5000) start_get();
+        }
+      } else {  // the extent READ landed
+        auto raw = client.memory().span(
+            0, kv::PilafCuckooTable::kExtentHeader + view.value_len);
+        auto value = kv::PilafCuckooTable::verify_extent(raw, key,
+                                                         view.value_len);
+        std::vector<std::byte> expect(view.value_len);
+        workload::WorkloadGenerator::fill_value(current_rank, expect);
+        if (!value || !std::equal(expect.begin(), expect.end(),
+                                  value->begin())) {
+          ++mismatches;
+        } else {
+          ++hits;
+        }
+        latency.record(eng.now() - start_tick);
+        if (gets < 5000) start_get();
+      }
+    }
+  });
+
+  start_get();
+  eng.run();
+
+  std::printf("Pilaf-style GETs via raw RDMA READs (server CPU untouched)\n");
+  std::printf("  GETs         : %llu, hits %llu, wrong values %llu\n",
+              static_cast<unsigned long long>(gets),
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(mismatches));
+  std::printf("  bucket probes: %.2f per GET (paper: 1.6)\n",
+              static_cast<double>(probes) / static_cast<double>(gets));
+  std::printf("  GET latency  : avg %.2f us — vs ~2.6 us for one-RTT HERD\n",
+              latency.mean_ns() / 1e3);
+  std::printf("  server rx ops: %llu (all served by the RNIC alone)\n",
+              static_cast<unsigned long long>(
+                  server.rnic().counters().rx_ops));
+  bool ok = mismatches == 0 && hits == gets;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

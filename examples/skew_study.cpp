@@ -1,0 +1,58 @@
+// Skew-resistance study (§5.7 / Fig. 14).
+//
+// Runs HERD under uniform and progressively skewed key popularity and prints
+// per-core load. Two effects keep HERD fast under skew: (1) MICA's EREW
+// partitioning spreads even a Zipf(.99) workload fairly evenly across 6
+// partitions, and (2) cores are PIO-bound rather than CPU-bound at peak, so
+// a hot core has CPU headroom to absorb extra load.
+#include <cstdio>
+
+#include "herd/testbed.hpp"
+
+int main() {
+  using namespace herd;
+
+  struct Case {
+    const char* name;
+    bool zipf;
+    double theta;
+  };
+  const Case cases[] = {
+      {"uniform", false, 0.0},
+      {"zipf 0.50", true, 0.50},
+      {"zipf 0.90", true, 0.90},
+      {"zipf 0.99", true, 0.99},
+  };
+
+  std::printf("%-10s %9s  %s\n", "workload", "total", "per-core Mops (6 cores)");
+  for (const Case& c : cases) {
+    core::TestbedConfig cfg;
+    cfg.cluster = cluster::ClusterConfig::apt();
+    cfg.herd.n_server_procs = 6;
+    cfg.herd.n_clients = 51;
+    cfg.workload.get_fraction = 0.95;
+    cfg.workload.value_len = 32;
+    cfg.workload.n_keys = 1u << 20;
+    cfg.workload.zipf = c.zipf;
+    cfg.workload.zipf_theta = c.theta;
+    cfg.herd.mica.bucket_count_log2 = 16;
+    cfg.herd.mica.log_bytes = 32u << 20;
+
+    core::HerdTestbed bed(cfg);
+    auto r = bed.run(sim::ms(1), sim::ms(3));
+    auto per_core = bed.per_proc_mops();
+
+    double lo = per_core[0], hi = per_core[0];
+    std::printf("%-10s %6.1f M  [", c.name, r.mops);
+    for (double m : per_core) {
+      std::printf(" %.2f", m);
+      lo = std::min(lo, m);
+      hi = std::max(hi, m);
+    }
+    std::printf(" ]  max/min %.2fx\n", hi / lo);
+  }
+  std::printf("\nPaper anchors: uniform ~4.3 Mops/core; under zipf(.99) the\n"
+              "most loaded core serves only ~1.5x the least loaded, and\n"
+              "aggregate throughput stays near peak.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "cluster/cluster.hpp"
+
+namespace herd::cluster {
+
+ClusterConfig ClusterConfig::apt() {
+  ClusterConfig c;
+  c.name = "Apt-IB";
+  c.rnic = rnic::RnicCalibration::connectx3();
+  c.pcie = pcie::PcieConfig::gen3_x8();
+  c.fabric = fabric::FabricConfig::infiniband_56g();
+  return c;
+}
+
+ClusterConfig ClusterConfig::susitna() {
+  ClusterConfig c;
+  c.name = "Susitna-RoCE";
+  c.rnic = rnic::RnicCalibration::connectx3();
+  c.pcie = pcie::PcieConfig::gen2_x8();
+  c.fabric = fabric::FabricConfig::roce_40g();
+  // Opteron 6272 cores are slower than the Xeon E5-2450's.
+  c.cpu.dram_access = sim::ns(105);
+  c.cpu.post_send = sim::ns(180);
+  c.cpu.post_recv = sim::ns(120);
+  return c;
+}
+
+Host::Host(sim::Engine& engine, fabric::Fabric& fabric,
+           const ClusterConfig& cfg, std::string name, std::size_t mem_bytes,
+           std::uint64_t seed)
+    : name_(std::move(name)),
+      memory_(mem_bytes),
+      pcie_(engine, cfg.pcie, name_),
+      rnic_(engine, cfg.rnic, name_, seed),
+      port_(fabric.attach(name_)),
+      ctx_(engine, rnic_, pcie_, fabric, port_, memory_) {}
+
+Cluster::Cluster(const ClusterConfig& cfg, std::size_t n_hosts,
+                 std::size_t mem_per_host, std::uint64_t seed)
+    : cfg_(cfg), fabric_(engine_, cfg.fabric) {
+  hosts_.reserve(n_hosts);
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    hosts_.push_back(std::make_unique<Host>(
+        engine_, fabric_, cfg_, cfg.name + "/host" + std::to_string(i),
+        mem_per_host, seed + i * 7919));
+  }
+}
+
+}  // namespace herd::cluster

@@ -1,0 +1,81 @@
+// Cluster wiring: hosts (memory + PCIe + RNIC + verbs context) on a fabric.
+//
+// `ClusterConfig` presets mirror Table 2: Apt (56 Gbps InfiniBand,
+// ConnectX-3 on PCIe 3.0 x8) and Susitna (40 Gbps RoCE, ConnectX-3 on
+// PCIe 2.0 x8).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cpu.hpp"
+#include "fabric/fabric.hpp"
+#include "pcie/pcie.hpp"
+#include "rnic/calibration.hpp"
+#include "rnic/rnic.hpp"
+#include "sim/engine.hpp"
+#include "verbs/memory.hpp"
+#include "verbs/verbs.hpp"
+
+namespace herd::cluster {
+
+struct ClusterConfig {
+  std::string name;
+  rnic::RnicCalibration rnic = rnic::RnicCalibration::connectx3();
+  pcie::PcieConfig pcie = pcie::PcieConfig::gen3_x8();
+  fabric::FabricConfig fabric = fabric::FabricConfig::infiniband_56g();
+  CpuModel cpu;
+
+  /// Apt: Xeon E5-2450, ConnectX-3 MX354A 56 Gbps IB, PCIe 3.0 x8 (Table 2).
+  static ClusterConfig apt();
+  /// Susitna: Opteron 6272, ConnectX-3 40 Gbps RoCE, PCIe 2.0 x8 (Table 2).
+  static ClusterConfig susitna();
+};
+
+/// One machine: DRAM, a PCIe link, an RNIC, and a verbs context.
+class Host {
+ public:
+  Host(sim::Engine& engine, fabric::Fabric& fabric, const ClusterConfig& cfg,
+       std::string name, std::size_t mem_bytes, std::uint64_t seed);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  verbs::HostMemory& memory() { return memory_; }
+  pcie::PcieLink& pcie() { return pcie_; }
+  rnic::Rnic& rnic() { return rnic_; }
+  verbs::Context& ctx() { return ctx_; }
+  const std::string& name() const { return name_; }
+  std::uint32_t port() const { return port_; }
+
+ private:
+  std::string name_;
+  verbs::HostMemory memory_;
+  pcie::PcieLink pcie_;
+  rnic::Rnic rnic_;
+  std::uint32_t port_;
+  verbs::Context ctx_;
+};
+
+/// A set of hosts attached to one switch, sharing an engine.
+class Cluster {
+ public:
+  Cluster(const ClusterConfig& cfg, std::size_t n_hosts,
+          std::size_t mem_per_host, std::uint64_t seed = 42);
+
+  sim::Engine& engine() { return engine_; }
+  fabric::Fabric& fabric() { return fabric_; }
+  Host& host(std::size_t i) { return *hosts_.at(i); }
+  std::size_t size() const { return hosts_.size(); }
+  const ClusterConfig& config() const { return cfg_; }
+
+ private:
+  ClusterConfig cfg_;
+  sim::Engine engine_;
+  fabric::Fabric fabric_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+};
+
+}  // namespace herd::cluster

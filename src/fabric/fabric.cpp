@@ -1,0 +1,63 @@
+#include "fabric/fabric.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace herd::fabric {
+
+FabricConfig FabricConfig::infiniband_56g() {
+  FabricConfig c;
+  c.link_gbps = 5.5;
+  c.hop_latency = sim::ns(200);
+  c.header_connected = 30;
+  c.header_datagram = 70;
+  c.ack_bytes = 12;
+  c.mtu = 4096;
+  return c;
+}
+
+FabricConfig FabricConfig::roce_40g() {
+  FabricConfig c;
+  c.link_gbps = 3.9;
+  c.hop_latency = sim::ns(250);
+  // RoCE frames carry Ethernet + GRH on every packet.
+  c.header_connected = 58;
+  c.header_datagram = 98;
+  c.ack_bytes = 18;
+  c.mtu = 4096;
+  return c;
+}
+
+std::uint32_t Fabric::attach(const std::string& name) {
+  auto id = static_cast<std::uint32_t>(ports_.size());
+  ports_.push_back(Port{
+      std::make_unique<sim::Resource>(*engine_, name + "/tx"),
+      std::make_unique<sim::Resource>(*engine_, name + "/rx"),
+  });
+  return id;
+}
+
+std::uint32_t Fabric::wire_bytes(std::uint32_t payload, bool datagram) const {
+  std::uint32_t header =
+      datagram ? cfg_.header_datagram : cfg_.header_connected;
+  // Per-packet header for each MTU segment.
+  std::uint32_t packets = payload == 0 ? 1 : (payload + cfg_.mtu - 1) / cfg_.mtu;
+  return payload + packets * header;
+}
+
+void Fabric::transmit_at(sim::Tick start, std::uint32_t src, std::uint32_t dst,
+                         std::uint32_t wire_bytes,
+                         std::function<void()> on_arrival) {
+  if (src >= ports_.size() || dst >= ports_.size()) {
+    throw std::out_of_range("Fabric::transmit: bad port id");
+  }
+  sim::Tick ser = sim::bytes_at_gbps(wire_bytes, cfg_.link_gbps);
+  // Store-and-forward through the switch: serialize on the source link, cross
+  // the switch, then serialize on the destination link (which is where incast
+  // contention from many senders is resolved).
+  sim::Tick at_switch = ports_[src].tx->acquire_at(start, ser) + cfg_.hop_latency;
+  sim::Tick arrival = ports_[dst].rx->acquire_at(at_switch, ser);
+  engine_->schedule_at(arrival, std::move(on_arrival));
+}
+
+}  // namespace herd::fabric

@@ -1,0 +1,107 @@
+// Switched lossless fabric model (InfiniBand / RoCE).
+//
+// Hosts attach to one switch. A message serializes onto the sender's link,
+// crosses the switch (propagation + switching delay), and serializes onto the
+// receiver's link; both link directions are contended resources, so inbound
+// incast bandwidth at a server and outbound bandwidth at a sender are both
+// capped — this is what limits FaRM-KV's amplified READs in Figs. 9-10.
+//
+// InfiniBand/RoCE link-level flow control is lossless (credit-based / PFC),
+// so the model never drops for buffer overflow; UC/UD "unreliability" only
+// means no transport-level ACKs (modeled in the RNIC layer), matching §2.2.3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace herd::fabric {
+
+struct FabricConfig {
+  /// Effective per-link payload bandwidth in GB/s (56 Gbps FDR IB after
+  /// encoding/credits ~= 5.5 GB/s; 40 Gbps RoCE ~= 3.9 GB/s).
+  double link_gbps = 5.5;
+  /// One-way propagation + switching delay.
+  sim::Tick hop_latency = sim::ns(200);
+  /// Per-packet wire overhead by transport family (LRH/BTH/CRC etc.).
+  /// UD carries a larger header (paper: "larger datagram header"); on RoCE
+  /// a GRH is always present, so headers grow for every transport.
+  std::uint32_t header_connected = 30;
+  std::uint32_t header_datagram = 70;
+  /// ACK/NAK packet size for reliable transports.
+  std::uint32_t ack_bytes = 12;
+  /// Path MTU; larger messages are segmented into multiple packets, each
+  /// paying the per-packet header.
+  std::uint32_t mtu = 4096;
+  /// Probability that a message is corrupted/lost on the wire. InfiniBand
+  /// links are lossless to congestion, but "reasons for packet loss include
+  /// bit errors on the wire and hardware failures, which are extremely
+  /// rare" (§2.2.3). 0 by default; failure-injection tests raise it.
+  double loss_probability = 0.0;
+
+  static FabricConfig infiniband_56g();  // Apt
+  static FabricConfig roce_40g();        // Susitna
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, const FabricConfig& cfg)
+      : engine_(&engine), cfg_(cfg) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Adds a host port; returns its id. Ids are dense, starting at 0.
+  std::uint32_t attach(const std::string& name);
+
+  /// Sends `wire_bytes` (already including transport headers) from `src` to
+  /// `dst`; invokes `on_arrival` at full-message arrival time.
+  void transmit(std::uint32_t src, std::uint32_t dst,
+                std::uint32_t wire_bytes, std::function<void()> on_arrival) {
+    transmit_at(engine_->now(), src, dst, wire_bytes, std::move(on_arrival));
+  }
+
+  /// As transmit(), but serialization onto the source link starts no earlier
+  /// than `start` (used to chain from an upstream pipeline stage).
+  void transmit_at(sim::Tick start, std::uint32_t src, std::uint32_t dst,
+                   std::uint32_t wire_bytes, std::function<void()> on_arrival);
+
+  /// Serialized wire size of a payload on the given transport family.
+  std::uint32_t wire_bytes(std::uint32_t payload, bool datagram) const;
+
+  /// Rolls the wire-corruption dice for one message. Transport layers
+  /// decide what a loss means: RC retransmits in hardware; UC/UD drop.
+  bool drop_roll() {
+    return cfg_.loss_probability > 0.0 &&
+           rng_.next_double() < cfg_.loss_probability;
+  }
+
+  std::uint64_t messages_lost() const { return lost_; }
+  void count_loss() { ++lost_; }
+
+  const FabricConfig& config() const { return cfg_; }
+  std::size_t num_ports() const { return ports_.size(); }
+  sim::Resource& tx_link(std::uint32_t port) { return *ports_[port].tx; }
+  sim::Resource& rx_link(std::uint32_t port) { return *ports_[port].rx; }
+
+ private:
+  struct Port {
+    std::unique_ptr<sim::Resource> tx;
+    std::unique_ptr<sim::Resource> rx;
+  };
+
+  sim::Engine* engine_;
+  FabricConfig cfg_;
+  std::vector<Port> ports_;
+  sim::Pcg32 rng_{0xFAB51CULL, 0x1357ULL};
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace herd::fabric

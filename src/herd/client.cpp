@@ -1,0 +1,247 @@
+#include "herd/client.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace herd::core {
+
+namespace {
+constexpr std::uint32_t kReqRing = 16;  // request staging slots
+constexpr std::uint32_t kRespStride =
+    verbs::kGrhBytes + kRespHeader + kMaxValue + 13;  // 1056, 8-aligned
+constexpr sim::Tick kComposeCost = sim::ns(20);
+constexpr sim::Tick kParseCost = sim::ns(15);
+}  // namespace
+
+std::uint64_t HerdClient::arena_bytes(const HerdConfig& cfg) {
+  return std::uint64_t{kReqRing} * kSlotBytes +
+         std::uint64_t{cfg.n_server_procs} * cfg.window * kRespStride;
+}
+
+HerdClient::HerdClient(cluster::Host& host, std::uint32_t id,
+                       HerdService& service,
+                       const workload::WorkloadConfig& wl,
+                       std::uint64_t mem_base)
+    : host_(&host),
+      id_(id),
+      service_(&service),
+      cfg_(service.config()),
+      cpu_(service.cpu()),
+      wl_(wl),
+      core_(host.ctx().engine(),
+            host.name() + "/client" + std::to_string(id)) {
+  auto& ctx = host.ctx();
+  send_cq_ = ctx.create_cq();
+  recv_cq_ = ctx.create_cq();
+
+  req_base_ = mem_base;
+  resp_base_ = mem_base + std::uint64_t{kReqRing} * kSlotBytes;
+  arena_mr_ = ctx.register_mr(mem_base, arena_bytes(cfg_), {});
+
+  if (cfg_.mode == RequestMode::kWriteUc) {
+    uc_qp_ = ctx.create_qp({verbs::Transport::kUc, send_cq_.get(),
+                            recv_cq_.get()});
+    service.connect_client(id_, *uc_qp_);
+  }
+
+  ud_qps_.reserve(cfg_.n_server_procs);
+  for (std::uint32_t s = 0; s < cfg_.n_server_procs; ++s) {
+    ud_qps_.push_back(ctx.create_qp(
+        {verbs::Transport::kUd, send_cq_.get(), recv_cq_.get()}));
+    service.set_client_ah(id_, s, verbs::Ah{&ctx, ud_qps_[s]->qpn()});
+    qpn_to_proc_.push_back(service.proc_ah(s).qpn);
+  }
+
+  recv_slot_.assign(cfg_.n_server_procs, 0);
+  next_r_.assign(cfg_.n_server_procs, 0);
+  inflight_.resize(cfg_.n_server_procs);
+
+  recv_cq_->set_notify([this]() { on_response(); });
+}
+
+void HerdClient::start() {
+  running_ = true;
+  pump();
+}
+
+void HerdClient::pump() {
+  while (running_ && outstanding_ < cfg_.window) {
+    workload::Op op = wl_.next();
+    ++outstanding_;
+    issue(op);
+  }
+}
+
+void HerdClient::issue(const workload::Op& op) {
+  std::uint32_t s = kv::partition_of(op.key, cfg_.n_server_procs);
+  std::uint64_t r = next_r_[s]++;
+  ++stats_.issued;
+
+  sim::Tick cost = cpu_.post_recv + kComposeCost + cpu_.post_send;
+  core_.run(cost, [this, op, s, r]() {
+    // 1. RECV for the response, on the s-th UD QP (§4.3).
+    std::uint64_t rbuf = resp_base_ +
+                         (std::uint64_t{s} * cfg_.window +
+                          recv_slot_[s]++ % cfg_.window) *
+                             kRespStride;
+    ud_qps_[s]->post_recv(
+        {.wr_id = rbuf, .sge = {rbuf, kRespStride, arena_mr_.lkey}});
+
+    std::uint64_t seq = next_seq_++;
+    inflight_[s].push_back(
+        InFlight{host_->ctx().engine().now(), op.rank, op.type, seq});
+    switch (op.type) {
+      case workload::OpType::kPut:
+        ++stats_.puts;
+        break;
+      case workload::OpType::kDelete:
+        ++stats_.deletes;
+        break;
+      case workload::OpType::kGet:
+        ++stats_.gets;
+        break;
+    }
+
+    post_request(s, r, op, seq);
+    if (retry_timeout_ > 0) arm_retry(s, r, seq, op);
+  });
+}
+
+// Composes the request into a staging slot and ships it (steps 2-3 of §4.2;
+// shared by first transmission and retries).
+void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
+                              const workload::Op& op, std::uint64_t seq) {
+  auto& mem = host_->memory();
+  std::uint64_t stage = req_base_ + (req_slot_++ % kReqRing) * kSlotBytes;
+  auto slot = mem.span(stage, kSlotBytes);
+  std::vector<std::byte> value;
+  Request req;
+  req.key = op.key;
+  req.is_put = op.type == workload::OpType::kPut;
+  req.is_delete = op.type == workload::OpType::kDelete;
+  req.token = static_cast<std::uint32_t>(seq);
+  if (req.is_put) {
+    value.resize(op.value_len);
+    workload::WorkloadGenerator::fill_value(op.rank, value);
+    req.value = value;
+  }
+  std::uint32_t wire = request_wire_bytes(req.is_put ? op.value_len : 0,
+                                          cfg_.request_tokens);
+  std::uint32_t start = encode_request(slot, req, cfg_.request_tokens);
+
+  const auto& cal = host_->rnic().cal();
+  if (cfg_.mode == RequestMode::kWriteUc) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::Opcode::kWrite;
+    wr.sge = {stage + start, wire, arena_mr_.lkey};
+    wr.remote_addr =
+        service_->region().slot_addr(s, id_, r) + (kSlotBytes - wire);
+    wr.rkey = service_->region_mr().rkey;
+    wr.inline_data = wire <= cal.max_inline;
+    wr.signaled = false;
+    uc_qp_->post_send(wr);
+  } else {
+    verbs::SendWr wr;
+    wr.opcode = verbs::Opcode::kSend;
+    wr.sge = {stage + start, wire, arena_mr_.lkey};
+    wr.inline_data = wire <= cal.max_inline;
+    wr.signaled = false;
+    wr.ah = service_->proc_ah(s);
+    ud_qps_[s]->post_send(wr);
+  }
+}
+
+void HerdClient::arm_retry(std::uint32_t s, std::uint64_t r,
+                           std::uint64_t seq, workload::Op op) {
+  host_->ctx().engine().schedule_after(retry_timeout_, [this, s, r, seq,
+                                                        op]() {
+    if (!running_) return;
+    // Still outstanding? (FIFO per proc: scan for the sequence number.)
+    for (const InFlight& fl : inflight_[s]) {
+      if (fl.seq == seq) {
+        ++stats_.retries;
+        core_.run(kComposeCost + cpu_.post_send,
+                  [this, s, r, seq, op]() { post_request(s, r, op, seq); });
+        arm_retry(s, r, seq, op);
+        return;
+      }
+    }
+  });
+}
+
+void HerdClient::on_response() {
+  verbs::Wc wc;
+  while (recv_cq_->poll({&wc, 1}) == 1) {
+    core_.run(cpu_.cq_poll + kParseCost,
+              [this, wc]() { handle_response(wc); });
+  }
+}
+
+void HerdClient::handle_response(const verbs::Wc& wc) {
+  if (wc.status != verbs::WcStatus::kSuccess) {
+    ++stats_.bad_responses;
+    return;
+  }
+  // Which server process replied? Responses carry the sender's UD QPN.
+  std::uint32_t s = UINT32_MAX;
+  for (std::uint32_t i = 0; i < qpn_to_proc_.size(); ++i) {
+    if (qpn_to_proc_[i] == wc.src_qp) {
+      s = i;
+      break;
+    }
+  }
+  if (s == UINT32_MAX || inflight_[s].empty()) {
+    ++stats_.bad_responses;
+    return;
+  }
+  auto buf = host_->memory().span(
+      wc.wr_id + verbs::kGrhBytes, wc.byte_len - verbs::kGrhBytes);
+  auto resp = decode_response(buf, cfg_.request_tokens);
+
+  // Match the response to its request: FIFO per (client, proc) on a
+  // lossless fabric; by correlation token when tokens are enabled (a lost
+  // request can let a later one overtake it, §2.2.3's retry caveat).
+  InFlight fl;
+  if (cfg_.request_tokens && resp) {
+    auto it = inflight_[s].begin();
+    for (; it != inflight_[s].end(); ++it) {
+      if (static_cast<std::uint32_t>(it->seq) == resp->token) break;
+    }
+    if (it == inflight_[s].end()) {
+      // Duplicate response to an already-retired request (a retry raced the
+      // original): drop it; the RECV consumed is reposted by the next issue.
+      return;
+    }
+    fl = *it;
+    inflight_[s].erase(it);
+  } else {
+    fl = inflight_[s].front();
+    inflight_[s].pop_front();
+  }
+  bool is_get = fl.type == workload::OpType::kGet;
+
+  if (!resp) {
+    ++stats_.bad_responses;
+  } else if (is_get) {
+    if (resp->status == RespStatus::kOk) {
+      ++stats_.get_hits;
+      if (verify_) {
+        std::vector<std::byte> expect(resp->value.size());
+        workload::WorkloadGenerator::fill_value(fl.rank, expect);
+        if (!std::equal(expect.begin(), expect.end(),
+                        resp->value.begin())) {
+          ++stats_.value_mismatches;
+        }
+      }
+    } else {
+      ++stats_.get_misses;
+    }
+  }
+  ++stats_.completed;
+  latency_.record(host_->ctx().engine().now() - fl.sent);
+  assert(outstanding_ > 0);
+  --outstanding_;
+  pump();
+}
+
+}  // namespace herd::core

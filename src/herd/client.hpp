@@ -1,0 +1,124 @@
+// HERD client process (§4.2-4.3).
+//
+// "Before writing a new request to server process s, a client posts a RECV
+//  to its s-th UD QP... After writing out W requests, the client starts
+//  checking for responses by polling for RECV completions. On each
+//  successful completion, it posts another request."
+//
+// In WRITE mode the client holds one UC QP connected to the server machine
+// (created by the initializer) and NS UD QPs for responses. In the §5.5
+// SEND/SEND variant, requests also go out as UD SENDs from those QPs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/core.hpp"
+#include "herd/config.hpp"
+#include "herd/protocol.hpp"
+#include "herd/service.hpp"
+#include "sim/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace herd::core {
+
+class HerdClient {
+ public:
+  struct Stats {
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t get_hits = 0;
+    std::uint64_t get_misses = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t retries = 0;           // application-level retransmissions
+    std::uint64_t value_mismatches = 0;  // GET returned wrong bytes (must be 0)
+    std::uint64_t bad_responses = 0;
+  };
+
+  /// `mem_base` is the start of a private arena in the client host's memory
+  /// (clients sharing a host must use disjoint arenas; see arena_bytes()).
+  HerdClient(cluster::Host& host, std::uint32_t id, HerdService& service,
+             const workload::WorkloadConfig& wl, std::uint64_t mem_base);
+
+  HerdClient(const HerdClient&) = delete;
+  HerdClient& operator=(const HerdClient&) = delete;
+
+  /// Bytes of host memory one client needs.
+  static std::uint64_t arena_bytes(const HerdConfig& cfg);
+
+  /// Begins issuing requests (keeps the window full until stop()).
+  void start();
+  void stop() { running_ = false; }
+
+  /// Verify GET payloads against the deterministic value pattern (slower;
+  /// enabled in tests, disabled in throughput benches).
+  void set_verify_values(bool v) { verify_ = v; }
+
+  /// Enables application-level retries: if a request sees no response within
+  /// `timeout`, the client re-WRITEs it into the same slot. This is the
+  /// paper's §2.2.3 tradeoff made concrete — unreliable transports "sacrifice
+  /// transport-level retransmission ... at the cost of rare application-level
+  /// retries". 0 disables (the default; losses are off by default too).
+  void set_retry_timeout(sim::Tick timeout) { retry_timeout_ = timeout; }
+
+  const Stats& stats() const { return stats_; }
+  sim::LatencyHistogram& latency() { return latency_; }
+  void reset_stats() {
+    stats_ = Stats{};
+    latency_.clear();
+  }
+
+ private:
+  struct InFlight {
+    sim::Tick sent = 0;
+    std::uint64_t rank = 0;
+    workload::OpType type = workload::OpType::kGet;
+    std::uint64_t seq = 0;  // retry correlation
+  };
+
+  void pump();                    // fill the request window
+  void issue(const workload::Op& op);
+  void post_request(std::uint32_t s, std::uint64_t r, const workload::Op& op,
+                    std::uint64_t seq);
+  void arm_retry(std::uint32_t s, std::uint64_t r, std::uint64_t seq,
+                 workload::Op op);
+  void on_response();             // recv CQ notify
+  void handle_response(const verbs::Wc& wc);
+
+  cluster::Host* host_;
+  std::uint32_t id_;
+  HerdService* service_;
+  HerdConfig cfg_;
+  cluster::CpuModel cpu_;
+  workload::WorkloadGenerator wl_;
+  cluster::SequentialCore core_;
+
+  std::unique_ptr<verbs::Cq> send_cq_;
+  std::unique_ptr<verbs::Cq> recv_cq_;
+  std::unique_ptr<verbs::Qp> uc_qp_;                 // WRITE mode
+  std::vector<std::unique_ptr<verbs::Qp>> ud_qps_;   // one per server proc
+  std::vector<std::uint32_t> qpn_to_proc_;           // response demux
+
+  verbs::Mr arena_mr_{};
+  std::uint64_t req_base_ = 0;   // staging ring for requests
+  std::uint32_t req_slot_ = 0;
+  std::uint64_t resp_base_ = 0;  // RECV buffers: [proc][window slot]
+  std::vector<std::uint32_t> recv_slot_;  // per-proc ring cursor
+  std::vector<std::uint64_t> next_r_;     // per-proc request counter
+
+  std::vector<std::deque<InFlight>> inflight_;  // per proc, FIFO
+  std::uint64_t next_seq_ = 1;
+  sim::Tick retry_timeout_ = 0;
+  std::uint32_t outstanding_ = 0;
+  bool running_ = false;
+  bool verify_ = false;
+  Stats stats_;
+  sim::LatencyHistogram latency_;
+};
+
+}  // namespace herd::core

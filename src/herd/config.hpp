@@ -1,0 +1,54 @@
+// HERD deployment configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "kv/mica_cache.hpp"
+
+namespace herd::core {
+
+/// How clients deliver requests (§3, §5.5).
+enum class RequestMode : std::uint8_t {
+  /// The HERD design: RDMA WRITE over UC into the request region, response
+  /// as SEND over UD. One connected QP per client at the server.
+  kWriteUc,
+  /// The §5.5 scalability variant: requests as SENDs over UD too. Costs
+  /// 4-5 Mops (the server must post RECVs) but scales to thousands of
+  /// clients since the server needs no connected state at all.
+  kSendUd,
+};
+
+struct HerdConfig {
+  /// NS: server processes, each pinned to a core, each owning one EREW
+  /// keyspace partition (paper's evaluation: 6).
+  std::uint32_t n_server_procs = 6;
+  /// NC: client processes (paper's evaluation: 51; scalability: up to 512).
+  std::uint32_t n_clients = 51;
+  /// W: request-region slots per (server process, client) pair, and the
+  /// client's maximum outstanding requests (paper default: 4; Fig. 12
+  /// also evaluates 16).
+  std::uint32_t window = 4;
+  /// Responses larger than this are sent without inlining ("With large
+  /// values (144 bytes on Apt, 192 on Susitna), HERD switches to using
+  /// non-inlined SENDs", §5.3).
+  std::uint32_t inline_threshold = 144;
+  /// Masking DRAM latency with the two-stage request pipeline (§4.1.1).
+  bool prefetch = true;
+  RequestMode mode = RequestMode::kWriteUc;
+  /// Per-process MICA cache sizing (scaled-down defaults; see DESIGN.md).
+  kv::MicaCache::Config mica{};
+  /// "if a server fails for 100 iterations consecutively, it pushes a no-op"
+  std::uint32_t noop_timeout_polls = 100;
+  /// Idle-poll quantization: detection delay for a request landing while the
+  /// server is idle is uniform in [0, poll_scan_slots * poll_iteration].
+  std::uint32_t poll_scan_slots = 64;
+  /// Per-process response staging ring (reuse horizon for non-inlined SENDs).
+  std::uint32_t response_ring = 64;
+  /// Carry a 4-byte correlation token in requests and responses. Required
+  /// for correct response matching when application-level retries are in
+  /// play (lossy fabric); off by default — it costs 4 bytes of inline-PIO
+  /// budget per message, which moves the Fig. 10 inline knee.
+  bool request_tokens = false;
+};
+
+}  // namespace herd::core

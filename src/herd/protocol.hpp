@@ -1,0 +1,166 @@
+// HERD wire protocol (§4.2, §4.3).
+//
+// Requests are right-aligned in a 1 KB slot so the 16-byte keyhash occupies
+// the slot's last bytes: the RNIC DMA-writes left to right, so once the
+// server's poll loop sees a non-zero keyhash, the entire request is visible.
+//
+//   slot: [ ......... | value (LEN bytes) | LEN (2) | KEYHASH (16) ]
+//                                                    ^ polled
+//
+// A GET carries only LEN = 0 + keyhash (18 bytes on the wire); a PUT carries
+// value + LEN + keyhash. A zero keyhash is reserved — the server zeroes the
+// field after serving a slot to re-arm it.
+//
+// Responses (UD SENDs) are [status (1) | LEN (2) | value]; the client's
+// receive buffer leaves 40 bytes in front for the GRH.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+
+#include "kv/keyhash.hpp"
+
+namespace herd::core {
+
+inline constexpr std::uint32_t kSlotBytes = 1024;  // "1 KB slots"
+inline constexpr std::uint32_t kMaxValue = 1000;   // "up to 1000 bytes"
+inline constexpr std::uint32_t kReqTrailer = 2 + kv::kKeyHashBytes;  // LEN+key
+/// LEN sentinel encoding a DELETE (values are capped at 1000 bytes, so any
+/// LEN above kMaxValue is never a PUT).
+inline constexpr std::uint16_t kDeleteLen = 0xffff;
+
+enum class RespStatus : std::uint8_t {
+  kOk = 0,        // GET hit (value follows) or PUT acknowledged
+  kNotFound = 1,  // GET miss
+};
+
+inline constexpr std::uint32_t kRespHeader = 3;  // status + LEN
+/// Optional request-correlation token (enabled by HerdConfig.request_tokens
+/// for deployments using application-level retries): 4 bytes prepended to
+/// the LEN field in requests and appended to the response header. Without
+/// it, responses are matched to requests FIFO per (client, server process) —
+/// correct on a lossless fabric, ambiguous once a lost request lets a later
+/// one overtake it.
+inline constexpr std::uint32_t kTokenBytes = 4;
+
+struct Request {
+  kv::KeyHash key{};
+  bool is_put = false;
+  bool is_delete = false;
+  std::uint32_t token = 0;             // correlation id (token mode only)
+  std::span<const std::byte> value{};  // PUT payload (views caller memory)
+};
+
+/// Bytes a request occupies on the wire (and at the tail of its slot).
+inline std::uint32_t request_wire_bytes(std::uint32_t value_len,
+                                        bool with_token = false) {
+  return kReqTrailer + value_len + (with_token ? kTokenBytes : 0);
+}
+
+/// Encodes a request right-aligned into `slot` (typically a full 1 KB slot;
+/// any frame >= the wire size works — SEND-mode frames are exactly-sized).
+/// Returns the offset within the slot where the encoded bytes begin.
+inline std::uint32_t encode_request(std::span<std::byte> slot,
+                                    const Request& req,
+                                    bool with_token = false) {
+  auto vlen = static_cast<std::uint32_t>(req.value.size());
+  std::uint32_t start = static_cast<std::uint32_t>(slot.size()) -
+                        request_wire_bytes(vlen, with_token);
+  std::byte* p = slot.data() + start;
+  if (vlen > 0) std::memcpy(p, req.value.data(), vlen);
+  p += vlen;
+  if (with_token) {
+    std::memcpy(p, &req.token, kTokenBytes);
+    p += kTokenBytes;
+  }
+  std::uint16_t len = req.is_delete ? kDeleteLen
+                      : req.is_put  ? static_cast<std::uint16_t>(vlen)
+                                    : 0;  // LEN == 0 encodes a GET
+  std::memcpy(p, &len, 2);
+  std::memcpy(p + 2, &req.key.hi, 8);
+  std::memcpy(p + 10, &req.key.lo, 8);
+  return start;
+}
+
+/// Decodes the request at the tail of `slot`; nullopt if the keyhash is
+/// still zero (no request present). PUTs with LEN == 0 are indistinguishable
+/// from GETs by design — HERD encodes "GET" as LEN == 0.
+inline std::optional<Request> decode_request(std::span<const std::byte> slot,
+                                              bool with_token = false) {
+  std::uint32_t trailer = kReqTrailer + (with_token ? kTokenBytes : 0);
+  if (slot.size() < trailer) return std::nullopt;
+  const std::byte* tail = slot.data() + slot.size() - kReqTrailer;
+  Request req;
+  std::memcpy(&req.key.hi, tail + 2, 8);
+  std::memcpy(&req.key.lo, tail + 10, 8);
+  if (req.key.is_zero()) return std::nullopt;
+  if (with_token) {
+    std::memcpy(&req.token, tail - kTokenBytes, kTokenBytes);
+  }
+  std::uint16_t len;
+  std::memcpy(&len, tail, 2);
+  if (len == kDeleteLen) {
+    req.is_delete = true;
+    return req;
+  }
+  if (len > kMaxValue || len + trailer > slot.size()) {
+    return std::nullopt;  // torn/corrupt
+  }
+  req.is_put = len > 0;
+  if (req.is_put) {
+    req.value = slot.subspan(slot.size() - trailer - len, len);
+  }
+  return req;
+}
+
+/// Zeroes the keyhash field, re-arming the slot (server, after responding).
+inline void clear_slot(std::span<std::byte> slot) {
+  std::memset(slot.data() + slot.size() - kv::kKeyHashBytes, 0,
+              kv::kKeyHashBytes);
+}
+
+/// Encodes a response into `buf`; returns bytes used.
+inline std::uint32_t encode_response(std::span<std::byte> buf,
+                                     RespStatus status,
+                                     std::span<const std::byte> value,
+                                     bool with_token = false,
+                                     std::uint32_t token = 0) {
+  buf[0] = static_cast<std::byte>(status);
+  auto len = static_cast<std::uint16_t>(value.size());
+  std::memcpy(buf.data() + 1, &len, 2);
+  std::uint32_t off = kRespHeader;
+  if (with_token) {
+    std::memcpy(buf.data() + off, &token, kTokenBytes);
+    off += kTokenBytes;
+  }
+  if (!value.empty()) {
+    std::memcpy(buf.data() + off, value.data(), value.size());
+  }
+  return off + len;
+}
+
+struct Response {
+  RespStatus status = RespStatus::kOk;
+  std::uint32_t token = 0;
+  std::span<const std::byte> value{};
+};
+
+inline std::optional<Response> decode_response(std::span<const std::byte> buf,
+                                               bool with_token = false) {
+  std::uint32_t header = kRespHeader + (with_token ? kTokenBytes : 0);
+  if (buf.size() < header) return std::nullopt;
+  Response r;
+  r.status = static_cast<RespStatus>(buf[0]);
+  std::uint16_t len;
+  std::memcpy(&len, buf.data() + 1, 2);
+  if (with_token) {
+    std::memcpy(&r.token, buf.data() + kRespHeader, kTokenBytes);
+  }
+  if (buf.size() < header + len) return std::nullopt;
+  r.value = buf.subspan(header, len);
+  return r;
+}
+
+}  // namespace herd::core

@@ -1,0 +1,74 @@
+// The request region (Fig. 8, §4.2).
+//
+// "The request region is logically divided into 1 KB slots... It consists of
+//  separate chunks for each server process which are further sub-divided
+//  into per-client chunks. Each per-client chunk consists of W slots."
+//
+// Slot address for (server process s, client c, request counter r):
+//   s * (W * NC) + c * W + (r mod W)            [paper's polling formula]
+//
+// Total size NS * NC * W KB — with the paper's NC=200, NS=16, W=2 that is
+// ~6 MB and fits in the server's L3.
+#pragma once
+
+#include <cstdint>
+
+#include "herd/protocol.hpp"
+
+namespace herd::core {
+
+class RequestRegion {
+ public:
+  RequestRegion(std::uint64_t base, std::uint32_t n_server_procs,
+                std::uint32_t n_clients, std::uint32_t window)
+      : base_(base), ns_(n_server_procs), nc_(n_clients), w_(window) {}
+
+  std::uint64_t base() const { return base_; }
+  std::uint32_t window() const { return w_; }
+  std::uint32_t n_clients() const { return nc_; }
+  std::uint32_t n_server_procs() const { return ns_; }
+
+  std::uint64_t size_bytes() const {
+    return std::uint64_t{ns_} * nc_ * w_ * kSlotBytes;
+  }
+
+  /// Index of the slot for (s, c, r-th request); r may exceed W (wraps).
+  std::uint64_t slot_index(std::uint32_t s, std::uint32_t c,
+                           std::uint64_t r) const {
+    return std::uint64_t{s} * (w_ * nc_) + std::uint64_t{c} * w_ + (r % w_);
+  }
+
+  /// Byte address of a slot's start.
+  std::uint64_t slot_addr(std::uint32_t s, std::uint32_t c,
+                          std::uint64_t r) const {
+    return base_ + slot_index(s, c, r) * kSlotBytes;
+  }
+
+  /// Start of server process `s`'s chunk.
+  std::uint64_t chunk_addr(std::uint32_t s) const {
+    return base_ + std::uint64_t{s} * w_ * nc_ * kSlotBytes;
+  }
+  std::uint64_t chunk_bytes() const {
+    return std::uint64_t{w_} * nc_ * kSlotBytes;
+  }
+
+  /// Inverse mapping for a byte address inside process `s`'s chunk:
+  /// which (client, window slot) does it belong to?
+  struct SlotId {
+    std::uint32_t client;
+    std::uint32_t wslot;
+  };
+  SlotId locate(std::uint32_t s, std::uint64_t addr) const {
+    std::uint64_t rel = (addr - chunk_addr(s)) / kSlotBytes;
+    return SlotId{static_cast<std::uint32_t>(rel / w_),
+                  static_cast<std::uint32_t>(rel % w_)};
+  }
+
+ private:
+  std::uint64_t base_;
+  std::uint32_t ns_;
+  std::uint32_t nc_;
+  std::uint32_t w_;
+};
+
+}  // namespace herd::core

@@ -1,0 +1,373 @@
+#include "herd/service.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace herd::core {
+
+namespace {
+constexpr std::uint32_t kRespStride = 1024;  // status+LEN+value, padded
+constexpr std::uint32_t kRecvStride = kSlotBytes + verbs::kGrhBytes;
+
+// Single service-wide RNG for idle-poll jitter; determinism comes from the
+// engine, and the jitter only widens the detection-delay distribution.
+sim::Pcg32& poll_jitter_rng() {
+  static sim::Pcg32 rng(0x715EEDULL, 0x9E3779B97F4A7C15ULL);
+  return rng;
+}
+}  // namespace
+
+HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
+                         const cluster::CpuModel& cpu)
+    : host_(&host),
+      cfg_(cfg),
+      cpu_(cpu),
+      region_(/*base=*/0, cfg.n_server_procs, cfg.n_clients, cfg.window),
+      client_ah_(cfg.n_clients, std::vector<verbs::Ah>(cfg.n_server_procs)) {
+  if (required_memory(cfg) > host.memory().size()) {
+    throw std::invalid_argument(
+        "HerdService: host memory too small; size with required_memory()");
+  }
+  auto& ctx = host.ctx();
+  std::uint64_t cursor = region_.size_bytes();
+
+  // The initializer registers the request region for remote WRITE access.
+  region_mr_ = ctx.register_mr(region_.base(), region_.size_bytes(),
+                               {.remote_write = true, .remote_read = false});
+  init_cq_ = ctx.create_cq();
+
+  // Scratch: response staging rings, and recv buffers in SEND mode.
+  std::uint64_t scratch_base = cursor;
+  std::uint64_t per_proc_resp =
+      std::uint64_t{cfg.response_ring} * kRespStride;
+  std::uint64_t per_proc_recv =
+      cfg.mode == RequestMode::kSendUd
+          ? std::uint64_t{cfg.n_clients} * cfg.window * kRecvStride
+          : 0;
+  std::uint64_t scratch_len =
+      cfg.n_server_procs * (per_proc_resp + per_proc_recv);
+  if (scratch_base + scratch_len > host.memory().size()) {
+    throw std::invalid_argument(
+        "HerdService: host memory too small; size with required_memory()");
+  }
+  scratch_mr_ = ctx.register_mr(scratch_base, scratch_len, {});
+
+  procs_.reserve(cfg.n_server_procs);
+  for (std::uint32_t s = 0; s < cfg.n_server_procs; ++s) {
+    auto p = std::make_unique<Proc>();
+    p->cache = std::make_unique<kv::MicaCache>(cfg.mica);
+    p->core = std::make_unique<cluster::SequentialCore>(
+        ctx.engine(), host.name() + "/proc" + std::to_string(s));
+    p->send_cq = ctx.create_cq();
+    p->recv_cq = ctx.create_cq();
+    p->ud_qp = ctx.create_qp({verbs::Transport::kUd, p->send_cq.get(),
+                              p->recv_cq.get()});
+    p->next_r.assign(cfg.n_clients, 0);
+    p->resp_base = cursor;
+    cursor += per_proc_resp;
+    if (cfg.mode == RequestMode::kSendUd) {
+      p->recv_base = cursor;
+      cursor += per_proc_recv;
+    }
+    procs_.push_back(std::move(p));
+  }
+
+  if (cfg.mode == RequestMode::kWriteUc) {
+    // Each server process polls its chunk; model the poll loop by watching
+    // the chunk for landing DMA writes (detection delay added below).
+    for (std::uint32_t s = 0; s < cfg.n_server_procs; ++s) {
+      host.memory().add_watch(
+          region_.chunk_addr(s), region_.chunk_bytes(),
+          [this, s](std::uint64_t addr, std::uint32_t) {
+            on_region_write(s, addr);
+          });
+    }
+  } else {
+    // SEND/SEND mode: pre-post one RECV per (client, window slot).
+    for (std::uint32_t s = 0; s < cfg.n_server_procs; ++s) {
+      Proc& p = *procs_[s];
+      std::uint64_t n = std::uint64_t{cfg.n_clients} * cfg.window;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t addr = p.recv_base + i * kRecvStride;
+        p.ud_qp->post_recv(
+            {.wr_id = addr, .sge = {addr, kRecvStride, scratch_mr_.lkey}});
+      }
+      p.recv_cq->set_notify([this, s]() { on_recv_ready(s); });
+    }
+  }
+
+  uc_qps_.resize(cfg.n_clients);
+}
+
+void HerdService::connect_client(std::uint32_t c, verbs::Qp& client_uc_qp) {
+  if (cfg_.mode != RequestMode::kWriteUc) {
+    throw std::logic_error("connect_client: not in WRITE mode");
+  }
+  auto& ctx = host_->ctx();
+  uc_qps_.at(c) = ctx.create_qp(
+      {verbs::Transport::kUc, init_cq_.get(), init_cq_.get()});
+  uc_qps_[c]->connect(client_uc_qp);
+}
+
+void HerdService::set_client_ah(std::uint32_t c, std::uint32_t s,
+                                verbs::Ah ah) {
+  client_ah_.at(c).at(s) = ah;
+  if (ah.ctx != nullptr) {
+    sender_to_client_[(std::uint64_t{ah.ctx->port()} << 32) | ah.qpn] = c;
+  }
+}
+
+std::uint64_t HerdService::required_memory(const HerdConfig& cfg) {
+  std::uint64_t region = std::uint64_t{cfg.n_server_procs} * cfg.n_clients *
+                         cfg.window * kSlotBytes;
+  std::uint64_t resp =
+      std::uint64_t{cfg.n_server_procs} * cfg.response_ring * kRespStride;
+  std::uint64_t recv = cfg.mode == RequestMode::kSendUd
+                           ? std::uint64_t{cfg.n_server_procs} *
+                                 cfg.n_clients * cfg.window * kRecvStride
+                           : 0;
+  return region + resp + recv + (64u << 10);
+}
+
+verbs::Ah HerdService::proc_ah(std::uint32_t s) {
+  return verbs::Ah{&host_->ctx(), procs_.at(s)->ud_qp->qpn()};
+}
+
+void HerdService::preload(std::uint64_t n_keys, std::uint32_t value_len) {
+  std::vector<std::byte> value(value_len);
+  for (std::uint64_t rank = 0; rank < n_keys; ++rank) {
+    kv::KeyHash key = kv::hash_of_rank(rank);
+    workload::WorkloadGenerator::fill_value(rank, value);
+    std::uint32_t s = kv::partition_of(key, cfg_.n_server_procs);
+    procs_[s]->cache->put(key, value);
+  }
+}
+
+const HerdService::ProcStats& HerdService::proc_stats(std::uint32_t s) const {
+  return procs_.at(s)->stats;
+}
+const kv::MicaCache& HerdService::proc_cache(std::uint32_t s) const {
+  return *procs_.at(s)->cache;
+}
+cluster::SequentialCore& HerdService::proc_core(std::uint32_t s) {
+  return *procs_.at(s)->core;
+}
+std::uint64_t HerdService::total_requests() const {
+  std::uint64_t n = 0;
+  for (const auto& p : procs_) n += p->stats.requests;
+  return n;
+}
+void HerdService::reset_stats() {
+  for (auto& p : procs_) {
+    p->stats = ProcStats{};
+    p->core->reset_stats();
+  }
+}
+
+void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
+  Proc& p = *procs_[s];
+  std::uint64_t slot_addr = addr - (addr - region_.chunk_addr(s)) % kSlotBytes;
+  auto slot = host_->memory().span(slot_addr, kSlotBytes);
+  auto req = decode_request(slot, cfg_.request_tokens);
+  if (!req) {
+    ++p.stats.bad_requests;
+    return;
+  }
+  // Round-robin poll-order bookkeeping (§4.2's formula).
+  auto id = region_.locate(s, slot_addr);
+  if (id.wslot != p.next_r[id.client] % cfg_.window) {
+    ++p.stats.order_violations;
+  }
+  p.next_r[id.client]++;
+
+  Pending pend;
+  pend.client = id.client;
+  pend.request = *req;
+  pend.slot_addr = slot_addr;
+  p.arrivals.push_back(pend);
+  // Idle-poll quantization: if the process was mid-round, detection costs up
+  // to a partial scan of the chunk.
+  sim::Tick jitter = 0;
+  if (p.core->busy_until() <= host_->ctx().engine().now()) {
+    sim::Tick scan = cfg_.poll_scan_slots * cpu_.poll_iteration;
+    jitter = poll_jitter_rng().next_u64() % (scan + 1);
+  }
+  schedule_advance(s, jitter);
+}
+
+void HerdService::on_recv_ready(std::uint32_t s) {
+  Proc& p = *procs_[s];
+  verbs::Wc wc;
+  while (p.recv_cq->poll({&wc, 1}) == 1) {
+    if (wc.status != verbs::WcStatus::kSuccess) {
+      ++p.stats.bad_requests;
+      continue;
+    }
+    std::uint64_t addr = wc.wr_id;
+    auto buf = host_->memory().span(addr, kRecvStride);
+    // The payload sits past the GRH; byte_len includes the GRH.
+    auto frame = buf.subspan(verbs::kGrhBytes, wc.byte_len - verbs::kGrhBytes);
+    auto req = decode_request(frame, cfg_.request_tokens);
+    if (!req) {
+      ++p.stats.bad_requests;
+      continue;
+    }
+    Pending pend;
+    pend.request = *req;
+    pend.recv_addr = addr;
+    pend.recv_wr_id = wc.wr_id;
+    // Identify the client by the (port, QPN) of the sending UD QP — clients
+    // in SEND mode send requests from the same UD QP they receive responses
+    // on, which they registered via set_client_ah().
+    std::uint64_t sender =
+        (std::uint64_t{wc.src_port} << 32) | wc.src_qp;
+    auto it = sender_to_client_.find(sender);
+    if (it == sender_to_client_.end()) {
+      ++p.stats.bad_requests;
+      continue;
+    }
+    pend.client = it->second;
+    p.arrivals.push_back(pend);
+    schedule_advance(s, 0);
+  }
+}
+
+void HerdService::schedule_advance(std::uint32_t s, sim::Tick extra_delay) {
+  auto& engine = host_->ctx().engine();
+  if (extra_delay == 0) {
+    advance(s);
+  } else {
+    engine.schedule_after(extra_delay, [this, s]() { advance(s); });
+  }
+}
+
+void HerdService::arm_noop_timer(std::uint32_t s) {
+  Proc& p = *procs_[s];
+  if (p.pipeline.empty()) return;
+  std::uint64_t gen = p.advance_gen;
+  sim::Tick timeout = cfg_.noop_timeout_polls * cpu_.poll_iteration;
+  host_->ctx().engine().schedule_after(timeout, [this, s, gen]() {
+    Proc& pp = *procs_[s];
+    if (pp.advance_gen != gen || pp.pipeline.empty()) return;
+    advance(s);  // no-op advance: flushes the pipeline (§4.1.1)
+  });
+}
+
+void HerdService::advance(std::uint32_t s) {
+  Proc& p = *procs_[s];
+  ++p.advance_gen;
+
+  sim::Tick cost = cpu_.poll_iteration + cpu_.pipeline_step;
+  bool admitted = false;
+  if (!p.arrivals.empty()) {
+    p.pipeline.push_back(p.arrivals.front());
+    p.arrivals.pop_front();
+    cost += cpu_.prefetch_issue;  // stage 1: prefetch the index bucket
+    admitted = true;
+  } else {
+    ++p.stats.noops;
+  }
+
+  // Requests leaving the two-stage pipeline on this advance.
+  std::vector<Pending> done;
+  while (p.pipeline.size() > 2) {
+    done.push_back(p.pipeline.front());
+    p.pipeline.pop_front();
+  }
+  if (!admitted && !p.pipeline.empty()) {
+    done.push_back(p.pipeline.front());
+    p.pipeline.pop_front();
+  }
+
+  sim::Tick access_cost =
+      cfg_.prefetch ? (cpu_.dram_access_prefetched + cpu_.prefetch_issue)
+                    : cpu_.dram_access;
+  for (const Pending& d : done) {
+    std::uint32_t accesses = d.request.is_put || d.request.is_delete ? 1 : 2;
+    cost += accesses * access_cost + cpu_.post_send;
+    if (cfg_.mode == RequestMode::kSendUd) cost += cpu_.post_recv;
+  }
+
+  p.core->run(cost, [this, s, done = std::move(done)]() {
+    for (const Pending& d : done) complete(s, d);
+  });
+
+  if (!p.arrivals.empty()) {
+    schedule_advance(s, 0);
+  } else {
+    arm_noop_timer(s);
+  }
+}
+
+void HerdService::complete(std::uint32_t s, const Pending& p) {
+  Proc& proc = *procs_[s];
+  ++proc.stats.requests;
+
+  std::byte value_buf[kv::MicaCache::kMaxValue];
+  std::uint32_t token = p.request.token;
+  if (p.request.is_delete) {
+    ++proc.stats.deletes;
+    bool erased = proc.cache->erase(p.request.key);
+    post_response(s, p.client,
+                  erased ? RespStatus::kOk : RespStatus::kNotFound, {},
+                  token);
+  } else if (p.request.is_put) {
+    ++proc.stats.puts;
+    proc.cache->put(p.request.key, p.request.value);
+    post_response(s, p.client, RespStatus::kOk, {}, token);
+  } else {
+    ++proc.stats.gets;
+    auto r = proc.cache->get(p.request.key, value_buf);
+    if (r.found) {
+      ++proc.stats.get_hits;
+      post_response(s, p.client, RespStatus::kOk,
+                    std::span<const std::byte>(value_buf, r.value_len),
+                    token);
+    } else {
+      post_response(s, p.client, RespStatus::kNotFound, {}, token);
+    }
+  }
+
+  if (cfg_.mode == RequestMode::kWriteUc) {
+    // Re-arm the slot: "The server zeroes out the keyhash field of the slot
+    // after sending a response, freeing it up for a new request."
+    clear_slot(host_->memory().span(p.slot_addr, kSlotBytes));
+  } else {
+    // Repost the consumed RECV.
+    proc.ud_qp->post_recv({.wr_id = p.recv_addr,
+                           .sge = {p.recv_addr, kRecvStride,
+                                   scratch_mr_.lkey}});
+  }
+}
+
+void HerdService::post_response(std::uint32_t s, std::uint32_t client,
+                                RespStatus status,
+                                std::span<const std::byte> value,
+                                std::uint32_t token) {
+  Proc& p = *procs_[s];
+  const verbs::Ah& ah = client_ah_.at(client).at(s);
+  if (ah.ctx == nullptr) {
+    ++p.stats.bad_requests;
+    return;
+  }
+  std::uint64_t addr =
+      p.resp_base + (p.resp_slot++ % cfg_.response_ring) * kRespStride;
+  auto buf = host_->memory().span(addr, kRespStride);
+  std::uint32_t len =
+      encode_response(buf, status, value, cfg_.request_tokens, token);
+
+  verbs::SendWr wr;
+  wr.opcode = verbs::Opcode::kSend;
+  wr.sge = {addr, len, scratch_mr_.lkey};
+  // Responses are unsignaled: "HERD uses SENDs for responding to requests,
+  // it can use new requests as an indication of the completion of old SENDs"
+  wr.signaled = false;
+  wr.inline_data = len <= cfg_.inline_threshold;
+  wr.ah = verbs::Ah{ah.ctx, ah.qpn};
+  p.ud_qp->post_send(wr);
+}
+
+}  // namespace herd::core

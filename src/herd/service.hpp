@@ -1,0 +1,129 @@
+// HERD server (§4).
+//
+// One HerdService runs on the server machine. It plays two roles from the
+// paper:
+//  * the *initializer* process: allocates the request region, registers it
+//    with the RNIC, and accepts one UC connection per client ("The NS server
+//    processes then map the request region into their address space via
+//    shmget() and do not create any connections for receiving requests");
+//  * the NS *server processes*: each pinned to a core, each owning one MICA
+//    partition and one UD queue pair for responses, polling its chunk of the
+//    request region and running the two-stage prefetch pipeline (§4.1.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/core.hpp"
+#include "herd/config.hpp"
+#include "herd/protocol.hpp"
+#include "herd/request_region.hpp"
+#include "kv/mica_cache.hpp"
+#include "verbs/verbs.hpp"
+
+namespace herd::core {
+
+class HerdService {
+ public:
+  HerdService(cluster::Host& host, const HerdConfig& cfg,
+              const cluster::CpuModel& cpu);
+  HerdService(const HerdService&) = delete;
+  HerdService& operator=(const HerdService&) = delete;
+
+  // --- Connection setup (the out-of-band bootstrap a real deployment does
+  // --- over TCP) ----------------------------------------------------------
+
+  /// WRITE mode: accepts client `c`'s UC queue pair (the initializer creates
+  /// and connects the server-side endpoint; server processes never see it).
+  void connect_client(std::uint32_t c, verbs::Qp& client_uc_qp);
+
+  /// Registers the address handle of client `c`'s UD QP for server process
+  /// `s` — where that process SENDs its responses.
+  void set_client_ah(std::uint32_t c, std::uint32_t s, verbs::Ah ah);
+
+  /// Address handle of server process `s`'s UD QP (SEND/SEND request mode).
+  verbs::Ah proc_ah(std::uint32_t s);
+
+  const RequestRegion& region() const { return region_; }
+  const verbs::Mr& region_mr() const { return region_mr_; }
+  const HerdConfig& config() const { return cfg_; }
+  const cluster::CpuModel& cpu() const { return cpu_; }
+  cluster::Host& host() { return *host_; }
+
+  /// Host memory the service needs (request region + staging rings).
+  static std::uint64_t required_memory(const HerdConfig& cfg);
+
+  /// Warms partition caches with the first `n_keys` ranks (bench setup).
+  void preload(std::uint64_t n_keys, std::uint32_t value_len);
+
+  // --- Introspection -------------------------------------------------------
+
+  struct ProcStats {
+    std::uint64_t requests = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t get_hits = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t noops = 0;
+    std::uint64_t order_violations = 0;  // slot arrived out of round-robin
+    std::uint64_t bad_requests = 0;
+  };
+  const ProcStats& proc_stats(std::uint32_t s) const;
+  const kv::MicaCache& proc_cache(std::uint32_t s) const;
+  cluster::SequentialCore& proc_core(std::uint32_t s);
+  std::uint64_t total_requests() const;
+  void reset_stats();
+
+ private:
+  struct Pending {
+    std::uint32_t client = 0;
+    Request request{};  // value span views the request region / recv buffer
+    std::uint64_t slot_addr = 0;     // WRITE mode: slot to re-arm
+    std::uint64_t recv_addr = 0;     // SEND mode: recv buffer to repost
+    std::uint64_t recv_wr_id = 0;
+  };
+
+  struct Proc {
+    std::unique_ptr<kv::MicaCache> cache;
+    std::unique_ptr<cluster::SequentialCore> core;
+    std::unique_ptr<verbs::Cq> send_cq;
+    std::unique_ptr<verbs::Cq> recv_cq;
+    std::unique_ptr<verbs::Qp> ud_qp;
+    std::vector<std::uint64_t> next_r;  // per-client poll counter
+    std::deque<Pending> arrivals;
+    std::deque<Pending> pipeline;
+    std::uint64_t advance_gen = 0;  // invalidates stale no-op timers
+    std::uint64_t resp_base = 0;    // response staging ring
+    std::uint32_t resp_slot = 0;
+    std::uint64_t recv_base = 0;    // SEND mode recv buffers
+    ProcStats stats;
+  };
+
+  void on_region_write(std::uint32_t s, std::uint64_t addr);
+  void on_recv_ready(std::uint32_t s);
+  void schedule_advance(std::uint32_t s, sim::Tick extra_delay);
+  void arm_noop_timer(std::uint32_t s);
+  void advance(std::uint32_t s);
+  void complete(std::uint32_t s, const Pending& p);
+  void post_response(std::uint32_t s, std::uint32_t client, RespStatus status,
+                     std::span<const std::byte> value, std::uint32_t token);
+
+  cluster::Host* host_;
+  HerdConfig cfg_;
+  cluster::CpuModel cpu_;
+  RequestRegion region_;
+  verbs::Mr region_mr_{};
+  std::unique_ptr<verbs::Cq> init_cq_;  // initializer's dummy CQ for UC QPs
+  std::vector<std::unique_ptr<verbs::Qp>> uc_qps_;  // one per client
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<std::vector<verbs::Ah>> client_ah_;  // [client][proc]
+  std::unordered_map<std::uint64_t, std::uint32_t> sender_to_client_;
+  verbs::Mr scratch_mr_{};  // covers staging rings / recv buffers
+};
+
+}  // namespace herd::core

@@ -1,0 +1,87 @@
+#include "herd/testbed.hpp"
+
+#include <algorithm>
+
+namespace herd::core {
+
+HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
+  const HerdConfig& h = cfg_.herd;
+  std::uint32_t n_client_hosts =
+      (h.n_clients + cfg_.clients_per_host - 1) / cfg_.clients_per_host;
+  n_client_hosts = std::max(n_client_hosts, 1u);
+
+  std::uint64_t server_mem = HerdService::required_memory(h);
+  std::uint64_t client_mem =
+      std::uint64_t{cfg_.clients_per_host} * HerdClient::arena_bytes(h) +
+      (16u << 10);
+  // Build all hosts with the larger size for simplicity.
+  std::uint64_t mem = std::max(server_mem, client_mem);
+
+  cluster_ = std::make_unique<cluster::Cluster>(cfg_.cluster,
+                                                1 + n_client_hosts, mem);
+  service_ = std::make_unique<HerdService>(cluster_->host(0), h,
+                                           cfg_.cluster.cpu);
+
+  std::uint64_t preload =
+      cfg_.preload_keys != 0 ? cfg_.preload_keys : cfg_.workload.n_keys;
+  service_->preload(preload, cfg_.workload.value_len);
+
+  clients_.reserve(h.n_clients);
+  for (std::uint32_t c = 0; c < h.n_clients; ++c) {
+    auto& host = cluster_->host(1 + c / cfg_.clients_per_host);
+    std::uint64_t arena =
+        (c % cfg_.clients_per_host) * HerdClient::arena_bytes(h);
+    workload::WorkloadConfig wl = cfg_.workload;
+    wl.seed = cfg_.workload.seed + 1000003ULL * c;
+    clients_.push_back(
+        std::make_unique<HerdClient>(host, c, *service_, wl, arena));
+    clients_.back()->set_verify_values(cfg_.verify_values);
+  }
+  proc_requests_.assign(h.n_server_procs, 0);
+}
+
+HerdTestbed::RunResult HerdTestbed::run(sim::Tick warmup, sim::Tick measure) {
+  auto& engine = cluster_->engine();
+  for (auto& c : clients_) c->start();
+  engine.run_until(engine.now() + warmup);
+
+  for (auto& c : clients_) c->reset_stats();
+  service_->reset_stats();
+  sim::Tick start = engine.now();
+  engine.run_until(start + measure);
+  last_window_ = measure;
+
+  RunResult r;
+  sim::LatencyHistogram merged;
+  for (auto& c : clients_) {
+    const auto& st = c->stats();
+    r.ops += st.completed;
+    r.get_hits += st.get_hits;
+    r.get_misses += st.get_misses;
+    r.value_mismatches += st.value_mismatches;
+    r.bad += st.bad_responses;
+    merged.merge(c->latency());
+  }
+  for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
+    proc_requests_[s] = service_->proc_stats(s).requests;
+    r.bad += service_->proc_stats(s).bad_requests;
+  }
+  r.mops = static_cast<double>(r.ops) / sim::to_sec(measure) / 1e6;
+  r.avg_latency_us = merged.mean_ns() / 1e3;
+  r.p5_latency_us = merged.quantile_ns(0.05) / 1e3;
+  r.p95_latency_us = merged.p95_ns() / 1e3;
+  return r;
+}
+
+std::vector<double> HerdTestbed::per_proc_mops() const {
+  std::vector<double> out(proc_requests_.size());
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    out[s] = last_window_ == 0
+                 ? 0.0
+                 : static_cast<double>(proc_requests_[s]) /
+                       sim::to_sec(last_window_) / 1e6;
+  }
+  return out;
+}
+
+}  // namespace herd::core

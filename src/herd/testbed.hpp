@@ -1,0 +1,70 @@
+// Full HERD deployment: one server machine + client machines on a cluster,
+// with measurement plumbing shared by benches, tests, and examples.
+//
+// Mirrors the paper's evaluation setup (§5.1): the server machine runs NS
+// server processes; NC client processes are spread uniformly over the client
+// machines ("The 17 client machines run up to 3 client processes each").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "herd/client.hpp"
+#include "herd/config.hpp"
+#include "herd/service.hpp"
+#include "workload/workload.hpp"
+
+namespace herd::core {
+
+struct TestbedConfig {
+  cluster::ClusterConfig cluster = cluster::ClusterConfig::apt();
+  HerdConfig herd{};
+  workload::WorkloadConfig workload{};
+  /// Client processes per client machine (paper: up to 3).
+  std::uint32_t clients_per_host = 3;
+  /// Keys preloaded into the store before measurement (0 = workload.n_keys).
+  std::uint64_t preload_keys = 0;
+  bool verify_values = false;
+};
+
+class HerdTestbed {
+ public:
+  explicit HerdTestbed(const TestbedConfig& cfg);
+  HerdTestbed(const HerdTestbed&) = delete;
+  HerdTestbed& operator=(const HerdTestbed&) = delete;
+
+  cluster::Cluster& cluster() { return *cluster_; }
+  HerdService& service() { return *service_; }
+  HerdClient& client(std::size_t i) { return *clients_.at(i); }
+  std::size_t num_clients() const { return clients_.size(); }
+
+  struct RunResult {
+    double mops = 0;           // completed requests per simulated second / 1e6
+    double avg_latency_us = 0;
+    double p5_latency_us = 0;
+    double p95_latency_us = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t get_hits = 0;
+    std::uint64_t get_misses = 0;
+    std::uint64_t value_mismatches = 0;
+    std::uint64_t bad = 0;  // bad requests/responses anywhere
+  };
+
+  /// Starts the clients, warms up, measures for `measure` simulated time.
+  RunResult run(sim::Tick warmup, sim::Tick measure);
+
+  /// Per-server-process throughput over the last run window (Fig. 14).
+  std::vector<double> per_proc_mops() const;
+
+ private:
+  TestbedConfig cfg_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<HerdService> service_;
+  std::vector<std::unique_ptr<HerdClient>> clients_;
+  sim::Tick last_window_ = 0;
+  std::vector<std::uint64_t> proc_requests_;
+};
+
+}  // namespace herd::core

@@ -1,0 +1,251 @@
+#include "kv/cuckoo.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace herd::kv {
+
+namespace {
+
+// Bucket layout (32 bytes):
+//   [0]  key.hi   (8)   0 = empty bucket
+//   [8]  key.lo   (8)
+//   [16] ext_off  (4)
+//   [20] vlen     (4)
+//   [24] checksum (8)   over bytes [0, 24)
+std::uint64_t checksum_bytes(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : bytes) {
+    h ^= std::to_integer<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  // Never produce 0 so an all-zero (empty) bucket can't masquerade as valid.
+  return h == 0 ? 1 : h;
+}
+
+struct RawBucket {
+  KeyHash key;
+  std::uint32_t ext_off;
+  std::uint32_t vlen;
+  std::uint64_t csum;
+};
+
+RawBucket load_bucket(std::span<const std::byte> raw) {
+  RawBucket b{};
+  std::memcpy(&b.key.hi, raw.data(), 8);
+  std::memcpy(&b.key.lo, raw.data() + 8, 8);
+  std::memcpy(&b.ext_off, raw.data() + 16, 4);
+  std::memcpy(&b.vlen, raw.data() + 20, 4);
+  std::memcpy(&b.csum, raw.data() + 24, 8);
+  return b;
+}
+
+}  // namespace
+
+PilafCuckooTable::PilafCuckooTable(std::span<std::byte> bucket_mem,
+                                   std::span<std::byte> extent_mem,
+                                   const Config& cfg)
+    : buckets_(bucket_mem), extents_(extent_mem), cfg_(cfg) {
+  if (bucket_mem.size() < bucket_mem_bytes(cfg.n_buckets)) {
+    throw std::invalid_argument("PilafCuckooTable: bucket span too small");
+  }
+  std::memset(buckets_.data(), 0, bucket_mem_bytes(cfg.n_buckets));
+}
+
+std::span<std::byte> PilafCuckooTable::bucket(std::uint32_t index) {
+  return buckets_.subspan(std::size_t{index} * kBucketBytes, kBucketBytes);
+}
+std::span<const std::byte> PilafCuckooTable::bucket(
+    std::uint32_t index) const {
+  return buckets_.subspan(std::size_t{index} * kBucketBytes, kBucketBytes);
+}
+
+std::uint32_t PilafCuckooTable::bucket_index(const KeyHash& key,
+                                             std::uint32_t which) const {
+  // Three "orthogonal" hash functions derived from the keyhash.
+  std::uint64_t h = detail::splitmix64(
+      key.lo ^ (key.hi * (which + 1)) ^ (cfg_.seed + which * 0x9e3779b9));
+  return static_cast<std::uint32_t>(h % cfg_.n_buckets);
+}
+
+std::array<std::uint64_t, PilafCuckooTable::kNumHashes>
+PilafCuckooTable::candidate_offsets(const KeyHash& key) const {
+  std::array<std::uint64_t, kNumHashes> out{};
+  for (std::uint32_t i = 0; i < kNumHashes; ++i) {
+    out[i] = std::uint64_t{bucket_index(key, i)} * kBucketBytes;
+  }
+  return out;
+}
+
+void PilafCuckooTable::write_bucket(std::uint32_t index, const KeyHash& key,
+                                    std::uint32_t ext_off,
+                                    std::uint32_t vlen) {
+  auto raw = bucket(index);
+  std::memcpy(raw.data(), &key.hi, 8);
+  std::memcpy(raw.data() + 8, &key.lo, 8);
+  std::memcpy(raw.data() + 16, &ext_off, 4);
+  std::memcpy(raw.data() + 20, &vlen, 4);
+  std::uint64_t csum = checksum_bytes(raw.first(24));
+  std::memcpy(raw.data() + 24, &csum, 8);
+}
+
+void PilafCuckooTable::clear_bucket(std::uint32_t index) {
+  std::memset(bucket(index).data(), 0, kBucketBytes);
+}
+
+std::optional<std::uint32_t> PilafCuckooTable::append_extent(
+    const KeyHash& key, std::span<const std::byte> v) {
+  std::size_t need = kExtentHeader + v.size();
+  if (extent_head_ + need > extents_.size()) return std::nullopt;
+  auto off = static_cast<std::uint32_t>(extent_head_);
+  std::byte* p = extents_.data() + extent_head_;
+  // Checksum covers key + len + value.
+  std::memcpy(p + 8, &key.hi, 8);
+  std::memcpy(p + 16, &key.lo, 8);
+  auto len = static_cast<std::uint32_t>(v.size());
+  std::memcpy(p + 24, &len, 4);
+  if (!v.empty()) std::memcpy(p + kExtentHeader, v.data(), v.size());
+  std::uint64_t csum = checksum_bytes(
+      std::span<const std::byte>(p + 8, need - 8));
+  std::memcpy(p, &csum, 8);
+  extent_head_ += (need + 7) & ~std::size_t{7};
+  return off;
+}
+
+bool PilafCuckooTable::insert(const KeyHash& key,
+                              std::span<const std::byte> value) {
+  ++stats_.inserts;
+  auto ext = append_extent(key, value);
+  if (!ext) {
+    ++stats_.insert_failures;
+    return false;
+  }
+  auto vlen = static_cast<std::uint32_t>(value.size());
+
+  // Overwrite if present.
+  for (std::uint32_t i = 0; i < kNumHashes; ++i) {
+    std::uint32_t idx = bucket_index(key, i);
+    RawBucket b = load_bucket(bucket(idx));
+    if (b.key == key) {
+      write_bucket(idx, key, *ext, vlen);
+      return true;
+    }
+  }
+  // Empty candidate?
+  for (std::uint32_t i = 0; i < kNumHashes; ++i) {
+    std::uint32_t idx = bucket_index(key, i);
+    if (load_bucket(bucket(idx)).key.is_zero()) {
+      write_bucket(idx, key, *ext, vlen);
+      return true;
+    }
+  }
+  // Cuckoo random walk: kick an occupant to one of its alternates.
+  KeyHash cur_key = key;
+  std::uint32_t cur_ext = *ext;
+  std::uint32_t cur_len = vlen;
+  rng_ = rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  std::uint32_t idx = bucket_index(cur_key, (rng_ >> 33) % kNumHashes);
+  for (std::uint32_t step = 0; step < cfg_.max_displacements; ++step) {
+    RawBucket victim = load_bucket(bucket(idx));
+    write_bucket(idx, cur_key, cur_ext, cur_len);
+    if (victim.key.is_zero()) return true;
+    ++stats_.displacements;
+    cur_key = victim.key;
+    cur_ext = victim.ext_off;
+    cur_len = victim.vlen;
+    // Move the victim to one of its other candidate buckets.
+    rng_ = rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::uint32_t pick = (rng_ >> 33) % (kNumHashes - 1);
+    std::uint32_t n = 0;
+    std::uint32_t next = idx;
+    for (std::uint32_t i = 0; i < kNumHashes; ++i) {
+      std::uint32_t cand = bucket_index(cur_key, i);
+      if (cand == idx) continue;
+      if (n++ == pick) {
+        next = cand;
+        break;
+      }
+    }
+    if (next == idx) {  // degenerate: all hashes collide
+      ++stats_.insert_failures;
+      return false;
+    }
+    // Prefer an empty alternate if one exists.
+    for (std::uint32_t i = 0; i < kNumHashes; ++i) {
+      std::uint32_t cand = bucket_index(cur_key, i);
+      if (cand != idx && load_bucket(bucket(cand)).key.is_zero()) {
+        next = cand;
+        break;
+      }
+    }
+    idx = next;
+  }
+  ++stats_.insert_failures;
+  return false;  // the displaced key is dropped (bounded walk)
+}
+
+PilafCuckooTable::GetResult PilafCuckooTable::get(const KeyHash& key,
+                                                  std::span<std::byte> out) {
+  ++stats_.gets;
+  GetResult r;
+  for (std::uint32_t i = 0; i < kNumHashes; ++i) {
+    ++r.probes;
+    ++stats_.get_probes;
+    std::uint32_t idx = bucket_index(key, i);
+    auto view = verify_bucket(bucket(idx), key);
+    if (!view) continue;
+    auto ext = extents_.subspan(view->extent_offset,
+                                kExtentHeader + view->value_len);
+    auto value = verify_extent(ext, key, view->value_len);
+    if (!value) continue;
+    if (value->size() > out.size()) {
+      throw std::length_error("PilafCuckooTable::get: buffer too small");
+    }
+    std::memcpy(out.data(), value->data(), value->size());
+    r.found = true;
+    r.value_len = view->value_len;
+    return r;
+  }
+  return r;
+}
+
+bool PilafCuckooTable::erase(const KeyHash& key) {
+  for (std::uint32_t i = 0; i < kNumHashes; ++i) {
+    std::uint32_t idx = bucket_index(key, i);
+    if (load_bucket(bucket(idx)).key == key) {
+      clear_bucket(idx);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<PilafCuckooTable::BucketView> PilafCuckooTable::verify_bucket(
+    std::span<const std::byte> raw32, const KeyHash& key) {
+  if (raw32.size() < kBucketBytes) return std::nullopt;
+  RawBucket b = load_bucket(raw32);
+  if (b.key.is_zero()) return std::nullopt;
+  if (checksum_bytes(raw32.first(24)) != b.csum) return std::nullopt;
+  if (!(b.key == key)) return std::nullopt;
+  return BucketView{b.key, b.ext_off, b.vlen};
+}
+
+std::optional<std::span<const std::byte>> PilafCuckooTable::verify_extent(
+    std::span<const std::byte> raw, const KeyHash& key,
+    std::uint32_t value_len) {
+  if (raw.size() < kExtentHeader + value_len) return std::nullopt;
+  std::uint64_t csum;
+  std::memcpy(&csum, raw.data(), 8);
+  if (checksum_bytes(raw.subspan(8, kExtentHeader - 8 + value_len)) != csum) {
+    return std::nullopt;
+  }
+  KeyHash stored;
+  std::memcpy(&stored.hi, raw.data() + 8, 8);
+  std::memcpy(&stored.lo, raw.data() + 16, 8);
+  std::uint32_t len;
+  std::memcpy(&len, raw.data() + 24, 4);
+  if (!(stored == key) || len != value_len) return std::nullopt;
+  return raw.subspan(kExtentHeader, value_len);
+}
+
+}  // namespace herd::kv

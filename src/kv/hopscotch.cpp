@@ -1,0 +1,205 @@
+#include "kv/hopscotch.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace herd::kv {
+
+std::uint32_t HopscotchTable::bucket_stride() const {
+  std::uint32_t payload = cfg_.mode == ValueMode::kInline
+                              ? cfg_.inline_value_capacity
+                              : 4;  // arena offset
+  return 16 + 4 + payload;
+}
+
+std::size_t HopscotchTable::bucket_mem_bytes(const Config& cfg) {
+  std::uint32_t payload =
+      cfg.mode == ValueMode::kInline ? cfg.inline_value_capacity : 4;
+  std::uint32_t stride = 16 + 4 + payload;
+  return std::size_t{cfg.n_buckets + kNeighborhood - 1} * stride;
+}
+
+HopscotchTable::HopscotchTable(std::span<std::byte> bucket_mem,
+                               std::span<std::byte> arena, const Config& cfg)
+    : buckets_(bucket_mem), arena_(arena), cfg_(cfg) {
+  std::size_t need = std::size_t{total_buckets()} * bucket_stride();
+  if (bucket_mem.size() < need) {
+    throw std::invalid_argument("HopscotchTable: bucket span too small");
+  }
+  if (cfg_.mode == ValueMode::kOutOfTable && arena_.empty()) {
+    throw std::invalid_argument("HopscotchTable: out-of-table needs an arena");
+  }
+  std::memset(buckets_.data(), 0, need);
+}
+
+std::span<std::byte> HopscotchTable::bucket(std::uint32_t index) {
+  return buckets_.subspan(std::size_t{index} * bucket_stride(),
+                          bucket_stride());
+}
+std::span<const std::byte> HopscotchTable::bucket(std::uint32_t index) const {
+  return buckets_.subspan(std::size_t{index} * bucket_stride(),
+                          bucket_stride());
+}
+
+std::uint32_t HopscotchTable::home_index(const KeyHash& key) const {
+  return static_cast<std::uint32_t>(
+      detail::splitmix64(key.hi ^ (key.lo + cfg_.seed)) % cfg_.n_buckets);
+}
+
+std::uint64_t HopscotchTable::home_offset(const KeyHash& key) const {
+  return std::uint64_t{home_index(key)} * bucket_stride();
+}
+
+KeyHash HopscotchTable::bucket_key(std::uint32_t index) const {
+  KeyHash k;
+  auto raw = bucket(index);
+  std::memcpy(&k.hi, raw.data(), 8);
+  std::memcpy(&k.lo, raw.data() + 8, 8);
+  return k;
+}
+
+void HopscotchTable::store(std::uint32_t index, const KeyHash& key,
+                           std::span<const std::byte> value,
+                           std::uint32_t arena_off) {
+  auto raw = bucket(index);
+  std::memcpy(raw.data(), &key.hi, 8);
+  std::memcpy(raw.data() + 8, &key.lo, 8);
+  auto len = static_cast<std::uint32_t>(value.size());
+  std::memcpy(raw.data() + 16, &len, 4);
+  if (cfg_.mode == ValueMode::kInline) {
+    if (!value.empty()) std::memcpy(raw.data() + 20, value.data(), len);
+  } else {
+    std::memcpy(raw.data() + 20, &arena_off, 4);
+  }
+}
+
+bool HopscotchTable::insert(const KeyHash& key,
+                            std::span<const std::byte> value) {
+  ++stats_.inserts;
+  if (cfg_.mode == ValueMode::kInline &&
+      value.size() > cfg_.inline_value_capacity) {
+    ++stats_.insert_failures;
+    return false;
+  }
+  std::uint32_t arena_off = 0;
+  if (cfg_.mode == ValueMode::kOutOfTable) {
+    if (arena_head_ + value.size() > arena_.size()) {
+      ++stats_.insert_failures;
+      return false;
+    }
+    arena_off = static_cast<std::uint32_t>(arena_head_);
+    if (!value.empty()) {
+      std::memcpy(arena_.data() + arena_head_, value.data(), value.size());
+    }
+    arena_head_ += (value.size() + 7) & ~std::size_t{7};
+  }
+
+  std::uint32_t home = home_index(key);
+
+  // Overwrite within the neighborhood if present.
+  for (std::uint32_t i = 0; i < kNeighborhood; ++i) {
+    if (bucket_key(home + i) == key) {
+      store(home + i, key, value, arena_off);
+      return true;
+    }
+  }
+
+  // Find the first empty slot by linear probing.
+  std::uint32_t slot = home;
+  std::uint32_t limit = std::min(home + cfg_.max_probe, total_buckets());
+  while (slot < limit && !bucket_key(slot).is_zero()) ++slot;
+  if (slot >= limit) {
+    ++stats_.insert_failures;
+    return false;
+  }
+
+  // Hop the empty slot back toward the neighborhood.
+  while (slot >= home + kNeighborhood) {
+    bool moved = false;
+    // Candidates: occupants of [slot - H + 1, slot) whose own neighborhood
+    // still covers `slot`.
+    for (std::uint32_t j = slot - kNeighborhood + 1; j < slot; ++j) {
+      KeyHash occupant = bucket_key(j);
+      if (occupant.is_zero()) continue;
+      std::uint32_t occ_home = home_index(occupant);
+      if (occ_home + kNeighborhood > slot) {
+        // Move occupant j -> slot; j becomes the new empty slot.
+        auto src = bucket(j);
+        auto dst = bucket(slot);
+        std::memcpy(dst.data(), src.data(), bucket_stride());
+        std::memset(src.data(), 0, bucket_stride());
+        slot = j;
+        ++stats_.displacements;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) {
+      ++stats_.insert_failures;
+      return false;  // neighborhood full and nothing can hop
+    }
+  }
+
+  store(slot, key, value, arena_off);
+  return true;
+}
+
+HopscotchTable::GetResult HopscotchTable::get(const KeyHash& key,
+                                              std::span<std::byte> out) {
+  ++stats_.gets;
+  GetResult r;
+  std::uint32_t home = home_index(key);
+  auto hit = scan_neighborhood(
+      buckets_.subspan(std::uint64_t{home} * bucket_stride(),
+                       neighborhood_bytes()),
+      key);
+  if (!hit) return r;
+  r.found = true;
+  r.value_len = hit->value_len;
+  if (hit->value_len > out.size()) {
+    throw std::length_error("HopscotchTable::get: buffer too small");
+  }
+  if (cfg_.mode == ValueMode::kInline) {
+    std::memcpy(out.data(), hit->inline_value.data(), hit->value_len);
+  } else {
+    std::memcpy(out.data(), arena_.data() + hit->arena_offset,
+                hit->value_len);
+  }
+  return r;
+}
+
+bool HopscotchTable::erase(const KeyHash& key) {
+  std::uint32_t home = home_index(key);
+  for (std::uint32_t i = 0; i < kNeighborhood; ++i) {
+    if (bucket_key(home + i) == key) {
+      std::memset(bucket(home + i).data(), 0, bucket_stride());
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<HopscotchTable::RemoteHit> HopscotchTable::scan_neighborhood(
+    std::span<const std::byte> raw, const KeyHash& key) const {
+  std::uint32_t stride = bucket_stride();
+  if (raw.size() < neighborhood_bytes()) return std::nullopt;
+  for (std::uint32_t i = 0; i < kNeighborhood; ++i) {
+    const std::byte* p = raw.data() + std::size_t{i} * stride;
+    KeyHash k;
+    std::memcpy(&k.hi, p, 8);
+    std::memcpy(&k.lo, p + 8, 8);
+    if (!(k == key)) continue;
+    RemoteHit hit;
+    std::memcpy(&hit.value_len, p + 16, 4);
+    if (cfg_.mode == ValueMode::kInline) {
+      hit.inline_value = raw.subspan(std::size_t{i} * stride + 20,
+                                     hit.value_len);
+    } else {
+      std::memcpy(&hit.arena_offset, p + 20, 4);
+    }
+    return hit;
+  }
+  return std::nullopt;
+}
+
+}  // namespace herd::kv

@@ -1,0 +1,115 @@
+// FaRM-KV's locality-aware hopscotch hash table (§2.3, §5.1.2).
+//
+// "FaRM-KV uses a variant of Hopscotch hashing to locate a key in
+//  approximately one READ. Its algorithm guarantees that a key-value pair is
+//  stored in a small neighborhood of the bucket that the key hashes to...
+//  its authors set it to 6."
+//
+// A GET therefore READs the H consecutive buckets of the key's neighborhood
+// in one go: 6 * (SK + SV) bytes with inline values, or 6 * (SK + SP)
+// followed by a second READ of the value in out-of-table ("VAR") mode.
+//
+// Backed by caller-provided memory so it can be registered for RDMA and read
+// remotely. The table allocates H - 1 spill buckets past the end so a
+// neighborhood never wraps (one contiguous remote READ suffices).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "kv/keyhash.hpp"
+
+namespace herd::kv {
+
+class HopscotchTable {
+ public:
+  static constexpr std::uint32_t kNeighborhood = 6;  // FaRM's H
+
+  enum class ValueMode : std::uint8_t {
+    kInline,      // value stored in the bucket (FaRM-em)
+    kOutOfTable,  // bucket stores a pointer into a value arena (FaRM-em-VAR)
+  };
+
+  struct Config {
+    std::uint32_t n_buckets = 1u << 16;
+    /// Inline mode: fixed value capacity per bucket (FaRM inlines only
+    /// "small, fixed-size key-value pairs").
+    std::uint32_t inline_value_capacity = 32;
+    ValueMode mode = ValueMode::kInline;
+    std::uint64_t seed = 11;
+    /// Bound on the displacement search during insert.
+    std::uint32_t max_probe = 512;
+  };
+
+  struct Stats {
+    std::uint64_t inserts = 0;
+    std::uint64_t insert_failures = 0;
+    std::uint64_t displacements = 0;
+    std::uint64_t gets = 0;
+  };
+
+  /// Bucket layout:
+  ///   [0]  key.hi (8; 0 = empty)
+  ///   [8]  key.lo (8)
+  ///   [16] vlen   (4)
+  ///   inline mode:      [20] value bytes (capacity cfg.inline_value_capacity)
+  ///   out-of-table:     [20] arena offset (4)
+  std::uint32_t bucket_stride() const;
+  static std::size_t bucket_mem_bytes(const Config& cfg);
+
+  /// `arena` is required (and used) only in out-of-table mode.
+  HopscotchTable(std::span<std::byte> bucket_mem, std::span<std::byte> arena,
+                 const Config& cfg);
+
+  bool insert(const KeyHash& key, std::span<const std::byte> value);
+
+  struct GetResult {
+    bool found = false;
+    std::uint32_t value_len = 0;
+  };
+  GetResult get(const KeyHash& key, std::span<std::byte> out);
+
+  bool erase(const KeyHash& key);
+
+  /// Byte offset of the key's home bucket; a remote GET READs
+  /// neighborhood_bytes() from here.
+  std::uint64_t home_offset(const KeyHash& key) const;
+  std::uint32_t neighborhood_bytes() const {
+    return kNeighborhood * bucket_stride();
+  }
+
+  /// Client-side: scans a fetched neighborhood for `key`. Returns the
+  /// matching bucket's view. In inline mode `inline_value` points into
+  /// `raw`; in out-of-table mode `arena_offset`/`value_len` locate the
+  /// second READ.
+  struct RemoteHit {
+    std::uint32_t value_len = 0;
+    std::uint32_t arena_offset = 0;
+    std::span<const std::byte> inline_value{};
+  };
+  std::optional<RemoteHit> scan_neighborhood(std::span<const std::byte> raw,
+                                             const KeyHash& key) const;
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  std::span<std::byte> bucket(std::uint32_t index);
+  std::span<const std::byte> bucket(std::uint32_t index) const;
+  std::uint32_t home_index(const KeyHash& key) const;
+  KeyHash bucket_key(std::uint32_t index) const;
+  void store(std::uint32_t index, const KeyHash& key,
+             std::span<const std::byte> value, std::uint32_t arena_off);
+  std::uint32_t total_buckets() const {
+    return cfg_.n_buckets + kNeighborhood - 1;
+  }
+
+  std::span<std::byte> buckets_;
+  std::span<std::byte> arena_;
+  Config cfg_;
+  std::size_t arena_head_ = 0;
+  Stats stats_;
+};
+
+}  // namespace herd::kv

@@ -1,0 +1,99 @@
+// MICA-style key-value cache: lossy associative index + circular log (§4.1).
+//
+// "MICA uses a lossy index to map keys to pointers, and stores the actual
+//  values in a circular log. On insertion, items can be evicted from the
+//  index (thereby making the index lossy), or from the log in a FIFO order."
+//
+// GETs take at most two random memory accesses (index bucket, then log
+// entry); PUTs take one (the bucket) plus a sequential log append — the
+// access counts HERD's prefetch pipeline is built around.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kv/keyhash.hpp"
+
+namespace herd::kv {
+
+class MicaCache {
+ public:
+  struct Config {
+    /// log2 of the number of index buckets (each bucket holds kAssoc ways).
+    /// The paper uses an index for 64 Mi keys; defaults here are scaled to
+    /// laptop memory and configurable.
+    std::uint32_t bucket_count_log2 = 16;
+    /// Circular log capacity in bytes (paper: 4 GB per server process).
+    std::size_t log_bytes = 16u << 20;
+    std::uint64_t seed = 1;
+  };
+
+  struct Stats {
+    std::uint64_t gets = 0;
+    std::uint64_t get_hits = 0;
+    std::uint64_t get_misses = 0;       // not in index
+    std::uint64_t get_stale = 0;        // index entry outlived by log FIFO
+    std::uint64_t puts = 0;
+    std::uint64_t index_evictions = 0;  // lossy-index way replacement
+    std::uint64_t log_wraps = 0;
+  };
+
+  struct GetResult {
+    bool found = false;
+    std::uint32_t value_len = 0;
+    /// Random DRAM accesses the operation performed (for CPU modeling).
+    std::uint8_t accesses = 0;
+  };
+
+  struct PutResult {
+    bool evicted = false;
+    std::uint8_t accesses = 0;
+  };
+
+  explicit MicaCache(const Config& cfg);
+
+  /// Looks up `key`; on hit, copies the value into `out` (must be large
+  /// enough) and reports its length.
+  GetResult get(const KeyHash& key, std::span<std::byte> out);
+
+  /// Inserts/overwrites `key`. Values up to kMaxValue bytes.
+  PutResult put(const KeyHash& key, std::span<const std::byte> value);
+
+  /// Removes `key` from the index (DELETE). Returns true if it was present.
+  bool erase(const KeyHash& key);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t log_capacity() const { return log_.size(); }
+  std::uint64_t log_head() const { return log_head_; }
+
+  static constexpr std::uint32_t kMaxValue = 1024;  // HERD items are <= 1 KB
+  static constexpr std::uint32_t kAssoc = 8;
+
+ private:
+  struct IndexEntry {
+    std::uint64_t tag = 0;      // keyhash.hi; 0 = empty way
+    std::uint64_t offset = 0;   // monotonic log offset of the entry
+  };
+  struct Bucket {
+    IndexEntry ways[kAssoc];
+  };
+
+  // Log entry layout: [KeyHash (16)] [value_len (4)] [value bytes] padded to
+  // 8-byte alignment; entries never straddle the wrap boundary.
+  static constexpr std::size_t kEntryHeader = kKeyHashBytes + 4;
+
+  Bucket& bucket_for(const KeyHash& key);
+  bool offset_live(std::uint64_t offset, std::size_t entry_bytes) const;
+  std::uint64_t append_log(const KeyHash& key,
+                           std::span<const std::byte> value);
+
+  Config cfg_;
+  std::vector<Bucket> buckets_;
+  std::vector<std::byte> log_;
+  std::uint64_t log_head_ = 0;  // monotonic; head % size = write position
+  Stats stats_;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace herd::kv

@@ -1,0 +1,398 @@
+#include "microbench/throughput.hpp"
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/core.hpp"
+#include "sim/rng.hpp"
+#include "verbs/verbs.hpp"
+
+namespace herd::microbench {
+
+namespace {
+
+/// Keeps `window` verbs outstanding with selective signaling: every
+/// `signal_every`-th verb is signaled; each signaled completion replenishes
+/// a batch. Posting charges the issuing core (the userland driver work).
+class WindowPump {
+ public:
+  using PostFn = std::function<void(bool signaled)>;
+
+  WindowPump(sim::Engine& eng, cluster::SequentialCore& core, verbs::Cq& cq,
+             const TputSpec& spec, sim::Tick post_cost, PostFn post)
+      : eng_(&eng),
+        core_(&core),
+        cq_(&cq),
+        spec_(spec),
+        post_cost_(post_cost),
+        post_(std::move(post)) {
+    cq_->set_notify([this]() { on_cq(); });
+  }
+
+  void start() { post_batch(spec_.window); }
+
+ private:
+  void post_batch(std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      core_->run(post_cost_, [this]() {
+        ++seq_;
+        post_(seq_ % spec_.signal_every == 0);
+      });
+    }
+  }
+
+  void on_cq() {
+    verbs::Wc wc;
+    while (cq_->poll({&wc, 1}) == 1) {
+      post_batch(spec_.signal_every);
+    }
+  }
+
+  sim::Engine* eng_;
+  cluster::SequentialCore* core_;
+  verbs::Cq* cq_;
+  TputSpec spec_;
+  sim::Tick post_cost_;
+  PostFn post_;
+  std::uint64_t seq_ = 0;
+};
+
+/// One requester process: core + CQs + its QPs + buffers + pump.
+struct Requester {
+  std::unique_ptr<cluster::SequentialCore> core;
+  std::unique_ptr<verbs::Cq> scq;
+  std::unique_ptr<verbs::Cq> rcq;
+  std::vector<std::unique_ptr<verbs::Qp>> qps;
+  verbs::Mr mr{};
+  sim::Pcg32 rng{3, 5};
+  std::unique_ptr<WindowPump> pump;
+};
+
+TputSpec normalized(TputSpec spec) {
+  if (spec.opcode == verbs::Opcode::kRead) {
+    spec.signal_every = 1;  // READs need completions; cap the window at the
+    spec.window = std::min(spec.window, 16u);  // RNIC's outstanding limit
+  }
+  return spec;
+}
+
+/// Builds the SendWr a requester posts toward (remote_mr, target_offset).
+verbs::SendWr make_wr(const TputSpec& spec, const verbs::Mr& local,
+                      const verbs::Mr& remote, std::uint64_t target_off,
+                      bool signaled) {
+  verbs::SendWr wr;
+  wr.opcode = spec.opcode;
+  wr.sge = {local.addr, spec.payload, local.lkey};
+  wr.remote_addr = remote.addr + target_off;
+  wr.rkey = remote.rkey;
+  wr.inline_data = spec.inlined && spec.opcode != verbs::Opcode::kRead;
+  wr.signaled = signaled;
+  return wr;
+}
+
+double measure_rate(cluster::Cluster& cl, const std::uint64_t& counter,
+                    sim::Tick measure) {
+  auto& eng = cl.engine();
+  eng.run_until(eng.now() + sim::ms(1));  // warm-up
+  std::uint64_t before = counter;
+  sim::Tick start = eng.now();
+  eng.run_until(start + measure);
+  return static_cast<double>(counter - before) / sim::to_sec(measure) / 1e6;
+}
+
+}  // namespace
+
+double inbound_tput(const cluster::ClusterConfig& cfg, const TputSpec& spec_in,
+                    std::uint32_t n_clients, sim::Tick measure) {
+  TputSpec spec = normalized(spec_in);
+  cluster::Cluster cl(cfg, 1 + n_clients, 1u << 20);
+  auto& server = cl.host(0);
+  auto server_cq = server.ctx().create_cq();
+  auto smr = server.ctx().register_mr(
+      0, 1u << 20, {.remote_write = true, .remote_read = true});
+
+  std::vector<std::unique_ptr<verbs::Qp>> server_qps;
+  std::vector<Requester> reqs(n_clients);
+  for (std::uint32_t i = 0; i < n_clients; ++i) {
+    Requester& r = reqs[i];
+    auto& host = cl.host(1 + i);
+    r.core = std::make_unique<cluster::SequentialCore>(cl.engine(), "c");
+    r.scq = host.ctx().create_cq();
+    r.rcq = host.ctx().create_cq();
+    r.mr = host.ctx().register_mr(0, 8192, {});
+    auto cqp = host.ctx().create_qp({spec.transport, r.scq.get(), r.rcq.get()});
+    auto sqp = server.ctx().create_qp(
+        {spec.transport, server_cq.get(), server_cq.get()});
+    cqp->connect(*sqp);
+    r.qps.push_back(std::move(cqp));
+    server_qps.push_back(std::move(sqp));
+
+    std::uint64_t target = std::uint64_t{i} * 4096;
+    verbs::Qp* qp = r.qps[0].get();
+    r.pump = std::make_unique<WindowPump>(
+        cl.engine(), *r.core, *r.scq, spec, cfg.cpu.post_send,
+        [qp, spec, &r, smr, target](bool signaled) {
+          qp->post_send(make_wr(spec, r.mr, smr, target, signaled));
+        });
+  }
+  for (auto& r : reqs) r.pump->start();
+  return measure_rate(cl, server.rnic().counters().rx_ops, measure);
+}
+
+double outbound_tput(const cluster::ClusterConfig& cfg,
+                     const TputSpec& spec_in, std::uint32_t n_procs,
+                     sim::Tick measure) {
+  TputSpec spec = normalized(spec_in);
+  cluster::Cluster cl(cfg, 1 + n_procs, 1u << 20);
+  auto& server = cl.host(0);
+
+  struct ClientSide {
+    std::unique_ptr<verbs::Cq> cq;
+    std::unique_ptr<verbs::Qp> qp;
+    verbs::Mr mr{};
+  };
+  std::vector<ClientSide> clients(n_procs);
+  std::vector<Requester> procs(n_procs);
+
+  for (std::uint32_t i = 0; i < n_procs; ++i) {
+    auto& chost = cl.host(1 + i);
+    ClientSide& cs = clients[i];
+    cs.cq = chost.ctx().create_cq();
+    cs.mr = chost.ctx().register_mr(
+        0, 1u << 20, {.remote_write = true, .remote_read = true});
+
+    Requester& r = procs[i];
+    r.core = std::make_unique<cluster::SequentialCore>(cl.engine(), "p");
+    r.scq = server.ctx().create_cq();
+    r.rcq = server.ctx().create_cq();
+    r.mr = server.ctx().register_mr(std::uint64_t{i} * 8192, 8192, {});
+
+    if (spec.transport == verbs::Transport::kUd) {
+      // UD SEND: receiver must keep RECVs posted.
+      cs.qp = chost.ctx().create_qp(
+          {verbs::Transport::kUd, cs.cq.get(), cs.cq.get()});
+      for (int k = 0; k < 256; ++k) {
+        cs.qp->post_recv({.wr_id = 0,
+                          .sge = {0, 4096, cs.mr.lkey}});
+      }
+      // Drain completions and repost (client CPU not modeled here:
+      // "client machines often perform enough other work", §4.3).
+      verbs::Qp* rq = cs.qp.get();
+      verbs::Mr cmr = cs.mr;
+      cs.cq->set_notify([rq, cmr, cq = cs.cq.get()]() {
+        verbs::Wc wc;
+        while (cq->poll({&wc, 1}) == 1) {
+          if (wc.opcode == verbs::WcOpcode::kRecv) {
+            rq->post_recv({.wr_id = 0, .sge = {0, 4096, cmr.lkey}});
+          }
+        }
+      });
+
+      auto ud = server.ctx().create_qp(
+          {verbs::Transport::kUd, r.scq.get(), r.rcq.get()});
+      verbs::Qp* uq = ud.get();
+      verbs::Ah ah{&chost.ctx(), rq->qpn()};
+      r.qps.push_back(std::move(ud));
+      r.pump = std::make_unique<WindowPump>(
+          cl.engine(), *r.core, *r.scq, spec, cfg.cpu.post_send,
+          [uq, spec, &r, ah](bool signaled) {
+            verbs::SendWr wr;
+            wr.opcode = verbs::Opcode::kSend;
+            wr.sge = {r.mr.addr, spec.payload, r.mr.lkey};
+            wr.inline_data = spec.inlined;
+            wr.signaled = signaled;
+            wr.ah = ah;
+            uq->post_send(wr);
+          });
+    } else {
+      cs.qp = chost.ctx().create_qp(
+          {spec.transport, cs.cq.get(), cs.cq.get()});
+      auto sqp = server.ctx().create_qp(
+          {spec.transport, r.scq.get(), r.rcq.get()});
+      sqp->connect(*cs.qp);
+      verbs::Qp* qp = sqp.get();
+      verbs::Mr cmr = cs.mr;
+      r.qps.push_back(std::move(sqp));
+      r.pump = std::make_unique<WindowPump>(
+          cl.engine(), *r.core, *r.scq, spec, cfg.cpu.post_send,
+          [qp, spec, &r, cmr](bool signaled) {
+            qp->post_send(make_wr(spec, r.mr, cmr, 0, signaled));
+          });
+    }
+  }
+  for (auto& r : procs) r.pump->start();
+  return measure_rate(cl, server.rnic().counters().tx_ops, measure);
+}
+
+double all_to_all_inbound(const cluster::ClusterConfig& cfg,
+                          const TputSpec& spec_in, std::uint32_t n,
+                          sim::Tick measure) {
+  TputSpec spec = normalized(spec_in);
+  cluster::Cluster cl(cfg, 1 + n, 4u << 20);
+  auto& server = cl.host(0);
+  auto server_cq = server.ctx().create_cq();
+  auto smr = server.ctx().register_mr(
+      0, 4u << 20, {.remote_write = true, .remote_read = true});
+
+  std::vector<std::unique_ptr<verbs::Qp>> server_qps;
+  std::vector<Requester> reqs(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Requester& r = reqs[i];
+    auto& host = cl.host(1 + i);
+    r.core = std::make_unique<cluster::SequentialCore>(cl.engine(), "c");
+    r.scq = host.ctx().create_cq();
+    r.rcq = host.ctx().create_cq();
+    r.mr = host.ctx().register_mr(0, 8192, {});
+    r.rng = sim::Pcg32(17 + i, 23);
+    // One QP to each of the N "server processes" (N*N QPs total at MS).
+    for (std::uint32_t j = 0; j < n; ++j) {
+      auto cqp = host.ctx().create_qp(
+          {spec.transport, r.scq.get(), r.rcq.get()});
+      auto sqp = server.ctx().create_qp(
+          {spec.transport, server_cq.get(), server_cq.get()});
+      cqp->connect(*sqp);
+      r.qps.push_back(std::move(cqp));
+      server_qps.push_back(std::move(sqp));
+    }
+    r.pump = std::make_unique<WindowPump>(
+        cl.engine(), *r.core, *r.scq, spec, cfg.cpu.post_send,
+        [&r, spec, smr, i, n](bool signaled) {
+          std::uint32_t j = r.rng.next_below(n);
+          std::uint64_t target = (std::uint64_t{i} * n + j) * 256;
+          r.qps[j]->post_send(make_wr(spec, r.mr, smr, target, signaled));
+        });
+  }
+  for (auto& r : reqs) r.pump->start();
+  return measure_rate(cl, server.rnic().counters().rx_ops, measure);
+}
+
+double all_to_all_outbound(const cluster::ClusterConfig& cfg,
+                           const TputSpec& spec_in, std::uint32_t n,
+                           sim::Tick measure) {
+  TputSpec spec = normalized(spec_in);
+  cluster::Cluster cl(cfg, 1 + n, 4u << 20);
+  auto& server = cl.host(0);
+
+  struct ClientSide {
+    std::unique_ptr<verbs::Cq> cq;
+    std::vector<std::unique_ptr<verbs::Qp>> qps;  // peers of server procs
+    std::unique_ptr<verbs::Qp> ud;
+    verbs::Mr mr{};
+  };
+  std::vector<ClientSide> clients(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto& chost = cl.host(1 + i);
+    clients[i].cq = chost.ctx().create_cq();
+    clients[i].mr = chost.ctx().register_mr(
+        0, 1u << 20, {.remote_write = true, .remote_read = true});
+    if (spec.transport == verbs::Transport::kUd) {
+      auto& cs = clients[i];
+      cs.ud = chost.ctx().create_qp(
+          {verbs::Transport::kUd, cs.cq.get(), cs.cq.get()});
+      for (int k = 0; k < 512; ++k) {
+        cs.ud->post_recv({.wr_id = 0, .sge = {0, 4096, cs.mr.lkey}});
+      }
+      cs.cq->set_notify([&cs]() {
+        verbs::Wc wc;
+        while (cs.cq->poll({&wc, 1}) == 1) {
+          if (wc.opcode == verbs::WcOpcode::kRecv) {
+            cs.ud->post_recv({.wr_id = 0, .sge = {0, 4096, cs.mr.lkey}});
+          }
+        }
+      });
+    }
+  }
+
+  std::vector<Requester> procs(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    Requester& r = procs[s];
+    r.core = std::make_unique<cluster::SequentialCore>(cl.engine(), "p");
+    r.scq = server.ctx().create_cq();
+    r.rcq = server.ctx().create_cq();
+    r.mr = server.ctx().register_mr(std::uint64_t{s} * 8192, 8192, {});
+    r.rng = sim::Pcg32(37 + s, 41);
+
+    if (spec.transport == verbs::Transport::kUd) {
+      auto ud = server.ctx().create_qp(
+          {verbs::Transport::kUd, r.scq.get(), r.rcq.get()});
+      verbs::Qp* uq = ud.get();
+      r.qps.push_back(std::move(ud));
+      r.pump = std::make_unique<WindowPump>(
+          cl.engine(), *r.core, *r.scq, spec, cfg.cpu.post_send,
+          [&r, uq, spec, &clients, &cl, n](bool signaled) {
+            std::uint32_t j = r.rng.next_below(n);
+            verbs::SendWr wr;
+            wr.opcode = verbs::Opcode::kSend;
+            wr.sge = {r.mr.addr, spec.payload, r.mr.lkey};
+            wr.inline_data = spec.inlined;
+            wr.signaled = signaled;
+            wr.ah = verbs::Ah{&cl.host(1 + j).ctx(), clients[j].ud->qpn()};
+            uq->post_send(wr);
+          });
+    } else {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        auto sqp = server.ctx().create_qp(
+            {spec.transport, r.scq.get(), r.rcq.get()});
+        auto cqp = cl.host(1 + j).ctx().create_qp(
+            {spec.transport, clients[j].cq.get(), clients[j].cq.get()});
+        sqp->connect(*cqp);
+        r.qps.push_back(std::move(sqp));
+        clients[j].qps.push_back(std::move(cqp));
+      }
+      r.pump = std::make_unique<WindowPump>(
+          cl.engine(), *r.core, *r.scq, spec, cfg.cpu.post_send,
+          [&r, spec, &clients, s, n](bool signaled) {
+            std::uint32_t j = r.rng.next_below(n);
+            std::uint64_t target = std::uint64_t{s} * 256;
+            r.qps[j]->post_send(
+                make_wr(spec, r.mr, clients[j].mr, target, signaled));
+          });
+    }
+  }
+  for (auto& r : procs) r.pump->start();
+  return measure_rate(cl, server.rnic().counters().tx_ops, measure);
+}
+
+double many_to_one_tput(const cluster::ClusterConfig& cfg,
+                        const TputSpec& spec_in, std::uint32_t n_processes,
+                        std::uint32_t n_machines, sim::Tick measure) {
+  TputSpec spec = normalized(spec_in);
+  std::uint64_t server_mem = std::uint64_t{n_processes} * 256 + 4096;
+  cluster::Cluster cl(cfg, 1 + n_machines, std::max<std::uint64_t>(
+                                               server_mem, 1u << 20));
+  auto& server = cl.host(0);
+  auto server_cq = server.ctx().create_cq();
+  auto smr = server.ctx().register_mr(0, server_mem, {.remote_write = true});
+
+  std::vector<std::unique_ptr<verbs::Qp>> server_qps;
+  std::vector<Requester> reqs(n_processes);
+  for (std::uint32_t i = 0; i < n_processes; ++i) {
+    Requester& r = reqs[i];
+    auto& host = cl.host(1 + i % n_machines);
+    r.core = std::make_unique<cluster::SequentialCore>(cl.engine(), "c");
+    r.scq = host.ctx().create_cq();
+    r.rcq = host.ctx().create_cq();
+    r.mr = host.ctx().register_mr((i / n_machines) * 512 % (1u << 19), 512,
+                                  {});
+    auto cqp = host.ctx().create_qp(
+        {spec.transport, r.scq.get(), r.rcq.get()});
+    auto sqp = server.ctx().create_qp(
+        {spec.transport, server_cq.get(), server_cq.get()});
+    cqp->connect(*sqp);
+    r.qps.push_back(std::move(cqp));
+    server_qps.push_back(std::move(sqp));
+    std::uint64_t target = std::uint64_t{i} * 256;
+    verbs::Qp* qp = r.qps[0].get();
+    r.pump = std::make_unique<WindowPump>(
+        cl.engine(), *r.core, *r.scq, spec, cfg.cpu.post_send,
+        [qp, spec, &r, smr, target](bool signaled) {
+          qp->post_send(make_wr(spec, r.mr, smr, target, signaled));
+        });
+  }
+  for (auto& r : reqs) r.pump->start();
+  return measure_rate(cl, server.rnic().counters().rx_ops, measure);
+}
+
+}  // namespace herd::microbench

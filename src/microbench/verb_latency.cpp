@@ -1,0 +1,152 @@
+#include "microbench/verb_latency.hpp"
+
+#include <memory>
+
+#include "sim/stats.hpp"
+#include "verbs/verbs.hpp"
+
+namespace herd::microbench {
+
+namespace {
+
+/// Ping-pong driver for one signaled verb type.
+double signaled_latency(cluster::Cluster& cl, verbs::Opcode opcode,
+                        bool inlined, std::uint32_t payload,
+                        std::uint32_t iters) {
+  auto& client = cl.host(0);
+  auto& server = cl.host(1);
+  auto scq = client.ctx().create_cq();
+  auto rcq = client.ctx().create_cq();
+  auto dcq = server.ctx().create_cq();
+  auto cqp = client.ctx().create_qp(
+      {verbs::Transport::kRc, scq.get(), rcq.get()});
+  auto sqp = server.ctx().create_qp(
+      {verbs::Transport::kRc, dcq.get(), dcq.get()});
+  cqp->connect(*sqp);
+
+  auto cmr = client.ctx().register_mr(0, 8192, {});
+  auto smr = server.ctx().register_mr(
+      0, 8192, {.remote_write = true, .remote_read = true});
+
+  sim::LatencyHistogram hist;
+  auto& eng = cl.engine();
+  sim::Tick posted = 0;
+  std::uint32_t remaining = iters;
+
+  std::function<void()> post = [&]() {
+    verbs::SendWr wr;
+    wr.opcode = opcode;
+    wr.sge = {cmr.addr, payload, cmr.lkey};
+    wr.remote_addr = smr.addr;
+    wr.rkey = smr.rkey;
+    wr.inline_data = inlined;
+    wr.signaled = true;
+    posted = eng.now();
+    cqp->post_send(wr);
+  };
+  scq->set_notify([&]() {
+    verbs::Wc wc;
+    while (scq->poll({&wc, 1}) == 1) {
+      hist.record(eng.now() - posted);
+      if (--remaining > 0) {
+        // Small think time so consecutive ops don't overlap.
+        eng.schedule_after(sim::ns(100), post);
+      }
+    }
+  });
+  post();
+  eng.run();
+  return hist.mean_ns() / 1e3;
+}
+
+/// Inlined + unsignaled WRITE echo over RC (Fig. 2a's "WR-I, RC (ECHO)").
+double echo_latency(cluster::Cluster& cl, std::uint32_t payload,
+                    std::uint32_t iters) {
+  auto& client = cl.host(0);
+  auto& server = cl.host(1);
+  auto ccq = client.ctx().create_cq();
+  auto scq = server.ctx().create_cq();
+  auto cqp = client.ctx().create_qp(
+      {verbs::Transport::kRc, ccq.get(), ccq.get()});
+  auto sqp = server.ctx().create_qp(
+      {verbs::Transport::kRc, scq.get(), scq.get()});
+  cqp->connect(*sqp);
+
+  auto cmr = client.ctx().register_mr(0, 8192, {.remote_write = true});
+  auto smr = server.ctx().register_mr(0, 8192, {.remote_write = true});
+
+  auto& eng = cl.engine();
+  sim::LatencyHistogram hist;
+  sim::Tick posted = 0;
+  std::uint32_t remaining = iters;
+
+  // The echo server busy-polls the incoming buffer and relays it back with
+  // an unsignaled inlined WRITE; a tight single-location poll loop detects
+  // within ~one iteration.
+  const auto& cpu = cl.config().cpu;
+  server.memory().add_watch(0, payload, [&](std::uint64_t, std::uint32_t) {
+    eng.schedule_after(cpu.poll_iteration + cpu.post_send, [&]() {
+      verbs::SendWr wr;
+      wr.opcode = verbs::Opcode::kWrite;
+      wr.sge = {smr.addr, payload, smr.lkey};
+      wr.remote_addr = cmr.addr + 4096;
+      wr.rkey = cmr.rkey;
+      wr.inline_data = true;
+      wr.signaled = false;
+      sqp->post_send(wr);
+    });
+  });
+
+  std::function<void()> post = [&]() {
+    verbs::SendWr wr;
+    wr.opcode = verbs::Opcode::kWrite;
+    wr.sge = {cmr.addr, payload, cmr.lkey};
+    wr.remote_addr = smr.addr;
+    wr.rkey = smr.rkey;
+    wr.inline_data = true;
+    wr.signaled = false;
+    posted = eng.now();
+    cqp->post_send(wr);
+  };
+  client.memory().add_watch(4096, payload,
+                            [&](std::uint64_t, std::uint32_t) {
+                              hist.record(eng.now() - posted);
+                              if (--remaining > 0) {
+                                eng.schedule_after(sim::ns(100), post);
+                              }
+                            });
+  post();
+  eng.run();
+  return hist.mean_ns() / 1e3;
+}
+
+}  // namespace
+
+LatencyResult verb_latency(const cluster::ClusterConfig& cfg,
+                           std::uint32_t payload, std::uint32_t iters) {
+  LatencyResult r;
+  {
+    cluster::Cluster cl(cfg, 2, 64 << 10);
+    r.read_us = signaled_latency(cl, verbs::Opcode::kRead, false, payload,
+                                 iters);
+  }
+  {
+    cluster::Cluster cl(cfg, 2, 64 << 10);
+    r.write_us = signaled_latency(cl, verbs::Opcode::kWrite, false, payload,
+                                  iters);
+  }
+  if (payload <= cfg.rnic.max_inline) {
+    {
+      cluster::Cluster cl(cfg, 2, 64 << 10);
+      r.write_inline_us = signaled_latency(cl, verbs::Opcode::kWrite, true,
+                                           payload, iters);
+    }
+    {
+      cluster::Cluster cl(cfg, 2, 64 << 10);
+      r.echo_us = echo_latency(cl, payload, iters);
+    }
+  }
+  return r;
+}
+
+}  // namespace herd::microbench

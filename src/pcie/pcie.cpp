@@ -1,0 +1,31 @@
+#include "pcie/pcie.hpp"
+
+namespace herd::pcie {
+
+PcieConfig PcieConfig::gen3_x8() {
+  PcieConfig c;
+  c.pio_latency = sim::ns(120);
+  c.pio_per_cacheline = sim::ns(19.2);  // ~52 M cachelines/s
+  c.dma_read_latency = sim::ns(400);
+  c.dma_write_latency = sim::ns(300);
+  c.dma_read_per_op = sim::ns(15);
+  c.dma_write_per_op = sim::ns(10);
+  c.dma_read_gbps = 6.5;
+  c.dma_write_gbps = 6.5;
+  return c;
+}
+
+PcieConfig PcieConfig::gen2_x8() {
+  PcieConfig c;
+  c.pio_latency = sim::ns(160);
+  c.pio_per_cacheline = sim::ns(30);  // ~33 M cachelines/s
+  c.dma_read_latency = sim::ns(500);
+  c.dma_write_latency = sim::ns(380);
+  c.dma_read_per_op = sim::ns(20);
+  c.dma_write_per_op = sim::ns(14);
+  c.dma_read_gbps = 3.2;
+  c.dma_write_gbps = 3.2;
+  return c;
+}
+
+}  // namespace herd::pcie

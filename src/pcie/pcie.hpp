@@ -1,0 +1,114 @@
+// PCIe bus model: PIO (MMIO doorbell/WQE writes) and DMA engines.
+//
+// The paper's verb-level asymmetries are PCIe-level effects, so this model is
+// load-bearing for the reproduction:
+//  * PIO uses write-combining buffers — the CPU pushes whole cachelines, so
+//    an inlined WQE costs ceil(bytes/64) cacheline slots on the PIO path.
+//    This produces the paper's outbound-WRITE knee above 28-byte payloads
+//    (a WRITE WQE header is 36 B; 36 + 28 = one cacheline) and the earlier
+//    knee for UD SENDs (larger WQE) — Fig. 4b's sharp 64-byte-interval drops.
+//  * DMA reads are non-posted PCIe transactions (request + completion, state
+//    held until the completion returns); DMA writes are posted. Reads are
+//    therefore both slower (latency) and more expensive (occupancy) — one of
+//    the two reasons inbound WRITEs beat inbound READs (§3.2.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/time.hpp"
+
+namespace herd::pcie {
+
+struct PcieConfig {
+  /// One-way latency from the CPU's store to the device seeing the data.
+  sim::Tick pio_latency = sim::ns(120);
+  /// PIO path occupancy per 64-byte write-combining cacheline.
+  sim::Tick pio_per_cacheline = sim::ns(18.2);
+  /// Round-trip latency of a non-posted DMA read (device <- host memory).
+  sim::Tick dma_read_latency = sim::ns(400);
+  /// One-way latency of a posted DMA write (device -> host memory).
+  sim::Tick dma_write_latency = sim::ns(300);
+  /// Fixed per-transaction occupancy of the DMA engines.
+  sim::Tick dma_read_per_op = sim::ns(15);
+  sim::Tick dma_write_per_op = sim::ns(10);
+  /// DMA payload bandwidth (GB/s), shared per direction.
+  double dma_read_gbps = 6.5;
+  double dma_write_gbps = 6.5;
+
+  /// PCIe 3.0 x8 (the Apt cluster's ConnectX-3 attach).
+  static PcieConfig gen3_x8();
+  /// PCIe 2.0 x8 (the Susitna cluster): roughly half the PIO rate and half
+  /// the DMA bandwidth, slightly higher latencies. The paper notes that
+  /// Gen 2.0 "reduces the throughput of all compared systems".
+  static PcieConfig gen2_x8();
+};
+
+/// Per-host PCIe link with three contended paths: PIO, DMA-read, DMA-write.
+class PcieLink {
+ public:
+  PcieLink(sim::Engine& engine, const PcieConfig& cfg, std::string name)
+      : engine_(&engine),
+        cfg_(cfg),
+        pio_(engine, name + "/pio"),
+        dma_rd_(engine, name + "/dma_rd"),
+        dma_wr_(engine, name + "/dma_wr") {}
+
+  static constexpr std::uint32_t kCacheline = 64;
+
+  static std::uint32_t cachelines(std::uint32_t bytes) {
+    return (bytes + kCacheline - 1) / kCacheline;
+  }
+
+  /// CPU -> device MMIO write of `bytes` (a WQE, possibly with inlined
+  /// payload). Returns the tick at which the device has the data.
+  sim::Tick pio_write(std::uint32_t bytes) {
+    sim::Tick occ = static_cast<sim::Tick>(cachelines(bytes)) *
+                    cfg_.pio_per_cacheline;
+    return pio_.acquire(occ) + cfg_.pio_latency;
+  }
+
+  /// A DMA transaction: the engine is free to accept the next transaction at
+  /// `free` (occupancy end); the data is visible/available at `visible`
+  /// (occupancy + propagation latency). Chaining a second transaction of the
+  /// same op MUST start it at `free`, not `visible` — DMA engines pipeline
+  /// back-to-back posted writes; the PCIe ordering rules (not a stall)
+  /// guarantee the second lands after the first.
+  struct DmaResult {
+    sim::Tick free;
+    sim::Tick visible;
+  };
+
+  /// Device reads `bytes` from host memory (non-posted). `start` lets callers
+  /// chain from an earlier pipeline stage.
+  DmaResult dma_read(sim::Tick start, std::uint32_t bytes) {
+    sim::Tick occ =
+        cfg_.dma_read_per_op + sim::bytes_at_gbps(bytes, cfg_.dma_read_gbps);
+    sim::Tick free = dma_rd_.acquire_at(start, occ);
+    return {free, free + cfg_.dma_read_latency};
+  }
+
+  /// Device writes `bytes` to host memory (posted).
+  DmaResult dma_write(sim::Tick start, std::uint32_t bytes) {
+    sim::Tick occ =
+        cfg_.dma_write_per_op + sim::bytes_at_gbps(bytes, cfg_.dma_write_gbps);
+    sim::Tick free = dma_wr_.acquire_at(start, occ);
+    return {free, free + cfg_.dma_write_latency};
+  }
+
+  const PcieConfig& config() const { return cfg_; }
+  sim::Resource& pio_resource() { return pio_; }
+  sim::Resource& dma_read_resource() { return dma_rd_; }
+  sim::Resource& dma_write_resource() { return dma_wr_; }
+
+ private:
+  sim::Engine* engine_;
+  PcieConfig cfg_;
+  sim::Resource pio_;
+  sim::Resource dma_rd_;
+  sim::Resource dma_wr_;
+};
+
+}  // namespace herd::pcie

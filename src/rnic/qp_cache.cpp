@@ -1,0 +1,51 @@
+#include "rnic/qp_cache.hpp"
+
+namespace herd::rnic {
+
+void QpContextCache::maybe_expire() {
+  if (++touches_since_sweep_ < 4096) return;
+  touches_since_sweep_ = 0;
+  sim::Tick now = engine_->now();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_touch > cfg_.idle_expiry) {
+      live_weight_ -= it->second.weight;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool QpContextCache::touch(std::uint64_t key, double weight) {
+  maybe_expire();
+  sim::Tick now = engine_->now();
+  auto [it, inserted] = entries_.try_emplace(
+      key, Entry{weight, now, /*resident_until=*/0});
+  if (inserted) {
+    live_weight_ += weight;
+  } else if (it->second.weight != weight) {
+    live_weight_ += weight - it->second.weight;
+    it->second.weight = weight;
+  }
+  Entry& e = it->second;
+  bool was_resident = !inserted && now < e.resident_until;
+  e.last_touch = now;
+  e.resident_until = now + cfg_.residency;
+
+  bool hit;
+  if (was_resident || live_weight_ <= cfg_.capacity_units) {
+    hit = true;
+  } else {
+    // Random-replacement steady state: hit probability = capacity / workload.
+    double p_hit = cfg_.capacity_units / live_weight_;
+    hit = rng_.next_double() < p_hit;
+  }
+  if (hit) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return hit;
+}
+
+}  // namespace herd::rnic

@@ -1,0 +1,63 @@
+// QP-context SRAM cache model.
+//
+// RNICs keep per-QP state in a small on-chip cache; when the active working
+// set of QP contexts exceeds it, verbs start paying PCIe fetches (§3.3).
+// We model this statistically (random-replacement) rather than with an exact
+// LRU: a touch hits if the QP was touched within a short residency window
+// (so back-to-back bursts from one client pay at most one miss — the
+// window-size amortization of Fig. 12), otherwise it hits with probability
+// capacity / working-set, which yields the smooth degradation the paper
+// measures instead of an artificial all-or-nothing LRU cliff.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace herd::rnic {
+
+class QpContextCache {
+ public:
+  struct Config {
+    double capacity_units = 280;
+    sim::Tick residency = sim::ns(500);
+    sim::Tick idle_expiry = sim::us(100);
+  };
+
+  QpContextCache(sim::Engine& engine, const Config& cfg, std::uint64_t seed)
+      : engine_(&engine), cfg_(cfg), rng_(seed) {}
+
+  /// Records an access to context `key` occupying `weight` cache units.
+  /// Returns true on a hit.
+  bool touch(std::uint64_t key, double weight);
+
+  /// Sum of weights of contexts touched within the idle-expiry horizon.
+  double working_set() const { return live_weight_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void reset_stats() { hits_ = misses_ = 0; }
+
+ private:
+  struct Entry {
+    double weight;
+    sim::Tick last_touch;
+    sim::Tick resident_until;
+  };
+
+  void maybe_expire();
+
+  sim::Engine* engine_;
+  Config cfg_;
+  sim::Pcg32 rng_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  double live_weight_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t touches_since_sweep_ = 0;
+};
+
+}  // namespace herd::rnic

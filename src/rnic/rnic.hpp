@@ -1,0 +1,99 @@
+// RNIC device model: the contended hardware units one NIC provides.
+//
+// Verb execution flows live in the verbs layer (`verbs::Qp`); this class
+// owns the resources those flows contend on — TX/RX pipelines, the shared
+// dispatch stage, the QP-context cache — plus device counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rnic/calibration.hpp"
+#include "rnic/qp_cache.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace herd::rnic {
+
+/// Which side of a verb is touching its QP context.
+enum class Role : std::uint8_t { kRequester, kResponder };
+
+struct RnicCounters {
+  std::uint64_t tx_ops = 0;
+  std::uint64_t rx_ops = 0;
+  std::uint64_t retransmissions = 0;  // RC hardware retransmits (wire loss)
+  std::uint64_t rnr_drops = 0;        // SEND arrived with empty receive queue
+  std::uint64_t access_errors = 0;    // rkey/bounds failures
+  std::uint64_t dropped_packets = 0;  // UC/UD losses (errors without NAK)
+};
+
+class Rnic {
+ public:
+  Rnic(sim::Engine& engine, const RnicCalibration& cal, std::string name,
+       std::uint64_t seed)
+      : engine_(&engine),
+        cal_(cal),
+        tx_(engine, name + "/tx"),
+        rx_(engine, name + "/rx"),
+        dispatch_(engine, name + "/dispatch"),
+        cache_(engine,
+               QpContextCache::Config{cal.qp_cache_units, cal.cache_residency,
+                                      cal.cache_idle_expiry},
+               seed) {}
+
+  Rnic(const Rnic&) = delete;
+  Rnic& operator=(const Rnic&) = delete;
+
+  const RnicCalibration& cal() const { return cal_; }
+  sim::Resource& tx() { return tx_; }
+  sim::Resource& rx() { return rx_; }
+  sim::Resource& dispatch() { return dispatch_; }
+  RnicCounters& counters() { return counters_; }
+  const RnicCounters& counters() const { return counters_; }
+
+  /// Touches the context cache for (`qp_key`, role); returns the extra
+  /// pipeline occupancy this access costs (0 on hit).
+  sim::Tick context_penalty(std::uint64_t qp_key, Role role, double weight) {
+    std::uint64_t key = (qp_key << 1) | (role == Role::kResponder ? 1u : 0u);
+    if (cache_.touch(key, weight)) return 0;
+    return role == Role::kRequester ? cal_.miss_requester
+                                    : cal_.miss_responder;
+  }
+
+  /// Touches per-destination address/route state for a UD SEND. `dest_key`
+  /// identifies the remote (port, QPN).
+  sim::Tick destination_penalty(std::uint64_t dest_key) {
+    std::uint64_t key = 0x8000000000000000ULL | dest_key;
+    if (cache_.touch(key, cal_.weight_ud_dest)) return 0;
+    return cal_.miss_requester;
+  }
+
+  QpContextCache& cache() { return cache_; }
+
+  /// Outstanding-unsignaled-WQE pressure (§3.3). Returns the extra TX
+  /// occupancy while the device is over its comfortable limit.
+  void unsignaled_inc() { ++outstanding_unsignaled_; }
+  void unsignaled_dec() {
+    if (outstanding_unsignaled_ > 0) --outstanding_unsignaled_;
+  }
+  sim::Tick unsignaled_pressure() const {
+    return outstanding_unsignaled_ > cal_.unsignaled_threshold
+               ? cal_.unsignaled_penalty
+               : 0;
+  }
+  std::uint32_t outstanding_unsignaled() const {
+    return outstanding_unsignaled_;
+  }
+
+ private:
+  sim::Engine* engine_;
+  RnicCalibration cal_;
+  sim::Resource tx_;
+  sim::Resource rx_;
+  sim::Resource dispatch_;
+  QpContextCache cache_;
+  RnicCounters counters_;
+  std::uint32_t outstanding_unsignaled_ = 0;
+};
+
+}  // namespace herd::rnic

@@ -1,0 +1,53 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace herd::sim {
+
+void Engine::schedule_at(Tick t, Callback cb) {
+  if (t < now_) {
+    throw std::logic_error("Engine::schedule_at: time in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Engine::dispatch(Event e) {
+  now_ = e.t;
+  ++events_processed_;
+  e.cb();
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() returns const&; move out via const_cast is UB-free
+    // here because we immediately pop. Copy instead for clarity: callbacks can
+    // be heavy, so extract by moving from a mutable copy of top.
+    Event e = queue_.top();
+    queue_.pop();
+    dispatch(std::move(e));
+  }
+}
+
+std::uint64_t Engine::run_until(Tick t) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    Event e = queue_.top();
+    queue_.pop();
+    dispatch(std::move(e));
+    ++n;
+  }
+  if (t > now_) now_ = t;
+  return n;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.top();
+  queue_.pop();
+  dispatch(std::move(e));
+  return true;
+}
+
+}  // namespace herd::sim

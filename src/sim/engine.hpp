@@ -1,0 +1,72 @@
+// Discrete-event simulation engine.
+//
+// A single `Engine` owns the simulated clock and an event queue. Components
+// schedule callbacks at absolute or relative times; ties are broken by
+// insertion order, which makes every run fully deterministic for a given
+// seed and schedule of calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace herd::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Tick now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (>= now()).
+  void schedule_at(Tick t, Callback cb);
+
+  /// Schedules `cb` to run `delay` ticks from now.
+  void schedule_after(Tick delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with timestamp <= `t`, then sets now() = t.
+  /// Returns the number of events processed.
+  std::uint64_t run_until(Tick t);
+
+  /// Runs at most one event. Returns false if the queue was empty.
+  bool step();
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    Tick t;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event e);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace herd::sim

@@ -1,0 +1,82 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace herd::sim {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_((1u << kSubBits) +
+                   (static_cast<std::size_t>(kOctaves) << kSubBits),
+               0) {}
+
+std::size_t LatencyHistogram::bucket_index(Tick t) const {
+  constexpr std::size_t base = 1u << kSubBits;
+  if (t < base) return static_cast<std::size_t>(t);
+  // Values in [2^(kSubBits+o), 2^(kSubBits+o+1)) form octave o, split into
+  // 2^kSubBits linear sub-buckets by the bits below the leading one.
+  int msb = 63 - std::countl_zero(static_cast<std::uint64_t>(t));
+  auto octave = static_cast<std::size_t>(msb - kSubBits);
+  auto sub =
+      static_cast<std::size_t>(t >> (msb - kSubBits)) & (base - 1);
+  std::size_t idx = base + (octave << kSubBits) + sub;
+  return std::min(idx, buckets_.size() - 1);
+}
+
+Tick LatencyHistogram::bucket_upper(std::size_t idx) const {
+  constexpr std::size_t base = 1u << kSubBits;
+  if (idx < base) return static_cast<Tick>(idx);
+  std::size_t rel = idx - base;
+  std::size_t octave = rel >> kSubBits;
+  std::size_t sub = rel & (base - 1);
+  Tick lo = static_cast<Tick>(base) << octave;  // start of the octave
+  Tick width = lo >> kSubBits;                  // linear sub-bucket width
+  return lo + (static_cast<Tick>(sub) + 1) * width - 1;
+}
+
+void LatencyHistogram::record(Tick t) {
+  ++buckets_[bucket_index(t)];
+  ++count_;
+  min_ = std::min(min_, t);
+  max_ = std::max(max_, t);
+  sum_ns_ += to_ns(t);
+}
+
+void LatencyHistogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = std::numeric_limits<Tick>::max();
+  max_ = 0;
+  sum_ns_ = 0.0;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ns_ += other.sum_ns_;
+}
+
+double LatencyHistogram::mean_ns() const {
+  return count_ == 0 ? 0.0 : sum_ns_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::quantile_ns(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return to_ns(std::min(bucket_upper(i), max_));
+  }
+  return to_ns(max_);
+}
+
+}  // namespace herd::sim

@@ -1,0 +1,51 @@
+// Simulated-time primitives.
+//
+// All simulated time is kept in integer picoseconds. Integer ticks give
+// deterministic event ordering (no floating-point tie ambiguity) while a
+// picosecond granularity is fine enough to express sub-nanosecond pipeline
+// occupancies (e.g. a 35 Mops unit has a 28.57 ns service time) without
+// accumulating rounding drift over millions of operations.
+#pragma once
+
+#include <cstdint>
+
+namespace herd::sim {
+
+/// Simulated time or duration, in picoseconds.
+using Tick = std::uint64_t;
+
+inline constexpr Tick kTicksPerNs = 1000;
+
+/// Converts nanoseconds (possibly fractional) to ticks.
+constexpr Tick ns(double v) { return static_cast<Tick>(v * 1e3); }
+
+/// Converts microseconds to ticks.
+constexpr Tick us(double v) { return static_cast<Tick>(v * 1e6); }
+
+/// Converts milliseconds to ticks.
+constexpr Tick ms(double v) { return static_cast<Tick>(v * 1e9); }
+
+/// Converts seconds to ticks.
+constexpr Tick sec(double v) { return static_cast<Tick>(v * 1e12); }
+
+/// Converts ticks to (fractional) nanoseconds.
+constexpr double to_ns(Tick t) { return static_cast<double>(t) / 1e3; }
+
+/// Converts ticks to (fractional) microseconds.
+constexpr double to_us(Tick t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts ticks to (fractional) seconds.
+constexpr double to_sec(Tick t) { return static_cast<double>(t) / 1e12; }
+
+/// Service time (ticks per operation) of a unit that sustains `mops`
+/// million operations per second.
+constexpr Tick per_op_at_mops(double mops) {
+  return static_cast<Tick>(1e6 / mops);  // 1e12 ps/s / (mops * 1e6 op/s)
+}
+
+/// Transfer time for `bytes` at `gbytes_per_sec` GB/s.
+constexpr Tick bytes_at_gbps(std::uint64_t bytes, double gbytes_per_sec) {
+  return static_cast<Tick>(static_cast<double>(bytes) / gbytes_per_sec * 1e3);
+}
+
+}  // namespace herd::sim

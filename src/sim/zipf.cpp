@@ -1,0 +1,65 @@
+#include "sim/zipf.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace herd::sim {
+
+namespace {
+// Antiderivative of x^-theta, shifted so the method below works for theta != 1.
+double h_impl(double x, double theta) {
+  return std::exp((1.0 - theta) * std::log(x)) / (1.0 - theta);
+}
+double h_inv_impl(double x, double theta) {
+  return std::exp(std::log((1.0 - theta) * x) / (1.0 - theta));
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed, 0x5851f42d4c957f2dULL ^ n) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: empty universe");
+  if (theta <= 0.0 || theta >= 1.0) {
+    // Rejection-inversion also handles theta > 1 with the same formulas, but
+    // the paper only needs theta in (0, 1); keep the contract tight.
+    throw std::invalid_argument("ZipfGenerator: theta must be in (0, 1)");
+  }
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_inv(h(2.5) - std::exp(-theta * std::log(2.0)));
+}
+
+double ZipfGenerator::h(double x) const { return h_impl(x, theta_); }
+double ZipfGenerator::h_inv(double x) const { return h_inv_impl(x, theta_); }
+
+std::uint64_t ZipfGenerator::next() {
+  // Hörmann & Derflinger rejection-inversion. Expected < 1.1 iterations.
+  for (;;) {
+    double u = h_x1_ + rng_.next_double() * (h_n_ - h_x1_);
+    double x = h_inv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ ||
+        u >= h(kd + 0.5) - std::exp(-theta_ * std::log(kd))) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+double ZipfGenerator::pmf(std::uint64_t rank) const {
+  if (rank >= n_) return 0.0;
+  if (harmonic_ < 0.0) {
+    // O(n) once; only used by tests/analysis, never on the sampling path.
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n_; ++i) {
+      sum += std::exp(-theta_ * std::log(static_cast<double>(i)));
+    }
+    harmonic_ = sum;
+  }
+  return std::exp(-theta_ * std::log(static_cast<double>(rank + 1))) /
+         harmonic_;
+}
+
+}  // namespace herd::sim

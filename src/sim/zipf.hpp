@@ -1,0 +1,44 @@
+// Zipf-distributed key sampling.
+//
+// The paper's skewed workload draws keys from a Zipf distribution with
+// parameter 0.99 over the keyhash space (generated offline with YCSB). We
+// sample online with the rejection-inversion method of Hörmann & Derflinger,
+// which is O(1) per sample and needs no table over the full key universe —
+// so it scales to the paper's 480 M-key footprint without preprocessing.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace herd::sim {
+
+class ZipfGenerator {
+ public:
+  /// Ranks are in [0, n). `theta` is the Zipf exponent (paper: 0.99).
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed);
+
+  /// Draws a rank; rank 0 is the most popular item.
+  std::uint64_t next();
+
+  std::uint64_t universe() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Probability mass of the item at `rank` (exact, for tests/analysis).
+  double pmf(std::uint64_t rank) const;
+
+ private:
+  double h(double x) const;          // integral of x^-theta
+  double h_inv(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_x1_;       // H(1.5) - 1
+  double h_n_;        // H(n + 0.5)
+  double s_;
+  Pcg32 rng_;
+  // Normalization constant computed lazily for pmf(); -1 = not yet computed.
+  mutable double harmonic_ = -1.0;
+};
+
+}  // namespace herd::sim

@@ -1,0 +1,614 @@
+#include "verbs/verbs.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace herd::verbs {
+
+// ---------------------------------------------------------------------------
+// Cq
+
+int Cq::poll(std::span<Wc> out) {
+  std::size_t n = std::min(out.size(), q_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = q_.front();
+    q_.pop_front();
+  }
+  return static_cast<int>(n);
+}
+
+void Cq::push(const Wc& wc) {
+  q_.push_back(wc);
+  if (notify_) notify_();
+}
+
+// ---------------------------------------------------------------------------
+// Context
+
+Context::Context(sim::Engine& engine, rnic::Rnic& rnic, pcie::PcieLink& pcie,
+                 fabric::Fabric& fabric, std::uint32_t port,
+                 HostMemory& memory)
+    : engine_(&engine),
+      rnic_(&rnic),
+      pcie_(&pcie),
+      fabric_(&fabric),
+      port_(port),
+      memory_(&memory) {}
+
+Mr Context::register_mr(std::uint64_t addr, std::uint32_t length,
+                        MrAccess access) {
+  if (addr + length > memory_->size()) {
+    throw std::out_of_range("register_mr: region escapes host memory");
+  }
+  Mr mr;
+  mr.addr = addr;
+  mr.length = length;
+  mr.lkey = next_key_++;
+  mr.rkey = next_key_++;
+  mr.remote_write = access.remote_write;
+  mr.remote_read = access.remote_read;
+  mrs_by_rkey_[mr.rkey] = mr;
+  mrs_by_lkey_[mr.lkey] = mr;
+  return mr;
+}
+
+const Mr* Context::check_remote_access(std::uint32_t rkey, std::uint64_t addr,
+                                       std::uint32_t length,
+                                       bool write) const {
+  auto it = mrs_by_rkey_.find(rkey);
+  if (it == mrs_by_rkey_.end()) return nullptr;
+  const Mr& mr = it->second;
+  if (write && !mr.remote_write) return nullptr;
+  if (!write && !mr.remote_read) return nullptr;
+  if (addr < mr.addr || addr + length > mr.addr + mr.length) return nullptr;
+  return &mr;
+}
+
+bool Context::check_local_access(std::uint32_t lkey, std::uint64_t addr,
+                                 std::uint32_t length) const {
+  auto it = mrs_by_lkey_.find(lkey);
+  if (it == mrs_by_lkey_.end()) return false;
+  const Mr& mr = it->second;
+  return addr >= mr.addr && addr + length <= mr.addr + mr.length;
+}
+
+Qp* Context::find_qp(std::uint32_t qpn) {
+  auto it = qps_.find(qpn);
+  return it == qps_.end() ? nullptr : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Qp
+
+struct Qp::Inbound {
+  Opcode opcode = Opcode::kSend;
+  std::vector<std::byte> payload;  // empty for READ requests
+  std::uint32_t length = 0;        // requested length for READs
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+  SendWr wr{};       // requester's WR, echoed back for completion routing
+  Qp* src = nullptr; // requester QP (valid for the run's lifetime)
+};
+
+Qp::Qp(Context& ctx, const QpAttr& attr)
+    : ctx_(&ctx), attr_(attr), qpn_(ctx.next_qpn_++) {
+  if (attr_.send_cq == nullptr || attr_.recv_cq == nullptr) {
+    throw std::invalid_argument("Qp: send_cq and recv_cq are required");
+  }
+  ctx_->qps_[qpn_] = this;
+}
+
+Qp::~Qp() { ctx_->qps_.erase(qpn_); }
+
+void Qp::connect(Qp& remote) {
+  if (attr_.transport == Transport::kUd ||
+      remote.attr_.transport == Transport::kUd) {
+    throw std::logic_error("Qp::connect: UD QPs are unconnected");
+  }
+  if (attr_.transport != remote.attr_.transport) {
+    throw std::logic_error("Qp::connect: transport mismatch");
+  }
+  if ((remote_ != nullptr && remote_ != &remote) ||
+      (remote.remote_ != nullptr && remote.remote_ != this)) {
+    throw std::logic_error("Qp::connect: already connected elsewhere");
+  }
+  remote_ = &remote;
+  remote.remote_ = this;
+}
+
+std::uint32_t Qp::wqe_bytes(const SendWr& wr) const {
+  const auto& cal = ctx_->rnic().cal();
+  std::uint32_t base;
+  switch (wr.opcode) {
+    case Opcode::kWrite:
+      base = cal.wqe_base_write;
+      break;
+    case Opcode::kRead:
+      base = cal.wqe_base_read;
+      break;
+    case Opcode::kSend:
+    default:
+      base = attr_.transport == Transport::kUd ? cal.wqe_base_send_ud
+                                               : cal.wqe_base_send;
+      break;
+  }
+  std::uint32_t tail = wr.inline_data ? wr.sge.length : cal.sge_bytes;
+  return base + tail;
+}
+
+double Qp::cache_weight(rnic::Role role) const {
+  const auto& cal = ctx_->rnic().cal();
+  if (attr_.transport == Transport::kUd) return cal.weight_ud;
+  if (role == rnic::Role::kRequester) return cal.weight_requester;
+  return attr_.transport == Transport::kRc ? cal.weight_responder_rc
+                                           : cal.weight_responder_uc;
+}
+
+WcOpcode Qp::wc_opcode(Opcode op) const {
+  switch (op) {
+    case Opcode::kWrite:
+      return WcOpcode::kWrite;
+    case Opcode::kRead:
+      return WcOpcode::kRead;
+    case Opcode::kSend:
+    default:
+      return WcOpcode::kSend;
+  }
+}
+
+void Qp::post_send(const SendWr& wr) {
+  const auto& cal = ctx_->rnic().cal();
+  // Table 1 legality.
+  if (attr_.transport == Transport::kUd && wr.opcode != Opcode::kSend) {
+    throw std::invalid_argument("post_send: UD supports SEND only (Table 1)");
+  }
+  if (attr_.transport == Transport::kUc && wr.opcode == Opcode::kRead) {
+    throw std::invalid_argument("post_send: UC does not support READ (Table 1)");
+  }
+  if (attr_.transport == Transport::kUd) {
+    if (wr.ah.ctx == nullptr) {
+      throw std::invalid_argument("post_send: UD send needs an address handle");
+    }
+  } else if (remote_ == nullptr) {
+    throw std::logic_error("post_send: QP not connected");
+  }
+  if (wr.inline_data) {
+    if (wr.opcode == Opcode::kRead) {
+      throw std::invalid_argument("post_send: cannot inline a READ");
+    }
+    if (wr.sge.length > cal.max_inline) {
+      throw std::invalid_argument("post_send: inline payload exceeds max_inline");
+    }
+  }
+  if (wr.sge.length > 0 &&
+      !ctx_->check_local_access(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
+    throw std::invalid_argument("post_send: bad lkey / local bounds");
+  }
+
+  if (!wr.signaled) ctx_->rnic().unsignaled_inc();
+
+  if (wr.opcode == Opcode::kRead) {
+    start_read(wr);
+    return;
+  }
+
+  // PIO the WQE to the device. Inline payloads are captured *now* — the
+  // application buffer is reusable as soon as post_send returns (a real
+  // inline-WQE property that HERD's clients depend on).
+  sim::Tick pio_done = ctx_->pcie().pio_write(wqe_bytes(wr));
+  if (wr.inline_data || wr.sge.length == 0) {
+    std::vector<std::byte> payload;
+    if (wr.sge.length > 0) {
+      auto src = ctx_->memory().span(wr.sge.addr, wr.sge.length);
+      payload.assign(src.begin(), src.end());
+    }
+    ctx_->engine().schedule_at(
+        sq_order(pio_done), [this, wr, p = std::move(payload)]() mutable {
+          tx_stage(wr, std::move(p), ctx_->engine().now());
+        });
+  } else {
+    // Non-inline: the device fetches the payload with a DMA read; the buffer
+    // contents are sampled at DMA time, not post time.
+    sim::Tick dma_done = ctx_->pcie().dma_read(pio_done, wr.sge.length).visible;
+    ctx_->engine().schedule_at(sq_order(dma_done), [this, wr]() {
+      auto src = ctx_->memory().span(wr.sge.addr, wr.sge.length);
+      std::vector<std::byte> payload(src.begin(), src.end());
+      tx_stage(wr, std::move(payload), ctx_->engine().now());
+    });
+  }
+}
+
+void Qp::start_read(SendWr wr) {
+  if (outstanding_reads_ >= ctx_->rnic().cal().max_outstanding_reads) {
+    pending_reads_.push_back(wr);
+    return;
+  }
+  issue_read(wr);
+}
+
+void Qp::issue_read(SendWr wr) {
+  ++outstanding_reads_;
+  sim::Tick pio_done = ctx_->pcie().pio_write(wqe_bytes(wr));
+  ctx_->engine().schedule_at(sq_order(pio_done), [this, wr]() {
+    tx_stage(wr, {}, ctx_->engine().now());
+  });
+}
+
+void Qp::finish_read(std::uint32_t /*length*/) {
+  assert(outstanding_reads_ > 0);
+  --outstanding_reads_;
+  if (!pending_reads_.empty()) {
+    SendWr next = pending_reads_.front();
+    pending_reads_.pop_front();
+    issue_read(next);
+  }
+}
+
+void Qp::tx_stage(SendWr wr, std::vector<std::byte> payload, sim::Tick ready) {
+  auto& rn = ctx_->rnic();
+  const auto& cal = rn.cal();
+
+  sim::Tick occ;
+  switch (wr.opcode) {
+    case Opcode::kWrite:
+      occ = cal.tx_write;
+      break;
+    case Opcode::kRead:
+      occ = cal.tx_read;
+      break;
+    case Opcode::kSend:
+    default:
+      occ = cal.tx_send;
+      break;
+  }
+  if (wr.opcode != Opcode::kRead) {
+    if (!wr.inline_data) occ += cal.tx_noninline_extra;
+    if (wr.signaled) occ += cal.tx_signaled_extra;
+  }
+  occ += rn.context_penalty(qpn_, rnic::Role::kRequester,
+                            cache_weight(rnic::Role::kRequester));
+  if (attr_.transport == Transport::kUd) {
+    // UD sends carry per-destination address state (§3.3 / Fig. 12).
+    occ += rn.destination_penalty(
+        (std::uint64_t{wr.ah.ctx->port()} << 32) | wr.ah.qpn);
+  }
+  occ += rn.unsignaled_pressure();
+
+  sim::Tick t1 = rn.dispatch().acquire_at(ready, cal.dispatch);
+  sim::Tick tx_done = rn.tx().acquire_at(t1, occ);
+  sim::Tick departed = tx_done + cal.tx_latency;
+
+  // Outbound throughput is the *service* rate of the TX unit, so count at
+  // completion (arrival-time counting would measure the posting rate).
+  ctx_->engine().schedule_at(tx_done, [this, signaled = wr.signaled]() {
+    auto& rnic = ctx_->rnic();
+    ++rnic.counters().tx_ops;
+    if (!signaled) rnic.unsignaled_dec();
+  });
+
+  // UC/UD verbs complete locally once transmitted ("fire and forget"); RC
+  // completes on ACK / READ response, handled on the receive path.
+  if (attr_.transport != Transport::kRc && wr.signaled) {
+    deliver_requester_completion(wr, WcStatus::kSuccess, tx_done);
+  }
+
+  bool datagram = attr_.transport == Transport::kUd;
+  std::uint32_t wire_payload =
+      wr.opcode == Opcode::kRead ? 0u
+                                 : static_cast<std::uint32_t>(payload.size());
+  std::uint32_t wire = ctx_->fabric().wire_bytes(wire_payload, datagram);
+
+  // Wire loss (§2.2.3): RC recovers via hardware retransmission (the message
+  // is delayed by the retransmission timer); UC/UD silently lose it —
+  // "sacrifices transport-level retransmission for fast common case
+  // performance at the cost of rare application-level retries".
+  if (ctx_->fabric().drop_roll()) {
+    ctx_->fabric().count_loss();
+    if (attr_.transport == Transport::kRc) {
+      ++rn.counters().retransmissions;
+      departed += cal.retransmit_delay;
+    } else {
+      return;  // gone; any signaled local completion already fired above
+    }
+  }
+
+  Inbound in;
+  in.opcode = wr.opcode;
+  in.payload = std::move(payload);
+  in.length = wr.sge.length;
+  in.remote_addr = wr.remote_addr;
+  in.rkey = wr.rkey;
+  in.wr = wr;
+  in.src = this;
+
+  if (datagram) {
+    Context* dst_ctx = wr.ah.ctx;
+    std::uint32_t dst_qpn = wr.ah.qpn;
+    ctx_->fabric().transmit_at(
+        departed, ctx_->port(), dst_ctx->port(), wire,
+        [dst_ctx, dst_qpn, in = std::move(in)]() mutable {
+          Qp* dst = dst_ctx->find_qp(dst_qpn);
+          if (dst == nullptr || dst->transport() != Transport::kUd) {
+            ++dst_ctx->rnic().counters().dropped_packets;
+            return;
+          }
+          dst->rx_arrive(std::move(in));
+        });
+  } else {
+    Qp* dst = remote_;
+    ctx_->fabric().transmit_at(departed, ctx_->port(),
+                               dst->ctx_->port(), wire,
+                               [dst, in = std::move(in)]() mutable {
+                                 dst->rx_arrive(std::move(in));
+                               });
+  }
+}
+
+void Qp::post_recv(const RecvWr& wr) {
+  if (wr.sge.length == 0 ||
+      !ctx_->check_local_access(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
+    throw std::invalid_argument("post_recv: bad lkey / local bounds");
+  }
+  recv_queue_.push_back(wr);
+}
+
+void Qp::rx_arrive(Inbound in) {
+  auto& rn = ctx_->rnic();
+  const auto& cal = rn.cal();
+
+  sim::Tick occ;
+  switch (in.opcode) {
+    case Opcode::kWrite:
+      occ = cal.rx_write;
+      break;
+    case Opcode::kRead:
+      occ = cal.rx_read;
+      break;
+    case Opcode::kSend:
+    default:
+      occ = cal.rx_send;
+      break;
+  }
+  occ += rn.context_penalty(qpn_, rnic::Role::kResponder,
+                            cache_weight(rnic::Role::kResponder));
+
+  sim::Tick t1 = rn.dispatch().acquire(cal.dispatch);
+  sim::Tick done = rn.rx().acquire_at(t1, occ) + cal.rx_latency;
+  // Inbound throughput = RX service rate. The fabric is lossless (credit
+  // flow control): when arrivals outpace service the wire backpressures, so
+  // the sustainable rate is what the RX unit retires.
+  ctx_->engine().schedule_at(done,
+                             [this]() { ++ctx_->rnic().counters().rx_ops; });
+
+  switch (in.opcode) {
+    case Opcode::kWrite:
+      rx_write(in, done);
+      break;
+    case Opcode::kSend:
+      rx_send(in, done);
+      break;
+    case Opcode::kRead:
+      rx_read(in, done);
+      break;
+  }
+}
+
+void Qp::rx_write(Inbound& in, sim::Tick done) {
+  auto& rn = ctx_->rnic();
+  const Mr* mr = ctx_->check_remote_access(
+      in.rkey, in.remote_addr, static_cast<std::uint32_t>(in.payload.size()),
+      /*write=*/true);
+  if (mr == nullptr) {
+    ++rn.counters().access_errors;
+    if (attr_.transport == Transport::kRc) {
+      // NAK back to the requester; error completions ignore signaling.
+      Qp* src = in.src;
+      SendWr wr = in.wr;
+      send_ack_path(done, src, [src, wr](sim::Tick when) {
+        src->deliver_requester_completion(wr, WcStatus::kRemoteAccessError,
+                                          when);
+      });
+    } else {
+      ++rn.counters().dropped_packets;
+    }
+    return;
+  }
+
+  sim::Tick applied =
+      ctx_->pcie()
+          .dma_write(done, static_cast<std::uint32_t>(in.payload.size()))
+          .visible;
+  std::uint64_t addr = in.remote_addr;
+  ctx_->engine().schedule_at(
+      applied, [this, addr, payload = std::move(in.payload)]() {
+        ctx_->memory().dma_apply(addr, payload);
+      });
+
+  if (attr_.transport == Transport::kRc) {
+    // The ACK covers placement: it leaves once the payload has been
+    // committed to host memory, which is why signaled READ and WRITE
+    // latencies track each other (Fig. 2: "the length of the network/PCIe
+    // path travelled is identical").
+    Qp* src = in.src;
+    SendWr wr = in.wr;
+    send_ack_path(applied, src, [src, wr](sim::Tick when) {
+      if (wr.signaled) {
+        src->deliver_requester_completion(wr, WcStatus::kSuccess, when);
+      }
+    });
+  }
+}
+
+void Qp::rx_send(Inbound& in, sim::Tick done) {
+  auto& rn = ctx_->rnic();
+  const auto& cal = rn.cal();
+
+  if (recv_queue_.empty()) {
+    // Receiver Not Ready. RC retries then fails the requester; UC/UD drop
+    // silently (the application-level retry tradeoff of §2.2.3).
+    ++rn.counters().rnr_drops;
+    if (attr_.transport == Transport::kRc) {
+      Qp* src = in.src;
+      SendWr wr = in.wr;
+      send_ack_path(done + sim::us(1), src, [src, wr](sim::Tick when) {
+        src->deliver_requester_completion(wr, WcStatus::kRnrRetryExceeded,
+                                          when);
+      });
+    }
+    return;
+  }
+
+  RecvWr rwr = recv_queue_.front();
+  recv_queue_.pop_front();
+
+  std::uint32_t grh = attr_.transport == Transport::kUd ? kGrhBytes : 0;
+  auto len = static_cast<std::uint32_t>(in.payload.size());
+
+  if (len + grh > rwr.sge.length) {
+    ++rn.counters().access_errors;
+    Wc wc;
+    wc.wr_id = rwr.wr_id;
+    wc.status = WcStatus::kLocalLengthError;
+    wc.opcode = WcOpcode::kRecv;
+    sim::Tick tc = ctx_->pcie().dma_write(done, cal.cqe_bytes).visible;
+    Cq* rcq = attr_.recv_cq;
+    ctx_->engine().schedule_at(tc, [rcq, wc]() { rcq->push(wc); });
+    return;
+  }
+
+  // Payload then CQE are back-to-back posted DMA writes: the CQE transaction
+  // enters the engine as soon as the payload transaction's occupancy ends
+  // (chaining on `.visible` would wrongly stall the engine for the full PCIe
+  // propagation latency per message).
+  auto payload_dma = ctx_->pcie().dma_write(done, grh + len);
+  sim::Tick applied = payload_dma.visible;
+  std::uint64_t addr = rwr.sge.addr;
+  std::uint32_t src_qpn = in.src->qpn();
+  ctx_->engine().schedule_at(
+      applied, [this, addr, grh, payload = std::move(in.payload)]() {
+        if (grh > 0) {
+          // Zeroed GRH placeholder, as the payload lands at offset 40.
+          std::vector<std::byte> hdr(grh, std::byte{0});
+          ctx_->memory().dma_apply(addr, hdr);
+        }
+        ctx_->memory().dma_apply(addr + grh, payload);
+      });
+
+  Wc wc;
+  wc.wr_id = rwr.wr_id;
+  wc.status = WcStatus::kSuccess;
+  wc.opcode = WcOpcode::kRecv;
+  wc.byte_len = len + grh;
+  wc.src_qp = src_qpn;
+  wc.src_port = in.src->context().port();
+  sim::Tick tc =
+      ctx_->pcie().dma_write(payload_dma.free, cal.cqe_bytes).visible;
+  Cq* rcq = attr_.recv_cq;
+  ctx_->engine().schedule_at(tc, [rcq, wc]() { rcq->push(wc); });
+
+  if (attr_.transport == Transport::kRc) {
+    Qp* src = in.src;
+    SendWr wr = in.wr;
+    send_ack_path(done, src, [src, wr](sim::Tick when) {
+      if (wr.signaled) {
+        src->deliver_requester_completion(wr, WcStatus::kSuccess, when);
+      }
+    });
+  }
+}
+
+void Qp::rx_read(Inbound& in, sim::Tick done) {
+  auto& rn = ctx_->rnic();
+  const auto& cal = rn.cal();
+
+  const Mr* mr = ctx_->check_remote_access(in.rkey, in.remote_addr, in.length,
+                                           /*write=*/false);
+  if (mr == nullptr) {
+    ++rn.counters().access_errors;
+    Qp* src = in.src;
+    SendWr wr = in.wr;
+    send_ack_path(done, src, [src, wr](sim::Tick when) {
+      src->finish_read(wr.sge.length);
+      src->deliver_requester_completion(wr, WcStatus::kRemoteAccessError,
+                                        when);
+    });
+    return;
+  }
+
+  // The responder RNIC DMA-reads the data (no CPU involvement — the defining
+  // property of one-sided verbs), then transmits it back.
+  sim::Tick data_ready = ctx_->pcie().dma_read(done, in.length).visible;
+  std::uint64_t addr = in.remote_addr;
+  std::uint32_t length = in.length;
+  SendWr wr = in.wr;
+  Qp* src = in.src;
+  ctx_->engine().schedule_at(data_ready, [this, addr, length, wr, src]() {
+    auto data = ctx_->memory().span(addr, length);
+    std::vector<std::byte> payload(data.begin(), data.end());
+    auto& rn2 = ctx_->rnic();
+    const auto& cal2 = rn2.cal();
+    sim::Tick t1 = rn2.dispatch().acquire(cal2.dispatch);
+    sim::Tick sent = rn2.tx().acquire_at(t1, cal2.tx_read_resp) +
+                     cal2.tx_latency;
+    std::uint32_t wire = ctx_->fabric().wire_bytes(length, false);
+    ctx_->fabric().transmit_at(
+        sent, ctx_->port(), src->ctx_->port(), wire,
+        [src, wr, payload = std::move(payload)]() mutable {
+          src->read_response(wr, std::move(payload));
+        });
+  });
+  (void)cal;
+}
+
+void Qp::read_response(SendWr wr, std::vector<std::byte> payload) {
+  auto& rn = ctx_->rnic();
+  const auto& cal = rn.cal();
+  sim::Tick t1 = rn.dispatch().acquire(cal.dispatch);
+  sim::Tick done = rn.rx().acquire_at(t1, cal.rx_read_resp) + cal.rx_latency;
+  auto payload_dma = ctx_->pcie().dma_write(
+      done, static_cast<std::uint32_t>(payload.size()));
+  sim::Tick cqe_start = payload_dma.free;
+  ctx_->engine().schedule_at(
+      payload_dma.visible,
+      [this, wr, cqe_start, payload = std::move(payload)]() {
+        ctx_->memory().dma_apply(wr.sge.addr, payload);
+        finish_read(wr.sge.length);
+        if (wr.signaled) {
+          deliver_requester_completion(wr, WcStatus::kSuccess, cqe_start);
+        }
+      });
+}
+
+void Qp::deliver_requester_completion(const SendWr& wr, WcStatus status,
+                                      sim::Tick when) {
+  const auto& cal = ctx_->rnic().cal();
+  Wc wc;
+  wc.wr_id = wr.wr_id;
+  wc.status = status;
+  wc.opcode = wc_opcode(wr.opcode);
+  wc.byte_len = wr.sge.length;
+  sim::Tick tc = ctx_->pcie().dma_write(when, cal.cqe_bytes).visible;
+  Cq* scq = attr_.send_cq;
+  ctx_->engine().schedule_at(tc, [scq, wc]() { scq->push(wc); });
+}
+
+void Qp::send_ack_path(sim::Tick when, Qp* requester,
+                       std::function<void(sim::Tick)> on_acked) {
+  // ACK/NAK: small occupancy on the responder TX unit, the wire, and the
+  // requester RX unit. Cheap, but real — this is the RC-vs-UC difference.
+  auto& rn = ctx_->rnic();
+  const auto& cal = rn.cal();
+  sim::Tick sent = rn.tx().acquire_at(when, cal.tx_ack);
+  std::uint32_t ack = ctx_->fabric().config().ack_bytes;
+  ctx_->fabric().transmit_at(
+      sent, ctx_->port(), requester->ctx_->port(), ack,
+      [requester, on_acked = std::move(on_acked)]() {
+        auto& rrn = requester->ctx_->rnic();
+        sim::Tick done = rrn.rx().acquire(rrn.cal().rx_ack);
+        on_acked(done);
+      });
+}
+
+}  // namespace herd::verbs

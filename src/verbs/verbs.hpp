@@ -1,0 +1,183 @@
+// The verbs API: Context, Cq, Qp over the simulated RNIC/PCIe/fabric.
+//
+// This is the substrate boundary of the reproduction. Everything above this
+// header (HERD, the baselines, the microbenchmarks) is written as it would
+// be against ibverbs: create QPs on a context, connect or address them,
+// `post_send`/`post_recv`, poll CQs. Everything below it (`rnic`, `pcie`,
+// `fabric`) is the calibrated hardware model.
+//
+// Simulated-time semantics: `post_send` consumes *no* CPU time itself —
+// caller actors model their own CPU cost (the paper's 150 ns `post_send()`)
+// via cluster::SequentialCore — but it immediately engages the PIO path and
+// schedules the verb's hardware flow. Completions become pollable at the
+// tick their CQE DMA lands.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "pcie/pcie.hpp"
+#include "rnic/rnic.hpp"
+#include "sim/engine.hpp"
+#include "verbs/memory.hpp"
+#include "verbs/types.hpp"
+
+namespace herd::verbs {
+
+class Cq {
+ public:
+  explicit Cq(Context& ctx) : ctx_(&ctx) {}
+  Cq(const Cq&) = delete;
+  Cq& operator=(const Cq&) = delete;
+
+  /// Drains up to out.size() visible completions. Models no CPU cost; callers
+  /// charge their own poll cost.
+  int poll(std::span<Wc> out);
+
+  std::size_t depth() const { return q_.size(); }
+
+  /// Simulation-harness hook (the analogue of ibv_req_notify_cq + completion
+  /// channel): invoked whenever a CQE becomes visible.
+  void set_notify(std::function<void()> fn) { notify_ = std::move(fn); }
+
+ private:
+  friend class Qp;
+  void push(const Wc& wc);
+
+  Context* ctx_;
+  std::deque<Wc> q_;
+  std::function<void()> notify_;
+};
+
+struct QpAttr {
+  Transport transport = Transport::kRc;
+  Cq* send_cq = nullptr;
+  Cq* recv_cq = nullptr;
+};
+
+class Qp {
+ public:
+  Qp(Context& ctx, const QpAttr& attr);
+  ~Qp();
+  Qp(const Qp&) = delete;
+  Qp& operator=(const Qp&) = delete;
+
+  std::uint32_t qpn() const { return qpn_; }
+  Transport transport() const { return attr_.transport; }
+  Context& context() { return *ctx_; }
+
+  /// Connects this QP to `remote` (and vice versa). RC/UC only.
+  void connect(Qp& remote);
+  bool connected() const { return remote_ != nullptr; }
+
+  /// Posts a send-queue verb. Throws std::invalid_argument for combinations
+  /// that Table 1 forbids (READ on UC/UD, WRITE on UD), oversized inline
+  /// payloads, UD sends without an address handle, or unconnected RC/UC QPs.
+  void post_send(const SendWr& wr);
+
+  void post_recv(const RecvWr& wr);
+  std::size_t recv_queue_depth() const { return recv_queue_.size(); }
+
+ private:
+  friend class Context;
+
+  struct Inbound;  // a message arriving at the responder side
+
+  // Flow stages.
+  void tx_stage(SendWr wr, std::vector<std::byte> payload, sim::Tick ready);
+  void start_read(SendWr wr);
+  void issue_read(SendWr wr);
+  void finish_read(std::uint32_t length);
+  void rx_arrive(Inbound in);
+  void rx_write(Inbound& in, sim::Tick done);
+  void rx_send(Inbound& in, sim::Tick done);
+  void rx_read(Inbound& in, sim::Tick done);
+  void read_response(SendWr wr, std::vector<std::byte> payload);
+  void deliver_requester_completion(const SendWr& wr, WcStatus status,
+                                    sim::Tick when);
+  void send_ack_path(sim::Tick when, Qp* requester,
+                     std::function<void(sim::Tick)> on_acked);
+
+  /// Send-queue ordering: WQEs are processed in post order, so a later
+  /// verb's TX processing never starts before an earlier one's (a READ must
+  /// not overtake a non-inlined WRITE still fetching its payload).
+  sim::Tick sq_order(sim::Tick ready) {
+    if (ready < sq_ready_) ready = sq_ready_;
+    sq_ready_ = ready;
+    return ready;
+  }
+
+  std::uint32_t wqe_bytes(const SendWr& wr) const;
+  double cache_weight(rnic::Role role) const;
+  WcOpcode wc_opcode(Opcode op) const;
+
+  Context* ctx_;
+  QpAttr attr_;
+  std::uint32_t qpn_;
+  Qp* remote_ = nullptr;
+  std::deque<RecvWr> recv_queue_;
+
+  // RC READ flow control: "each queue pair can only service a few
+  // outstanding READ requests (16 in our RNICs)" (§3.2.2).
+  std::uint32_t outstanding_reads_ = 0;
+  std::deque<SendWr> pending_reads_;
+  sim::Tick sq_ready_ = 0;
+};
+
+class Context {
+ public:
+  Context(sim::Engine& engine, rnic::Rnic& rnic, pcie::PcieLink& pcie,
+          fabric::Fabric& fabric, std::uint32_t port, HostMemory& memory);
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  sim::Engine& engine() { return *engine_; }
+  rnic::Rnic& rnic() { return *rnic_; }
+  pcie::PcieLink& pcie() { return *pcie_; }
+  fabric::Fabric& fabric() { return *fabric_; }
+  std::uint32_t port() const { return port_; }
+  HostMemory& memory() { return *memory_; }
+
+  std::unique_ptr<Cq> create_cq() { return std::make_unique<Cq>(*this); }
+  std::unique_ptr<Qp> create_qp(const QpAttr& attr) {
+    return std::make_unique<Qp>(*this, attr);
+  }
+
+  /// Registers [addr, addr+length) for RDMA access.
+  Mr register_mr(std::uint64_t addr, std::uint32_t length, MrAccess access);
+
+  /// Validates a remote access; returns nullptr if the rkey is unknown, the
+  /// range escapes the region, or the permission is missing.
+  const Mr* check_remote_access(std::uint32_t rkey, std::uint64_t addr,
+                                std::uint32_t length, bool write) const;
+
+  /// Validates a local key covers [addr, addr+length).
+  bool check_local_access(std::uint32_t lkey, std::uint64_t addr,
+                          std::uint32_t length) const;
+
+  Qp* find_qp(std::uint32_t qpn);
+
+ private:
+  friend class Qp;
+  std::uint32_t next_qpn_ = 1;
+  std::uint32_t next_key_ = 1;
+
+  sim::Engine* engine_;
+  rnic::Rnic* rnic_;
+  pcie::PcieLink* pcie_;
+  fabric::Fabric* fabric_;
+  std::uint32_t port_;
+  HostMemory* memory_;
+  std::unordered_map<std::uint32_t, Qp*> qps_;
+  std::unordered_map<std::uint32_t, Mr> mrs_by_rkey_;
+  std::unordered_map<std::uint32_t, Mr> mrs_by_lkey_;
+};
+
+}  // namespace herd::verbs

@@ -1,0 +1,62 @@
+// Workload generation (§5.2).
+//
+// "Three main workload parameters affect the throughput and latency of a
+//  key-value system: relative frequency of PUTs and GETs, item size, and
+//  skew." Read-intensive = 95% GET, write-intensive = 50% GET; keys uniform
+//  over the 16-byte keyhash space or Zipf(0.99) (YCSB-style).
+//
+// Values are derived deterministically from the key rank so that end-to-end
+// tests can verify that a GET returns exactly what the matching PUT stored.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "kv/keyhash.hpp"
+#include "sim/rng.hpp"
+#include "sim/zipf.hpp"
+
+namespace herd::workload {
+
+enum class OpType : std::uint8_t { kGet, kPut, kDelete };
+
+struct Op {
+  OpType type = OpType::kGet;
+  kv::KeyHash key{};
+  std::uint64_t rank = 0;       // key identity in [0, n_keys)
+  std::uint32_t value_len = 0;  // for PUTs
+};
+
+struct WorkloadConfig {
+  double get_fraction = 0.95;   // paper: 0.95 or 0.50 (or 0.0 for 100% PUT)
+  /// Fraction of ops that are DELETEs (taken out of the PUT share; the
+  /// paper's workloads use none, but the §2.1 interface includes it).
+  double delete_fraction = 0.0;
+  std::uint64_t n_keys = 1u << 20;
+  bool zipf = false;
+  double zipf_theta = 0.99;
+  std::uint32_t value_len = 32;  // SV; paper sweeps 4..1024
+  std::uint64_t seed = 1;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadConfig& cfg);
+
+  Op next();
+
+  /// Deterministic value bytes for (rank, len): PUTs write this pattern and
+  /// correctness checks recompute it.
+  static void fill_value(std::uint64_t rank, std::span<std::byte> out);
+
+  const WorkloadConfig& config() const { return cfg_; }
+
+ private:
+  WorkloadConfig cfg_;
+  sim::Pcg32 rng_;
+  std::optional<sim::ZipfGenerator> zipf_;
+};
+
+}  // namespace herd::workload

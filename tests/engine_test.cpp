@@ -1,0 +1,184 @@
+// Unit tests: discrete-event engine, resources, sequential cores.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/core.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/time.hpp"
+
+namespace herd::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(ns(1), 1000u);
+  EXPECT_EQ(us(1), 1000u * 1000);
+  EXPECT_EQ(ms(1), 1000ull * 1000 * 1000);
+  EXPECT_EQ(sec(1), 1000ull * 1000 * 1000 * 1000);
+  EXPECT_DOUBLE_EQ(to_ns(ns(42)), 42.0);
+  EXPECT_DOUBLE_EQ(to_us(us(7)), 7.0);
+  EXPECT_NEAR(to_sec(sec(0.5)), 0.5, 1e-12);
+}
+
+TEST(Time, PerOpAtMops) {
+  // 35 Mops => 28.57 ns/op.
+  EXPECT_EQ(per_op_at_mops(35), static_cast<Tick>(1e6 / 35));
+  EXPECT_EQ(per_op_at_mops(1), static_cast<Tick>(1e6));
+}
+
+TEST(Time, BytesAtGbps) {
+  // 65 bytes at 6.5 GB/s = 10 ns.
+  EXPECT_EQ(bytes_at_gbps(65, 6.5), ns(10));
+  EXPECT_EQ(bytes_at_gbps(0, 5.0), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(ns(30), [&] { order.push_back(3); });
+  eng.schedule_at(ns(10), [&] { order.push_back(1); });
+  eng.schedule_at(ns(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), ns(30));
+}
+
+TEST(Engine, FifoTieBreakAtEqualTimestamps) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule_at(ns(5), [&, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine eng;
+  Tick seen = 0;
+  eng.schedule_at(ns(100), [&] {
+    eng.schedule_after(ns(50), [&] { seen = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(seen, ns(150));
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine eng;
+  eng.schedule_at(ns(10), [] {});
+  eng.run();
+  EXPECT_THROW(eng.schedule_at(ns(5), [] {}), std::logic_error);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(ns(10), [&] { ++fired; });
+  eng.schedule_at(ns(20), [&] { ++fired; });
+  eng.schedule_at(ns(30), [&] { ++fired; });
+  EXPECT_EQ(eng.run_until(ns(20)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), ns(20));
+  eng.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWithoutEvents) {
+  Engine eng;
+  eng.run_until(us(5));
+  EXPECT_EQ(eng.now(), us(5));
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) eng.schedule_after(ns(1), chain);
+  };
+  eng.schedule_at(0, chain);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(eng.events_processed(), 100u);
+}
+
+TEST(Engine, StepProcessesOneEvent) {
+  Engine eng;
+  int n = 0;
+  eng.schedule_at(ns(1), [&] { ++n; });
+  eng.schedule_at(ns(2), [&] { ++n; });
+  EXPECT_TRUE(eng.step());
+  EXPECT_EQ(n, 1);
+  EXPECT_TRUE(eng.step());
+  EXPECT_FALSE(eng.step());
+}
+
+TEST(Resource, FifoServiceAccumulates) {
+  Engine eng;
+  Resource r(eng, "u");
+  EXPECT_EQ(r.acquire(ns(10)), ns(10));
+  EXPECT_EQ(r.acquire(ns(10)), ns(20));  // queued behind the first
+  EXPECT_EQ(r.ops(), 2u);
+  EXPECT_EQ(r.busy_time(), ns(20));
+}
+
+TEST(Resource, IdleGapThenAcquireStartsAtArrival) {
+  Engine eng;
+  Resource r(eng, "u");
+  r.acquire(ns(10));
+  eng.schedule_at(ns(100), [&] {
+    EXPECT_EQ(r.acquire(ns(5)), ns(105));  // starts at now, not at 10
+  });
+  eng.run();
+}
+
+TEST(Resource, AcquireAtFutureStart) {
+  Engine eng;
+  Resource r(eng, "u");
+  EXPECT_EQ(r.acquire_at(ns(50), ns(10)), ns(60));
+  // A later call chains FIFO after the reservation.
+  EXPECT_EQ(r.acquire_at(ns(55), ns(10)), ns(70));
+}
+
+TEST(Resource, UtilizationTracksBusyFraction) {
+  Engine eng;
+  Resource r(eng, "u");
+  r.acquire(ns(25));
+  eng.run_until(ns(100));
+  EXPECT_NEAR(r.utilization(), 0.25, 1e-9);
+  r.reset_stats();
+  EXPECT_EQ(r.busy_time(), 0u);
+  EXPECT_EQ(r.ops(), 0u);
+}
+
+TEST(SequentialCore, SerializesWork) {
+  Engine eng;
+  cluster::SequentialCore core(eng, "c");
+  std::vector<Tick> done;
+  core.run(ns(100), [&] { done.push_back(eng.now()); });
+  core.run(ns(50), [&] { done.push_back(eng.now()); });
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], ns(100));
+  EXPECT_EQ(done[1], ns(150));  // waited for the first task
+}
+
+TEST(SequentialCore, RunAtHonorsEarliest) {
+  Engine eng;
+  cluster::SequentialCore core(eng, "c");
+  Tick done = 0;
+  core.run_at(ns(500), ns(10), [&] { done = eng.now(); });
+  eng.run();
+  EXPECT_EQ(done, ns(510));
+}
+
+TEST(SequentialCore, ChargeWithoutContinuation) {
+  Engine eng;
+  cluster::SequentialCore core(eng, "c");
+  EXPECT_EQ(core.charge(ns(30)), ns(30));
+  EXPECT_EQ(core.busy_until(), ns(30));
+  EXPECT_EQ(core.busy_time(), ns(30));
+}
+
+}  // namespace
+}  // namespace herd::sim

@@ -1,0 +1,171 @@
+// Integration tests: the full HERD stack (client -> UC WRITE -> request
+// region -> MICA -> UD SEND -> client) on the simulated cluster.
+#include <gtest/gtest.h>
+
+#include "herd/testbed.hpp"
+
+namespace herd::core {
+namespace {
+
+TestbedConfig small_config() {
+  TestbedConfig cfg;
+  cfg.herd.n_server_procs = 3;
+  cfg.herd.n_clients = 6;
+  cfg.herd.window = 4;
+  cfg.herd.mica.bucket_count_log2 = 12;
+  cfg.herd.mica.log_bytes = 4u << 20;
+  cfg.workload.n_keys = 2000;
+  cfg.workload.value_len = 32;
+  cfg.verify_values = true;
+  return cfg;
+}
+
+TEST(HerdEndToEnd, GetsReturnPutValues) {
+  TestbedConfig cfg = small_config();
+  HerdTestbed bed(cfg);
+  auto r = bed.run(sim::ms(1), sim::ms(2));
+  EXPECT_GT(r.ops, 1000u);
+  EXPECT_EQ(r.value_mismatches, 0u);
+  EXPECT_EQ(r.bad, 0u);
+  // Store preloaded with every key: GETs must mostly hit.
+  EXPECT_GT(static_cast<double>(r.get_hits) /
+                static_cast<double>(r.get_hits + r.get_misses),
+            0.99);
+}
+
+TEST(HerdEndToEnd, WriteIntensiveWorkloadIsCorrect) {
+  TestbedConfig cfg = small_config();
+  cfg.workload.get_fraction = 0.5;
+  HerdTestbed bed(cfg);
+  auto r = bed.run(sim::ms(1), sim::ms(2));
+  EXPECT_GT(r.ops, 1000u);
+  EXPECT_EQ(r.value_mismatches, 0u);
+}
+
+TEST(HerdEndToEnd, SendSendModeIsCorrect) {
+  // §5.5's SEND/SEND-over-UD variant must be functionally identical.
+  TestbedConfig cfg = small_config();
+  cfg.herd.mode = RequestMode::kSendUd;
+  HerdTestbed bed(cfg);
+  auto r = bed.run(sim::ms(1), sim::ms(2));
+  EXPECT_GT(r.ops, 1000u);
+  EXPECT_EQ(r.value_mismatches, 0u);
+  EXPECT_EQ(r.bad, 0u);
+}
+
+TEST(HerdEndToEnd, RequestsArriveInPollOrder) {
+  // The §4.2 polling formula assumes per-(client, proc) round-robin slot
+  // order; UC WRITEs on one QP are ordered, so no violations should occur.
+  TestbedConfig cfg = small_config();
+  HerdTestbed bed(cfg);
+  bed.run(sim::ms(1), sim::ms(2));
+  for (std::uint32_t s = 0; s < cfg.herd.n_server_procs; ++s) {
+    EXPECT_EQ(bed.service().proc_stats(s).order_violations, 0u);
+  }
+}
+
+TEST(HerdEndToEnd, KeyspaceIsPartitionedErew) {
+  // Every proc serves only its partition: total requests spread roughly
+  // evenly under a uniform workload.
+  TestbedConfig cfg = small_config();
+  HerdTestbed bed(cfg);
+  auto r = bed.run(sim::ms(1), sim::ms(2));
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < cfg.herd.n_server_procs; ++s) {
+    total += bed.service().proc_stats(s).requests;
+  }
+  EXPECT_NEAR(static_cast<double>(total), static_cast<double>(r.ops),
+              static_cast<double>(r.ops) * 0.05);
+  for (std::uint32_t s = 0; s < cfg.herd.n_server_procs; ++s) {
+    EXPECT_NEAR(static_cast<double>(bed.service().proc_stats(s).requests),
+                static_cast<double>(total) / cfg.herd.n_server_procs,
+                static_cast<double>(total) * 0.1);
+  }
+}
+
+TEST(HerdEndToEnd, NoopsKeepPipelineDraining) {
+  // With a nearly idle workload the two-stage pipeline must be flushed by
+  // no-ops (§4.1.1's deadlock avoidance), so every issued request completes.
+  TestbedConfig cfg = small_config();
+  cfg.herd.n_clients = 1;
+  cfg.herd.window = 1;  // one outstanding request: worst case for the
+                        // pipeline, which wants a successor to advance
+  HerdTestbed bed(cfg);
+  auto r = bed.run(sim::ms(1), sim::ms(2));
+  EXPECT_GT(r.ops, 100u);
+  std::uint64_t noops = 0;
+  for (std::uint32_t s = 0; s < cfg.herd.n_server_procs; ++s) {
+    noops += bed.service().proc_stats(s).noops;
+  }
+  EXPECT_GT(noops, 0u);
+}
+
+TEST(HerdEndToEnd, UnloadedLatencyIsMicroseconds) {
+  TestbedConfig cfg = small_config();
+  cfg.herd.n_clients = 1;
+  cfg.herd.window = 1;
+  HerdTestbed bed(cfg);
+  auto r = bed.run(sim::ms(1), sim::ms(2));
+  EXPECT_GT(r.avg_latency_us, 1.0);
+  EXPECT_LT(r.avg_latency_us, 8.0);
+}
+
+TEST(HerdEndToEnd, LargeValuesUseNonInlinedSends) {
+  TestbedConfig cfg = small_config();
+  cfg.workload.value_len = 512;  // above the 144 B inline threshold
+  HerdTestbed bed(cfg);
+  auto r = bed.run(sim::ms(1), sim::ms(2));
+  EXPECT_GT(r.ops, 500u);
+  EXPECT_EQ(r.value_mismatches, 0u);
+}
+
+TEST(HerdEndToEnd, ZipfWorkloadStaysCorrectAndBalanced) {
+  TestbedConfig cfg = small_config();
+  cfg.workload.zipf = true;
+  cfg.workload.n_keys = 1u << 16;
+  HerdTestbed bed(cfg);
+  auto r = bed.run(sim::ms(1), sim::ms(2));
+  EXPECT_EQ(r.value_mismatches, 0u);
+  // MICA-style partitioning keeps the most loaded core within a small factor
+  // of the least loaded (§5.7).
+  auto pp = bed.per_proc_mops();
+  double lo = pp[0], hi = pp[0];
+  for (double m : pp) {
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_LT(hi / lo, 3.0);
+}
+
+TEST(HerdService, RequiredMemoryIsSufficient) {
+  HerdConfig cfg;
+  cfg.n_server_procs = 2;
+  cfg.n_clients = 4;
+  cfg.window = 2;
+  std::uint64_t need = HerdService::required_memory(cfg);
+  cluster::Cluster cl(cluster::ClusterConfig::apt(), 1, need);
+  cluster::CpuModel cpu;
+  EXPECT_NO_THROW(HerdService(cl.host(0), cfg, cpu));
+}
+
+TEST(HerdService, ThrowsOnTooLittleMemory) {
+  HerdConfig cfg;
+  cluster::Cluster cl(cluster::ClusterConfig::apt(), 1, 4096);
+  cluster::CpuModel cpu;
+  EXPECT_THROW(HerdService(cl.host(0), cfg, cpu), std::invalid_argument);
+}
+
+TEST(HerdEndToEnd, ThroughputScalesWithClients) {
+  TestbedConfig cfg = small_config();
+  cfg.verify_values = false;
+  cfg.herd.n_clients = 2;
+  HerdTestbed small(cfg);
+  double small_mops = small.run(sim::ms(1), sim::ms(2)).mops;
+  cfg.herd.n_clients = 12;
+  HerdTestbed big(cfg);
+  double big_mops = big.run(sim::ms(1), sim::ms(2)).mops;
+  EXPECT_GT(big_mops, small_mops * 2);
+}
+
+}  // namespace
+}  // namespace herd::core

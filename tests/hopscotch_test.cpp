@@ -1,0 +1,176 @@
+// Unit + property tests: FaRM's hopscotch table (neighborhood = 6).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "kv/hopscotch.hpp"
+#include "workload/workload.hpp"
+
+namespace herd::kv {
+namespace {
+
+struct Table {
+  std::vector<std::byte> bucket_mem;
+  std::vector<std::byte> arena;
+  std::unique_ptr<HopscotchTable> t;
+
+  explicit Table(HopscotchTable::Config cfg = {}) {
+    bucket_mem.resize(HopscotchTable::bucket_mem_bytes(cfg));
+    arena.resize(cfg.mode == HopscotchTable::ValueMode::kOutOfTable ? 1 << 20
+                                                                    : 0);
+    t = std::make_unique<HopscotchTable>(bucket_mem, arena, cfg);
+  }
+};
+
+std::vector<std::byte> value_of(std::uint64_t rank, std::uint32_t len) {
+  std::vector<std::byte> v(len);
+  workload::WorkloadGenerator::fill_value(rank, v);
+  return v;
+}
+
+TEST(Hopscotch, InsertGetRoundTripInline) {
+  Table tb;
+  auto key = hash_of_rank(1);
+  ASSERT_TRUE(tb.t->insert(key, value_of(1, 32)));
+  std::byte out[64];
+  auto g = tb.t->get(key, out);
+  ASSERT_TRUE(g.found);
+  EXPECT_EQ(g.value_len, 32u);
+  auto expect = value_of(1, 32);
+  EXPECT_EQ(std::memcmp(out, expect.data(), 32), 0);
+}
+
+TEST(Hopscotch, InsertGetRoundTripOutOfTable) {
+  HopscotchTable::Config cfg;
+  cfg.mode = HopscotchTable::ValueMode::kOutOfTable;
+  Table tb(cfg);
+  auto key = hash_of_rank(2);
+  ASSERT_TRUE(tb.t->insert(key, value_of(2, 300)));  // > inline capacity
+  std::byte out[512];
+  auto g = tb.t->get(key, out);
+  ASSERT_TRUE(g.found);
+  EXPECT_EQ(g.value_len, 300u);
+  auto expect = value_of(2, 300);
+  EXPECT_EQ(std::memcmp(out, expect.data(), 300), 0);
+}
+
+TEST(Hopscotch, InlineRejectsOversizedValue) {
+  Table tb;
+  EXPECT_FALSE(tb.t->insert(hash_of_rank(3), value_of(3, 33)));  // cap 32
+  EXPECT_EQ(tb.t->stats().insert_failures, 1u);
+}
+
+TEST(Hopscotch, OverwriteAndErase) {
+  Table tb;
+  auto key = hash_of_rank(4);
+  tb.t->insert(key, value_of(4, 8));
+  tb.t->insert(key, value_of(7, 12));
+  std::byte out[32];
+  auto g = tb.t->get(key, out);
+  ASSERT_TRUE(g.found);
+  EXPECT_EQ(g.value_len, 12u);
+  EXPECT_TRUE(tb.t->erase(key));
+  EXPECT_FALSE(tb.t->get(key, out).found);
+}
+
+TEST(Hopscotch, NeighborhoodInvariantHolds) {
+  // The hopscotch guarantee the remote protocol depends on: every stored key
+  // is found within kNeighborhood buckets of its home — a single contiguous
+  // READ suffices ("a key-value pair is stored in a small neighborhood of
+  // the bucket that the key hashes to", §5.1.2).
+  HopscotchTable::Config cfg;
+  cfg.n_buckets = 1 << 12;
+  Table tb(cfg);
+  constexpr std::uint64_t kKeys = 2600;  // ~63% load
+  std::uint64_t inserted = 0;
+  for (std::uint64_t r = 0; r < kKeys; ++r) {
+    if (tb.t->insert(hash_of_rank(r), value_of(r, 16))) ++inserted;
+  }
+  EXPECT_GT(inserted, kKeys * 95 / 100);
+  std::byte out[32];
+  for (std::uint64_t r = 0; r < kKeys; ++r) {
+    auto key = hash_of_rank(r);
+    // get() itself only scans the neighborhood, so a hit proves locality.
+    auto g = tb.t->get(key, out);
+    if (g.found) {
+      auto expect = value_of(r, 16);
+      EXPECT_EQ(std::memcmp(out, expect.data(), 16), 0);
+    }
+  }
+  EXPECT_GT(tb.t->stats().displacements, 0u);  // hops actually happened
+}
+
+TEST(Hopscotch, RemoteScanParsesNeighborhood) {
+  Table tb;
+  auto key = hash_of_rank(10);
+  tb.t->insert(key, value_of(10, 24));
+  // A FaRM client READs neighborhood_bytes() from home_offset() and scans.
+  auto raw = std::span<const std::byte>(tb.bucket_mem)
+                 .subspan(tb.t->home_offset(key), tb.t->neighborhood_bytes());
+  auto hit = tb.t->scan_neighborhood(raw, key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value_len, 24u);
+  auto expect = value_of(10, 24);
+  EXPECT_EQ(std::memcmp(hit->inline_value.data(), expect.data(), 24), 0);
+}
+
+TEST(Hopscotch, RemoteScanOutOfTableReturnsPointer) {
+  HopscotchTable::Config cfg;
+  cfg.mode = HopscotchTable::ValueMode::kOutOfTable;
+  Table tb(cfg);
+  auto key = hash_of_rank(11);
+  tb.t->insert(key, value_of(11, 100));
+  auto raw = std::span<const std::byte>(tb.bucket_mem)
+                 .subspan(tb.t->home_offset(key), tb.t->neighborhood_bytes());
+  auto hit = tb.t->scan_neighborhood(raw, key);
+  ASSERT_TRUE(hit.has_value());
+  // Second READ: fetch value_len bytes at arena_offset.
+  auto val = std::span<const std::byte>(tb.arena)
+                 .subspan(hit->arena_offset, hit->value_len);
+  auto expect = value_of(11, 100);
+  EXPECT_EQ(std::memcmp(val.data(), expect.data(), 100), 0);
+}
+
+TEST(Hopscotch, ScanMissesAbsentKey) {
+  Table tb;
+  tb.t->insert(hash_of_rank(12), value_of(12, 8));
+  auto key = hash_of_rank(13);
+  auto raw = std::span<const std::byte>(tb.bucket_mem)
+                 .subspan(tb.t->home_offset(key), tb.t->neighborhood_bytes());
+  EXPECT_FALSE(tb.t->scan_neighborhood(raw, key).has_value());
+}
+
+TEST(Hopscotch, NeighborhoodBytesMatchFarmReadSizes) {
+  // FaRM-em READs 6*(SK+SV): with 16 B keys + 32 B inline values and our
+  // 4-byte length field, the neighborhood read is 6 strides.
+  HopscotchTable::Config cfg;
+  cfg.inline_value_capacity = 32;
+  Table tb(cfg);
+  EXPECT_EQ(tb.t->bucket_stride(), 16u + 4u + 32u);
+  EXPECT_EQ(tb.t->neighborhood_bytes(), 6u * (16 + 4 + 32));
+}
+
+TEST(Hopscotch, HomeOffsetStrideAligned) {
+  Table tb;
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(tb.t->home_offset(hash_of_rank(r)) % tb.t->bucket_stride(), 0u);
+  }
+}
+
+TEST(Hopscotch, OutOfTableRequiresArena) {
+  HopscotchTable::Config cfg;
+  cfg.mode = HopscotchTable::ValueMode::kOutOfTable;
+  std::vector<std::byte> mem(HopscotchTable::bucket_mem_bytes(cfg));
+  EXPECT_THROW(HopscotchTable(mem, {}, cfg), std::invalid_argument);
+}
+
+TEST(Hopscotch, TooSmallSpanThrows) {
+  HopscotchTable::Config cfg;
+  std::vector<std::byte> mem(64);
+  std::vector<std::byte> arena;
+  EXPECT_THROW(HopscotchTable(mem, arena, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace herd::kv

@@ -1,0 +1,210 @@
+// Unit + property tests: MICA-style lossy index + circular log cache.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "kv/mica_cache.hpp"
+#include "sim/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace herd::kv {
+namespace {
+
+MicaCache::Config tiny() {
+  MicaCache::Config cfg;
+  cfg.bucket_count_log2 = 8;  // 256 buckets * 8 ways = 2048 entries
+  cfg.log_bytes = 256 << 10;
+  return cfg;
+}
+
+std::vector<std::byte> value_of(std::uint64_t rank, std::uint32_t len) {
+  std::vector<std::byte> v(len);
+  workload::WorkloadGenerator::fill_value(rank, v);
+  return v;
+}
+
+TEST(MicaCache, PutGetRoundTrip) {
+  MicaCache c(tiny());
+  auto key = hash_of_rank(1);
+  auto val = value_of(1, 32);
+  c.put(key, val);
+  std::byte out[64];
+  auto r = c.get(key, out);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value_len, 32u);
+  EXPECT_EQ(std::memcmp(out, val.data(), 32), 0);
+}
+
+TEST(MicaCache, MissOnAbsentKey) {
+  MicaCache c(tiny());
+  std::byte out[64];
+  auto r = c.get(hash_of_rank(999), out);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(c.stats().get_misses, 1u);
+}
+
+TEST(MicaCache, OverwriteReplacesValue) {
+  MicaCache c(tiny());
+  auto key = hash_of_rank(2);
+  c.put(key, value_of(2, 16));
+  c.put(key, value_of(3, 24));
+  std::byte out[64];
+  auto r = c.get(key, out);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value_len, 24u);
+  auto expect = value_of(3, 24);
+  EXPECT_EQ(std::memcmp(out, expect.data(), 24), 0);
+}
+
+TEST(MicaCache, EraseRemoves) {
+  MicaCache c(tiny());
+  auto key = hash_of_rank(4);
+  c.put(key, value_of(4, 8));
+  EXPECT_TRUE(c.erase(key));
+  EXPECT_FALSE(c.erase(key));
+  std::byte out[16];
+  EXPECT_FALSE(c.get(key, out).found);
+}
+
+TEST(MicaCache, AccessCountsMatchPaperModel) {
+  // "each GET requires up to two random memory lookups, and each PUT
+  //  requires one" (§4.1).
+  MicaCache c(tiny());
+  auto key = hash_of_rank(5);
+  auto pr = c.put(key, value_of(5, 8));
+  EXPECT_EQ(pr.accesses, 1);
+  std::byte out[16];
+  auto gr = c.get(key, out);
+  EXPECT_EQ(gr.accesses, 2);  // bucket + log entry
+  auto miss = c.get(hash_of_rank(12345), out);
+  EXPECT_LE(miss.accesses, 2);
+}
+
+TEST(MicaCache, ZeroKeyhashRejected) {
+  MicaCache c(tiny());
+  EXPECT_THROW(c.put(KeyHash{0, 0}, value_of(1, 8)), std::invalid_argument);
+}
+
+TEST(MicaCache, OversizedValueRejected) {
+  MicaCache c(tiny());
+  std::vector<std::byte> big(MicaCache::kMaxValue + 1);
+  EXPECT_THROW(c.put(hash_of_rank(1), big), std::length_error);
+}
+
+TEST(MicaCache, TooSmallLogRejected) {
+  MicaCache::Config cfg = tiny();
+  cfg.log_bytes = 64;
+  EXPECT_THROW(MicaCache{cfg}, std::invalid_argument);
+}
+
+TEST(MicaCache, SmallBufferThrows) {
+  MicaCache c(tiny());
+  c.put(hash_of_rank(6), value_of(6, 64));
+  std::byte out[8];
+  EXPECT_THROW(c.get(hash_of_rank(6), out), std::length_error);
+}
+
+TEST(MicaCache, LossyIndexEvictsUnderPressure) {
+  // Insert far more keys than index capacity: evictions must occur, the
+  // structure must stay consistent, and recent keys should largely survive.
+  MicaCache::Config cfg = tiny();
+  cfg.log_bytes = 8 << 20;  // ample log so the index is the constraint
+  MicaCache c(cfg);
+  constexpr std::uint64_t kKeys = 10000;  // vs 2048 entries
+  for (std::uint64_t r = 0; r < kKeys; ++r) {
+    c.put(hash_of_rank(r), value_of(r, 16));
+  }
+  EXPECT_GT(c.stats().index_evictions, 0u);
+  std::byte out[32];
+  int found = 0;
+  for (std::uint64_t r = kKeys - 500; r < kKeys; ++r) {
+    auto g = c.get(hash_of_rank(r), out);
+    if (g.found) {
+      ++found;
+      auto expect = value_of(r, 16);
+      EXPECT_EQ(std::memcmp(out, expect.data(), 16), 0);
+    }
+  }
+  EXPECT_GT(found, 250);  // most recent keys survive
+}
+
+TEST(MicaCache, LogWrapInvalidatesLappedEntries) {
+  MicaCache::Config cfg;
+  cfg.bucket_count_log2 = 10;
+  cfg.log_bytes = 16 << 10;  // tiny log: ~16 entries of 1 KB
+  MicaCache c(cfg);
+  std::vector<std::byte> big(900);
+  auto old_key = hash_of_rank(1);
+  c.put(old_key, big);
+  for (std::uint64_t r = 2; r < 64; ++r) c.put(hash_of_rank(r), big);
+  EXPECT_GT(c.stats().log_wraps, 0u);
+  std::byte out[1024];
+  auto g = c.get(old_key, out);
+  // The first entry was overwritten by the FIFO log; it must NOT return
+  // stale bytes.
+  EXPECT_FALSE(g.found);
+}
+
+TEST(MicaCache, NeverReturnsWrongBytes) {
+  // Adversarial churn: whatever the cache returns must be exactly what the
+  // most recent put for that key stored.
+  MicaCache::Config cfg;
+  cfg.bucket_count_log2 = 6;
+  cfg.log_bytes = 64 << 10;
+  MicaCache c(cfg);
+  sim::Pcg32 rng(5);
+  std::unordered_map<std::uint64_t, std::uint32_t> last_len;
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t r = rng.next_below(300);
+    std::uint32_t len = 1 + rng.next_below(200);
+    if (rng.next_double() < 0.6) {
+      c.put(hash_of_rank(r), value_of(r * 1000 + len, len));
+      last_len[r] = len;
+    } else {
+      std::byte out[256];
+      auto g = c.get(hash_of_rank(r), out);
+      if (g.found) {
+        ASSERT_TRUE(last_len.count(r));
+        EXPECT_EQ(g.value_len, last_len[r]);
+        auto expect = value_of(r * 1000 + last_len[r], last_len[r]);
+        EXPECT_EQ(std::memcmp(out, expect.data(), last_len[r]), 0);
+      }
+    }
+  }
+  EXPECT_GT(c.stats().get_hits, 0u);
+}
+
+class MicaValueSizeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MicaValueSizeTest, RoundTripsEverySize) {
+  MicaCache c(tiny());
+  std::uint32_t len = GetParam();
+  auto key = hash_of_rank(len);
+  c.put(key, value_of(len, len));
+  std::byte out[1024];
+  auto g = c.get(key, out);
+  ASSERT_TRUE(g.found);
+  EXPECT_EQ(g.value_len, len);
+  auto expect = value_of(len, len);
+  EXPECT_EQ(std::memcmp(out, expect.data(), len), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MicaValueSizeTest,
+                         ::testing::Values(0, 1, 7, 8, 15, 16, 32, 100, 255,
+                                           512, 1000, 1024));
+
+TEST(MicaCache, StatsAccounting) {
+  MicaCache c(tiny());
+  c.put(hash_of_rank(1), value_of(1, 8));
+  std::byte out[16];
+  c.get(hash_of_rank(1), out);
+  c.get(hash_of_rank(2), out);
+  EXPECT_EQ(c.stats().puts, 1u);
+  EXPECT_EQ(c.stats().gets, 2u);
+  EXPECT_EQ(c.stats().get_hits, 1u);
+  EXPECT_EQ(c.stats().get_misses, 1u);
+}
+
+}  // namespace
+}  // namespace herd::kv

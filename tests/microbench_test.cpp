@@ -1,0 +1,151 @@
+// Tests of the microbenchmark drivers against the paper's §3 observations —
+// these double as regression tests for the calibrated substrate.
+#include <gtest/gtest.h>
+
+#include "microbench/echo.hpp"
+#include "microbench/throughput.hpp"
+#include "microbench/verb_latency.hpp"
+
+namespace herd::microbench {
+namespace {
+
+const cluster::ClusterConfig kApt = cluster::ClusterConfig::apt();
+
+TEST(VerbLatency, ReadAndWriteTrackEachOther) {
+  // "The latencies for READ and WRITE are similar because the length of the
+  //  network/PCIe path travelled is identical" (§3.2.1).
+  auto r = verb_latency(kApt, 32, 300);
+  EXPECT_NEAR(r.write_us, r.read_us, r.read_us * 0.15);
+}
+
+TEST(VerbLatency, InliningCutsLatencySignificantly) {
+  auto r = verb_latency(kApt, 32, 300);
+  EXPECT_LT(r.write_inline_us, r.write_us - 0.25);
+}
+
+TEST(VerbLatency, UnsignaledWriteIsHalfAnEcho) {
+  // "the one-way WRITE latency is about half of the READ latency" — the
+  // ECHO is two unsignaled WRITEs, and tracks READ for small payloads.
+  auto r = verb_latency(kApt, 32, 300);
+  EXPECT_NEAR(r.echo_us, r.read_us, r.read_us * 0.25);
+  EXPECT_NEAR(r.echo_us / 2.0, 1.0, 0.4);  // ~1 us half-RTT (§2.2.1)
+}
+
+TEST(VerbLatency, GrowsWithPayload) {
+  auto small = verb_latency(kApt, 16, 300);
+  auto large = verb_latency(kApt, 1024, 300);
+  EXPECT_GT(large.read_us, small.read_us);
+  EXPECT_GT(large.write_us, small.write_us);
+}
+
+TEST(InboundTput, WritesBeatReadsByAboutATHird) {
+  // "WRITEs achieve 35 Mops, which is about 34% higher than the maximum
+  //  READ throughput (26 Mops)" (§3.2.2).
+  TputSpec wr{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 32, 32, 4};
+  TputSpec rd{verbs::Opcode::kRead, verbs::Transport::kRc, false, 32, 16, 1};
+  double w = inbound_tput(kApt, wr);
+  double r = inbound_tput(kApt, rd);
+  EXPECT_NEAR(w, 35.0, 1.5);
+  EXPECT_NEAR(r, 26.0, 1.5);
+  EXPECT_GT(w / r, 1.25);
+}
+
+TEST(InboundTput, UcAndRcWritesNearlyIdentical) {
+  TputSpec uc{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 32, 32, 4};
+  TputSpec rc{verbs::Opcode::kWrite, verbs::Transport::kRc, true, 32, 32, 4};
+  double u = inbound_tput(kApt, uc);
+  double r = inbound_tput(kApt, rc);
+  EXPECT_NEAR(u, r, u * 0.1);
+}
+
+TEST(OutboundTput, ReadsHoldTwentyTwoMops) {
+  TputSpec rd{verbs::Opcode::kRead, verbs::Transport::kRc, false, 32, 16, 1};
+  EXPECT_NEAR(outbound_tput(kApt, rd), 22.0, 1.5);
+}
+
+TEST(OutboundTput, InlineWriteKneeAt28Bytes) {
+  // One write-combining cacheline holds a 36 B WQE + 28 B payload; beyond
+  // that PIO throughput halves (§3.2.2's 64-byte staircase).
+  TputSpec below{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 28, 8, 4};
+  TputSpec above{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 40, 8, 4};
+  double b = outbound_tput(kApt, below);
+  double a = outbound_tput(kApt, above);
+  EXPECT_GT(b, a * 1.15);
+}
+
+TEST(OutboundTput, UdSendDropsEarlierThanWrite) {
+  // "Due to the larger datagram header, the throughput for SEND-UD drops
+  //  for smaller payload sizes than for WRITEs."
+  TputSpec wr{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 24, 8, 4};
+  TputSpec ud{verbs::Opcode::kSend, verbs::Transport::kUd, true, 24, 8, 4};
+  EXPECT_GT(outbound_tput(kApt, wr), outbound_tput(kApt, ud) * 1.1);
+}
+
+TEST(Echo, OptimizationLadderIsMonotonic) {
+  for (auto kind :
+       {EchoKind::kSendSend, EchoKind::kWriteWrite, EchoKind::kWriteSend}) {
+    double prev = 0;
+    for (int lvl = 0; lvl <= 3; ++lvl) {
+      EchoOpts o;
+      o.opt_level = lvl;
+      double m = echo_tput(kApt, kind, o);
+      EXPECT_GE(m, prev * 0.98) << echo_kind_name(kind) << " lvl " << lvl;
+      prev = m;
+    }
+  }
+}
+
+TEST(Echo, FullyOptimizedMatchesPaperAnchors) {
+  EchoOpts o;  // fully optimized by default
+  double ss = echo_tput(kApt, EchoKind::kSendSend, o);
+  double ww = echo_tput(kApt, EchoKind::kWriteWrite, o);
+  double ws = echo_tput(kApt, EchoKind::kWriteSend, o);
+  EXPECT_NEAR(ss, 21.0, 1.5);  // "21 Mops" (§3.2.2)
+  EXPECT_NEAR(ww, 26.0, 1.5);  // "maximum throughput (26 Mops)"
+  EXPECT_NEAR(ws, 26.0, 1.5);  // "this hybrid also achieves 26 Mops"
+}
+
+TEST(Echo, SendSendBeatsThreeQuartersOfReadRate) {
+  // The paper's refutation: optimized SEND/RECV echoes beat 3/4 of the
+  // 26 Mops READ rate, so one echo beats 2.6 READs.
+  EchoOpts o;
+  EXPECT_GT(echo_tput(kApt, EchoKind::kSendSend, o), 26.0 * 0.75);
+}
+
+TEST(AllToAll, InboundScalesOutboundCollapses) {
+  TputSpec wr{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 32, 32, 4};
+  double in16 = all_to_all_inbound(kApt, wr, 16);
+  double out16 = all_to_all_outbound(kApt, wr, 16);
+  double out4 = all_to_all_outbound(kApt, wr, 4);
+  EXPECT_NEAR(in16, 35.0, 2.0);        // inbound flat at 256 QPs
+  EXPECT_LT(out16, out4 * 0.45);       // outbound collapses
+  EXPECT_NEAR(out16 / 35.0, 0.21, 0.08);  // "degrades to 21% of the maximum"
+}
+
+TEST(AllToAll, UdOutboundScales) {
+  TputSpec ud{verbs::Opcode::kSend, verbs::Transport::kUd, true, 32, 32, 4};
+  double out4 = all_to_all_outbound(kApt, ud, 4);
+  double out16 = all_to_all_outbound(kApt, ud, 16);
+  EXPECT_GT(out16, out4 * 0.85);  // slight sag only (§3.3)
+}
+
+TEST(ManyToOne, SixteenHundredClientsSustainLineRate) {
+  // §3.3: 1600 processes over 16 machines, WRITEs over UC -> ~30 Mops.
+  TputSpec wr{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 32, 4, 4};
+  EXPECT_GT(many_to_one_tput(kApt, wr, 1600, 16), 28.0);
+}
+
+TEST(Prefetch, FiveCoresReachPeakWithPrefetching) {
+  EchoOpts o;
+  o.mem_accesses = 8;
+  o.n_server_procs = 5;
+  o.prefetch = true;
+  double with = echo_tput(kApt, EchoKind::kWriteSend, o);
+  o.prefetch = false;
+  double without = echo_tput(kApt, EchoKind::kWriteSend, o);
+  EXPECT_GT(with, 18.0);        // "5 cores can deliver the peak... N = 8"
+  EXPECT_GT(with, without * 2); // prefetching pays
+}
+
+}  // namespace
+}  // namespace herd::microbench

@@ -1,0 +1,212 @@
+// Unit + property tests: HERD wire protocol and request-region layout
+// (Fig. 8, §4.2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "herd/protocol.hpp"
+#include "herd/request_region.hpp"
+#include "workload/workload.hpp"
+
+namespace herd::core {
+namespace {
+
+TEST(Protocol, GetEncodesEighteenBytes) {
+  // "A GET request consists only of a 16-byte keyhash" (+ our LEN=0 marker).
+  EXPECT_EQ(request_wire_bytes(0), 18u);
+}
+
+TEST(Protocol, EmptySlotDecodesToNothing) {
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  EXPECT_FALSE(decode_request(slot).has_value());
+}
+
+TEST(Protocol, GetRoundTrip) {
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  Request req;
+  req.key = kv::hash_of_rank(3);
+  req.is_put = false;
+  std::uint32_t start = encode_request(slot, req);
+  EXPECT_EQ(start, kSlotBytes - 18);
+  auto dec = decode_request(slot);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_FALSE(dec->is_put);
+  EXPECT_TRUE(dec->key == req.key);
+}
+
+class ProtocolValueSizeTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ProtocolValueSizeTest, PutRoundTripsEverySize) {
+  std::uint32_t len = GetParam();
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  std::vector<std::byte> value(len);
+  workload::WorkloadGenerator::fill_value(len, value);
+  Request req;
+  req.key = kv::hash_of_rank(len);
+  req.is_put = true;
+  req.value = value;
+  std::uint32_t start = encode_request(slot, req);
+  EXPECT_EQ(start, kSlotBytes - 18 - len);
+  auto dec = decode_request(slot);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->is_put);
+  EXPECT_TRUE(dec->key == req.key);
+  ASSERT_EQ(dec->value.size(), len);
+  EXPECT_TRUE(std::equal(value.begin(), value.end(), dec->value.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ProtocolValueSizeTest,
+                         ::testing::Values(1, 2, 16, 32, 100, 500, 999,
+                                           1000));
+
+TEST(Protocol, KeyhashOccupiesSlotTail) {
+  // The keyhash must land in the *rightmost* 16 bytes so left-to-right DMA
+  // ordering makes it the last thing visible (§4.2).
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  Request req;
+  req.key = kv::hash_of_rank(8);
+  encode_request(slot, req);
+  kv::KeyHash tail;
+  std::memcpy(&tail.hi, slot.data() + kSlotBytes - 16, 8);
+  std::memcpy(&tail.lo, slot.data() + kSlotBytes - 8, 8);
+  EXPECT_TRUE(tail == req.key);
+}
+
+TEST(Protocol, ClearSlotReArms) {
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  Request req;
+  req.key = kv::hash_of_rank(9);
+  encode_request(slot, req);
+  ASSERT_TRUE(decode_request(slot).has_value());
+  clear_slot(slot);
+  EXPECT_FALSE(decode_request(slot).has_value());
+}
+
+TEST(Protocol, ExactlySizedSendFrameDecodes) {
+  // SEND-mode frames are exactly the wire size, not a full slot.
+  std::vector<std::byte> value(40);
+  workload::WorkloadGenerator::fill_value(1, value);
+  std::vector<std::byte> frame(request_wire_bytes(40));
+  Request req;
+  req.key = kv::hash_of_rank(1);
+  req.is_put = true;
+  req.value = value;
+  EXPECT_EQ(encode_request(frame, req), 0u);
+  auto dec = decode_request(frame);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->value.size(), 40u);
+}
+
+TEST(Protocol, CorruptLenRejected) {
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  Request req;
+  req.key = kv::hash_of_rank(2);
+  encode_request(slot, req);
+  // Overwrite LEN with something beyond kMaxValue.
+  std::uint16_t bad = kMaxValue + 100;
+  std::memcpy(slot.data() + kSlotBytes - kReqTrailer, &bad, 2);
+  EXPECT_FALSE(decode_request(slot).has_value());
+}
+
+TEST(Protocol, LenLargerThanFrameRejected) {
+  std::vector<std::byte> frame(32);  // too small for its declared value
+  kv::KeyHash key = kv::hash_of_rank(5);
+  std::uint16_t len = 100;
+  std::memcpy(frame.data() + 32 - 18, &len, 2);
+  std::memcpy(frame.data() + 32 - 16, &key.hi, 8);
+  std::memcpy(frame.data() + 32 - 8, &key.lo, 8);
+  EXPECT_FALSE(decode_request(frame).has_value());
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  std::vector<std::byte> buf(1024);
+  std::vector<std::byte> value(64);
+  workload::WorkloadGenerator::fill_value(4, value);
+  std::uint32_t n = encode_response(buf, RespStatus::kOk, value);
+  EXPECT_EQ(n, kRespHeader + 64);
+  auto dec = decode_response(std::span<const std::byte>(buf).first(n));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->status, RespStatus::kOk);
+  ASSERT_EQ(dec->value.size(), 64u);
+  EXPECT_TRUE(std::equal(value.begin(), value.end(), dec->value.begin()));
+}
+
+TEST(Protocol, NotFoundResponse) {
+  std::vector<std::byte> buf(16);
+  std::uint32_t n = encode_response(buf, RespStatus::kNotFound, {});
+  auto dec = decode_response(std::span<const std::byte>(buf).first(n));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->status, RespStatus::kNotFound);
+  EXPECT_TRUE(dec->value.empty());
+}
+
+TEST(Protocol, TruncatedResponseRejected) {
+  std::vector<std::byte> buf(2, std::byte{0});
+  EXPECT_FALSE(decode_response(buf).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Request region layout (Fig. 8).
+
+TEST(RequestRegion, PaperSizingExample) {
+  // "With NC = 200, NS = 16 and W = 2, this is approximately 6 MB."
+  RequestRegion r(0, 16, 200, 2);
+  EXPECT_EQ(r.size_bytes(), 16ull * 200 * 2 * 1024);
+  EXPECT_NEAR(static_cast<double>(r.size_bytes()) / (1 << 20), 6.25, 0.01);
+}
+
+TEST(RequestRegion, SlotFormulaMatchesPaper) {
+  // "it polls the request region at the request slot number
+  //  s*(W*Nc) + (c*W) + r mod W"
+  RequestRegion r(0, 4, 10, 8);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (std::uint32_t c = 0; c < 10; ++c) {
+      for (std::uint64_t req = 0; req < 20; ++req) {
+        EXPECT_EQ(r.slot_index(s, c, req),
+                  std::uint64_t{s} * (8 * 10) + c * 8 + (req % 8));
+      }
+    }
+  }
+}
+
+TEST(RequestRegion, SlotsAreDisjointAcrossClientsAndProcs) {
+  RequestRegion r(4096, 3, 7, 4);
+  std::set<std::uint64_t> addrs;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    for (std::uint32_t c = 0; c < 7; ++c) {
+      for (std::uint64_t w = 0; w < 4; ++w) {
+        auto a = r.slot_addr(s, c, w);
+        EXPECT_TRUE(addrs.insert(a).second) << "duplicate slot";
+        EXPECT_GE(a, r.base());
+        EXPECT_LT(a, r.base() + r.size_bytes());
+        EXPECT_EQ((a - r.base()) % kSlotBytes, 0u);
+      }
+    }
+  }
+  EXPECT_EQ(addrs.size(), 3u * 7 * 4);
+}
+
+TEST(RequestRegion, LocateInvertsSlotAddr) {
+  RequestRegion r(10240, 5, 9, 3);
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    for (std::uint32_t c = 0; c < 9; ++c) {
+      for (std::uint64_t w = 0; w < 3; ++w) {
+        auto id = r.locate(s, r.slot_addr(s, c, w));
+        EXPECT_EQ(id.client, c);
+        EXPECT_EQ(id.wslot, w % 3);
+      }
+    }
+  }
+}
+
+TEST(RequestRegion, ChunksTileTheRegion) {
+  RequestRegion r(0, 4, 6, 2);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(r.chunk_addr(s), s * r.chunk_bytes());
+  }
+  EXPECT_EQ(r.chunk_bytes() * 4, r.size_bytes());
+}
+
+}  // namespace
+}  // namespace herd::core

@@ -1,0 +1,198 @@
+// Unit tests: latency histogram, throughput meter, RNG, Zipf sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/zipf.hpp"
+
+namespace herd::sim {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.quantile_ns(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSample) {
+  LatencyHistogram h;
+  h.record(ns(42));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 42.0);
+  // All quantiles hit the one sample, up to bucket resolution.
+  EXPECT_NEAR(h.quantile_ns(0.01), 42.0, 42.0 * 0.04);
+  EXPECT_NEAR(h.quantile_ns(0.99), 42.0, 42.0 * 0.04);
+  EXPECT_EQ(h.min(), ns(42));
+  EXPECT_EQ(h.max(), ns(42));
+}
+
+TEST(LatencyHistogram, SmallExactValues) {
+  LatencyHistogram h;
+  for (Tick t = 0; t < 32; ++t) h.record(t);
+  // Values below 2^5 ticks are recorded exactly.
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_NEAR(h.quantile_ns(1.0), 31.0 / 1000.0, 1e-9);
+}
+
+TEST(LatencyHistogram, QuantilesOrderedAndBracketed) {
+  LatencyHistogram h;
+  Pcg32 rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    h.record(ns(100) + rng.next_below(1000) * ns(10));  // 100ns..10.1us
+  }
+  double p5 = h.quantile_ns(0.05);
+  double p50 = h.quantile_ns(0.50);
+  double p95 = h.quantile_ns(0.95);
+  double p99 = h.quantile_ns(0.99);
+  EXPECT_LE(p5, p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p5, 100.0);
+  EXPECT_LE(p99, 10100.0 * 1.04);
+  // Uniform distribution: median near the middle, p5/p95 near the tails.
+  EXPECT_NEAR(p50, 5100.0, 5100.0 * 0.06);
+  EXPECT_NEAR(p95, 9600.0, 9600.0 * 0.06);
+  // Mean is exact (tracked outside the buckets).
+  EXPECT_NEAR(h.mean_ns(), 5095.0, 60.0);
+}
+
+TEST(LatencyHistogram, BoundedRelativeErrorAcrossMagnitudes) {
+  // Log-linear buckets: relative quantile error stays < ~2^-5 per octave.
+  for (double v : {1e2, 1e4, 1e6, 1e8, 1e10}) {
+    LatencyHistogram h;
+    auto t = static_cast<Tick>(v);
+    h.record(t);
+    EXPECT_NEAR(h.quantile_ns(0.5), to_ns(t), to_ns(t) * 0.04)
+        << "at magnitude " << v;
+  }
+}
+
+TEST(LatencyHistogram, MergeAccumulates) {
+  LatencyHistogram a, b;
+  a.record(ns(10));
+  b.record(ns(1000));
+  b.record(ns(2000));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), ns(10));
+  EXPECT_EQ(a.max(), ns(2000));
+  EXPECT_NEAR(a.mean_ns(), (10 + 1000 + 2000) / 3.0, 0.01);
+}
+
+TEST(LatencyHistogram, ClearResets) {
+  LatencyHistogram h;
+  h.record(ns(5));
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(ThroughputMeter, ComputesMops) {
+  ThroughputMeter m;
+  m.start_window(0);
+  m.record(26000);  // 26k ops over 1 ms = 26 Mops
+  EXPECT_NEAR(m.mops(ms(1)), 26.0, 1e-9);
+  m.start_window(ms(1));
+  EXPECT_EQ(m.ops(), 0u);
+}
+
+TEST(Pcg32, DeterministicPerSeed) {
+  Pcg32 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    std::uint32_t av = a.next_u32();
+    EXPECT_EQ(av, b.next_u32());
+    (void)c;
+  }
+  Pcg32 a2(42), c2(43);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a2.next_u32() != c2.next_u32()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Pcg32, NextBelowInRange) {
+  Pcg32 rng(7);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32, NextBelowRoughlyUniform) {
+  Pcg32 rng(11);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.05);
+  }
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+class ZipfThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfThetaTest, EmpiricalFrequencyMatchesPmf) {
+  double theta = GetParam();
+  ZipfGenerator z(10000, theta, 123);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[z.next()];
+  // Rank 0 is the hottest; its observed share matches pmf(0) within noise.
+  double expect0 = z.pmf(0);
+  double seen0 = static_cast<double>(counts[0]) / kSamples;
+  EXPECT_NEAR(seen0, expect0, expect0 * 0.10) << "theta=" << theta;
+  // Monotonic popularity over the head of the distribution.
+  EXPECT_GE(counts[0], counts[1]);
+  EXPECT_GE(counts[1], counts[4]);
+}
+
+TEST_P(ZipfThetaTest, PmfSumsToOne) {
+  ZipfGenerator z(5000, GetParam(), 9);
+  double sum = 0;
+  for (std::uint64_t r = 0; r < 5000; ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaTest,
+                         ::testing::Values(0.5, 0.8, 0.9, 0.99));
+
+TEST(Zipf, AllRanksInUniverse) {
+  ZipfGenerator z(100, 0.99, 5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.next(), 100u);
+}
+
+TEST(Zipf, PaperSkewHotKeyDominance) {
+  // "the most popular key is over 1e5 times more popular than the average"
+  // (§5.7) — with the paper's 0.99 exponent over a large universe.
+  ZipfGenerator z(1u << 24, 0.99, 1);
+  double avg = 1.0 / static_cast<double>(1u << 24);
+  EXPECT_GT(z.pmf(0) / avg, 1e5);
+}
+
+TEST(Zipf, RejectsInvalidConfig) {
+  EXPECT_THROW(ZipfGenerator(0, 0.99, 1), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace herd::sim

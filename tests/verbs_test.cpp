@@ -1,0 +1,608 @@
+// Unit + property tests for the verbs layer: transport legality (Table 1),
+// data movement correctness, completion semantics, memory protection, RNR
+// behavior, READ flow control, inline semantics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+
+#include "cluster/cluster.hpp"
+#include "verbs/verbs.hpp"
+
+namespace herd::verbs {
+namespace {
+
+class VerbsTest : public ::testing::Test {
+ protected:
+  VerbsTest() : cl_(cluster::ClusterConfig::apt(), 3, 1u << 20) {}
+
+  struct Endpoint {
+    std::unique_ptr<Cq> scq;
+    std::unique_ptr<Cq> rcq;
+    std::unique_ptr<Qp> qp;
+    Mr mr{};
+  };
+
+  Endpoint make(std::size_t host, Transport tr, bool remote_access = true) {
+    Endpoint e;
+    auto& ctx = cl_.host(host).ctx();
+    e.scq = ctx.create_cq();
+    e.rcq = ctx.create_cq();
+    e.qp = ctx.create_qp({tr, e.scq.get(), e.rcq.get()});
+    e.mr = ctx.register_mr(
+        0, 64 << 10,
+        {.remote_write = remote_access, .remote_read = remote_access});
+    return e;
+  }
+
+  std::span<std::byte> mem(std::size_t host, std::uint64_t addr,
+                           std::uint32_t len) {
+    return cl_.host(host).memory().span(addr, len);
+  }
+
+  void fill(std::size_t host, std::uint64_t addr, std::uint32_t len,
+            std::uint8_t seed) {
+    auto m = mem(host, addr, len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      m[i] = static_cast<std::byte>(seed + i);
+    }
+  }
+
+  bool matches(std::size_t host, std::uint64_t addr, std::uint32_t len,
+               std::uint8_t seed) {
+    auto m = mem(host, addr, len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      if (m[i] != static_cast<std::byte>(seed + i)) return false;
+    }
+    return true;
+  }
+
+  std::optional<Wc> poll_one(Cq& cq) {
+    Wc wc;
+    if (cq.poll({&wc, 1}) == 1) return wc;
+    return std::nullopt;
+  }
+
+  cluster::Cluster cl_;
+};
+
+// ---------------------------------------------------------------------------
+// Table 1 legality, as a parameterized sweep.
+
+struct LegalityCase {
+  Transport tr;
+  Opcode op;
+  bool legal;
+};
+
+class Table1Test : public VerbsTest,
+                   public ::testing::WithParamInterface<LegalityCase> {};
+
+TEST_P(Table1Test, EnforcesTable1) {
+  auto [tr, op, legal] = GetParam();
+  auto a = make(0, tr);
+  auto b = make(1, tr);
+  if (tr != Transport::kUd) a.qp->connect(*b.qp);
+  b.qp->post_recv({.wr_id = 9, .sge = {4096, 8192, b.mr.lkey}});
+
+  SendWr wr;
+  wr.opcode = op;
+  wr.sge = {0, 32, a.mr.lkey};
+  wr.remote_addr = 0;
+  wr.rkey = b.mr.rkey;
+  if (tr == Transport::kUd) {
+    wr.ah = Ah{&cl_.host(1).ctx(), b.qp->qpn()};
+  }
+  if (legal) {
+    EXPECT_NO_THROW(a.qp->post_send(wr));
+    cl_.engine().run();
+  } else {
+    EXPECT_THROW(a.qp->post_send(wr), std::invalid_argument);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, Table1Test,
+    ::testing::Values(
+        LegalityCase{Transport::kRc, Opcode::kSend, true},
+        LegalityCase{Transport::kRc, Opcode::kWrite, true},
+        LegalityCase{Transport::kRc, Opcode::kRead, true},
+        LegalityCase{Transport::kUc, Opcode::kSend, true},
+        LegalityCase{Transport::kUc, Opcode::kWrite, true},
+        LegalityCase{Transport::kUc, Opcode::kRead, false},
+        LegalityCase{Transport::kUd, Opcode::kSend, true},
+        LegalityCase{Transport::kUd, Opcode::kWrite, false},
+        LegalityCase{Transport::kUd, Opcode::kRead, false}));
+
+// ---------------------------------------------------------------------------
+// Connection management.
+
+TEST_F(VerbsTest, ConnectRejectsUd) {
+  auto a = make(0, Transport::kUd);
+  auto b = make(1, Transport::kUd);
+  EXPECT_THROW(a.qp->connect(*b.qp), std::logic_error);
+}
+
+TEST_F(VerbsTest, ConnectRejectsTransportMismatch) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kUc);
+  EXPECT_THROW(a.qp->connect(*b.qp), std::logic_error);
+}
+
+TEST_F(VerbsTest, ConnectRejectsDoubleConnect) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  auto c = make(2, Transport::kRc);
+  a.qp->connect(*b.qp);
+  EXPECT_THROW(a.qp->connect(*c.qp), std::logic_error);
+  EXPECT_THROW(c.qp->connect(*b.qp), std::logic_error);
+  // Re-connecting the same pair is idempotent.
+  EXPECT_NO_THROW(a.qp->connect(*b.qp));
+}
+
+TEST_F(VerbsTest, UnconnectedPostSendThrows) {
+  auto a = make(0, Transport::kRc);
+  SendWr wr;
+  wr.sge = {0, 8, a.mr.lkey};
+  EXPECT_THROW(a.qp->post_send(wr), std::logic_error);
+}
+
+TEST_F(VerbsTest, UdSendWithoutAhThrows) {
+  auto a = make(0, Transport::kUd);
+  SendWr wr;
+  wr.sge = {0, 8, a.mr.lkey};
+  EXPECT_THROW(a.qp->post_send(wr), std::invalid_argument);
+}
+
+TEST_F(VerbsTest, QpRequiresCqs) {
+  EXPECT_THROW(cl_.host(0).ctx().create_qp({Transport::kRc, nullptr, nullptr}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Data movement.
+
+TEST_F(VerbsTest, WriteMovesBytes) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  fill(0, 100, 256, 7);
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {100, 256, a.mr.lkey};
+  wr.remote_addr = 5000;
+  wr.rkey = b.mr.rkey;
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  EXPECT_TRUE(matches(1, 5000, 256, 7));
+  auto wc = poll_one(*a.scq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kSuccess);
+  EXPECT_EQ(wc->opcode, WcOpcode::kWrite);
+}
+
+TEST_F(VerbsTest, ReadFetchesRemoteBytes) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  fill(1, 3000, 512, 42);
+
+  SendWr wr;
+  wr.opcode = Opcode::kRead;
+  wr.wr_id = 77;
+  wr.sge = {200, 512, a.mr.lkey};
+  wr.remote_addr = 3000;
+  wr.rkey = b.mr.rkey;
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  EXPECT_TRUE(matches(0, 200, 512, 42));
+  auto wc = poll_one(*a.scq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->wr_id, 77u);
+  EXPECT_EQ(wc->opcode, WcOpcode::kRead);
+}
+
+TEST_F(VerbsTest, SendRecvDeliversPayloadAndCompletions) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  fill(0, 0, 128, 9);
+  b.qp->post_recv({.wr_id = 55, .sge = {9000, 1024, b.mr.lkey}});
+
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.wr_id = 56;
+  wr.sge = {0, 128, a.mr.lkey};
+  a.qp->post_send(wr);
+  cl_.engine().run();
+
+  EXPECT_TRUE(matches(1, 9000, 128, 9));  // no GRH on connected transport
+  auto rwc = poll_one(*b.rcq);
+  ASSERT_TRUE(rwc.has_value());
+  EXPECT_EQ(rwc->wr_id, 55u);
+  EXPECT_EQ(rwc->opcode, WcOpcode::kRecv);
+  EXPECT_EQ(rwc->byte_len, 128u);
+  auto swc = poll_one(*a.scq);
+  ASSERT_TRUE(swc.has_value());
+  EXPECT_EQ(swc->wr_id, 56u);
+}
+
+TEST_F(VerbsTest, UdSendPrependsGrh) {
+  auto a = make(0, Transport::kUd);
+  auto b = make(1, Transport::kUd);
+  fill(0, 0, 64, 3);
+  b.qp->post_recv({.wr_id = 1, .sge = {2000, 1024, b.mr.lkey}});
+
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.sge = {0, 64, a.mr.lkey};
+  wr.ah = Ah{&cl_.host(1).ctx(), b.qp->qpn()};
+  a.qp->post_send(wr);
+  cl_.engine().run();
+
+  auto wc = poll_one(*b.rcq);
+  ASSERT_TRUE(wc.has_value());
+  // byte_len includes the 40-byte GRH, payload lands at offset 40 (ibverbs
+  // UD semantics).
+  EXPECT_EQ(wc->byte_len, 64u + kGrhBytes);
+  EXPECT_TRUE(matches(1, 2000 + kGrhBytes, 64, 3));
+  EXPECT_EQ(wc->src_qp, a.qp->qpn());
+  EXPECT_EQ(wc->src_port, cl_.host(0).port());
+}
+
+TEST_F(VerbsTest, InlinePayloadCapturedAtPostTime) {
+  // The defining inline property: the buffer is reusable immediately after
+  // post_send returns. HERD's clients depend on it.
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+  fill(0, 0, 64, 10);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 64, a.mr.lkey};
+  wr.remote_addr = 0;
+  wr.rkey = b.mr.rkey;
+  wr.inline_data = true;
+  a.qp->post_send(wr);
+  fill(0, 0, 64, 200);  // clobber the source immediately
+  cl_.engine().run();
+  EXPECT_TRUE(matches(1, 0, 64, 10));  // original bytes arrived
+}
+
+TEST_F(VerbsTest, NonInlinePayloadSampledAtDmaTime) {
+  // Without inlining the device fetches the buffer later; an immediate
+  // overwrite races the DMA and the *new* bytes go out. This mirrors real
+  // verbs semantics (the buffer must stay stable until completion).
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+  fill(0, 0, 64, 10);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 64, a.mr.lkey};
+  wr.remote_addr = 0;
+  wr.rkey = b.mr.rkey;
+  wr.inline_data = false;
+  a.qp->post_send(wr);
+  fill(0, 0, 64, 200);  // clobber before the DMA read fires
+  cl_.engine().run();
+  EXPECT_TRUE(matches(1, 0, 64, 200));
+}
+
+class PayloadSizeTest : public VerbsTest,
+                        public ::testing::WithParamInterface<std::uint32_t> {};
+
+TEST_P(PayloadSizeTest, WriteRoundTripsAllSizes) {
+  std::uint32_t len = GetParam();
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  fill(0, 0, len, 91);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, len, a.mr.lkey};
+  wr.remote_addr = 1024;
+  wr.rkey = b.mr.rkey;
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  EXPECT_TRUE(matches(1, 1024, len, 91));
+}
+
+TEST_P(PayloadSizeTest, ReadRoundTripsAllSizes) {
+  std::uint32_t len = GetParam();
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  fill(1, 0, len, 17);
+  SendWr wr;
+  wr.opcode = Opcode::kRead;
+  wr.sge = {2048, len, a.mr.lkey};
+  wr.remote_addr = 0;
+  wr.rkey = b.mr.rkey;
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  EXPECT_TRUE(matches(0, 2048, len, 17));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PayloadSizeTest,
+                         ::testing::Values(1, 4, 16, 28, 29, 64, 100, 256,
+                                           257, 1000, 1024, 4096, 8192));
+
+// ---------------------------------------------------------------------------
+// Signaling.
+
+TEST_F(VerbsTest, UnsignaledVerbsProduceNoCqe) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 16, a.mr.lkey};
+  wr.remote_addr = 0;
+  wr.rkey = b.mr.rkey;
+  wr.signaled = false;
+  wr.inline_data = true;
+  for (int i = 0; i < 10; ++i) a.qp->post_send(wr);
+  cl_.engine().run();
+  EXPECT_FALSE(poll_one(*a.scq).has_value());
+  EXPECT_EQ(cl_.host(1).rnic().counters().rx_ops, 10u);  // they did arrive
+}
+
+TEST_F(VerbsTest, SelectiveSignalingDeliversOnlyMarkedCqes) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 16, a.mr.lkey};
+  wr.remote_addr = 0;
+  wr.rkey = b.mr.rkey;
+  wr.inline_data = true;
+  for (int i = 0; i < 16; ++i) {
+    wr.wr_id = i;
+    wr.signaled = (i % 4 == 3);
+    a.qp->post_send(wr);
+  }
+  cl_.engine().run();
+  int cqes = 0;
+  while (auto wc = poll_one(*a.scq)) {
+    EXPECT_EQ(wc->wr_id % 4, 3u);
+    ++cqes;
+  }
+  EXPECT_EQ(cqes, 4);
+}
+
+TEST_F(VerbsTest, CqNotifyFiresOnPush) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  int notified = 0;
+  a.scq->set_notify([&] { ++notified; });
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 8, a.mr.lkey};
+  wr.remote_addr = 0;
+  wr.rkey = b.mr.rkey;
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  EXPECT_EQ(notified, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Memory protection.
+
+TEST_F(VerbsTest, WriteWithBadRkeyErrorsOnRc) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 8, a.mr.lkey};
+  wr.remote_addr = 0;
+  wr.rkey = 0xdead;
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  auto wc = poll_one(*a.scq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(cl_.host(1).rnic().counters().access_errors, 1u);
+}
+
+TEST_F(VerbsTest, WriteWithBadRkeySilentlyDropsOnUc) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 8, a.mr.lkey};
+  wr.remote_addr = 0;
+  wr.rkey = 0xdead;
+  wr.signaled = false;
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  EXPECT_EQ(cl_.host(1).rnic().counters().access_errors, 1u);
+  EXPECT_EQ(cl_.host(1).rnic().counters().dropped_packets, 1u);
+}
+
+TEST_F(VerbsTest, WriteOutOfBoundsErrors) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 4096, a.mr.lkey};
+  wr.remote_addr = (64 << 10) - 100;  // escapes the 64 KiB MR
+  wr.rkey = b.mr.rkey;
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  auto wc = poll_one(*a.scq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kRemoteAccessError);
+}
+
+TEST_F(VerbsTest, ReadRequiresRemoteReadPermission) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc, /*remote_access=*/false);
+  a.qp->connect(*b.qp);
+  SendWr wr;
+  wr.opcode = Opcode::kRead;
+  wr.sge = {0, 8, a.mr.lkey};
+  wr.remote_addr = 0;
+  wr.rkey = b.mr.rkey;
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  auto wc = poll_one(*a.scq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kRemoteAccessError);
+}
+
+TEST_F(VerbsTest, LocalLkeyValidatedAtPostTime) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 8, 0xbeef};
+  wr.remote_addr = 0;
+  wr.rkey = b.mr.rkey;
+  EXPECT_THROW(a.qp->post_send(wr), std::invalid_argument);
+}
+
+TEST_F(VerbsTest, InlineOverLimitThrows) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 257, a.mr.lkey};  // max_inline is 256
+  wr.remote_addr = 0;
+  wr.rkey = b.mr.rkey;
+  wr.inline_data = true;
+  EXPECT_THROW(a.qp->post_send(wr), std::invalid_argument);
+}
+
+TEST_F(VerbsTest, RegisterMrOutOfHostMemoryThrows) {
+  EXPECT_THROW(
+      cl_.host(0).ctx().register_mr((1u << 20) - 16, 64, {}),
+      std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// RNR (no RECV posted).
+
+TEST_F(VerbsTest, RnrOnRcFailsRequester) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.sge = {0, 16, a.mr.lkey};
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  auto wc = poll_one(*a.scq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kRnrRetryExceeded);
+  EXPECT_EQ(cl_.host(1).rnic().counters().rnr_drops, 1u);
+}
+
+TEST_F(VerbsTest, RnrOnUdSilentlyDrops) {
+  auto a = make(0, Transport::kUd);
+  auto b = make(1, Transport::kUd);
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.sge = {0, 16, a.mr.lkey};
+  wr.signaled = false;
+  wr.ah = Ah{&cl_.host(1).ctx(), b.qp->qpn()};
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  EXPECT_EQ(cl_.host(1).rnic().counters().rnr_drops, 1u);
+  EXPECT_FALSE(poll_one(*b.rcq).has_value());
+}
+
+TEST_F(VerbsTest, UdSendToUnknownQpnDropped) {
+  auto a = make(0, Transport::kUd);
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.sge = {0, 16, a.mr.lkey};
+  wr.signaled = false;
+  wr.ah = Ah{&cl_.host(1).ctx(), 424242};
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  EXPECT_EQ(cl_.host(1).rnic().counters().dropped_packets, 1u);
+}
+
+TEST_F(VerbsTest, RecvBufferTooSmallCompletesWithError) {
+  auto a = make(0, Transport::kUd);
+  auto b = make(1, Transport::kUd);
+  // UD: a 100-byte payload needs 140 bytes (GRH); give it 64.
+  b.qp->post_recv({.wr_id = 4, .sge = {0, 64, b.mr.lkey}});
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.sge = {0, 100, a.mr.lkey};
+  wr.signaled = false;
+  wr.ah = Ah{&cl_.host(1).ctx(), b.qp->qpn()};
+  a.qp->post_send(wr);
+  cl_.engine().run();
+  auto wc = poll_one(*b.rcq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kLocalLengthError);
+}
+
+// ---------------------------------------------------------------------------
+// READ flow control.
+
+TEST_F(VerbsTest, OutstandingReadsLimitedButAllComplete) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  constexpr int kReads = 64;  // 4x the 16-outstanding limit
+  for (int i = 0; i < kReads; ++i) {
+    SendWr wr;
+    wr.opcode = Opcode::kRead;
+    wr.wr_id = i;
+    wr.sge = {static_cast<std::uint64_t>(i) * 64, 64, a.mr.lkey};
+    wr.remote_addr = 0;
+    wr.rkey = b.mr.rkey;
+    a.qp->post_send(wr);
+  }
+  cl_.engine().run();
+  int done = 0;
+  while (poll_one(*a.scq)) ++done;
+  EXPECT_EQ(done, kReads);
+}
+
+TEST_F(VerbsTest, RecvQueueIsFifo) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+  for (int i = 0; i < 4; ++i) {
+    b.qp->post_recv({.wr_id = static_cast<std::uint64_t>(i),
+                     .sge = {static_cast<std::uint64_t>(i) * 1024, 1024,
+                             b.mr.lkey}});
+  }
+  for (int i = 0; i < 4; ++i) {
+    SendWr wr;
+    wr.opcode = Opcode::kSend;
+    wr.sge = {0, 32, a.mr.lkey};
+    wr.signaled = false;
+    a.qp->post_send(wr);
+  }
+  cl_.engine().run();
+  for (int i = 0; i < 4; ++i) {
+    auto wc = poll_one(*b.rcq);
+    ASSERT_TRUE(wc.has_value());
+    EXPECT_EQ(wc->wr_id, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST_F(VerbsTest, PostRecvValidatesBuffer) {
+  auto b = make(1, Transport::kRc);
+  EXPECT_THROW(b.qp->post_recv({.wr_id = 1, .sge = {0, 64, 0xbad}}),
+               std::invalid_argument);
+  EXPECT_THROW(b.qp->post_recv({.wr_id = 1, .sge = {0, 0, b.mr.lkey}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace herd::verbs

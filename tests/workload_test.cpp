@@ -1,0 +1,150 @@
+// Unit tests: keyhash + workload generation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "kv/keyhash.hpp"
+#include "workload/workload.hpp"
+
+namespace herd::workload {
+namespace {
+
+TEST(KeyHash, NeverZero) {
+  for (std::uint64_t r = 0; r < 100000; ++r) {
+    EXPECT_FALSE(kv::hash_of_rank(r).is_zero());
+  }
+  std::vector<std::byte> empty;
+  EXPECT_FALSE(kv::hash_key(empty).is_zero());
+}
+
+TEST(KeyHash, DeterministicAndDistinct) {
+  EXPECT_EQ(kv::hash_of_rank(7), kv::hash_of_rank(7));
+  std::set<std::uint64_t> his;
+  for (std::uint64_t r = 0; r < 10000; ++r) {
+    his.insert(kv::hash_of_rank(r).hi);
+  }
+  EXPECT_EQ(his.size(), 10000u);  // no collisions in the hi word
+}
+
+TEST(KeyHash, HashKeyMixesBytes) {
+  std::vector<std::byte> a{std::byte{1}, std::byte{2}, std::byte{3}};
+  std::vector<std::byte> b{std::byte{1}, std::byte{2}, std::byte{4}};
+  EXPECT_FALSE(kv::hash_key(a) == kv::hash_key(b));
+  EXPECT_TRUE(kv::hash_key(a) == kv::hash_key(a));
+  // Length is significant.
+  std::vector<std::byte> c{std::byte{1}, std::byte{2}, std::byte{3},
+                           std::byte{0}};
+  EXPECT_FALSE(kv::hash_key(a) == kv::hash_key(c));
+}
+
+TEST(KeyHash, PartitioningIsBalanced) {
+  // EREW sharding (§4.1): partitions should split the keyspace evenly.
+  constexpr std::uint32_t kParts = 6;
+  std::map<std::uint32_t, int> counts;
+  constexpr int kKeys = 60000;
+  for (std::uint64_t r = 0; r < kKeys; ++r) {
+    ++counts[kv::partition_of(kv::hash_of_rank(r), kParts)];
+  }
+  for (auto& [p, n] : counts) {
+    EXPECT_LT(p, kParts);
+    EXPECT_NEAR(n, kKeys / kParts, kKeys / kParts * 0.05);
+  }
+}
+
+TEST(Workload, GetFractionRespected) {
+  for (double gf : {0.0, 0.5, 0.95, 1.0}) {
+    WorkloadConfig cfg;
+    cfg.get_fraction = gf;
+    WorkloadGenerator wl(cfg);
+    int gets = 0;
+    constexpr int kOps = 20000;
+    for (int i = 0; i < kOps; ++i) {
+      if (wl.next().type == OpType::kGet) ++gets;
+    }
+    EXPECT_NEAR(static_cast<double>(gets) / kOps, gf, 0.02) << gf;
+  }
+}
+
+TEST(Workload, UniformKeysCoverUniverse) {
+  WorkloadConfig cfg;
+  cfg.n_keys = 100;
+  WorkloadGenerator wl(cfg);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    auto op = wl.next();
+    EXPECT_LT(op.rank, 100u);
+    seen.insert(op.rank);
+  }
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Workload, ZipfSkewsTowardLowRanks) {
+  WorkloadConfig cfg;
+  cfg.zipf = true;
+  cfg.zipf_theta = 0.99;
+  cfg.n_keys = 1u << 20;
+  WorkloadGenerator wl(cfg);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kOps = 100000;
+  for (int i = 0; i < kOps; ++i) ++counts[wl.next().rank];
+  // Rank 0 dominates; top-10 ranks take a large share.
+  int top10 = 0;
+  for (std::uint64_t r = 0; r < 10; ++r) top10 += counts[r];
+  EXPECT_GT(counts[0], kOps / 20);          // > 5% on the hottest key
+  EXPECT_GT(top10, kOps / 6);               // > ~17% on top 10
+}
+
+TEST(Workload, KeyMatchesRank) {
+  WorkloadConfig cfg;
+  WorkloadGenerator wl(cfg);
+  for (int i = 0; i < 100; ++i) {
+    auto op = wl.next();
+    EXPECT_TRUE(op.key == kv::hash_of_rank(op.rank));
+  }
+}
+
+TEST(Workload, SeedsProduceDistinctStreams) {
+  WorkloadConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  WorkloadGenerator wa(a), wb(b);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (wa.next().rank == wb.next().rank) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(Workload, SameSeedIsReproducible) {
+  WorkloadConfig cfg;
+  cfg.seed = 77;
+  WorkloadGenerator a(cfg), b(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    auto oa = a.next();
+    auto ob = b.next();
+    EXPECT_EQ(oa.rank, ob.rank);
+    EXPECT_EQ(oa.type, ob.type);
+  }
+}
+
+TEST(Workload, FillValueDeterministicPerRank) {
+  std::vector<std::byte> a(64), b(64), c(64);
+  WorkloadGenerator::fill_value(5, a);
+  WorkloadGenerator::fill_value(5, b);
+  WorkloadGenerator::fill_value(6, c);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Workload, FillValuePrefixStable) {
+  // A shorter fill is a prefix of a longer one for the same rank, so
+  // variable-length checks compose.
+  std::vector<std::byte> small(16), large(64);
+  WorkloadGenerator::fill_value(9, small);
+  WorkloadGenerator::fill_value(9, large);
+  EXPECT_TRUE(std::equal(small.begin(), small.end(), large.begin()));
+}
+
+}  // namespace
+}  // namespace herd::workload
