@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_many_to_one.dir/bench_ablation_many_to_one.cpp.o"
+  "CMakeFiles/bench_ablation_many_to_one.dir/bench_ablation_many_to_one.cpp.o.d"
+  "bench_ablation_many_to_one"
+  "bench_ablation_many_to_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_many_to_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

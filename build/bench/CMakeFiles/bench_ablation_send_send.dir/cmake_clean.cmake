@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_send_send.dir/bench_ablation_send_send.cpp.o"
+  "CMakeFiles/bench_ablation_send_send.dir/bench_ablation_send_send.cpp.o.d"
+  "bench_ablation_send_send"
+  "bench_ablation_send_send.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_send_send.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

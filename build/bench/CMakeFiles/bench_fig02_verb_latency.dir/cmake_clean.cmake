@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_verb_latency.dir/bench_fig02_verb_latency.cpp.o"
+  "CMakeFiles/bench_fig02_verb_latency.dir/bench_fig02_verb_latency.cpp.o.d"
+  "bench_fig02_verb_latency"
+  "bench_fig02_verb_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_verb_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

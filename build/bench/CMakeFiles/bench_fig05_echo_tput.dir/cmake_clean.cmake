@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_echo_tput.dir/bench_fig05_echo_tput.cpp.o"
+  "CMakeFiles/bench_fig05_echo_tput.dir/bench_fig05_echo_tput.cpp.o.d"
+  "bench_fig05_echo_tput"
+  "bench_fig05_echo_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_echo_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

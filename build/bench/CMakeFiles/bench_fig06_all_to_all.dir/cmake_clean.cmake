@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_all_to_all.dir/bench_fig06_all_to_all.cpp.o"
+  "CMakeFiles/bench_fig06_all_to_all.dir/bench_fig06_all_to_all.cpp.o.d"
+  "bench_fig06_all_to_all"
+  "bench_fig06_all_to_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_all_to_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_skew.dir/bench_fig14_skew.cpp.o"
+  "CMakeFiles/bench_fig14_skew.dir/bench_fig14_skew.cpp.o.d"
+  "bench_fig14_skew"
+  "bench_fig14_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_verbs_matrix.dir/bench_table1_verbs_matrix.cpp.o"
+  "CMakeFiles/bench_table1_verbs_matrix.dir/bench_table1_verbs_matrix.cpp.o.d"
+  "bench_table1_verbs_matrix"
+  "bench_table1_verbs_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_verbs_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

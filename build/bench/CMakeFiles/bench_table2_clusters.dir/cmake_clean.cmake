@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_clusters.dir/bench_table2_clusters.cpp.o"
+  "CMakeFiles/bench_table2_clusters.dir/bench_table2_clusters.cpp.o.d"
+  "bench_table2_clusters"
+  "bench_table2_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_cache.dir/memcached_cache.cpp.o"
+  "CMakeFiles/memcached_cache.dir/memcached_cache.cpp.o.d"
+  "memcached_cache"
+  "memcached_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

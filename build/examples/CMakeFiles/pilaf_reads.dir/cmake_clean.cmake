@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilaf_reads.dir/pilaf_reads.cpp.o"
+  "CMakeFiles/pilaf_reads.dir/pilaf_reads.cpp.o.d"
+  "pilaf_reads"
+  "pilaf_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilaf_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

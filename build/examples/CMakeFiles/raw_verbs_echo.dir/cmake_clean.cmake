@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_verbs_echo.dir/raw_verbs_echo.cpp.o"
+  "CMakeFiles/raw_verbs_echo.dir/raw_verbs_echo.cpp.o.d"
+  "raw_verbs_echo"
+  "raw_verbs_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_verbs_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for raw_verbs_echo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_study.dir/skew_study.cpp.o"
+  "CMakeFiles/skew_study.dir/skew_study.cpp.o.d"
+  "skew_study"
+  "skew_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_baselines.dir/emulated_kv.cpp.o"
+  "CMakeFiles/herd_baselines.dir/emulated_kv.cpp.o.d"
+  "libherd_baselines.a"
+  "libherd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/herd_cluster.dir/cluster.cpp.o.d"
+  "libherd_cluster.a"
+  "libherd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

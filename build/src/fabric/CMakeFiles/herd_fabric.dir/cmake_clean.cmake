@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/herd_fabric.dir/fabric.cpp.o.d"
+  "libherd_fabric.a"
+  "libherd_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_core.dir/client.cpp.o"
+  "CMakeFiles/herd_core.dir/client.cpp.o.d"
+  "CMakeFiles/herd_core.dir/service.cpp.o"
+  "CMakeFiles/herd_core.dir/service.cpp.o.d"
+  "CMakeFiles/herd_core.dir/testbed.cpp.o"
+  "CMakeFiles/herd_core.dir/testbed.cpp.o.d"
+  "libherd_core.a"
+  "libherd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/cuckoo.cpp" "src/kv/CMakeFiles/herd_kv.dir/cuckoo.cpp.o" "gcc" "src/kv/CMakeFiles/herd_kv.dir/cuckoo.cpp.o.d"
+  "/root/repo/src/kv/hopscotch.cpp" "src/kv/CMakeFiles/herd_kv.dir/hopscotch.cpp.o" "gcc" "src/kv/CMakeFiles/herd_kv.dir/hopscotch.cpp.o.d"
+  "/root/repo/src/kv/mica_cache.cpp" "src/kv/CMakeFiles/herd_kv.dir/mica_cache.cpp.o" "gcc" "src/kv/CMakeFiles/herd_kv.dir/mica_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_kv.dir/cuckoo.cpp.o"
+  "CMakeFiles/herd_kv.dir/cuckoo.cpp.o.d"
+  "CMakeFiles/herd_kv.dir/hopscotch.cpp.o"
+  "CMakeFiles/herd_kv.dir/hopscotch.cpp.o.d"
+  "CMakeFiles/herd_kv.dir/mica_cache.cpp.o"
+  "CMakeFiles/herd_kv.dir/mica_cache.cpp.o.d"
+  "libherd_kv.a"
+  "libherd_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

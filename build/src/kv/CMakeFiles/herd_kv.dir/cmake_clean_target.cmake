@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libherd_kv.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_microbench.dir/echo.cpp.o"
+  "CMakeFiles/herd_microbench.dir/echo.cpp.o.d"
+  "CMakeFiles/herd_microbench.dir/throughput.cpp.o"
+  "CMakeFiles/herd_microbench.dir/throughput.cpp.o.d"
+  "CMakeFiles/herd_microbench.dir/verb_latency.cpp.o"
+  "CMakeFiles/herd_microbench.dir/verb_latency.cpp.o.d"
+  "libherd_microbench.a"
+  "libherd_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_pcie.dir/pcie.cpp.o"
+  "CMakeFiles/herd_pcie.dir/pcie.cpp.o.d"
+  "libherd_pcie.a"
+  "libherd_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_rnic.dir/qp_cache.cpp.o"
+  "CMakeFiles/herd_rnic.dir/qp_cache.cpp.o.d"
+  "libherd_rnic.a"
+  "libherd_rnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_rnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_sim.dir/engine.cpp.o"
+  "CMakeFiles/herd_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/herd_sim.dir/stats.cpp.o"
+  "CMakeFiles/herd_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/herd_sim.dir/zipf.cpp.o"
+  "CMakeFiles/herd_sim.dir/zipf.cpp.o.d"
+  "libherd_sim.a"
+  "libherd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

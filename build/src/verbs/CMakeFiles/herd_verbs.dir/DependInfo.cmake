@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verbs/memory.cpp" "src/verbs/CMakeFiles/herd_verbs.dir/memory.cpp.o" "gcc" "src/verbs/CMakeFiles/herd_verbs.dir/memory.cpp.o.d"
+  "/root/repo/src/verbs/verbs.cpp" "src/verbs/CMakeFiles/herd_verbs.dir/verbs.cpp.o" "gcc" "src/verbs/CMakeFiles/herd_verbs.dir/verbs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/herd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/herd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/herd_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/herd_rnic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

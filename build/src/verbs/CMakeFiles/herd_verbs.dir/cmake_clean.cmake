@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_verbs.dir/memory.cpp.o"
+  "CMakeFiles/herd_verbs.dir/memory.cpp.o.d"
+  "CMakeFiles/herd_verbs.dir/verbs.cpp.o"
+  "CMakeFiles/herd_verbs.dir/verbs.cpp.o.d"
+  "libherd_verbs.a"
+  "libherd_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

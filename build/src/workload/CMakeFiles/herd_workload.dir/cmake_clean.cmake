@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_workload.dir/workload.cpp.o"
+  "CMakeFiles/herd_workload.dir/workload.cpp.o.d"
+  "libherd_workload.a"
+  "libherd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuckoo_test.dir/cuckoo_test.cpp.o"
+  "CMakeFiles/cuckoo_test.dir/cuckoo_test.cpp.o.d"
+  "cuckoo_test"
+  "cuckoo_test.pdb"
+  "cuckoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuckoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/failure_test.cpp" "tests/CMakeFiles/failure_test.dir/failure_test.cpp.o" "gcc" "tests/CMakeFiles/failure_test.dir/failure_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/herd/CMakeFiles/herd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/herd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/herd_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/herd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/herd_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/herd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/herd_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/herd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/herd_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/herd_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/herd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

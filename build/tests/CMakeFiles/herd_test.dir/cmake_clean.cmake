@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_test.dir/herd_test.cpp.o"
+  "CMakeFiles/herd_test.dir/herd_test.cpp.o.d"
+  "herd_test"
+  "herd_test.pdb"
+  "herd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

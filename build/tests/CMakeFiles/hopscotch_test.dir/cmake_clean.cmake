@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopscotch_test.dir/hopscotch_test.cpp.o"
+  "CMakeFiles/hopscotch_test.dir/hopscotch_test.cpp.o.d"
+  "hopscotch_test"
+  "hopscotch_test.pdb"
+  "hopscotch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopscotch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

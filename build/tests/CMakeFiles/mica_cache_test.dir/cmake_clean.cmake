@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mica_cache_test.dir/mica_cache_test.cpp.o"
+  "CMakeFiles/mica_cache_test.dir/mica_cache_test.cpp.o.d"
+  "mica_cache_test"
+  "mica_cache_test.pdb"
+  "mica_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mica_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

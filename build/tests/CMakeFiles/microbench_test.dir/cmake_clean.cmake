@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_test.dir/microbench_test.cpp.o"
+  "CMakeFiles/microbench_test.dir/microbench_test.cpp.o.d"
+  "microbench_test"
+  "microbench_test.pdb"
+  "microbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_test.dir/pcie_test.cpp.o"
+  "CMakeFiles/pcie_test.dir/pcie_test.cpp.o.d"
+  "pcie_test"
+  "pcie_test.pdb"
+  "pcie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

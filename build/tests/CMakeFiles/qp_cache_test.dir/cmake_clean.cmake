@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_cache_test.dir/qp_cache_test.cpp.o"
+  "CMakeFiles/qp_cache_test.dir/qp_cache_test.cpp.o.d"
+  "qp_cache_test"
+  "qp_cache_test.pdb"
+  "qp_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

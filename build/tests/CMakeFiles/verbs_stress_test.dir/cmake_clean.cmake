@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_stress_test.dir/verbs_stress_test.cpp.o"
+  "CMakeFiles/verbs_stress_test.dir/verbs_stress_test.cpp.o.d"
+  "verbs_stress_test"
+  "verbs_stress_test.pdb"
+  "verbs_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
