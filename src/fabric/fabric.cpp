@@ -51,11 +51,23 @@ void Fabric::transmit_at(sim::Tick start, std::uint32_t src, std::uint32_t dst,
   if (src >= ports_.size() || dst >= ports_.size()) {
     throw std::out_of_range("Fabric::transmit: bad port id");
   }
-  sim::Tick ser = sim::bytes_at_gbps(wire_bytes, cfg_.link_gbps);
+  double gbps = cfg_.link_gbps;
+  sim::Tick hop = cfg_.hop_latency;
+  if (fault_ != nullptr) {
+    // Link degradation: a flapping/renegotiated link serializes slower and
+    // adds delay for messages departing inside the fault window.
+    auto ws = fault_->wire_state(start);
+    if (ws.bandwidth_factor < 1.0 || ws.extra_latency > 0) {
+      if (ws.bandwidth_factor > 0.0) gbps *= ws.bandwidth_factor;
+      hop += ws.extra_latency;
+      ++degraded_;
+    }
+  }
+  sim::Tick ser = sim::bytes_at_gbps(wire_bytes, gbps);
   // Store-and-forward through the switch: serialize on the source link, cross
   // the switch, then serialize on the destination link (which is where incast
   // contention from many senders is resolved).
-  sim::Tick at_switch = ports_[src].tx->acquire_at(start, ser) + cfg_.hop_latency;
+  sim::Tick at_switch = ports_[src].tx->acquire_at(start, ser) + hop;
   sim::Tick arrival = ports_[dst].rx->acquire_at(at_switch, ser);
   engine_->schedule_at(arrival, std::move(on_arrival));
 }

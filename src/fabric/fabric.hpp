@@ -45,15 +45,35 @@ struct FabricConfig {
   /// bit errors on the wire and hardware failures, which are extremely
   /// rare" (§2.2.3). 0 by default; failure-injection tests raise it.
   double loss_probability = 0.0;
+  /// Seed for the wire-corruption RNG, so failure experiments can sweep
+  /// seeds deterministically (see also fault::FaultPlan::seed).
+  std::uint64_t seed = 0xFAB51C;
 
   static FabricConfig infiniband_56g();  // Apt
   static FabricConfig roce_40g();        // Susitna
 };
 
+/// Time-varying wire-fault hook (implemented by fault::FaultInjector).
+/// The fabric stays independent of the fault subsystem; an installed model
+/// is consulted once per message for loss and link-degradation state.
+class WireFaultModel {
+ public:
+  struct WireState {
+    double bandwidth_factor = 1.0;  // effective-bandwidth multiplier (<= 1)
+    sim::Tick extra_latency = 0;    // added one-way delay
+  };
+
+  virtual ~WireFaultModel() = default;
+  /// Rolls the fault model's loss process for one message at time `now`.
+  virtual bool drop(sim::Tick now) = 0;
+  /// Link-degradation state applying to a message departing at `now`.
+  virtual WireState wire_state(sim::Tick now) = 0;
+};
+
 class Fabric {
  public:
   Fabric(sim::Engine& engine, const FabricConfig& cfg)
-      : engine_(&engine), cfg_(cfg) {}
+      : engine_(&engine), cfg_(cfg), rng_(cfg.seed, 0x1357ULL) {}
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -78,12 +98,21 @@ class Fabric {
 
   /// Rolls the wire-corruption dice for one message. Transport layers
   /// decide what a loss means: RC retransmits in hardware; UC/UD drop.
+  /// Combines the static baseline rate with any installed fault model.
   bool drop_roll() {
-    return cfg_.loss_probability > 0.0 &&
-           rng_.next_double() < cfg_.loss_probability;
+    if (cfg_.loss_probability > 0.0 &&
+        rng_.next_double() < cfg_.loss_probability) {
+      return true;
+    }
+    return fault_ != nullptr && fault_->drop(engine_->now());
   }
 
+  /// Installs (or clears, with nullptr) a time-varying fault model.
+  void set_fault_model(WireFaultModel* m) { fault_ = m; }
+  WireFaultModel* fault_model() const { return fault_; }
+
   std::uint64_t messages_lost() const { return lost_; }
+  std::uint64_t messages_degraded() const { return degraded_; }
   void count_loss() { ++lost_; }
 
   const FabricConfig& config() const { return cfg_; }
@@ -100,8 +129,10 @@ class Fabric {
   sim::Engine* engine_;
   FabricConfig cfg_;
   std::vector<Port> ports_;
-  sim::Pcg32 rng_{0xFAB51CULL, 0x1357ULL};
+  sim::Pcg32 rng_;
+  WireFaultModel* fault_ = nullptr;
   std::uint64_t lost_ = 0;
+  std::uint64_t degraded_ = 0;
 };
 
 }  // namespace herd::fabric

@@ -1,0 +1,122 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace herd::fault {
+
+WireLossFault WireLossFault::uniform(Window w, double p) {
+  WireLossFault f;
+  f.window = w;
+  f.loss_good = p;
+  f.loss_bad = p;
+  f.mean_burst = 0;  // no chain
+  f.mean_gap = 0;
+  return f;
+}
+
+WireLossFault WireLossFault::burst(Window w, double avg_loss,
+                                   sim::Tick mean_burst) {
+  if (avg_loss <= 0.0 || avg_loss >= 1.0) {
+    throw std::invalid_argument("WireLossFault::burst: avg_loss in (0, 1)");
+  }
+  if (mean_burst == 0) {
+    throw std::invalid_argument("WireLossFault::burst: mean_burst > 0");
+  }
+  // Stationary bad-state fraction of the two-state chain is
+  // mean_burst / (mean_burst + mean_gap); with loss 1.0 in the bad state
+  // and 0 in the good state, that fraction is the average loss rate.
+  WireLossFault f;
+  f.window = w;
+  f.loss_good = 0.0;
+  f.loss_bad = 1.0;
+  f.mean_burst = mean_burst;
+  f.mean_gap = static_cast<sim::Tick>(
+      static_cast<double>(mean_burst) * (1.0 - avg_loss) / avg_loss);
+  return f;
+}
+
+FaultInjector::FaultInjector(sim::Engine& engine, FaultPlan plan)
+    : engine_(&engine),
+      plan_(std::move(plan)),
+      in_burst_(plan_.wire_loss.size(), 0),
+      next_flip_(plan_.wire_loss.size(), 0),
+      rng_(plan_.seed, 0xFA117ULL) {}
+
+sim::Tick FaultInjector::exp_sample(sim::Tick mean) {
+  // Exponential holding time via inverse transform; clamp u away from 1.
+  double u = rng_.next_double();
+  if (u > 0.999999) u = 0.999999;
+  double t = -static_cast<double>(mean) * std::log(1.0 - u);
+  return std::max<sim::Tick>(1, static_cast<sim::Tick>(t));
+}
+
+bool FaultInjector::chain_state(std::size_t i, sim::Tick now) {
+  const WireLossFault& f = plan_.wire_loss[i];
+  if (next_flip_[i] == 0) {
+    // First observation inside the window: start in the good state.
+    in_burst_[i] = 0;
+    next_flip_[i] = f.window.start + exp_sample(f.mean_gap);
+  }
+  // The flip schedule is a function of (seed, window) alone — message
+  // arrivals observe the chain, they do not advance it.
+  while (next_flip_[i] <= now) {
+    sim::Tick at = next_flip_[i];
+    in_burst_[i] = !in_burst_[i];
+    if (in_burst_[i]) ++counters_.burst_entries;
+    next_flip_[i] = at + exp_sample(in_burst_[i] ? f.mean_burst : f.mean_gap);
+  }
+  return in_burst_[i] != 0;
+}
+
+bool FaultInjector::drop(sim::Tick now) {
+  bool dropped = false;
+  for (std::size_t i = 0; i < plan_.wire_loss.size(); ++i) {
+    const WireLossFault& f = plan_.wire_loss[i];
+    if (!f.window.contains(now)) {
+      in_burst_[i] = 0;  // the process resets outside its window
+      next_flip_[i] = 0;
+      continue;
+    }
+    bool bad = f.mean_burst > 0 ? chain_state(i, now) : false;
+    double p = bad ? f.loss_bad : f.loss_good;
+    if (p > 0.0 && rng_.next_double() < p) dropped = true;
+  }
+  if (dropped) ++counters_.wire_losses;
+  return dropped;
+}
+
+fabric::WireFaultModel::WireState FaultInjector::wire_state(sim::Tick now) {
+  WireState ws;
+  for (const LinkDegradeFault& f : plan_.link_degrade) {
+    if (!f.window.contains(now)) continue;
+    ws.bandwidth_factor = std::min(ws.bandwidth_factor, f.bandwidth_factor);
+    ws.extra_latency += f.extra_latency;
+  }
+  if (ws.bandwidth_factor < 1.0 || ws.extra_latency > 0) {
+    ++counters_.degraded_messages;
+  }
+  return ws;
+}
+
+void FaultInjector::arm_nic_stall(std::uint32_t host, sim::Resource& unit) {
+  for (const NicStallFault& f : plan_.nic_stall) {
+    if (f.host != host || f.window.length() == 0) continue;
+    // Pre-occupy the unit for the whole window: work arriving during the
+    // stall queues behind it and drains once the NIC unfreezes.
+    unit.acquire_at(f.window.start, f.window.length());
+    ++counters_.nic_stalls;
+  }
+}
+
+void FaultInjector::append_counters(sim::CounterReport& report) const {
+  report.add("fault.wire_losses", counters_.wire_losses);
+  report.add("fault.burst_entries", counters_.burst_entries);
+  report.add("fault.degraded_messages", counters_.degraded_messages);
+  report.add("fault.nic_stalls", counters_.nic_stalls);
+  report.add("fault.crashes", counters_.crashes);
+  report.add("fault.recoveries", counters_.recoveries);
+}
+
+}  // namespace herd::fault

@@ -1,0 +1,151 @@
+// Deterministic, scriptable fault injection (`herd::fault`).
+//
+// HERD's correctness on UC/UD rests on §2.2.3's assumption that losses are
+// "extremely rare" and recovered by application-level retries. A uniform
+// loss knob cannot express how real RDMA deployments actually fail: losses
+// arrive in bursts (a flapping optic, a PFC storm), links renegotiate to
+// lower rates, NICs pause, and server processes crash and restart. A
+// `FaultPlan` scripts those events against the simulated clock with a
+// seeded RNG, so every failure experiment is reproducible and sweepable.
+//
+// Fault types and where they inject:
+//   * WireLossFault     — fabric   (two-state Gilbert-Elliott loss process)
+//   * LinkDegradeFault  — fabric   (bandwidth factor + extra latency)
+//   * NicStallFault     — rnic     (freezes a host's TX/RX/dispatch units)
+//   * ProcCrashFault    — service  (fail-stop crash + optional recovery)
+//
+// The injector implements fabric::WireFaultModel; the NIC and service
+// faults are armed by whoever owns those components (HerdTestbed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace herd::fault {
+
+/// Half-open time window [start, end) on the simulated clock.
+struct Window {
+  sim::Tick start = 0;
+  sim::Tick end = 0;
+  bool contains(sim::Tick t) const { return t >= start && t < end; }
+  sim::Tick length() const { return end > start ? end - start : 0; }
+};
+
+/// Time-windowed wire loss as a two-state Gilbert-Elliott process: the wire
+/// alternates between a "good" state and a "bad" (burst) state, each with
+/// its own loss rate. State holding times are exponentially distributed in
+/// *simulated time* (mean_burst / mean_gap), not in messages: a flapping
+/// optic or a PFC storm lasts for a duration regardless of how much traffic
+/// is offered. (A per-message chain couples burst length to load — when a
+/// burst kills every in-flight request, the only remaining traffic is
+/// sparse retries, each advancing the chain one step and dying, so the
+/// "burst" stretches arbitrarily.) With mean_burst == 0 the chain is
+/// disabled and loss is uniform at `loss_good`.
+struct WireLossFault {
+  Window window{};
+  double loss_good = 0.0;
+  double loss_bad = 1.0;
+  sim::Tick mean_burst = 0;  // mean bad-state duration; 0 = no chain
+  sim::Tick mean_gap = 0;    // mean good-state duration
+
+  /// Uniform (memoryless) loss at probability `p` inside `w`.
+  static WireLossFault uniform(Window w, double p);
+  /// Bursty loss averaging `avg_loss` with bursts of mean duration
+  /// `mean_burst` (loss rate 1.0 inside a burst, 0 outside).
+  static WireLossFault burst(Window w, double avg_loss,
+                             sim::Tick mean_burst);
+};
+
+/// The link renegotiates to a lower rate (or an intermediate switch is
+/// overloaded): effective bandwidth is multiplied by `bandwidth_factor`
+/// and every message pays `extra_latency` while the window is open.
+struct LinkDegradeFault {
+  Window window{};
+  double bandwidth_factor = 1.0;  // <= 1; 0.25 models FDR -> SDR fallback
+  sim::Tick extra_latency = 0;
+};
+
+/// The NIC of cluster host `host` pauses (firmware hiccup, PFC pause
+/// storm): its TX, RX, and dispatch units freeze for the window; traffic
+/// queues behind the stall and drains afterwards.
+struct NicStallFault {
+  std::uint32_t host = 0;
+  Window window{};
+};
+
+/// Server process `proc` fail-stops at `crash_at` and, if `recover_at` is
+/// nonzero, restarts then. The request region lives in shared memory
+/// (shmget, §4.2) and survives; in-flight pipeline state does not.
+struct ProcCrashFault {
+  std::uint32_t proc = 0;
+  sim::Tick crash_at = 0;
+  sim::Tick recover_at = 0;  // 0 = never recovers
+};
+
+struct FaultPlan {
+  /// Seed for the plan's loss processes; sweep it to vary fault timing
+  /// while keeping the schedule of windows fixed.
+  std::uint64_t seed = 0x5EEDFA17;
+  std::vector<WireLossFault> wire_loss;
+  std::vector<LinkDegradeFault> link_degrade;
+  std::vector<NicStallFault> nic_stall;
+  std::vector<ProcCrashFault> proc_crash;
+
+  bool empty() const {
+    return wire_loss.empty() && link_degrade.empty() && nic_stall.empty() &&
+           proc_crash.empty();
+  }
+};
+
+/// Per-fault-type event tallies, surfaced via sim::CounterReport.
+struct FaultCounters {
+  std::uint64_t wire_losses = 0;       // messages dropped by the plan
+  std::uint64_t burst_entries = 0;     // good -> bad transitions taken
+  std::uint64_t degraded_messages = 0; // messages sent on a degraded link
+  std::uint64_t nic_stalls = 0;        // stall windows armed
+  std::uint64_t crashes = 0;           // proc crash events fired
+  std::uint64_t recoveries = 0;        // proc recovery events fired
+};
+
+class FaultInjector final : public fabric::WireFaultModel {
+ public:
+  FaultInjector(sim::Engine& engine, FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- fabric::WireFaultModel ---------------------------------------------
+  bool drop(sim::Tick now) override;
+  WireState wire_state(sim::Tick now) override;
+
+  /// Freezes `unit` for every stall window of `host` in the plan by
+  /// pre-occupying it; call once per hardware unit (TX, RX, dispatch).
+  void arm_nic_stall(std::uint32_t host, sim::Resource& unit);
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+  void append_counters(sim::CounterReport& report) const;
+
+ private:
+  /// Advances fault `i`'s good/bad chain to simulated time `now`.
+  bool chain_state(std::size_t i, sim::Tick now);
+  sim::Tick exp_sample(sim::Tick mean);
+
+  sim::Engine* engine_;
+  FaultPlan plan_;
+  std::vector<char> in_burst_;  // per wire_loss fault: currently bad state?
+  /// Per wire_loss fault: sim time of the chain's next state flip
+  /// (0 = chain not yet armed for the current window pass).
+  std::vector<sim::Tick> next_flip_;
+  sim::Pcg32 rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace herd::fault

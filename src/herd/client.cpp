@@ -1,5 +1,6 @@
 #include "herd/client.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -29,7 +30,8 @@ HerdClient::HerdClient(cluster::Host& host, std::uint32_t id,
       cpu_(service.cpu()),
       wl_(wl),
       core_(host.ctx().engine(),
-            host.name() + "/client" + std::to_string(id)) {
+            host.name() + "/client" + std::to_string(id)),
+      jitter_rng_(wl.seed ^ 0xC11E47ULL, id) {
   auto& ctx = host.ctx();
   send_cq_ = ctx.create_cq();
   recv_cq_ = ctx.create_cq();
@@ -55,8 +57,21 @@ HerdClient::HerdClient(cluster::Host& host, std::uint32_t id,
   recv_slot_.assign(cfg_.n_server_procs, 0);
   next_r_.assign(cfg_.n_server_procs, 0);
   inflight_.resize(cfg_.n_server_procs);
+  consecutive_timeouts_.assign(cfg_.n_server_procs, 0);
+  proc_down_.assign(cfg_.n_server_procs, 0);
+  last_probe_.assign(cfg_.n_server_procs, 0);
 
   recv_cq_->set_notify([this]() { on_response(); });
+}
+
+void HerdClient::set_resilience(const ClientResilience& r) {
+  if ((r.deadline > 0 || r.failover_threshold > 0) && !cfg_.request_tokens) {
+    // A late response to a deadline-retired request, or one served by a
+    // failover target, is unidentifiable without correlation tokens.
+    throw std::invalid_argument(
+        "HerdClient: deadlines/failover require HerdConfig::request_tokens");
+  }
+  res_ = r;
 }
 
 void HerdClient::start() {
@@ -72,8 +87,29 @@ void HerdClient::pump() {
   }
 }
 
+std::uint32_t HerdClient::pick_backup(std::uint32_t s) const {
+  for (std::uint32_t i = 1; i < cfg_.n_server_procs; ++i) {
+    std::uint32_t b = (s + i) % cfg_.n_server_procs;
+    if (!proc_down_[b]) return b;
+  }
+  return s;  // everyone suspected: stay with the primary
+}
+
+std::uint32_t HerdClient::route(std::uint32_t p) {
+  if (!failover_enabled() || !proc_down_[p]) return p;
+  sim::Tick now = host_->ctx().engine().now();
+  if (now - last_probe_[p] >= res_.probe_interval) {
+    // Optimistically probe the suspected process; a response un-suspects it.
+    last_probe_[p] = now;
+    ++stats_.probes;
+    return p;
+  }
+  return pick_backup(p);
+}
+
 void HerdClient::issue(const workload::Op& op) {
-  std::uint32_t s = kv::partition_of(op.key, cfg_.n_server_procs);
+  std::uint32_t p = kv::partition_of(op.key, cfg_.n_server_procs);
+  std::uint32_t s = route(p);
   std::uint64_t r = next_r_[s]++;
   ++stats_.issued;
 
@@ -87,9 +123,16 @@ void HerdClient::issue(const workload::Op& op) {
     ud_qps_[s]->post_recv(
         {.wr_id = rbuf, .sge = {rbuf, kRespStride, arena_mr_.lkey}});
 
+    sim::Tick now = host_->ctx().engine().now();
     std::uint64_t seq = next_seq_++;
-    inflight_[s].push_back(
-        InFlight{host_->ctx().engine().now(), op.rank, op.type, seq});
+    InFlight fl;
+    fl.sent = now;
+    fl.deadline = res_.deadline > 0 ? now + res_.deadline : 0;
+    fl.seq = seq;
+    fl.r = r;
+    fl.target = s;
+    fl.op = op;
+    inflight_[s].push_back(fl);
     switch (op.type) {
       case workload::OpType::kPut:
         ++stats_.puts;
@@ -103,12 +146,12 @@ void HerdClient::issue(const workload::Op& op) {
     }
 
     post_request(s, r, op, seq);
-    if (retry_timeout_ > 0) arm_retry(s, r, seq, op);
+    arm_timer(s, seq);
   });
 }
 
 // Composes the request into a staging slot and ships it (steps 2-3 of §4.2;
-// shared by first transmission and retries).
+// shared by first transmission, retries, and failover re-issues).
 void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
                               const workload::Op& op, std::uint64_t seq) {
   auto& mem = host_->memory();
@@ -151,22 +194,162 @@ void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
   }
 }
 
-void HerdClient::arm_retry(std::uint32_t s, std::uint64_t r,
-                           std::uint64_t seq, workload::Op op) {
-  host_->ctx().engine().schedule_after(retry_timeout_, [this, s, r, seq,
-                                                        op]() {
-    if (!running_) return;
-    // Still outstanding? (FIFO per proc: scan for the sequence number.)
+sim::Tick HerdClient::backoff_delay(std::uint32_t attempt) {
+  double t = static_cast<double>(res_.retry_timeout);
+  for (std::uint32_t k = 0; k < attempt; ++k) {
+    t *= res_.backoff_multiplier;
+    if (t >= static_cast<double>(res_.backoff_max)) {
+      t = static_cast<double>(res_.backoff_max);
+      break;
+    }
+  }
+  if (res_.jitter > 0.0) {
+    t *= 1.0 + res_.jitter * (2.0 * jitter_rng_.next_double() - 1.0);
+  }
+  return std::max<sim::Tick>(1, static_cast<sim::Tick>(t));
+}
+
+// Arms the retry/deadline timer for the request `seq` outstanding at `s`.
+// The timer is a no-op if the request is gone from that queue by the time
+// it fires (completed, or moved by failover — the mover re-arms).
+void HerdClient::arm_timer(std::uint32_t s, std::uint64_t seq) {
+  sim::Tick delay = 0;
+  if (res_.retry_timeout > 0) {
+    std::uint32_t attempt = 0;
     for (const InFlight& fl : inflight_[s]) {
       if (fl.seq == seq) {
-        ++stats_.retries;
-        core_.run(kComposeCost + cpu_.post_send,
-                  [this, s, r, seq, op]() { post_request(s, r, op, seq); });
-        arm_retry(s, r, seq, op);
-        return;
+        attempt = fl.attempt;
+        break;
       }
     }
+    delay = backoff_delay(attempt);
+  }
+  if (res_.deadline > 0) {
+    for (const InFlight& fl : inflight_[s]) {
+      if (fl.seq != seq) continue;
+      sim::Tick now = host_->ctx().engine().now();
+      sim::Tick remain = fl.deadline > now ? fl.deadline - now : 1;
+      delay = delay == 0 ? remain : std::min(delay, remain);
+      break;
+    }
+  }
+  if (delay == 0) return;  // neither retries nor deadlines configured
+  host_->ctx().engine().schedule_after(
+      delay, [this, s, seq]() { on_timer(s, seq); });
+}
+
+void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq) {
+  auto it = inflight_[s].begin();
+  for (; it != inflight_[s].end(); ++it) {
+    if (it->seq == seq) break;
+  }
+  if (it == inflight_[s].end()) return;  // answered or moved elsewhere
+
+  sim::Tick now = host_->ctx().engine().now();
+  if (it->deadline > 0 && now >= it->deadline) {
+    // Terminal state: the request failed its deadline. The slot frees and a
+    // very late response will be dropped by its stale token.
+    inflight_[s].erase(it);
+    ++stats_.deadline_exceeded;
+    assert(outstanding_ > 0);
+    --outstanding_;
+    pump();
+    return;
+  }
+  if (res_.retry_timeout == 0) {
+    arm_timer(s, seq);  // deadline-only mode: keep waiting
+    return;
+  }
+  if (!running_ && res_.deadline == 0) {
+    return;  // measurement over and nothing bounds the wait: stop retrying
+  }
+
+  // An unanswered interval against `s` is evidence of failure.
+  if (failover_enabled()) {
+    ++consecutive_timeouts_[s];
+    if (!proc_down_[s] &&
+        consecutive_timeouts_[s] >= res_.failover_threshold) {
+      proc_down_[s] = 1;
+      last_probe_[s] = now;
+      fail_over_outstanding(s);  // moves this request too, re-arming timers
+      return;
+    }
+  }
+
+  std::uint32_t target = s;
+  if (failover_enabled() && proc_down_[s]) {
+    // The process was declared dead after this request was (re-)sent to it
+    // (e.g. a probe that went unanswered): individually re-route.
+    std::uint32_t b = pick_backup(s);
+    if (b != s) {
+      InFlight fl = *it;
+      inflight_[s].erase(it);
+      ++stats_.failovers;
+      reissue(std::move(fl), b);
+      return;
+    }
+  }
+
+  ++it->attempt;
+  ++stats_.retries;
+  std::uint64_t r = it->r;
+  workload::Op op = it->op;
+  core_.run(kComposeCost + cpu_.post_send, [this, target, r, op, seq]() {
+    post_request(target, r, op, seq);
   });
+  arm_timer(s, seq);
+}
+
+// Re-targets one in-flight request to process `to`: allocates a fresh slot
+// in `to`'s ring, re-WRITEs the request, and re-arms its timer. The backoff
+// schedule restarts — the timeouts accrued against the dead process say
+// nothing about the new target, and carrying them over would make the first
+// loss on the healthy path cost a near-max backoff. The deadline (absolute)
+// still bounds the request's total lifetime.
+void HerdClient::reissue(InFlight fl, std::uint32_t to) {
+  fl.target = to;
+  fl.r = next_r_[to]++;
+  fl.attempt = 0;
+  std::uint64_t seq = fl.seq;
+  std::uint64_t r = fl.r;
+  workload::Op op = fl.op;
+  inflight_[to].push_back(std::move(fl));
+  core_.run(cpu_.post_recv + kComposeCost + cpu_.post_send,
+            [this, to, r, op, seq]() {
+              // The RECV credit posted at issue() time sits on the old
+              // target's QP; the response now arrives on `to`'s UD QP, and a
+              // UD SEND with no posted RECV is silently dropped (RNR). Post
+              // a credit there or every response to this request is lost.
+              std::uint64_t rbuf = resp_base_ +
+                                   (std::uint64_t{to} * cfg_.window +
+                                    recv_slot_[to]++ % cfg_.window) *
+                                       kRespStride;
+              ud_qps_[to]->post_recv(
+                  {.wr_id = rbuf, .sge = {rbuf, kRespStride, arena_mr_.lkey}});
+              post_request(to, r, op, seq);
+            });
+  arm_timer(to, seq);
+}
+
+void HerdClient::fail_over_outstanding(std::uint32_t s) {
+  std::deque<InFlight> moved;
+  moved.swap(inflight_[s]);
+  for (InFlight& fl : moved) {
+    std::uint32_t b = pick_backup(s);
+    if (b == s) {
+      // No survivor to fail over to; keep waiting on the primary.
+      inflight_[s].push_back(std::move(fl));
+      arm_timer(s, inflight_[s].back().seq);
+      continue;
+    }
+    ++stats_.failovers;
+    reissue(std::move(fl), b);
+  }
+}
+
+void HerdClient::repost_recv(std::uint32_t s, std::uint64_t buf) {
+  ud_qps_[s]->post_recv(
+      {.wr_id = buf, .sge = {buf, kRespStride, arena_mr_.lkey}});
 }
 
 void HerdClient::on_response() {
@@ -190,9 +373,14 @@ void HerdClient::handle_response(const verbs::Wc& wc) {
       break;
     }
   }
-  if (s == UINT32_MAX || inflight_[s].empty()) {
+  if (s == UINT32_MAX) {
     ++stats_.bad_responses;
     return;
+  }
+  // Any response from `s` is proof of life: clear failure suspicion.
+  if (failover_enabled()) {
+    consecutive_timeouts_[s] = 0;
+    proc_down_[s] = 0;
   }
   auto buf = host_->memory().span(
       wc.wr_id + verbs::kGrhBytes, wc.byte_len - verbs::kGrhBytes);
@@ -202,23 +390,35 @@ void HerdClient::handle_response(const verbs::Wc& wc) {
   // lossless fabric; by correlation token when tokens are enabled (a lost
   // request can let a later one overtake it, §2.2.3's retry caveat).
   InFlight fl;
-  if (cfg_.request_tokens && resp) {
+  if (cfg_.request_tokens) {
+    if (!resp) {
+      ++stats_.bad_responses;
+      repost_recv(s, wc.wr_id);
+      return;
+    }
     auto it = inflight_[s].begin();
     for (; it != inflight_[s].end(); ++it) {
       if (static_cast<std::uint32_t>(it->seq) == resp->token) break;
     }
     if (it == inflight_[s].end()) {
-      // Duplicate response to an already-retired request (a retry raced the
-      // original): drop it; the RECV consumed is reposted by the next issue.
+      // Response to an already-retired request (a retry raced the original,
+      // or it moved to another proc / hit its deadline). Drop it and re-arm
+      // the consumed RECV so real responses keep their credits.
+      ++stats_.duplicate_responses;
+      repost_recv(s, wc.wr_id);
       return;
     }
     fl = *it;
     inflight_[s].erase(it);
   } else {
+    if (inflight_[s].empty()) {
+      ++stats_.bad_responses;
+      return;
+    }
     fl = inflight_[s].front();
     inflight_[s].pop_front();
   }
-  bool is_get = fl.type == workload::OpType::kGet;
+  bool is_get = fl.op.type == workload::OpType::kGet;
 
   if (!resp) {
     ++stats_.bad_responses;
@@ -227,7 +427,7 @@ void HerdClient::handle_response(const verbs::Wc& wc) {
       ++stats_.get_hits;
       if (verify_) {
         std::vector<std::byte> expect(resp->value.size());
-        workload::WorkloadGenerator::fill_value(fl.rank, expect);
+        workload::WorkloadGenerator::fill_value(fl.op.rank, expect);
         if (!std::equal(expect.begin(), expect.end(),
                         resp->value.begin())) {
           ++stats_.value_mismatches;

@@ -20,6 +20,7 @@
 #include "herd/config.hpp"
 #include "herd/protocol.hpp"
 #include "herd/service.hpp"
+#include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "workload/workload.hpp"
 
@@ -38,6 +39,10 @@ class HerdClient {
     std::uint64_t retries = 0;           // application-level retransmissions
     std::uint64_t value_mismatches = 0;  // GET returned wrong bytes (must be 0)
     std::uint64_t bad_responses = 0;
+    std::uint64_t deadline_exceeded = 0;  // requests retired at their deadline
+    std::uint64_t failovers = 0;          // requests re-routed off a dead proc
+    std::uint64_t probes = 0;             // requests sent to probe a dead proc
+    std::uint64_t duplicate_responses = 0;  // responses to retired requests
   };
 
   /// `mem_base` is the start of a private arena in the client host's memory
@@ -59,12 +64,32 @@ class HerdClient {
   /// enabled in tests, disabled in throughput benches).
   void set_verify_values(bool v) { verify_ = v; }
 
-  /// Enables application-level retries: if a request sees no response within
-  /// `timeout`, the client re-WRITEs it into the same slot. This is the
-  /// paper's §2.2.3 tradeoff made concrete — unreliable transports "sacrifice
-  /// transport-level retransmission ... at the cost of rare application-level
-  /// retries". 0 disables (the default; losses are off by default too).
-  void set_retry_timeout(sim::Tick timeout) { retry_timeout_ = timeout; }
+  /// Enables application-level retries at a fixed interval: if a request
+  /// sees no response within `timeout`, the client re-WRITEs it into the
+  /// same slot. This is the paper's §2.2.3 tradeoff made concrete —
+  /// unreliable transports "sacrifice transport-level retransmission ... at
+  /// the cost of rare application-level retries". 0 disables (the default).
+  /// Legacy shim for set_resilience() with multiplier 1 and no jitter.
+  void set_retry_timeout(sim::Tick timeout) {
+    ClientResilience r;
+    r.retry_timeout = timeout;
+    r.backoff_multiplier = 1.0;
+    r.jitter = 0.0;
+    set_resilience(r);
+  }
+
+  /// Full resilience policy: exponential backoff with jitter, per-request
+  /// deadlines, and failover to a surviving server process. Deadlines and
+  /// failover require HerdConfig::request_tokens (throws otherwise).
+  void set_resilience(const ClientResilience& r);
+  const ClientResilience& resilience() const { return res_; }
+
+  /// Requests currently in flight (0 after a drained shutdown — the
+  /// "every request reaches a terminal state" check).
+  std::uint32_t outstanding() const { return outstanding_; }
+
+  /// True if the client currently suspects server process `s` is dead.
+  bool proc_suspected(std::uint32_t s) const { return proc_down_.at(s) != 0; }
 
   const Stats& stats() const { return stats_; }
   sim::LatencyHistogram& latency() { return latency_; }
@@ -76,19 +101,36 @@ class HerdClient {
  private:
   struct InFlight {
     sim::Tick sent = 0;
-    std::uint64_t rank = 0;
-    workload::OpType type = workload::OpType::kGet;
-    std::uint64_t seq = 0;  // retry correlation
+    sim::Tick deadline = 0;       // 0 = none
+    std::uint64_t seq = 0;        // retry correlation
+    std::uint64_t r = 0;          // per-target request counter (slot ring)
+    std::uint32_t target = 0;     // server process currently addressed
+    std::uint32_t attempt = 0;    // retries so far
+    workload::Op op{};
   };
 
   void pump();                    // fill the request window
   void issue(const workload::Op& op);
   void post_request(std::uint32_t s, std::uint64_t r, const workload::Op& op,
                     std::uint64_t seq);
-  void arm_retry(std::uint32_t s, std::uint64_t r, std::uint64_t seq,
-                 workload::Op op);
+  void arm_timer(std::uint32_t s, std::uint64_t seq);
+  void on_timer(std::uint32_t s, std::uint64_t seq);
   void on_response();             // recv CQ notify
   void handle_response(const verbs::Wc& wc);
+
+  bool failover_enabled() const {
+    return res_.failover_threshold > 0 && cfg_.n_server_procs > 1;
+  }
+  /// Server process a new request for primary `p` should address, honoring
+  /// suspected-dead state and periodic probing.
+  std::uint32_t route(std::uint32_t p);
+  /// First process other than `s` not currently suspected (s if none).
+  std::uint32_t pick_backup(std::uint32_t s) const;
+  /// Moves every outstanding request off suspected-dead process `s`.
+  void fail_over_outstanding(std::uint32_t s);
+  void reissue(InFlight fl, std::uint32_t to);
+  sim::Tick backoff_delay(std::uint32_t attempt);
+  void repost_recv(std::uint32_t s, std::uint64_t buf);
 
   cluster::Host* host_;
   std::uint32_t id_;
@@ -111,9 +153,13 @@ class HerdClient {
   std::vector<std::uint32_t> recv_slot_;  // per-proc ring cursor
   std::vector<std::uint64_t> next_r_;     // per-proc request counter
 
-  std::vector<std::deque<InFlight>> inflight_;  // per proc, FIFO
+  std::vector<std::deque<InFlight>> inflight_;  // per target proc, FIFO
   std::uint64_t next_seq_ = 1;
-  sim::Tick retry_timeout_ = 0;
+  ClientResilience res_;
+  sim::Pcg32 jitter_rng_;
+  std::vector<std::uint32_t> consecutive_timeouts_;  // per proc
+  std::vector<char> proc_down_;                      // suspected dead
+  std::vector<sim::Tick> last_probe_;
   std::uint32_t outstanding_ = 0;
   bool running_ = false;
   bool verify_ = false;

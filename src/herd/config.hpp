@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "kv/mica_cache.hpp"
+#include "sim/time.hpp"
 
 namespace herd::core {
 
@@ -49,6 +50,31 @@ struct HerdConfig {
   /// play (lossy fabric); off by default — it costs 4 bytes of inline-PIO
   /// budget per message, which moves the Fig. 10 inline knee.
   bool request_tokens = false;
+};
+
+/// Client-side failure handling: the §2.2.3 "application-level retries"
+/// grown into a resilience policy. All knobs default to off, preserving
+/// the paper's lossless-fabric behavior.
+struct ClientResilience {
+  /// Base retry interval (first backoff step); 0 disables retries.
+  sim::Tick retry_timeout = 0;
+  /// Exponential backoff: attempt k waits retry_timeout * multiplier^(k-1),
+  /// capped at backoff_max. 1.0 reproduces the legacy fixed interval.
+  double backoff_multiplier = 2.0;
+  sim::Tick backoff_max = sim::ms(2);
+  /// Uniform +/- jitter fraction applied to each backoff interval, to
+  /// de-synchronize retry storms across clients.
+  double jitter = 0.2;
+  /// Per-request deadline: a request with no response by then retires as
+  /// failed (terminal state), freeing its window slot. 0 = wait forever.
+  /// Requires request_tokens (late responses must be identifiable).
+  sim::Tick deadline = 0;
+  /// Consecutive unanswered timeouts against one server process before the
+  /// client suspects it dead and fails outstanding requests over to a
+  /// surviving process. 0 disables failover. Requires request_tokens.
+  std::uint32_t failover_threshold = 0;
+  /// While a process is suspected dead, probe it again this often.
+  sim::Tick probe_interval = sim::ms(1);
 };
 
 }  // namespace herd::core

@@ -66,6 +66,7 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
     p->ud_qp = ctx.create_qp({verbs::Transport::kUd, p->send_cq.get(),
                               p->recv_cq.get()});
     p->next_r.assign(cfg.n_clients, 0);
+    if (cfg.request_tokens) p->seen_tokens.resize(cfg.n_clients);
     p->resp_base = cursor;
     cursor += per_proc_resp;
     if (cfg.mode == RequestMode::kSendUd) {
@@ -146,6 +147,49 @@ void HerdService::preload(std::uint64_t n_keys, std::uint32_t value_len) {
   }
 }
 
+void HerdService::crash_proc(std::uint32_t s) {
+  Proc& p = *procs_.at(s);
+  if (!p.alive) return;
+  p.alive = false;
+  ++p.epoch;
+  ++p.advance_gen;  // kill pending no-op timers
+  ++p.stats.crashes;
+  // Process state dies with the process: queued work and the two-stage
+  // pipeline are gone. The request region itself survives (shmget memory).
+  p.arrivals.clear();
+  p.pipeline.clear();
+}
+
+void HerdService::recover_proc(std::uint32_t s) {
+  Proc& p = *procs_.at(s);
+  if (p.alive) return;
+  p.alive = true;
+  ++p.stats.recoveries;
+  if (cfg_.mode != RequestMode::kWriteUc) return;
+  // Remap the request region and rescan this chunk: WRITEs that the NIC
+  // DMA-ed while the process was down are still sitting in the slots.
+  for (std::uint32_t c = 0; c < cfg_.n_clients; ++c) {
+    for (std::uint32_t r = 0; r < cfg_.window; ++r) {
+      std::uint64_t slot_addr = region_.slot_addr(s, c, r);
+      auto slot = host_->memory().span(slot_addr, kSlotBytes);
+      auto req = decode_request(slot, cfg_.request_tokens);
+      if (!req) continue;
+      Pending pend;
+      pend.client = c;
+      pend.request = *req;
+      pend.value.assign(req->value.begin(), req->value.end());
+      pend.request.value = {};
+      pend.slot_addr = slot_addr;
+      p.arrivals.push_back(std::move(pend));
+    }
+  }
+  if (!p.arrivals.empty()) schedule_advance(s, 0);
+}
+
+bool HerdService::proc_alive(std::uint32_t s) const {
+  return procs_.at(s)->alive;
+}
+
 const HerdService::ProcStats& HerdService::proc_stats(std::uint32_t s) const {
   return procs_.at(s)->stats;
 }
@@ -169,6 +213,12 @@ void HerdService::reset_stats() {
 
 void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
   Proc& p = *procs_[s];
+  if (!p.alive) {
+    // No process is polling this chunk, but the DMA landed anyway — the
+    // request sits in the region until recovery rescans it.
+    ++p.stats.dropped_while_dead;
+    return;
+  }
   std::uint64_t slot_addr = addr - (addr - region_.chunk_addr(s)) % kSlotBytes;
   auto slot = host_->memory().span(slot_addr, kSlotBytes);
   auto req = decode_request(slot, cfg_.request_tokens);
@@ -186,8 +236,10 @@ void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
   Pending pend;
   pend.client = id.client;
   pend.request = *req;
+  pend.value.assign(req->value.begin(), req->value.end());
+  pend.request.value = {};
   pend.slot_addr = slot_addr;
-  p.arrivals.push_back(pend);
+  p.arrivals.push_back(std::move(pend));
   // Idle-poll quantization: if the process was mid-round, detection costs up
   // to a partial scan of the chunk.
   sim::Tick jitter = 0;
@@ -207,6 +259,14 @@ void HerdService::on_recv_ready(std::uint32_t s) {
       continue;
     }
     std::uint64_t addr = wc.wr_id;
+    if (!p.alive) {
+      // Fail-stop over SEND/SEND: the message was consumed by the NIC but
+      // no process will ever see it. Repost so credits survive recovery.
+      ++p.stats.dropped_while_dead;
+      p.ud_qp->post_recv(
+          {.wr_id = addr, .sge = {addr, kRecvStride, scratch_mr_.lkey}});
+      continue;
+    }
     auto buf = host_->memory().span(addr, kRecvStride);
     // The payload sits past the GRH; byte_len includes the GRH.
     auto frame = buf.subspan(verbs::kGrhBytes, wc.byte_len - verbs::kGrhBytes);
@@ -217,6 +277,8 @@ void HerdService::on_recv_ready(std::uint32_t s) {
     }
     Pending pend;
     pend.request = *req;
+    pend.value.assign(req->value.begin(), req->value.end());
+    pend.request.value = {};
     pend.recv_addr = addr;
     pend.recv_wr_id = wc.wr_id;
     // Identify the client by the (port, QPN) of the sending UD QP — clients
@@ -251,13 +313,14 @@ void HerdService::arm_noop_timer(std::uint32_t s) {
   sim::Tick timeout = cfg_.noop_timeout_polls * cpu_.poll_iteration;
   host_->ctx().engine().schedule_after(timeout, [this, s, gen]() {
     Proc& pp = *procs_[s];
-    if (pp.advance_gen != gen || pp.pipeline.empty()) return;
+    if (pp.advance_gen != gen || pp.pipeline.empty() || !pp.alive) return;
     advance(s);  // no-op advance: flushes the pipeline (§4.1.1)
   });
 }
 
 void HerdService::advance(std::uint32_t s) {
   Proc& p = *procs_[s];
+  if (!p.alive) return;
   ++p.advance_gen;
 
   sim::Tick cost = cpu_.poll_iteration + cpu_.pipeline_step;
@@ -291,7 +354,11 @@ void HerdService::advance(std::uint32_t s) {
     if (cfg_.mode == RequestMode::kSendUd) cost += cpu_.post_recv;
   }
 
-  p.core->run(cost, [this, s, done = std::move(done)]() {
+  // The core finishes this batch later; if the process crashes in between,
+  // the work dies with it (epoch mismatch) and retries re-drive it.
+  p.core->run(cost, [this, s, epoch = p.epoch, done = std::move(done)]() {
+    Proc& pp = *procs_[s];
+    if (pp.epoch != epoch || !pp.alive) return;
     for (const Pending& d : done) complete(s, d);
   });
 
@@ -306,21 +373,36 @@ void HerdService::complete(std::uint32_t s, const Pending& p) {
   Proc& proc = *procs_[s];
   ++proc.stats.requests;
 
+  // EREW normally guarantees s == partition_of(key). Under failover a
+  // client re-targets a surviving process, which serves the crashed
+  // process's partition from its replica (owner below) — still one writer
+  // per partition because the crashed owner is not running.
+  std::uint32_t part = kv::partition_of(p.request.key, cfg_.n_server_procs);
+  Proc& owner = *procs_[part];
+  if (part != s) ++proc.stats.foreign_serves;
+
   std::byte value_buf[kv::MicaCache::kMaxValue];
   std::uint32_t token = p.request.token;
-  if (p.request.is_delete) {
+  bool is_mutation = p.request.is_put || p.request.is_delete;
+  if (cfg_.request_tokens && is_mutation &&
+      owner.seen_tokens.at(p.client).seen_or_insert(token)) {
+    // Retry of an already-applied mutation (the original response was lost,
+    // or a failover re-sent it): ack without re-applying.
+    ++proc.stats.duplicate_mutations;
+    post_response(s, p.client, RespStatus::kOk, {}, token);
+  } else if (p.request.is_delete) {
     ++proc.stats.deletes;
-    bool erased = proc.cache->erase(p.request.key);
+    bool erased = owner.cache->erase(p.request.key);
     post_response(s, p.client,
                   erased ? RespStatus::kOk : RespStatus::kNotFound, {},
                   token);
   } else if (p.request.is_put) {
     ++proc.stats.puts;
-    proc.cache->put(p.request.key, p.request.value);
+    owner.cache->put(p.request.key, p.value);
     post_response(s, p.client, RespStatus::kOk, {}, token);
   } else {
     ++proc.stats.gets;
-    auto r = proc.cache->get(p.request.key, value_buf);
+    auto r = owner.cache->get(p.request.key, value_buf);
     if (r.found) {
       ++proc.stats.get_hits;
       post_response(s, p.client, RespStatus::kOk,

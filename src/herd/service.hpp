@@ -11,6 +11,7 @@
 //    request region and running the two-stage prefetch pipeline (§4.1.1).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -61,6 +62,22 @@ class HerdService {
   /// Warms partition caches with the first `n_keys` ranks (bench setup).
   void preload(std::uint64_t n_keys, std::uint32_t value_len);
 
+  // --- Fault injection -----------------------------------------------------
+
+  /// Fail-stop crash of server process `s`: it stops polling, its pipeline
+  /// state is lost, and requests landing in its region chunk go unseen.
+  /// The NIC keeps DMA-ing WRITEs into the (shmget) request region — that
+  /// memory outlives the process, which is what makes recovery rescan work.
+  void crash_proc(std::uint32_t s);
+
+  /// Restarts process `s`: it remaps the request region and rescans its
+  /// chunk for requests that landed while it was dead (WRITE mode). The
+  /// MICA partition survives (recovery-from-replica model); in-pipeline
+  /// requests from before the crash are simply re-served via client retries.
+  void recover_proc(std::uint32_t s);
+
+  bool proc_alive(std::uint32_t s) const;
+
   // --- Introspection -------------------------------------------------------
 
   struct ProcStats {
@@ -72,6 +89,11 @@ class HerdService {
     std::uint64_t noops = 0;
     std::uint64_t order_violations = 0;  // slot arrived out of round-robin
     std::uint64_t bad_requests = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t dropped_while_dead = 0;   // requests that arrived dead
+    std::uint64_t duplicate_mutations = 0;  // retried PUT/DELETE suppressed
+    std::uint64_t foreign_serves = 0;  // served another proc's partition
   };
   const ProcStats& proc_stats(std::uint32_t s) const;
   const kv::MicaCache& proc_cache(std::uint32_t s) const;
@@ -82,10 +104,36 @@ class HerdService {
  private:
   struct Pending {
     std::uint32_t client = 0;
-    Request request{};  // value span views the request region / recv buffer
+    Request request{};  // after enqueue(), request.value is dead — use value
+    /// PUT payload, copied out of the slot/recv buffer at detection time.
+    /// The server reads a request exactly once when its poll loop finds it;
+    /// holding a span instead would let a client that abandoned the request
+    /// (deadline) reuse the slot and tear the bytes under the pipeline.
+    std::vector<std::byte> value;
     std::uint64_t slot_addr = 0;     // WRITE mode: slot to re-arm
     std::uint64_t recv_addr = 0;     // SEND mode: recv buffer to repost
     std::uint64_t recv_wr_id = 0;
+  };
+
+  /// Recently-applied mutation tokens for one (partition, client) pair.
+  /// Bounds duplicate-suppression state: a retry older than the last kSize
+  /// mutations from that client can no longer be deduplicated, which is
+  /// safe because the client caps retries well below that horizon.
+  struct TokenRing {
+    static constexpr std::uint32_t kSize = 64;
+    std::array<std::uint32_t, kSize> tokens{};
+    std::array<char, kSize> valid{};
+    std::uint32_t head = 0;
+    /// True if `tok` was already recorded; records it otherwise.
+    bool seen_or_insert(std::uint32_t tok) {
+      for (std::uint32_t i = 0; i < kSize; ++i) {
+        if (valid[i] && tokens[i] == tok) return true;
+      }
+      tokens[head] = tok;
+      valid[head] = 1;
+      head = (head + 1) % kSize;
+      return false;
+    }
   };
 
   struct Proc {
@@ -101,6 +149,9 @@ class HerdService {
     std::uint64_t resp_base = 0;    // response staging ring
     std::uint32_t resp_slot = 0;
     std::uint64_t recv_base = 0;    // SEND mode recv buffers
+    bool alive = true;
+    std::uint64_t epoch = 0;  // bumped at crash; stale core work bails
+    std::vector<TokenRing> seen_tokens;  // per client, for this partition
     ProcStats stats;
   };
 

@@ -10,6 +10,15 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
       (h.n_clients + cfg_.clients_per_host - 1) / cfg_.clients_per_host;
   n_client_hosts = std::max(n_client_hosts, 1u);
 
+  // A nonzero master seed perturbs every randomized layer in lockstep.
+  std::uint64_t host_seed = 42;
+  if (cfg_.seed != 0) {
+    cfg_.cluster.fabric.seed ^= cfg_.seed * 0x9E3779B97F4A7C15ULL;
+    cfg_.workload.seed += cfg_.seed;
+    cfg_.fault_plan.seed ^= cfg_.seed * 0xC2B2AE3D27D4EB4FULL;
+    host_seed ^= cfg_.seed;
+  }
+
   std::uint64_t server_mem = HerdService::required_memory(h);
   std::uint64_t client_mem =
       std::uint64_t{cfg_.clients_per_host} * HerdClient::arena_bytes(h) +
@@ -17,10 +26,38 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
   // Build all hosts with the larger size for simplicity.
   std::uint64_t mem = std::max(server_mem, client_mem);
 
-  cluster_ = std::make_unique<cluster::Cluster>(cfg_.cluster,
-                                                1 + n_client_hosts, mem);
+  cluster_ = std::make_unique<cluster::Cluster>(
+      cfg_.cluster, 1 + n_client_hosts, mem, host_seed);
   service_ = std::make_unique<HerdService>(cluster_->host(0), h,
                                            cfg_.cluster.cpu);
+
+  if (!cfg_.fault_plan.empty()) {
+    fault_ = std::make_unique<fault::FaultInjector>(cluster_->engine(),
+                                                    cfg_.fault_plan);
+    cluster_->fabric().set_fault_model(fault_.get());
+    std::vector<char> armed(cluster_->size(), 0);
+    for (const fault::NicStallFault& f : fault_->plan().nic_stall) {
+      if (armed.at(f.host)) continue;  // arm_nic_stall covers all windows
+      armed[f.host] = 1;
+      rnic::Rnic& nic = cluster_->host(f.host).rnic();
+      fault_->arm_nic_stall(f.host, nic.tx());
+      fault_->arm_nic_stall(f.host, nic.rx());
+      fault_->arm_nic_stall(f.host, nic.dispatch());
+    }
+    auto& engine = cluster_->engine();
+    for (const fault::ProcCrashFault& f : fault_->plan().proc_crash) {
+      engine.schedule_at(f.crash_at, [this, s = f.proc]() {
+        service_->crash_proc(s);
+        ++fault_->counters().crashes;
+      });
+      if (f.recover_at > f.crash_at) {
+        engine.schedule_at(f.recover_at, [this, s = f.proc]() {
+          service_->recover_proc(s);
+          ++fault_->counters().recoveries;
+        });
+      }
+    }
+  }
 
   std::uint64_t preload =
       cfg_.preload_keys != 0 ? cfg_.preload_keys : cfg_.workload.n_keys;
@@ -36,6 +73,7 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
     clients_.push_back(
         std::make_unique<HerdClient>(host, c, *service_, wl, arena));
     clients_.back()->set_verify_values(cfg_.verify_values);
+    clients_.back()->set_resilience(cfg_.resilience);
   }
   proc_requests_.assign(h.n_server_procs, 0);
 }
@@ -60,17 +98,72 @@ HerdTestbed::RunResult HerdTestbed::run(sim::Tick warmup, sim::Tick measure) {
     r.get_misses += st.get_misses;
     r.value_mismatches += st.value_mismatches;
     r.bad += st.bad_responses;
+    r.retries += st.retries;
+    r.deadline_exceeded += st.deadline_exceeded;
+    r.failovers += st.failovers;
     merged.merge(c->latency());
   }
   for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
     proc_requests_[s] = service_->proc_stats(s).requests;
     r.bad += service_->proc_stats(s).bad_requests;
+    r.duplicate_mutations += service_->proc_stats(s).duplicate_mutations;
   }
+  r.messages_lost = cluster_->fabric().messages_lost();
   r.mops = static_cast<double>(r.ops) / sim::to_sec(measure) / 1e6;
   r.avg_latency_us = merged.mean_ns() / 1e3;
   r.p5_latency_us = merged.quantile_ns(0.05) / 1e3;
   r.p95_latency_us = merged.p95_ns() / 1e3;
   return r;
+}
+
+sim::CounterReport HerdTestbed::counter_report() const {
+  sim::CounterReport rep;
+  rep.add("fabric.messages_lost", cluster_->fabric().messages_lost());
+  rep.add("fabric.messages_degraded", cluster_->fabric().messages_degraded());
+  if (fault_) fault_->append_counters(rep);
+
+  const rnic::RnicCounters& nic = cluster_->host(0).rnic().counters();
+  rep.add("server_rnic.retransmissions", nic.retransmissions);
+  rep.add("server_rnic.retry_exhausted", nic.retry_exhausted);
+  rep.add("server_rnic.rnr_drops", nic.rnr_drops);
+  rep.add("server_rnic.dropped_packets", nic.dropped_packets);
+
+  std::uint64_t requests = 0, bad_requests = 0, dup = 0, dead_drops = 0;
+  std::uint64_t foreign = 0, crashes = 0, recoveries = 0;
+  for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
+    const auto& st = service_->proc_stats(s);
+    requests += st.requests;
+    bad_requests += st.bad_requests;
+    dup += st.duplicate_mutations;
+    dead_drops += st.dropped_while_dead;
+    foreign += st.foreign_serves;
+    crashes += st.crashes;
+    recoveries += st.recoveries;
+  }
+  rep.add("service.requests", requests);
+  rep.add("service.bad_requests", bad_requests);
+  rep.add("service.duplicate_mutations", dup);
+  rep.add("service.dropped_while_dead", dead_drops);
+  rep.add("service.foreign_serves", foreign);
+  rep.add("service.crashes", crashes);
+  rep.add("service.recoveries", recoveries);
+
+  std::uint64_t retries = 0, deadlines = 0, failovers = 0, probes = 0;
+  std::uint64_t dup_resp = 0;
+  for (const auto& c : clients_) {
+    const auto& st = c->stats();
+    retries += st.retries;
+    deadlines += st.deadline_exceeded;
+    failovers += st.failovers;
+    probes += st.probes;
+    dup_resp += st.duplicate_responses;
+  }
+  rep.add("client.retries", retries);
+  rep.add("client.deadline_exceeded", deadlines);
+  rep.add("client.failovers", failovers);
+  rep.add("client.probes", probes);
+  rep.add("client.duplicate_responses", dup_resp);
+  return rep;
 }
 
 std::vector<double> HerdTestbed::per_proc_mops() const {

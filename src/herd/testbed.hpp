@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "fault/fault.hpp"
 #include "herd/client.hpp"
 #include "herd/config.hpp"
 #include "herd/service.hpp"
+#include "sim/stats.hpp"
 #include "workload/workload.hpp"
 
 namespace herd::core {
@@ -27,6 +29,14 @@ struct TestbedConfig {
   /// Keys preloaded into the store before measurement (0 = workload.n_keys).
   std::uint64_t preload_keys = 0;
   bool verify_values = false;
+  /// Master seed: 0 keeps each layer's own default; nonzero perturbs the
+  /// fabric, workload, fault-plan, and host RNG streams together, so a
+  /// whole experiment re-randomizes from one knob.
+  std::uint64_t seed = 0;
+  /// Scripted failures (see fault::FaultPlan); empty injects nothing.
+  fault::FaultPlan fault_plan{};
+  /// Client-side failure handling, applied to every client.
+  ClientResilience resilience{};
 };
 
 class HerdTestbed {
@@ -50,6 +60,11 @@ class HerdTestbed {
     std::uint64_t get_misses = 0;
     std::uint64_t value_mismatches = 0;
     std::uint64_t bad = 0;  // bad requests/responses anywhere
+    std::uint64_t messages_lost = 0;  // wire losses (static + fault plan)
+    std::uint64_t retries = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t duplicate_mutations = 0;
   };
 
   /// Starts the clients, warms up, measures for `measure` simulated time.
@@ -58,9 +73,17 @@ class HerdTestbed {
   /// Per-server-process throughput over the last run window (Fig. 14).
   std::vector<double> per_proc_mops() const;
 
+  /// End-of-run counter dump: wire losses, per-fault-type events, RNIC
+  /// retransmission/drop counters, and service/client resilience tallies.
+  sim::CounterReport counter_report() const;
+
+  /// The armed injector (nullptr when fault_plan was empty).
+  fault::FaultInjector* fault() { return fault_.get(); }
+
  private:
   TestbedConfig cfg_;
   std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<fault::FaultInjector> fault_;
   std::unique_ptr<HerdService> service_;
   std::vector<std::unique_ptr<HerdClient>> clients_;
   sim::Tick last_window_ = 0;

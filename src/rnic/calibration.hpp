@@ -80,6 +80,11 @@ struct RnicCalibration {
   // by this much. UC/UD have no such machinery — losses surface to the
   // application (§2.2.3's tradeoff).
   sim::Tick retransmit_delay = sim::us(50);
+  // How many retransmissions the RC transport attempts before giving up
+  // (ibv_qp_attr.retry_cnt; 7 is the common maximum). Exhaustion completes
+  // the WR with kRetryExceeded and moves the QP to the error state — the
+  // paper's "extremely rare" hardware-failure case made observable.
+  std::uint32_t retry_cnt = 7;
 
   // --- QP context cache (§3.3) ---------------------------------------------
   // Weighted entries, calibrated to reconcile every scaling observation in

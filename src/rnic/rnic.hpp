@@ -22,6 +22,7 @@ struct RnicCounters {
   std::uint64_t tx_ops = 0;
   std::uint64_t rx_ops = 0;
   std::uint64_t retransmissions = 0;  // RC hardware retransmits (wire loss)
+  std::uint64_t retry_exhausted = 0;  // RC gave up after retry_cnt attempts
   std::uint64_t rnr_drops = 0;        // SEND arrived with empty receive queue
   std::uint64_t access_errors = 0;    // rkey/bounds failures
   std::uint64_t dropped_packets = 0;  // UC/UD losses (errors without NAK)

@@ -23,7 +23,15 @@ enum class WcStatus : std::uint8_t {
   kRemoteAccessError,   // rkey/bounds/permission failure (RC: NAK to requester)
   kRnrRetryExceeded,    // RC SEND with no RECV posted at the responder
   kLocalLengthError,    // RECV buffer too small for an arriving SEND
+  kRetryExceeded,       // RC retransmission budget exhausted (IBV_WC_RETRY_EXC_ERR)
+  kWrFlushErr,          // WR flushed: posted to a QP in the error state
 };
+
+/// Queue-pair state machine (the subset of the ibverbs states the model
+/// distinguishes). A QP moves to kError when RC retransmission is
+/// exhausted; posting to an errored QP flushes the WR with kWrFlushErr.
+/// `Qp::reset()` is the modify-to-RTS cycle that re-arms it.
+enum class QpState : std::uint8_t { kReady, kError };
 
 enum class WcOpcode : std::uint8_t { kSend, kWrite, kRead, kRecv };
 

@@ -160,6 +160,13 @@ WcOpcode Qp::wc_opcode(Opcode op) const {
 
 void Qp::post_send(const SendWr& wr) {
   const auto& cal = ctx_->rnic().cal();
+  if (state_ == QpState::kError) {
+    // WRs posted to an errored QP are flushed: an immediate error CQE,
+    // regardless of signaling, with no wire activity.
+    deliver_requester_completion(wr, WcStatus::kWrFlushErr,
+                                 ctx_->engine().now());
+    return;
+  }
   // Table 1 legality.
   if (attr_.transport == Transport::kUd && wr.opcode != Opcode::kSend) {
     throw std::invalid_argument("post_send: UD supports SEND only (Table 1)");
@@ -300,18 +307,40 @@ void Qp::tx_stage(SendWr wr, std::vector<std::byte> payload, sim::Tick ready) {
                                  : static_cast<std::uint32_t>(payload.size());
   std::uint32_t wire = ctx_->fabric().wire_bytes(wire_payload, datagram);
 
-  // Wire loss (§2.2.3): RC recovers via hardware retransmission (the message
-  // is delayed by the retransmission timer); UC/UD silently lose it —
-  // "sacrifices transport-level retransmission for fast common case
-  // performance at the cost of rare application-level retries".
+  // Wire loss (§2.2.3): RC recovers via hardware retransmission (each
+  // attempt re-rolls the wire and delays the message by the retransmission
+  // timer) up to retry_cnt attempts, after which the QP errors out; UC/UD
+  // silently lose the message — "sacrifices transport-level retransmission
+  // for fast common case performance at the cost of rare application-level
+  // retries".
   if (ctx_->fabric().drop_roll()) {
     ctx_->fabric().count_loss();
-    if (attr_.transport == Transport::kRc) {
-      ++rn.counters().retransmissions;
-      departed += cal.retransmit_delay;
-    } else {
+    if (attr_.transport != Transport::kRc) {
       return;  // gone; any signaled local completion already fired above
     }
+    std::uint32_t attempts = 1;
+    while (attempts <= cal.retry_cnt && ctx_->fabric().drop_roll()) {
+      ctx_->fabric().count_loss();
+      ++attempts;
+    }
+    rn.counters().retransmissions += std::min(attempts, cal.retry_cnt);
+    if (attempts > cal.retry_cnt) {
+      // Retransmission budget exhausted: the WR completes with
+      // kRetryExceeded (error completions ignore signaling) and the QP
+      // transitions to the error state once the last timer fires.
+      ++rn.counters().retry_exhausted;
+      sim::Tick failed =
+          departed + sim::Tick{cal.retry_cnt} * cal.retransmit_delay;
+      ctx_->engine().schedule_at(failed,
+                                 [this]() { state_ = QpState::kError; });
+      if (wr.opcode == Opcode::kRead) {
+        ctx_->engine().schedule_at(
+            failed, [this, len = wr.sge.length]() { finish_read(len); });
+      }
+      deliver_requester_completion(wr, WcStatus::kRetryExceeded, failed);
+      return;
+    }
+    departed += sim::Tick{attempts} * cal.retransmit_delay;
   }
 
   Inbound in;
@@ -350,6 +379,15 @@ void Qp::post_recv(const RecvWr& wr) {
   if (wr.sge.length == 0 ||
       !ctx_->check_local_access(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
     throw std::invalid_argument("post_recv: bad lkey / local bounds");
+  }
+  if (state_ == QpState::kError) {
+    Wc wc;
+    wc.wr_id = wr.wr_id;
+    wc.status = WcStatus::kWrFlushErr;
+    wc.opcode = WcOpcode::kRecv;
+    Cq* rcq = attr_.recv_cq;
+    ctx_->engine().schedule_after(0, [rcq, wc]() { rcq->push(wc); });
+    return;
   }
   recv_queue_.push_back(wr);
 }

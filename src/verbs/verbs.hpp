@@ -73,6 +73,13 @@ class Qp {
   Transport transport() const { return attr_.transport; }
   Context& context() { return *ctx_; }
 
+  /// RC error handling (§2.2.3's tradeoff made visible): after `retry_cnt`
+  /// consecutive wire losses of one message, the QP transitions to kError,
+  /// the WR completes with kRetryExceeded, and subsequent posts flush.
+  QpState state() const { return state_; }
+  /// Re-arms an errored QP (the ERR -> RESET -> INIT -> RTR -> RTS cycle).
+  void reset() { state_ = QpState::kReady; }
+
   /// Connects this QP to `remote` (and vice versa). RC/UC only.
   void connect(Qp& remote);
   bool connected() const { return remote_ != nullptr; }
@@ -129,6 +136,7 @@ class Qp {
   std::uint32_t outstanding_reads_ = 0;
   std::deque<SendWr> pending_reads_;
   sim::Tick sq_ready_ = 0;
+  QpState state_ = QpState::kReady;
 };
 
 class Context {

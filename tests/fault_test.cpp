@@ -1,0 +1,320 @@
+// Fault injection (`herd::fault`) and client resilience.
+//
+// The paper's §2.2.3 assumes losses are "extremely rare"; this suite scripts
+// the failure modes that assumption glosses over — loss bursts, link
+// degradation, NIC stalls, and process crashes — and checks that the
+// resilience layer (backoff, deadlines, QP error states, failover) keeps
+// every request reaching a terminal state with exactly-once mutations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "fault/fault.hpp"
+#include "herd/testbed.hpp"
+
+namespace herd {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::LinkDegradeFault;
+using fault::NicStallFault;
+using fault::ProcCrashFault;
+using fault::Window;
+using fault::WireLossFault;
+
+TEST(FaultPlanWindows, UniformLossDropsOnlyInsideWindow) {
+  sim::Engine engine;
+  FaultPlan plan;
+  plan.wire_loss.push_back(
+      WireLossFault::uniform({sim::us(100), sim::us(200)}, 1.0));
+  FaultInjector inj(engine, plan);
+  EXPECT_FALSE(inj.drop(sim::us(50)));
+  EXPECT_TRUE(inj.drop(sim::us(150)));
+  EXPECT_TRUE(inj.drop(sim::us(199)));
+  EXPECT_FALSE(inj.drop(sim::us(200)));  // half-open window
+  EXPECT_FALSE(inj.drop(sim::us(300)));
+  EXPECT_EQ(inj.counters().wire_losses, 2u);
+}
+
+TEST(FaultPlanWindows, GilbertElliottMatchesAverageLossAndBurstLength) {
+  sim::Engine engine;
+  constexpr double kAvgLoss = 0.10;
+  constexpr sim::Tick kMeanBurst = sim::us(8);
+  FaultPlan plan;
+  plan.wire_loss.push_back(
+      WireLossFault::burst({0, sim::ms(1000)}, kAvgLoss, kMeanBurst));
+  FaultInjector inj(engine, plan);
+
+  constexpr int kMessages = 200000;
+  int lost = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    if (inj.drop(sim::us(i))) ++lost;
+  }
+  double frac = static_cast<double>(lost) / kMessages;
+  EXPECT_NEAR(frac, kAvgLoss, 0.02);
+  ASSERT_GT(inj.counters().burst_entries, 0u);
+  // Losses arrive in runs: with one message per microsecond offered, a
+  // burst of mean duration 8us swallows ~8 consecutive messages.
+  double mean_run = static_cast<double>(inj.counters().wire_losses) /
+                    static_cast<double>(inj.counters().burst_entries);
+  EXPECT_NEAR(mean_run, 8.0, 2.5);
+}
+
+TEST(FaultPlanWindows, BurstValidatesArguments) {
+  EXPECT_THROW(WireLossFault::burst({0, 100}, 1.0, sim::us(4)),
+               std::invalid_argument);
+  EXPECT_THROW(WireLossFault::burst({0, 100}, -0.1, sim::us(4)),
+               std::invalid_argument);
+  EXPECT_THROW(WireLossFault::burst({0, 100}, 0.01, 0),
+               std::invalid_argument);
+}
+
+TEST(LinkDegrade, SlowsMessagesInsideWindowOnly) {
+  cluster::Cluster cl(cluster::ClusterConfig::apt(), 2, 64 << 10);
+  FaultPlan plan;
+  LinkDegradeFault f;
+  f.window = {sim::us(100), sim::us(200)};
+  f.bandwidth_factor = 0.25;  // FDR -> SDR fallback
+  f.extra_latency = sim::ns(500);
+  plan.link_degrade.push_back(f);
+  FaultInjector inj(cl.engine(), plan);
+  cl.fabric().set_fault_model(&inj);
+
+  sim::Tick a1 = 0, a2 = 0, a3 = 0;
+  cl.fabric().transmit_at(sim::us(10), 0, 1, 4096,
+                          [&]() { a1 = cl.engine().now(); });
+  cl.fabric().transmit_at(sim::us(110), 0, 1, 4096,
+                          [&]() { a2 = cl.engine().now(); });
+  cl.fabric().transmit_at(sim::us(210), 0, 1, 4096,
+                          [&]() { a3 = cl.engine().now(); });
+  cl.engine().run();
+
+  sim::Tick healthy = a1 - sim::us(10);
+  sim::Tick degraded = a2 - sim::us(110);
+  sim::Tick recovered = a3 - sim::us(210);
+  // 4x slower serialization plus the extra hop latency.
+  EXPECT_GT(degraded, healthy + sim::ns(500));
+  EXPECT_GT(degraded, healthy * 2);
+  EXPECT_EQ(recovered, healthy);  // window closed, full rate again
+  EXPECT_EQ(cl.fabric().messages_degraded(), 1u);
+}
+
+TEST(NicStall, TrafficQueuesBehindStallAndDrainsAfter) {
+  cluster::Cluster cl(cluster::ClusterConfig::apt(), 2, 64 << 10);
+  FaultPlan plan;
+  plan.nic_stall.push_back(NicStallFault{0, {sim::us(50), sim::us(150)}});
+  FaultInjector inj(cl.engine(), plan);
+  inj.arm_nic_stall(0, cl.host(0).rnic().tx());
+  inj.arm_nic_stall(0, cl.host(0).rnic().rx());
+  inj.arm_nic_stall(0, cl.host(0).rnic().dispatch());
+
+  auto scq = cl.host(0).ctx().create_cq();
+  auto dcq = cl.host(1).ctx().create_cq();
+  auto a = cl.host(0).ctx().create_qp(
+      {verbs::Transport::kUc, scq.get(), scq.get()});
+  auto b = cl.host(1).ctx().create_qp(
+      {verbs::Transport::kUc, dcq.get(), dcq.get()});
+  a->connect(*b);
+  auto amr = cl.host(0).ctx().register_mr(0, 4096, {});
+  auto bmr = cl.host(1).ctx().register_mr(0, 4096, {.remote_write = true});
+
+  sim::Tick landed = 0;
+  cl.host(1).memory().add_watch(
+      0, 64, [&](std::uint64_t, std::uint32_t) {
+        landed = cl.engine().now();
+      });
+  // Posted mid-stall: the WRITE must wait for the NIC to unfreeze.
+  cl.engine().schedule_at(sim::us(60), [&]() {
+    verbs::SendWr wr;
+    wr.opcode = verbs::Opcode::kWrite;
+    wr.sge = {0, 64, amr.lkey};
+    wr.remote_addr = 0;
+    wr.rkey = bmr.rkey;
+    wr.inline_data = true;
+    wr.signaled = false;
+    a->post_send(wr);
+  });
+  cl.engine().run();
+  EXPECT_GE(landed, sim::us(150));
+  EXPECT_LT(landed, sim::us(250));  // drains promptly once unfrozen
+}
+
+TEST(RcRetryExhaustion, QpErrorsFlushesAndRecovers) {
+  // A loss window outlasting retry_cnt hardware retransmissions: the RC QP
+  // completes the WR with kRetryExceeded and enters the error state; later
+  // posts flush (kWrFlushErr) until reset() re-arms it.
+  cluster::Cluster cl(cluster::ClusterConfig::apt(), 2, 64 << 10);
+  FaultPlan plan;
+  plan.wire_loss.push_back(
+      WireLossFault::uniform({0, sim::us(400)}, 1.0));
+  FaultInjector inj(cl.engine(), plan);
+  cl.fabric().set_fault_model(&inj);
+
+  auto scq = cl.host(0).ctx().create_cq();
+  auto dcq = cl.host(1).ctx().create_cq();
+  auto a = cl.host(0).ctx().create_qp(
+      {verbs::Transport::kRc, scq.get(), scq.get()});
+  auto b = cl.host(1).ctx().create_qp(
+      {verbs::Transport::kRc, dcq.get(), dcq.get()});
+  a->connect(*b);
+  auto amr = cl.host(0).ctx().register_mr(0, 4096, {});
+  auto bmr = cl.host(1).ctx().register_mr(0, 4096, {.remote_write = true});
+
+  auto write = [&](bool signaled) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::Opcode::kWrite;
+    wr.sge = {0, 32, amr.lkey};
+    wr.remote_addr = 0;
+    wr.rkey = bmr.rkey;
+    wr.inline_data = true;
+    wr.signaled = signaled;
+    a->post_send(wr);
+  };
+
+  write(true);  // dies in the loss window after retry_cnt attempts
+  cl.engine().schedule_at(sim::us(600), [&]() {
+    EXPECT_EQ(a->state(), verbs::QpState::kError);
+    write(true);  // flushed, not transmitted
+  });
+  cl.engine().schedule_at(sim::ms(1), [&]() {
+    a->reset();
+    EXPECT_EQ(a->state(), verbs::QpState::kReady);
+    write(true);  // window over: succeeds
+  });
+  cl.engine().run();
+
+  std::vector<verbs::WcStatus> statuses;
+  verbs::Wc wc;
+  while (scq->poll({&wc, 1}) == 1) statuses.push_back(wc.status);
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[0], verbs::WcStatus::kRetryExceeded);
+  EXPECT_EQ(statuses[1], verbs::WcStatus::kWrFlushErr);
+  EXPECT_EQ(statuses[2], verbs::WcStatus::kSuccess);
+  EXPECT_EQ(cl.host(0).rnic().counters().retry_exhausted, 1u);
+  EXPECT_GT(cl.host(0).rnic().counters().retransmissions, 0u);
+}
+
+TEST(HerdFaults, DeleteWorkloadSurvivesBurstLoss) {
+  // DELETE traffic under token mode and scripted bursty loss: values stay
+  // correct, deletions land, and retries recover every lost exchange.
+  core::TestbedConfig cfg;
+  cfg.herd.n_server_procs = 2;
+  cfg.herd.n_clients = 4;
+  cfg.herd.window = 2;
+  cfg.herd.mica.bucket_count_log2 = 12;
+  cfg.herd.mica.log_bytes = 4u << 20;
+  cfg.herd.request_tokens = true;
+  cfg.workload.n_keys = 500;
+  cfg.workload.get_fraction = 0.70;
+  cfg.workload.delete_fraction = 0.15;  // 15% DELETE, 15% PUT
+  cfg.verify_values = true;
+  cfg.fault_plan.wire_loss.push_back(
+      WireLossFault::burst({0, sim::ms(20)}, 0.005, sim::us(3)));
+  cfg.resilience.retry_timeout = sim::us(50);
+  core::HerdTestbed bed(cfg);
+
+  auto r = bed.run(sim::ms(1), sim::ms(4));
+  EXPECT_GT(r.ops, 1000u);
+  EXPECT_EQ(r.value_mismatches, 0u);
+  EXPECT_GT(r.messages_lost, 0u);
+  EXPECT_GT(r.retries, 0u);
+  std::uint64_t deletes = 0;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    deletes += bed.service().proc_stats(s).deletes;
+  }
+  EXPECT_GT(deletes, 100u);
+  for (std::size_t c = 0; c < bed.num_clients(); ++c) {
+    EXPECT_GT(bed.client(c).stats().completed, 50u) << "client " << c;
+  }
+  // End-of-run counter report covers the fault and resilience layers.
+  auto rep = bed.counter_report();
+  EXPECT_GT(rep.value("fault.wire_losses"), 0u);
+  EXPECT_GT(rep.value("client.retries"), 0u);
+  EXPECT_TRUE(rep.has("service.duplicate_mutations"));
+}
+
+TEST(HerdFaults, ResilienceRequiresTokens) {
+  core::TestbedConfig cfg;
+  cfg.herd.n_server_procs = 2;
+  cfg.herd.n_clients = 1;
+  cfg.herd.mica.bucket_count_log2 = 12;
+  cfg.herd.mica.log_bytes = 4u << 20;
+  cfg.workload.n_keys = 100;
+  cfg.resilience.retry_timeout = sim::us(50);
+  cfg.resilience.deadline = sim::ms(1);  // needs request_tokens
+  EXPECT_THROW(core::HerdTestbed bed(cfg), std::invalid_argument);
+}
+
+TEST(HerdFaults, CrashFailoverGracefulDegradation) {
+  // The acceptance scenario: 1% bursty loss throughout, server process 0
+  // fail-stops mid-run and later recovers. Clients detect the silence, fail
+  // outstanding requests over to process 1 (which serves partition 0 from
+  // its replica), and goodput after failover recovers to >= 90% of the
+  // pre-crash rate. Every request reaches deadline-or-response, every acked
+  // PUT stays visible, and no PUT is applied twice.
+  // Load is sized well below one process's capacity: graceful degradation
+  // is only meaningful when the survivor can absorb the failed-over traffic
+  // (a saturated 2-proc cluster necessarily halves when one dies).
+  core::TestbedConfig cfg;
+  cfg.herd.n_server_procs = 2;
+  cfg.herd.n_clients = 2;
+  cfg.herd.window = 1;
+  cfg.herd.mica.bucket_count_log2 = 12;
+  cfg.herd.mica.log_bytes = 4u << 20;
+  cfg.herd.request_tokens = true;
+  cfg.workload.n_keys = 500;
+  cfg.workload.get_fraction = 0.50;  // heavy PUTs stress exactly-once
+  cfg.verify_values = true;
+  cfg.fault_plan.wire_loss.push_back(
+      WireLossFault::burst({0, sim::ms(60)}, 0.01, sim::us(3)));
+  cfg.fault_plan.proc_crash.push_back(
+      ProcCrashFault{0, sim::ms(4), sim::ms(9)});
+  cfg.resilience.retry_timeout = sim::us(30);
+  cfg.resilience.backoff_multiplier = 2.0;
+  cfg.resilience.backoff_max = sim::us(120);  // bound worst-case window stall
+  cfg.resilience.jitter = 0.2;
+  cfg.resilience.deadline = sim::ms(1);
+  cfg.resilience.failover_threshold = 3;
+  cfg.resilience.probe_interval = sim::ms(1);
+  core::HerdTestbed bed(cfg);
+
+  // Pre-crash baseline: warmup [0,1) ms, measure [1,3) ms.
+  auto before = bed.run(sim::ms(1), sim::ms(2));
+  EXPECT_GT(before.ops, 300u);
+  EXPECT_EQ(before.value_mismatches, 0u);
+
+  // Crash at 4 ms lands in this warmup [3,5) ms; measure [5,7) ms runs
+  // entirely with process 0 dead and all traffic failed over.
+  auto during = bed.run(sim::ms(2), sim::ms(2));
+  EXPECT_EQ(during.value_mismatches, 0u);
+  EXPECT_GT(during.failovers + before.failovers, 0u);
+  EXPECT_GE(static_cast<double>(during.ops),
+            0.9 * static_cast<double>(before.ops));
+
+  // Recovery at 9 ms: process 0 rescans its region chunk; requests it finds
+  // were often also failed over to process 1, so the duplicate-suppression
+  // path must fire for exactly-once mutations.
+  auto after = bed.run(sim::ms(1), sim::ms(3));
+  EXPECT_EQ(after.value_mismatches, 0u);
+  EXPECT_EQ(after.get_misses, 0u);  // every acked PUT stayed visible
+
+  // fault.* counters live in the injector and survive per-run stat resets.
+  auto rep = bed.counter_report();
+  EXPECT_EQ(rep.value("fault.crashes"), 1u);
+  EXPECT_EQ(rep.value("fault.recoveries"), 1u);
+  EXPECT_GT(rep.value("service.foreign_serves"), 0u);
+  EXPECT_GT(rep.value("service.duplicate_mutations"), 0u);
+
+  // Drain: stop issuing and let every in-flight request reach a terminal
+  // state (response, retry-then-response, or deadline). No hung requests.
+  for (std::size_t c = 0; c < bed.num_clients(); ++c) bed.client(c).stop();
+  bed.cluster().engine().run();
+  for (std::size_t c = 0; c < bed.num_clients(); ++c) {
+    EXPECT_EQ(bed.client(c).outstanding(), 0u) << "client " << c;
+  }
+}
+
+}  // namespace
+}  // namespace herd

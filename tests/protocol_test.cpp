@@ -147,6 +147,118 @@ TEST(Protocol, TruncatedResponseRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// DELETE encoding and the correlation-token extension (resilience mode).
+
+TEST(Protocol, DeleteRoundTrip) {
+  // A DELETE is keyhash + the LEN sentinel: same 18 wire bytes as a GET.
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  Request req;
+  req.key = kv::hash_of_rank(11);
+  req.is_delete = true;
+  std::uint32_t start = encode_request(slot, req);
+  EXPECT_EQ(start, kSlotBytes - 18);
+  auto dec = decode_request(slot);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->is_delete);
+  EXPECT_FALSE(dec->is_put);
+  EXPECT_TRUE(dec->key == req.key);
+  EXPECT_TRUE(dec->value.empty());
+}
+
+TEST(Protocol, DeleteRoundTripWithToken) {
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  Request req;
+  req.key = kv::hash_of_rank(12);
+  req.is_delete = true;
+  req.token = 0xCAFE1234;
+  std::uint32_t start = encode_request(slot, req, /*with_token=*/true);
+  EXPECT_EQ(start, kSlotBytes - request_wire_bytes(0, true));
+  EXPECT_EQ(request_wire_bytes(0, true), 22u);  // GET/DELETE + 4-byte token
+  auto dec = decode_request(slot, /*with_token=*/true);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->is_delete);
+  EXPECT_EQ(dec->token, 0xCAFE1234u);
+  EXPECT_TRUE(dec->key == req.key);
+}
+
+TEST(Protocol, PutRoundTripWithToken) {
+  // The token sits between the value and LEN; it must not shift or corrupt
+  // the payload.
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  std::vector<std::byte> value(100);
+  workload::WorkloadGenerator::fill_value(7, value);
+  Request req;
+  req.key = kv::hash_of_rank(7);
+  req.is_put = true;
+  req.token = 42;
+  req.value = value;
+  encode_request(slot, req, /*with_token=*/true);
+  auto dec = decode_request(slot, /*with_token=*/true);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->is_put);
+  EXPECT_EQ(dec->token, 42u);
+  ASSERT_EQ(dec->value.size(), 100u);
+  EXPECT_TRUE(std::equal(value.begin(), value.end(), dec->value.begin()));
+}
+
+TEST(Protocol, TokenModeMismatchDetectable) {
+  // Decoding a token-mode DELETE as token-less must not read the token as a
+  // LEN: the sentinel sits in the LEN field either way.
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  Request req;
+  req.key = kv::hash_of_rank(13);
+  req.is_delete = true;
+  req.token = 99;
+  encode_request(slot, req, /*with_token=*/true);
+  auto dec = decode_request(slot, /*with_token=*/false);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->is_delete);  // sentinel survives; token simply not read
+  EXPECT_EQ(dec->token, 0u);
+}
+
+TEST(Protocol, TruncatedTokenModeDeleteRejected) {
+  // A token-less-sized DELETE frame (18 B) decoded in token mode is shorter
+  // than the 22-byte trailer; the size guard must fire before the DELETE
+  // sentinel early-return can read a token out of bounds.
+  std::vector<std::byte> frame(18, std::byte{0});
+  Request req;
+  req.key = kv::hash_of_rank(14);
+  req.is_delete = true;
+  encode_request(frame, req, /*with_token=*/false);
+  EXPECT_FALSE(decode_request(frame, /*with_token=*/true).has_value());
+}
+
+TEST(Protocol, ResponseRoundTripWithToken) {
+  std::vector<std::byte> buf(1024);
+  std::vector<std::byte> value(32);
+  workload::WorkloadGenerator::fill_value(6, value);
+  std::uint32_t n =
+      encode_response(buf, RespStatus::kOk, value, /*with_token=*/true,
+                      /*token=*/0xBEEF);
+  EXPECT_EQ(n, kRespHeader + kTokenBytes + 32);
+  auto dec = decode_response(std::span<const std::byte>(buf).first(n),
+                             /*with_token=*/true);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->status, RespStatus::kOk);
+  EXPECT_EQ(dec->token, 0xBEEFu);
+  ASSERT_EQ(dec->value.size(), 32u);
+  EXPECT_TRUE(std::equal(value.begin(), value.end(), dec->value.begin()));
+}
+
+TEST(Protocol, DeletedAckResponseWithTokenHasNoValue) {
+  std::vector<std::byte> buf(64);
+  std::uint32_t n = encode_response(buf, RespStatus::kNotFound, {},
+                                    /*with_token=*/true, /*token=*/7);
+  EXPECT_EQ(n, kRespHeader + kTokenBytes);
+  auto dec = decode_response(std::span<const std::byte>(buf).first(n),
+                             /*with_token=*/true);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->status, RespStatus::kNotFound);
+  EXPECT_EQ(dec->token, 7u);
+  EXPECT_TRUE(dec->value.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Request region layout (Fig. 8).
 
 TEST(RequestRegion, PaperSizingExample) {
