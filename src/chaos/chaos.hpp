@@ -1,0 +1,73 @@
+// Chaos harness driver (`herd::chaos`).
+//
+// run_scenario executes one sampled scenario end to end: build the testbed
+// with a HistoryRecorder attached, run warmup + measurement, drain in-flight
+// requests, then check the recorded history for per-key linearizability.
+// Every run also produces a determinism fingerprint (trace hash + engine
+// event counts); re-running the same scenario must reproduce it bit for bit,
+// which is what makes a failing seed a complete bug report.
+//
+// shrink() minimizes a violating scenario: greedily drop fault windows,
+// narrow the survivors, and shed clients while the violation persists. The
+// result is the smallest fault plan we could find that still breaks the
+// history — emit it with fault::to_cpp()/to_json() to pin a regression.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/linearize.hpp"
+#include "chaos/scenario.hpp"
+#include "herd/testbed.hpp"
+#include "sim/stats.hpp"
+
+namespace herd::chaos {
+
+struct RunOutcome {
+  Scenario scenario{};
+  CheckResult check{};
+  /// MICA shed keys (index eviction / log wrap / stale read) during the
+  /// run: GET misses may be cache semantics rather than lost writes, so
+  /// the run cannot assert linearizability of a strict store. Envelope
+  /// sizing makes this rare; such runs are reported, not failed.
+  bool cache_lossy = false;
+  /// Determinism fingerprint: history trace hash + engine event counts.
+  std::uint64_t fingerprint = 0;
+  std::uint64_t events = 0;       // history events recorded
+  std::uint64_t applies = 0;      // server-side mutation decisions
+  core::HerdTestbed::RunResult run{};
+  sim::CounterReport counters{};  // testbed counters + chaos.* checker stats
+};
+
+/// A run demands attention iff the checker proved a violation on a run
+/// whose cache was strict (no shed keys to blame).
+inline bool violation(const RunOutcome& o) {
+  return !o.check.ok && !o.cache_lossy;
+}
+
+/// Executes `sc` once. `checker_budget` caps the per-key search (see
+/// check_linearizability).
+RunOutcome run_scenario(const Scenario& sc,
+                        std::uint64_t checker_budget = 1000000);
+
+struct ShrinkResult {
+  Scenario minimal{};
+  std::uint32_t runs = 0;          // scenario executions spent shrinking
+  std::size_t faults_before = 0;
+  std::size_t faults_after = 0;
+  std::uint32_t clients_before = 0;
+  std::uint32_t clients_after = 0;
+};
+
+/// Greedily minimizes a violating scenario, spending at most `max_runs`
+/// re-executions. Passes, repeated to fixpoint: drop whole fault entries;
+/// halve window durations / crash downtime; drop clients (clamping NIC
+/// stalls to the shrunken cluster). Every accepted candidate still
+/// violates, so `minimal` reproduces the failure by construction.
+ShrinkResult shrink(const Scenario& failing, std::uint32_t max_runs = 64,
+                    std::uint64_t checker_budget = 1000000);
+
+/// One-line human summary of an outcome (for the runner's log).
+std::string summarize(const RunOutcome& o);
+
+}  // namespace herd::chaos

@@ -1,0 +1,287 @@
+#include "chaos/linearize.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace herd::chaos {
+
+namespace {
+
+constexpr sim::Tick kPendingRes = std::numeric_limits<sim::Tick>::max();
+
+/// One operation in a per-key sub-history. `response == kPendingRes` marks
+/// a maybe-applied mutation (deadline-failed or still in flight at run end).
+struct KeyOp {
+  sim::Tick invoke = 0;
+  sim::Tick response = kPendingRes;
+  workload::OpType type = workload::OpType::kGet;
+  core::RespStatus status = core::RespStatus::kOk;
+  bool value_ok = true;
+};
+
+/// Sequential spec of a register-with-delete with canonical per-key values.
+/// Returns whether `op` is legal in state `present` and what the state
+/// becomes; applying a pending mutation always succeeds (no status to
+/// honor, so a pending DELETE on an absent key is a legal no-op).
+bool step(const KeyOp& op, bool present, bool& next) {
+  next = present;
+  if (op.response == kPendingRes) {
+    next = op.type == workload::OpType::kPut;
+    return true;
+  }
+  switch (op.type) {
+    case workload::OpType::kPut:
+      next = true;
+      return true;
+    case workload::OpType::kDelete:
+      if (op.status == core::RespStatus::kOk) {
+        next = false;
+        return present;
+      }
+      return !present;
+    case workload::OpType::kGet:
+      if (op.status == core::RespStatus::kOk) return present && op.value_ok;
+      return !present;
+  }
+  return false;
+}
+
+const char* op_name(workload::OpType t) {
+  switch (t) {
+    case workload::OpType::kGet: return "GET";
+    case workload::OpType::kPut: return "PUT";
+    case workload::OpType::kDelete: return "DEL";
+  }
+  return "?";
+}
+
+std::string describe(const KeyOp& op) {
+  std::string s = "[";
+  s += std::to_string(op.invoke);
+  s += ", ";
+  s += op.response == kPendingRes ? "inf" : std::to_string(op.response);
+  s += ") ";
+  s += op_name(op.type);
+  if (op.response == kPendingRes) {
+    s += " -> ?";
+  } else {
+    s += op.status == core::RespStatus::kOk ? " -> OK" : " -> NOTFOUND";
+    if (op.type == workload::OpType::kGet &&
+        op.status == core::RespStatus::kOk && !op.value_ok) {
+      s += " (corrupt value)";
+    }
+  }
+  return s;
+}
+
+/// Wing & Gong search over one key's sub-history. DFS over partial
+/// linearizations with memoization on (linearized-set, register state).
+class KeySearcher {
+ public:
+  KeySearcher(const std::vector<KeyOp>& ops, std::uint64_t budget)
+      : ops_(ops),
+        budget_(budget),
+        linearized_(ops.size(), 0),
+        words_((ops.size() + 63) / 64, 0) {}
+
+  bool run(bool initially_present) {
+    return dfs(initially_present, 0);
+  }
+
+  bool exhausted() const { return exhausted_; }
+  std::uint64_t states_visited() const { return states_; }
+
+ private:
+  bool dfs(bool present, std::size_t done_definite) {
+    if (done_definite == n_definite_()) return true;  // pending all skippable
+    if (exhausted_) return false;
+    if (!note_state(present)) return false;  // already explored, dead end
+
+    // Wing & Gong's candidate rule: an op may linearize next only if it was
+    // invoked before every un-linearized completed op returned — otherwise
+    // some completed op would be ordered after an op that started after it
+    // finished.
+    sim::Tick min_res = kPendingRes;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (!get_bit(i) && ops_[i].response != kPendingRes) {
+        min_res = std::min(min_res, ops_[i].response);
+      }
+    }
+
+    // Completed candidates, each a branch.
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (get_bit(i) || ops_[i].response == kPendingRes) continue;
+      if (ops_[i].invoke > min_res) continue;
+      bool next = present;
+      if (!step(ops_[i], present, next)) continue;
+      set_bit(i, true);
+      if (dfs(next, done_definite + 1)) return true;
+      set_bit(i, false);
+      if (exhausted_) return false;
+    }
+
+    // Pending mutations: all un-linearized pending PUTs on a key are
+    // interchangeable (identical effect, and the earliest-invoked one has
+    // the weakest ordering constraint), so branch only on the earliest of
+    // each kind. The "skip forever" branch is the done_definite base case.
+    for (bool want_put : {true, false}) {
+      std::size_t rep = ops_.size();
+      for (std::size_t i = 0; i < ops_.size(); ++i) {
+        if (get_bit(i) || ops_[i].response != kPendingRes) continue;
+        bool is_put = ops_[i].type == workload::OpType::kPut;
+        if (is_put != want_put) continue;
+        if (rep == ops_.size() || ops_[i].invoke < ops_[rep].invoke) rep = i;
+      }
+      if (rep == ops_.size() || ops_[rep].invoke > min_res) continue;
+      bool next = present;
+      step(ops_[rep], present, next);
+      set_bit(rep, true);
+      if (dfs(next, done_definite)) return true;
+      set_bit(rep, false);
+      if (exhausted_) return false;
+    }
+    return false;
+  }
+
+  std::size_t n_definite_() const {
+    if (definite_ == std::numeric_limits<std::size_t>::max()) {
+      std::size_t n = 0;
+      for (const KeyOp& op : ops_) n += op.response != kPendingRes;
+      definite_ = n;
+    }
+    return definite_;
+  }
+
+  bool get_bit(std::size_t i) const { return linearized_[i]; }
+
+  void set_bit(std::size_t i, bool v) {
+    linearized_[i] = v ? 1 : 0;
+    if (v) {
+      words_[i / 64] |= std::uint64_t{1} << (i % 64);
+    } else {
+      words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+    }
+  }
+
+  /// Registers the current (set, state) node; false if seen before or the
+  /// budget ran out (exhausted_ set).
+  bool note_state(bool present) {
+    key_buf_.assign(reinterpret_cast<const char*>(words_.data()),
+                    words_.size() * sizeof(std::uint64_t));
+    key_buf_.push_back(present ? '\1' : '\0');
+    if (!memo_.insert(key_buf_).second) return false;
+    if (++states_ > budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const std::vector<KeyOp>& ops_;
+  std::uint64_t budget_;
+  std::vector<char> linearized_;
+  std::vector<std::uint64_t> words_;  // bitset mirror of linearized_
+  std::string key_buf_;
+  std::unordered_set<std::string> memo_;
+  std::uint64_t states_ = 0;
+  bool exhausted_ = false;
+  mutable std::size_t definite_ = std::numeric_limits<std::size_t>::max();
+};
+
+}  // namespace
+
+CheckResult check_linearizability(const std::vector<Event>& events,
+                                  std::uint64_t preloaded_keys,
+                                  std::uint64_t state_budget) {
+  CheckResult result;
+
+  // Partition the trace into per-key sub-histories. Open requests are
+  // matched by (client, seq); a request that never gets a response event
+  // stays pending. std::map keeps key iteration order deterministic.
+  std::map<std::uint64_t, std::vector<KeyOp>> per_key;
+  struct OpenReq {
+    std::uint64_t rank;
+    std::size_t index;
+  };
+  std::unordered_map<std::uint64_t, OpenReq> open;
+  auto req_key = [](std::uint32_t client, std::uint64_t seq) {
+    return (std::uint64_t{client} << 40) ^ seq;
+  };
+  for (const Event& e : events) {
+    switch (e.type) {
+      case EventType::kInvoke: {
+        std::vector<KeyOp>& ops = per_key[e.rank];
+        KeyOp op;
+        op.invoke = e.tick;
+        op.type = e.op;
+        open[req_key(e.client, e.seq)] = {e.rank, ops.size()};
+        ops.push_back(op);
+        break;
+      }
+      case EventType::kResponse: {
+        auto it = open.find(req_key(e.client, e.seq));
+        if (it == open.end()) break;  // response after deadline retirement
+        KeyOp& op = per_key[it->second.rank][it->second.index];
+        op.response = e.tick;
+        op.status = e.status;
+        op.value_ok = e.value_ok;
+        open.erase(it);
+        break;
+      }
+      case EventType::kDeadline:
+        // Leave the op pending: outcome unknown, maybe applied.
+        open.erase(req_key(e.client, e.seq));
+        break;
+    }
+  }
+
+  for (auto& [rank, ops] : per_key) {
+    // Pending GETs constrain nothing — drop them. Pending mutations are
+    // kept as maybe-applied.
+    std::erase_if(ops, [](const KeyOp& op) {
+      return op.response == kPendingRes && op.type == workload::OpType::kGet;
+    });
+    if (ops.empty()) continue;
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const KeyOp& a, const KeyOp& b) {
+                       return a.invoke < b.invoke;
+                     });
+    ++result.stats.histories_checked;
+    result.stats.ops_checked += ops.size();
+    for (const KeyOp& op : ops) {
+      result.stats.maybe_applied += op.response == kPendingRes;
+    }
+
+    KeySearcher searcher(ops, state_budget);
+    bool ok = searcher.run(rank < preloaded_keys);
+    result.stats.max_states_visited =
+        std::max(result.stats.max_states_visited, searcher.states_visited());
+    if (searcher.exhausted()) {
+      ++result.stats.budget_exhausted;
+      result.inconclusive = true;
+      continue;  // never report a budget blowout as a violation
+    }
+    if (!ok && result.ok) {
+      result.ok = false;
+      result.violating_rank = rank;
+      std::string& s = result.explanation;
+      s = "key rank " + std::to_string(rank) +
+          ": no valid linearization of " + std::to_string(ops.size()) +
+          " ops (initially " +
+          (rank < preloaded_keys ? "present" : "absent") + "):\n";
+      std::size_t shown = std::min<std::size_t>(ops.size(), 24);
+      for (std::size_t i = 0; i < shown; ++i) {
+        s += "  " + describe(ops[i]) + "\n";
+      }
+      if (shown < ops.size()) {
+        s += "  ... (" + std::to_string(ops.size() - shown) + " more)\n";
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace herd::chaos

@@ -1,0 +1,58 @@
+// Per-key linearizability checking (Wing & Gong, with P-compositionality).
+//
+// HERD keys are independent — no multi-key transactions — so a history is
+// linearizable iff every key's sub-history is (Herlihy & Wing's locality /
+// P-compositionality). The checker partitions the recorder's trace by key
+// rank and runs a Wing&Gong-style search per key against the sequential
+// spec of a register-with-delete:
+//
+//   PUT            -> key present (all PUTs for a rank write the canonical
+//                     pattern, so writes are state-idempotent)
+//   DELETE -> kOk        requires present; key becomes absent
+//   DELETE -> kNotFound  requires absent
+//   GET    -> kOk        requires present and an uncorrupted payload
+//   GET    -> kNotFound  requires absent
+//
+// Ops that never completed — retired at their deadline or still in flight
+// at the end of the run — are "maybe applied": a stale copy can reach a
+// server arbitrarily late (even after the client gave up), so a pending
+// mutation may be linearized at any point after its invocation or omitted
+// entirely. Pending GETs constrain nothing and are dropped. Because all
+// pending PUTs (resp. DELETEs) on a key are interchangeable, the search
+// only ever branches on the earliest-invoked one — this collapses the
+// exponential pending-op symmetry while preserving completeness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/history.hpp"
+
+namespace herd::chaos {
+
+struct CheckStats {
+  std::uint64_t histories_checked = 0;   // keys with at least one op
+  std::uint64_t ops_checked = 0;         // ops across all keys
+  std::uint64_t maybe_applied = 0;       // pending mutations (unknown outcome)
+  std::uint64_t max_states_visited = 0;  // worst per-key search size
+  std::uint64_t budget_exhausted = 0;    // keys whose search hit the cap
+};
+
+struct CheckResult {
+  bool ok = true;            // every key linearizable (or inconclusive)
+  bool inconclusive = false; // some key exhausted the search budget
+  std::uint64_t violating_rank = 0;
+  std::string explanation;   // human-readable violation report
+  CheckStats stats;
+};
+
+/// Checks the client-observed trace for per-key linearizability. Keys with
+/// rank < `preloaded_keys` start present (the testbed preloads them).
+/// `state_budget` caps distinct (linearized-set, state) nodes per key; a
+/// key exceeding it is reported inconclusive, never a violation.
+CheckResult check_linearizability(const std::vector<Event>& events,
+                                  std::uint64_t preloaded_keys,
+                                  std::uint64_t state_budget = 1000000);
+
+}  // namespace herd::chaos

@@ -1,0 +1,130 @@
+#include "chaos/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/rng.hpp"
+
+namespace herd::chaos {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::uint64_t sample_between(sim::Pcg32& rng, std::uint64_t lo,
+                             std::uint64_t hi) {
+  if (hi <= lo) return lo;
+  return lo + rng.next_u64() % (hi - lo + 1);
+}
+
+}  // namespace
+
+std::string Scenario::to_json() const {
+  std::string s = "{\"seed\":" + std::to_string(seed);
+  s += ",\"n_server_procs\":" + std::to_string(n_server_procs);
+  s += ",\"n_clients\":" + std::to_string(n_clients);
+  s += ",\"window\":" + std::to_string(window);
+  s += ",\"n_keys\":" + std::to_string(n_keys);
+  s += ",\"get_fraction\":" + fmt_double(get_fraction);
+  s += ",\"delete_fraction\":" + fmt_double(delete_fraction);
+  s += ",\"zipf\":";
+  s += zipf ? "true" : "false";
+  s += ",\"value_len\":" + std::to_string(value_len);
+  s += ",\"warmup\":" + std::to_string(warmup);
+  s += ",\"budget\":" + std::to_string(budget);
+  s += ",\"retry_timeout\":" + std::to_string(resilience.retry_timeout);
+  s += ",\"deadline\":" + std::to_string(resilience.deadline);
+  s += ",\"failover_threshold\":" +
+       std::to_string(resilience.failover_threshold);
+  s += ",\"break_dedup\":";
+  s += break_dedup ? "true" : "false";
+  s += ",\"plan\":" + fault::to_json(plan);
+  s += "}";
+  return s;
+}
+
+Scenario generate_scenario(std::uint64_t seed, const ScenarioEnvelope& env) {
+  sim::Pcg32 rng(seed, 0xC4A05CE2A410ULL);
+  Scenario sc;
+  sc.seed = seed;
+  sc.warmup = env.warmup;
+  sc.budget = env.budget;
+
+  sc.n_server_procs = static_cast<std::uint32_t>(
+      sample_between(rng, env.min_server_procs, env.max_server_procs));
+  sc.n_clients = static_cast<std::uint32_t>(
+      sample_between(rng, env.min_clients, env.max_clients));
+  sc.window =
+      static_cast<std::uint32_t>(sample_between(rng, env.min_window,
+                                                env.max_window));
+  // Sample key count log-uniformly so tiny keyspaces (heavy per-key
+  // contention, the interesting case for linearizability) are common.
+  std::uint64_t lo = std::max<std::uint64_t>(1, env.min_keys);
+  std::uint64_t hi = std::max(lo, env.max_keys);
+  std::uint64_t span_log = 0;
+  while ((lo << (span_log + 1)) <= hi) ++span_log;
+  sc.n_keys = std::min(hi, lo << sample_between(rng, 0, span_log));
+
+  sc.get_fraction = env.min_get_fraction +
+                    rng.next_double() *
+                        (env.max_get_fraction - env.min_get_fraction);
+  sc.delete_fraction = rng.next_double() * env.max_delete_fraction;
+  sc.zipf = env.allow_zipf && rng.next_double() < 0.5;
+  sc.value_len = 16u + 8u * static_cast<std::uint32_t>(rng.next_below(5));
+
+  // Resilience: always retries + deadline + (multi-proc) failover — chaos
+  // runs are about recovery behavior, not the lossless-fabric fast path.
+  sc.resilience.retry_timeout = sim::us(20) + sim::us(sample_between(rng, 0, 40));
+  sc.resilience.backoff_multiplier = 2.0;
+  sc.resilience.backoff_max = sim::us(150) + sim::us(sample_between(rng, 0, 250));
+  sc.resilience.jitter = 0.2;
+  sc.resilience.deadline = sim::us(600) + sim::us(sample_between(rng, 0, 1000));
+  sc.resilience.failover_threshold = sc.n_server_procs > 1 ? 3 : 0;
+  sc.resilience.probe_interval = sim::us(300);
+
+  fault::PlanEnvelope pe = env.plan;
+  pe.horizon = env.warmup + env.budget;
+  pe.n_procs = sc.n_server_procs;
+  // Host 0 is the server; clients pack 3 per machine (TestbedConfig
+  // default). Stalling the server NIC is the interesting case, so it is
+  // always eligible.
+  pe.n_hosts = 1 + (sc.n_clients + 2) / 3;
+  sc.plan = fault::sample_plan(rng.next_u64(), pe);
+  return sc;
+}
+
+core::TestbedConfig to_testbed_config(const Scenario& sc) {
+  core::TestbedConfig cfg;
+  cfg.herd.n_server_procs = sc.n_server_procs;
+  cfg.herd.n_clients = sc.n_clients;
+  cfg.herd.window = sc.window;
+  cfg.herd.request_tokens = true;
+  cfg.herd.mutation_dedup = !sc.break_dedup;
+  // Exactly-once horizon: past deadline + backoff_max the client never
+  // retries, so entries may age out safely.
+  cfg.herd.dedup_retention =
+      sc.resilience.deadline + sc.resilience.backoff_max + sim::ms(1);
+  // Size MICA so the whole sampled keyspace fits with room to spare:
+  // evictions and log wraps silently drop keys (cache semantics), which
+  // the checker cannot distinguish from a lost PUT.
+  cfg.herd.mica.bucket_count_log2 = 12;
+  cfg.herd.mica.log_bytes = 8u << 20;
+
+  cfg.workload.n_keys = sc.n_keys;
+  cfg.workload.get_fraction = sc.get_fraction;
+  cfg.workload.delete_fraction = sc.delete_fraction;
+  cfg.workload.zipf = sc.zipf;
+  cfg.workload.value_len = sc.value_len;
+
+  cfg.resilience = sc.resilience;
+  cfg.fault_plan = sc.plan;
+  cfg.verify_values = true;
+  cfg.seed = sc.seed;
+  return cfg;
+}
+
+}  // namespace herd::chaos

@@ -1,0 +1,73 @@
+// Scenario generation (`herd::chaos`).
+//
+// A Scenario is everything one chaos run needs: topology, workload mix,
+// client resilience policy, and a composed fault plan — all sampled from a
+// single 64-bit seed inside a configured envelope. The same seed always
+// produces the same scenario, and a scenario always produces the same run
+// (the simulator is deterministic), so a failing seed IS the bug report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "herd/config.hpp"
+#include "herd/testbed.hpp"
+#include "sim/time.hpp"
+
+namespace herd::chaos {
+
+/// Bounds for scenario sampling. Defaults keep runs small enough for a
+/// multi-seed sweep (a few ms of simulated time, <= 6 clients) while still
+/// exercising crash/recovery, failover, loss bursts, and NIC stalls.
+/// The MICA cache is sized so the sampled keyspace always fits: a cache
+/// eviction turns a GET into a legitimate miss, which the linearizability
+/// check would flag as a lost PUT.
+struct ScenarioEnvelope {
+  std::uint32_t min_server_procs = 1;
+  std::uint32_t max_server_procs = 3;
+  std::uint32_t min_clients = 2;
+  std::uint32_t max_clients = 6;
+  std::uint32_t min_window = 1;
+  std::uint32_t max_window = 4;
+  std::uint64_t min_keys = 16;
+  std::uint64_t max_keys = 256;
+  double min_get_fraction = 0.2;
+  double max_get_fraction = 0.8;
+  double max_delete_fraction = 0.3;
+  bool allow_zipf = true;
+  sim::Tick warmup = sim::us(200);
+  sim::Tick budget = sim::ms(3);  // measurement window (faults live here too)
+  fault::PlanEnvelope plan{};     // horizon/n_hosts/n_procs are overwritten
+};
+
+/// One fully-specified chaos run.
+struct Scenario {
+  std::uint64_t seed = 0;
+  std::uint32_t n_server_procs = 1;
+  std::uint32_t n_clients = 2;
+  std::uint32_t window = 2;
+  std::uint64_t n_keys = 64;
+  double get_fraction = 0.5;
+  double delete_fraction = 0.1;
+  bool zipf = false;
+  std::uint32_t value_len = 32;
+  sim::Tick warmup = sim::us(200);
+  sim::Tick budget = sim::ms(3);
+  core::ClientResilience resilience{};
+  fault::FaultPlan plan{};
+  /// Bug-injection switch: run with the server's duplicate-mutation ring
+  /// disabled (HerdConfig.mutation_dedup = false).
+  bool break_dedup = false;
+
+  std::string to_json() const;
+};
+
+/// Samples the scenario for `seed` within `env`. Deterministic.
+Scenario generate_scenario(std::uint64_t seed, const ScenarioEnvelope& env = {});
+
+/// Maps a scenario onto a runnable testbed configuration (request tokens,
+/// deadlines, and failover on; observer left null for the caller to set).
+core::TestbedConfig to_testbed_config(const Scenario& sc);
+
+}  // namespace herd::chaos

@@ -2,9 +2,162 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace herd::fault {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string json_window(const Window& w) {
+  return "{\"start\":" + std::to_string(w.start) +
+         ",\"end\":" + std::to_string(w.end) + "}";
+}
+
+std::string cpp_window(const Window& w) {
+  return "{" + std::to_string(w.start) + "ULL, " + std::to_string(w.end) +
+         "ULL}";
+}
+
+}  // namespace
+
+std::string to_json(const FaultPlan& plan) {
+  std::string s = "{\"seed\":" + std::to_string(plan.seed);
+  s += ",\"wire_loss\":[";
+  for (std::size_t i = 0; i < plan.wire_loss.size(); ++i) {
+    const WireLossFault& f = plan.wire_loss[i];
+    if (i) s += ',';
+    s += "{\"window\":" + json_window(f.window) +
+         ",\"loss_good\":" + fmt_double(f.loss_good) +
+         ",\"loss_bad\":" + fmt_double(f.loss_bad) +
+         ",\"mean_burst\":" + std::to_string(f.mean_burst) +
+         ",\"mean_gap\":" + std::to_string(f.mean_gap) + "}";
+  }
+  s += "],\"link_degrade\":[";
+  for (std::size_t i = 0; i < plan.link_degrade.size(); ++i) {
+    const LinkDegradeFault& f = plan.link_degrade[i];
+    if (i) s += ',';
+    s += "{\"window\":" + json_window(f.window) +
+         ",\"bandwidth_factor\":" + fmt_double(f.bandwidth_factor) +
+         ",\"extra_latency\":" + std::to_string(f.extra_latency) + "}";
+  }
+  s += "],\"nic_stall\":[";
+  for (std::size_t i = 0; i < plan.nic_stall.size(); ++i) {
+    const NicStallFault& f = plan.nic_stall[i];
+    if (i) s += ',';
+    s += "{\"host\":" + std::to_string(f.host) +
+         ",\"window\":" + json_window(f.window) + "}";
+  }
+  s += "],\"proc_crash\":[";
+  for (std::size_t i = 0; i < plan.proc_crash.size(); ++i) {
+    const ProcCrashFault& f = plan.proc_crash[i];
+    if (i) s += ',';
+    s += "{\"proc\":" + std::to_string(f.proc) +
+         ",\"crash_at\":" + std::to_string(f.crash_at) +
+         ",\"recover_at\":" + std::to_string(f.recover_at) + "}";
+  }
+  s += "]}";
+  return s;
+}
+
+std::string to_cpp(const FaultPlan& plan) {
+  std::string s = "herd::fault::FaultPlan plan;\n";
+  s += "plan.seed = " + std::to_string(plan.seed) + "ULL;\n";
+  for (const WireLossFault& f : plan.wire_loss) {
+    s += "plan.wire_loss.push_back({" + cpp_window(f.window) + ", " +
+         fmt_double(f.loss_good) + ", " + fmt_double(f.loss_bad) + ", " +
+         std::to_string(f.mean_burst) + "ULL, " +
+         std::to_string(f.mean_gap) + "ULL});\n";
+  }
+  for (const LinkDegradeFault& f : plan.link_degrade) {
+    s += "plan.link_degrade.push_back({" + cpp_window(f.window) + ", " +
+         fmt_double(f.bandwidth_factor) + ", " +
+         std::to_string(f.extra_latency) + "ULL});\n";
+  }
+  for (const NicStallFault& f : plan.nic_stall) {
+    s += "plan.nic_stall.push_back({" + std::to_string(f.host) + ", " +
+         cpp_window(f.window) + "});\n";
+  }
+  for (const ProcCrashFault& f : plan.proc_crash) {
+    s += "plan.proc_crash.push_back({" + std::to_string(f.proc) + ", " +
+         std::to_string(f.crash_at) + "ULL, " +
+         std::to_string(f.recover_at) + "ULL});\n";
+  }
+  return s;
+}
+
+FaultPlan sample_plan(std::uint64_t seed, const PlanEnvelope& env) {
+  if (env.horizon <= 2 * env.min_window) {
+    throw std::invalid_argument("sample_plan: horizon too small");
+  }
+  sim::Pcg32 rng(seed, 0xC0A05ULL);
+  FaultPlan plan;
+  plan.seed = seed ^ 0x5EEDFA17ULL;
+
+  auto tick_between = [&rng](sim::Tick lo, sim::Tick hi) {
+    return lo + rng.next_u64() % (hi - lo + 1);
+  };
+  auto window = [&]() {
+    sim::Tick max_len = std::max<sim::Tick>(env.min_window + 1,
+                                            env.horizon / 2);
+    sim::Tick len = tick_between(env.min_window, max_len);
+    sim::Tick start = tick_between(0, env.horizon - len);
+    return Window{start, start + len};
+  };
+
+  std::uint32_t n =
+      env.max_avg_loss > 0.0 ? rng.next_below(env.max_wire_loss + 1) : 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Window w = window();
+    double avg = std::min(env.max_avg_loss,
+                          0.002 + rng.next_double() * env.max_avg_loss);
+    if (rng.next_double() < 0.7) {
+      sim::Tick burst = sim::us(1) * (1 + rng.next_below(8));
+      plan.wire_loss.push_back(WireLossFault::burst(w, avg, burst));
+    } else {
+      plan.wire_loss.push_back(WireLossFault::uniform(w, avg));
+    }
+  }
+
+  n = rng.next_below(env.max_link_degrade + 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    LinkDegradeFault f;
+    f.window = window();
+    f.bandwidth_factor =
+        env.min_bw_factor + rng.next_double() * (1.0 - env.min_bw_factor);
+    f.extra_latency = sim::ns(100) * rng.next_below(20);
+    plan.link_degrade.push_back(f);
+  }
+
+  n = rng.next_below(env.max_nic_stall + 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NicStallFault f;
+    f.host = rng.next_below(env.n_hosts);
+    sim::Tick len = tick_between(sim::us(10), env.max_nic_stall_len);
+    sim::Tick start = tick_between(0, env.horizon - len);
+    f.window = {start, start + len};
+    plan.nic_stall.push_back(f);
+  }
+
+  n = rng.next_below(env.max_proc_crash + 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ProcCrashFault f;
+    f.proc = rng.next_below(env.n_procs);
+    // Crash early enough that recovery (and the retries it triggers) play
+    // out inside the horizon; always recover so single-proc runs progress.
+    f.crash_at = tick_between(env.horizon / 10, (env.horizon * 6) / 10);
+    sim::Tick down = tick_between(sim::us(100), env.horizon / 5);
+    f.recover_at = f.crash_at + down;
+    plan.proc_crash.push_back(f);
+  }
+  return plan;
+}
 
 WireLossFault WireLossFault::uniform(Window w, double p) {
   WireLossFault f;

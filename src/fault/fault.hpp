@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fabric/fabric.hpp"
@@ -102,7 +103,41 @@ struct FaultPlan {
     return wire_loss.empty() && link_degrade.empty() && nic_stall.empty() &&
            proc_crash.empty();
   }
+
+  std::size_t total_faults() const {
+    return wire_loss.size() + link_degrade.size() + nic_stall.size() +
+           proc_crash.size();
+  }
 };
+
+/// Compact JSON rendering of a plan — the chaos harness's reproducible
+/// failure artifact (paste into a bug report, reload by hand).
+std::string to_json(const FaultPlan& plan);
+
+/// C++ snippet rebuilding the plan against a `herd::fault::FaultPlan plan;`
+/// variable — paste into a regression test to pin a shrunk scenario.
+std::string to_cpp(const FaultPlan& plan);
+
+/// Envelope for random fault composition: how many of each fault type a
+/// sampled plan may contain and how violent each may be. Windows are drawn
+/// inside [0, horizon) and may overlap freely — composition is the point.
+struct PlanEnvelope {
+  sim::Tick horizon = sim::ms(4);
+  sim::Tick min_window = sim::us(50);
+  std::uint32_t max_wire_loss = 3;
+  std::uint32_t max_link_degrade = 2;
+  std::uint32_t max_nic_stall = 2;
+  std::uint32_t max_proc_crash = 1;
+  std::uint32_t n_hosts = 1;  // hosts eligible for NIC stalls
+  std::uint32_t n_procs = 1;  // server processes eligible for crashes
+  double max_avg_loss = 0.05;     // per bursty wire-loss window
+  double min_bw_factor = 0.25;    // worst link degradation sampled
+  sim::Tick max_nic_stall_len = sim::us(200);
+};
+
+/// Samples a valid composed plan from `seed` within `env`. Deterministic:
+/// the same (seed, envelope) always yields the same plan.
+FaultPlan sample_plan(std::uint64_t seed, const PlanEnvelope& env);
 
 /// Per-fault-type event tallies, surfaced via sim::CounterReport.
 struct FaultCounters {

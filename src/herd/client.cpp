@@ -125,6 +125,7 @@ void HerdClient::issue(const workload::Op& op) {
 
     sim::Tick now = host_->ctx().engine().now();
     std::uint64_t seq = next_seq_++;
+    if (observer_ != nullptr) observer_->on_invoke(id_, seq, op, now);
     InFlight fl;
     fl.sent = now;
     fl.deadline = res_.deadline > 0 ? now + res_.deadline : 0;
@@ -194,18 +195,30 @@ void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
   }
 }
 
+namespace {
+// Largest backoff the double -> Tick conversion may produce. Far above any
+// useful interval, far below 2^64 (where the cast would be UB).
+constexpr double kMaxBackoff = 9.0e18;
+}  // namespace
+
+sim::Tick HerdClient::base_backoff(const ClientResilience& res,
+                                   std::uint32_t attempt) {
+  double cap = res.backoff_max > 0 ? static_cast<double>(res.backoff_max)
+                                   : kMaxBackoff;
+  cap = std::min(cap, kMaxBackoff);
+  double m = std::max(1.0, res.backoff_multiplier);
+  double t = static_cast<double>(res.retry_timeout);
+  for (std::uint32_t k = 0; k < attempt && t < cap; ++k) t *= m;
+  t = std::min(t, cap);
+  return std::max<sim::Tick>(1, static_cast<sim::Tick>(t));
+}
+
 sim::Tick HerdClient::backoff_delay(std::uint32_t attempt) {
-  double t = static_cast<double>(res_.retry_timeout);
-  for (std::uint32_t k = 0; k < attempt; ++k) {
-    t *= res_.backoff_multiplier;
-    if (t >= static_cast<double>(res_.backoff_max)) {
-      t = static_cast<double>(res_.backoff_max);
-      break;
-    }
-  }
+  double t = static_cast<double>(base_backoff(res_, attempt));
   if (res_.jitter > 0.0) {
     t *= 1.0 + res_.jitter * (2.0 * jitter_rng_.next_double() - 1.0);
   }
+  t = std::min(t, kMaxBackoff);
   return std::max<sim::Tick>(1, static_cast<sim::Tick>(t));
 }
 
@@ -249,6 +262,7 @@ void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq) {
   if (it->deadline > 0 && now >= it->deadline) {
     // Terminal state: the request failed its deadline. The slot frees and a
     // very late response will be dropped by its stale token.
+    if (observer_ != nullptr) observer_->on_deadline(id_, it->seq, now);
     inflight_[s].erase(it);
     ++stats_.deadline_exceeded;
     assert(outstanding_ > 0);
@@ -419,6 +433,10 @@ void HerdClient::handle_response(const verbs::Wc& wc) {
     inflight_[s].pop_front();
   }
   bool is_get = fl.op.type == workload::OpType::kGet;
+  if (observer_ != nullptr && resp) {
+    observer_->on_response(id_, fl.seq, resp->status, resp->value,
+                           host_->ctx().engine().now());
+  }
 
   if (!resp) {
     ++stats_.bad_responses;

@@ -18,6 +18,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/core.hpp"
 #include "herd/config.hpp"
+#include "herd/observer.hpp"
 #include "herd/protocol.hpp"
 #include "herd/service.hpp"
 #include "sim/rng.hpp"
@@ -84,6 +85,21 @@ class HerdClient {
   void set_resilience(const ClientResilience& r);
   const ClientResilience& resilience() const { return res_; }
 
+  /// History hook for the chaos harness (nullptr = no recording).
+  void set_observer(HistoryObserver* obs) { observer_ = obs; }
+
+  /// Jitter-free backoff for the attempt-th retry: retry_timeout grown by
+  /// backoff_multiplier (clamped to >= 1, so the schedule is monotone
+  /// non-decreasing) per attempt, capped at backoff_max — including attempt
+  /// 0, so no interval ever exceeds the cap. Saturates well below Tick's
+  /// range instead of overflowing the double -> Tick cast.
+  static sim::Tick base_backoff(const ClientResilience& res,
+                                std::uint32_t attempt);
+
+  /// base_backoff with this client's uniform +/- jitter applied (draws from
+  /// the client's jitter RNG; public for property tests).
+  sim::Tick backoff_delay(std::uint32_t attempt);
+
   /// Requests currently in flight (0 after a drained shutdown — the
   /// "every request reaches a terminal state" check).
   std::uint32_t outstanding() const { return outstanding_; }
@@ -129,7 +145,6 @@ class HerdClient {
   /// Moves every outstanding request off suspected-dead process `s`.
   void fail_over_outstanding(std::uint32_t s);
   void reissue(InFlight fl, std::uint32_t to);
-  sim::Tick backoff_delay(std::uint32_t attempt);
   void repost_recv(std::uint32_t s, std::uint64_t buf);
 
   cluster::Host* host_;
@@ -163,6 +178,7 @@ class HerdClient {
   std::uint32_t outstanding_ = 0;
   bool running_ = false;
   bool verify_ = false;
+  HistoryObserver* observer_ = nullptr;
   Stats stats_;
   sim::LatencyHistogram latency_;
 };

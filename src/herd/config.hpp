@@ -50,6 +50,18 @@ struct HerdConfig {
   /// play (lossy fabric); off by default — it costs 4 bytes of inline-PIO
   /// budget per message, which moves the Fig. 10 inline knee.
   bool request_tokens = false;
+  /// How long the per-(partition, client) duplicate-suppression cache
+  /// retains applied-mutation entries. Must exceed the client's deadline +
+  /// backoff_max: a retry arriving after its entry aged out would re-apply
+  /// the mutation (lost update). Entries younger than this are never
+  /// discarded.
+  sim::Tick dedup_retention = sim::ms(4);
+  /// Bug-injection hook for the chaos harness: when false, the server skips
+  /// the duplicate-mutation token ring, so a retried PUT/DELETE whose
+  /// response was lost applies twice. Exists to prove the linearizability
+  /// checker catches the resulting histories; never disable in production
+  /// configurations.
+  bool mutation_dedup = true;
 };
 
 /// Client-side failure handling: the §2.2.3 "application-level retries"

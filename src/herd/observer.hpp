@@ -1,0 +1,58 @@
+// Passive history hook for correctness tooling (herd::chaos).
+//
+// A HistoryObserver sees the client-observed key-value history — every
+// invocation, matched response, and deadline retirement — plus the server's
+// mutation applications. The chaos harness records these into a per-run
+// trace and checks per-key linearizability over it; the hooks are no-ops
+// (null observer) in benches.
+//
+// Semantics the recorder relies on:
+//  * on_invoke fires once per logical request (retries and failover
+//    re-issues reuse the seq and are not re-announced);
+//  * on_response fires at most once per seq, when the client matches a
+//    response to a live request;
+//  * on_deadline marks the request's outcome UNKNOWN — a stale copy may
+//    still reach a server and apply after the client gave up ("maybe
+//    applied" in the linearizability check);
+//  * on_apply fires server-side per mutation decision, with applied=false
+//    when the duplicate-suppression ring absorbed a retry.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "herd/protocol.hpp"
+#include "kv/keyhash.hpp"
+#include "sim/time.hpp"
+#include "workload/workload.hpp"
+
+namespace herd::core {
+
+class HistoryObserver {
+ public:
+  virtual ~HistoryObserver() = default;
+
+  /// Client `client` hands request `seq` (for `op`) to the transport.
+  virtual void on_invoke(std::uint32_t client, std::uint64_t seq,
+                         const workload::Op& op, sim::Tick now) = 0;
+
+  /// A response completed request `seq`. `value` is the GET payload (empty
+  /// for PUT/DELETE responses and GET misses); it views transient buffer
+  /// memory — copy or hash it inside the call.
+  virtual void on_response(std::uint32_t client, std::uint64_t seq,
+                           RespStatus status,
+                           std::span<const std::byte> value,
+                           sim::Tick now) = 0;
+
+  /// Request `seq` was retired at its deadline without a response.
+  virtual void on_deadline(std::uint32_t client, std::uint64_t seq,
+                           sim::Tick now) = 0;
+
+  /// Server process `proc` decided a mutation from `client`: applied it to
+  /// partition state, or suppressed it as a duplicate (applied=false).
+  virtual void on_apply(std::uint32_t proc, std::uint32_t client,
+                        const kv::KeyHash& key, bool is_delete, bool applied,
+                        sim::Tick now) = 0;
+};
+
+}  // namespace herd::core

@@ -1,6 +1,7 @@
 #include "herd/service.hpp"
 
 #include <cassert>
+#include <optional>
 #include <stdexcept>
 
 #include "sim/rng.hpp"
@@ -11,13 +12,6 @@ namespace herd::core {
 namespace {
 constexpr std::uint32_t kRespStride = 1024;  // status+LEN+value, padded
 constexpr std::uint32_t kRecvStride = kSlotBytes + verbs::kGrhBytes;
-
-// Single service-wide RNG for idle-poll jitter; determinism comes from the
-// engine, and the jitter only widens the detection-delay distribution.
-sim::Pcg32& poll_jitter_rng() {
-  static sim::Pcg32 rng(0x715EEDULL, 0x9E3779B97F4A7C15ULL);
-  return rng;
-}
 }  // namespace
 
 HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
@@ -26,7 +20,8 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
       cfg_(cfg),
       cpu_(cpu),
       region_(/*base=*/0, cfg.n_server_procs, cfg.n_clients, cfg.window),
-      client_ah_(cfg.n_clients, std::vector<verbs::Ah>(cfg.n_server_procs)) {
+      client_ah_(cfg.n_clients, std::vector<verbs::Ah>(cfg.n_server_procs)),
+      poll_jitter_rng_(0x715EEDULL, 0x9E3779B97F4A7C15ULL) {
   if (required_memory(cfg) > host.memory().size()) {
     throw std::invalid_argument(
         "HerdService: host memory too small; size with required_memory()");
@@ -66,7 +61,9 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
     p->ud_qp = ctx.create_qp({verbs::Transport::kUd, p->send_cq.get(),
                               p->recv_cq.get()});
     p->next_r.assign(cfg.n_clients, 0);
-    if (cfg.request_tokens) p->seen_tokens.resize(cfg.n_clients);
+    if (cfg.request_tokens) {
+      p->seen_tokens.assign(cfg.n_clients, TokenRing(cfg.dedup_retention));
+    }
     p->resp_base = cursor;
     cursor += per_proc_resp;
     if (cfg.mode == RequestMode::kSendUd) {
@@ -174,6 +171,24 @@ void HerdService::recover_proc(std::uint32_t s) {
       auto slot = host_->memory().span(slot_addr, kSlotBytes);
       auto req = decode_request(slot, cfg_.request_tokens);
       if (!req) continue;
+      if (cfg_.request_tokens && cfg_.mutation_dedup &&
+          (req->is_put || req->is_delete)) {
+        // A rescanned mutation may be arbitrarily stale: the client often
+        // failed it over to a survivor while this process was down, and if
+        // enough newer mutations followed, its dedup entry has aged out.
+        // Apply only what is provably new (newer than every recorded
+        // mutation from that client); for the rest, a duplicate entry
+        // replays in complete(), and the ambiguous remainder is dropped —
+        // re-applying risks a lost update, while a client that still wants
+        // the op is still retrying it.
+        std::uint32_t part = kv::partition_of(req->key, cfg_.n_server_procs);
+        const TokenRing& ring = procs_[part]->seen_tokens.at(c);
+        if (!ring.find(req->token) && !ring.provably_new(req->token)) {
+          ++p.stats.rescan_dropped;
+          clear_slot(slot);
+          continue;
+        }
+      }
       Pending pend;
       pend.client = c;
       pend.request = *req;
@@ -245,7 +260,7 @@ void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
   sim::Tick jitter = 0;
   if (p.core->busy_until() <= host_->ctx().engine().now()) {
     sim::Tick scan = cfg_.poll_scan_slots * cpu_.poll_iteration;
-    jitter = poll_jitter_rng().next_u64() % (scan + 1);
+    jitter = poll_jitter_rng_.next_u64() % (scan + 1);
   }
   schedule_advance(s, jitter);
 }
@@ -384,22 +399,41 @@ void HerdService::complete(std::uint32_t s, const Pending& p) {
   std::byte value_buf[kv::MicaCache::kMaxValue];
   std::uint32_t token = p.request.token;
   bool is_mutation = p.request.is_put || p.request.is_delete;
-  if (cfg_.request_tokens && is_mutation &&
-      owner.seen_tokens.at(p.client).seen_or_insert(token)) {
+  bool dedup = cfg_.request_tokens && cfg_.mutation_dedup && is_mutation;
+  sim::Tick now = host_->ctx().engine().now();
+  std::optional<std::uint8_t> replay =
+      dedup ? owner.seen_tokens.at(p.client).find(token) : std::nullopt;
+  if (replay) {
     // Retry of an already-applied mutation (the original response was lost,
-    // or a failover re-sent it): ack without re-applying.
+    // or a failover re-sent it): replay the recorded result without
+    // re-applying. Replaying — not synthesizing kOk — matters: a DELETE of
+    // an absent key returned kNotFound, and acking its retry with kOk
+    // reports a deletion that never happened.
     ++proc.stats.duplicate_mutations;
-    post_response(s, p.client, RespStatus::kOk, {}, token);
-  } else if (p.request.is_delete) {
-    ++proc.stats.deletes;
-    bool erased = owner.cache->erase(p.request.key);
-    post_response(s, p.client,
-                  erased ? RespStatus::kOk : RespStatus::kNotFound, {},
-                  token);
-  } else if (p.request.is_put) {
-    ++proc.stats.puts;
-    owner.cache->put(p.request.key, p.value);
-    post_response(s, p.client, RespStatus::kOk, {}, token);
+    if (observer_ != nullptr) {
+      observer_->on_apply(s, p.client, p.request.key, p.request.is_delete,
+                          /*applied=*/false, now);
+    }
+    post_response(s, p.client, static_cast<RespStatus>(*replay), {}, token);
+  } else if (is_mutation) {
+    RespStatus status = RespStatus::kOk;
+    if (p.request.is_delete) {
+      ++proc.stats.deletes;
+      bool erased = owner.cache->erase(p.request.key);
+      if (!erased) status = RespStatus::kNotFound;
+    } else {
+      ++proc.stats.puts;
+      owner.cache->put(p.request.key, p.value);
+    }
+    if (dedup) {
+      owner.seen_tokens.at(p.client).insert(
+          token, static_cast<std::uint8_t>(status), now);
+    }
+    if (observer_ != nullptr) {
+      observer_->on_apply(s, p.client, p.request.key, p.request.is_delete,
+                          /*applied=*/true, now);
+    }
+    post_response(s, p.client, status, {}, token);
   } else {
     ++proc.stats.gets;
     auto r = owner.cache->get(p.request.key, value_buf);

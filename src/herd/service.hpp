@@ -11,7 +11,6 @@
 //    request region and running the two-stage prefetch pipeline (§4.1.1).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -22,9 +21,12 @@
 #include "cluster/cluster.hpp"
 #include "cluster/core.hpp"
 #include "herd/config.hpp"
+#include "herd/observer.hpp"
 #include "herd/protocol.hpp"
 #include "herd/request_region.hpp"
+#include "herd/token_ring.hpp"
 #include "kv/mica_cache.hpp"
+#include "sim/rng.hpp"
 #include "verbs/verbs.hpp"
 
 namespace herd::core {
@@ -94,12 +96,18 @@ class HerdService {
     std::uint64_t dropped_while_dead = 0;   // requests that arrived dead
     std::uint64_t duplicate_mutations = 0;  // retried PUT/DELETE suppressed
     std::uint64_t foreign_serves = 0;  // served another proc's partition
+    /// Rescanned mutations of ambiguous staleness dropped at recovery
+    /// (possibly served-and-forgotten; re-applying risks a lost update).
+    std::uint64_t rescan_dropped = 0;
   };
   const ProcStats& proc_stats(std::uint32_t s) const;
   const kv::MicaCache& proc_cache(std::uint32_t s) const;
   cluster::SequentialCore& proc_core(std::uint32_t s);
   std::uint64_t total_requests() const;
   void reset_stats();
+
+  /// History hook for the chaos harness (nullptr = no recording).
+  void set_observer(HistoryObserver* obs) { observer_ = obs; }
 
  private:
   struct Pending {
@@ -113,27 +121,6 @@ class HerdService {
     std::uint64_t slot_addr = 0;     // WRITE mode: slot to re-arm
     std::uint64_t recv_addr = 0;     // SEND mode: recv buffer to repost
     std::uint64_t recv_wr_id = 0;
-  };
-
-  /// Recently-applied mutation tokens for one (partition, client) pair.
-  /// Bounds duplicate-suppression state: a retry older than the last kSize
-  /// mutations from that client can no longer be deduplicated, which is
-  /// safe because the client caps retries well below that horizon.
-  struct TokenRing {
-    static constexpr std::uint32_t kSize = 64;
-    std::array<std::uint32_t, kSize> tokens{};
-    std::array<char, kSize> valid{};
-    std::uint32_t head = 0;
-    /// True if `tok` was already recorded; records it otherwise.
-    bool seen_or_insert(std::uint32_t tok) {
-      for (std::uint32_t i = 0; i < kSize; ++i) {
-        if (valid[i] && tokens[i] == tok) return true;
-      }
-      tokens[head] = tok;
-      valid[head] = 1;
-      head = (head + 1) % kSize;
-      return false;
-    }
   };
 
   struct Proc {
@@ -175,6 +162,11 @@ class HerdService {
   std::vector<std::vector<verbs::Ah>> client_ah_;  // [client][proc]
   std::unordered_map<std::uint64_t, std::uint32_t> sender_to_client_;
   verbs::Mr scratch_mr_{};  // covers staging rings / recv buffers
+  HistoryObserver* observer_ = nullptr;
+  /// Idle-poll detection jitter. A member (not a process-global) so two
+  /// identically-seeded services in one process draw identical streams —
+  /// the chaos harness's deterministic replay depends on it.
+  sim::Pcg32 poll_jitter_rng_;
 };
 
 }  // namespace herd::core

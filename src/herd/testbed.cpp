@@ -30,6 +30,7 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
       cfg_.cluster, 1 + n_client_hosts, mem, host_seed);
   service_ = std::make_unique<HerdService>(cluster_->host(0), h,
                                            cfg_.cluster.cpu);
+  service_->set_observer(cfg_.observer);
 
   if (!cfg_.fault_plan.empty()) {
     fault_ = std::make_unique<fault::FaultInjector>(cluster_->engine(),
@@ -74,6 +75,7 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
         std::make_unique<HerdClient>(host, c, *service_, wl, arena));
     clients_.back()->set_verify_values(cfg_.verify_values);
     clients_.back()->set_resilience(cfg_.resilience);
+    clients_.back()->set_observer(cfg_.observer);
   }
   proc_requests_.assign(h.n_server_procs, 0);
 }
@@ -129,7 +131,7 @@ sim::CounterReport HerdTestbed::counter_report() const {
   rep.add("server_rnic.dropped_packets", nic.dropped_packets);
 
   std::uint64_t requests = 0, bad_requests = 0, dup = 0, dead_drops = 0;
-  std::uint64_t foreign = 0, crashes = 0, recoveries = 0;
+  std::uint64_t foreign = 0, crashes = 0, recoveries = 0, rescan_drops = 0;
   for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
     const auto& st = service_->proc_stats(s);
     requests += st.requests;
@@ -139,11 +141,13 @@ sim::CounterReport HerdTestbed::counter_report() const {
     foreign += st.foreign_serves;
     crashes += st.crashes;
     recoveries += st.recoveries;
+    rescan_drops += st.rescan_dropped;
   }
   rep.add("service.requests", requests);
   rep.add("service.bad_requests", bad_requests);
   rep.add("service.duplicate_mutations", dup);
   rep.add("service.dropped_while_dead", dead_drops);
+  rep.add("service.rescan_dropped", rescan_drops);
   rep.add("service.foreign_serves", foreign);
   rep.add("service.crashes", crashes);
   rep.add("service.recoveries", recoveries);

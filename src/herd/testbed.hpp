@@ -37,6 +37,9 @@ struct TestbedConfig {
   fault::FaultPlan fault_plan{};
   /// Client-side failure handling, applied to every client.
   ClientResilience resilience{};
+  /// History hook wired into the service and every client (chaos harness;
+  /// must outlive the testbed). nullptr = no recording.
+  HistoryObserver* observer = nullptr;
 };
 
 class HerdTestbed {

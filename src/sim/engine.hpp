@@ -48,6 +48,11 @@ class Engine {
   bool empty() const { return queue_.empty(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Total events ever scheduled. Together with events_processed() and
+  /// now(), a cheap run fingerprint: two runs of the same deterministic
+  /// schedule agree on all three (chaos replay asserts this).
+  std::uint64_t events_scheduled() const { return next_seq_; }
+
  private:
   struct Event {
     Tick t;

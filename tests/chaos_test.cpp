@@ -1,0 +1,315 @@
+// Chaos harness (`herd::chaos`): scenario generation, the per-key
+// linearizability checker, deterministic replay, and scenario shrinking.
+//
+// The acceptance gate for the harness lives here: an intentionally injected
+// dedup bug (HerdConfig::mutation_dedup = false) must produce a history the
+// checker rejects, and the shrinker must reduce the triggering fault plan
+// to at most two windows.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "chaos/history.hpp"
+#include "chaos/linearize.hpp"
+#include "chaos/scenario.hpp"
+
+namespace herd {
+namespace {
+
+using chaos::CheckResult;
+using chaos::Event;
+using chaos::EventType;
+using chaos::Scenario;
+using chaos::ScenarioEnvelope;
+using core::RespStatus;
+using workload::OpType;
+
+// ---------------------------------------------------------------------------
+// Scenario generation
+
+TEST(ScenarioGen, SameSeedSameScenario) {
+  ScenarioEnvelope env;
+  Scenario a = chaos::generate_scenario(42, env);
+  Scenario b = chaos::generate_scenario(42, env);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  Scenario c = chaos::generate_scenario(43, env);
+  EXPECT_NE(a.to_json(), c.to_json());
+}
+
+TEST(ScenarioGen, SamplesStayInsideEnvelope) {
+  ScenarioEnvelope env;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Scenario sc = chaos::generate_scenario(seed, env);
+    EXPECT_GE(sc.n_server_procs, env.min_server_procs);
+    EXPECT_LE(sc.n_server_procs, env.max_server_procs);
+    EXPECT_GE(sc.n_clients, env.min_clients);
+    EXPECT_LE(sc.n_clients, env.max_clients);
+    EXPECT_GE(sc.window, env.min_window);
+    EXPECT_LE(sc.window, env.max_window);
+    EXPECT_GE(sc.n_keys, env.min_keys);
+    EXPECT_LE(sc.n_keys, env.max_keys);
+    EXPECT_GE(sc.get_fraction, env.min_get_fraction);
+    EXPECT_LE(sc.get_fraction, env.max_get_fraction);
+    EXPECT_LE(sc.delete_fraction, env.max_delete_fraction);
+    // Exactly-once horizon: the dedup cache must outlive any retry.
+    core::TestbedConfig cfg = chaos::to_testbed_config(sc);
+    EXPECT_GT(cfg.herd.dedup_retention,
+              sc.resilience.deadline + sc.resilience.backoff_max);
+    for (const auto& f : sc.plan.proc_crash) {
+      EXPECT_LT(f.proc, sc.n_server_procs);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linearizability checker, on hand-built histories
+
+// Builds event traces the way HistoryRecorder would emit them.
+struct HistoryBuilder {
+  std::vector<Event> ev;
+  std::uint64_t next_seq = 1;
+
+  // Invokes an op; returns its seq for the matching response/deadline.
+  std::uint64_t inv(OpType op, std::uint64_t rank, sim::Tick at,
+                    std::uint32_t client = 0) {
+    Event e;
+    e.type = EventType::kInvoke;
+    e.client = client;
+    e.seq = next_seq++;
+    e.op = op;
+    e.rank = rank;
+    e.tick = at;
+    ev.push_back(e);
+    return e.seq;
+  }
+
+  void resp(std::uint64_t seq, RespStatus st, sim::Tick at,
+            bool value_ok = true, std::uint32_t client = 0) {
+    Event e;
+    e.type = EventType::kResponse;
+    e.client = client;
+    e.seq = seq;
+    e.status = st;
+    e.value_ok = value_ok;
+    e.tick = at;
+    ev.push_back(e);
+  }
+
+  void deadline(std::uint64_t seq, sim::Tick at, std::uint32_t client = 0) {
+    Event e;
+    e.type = EventType::kDeadline;
+    e.client = client;
+    e.seq = seq;
+    e.tick = at;
+    ev.push_back(e);
+  }
+
+  CheckResult check(std::uint64_t preloaded = 0) const {
+    return chaos::check_linearizability(ev, preloaded);
+  }
+};
+
+TEST(Linearize, AcceptsSequentialHistory) {
+  HistoryBuilder h;
+  std::uint64_t s1 = h.inv(OpType::kGet, 0, 0);
+  h.resp(s1, RespStatus::kNotFound, 10);
+  std::uint64_t s2 = h.inv(OpType::kPut, 0, 20);
+  h.resp(s2, RespStatus::kOk, 30);
+  std::uint64_t s3 = h.inv(OpType::kGet, 0, 40);
+  h.resp(s3, RespStatus::kOk, 50);
+  std::uint64_t s4 = h.inv(OpType::kDelete, 0, 60);
+  h.resp(s4, RespStatus::kOk, 70);
+  std::uint64_t s5 = h.inv(OpType::kDelete, 0, 80);
+  h.resp(s5, RespStatus::kNotFound, 90);
+  CheckResult r = h.check();
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.inconclusive);
+  EXPECT_EQ(r.stats.histories_checked, 1u);
+  EXPECT_EQ(r.stats.ops_checked, 5u);
+}
+
+TEST(Linearize, PreloadedKeysStartPresent) {
+  HistoryBuilder h;
+  std::uint64_t s1 = h.inv(OpType::kGet, 0, 0);
+  h.resp(s1, RespStatus::kOk, 10);
+  // Rank 1 was NOT preloaded, so a GET hit with no prior PUT is a violation.
+  std::uint64_t s2 = h.inv(OpType::kGet, 1, 0);
+  h.resp(s2, RespStatus::kOk, 10);
+  CheckResult r = h.check(/*preloaded=*/1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.violating_rank, 1u);
+  EXPECT_FALSE(r.explanation.empty());
+}
+
+TEST(Linearize, AcceptsConcurrentOpsInEitherOrder) {
+  // GET overlaps a PUT on a fresh key: kNotFound (GET first) and kOk
+  // (PUT first) must both be accepted.
+  for (RespStatus got : {RespStatus::kNotFound, RespStatus::kOk}) {
+    HistoryBuilder h;
+    std::uint64_t put = h.inv(OpType::kPut, 0, 0, /*client=*/0);
+    std::uint64_t get = h.inv(OpType::kGet, 0, 5, /*client=*/1);
+    h.resp(put, RespStatus::kOk, 20, true, 0);
+    h.resp(get, got, 20, true, 1);
+    CheckResult r = h.check();
+    EXPECT_TRUE(r.ok) << "status " << static_cast<int>(got) << ": "
+                      << r.explanation;
+  }
+}
+
+TEST(Linearize, RejectsStaleReadAfterDelete) {
+  HistoryBuilder h;
+  std::uint64_t put = h.inv(OpType::kPut, 7, 0);
+  h.resp(put, RespStatus::kOk, 10);
+  std::uint64_t del = h.inv(OpType::kDelete, 7, 20);
+  h.resp(del, RespStatus::kOk, 30);
+  std::uint64_t get = h.inv(OpType::kGet, 7, 40);
+  h.resp(get, RespStatus::kOk, 50);  // observes the deleted value
+  CheckResult r = h.check();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.violating_rank, 7u);
+  EXPECT_NE(r.explanation.find("GET"), std::string::npos);
+}
+
+TEST(Linearize, RejectsCorruptPayload) {
+  HistoryBuilder h;
+  std::uint64_t get = h.inv(OpType::kGet, 0, 0);
+  h.resp(get, RespStatus::kOk, 10, /*value_ok=*/false);
+  CheckResult r = h.check(/*preloaded=*/1);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Linearize, PendingMutationMayApplyLate) {
+  // A PUT retired at its deadline may still reach the server afterwards
+  // ("maybe applied"), justifying a later GET hit...
+  HistoryBuilder h;
+  std::uint64_t put = h.inv(OpType::kPut, 0, 0);
+  h.deadline(put, 100);
+  std::uint64_t get = h.inv(OpType::kGet, 0, 200);
+  h.resp(get, RespStatus::kOk, 210);
+  CheckResult r = h.check();
+  EXPECT_TRUE(r.ok) << r.explanation;
+  EXPECT_EQ(r.stats.maybe_applied, 1u);
+
+  // ...and equally may never have applied: a miss is legal too.
+  HistoryBuilder h2;
+  std::uint64_t put2 = h2.inv(OpType::kPut, 0, 0);
+  h2.deadline(put2, 100);
+  std::uint64_t get2 = h2.inv(OpType::kGet, 0, 200);
+  h2.resp(get2, RespStatus::kNotFound, 210);
+  EXPECT_TRUE(h2.check().ok);
+}
+
+TEST(Linearize, PendingMutationCannotApplyBeforeInvocation) {
+  // The deadline-failed DELETE was invoked *after* the GET completed, so it
+  // cannot explain the miss on a preloaded key.
+  HistoryBuilder h;
+  std::uint64_t get = h.inv(OpType::kGet, 0, 0);
+  h.resp(get, RespStatus::kNotFound, 10);
+  std::uint64_t del = h.inv(OpType::kDelete, 0, 50);
+  h.deadline(del, 150);
+  CheckResult r = h.check(/*preloaded=*/1);
+  EXPECT_FALSE(r.ok);
+
+  // Flip the order (DELETE invoked first, overlapping) and it is accepted.
+  HistoryBuilder h2;
+  std::uint64_t del2 = h2.inv(OpType::kDelete, 0, 0);
+  h2.deadline(del2, 150);
+  std::uint64_t get2 = h2.inv(OpType::kGet, 0, 20);
+  h2.resp(get2, RespStatus::kNotFound, 30);
+  EXPECT_TRUE(h2.check(/*preloaded=*/1).ok);
+}
+
+TEST(Linearize, KeysAreIndependent) {
+  // A violation on one key names that key, untouched keys stay clean
+  // (P-compositionality: the checker partitions by rank).
+  HistoryBuilder h;
+  for (std::uint64_t rank = 0; rank < 4; ++rank) {
+    std::uint64_t put = h.inv(OpType::kPut, rank, rank * 100);
+    h.resp(put, RespStatus::kOk, rank * 100 + 10);
+  }
+  std::uint64_t bad = h.inv(OpType::kGet, 2, 1000);
+  h.resp(bad, RespStatus::kNotFound, 1010);  // no DELETE ever ran
+  CheckResult r = h.check();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.violating_rank, 2u);
+  EXPECT_EQ(r.stats.histories_checked, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: replay determinism and the vanilla sweep
+
+TEST(ChaosRun, ReplayIsBitIdentical) {
+  ScenarioEnvelope env;
+  env.budget = sim::ms(1);
+  Scenario sc = chaos::generate_scenario(3, env);
+  chaos::RunOutcome a = chaos::run_scenario(sc);
+  chaos::RunOutcome b = chaos::run_scenario(sc);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.applies, b.applies);
+  ASSERT_GT(a.events, 0u);
+
+  Scenario other = chaos::generate_scenario(4, env);
+  chaos::RunOutcome c = chaos::run_scenario(other);
+  EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+TEST(ChaosRun, VanillaSweepIsLinearizable) {
+  ScenarioEnvelope env;
+  env.budget = sim::ms(1);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Scenario sc = chaos::generate_scenario(seed, env);
+    chaos::RunOutcome o = chaos::run_scenario(sc);
+    EXPECT_FALSE(chaos::violation(o))
+        << "seed " << seed << ": " << chaos::summarize(o) << "\n"
+        << o.check.explanation;
+    EXPECT_FALSE(o.check.inconclusive) << "seed " << seed;
+    EXPECT_TRUE(o.counters.has("chaos.ops_checked"));
+    EXPECT_TRUE(o.counters.has("fault.crashes"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance gate: an injected dedup bug is caught and shrunk
+
+TEST(ChaosRun, BrokenDedupCaughtAndShrunk) {
+  // Disabling the duplicate-suppression cache makes a retried mutation whose
+  // response was lost apply twice; under fault schedules with losses the
+  // checker must catch the resulting history. Sweep a few seeds — at least
+  // one must fail, and its fault plan must shrink to <= 2 windows.
+  ScenarioEnvelope env;
+  chaos::RunOutcome failing;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 12 && !found; ++seed) {
+    Scenario sc = chaos::generate_scenario(seed, env);
+    sc.break_dedup = true;
+    chaos::RunOutcome o = chaos::run_scenario(sc);
+    if (chaos::violation(o)) {
+      failing = o;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no seed in 1..12 tripped the injected dedup bug";
+  EXPECT_FALSE(failing.check.explanation.empty());
+
+  chaos::ShrinkResult sr = chaos::shrink(failing.scenario, /*max_runs=*/48);
+  EXPECT_LE(sr.faults_after, 2u) << "shrunk plan still has "
+                                 << sr.faults_after << " fault windows";
+  EXPECT_LE(sr.faults_after, sr.faults_before);
+  EXPECT_LE(sr.clients_after, sr.clients_before);
+  ASSERT_GT(sr.runs, 0u);
+
+  // The minimized scenario must still reproduce the violation — that is the
+  // shrinker's contract (every accepted candidate re-ran and still failed).
+  chaos::RunOutcome repro = chaos::run_scenario(sr.minimal);
+  EXPECT_TRUE(chaos::violation(repro)) << chaos::summarize(repro);
+
+  // And it is a complete bug report: emitting the plan as JSON/C++ works.
+  EXPECT_FALSE(fault::to_json(sr.minimal.plan).empty());
+  EXPECT_FALSE(fault::to_cpp(sr.minimal.plan).empty());
+}
+
+}  // namespace
+}  // namespace herd

@@ -7,6 +7,8 @@
 // every request reaching a terminal state with exactly-once mutations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -314,6 +316,142 @@ TEST(HerdFaults, CrashFailoverGracefulDegradation) {
   for (std::size_t c = 0; c < bed.num_clients(); ++c) {
     EXPECT_EQ(bed.client(c).outstanding(), 0u) << "client " << c;
   }
+}
+
+TEST(Backoff, ScheduleIsMonotoneCappedAndOverflowFree) {
+  // Property grid over the jitter-free schedule: for every resilience
+  // config, base_backoff must start at retry_timeout, never decrease with
+  // the attempt number, never exceed backoff_max (including attempt 0 when
+  // retry_timeout itself is above the cap), and saturate instead of
+  // overflowing the double -> Tick cast at high attempt counts.
+  const sim::Tick timeouts[] = {sim::us(10), sim::us(50), sim::ms(3)};
+  const double multipliers[] = {0.5, 1.0, 1.7, 2.0, 8.0};
+  const sim::Tick caps[] = {sim::us(40), sim::us(120), sim::ms(2)};
+  for (sim::Tick timeout : timeouts) {
+    for (double mult : multipliers) {
+      for (sim::Tick cap : caps) {
+        core::ClientResilience res;
+        res.retry_timeout = timeout;
+        res.backoff_multiplier = mult;
+        res.backoff_max = cap;
+        sim::Tick prev = 0;
+        for (std::uint32_t attempt = 0; attempt <= 64; ++attempt) {
+          sim::Tick b = core::HerdClient::base_backoff(res, attempt);
+          EXPECT_GE(b, prev) << "t=" << timeout << " m=" << mult
+                             << " cap=" << cap << " attempt=" << attempt;
+          EXPECT_LE(b, std::max<sim::Tick>(cap, 1)) << "attempt=" << attempt;
+          EXPECT_GE(b, 1u);  // a zero delay would busy-loop the timer
+          prev = b;
+        }
+        EXPECT_EQ(core::HerdClient::base_backoff(res, 0),
+                  std::max<sim::Tick>(std::min(timeout, cap), 1));
+        // Multipliers below 1 clamp to a flat schedule, never a shrinking
+        // one (retrying *faster* under persistent loss is a retry storm).
+        if (mult <= 1.0) {
+          EXPECT_EQ(core::HerdClient::base_backoff(res, 64),
+                    core::HerdClient::base_backoff(res, 0));
+        }
+      }
+    }
+  }
+  // backoff_max = 0 means uncapped: growth must still saturate, not wrap.
+  core::ClientResilience uncapped;
+  uncapped.retry_timeout = sim::ms(1);
+  uncapped.backoff_multiplier = 8.0;
+  uncapped.backoff_max = 0;
+  sim::Tick prev = 0;
+  for (std::uint32_t attempt = 0; attempt <= 64; ++attempt) {
+    sim::Tick b = core::HerdClient::base_backoff(uncapped, attempt);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, static_cast<sim::Tick>(9.1e18));  // saturated, not wrapped
+    prev = b;
+  }
+}
+
+TEST(Backoff, JitterStaysWithinConfiguredBounds) {
+  // backoff_delay draws uniform +/- jitter around the base schedule. Build
+  // a minimal testbed for a live client and sample each attempt repeatedly.
+  core::TestbedConfig cfg;
+  cfg.herd.n_server_procs = 1;
+  cfg.herd.n_clients = 1;
+  cfg.herd.request_tokens = true;
+  cfg.workload.n_keys = 16;
+  cfg.resilience.retry_timeout = sim::us(25);
+  cfg.resilience.backoff_multiplier = 2.0;
+  cfg.resilience.backoff_max = sim::us(400);
+  cfg.resilience.jitter = 0.2;
+  core::HerdTestbed bed(cfg);
+  core::HerdClient& cl = bed.client(0);
+
+  bool saw_below = false, saw_above = false;
+  for (std::uint32_t attempt = 0; attempt <= 64; ++attempt) {
+    double base =
+        static_cast<double>(core::HerdClient::base_backoff(cfg.resilience,
+                                                           attempt));
+    for (int draw = 0; draw < 64; ++draw) {
+      sim::Tick d = cl.backoff_delay(attempt);
+      EXPECT_GE(static_cast<double>(d), base * 0.8 - 1.0)
+          << "attempt " << attempt;
+      EXPECT_LE(static_cast<double>(d), base * 1.2 + 1.0)
+          << "attempt " << attempt;
+      if (static_cast<double>(d) < base) saw_below = true;
+      if (static_cast<double>(d) > base) saw_above = true;
+    }
+  }
+  EXPECT_TRUE(saw_below);  // jitter really is two-sided
+  EXPECT_TRUE(saw_above);
+}
+
+TEST(HerdFaults, FailoverRecreditsRecvOnFullyOccupiedSurvivor) {
+  // One client with the full window outstanding, split across two server
+  // processes. Process 0 fail-stops and never recovers; failover moves
+  // every outstanding request onto process 1, whose response window is
+  // then fully occupied. reissue() must post a fresh RECV credit on the
+  // survivor's UD QP for each moved request — without it, the failed-over
+  // responses find no RECV, are silently dropped, and every moved request
+  // dies at its deadline.
+  core::TestbedConfig cfg;
+  cfg.herd.n_server_procs = 2;
+  cfg.herd.n_clients = 1;
+  cfg.herd.window = 8;  // deep window: survivor takes 8 in-flight at once
+  cfg.herd.mica.bucket_count_log2 = 12;
+  cfg.herd.mica.log_bytes = 4u << 20;
+  cfg.herd.request_tokens = true;
+  cfg.workload.n_keys = 64;  // keys spread over both partitions
+  cfg.workload.get_fraction = 0.5;
+  cfg.verify_values = true;
+  cfg.fault_plan.proc_crash.push_back(
+      ProcCrashFault{0, sim::us(500), 0});  // fail-stop, no recovery
+  cfg.resilience.retry_timeout = sim::us(30);
+  cfg.resilience.backoff_multiplier = 2.0;
+  cfg.resilience.backoff_max = sim::us(120);
+  cfg.resilience.jitter = 0.2;
+  cfg.resilience.deadline = sim::ms(2);
+  cfg.resilience.failover_threshold = 3;
+  cfg.resilience.probe_interval = sim::ms(1);
+  core::HerdTestbed bed(cfg);
+
+  // Crash at 500us lands inside the warmup; the measured window runs with
+  // process 0 dead and all 8 window slots pointed at process 1.
+  auto r = bed.run(sim::ms(1), sim::ms(4));
+  EXPECT_GT(r.failovers, 0u);
+  EXPECT_GT(r.ops, 1000u);  // the survivor keeps serving a full window
+  EXPECT_EQ(r.value_mismatches, 0u);
+  EXPECT_EQ(r.bad, 0u);
+  // Every failed-over response found a RECV credit: had reissue() not
+  // re-credited, all 8 moved requests (and every request after them) could
+  // only retire at the deadline.
+  EXPECT_EQ(r.deadline_exceeded, 0u);
+
+  auto rep = bed.counter_report();
+  EXPECT_EQ(rep.value("fault.crashes"), 1u);
+  EXPECT_EQ(rep.value("fault.recoveries"), 0u);
+  EXPECT_GT(rep.value("service.foreign_serves"), 0u);
+
+  bed.client(0).stop();
+  bed.cluster().engine().run();
+  EXPECT_EQ(bed.client(0).outstanding(), 0u);
+  EXPECT_TRUE(bed.client(0).proc_suspected(0));
 }
 
 }  // namespace

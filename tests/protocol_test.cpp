@@ -6,6 +6,7 @@
 
 #include "herd/protocol.hpp"
 #include "herd/request_region.hpp"
+#include "herd/token_ring.hpp"
 #include "workload/workload.hpp"
 
 namespace herd::core {
@@ -318,6 +319,88 @@ TEST(RequestRegion, ChunksTileTheRegion) {
     EXPECT_EQ(r.chunk_addr(s), s * r.chunk_bytes());
   }
   EXPECT_EQ(r.chunk_bytes() * 4, r.size_bytes());
+}
+
+// --- TokenRing: the duplicate-mutation response cache --------------------
+
+TEST(TokenRing, ReplaysRecordedResult) {
+  TokenRing ring(sim::ms(10));
+  ring.insert(5, static_cast<std::uint8_t>(RespStatus::kNotFound), sim::us(1));
+  ring.insert(6, static_cast<std::uint8_t>(RespStatus::kOk), sim::us(2));
+  auto r5 = ring.find(5);
+  ASSERT_TRUE(r5.has_value());
+  EXPECT_EQ(*r5, static_cast<std::uint8_t>(RespStatus::kNotFound));
+  auto r6 = ring.find(6);
+  ASSERT_TRUE(r6.has_value());
+  EXPECT_EQ(*r6, static_cast<std::uint8_t>(RespStatus::kOk));
+  EXPECT_FALSE(ring.find(7).has_value());
+}
+
+TEST(TokenRing, RetainsEntriesForTheConfiguredHorizon) {
+  TokenRing ring(sim::us(100));
+  ring.insert(1, 0, sim::us(0));
+  ring.insert(2, 0, sim::us(90));
+  // Within the horizon nothing is pruned, no matter how many land.
+  EXPECT_TRUE(ring.find(1).has_value());
+  // An insert past entry 1's horizon prunes it but keeps entry 2.
+  ring.insert(3, 0, sim::us(150));
+  EXPECT_FALSE(ring.find(1).has_value());
+  EXPECT_TRUE(ring.find(2).has_value());
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(TokenRing, ProvablyNewTracksTheNewestSequence) {
+  TokenRing ring(sim::ms(10));
+  EXPECT_TRUE(ring.provably_new(0));  // empty cache: anything is new
+  ring.insert(10, 0, 0);
+  EXPECT_TRUE(ring.provably_new(11));
+  EXPECT_FALSE(ring.provably_new(10));
+  EXPECT_FALSE(ring.provably_new(9));
+}
+
+TEST(TokenRing, WrapOldEntryDoesNotShadowNewToken) {
+  // A client's 64-bit sequence crosses 2^32, so the 4-byte wire token
+  // wraps. A mutation cached at sequence 5 must NOT suppress the brand-new
+  // mutation at sequence 2^32 + 5, which carries the identical wire token.
+  TokenRing ring(sim::ms(100));
+  ring.insert(5, static_cast<std::uint8_t>(RespStatus::kOk), sim::us(1));
+  ring.insert(0xFFFFFFF0u, 0, sim::us(2));  // sequence advances near the wrap
+  // Post-wrap, token 5 means sequence 0x1'0000'0005 — a different identity.
+  EXPECT_FALSE(ring.find(5).has_value());
+  EXPECT_FALSE(ring.seen_or_insert(5, sim::us(3)));  // applies as new
+  EXPECT_TRUE(ring.seen_or_insert(5, sim::us(4)));   // its retry dedups
+}
+
+TEST(TokenRing, WrapRetryStillDedupsAcrossTheBoundary) {
+  // The converse: a mutation applied just before the wrap is retried just
+  // after other mutations crossed it. Serial-number expansion must still
+  // match the pre-wrap entry.
+  TokenRing ring(sim::ms(100));
+  ring.insert(0xFFFFFFFEu, static_cast<std::uint8_t>(RespStatus::kNotFound),
+              sim::us(1));
+  ring.insert(1, 0, sim::us(2));  // sequence 2^32 + 1: newest crosses the wrap
+  ring.insert(3, 0, sim::us(3));
+  auto replay = ring.find(0xFFFFFFFEu);  // late retry from before the wrap
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(*replay, static_cast<std::uint8_t>(RespStatus::kNotFound));
+  // And post-wrap tokens are strictly newer than every pre-wrap entry.
+  EXPECT_TRUE(ring.provably_new(4));
+  EXPECT_FALSE(ring.provably_new(0xFFFFFFFEu));
+}
+
+TEST(TokenRing, ExpandIsPureAndAnchoredAtNewest) {
+  TokenRing ring(sim::ms(10));
+  EXPECT_EQ(ring.expand(7), 7u);  // empty: identity
+  ring.insert(0xFFFFFFF0u, 0, 0);
+  EXPECT_EQ(ring.expand(2), 0x100000002ULL);   // ahead of newest, post-wrap
+  EXPECT_EQ(ring.expand(0xFFFFFF00u), 0xFFFFFF00ULL);  // behind newest
+  // expand() never moves the anchor: repeated queries agree.
+  EXPECT_EQ(ring.expand(2), 0x100000002ULL);
+  // Early in a client's life negative deltas would underflow below zero;
+  // expansion falls back to the raw token (sequences start near zero).
+  TokenRing young(sim::ms(10));
+  young.insert(10, 0, 0);
+  EXPECT_EQ(young.expand(0xFFFFFFF0u), 0xFFFFFFF0ULL);
 }
 
 }  // namespace

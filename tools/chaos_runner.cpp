@@ -1,0 +1,184 @@
+// chaos_runner — multi-seed chaos sweep over the HERD testbed.
+//
+// For each seed: sample a scenario (topology + workload + composed fault
+// plan), run it, and check the recorded history for per-key
+// linearizability. Every Nth seed is re-run and its determinism
+// fingerprint compared (a mismatch means the simulator leaked
+// nondeterminism — as serious as a linearizability bug, since replay and
+// shrinking depend on it). On a violation the scenario is shrunk and the
+// minimal fault plan printed as JSON and as a C++ snippet.
+//
+// Exit codes: 0 = clean sweep, 1 = linearizability violation,
+//             2 = determinism mismatch, 64 = bad usage.
+//
+//   chaos_runner --seeds 100 --budget-ticks 3000000000
+//   chaos_runner --seeds 1 --start-seed 77 --break-dedup   # reproduce
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "chaos/chaos.hpp"
+#include "fault/fault.hpp"
+
+namespace {
+
+struct Options {
+  std::uint64_t seeds = 100;
+  std::uint64_t start_seed = 1;
+  herd::sim::Tick budget_ticks = 0;  // 0 = envelope default
+  std::uint64_t replay_every = 5;    // 0 = never replay
+  std::uint64_t checker_budget = 1000000;
+  std::uint32_t shrink_runs = 64;
+  bool break_dedup = false;
+  bool shrink = true;
+  bool verbose = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--start-seed S] [--budget-ticks T]\n"
+               "          [--replay-every K] [--checker-budget B]\n"
+               "          [--shrink-runs R] [--break-dedup] [--no-shrink]\n"
+               "          [--verbose]\n",
+               argv0);
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool parse_options(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&](std::uint64_t& out) {
+      return ++i < argc && parse_u64(argv[i], out);
+    };
+    std::uint64_t v = 0;
+    if (a == "--seeds" && next(opt.seeds)) continue;
+    if (a == "--start-seed" && next(opt.start_seed)) continue;
+    if (a == "--budget-ticks" && next(v)) {
+      opt.budget_ticks = v;
+      continue;
+    }
+    if (a == "--replay-every" && next(opt.replay_every)) continue;
+    if (a == "--checker-budget" && next(opt.checker_budget)) continue;
+    if (a == "--shrink-runs" && next(v)) {
+      opt.shrink_runs = static_cast<std::uint32_t>(v);
+      continue;
+    }
+    if (a == "--break-dedup") {
+      opt.break_dedup = true;
+      continue;
+    }
+    if (a == "--no-shrink") {
+      opt.shrink = false;
+      continue;
+    }
+    if (a == "--verbose") {
+      opt.verbose = true;
+      continue;
+    }
+    usage(argv[0]);
+    return false;
+  }
+  return true;
+}
+
+void report_violation(const herd::chaos::RunOutcome& out, const Options& opt) {
+  std::printf("\n=== LINEARIZABILITY VIOLATION ===\n%s\n",
+              out.check.explanation.c_str());
+  std::printf("scenario: %s\n", out.scenario.to_json().c_str());
+  if (!opt.shrink) return;
+
+  std::printf("shrinking (budget %u runs)...\n", opt.shrink_runs);
+  herd::chaos::ShrinkResult sh = herd::chaos::shrink(
+      out.scenario, opt.shrink_runs, opt.checker_budget);
+  std::printf("shrunk: %zu -> %zu faults, %u -> %u clients (%u runs)\n",
+              sh.faults_before, sh.faults_after, sh.clients_before,
+              sh.clients_after, sh.runs);
+  std::printf("minimal scenario: %s\n", sh.minimal.to_json().c_str());
+  std::printf("minimal plan as C++:\n%s",
+              herd::fault::to_cpp(sh.minimal.plan).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_options(argc, argv, opt)) return 64;
+
+  herd::chaos::ScenarioEnvelope env;
+  if (opt.budget_ticks > 0) env.budget = opt.budget_ticks;
+
+  // Aggregated across the sweep for the closing report.
+  std::map<std::string, std::uint64_t> totals;
+  herd::chaos::CheckStats agg;
+  std::uint64_t replays = 0;
+
+  for (std::uint64_t i = 0; i < opt.seeds; ++i) {
+    std::uint64_t seed = opt.start_seed + i;
+    herd::chaos::Scenario sc = herd::chaos::generate_scenario(seed, env);
+    sc.break_dedup = opt.break_dedup;
+    herd::chaos::RunOutcome out =
+        herd::chaos::run_scenario(sc, opt.checker_budget);
+
+    if (opt.verbose || herd::chaos::violation(out)) {
+      std::printf("%s\n", herd::chaos::summarize(out).c_str());
+    }
+
+    for (const auto& [name, value] : out.counters.entries()) {
+      totals[name] += value;
+    }
+    agg.histories_checked += out.check.stats.histories_checked;
+    agg.ops_checked += out.check.stats.ops_checked;
+    agg.maybe_applied += out.check.stats.maybe_applied;
+    agg.budget_exhausted += out.check.stats.budget_exhausted;
+    agg.max_states_visited =
+        std::max(agg.max_states_visited, out.check.stats.max_states_visited);
+
+    if (herd::chaos::violation(out)) {
+      report_violation(out, opt);
+      return 1;
+    }
+
+    if (opt.replay_every > 0 && i % opt.replay_every == 0) {
+      ++replays;
+      herd::chaos::RunOutcome again =
+          herd::chaos::run_scenario(sc, opt.checker_budget);
+      if (again.fingerprint != out.fingerprint) {
+        std::printf(
+            "\n=== DETERMINISM MISMATCH ===\nseed %llu: fingerprint "
+            "%016llx vs %016llx on replay\nscenario: %s\n",
+            static_cast<unsigned long long>(seed),
+            static_cast<unsigned long long>(out.fingerprint),
+            static_cast<unsigned long long>(again.fingerprint),
+            sc.to_json().c_str());
+        return 2;
+      }
+    }
+  }
+
+  std::printf("%llu seeds: all linearizable (%llu replayed bit-identically)\n",
+              static_cast<unsigned long long>(opt.seeds),
+              static_cast<unsigned long long>(replays));
+  std::printf(
+      "checker: %llu key histories, %llu ops (%llu maybe-applied), "
+      "max per-key states %llu, budget exhausted on %llu keys\n",
+      static_cast<unsigned long long>(agg.histories_checked),
+      static_cast<unsigned long long>(agg.ops_checked),
+      static_cast<unsigned long long>(agg.maybe_applied),
+      static_cast<unsigned long long>(agg.max_states_visited),
+      static_cast<unsigned long long>(agg.budget_exhausted));
+  std::printf("aggregate counters:\n");
+  for (const auto& [name, value] : totals) {
+    std::printf("  %-32s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  return 0;
+}
