@@ -46,6 +46,10 @@ RunOutcome run_scenario(const Scenario& sc, std::uint64_t checker_budget) {
     out.fingerprint = fnv1a_u64(engine.events_processed(), out.fingerprint);
     out.fingerprint = fnv1a_u64(engine.events_scheduled(), out.fingerprint);
     out.fingerprint = fnv1a_u64(engine.now(), out.fingerprint);
+    out.contract_violations = bed.contract_violations();
+    if (out.contract_violations > 0) {
+      out.contract_diagnostics = bed.contract_diagnostics();
+    }
     out.counters = bed.counter_report();
   }
 
@@ -154,7 +158,9 @@ ShrinkResult shrink(const Scenario& failing, std::uint32_t max_runs,
 
 std::string summarize(const RunOutcome& o) {
   std::string s = "seed " + std::to_string(o.scenario.seed) + ": ";
-  if (violation(o)) {
+  if (o.contract_violations > 0) {
+    s += "CONTRACT VIOLATION x" + std::to_string(o.contract_violations);
+  } else if (violation(o)) {
     s += "VIOLATION at key rank " + std::to_string(o.check.violating_rank);
   } else if (!o.check.ok) {
     s += "non-linearizable but cache-lossy (not counted)";

@@ -35,14 +35,20 @@ struct RunOutcome {
   std::uint64_t fingerprint = 0;
   std::uint64_t events = 0;       // history events recorded
   std::uint64_t applies = 0;      // server-side mutation decisions
+  /// Verbs contract violations flagged by the in-context checker (see
+  /// verbs/contract.hpp). Any nonzero count fails the run outright: the
+  /// fault plan drove the stack into an illegal verbs posting.
+  std::uint64_t contract_violations = 0;
+  std::string contract_diagnostics;  // formatted violations, one per line
   core::HerdTestbed::RunResult run{};
   sim::CounterReport counters{};  // testbed counters + chaos.* checker stats
 };
 
-/// A run demands attention iff the checker proved a violation on a run
-/// whose cache was strict (no shed keys to blame).
+/// A run demands attention iff the checker proved a linearizability
+/// violation on a run whose cache was strict (no shed keys to blame), or
+/// the verbs contract checker flagged an illegal posting.
 inline bool violation(const RunOutcome& o) {
-  return !o.check.ok && !o.cache_lossy;
+  return (!o.check.ok && !o.cache_lossy) || o.contract_violations > 0;
 }
 
 /// Executes `sc` once. `checker_budget` caps the per-key search (see

@@ -78,11 +78,17 @@ Scenario generate_scenario(std::uint64_t seed, const ScenarioEnvelope& env) {
 
   // Resilience: always retries + deadline + (multi-proc) failover — chaos
   // runs are about recovery behavior, not the lossless-fabric fast path.
-  sc.resilience.retry_timeout = sim::us(20) + sim::us(sample_between(rng, 0, 40));
+  sc.resilience.retry_timeout =
+      sim::us(20) +
+      sim::us(static_cast<double>(sample_between(rng, 0, 40)));
   sc.resilience.backoff_multiplier = 2.0;
-  sc.resilience.backoff_max = sim::us(150) + sim::us(sample_between(rng, 0, 250));
+  sc.resilience.backoff_max =
+      sim::us(150) +
+      sim::us(static_cast<double>(sample_between(rng, 0, 250)));
   sc.resilience.jitter = 0.2;
-  sc.resilience.deadline = sim::us(600) + sim::us(sample_between(rng, 0, 1000));
+  sc.resilience.deadline =
+      sim::us(600) +
+      sim::us(static_cast<double>(sample_between(rng, 0, 1000)));
   sc.resilience.failover_threshold = sc.n_server_procs > 1 ? 3 : 0;
   sc.resilience.probe_interval = sim::us(300);
 

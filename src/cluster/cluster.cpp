@@ -1,5 +1,7 @@
 #include "cluster/cluster.hpp"
 
+#include <stdexcept>
+
 namespace herd::cluster {
 
 ClusterConfig ClusterConfig::apt() {
@@ -42,7 +44,43 @@ Cluster::Cluster(const ClusterConfig& cfg, std::size_t n_hosts,
     hosts_.push_back(std::make_unique<Host>(
         engine_, fabric_, cfg_, cfg.name + "/host" + std::to_string(i),
         mem_per_host, seed + i * 7919));
+    if (cfg_.contract_check) {
+      hosts_.back()->ctx().enable_contract(
+          verbs::ContractChecker::Mode::kCollect);
+    }
   }
+}
+
+std::uint64_t Cluster::contract_violations() const {
+  std::uint64_t total = 0;
+  for (const auto& h : hosts_) {
+    const verbs::ContractChecker* ck = h->ctx().contract();
+    if (ck != nullptr) total += ck->total();
+  }
+  return total;
+}
+
+std::string Cluster::contract_diagnostics() const {
+  std::string out;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    const verbs::ContractChecker* ck = hosts_[i]->ctx().contract();
+    if (ck == nullptr) continue;
+    for (const verbs::ContractViolation& v : ck->violations()) {
+      out += "host ";
+      out += std::to_string(i);
+      out += ' ';
+      out += v.format();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void require_contract_clean(const Cluster& cl) {
+  std::uint64_t n = cl.contract_violations();
+  if (n == 0) return;
+  throw std::logic_error("verbs contract: " + std::to_string(n) +
+                         " violation(s)\n" + cl.contract_diagnostics());
 }
 
 }  // namespace herd::cluster

@@ -27,6 +27,10 @@ struct ClusterConfig {
   pcie::PcieConfig pcie = pcie::PcieConfig::gen3_x8();
   fabric::FabricConfig fabric = fabric::FabricConfig::infiniband_56g();
   CpuModel cpu;
+  /// Attach a verbs contract checker (collect mode) to every host's
+  /// context. Free in simulated time; on by default so misuse surfaces in
+  /// every bench and test, not just the HERD testbed.
+  bool contract_check = true;
 
   /// Apt: Xeon E5-2450, ConnectX-3 MX354A 56 Gbps IB, PCIe 3.0 x8 (Table 2).
   static ClusterConfig apt();
@@ -47,6 +51,7 @@ class Host {
   pcie::PcieLink& pcie() { return pcie_; }
   rnic::Rnic& rnic() { return rnic_; }
   verbs::Context& ctx() { return ctx_; }
+  const verbs::Context& ctx() const { return ctx_; }
   const std::string& name() const { return name_; }
   std::uint32_t port() const { return port_; }
 
@@ -68,8 +73,15 @@ class Cluster {
   sim::Engine& engine() { return engine_; }
   fabric::Fabric& fabric() { return fabric_; }
   Host& host(std::size_t i) { return *hosts_.at(i); }
+  const Host& host(std::size_t i) const { return *hosts_.at(i); }
   std::size_t size() const { return hosts_.size(); }
   const ClusterConfig& config() const { return cfg_; }
+
+  /// Total verbs-contract violations across all hosts (0 when the checker
+  /// is disabled).
+  std::uint64_t contract_violations() const;
+  /// Formatted violations, one per line, prefixed with the host index.
+  std::string contract_diagnostics() const;
 
  private:
   ClusterConfig cfg_;
@@ -77,5 +89,11 @@ class Cluster {
   fabric::Fabric fabric_;
   std::vector<std::unique_ptr<Host>> hosts_;
 };
+
+/// Throws std::logic_error carrying the full diagnostics if any host's
+/// contract checker recorded a violation. Benches and examples call this
+/// before reporting numbers, so a latent verbs misuse fails the run
+/// instead of skewing it.
+void require_contract_clean(const Cluster& cl);
 
 }  // namespace herd::cluster

@@ -1,5 +1,6 @@
 #include "herd/service.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <optional>
 #include <stdexcept>
@@ -50,6 +51,11 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
   }
   scratch_mr_ = ctx.register_mr(scratch_base, scratch_len, {});
 
+  // SEND mode keeps one RECV credit per (client, window slot) posted, so
+  // the receive queue and its CQ must be sized for the full credit pool —
+  // the checkable arithmetic behind "clients post RECVs before requests".
+  std::uint32_t recv_credits =
+      std::max(cfg.n_clients * cfg.window, 1u);
   procs_.reserve(cfg.n_server_procs);
   for (std::uint32_t s = 0; s < cfg.n_server_procs; ++s) {
     auto p = std::make_unique<Proc>();
@@ -57,9 +63,11 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
     p->core = std::make_unique<cluster::SequentialCore>(
         ctx.engine(), host.name() + "/proc" + std::to_string(s));
     p->send_cq = ctx.create_cq();
-    p->recv_cq = ctx.create_cq();
-    p->ud_qp = ctx.create_qp({verbs::Transport::kUd, p->send_cq.get(),
-                              p->recv_cq.get()});
+    p->recv_cq = ctx.create_cq(recv_credits + 16);
+    verbs::QpAttr ud_attr{verbs::Transport::kUd, p->send_cq.get(),
+                          p->recv_cq.get()};
+    ud_attr.max_recv_wr = recv_credits;
+    p->ud_qp = ctx.create_qp(ud_attr);
     p->next_r.assign(cfg.n_clients, 0);
     if (cfg.request_tokens) {
       p->seen_tokens.assign(cfg.n_clients, TokenRing(cfg.dedup_retention));

@@ -1,6 +1,7 @@
 #include "herd/testbed.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace herd::core {
 
@@ -26,6 +27,9 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
   // Build all hosts with the larger size for simplicity.
   std::uint64_t mem = std::max(server_mem, client_mem);
 
+  // The cluster attaches checkers at host construction, before any QP/MR
+  // exists, so every registration and post is seen.
+  cfg_.cluster.contract_check = cfg_.contract_check;
   cluster_ = std::make_unique<cluster::Cluster>(
       cfg_.cluster, 1 + n_client_hosts, mem, host_seed);
   service_ = std::make_unique<HerdService>(cluster_->host(0), h,
@@ -167,7 +171,31 @@ sim::CounterReport HerdTestbed::counter_report() const {
   rep.add("client.failovers", failovers);
   rep.add("client.probes", probes);
   rep.add("client.duplicate_responses", dup_resp);
+
+  rep.add("contract.violations", contract_violations());
+  std::array<std::uint64_t, verbs::kContractRuleCount> per_rule{};
+  for (std::size_t i = 0; i < cluster_->size(); ++i) {
+    const verbs::ContractChecker* ck = cluster_->host(i).ctx().contract();
+    if (ck == nullptr) continue;
+    for (std::size_t r = 0; r < verbs::kContractRuleCount; ++r) {
+      per_rule[r] += ck->count(static_cast<verbs::ContractRule>(r));
+    }
+  }
+  for (std::size_t r = 0; r < verbs::kContractRuleCount; ++r) {
+    if (per_rule[r] == 0) continue;
+    rep.add("contract." + std::string(contract_rule_name(
+                              static_cast<verbs::ContractRule>(r))),
+            per_rule[r]);
+  }
   return rep;
+}
+
+std::uint64_t HerdTestbed::contract_violations() const {
+  return cluster_->contract_violations();
+}
+
+std::string HerdTestbed::contract_diagnostics() const {
+  return cluster_->contract_diagnostics();
 }
 
 std::vector<double> HerdTestbed::per_proc_mops() const {

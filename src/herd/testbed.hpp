@@ -40,6 +40,10 @@ struct TestbedConfig {
   /// History hook wired into the service and every client (chaos harness;
   /// must outlive the testbed). nullptr = no recording.
   HistoryObserver* observer = nullptr;
+  /// Attach the verbs contract checker (collect mode) to every host's
+  /// context. Violations surface in counter_report() as "contract.*" and
+  /// through contract_violations().
+  bool contract_check = true;
 };
 
 class HerdTestbed {
@@ -82,6 +86,14 @@ class HerdTestbed {
 
   /// The armed injector (nullptr when fault_plan was empty).
   fault::FaultInjector* fault() { return fault_.get(); }
+
+  /// Total ibverbs-contract violations recorded across all hosts (0 when
+  /// contract_check is off). A nonzero count means some component misused
+  /// the verbs layer — see counter_report() for the per-rule breakdown and
+  /// contract_diagnostics() for the offending posts.
+  std::uint64_t contract_violations() const;
+  /// Formatted diagnostics of retained violations, one per line.
+  std::string contract_diagnostics() const;
 
  private:
   TestbedConfig cfg_;

@@ -144,7 +144,8 @@ bool PilafCuckooTable::insert(const KeyHash& key,
   std::uint32_t cur_ext = *ext;
   std::uint32_t cur_len = vlen;
   rng_ = rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
-  std::uint32_t idx = bucket_index(cur_key, (rng_ >> 33) % kNumHashes);
+  std::uint32_t idx = bucket_index(
+      cur_key, static_cast<std::uint32_t>((rng_ >> 33) % kNumHashes));
   for (std::uint32_t step = 0; step < cfg_.max_displacements; ++step) {
     RawBucket victim = load_bucket(bucket(idx));
     write_bucket(idx, cur_key, cur_ext, cur_len);
@@ -155,7 +156,8 @@ bool PilafCuckooTable::insert(const KeyHash& key,
     cur_len = victim.vlen;
     // Move the victim to one of its other candidate buckets.
     rng_ = rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    std::uint32_t pick = (rng_ >> 33) % (kNumHashes - 1);
+    std::uint32_t pick =
+        static_cast<std::uint32_t>((rng_ >> 33) % (kNumHashes - 1));
     std::uint32_t n = 0;
     std::uint32_t next = idx;
     for (std::uint32_t i = 0; i < kNumHashes; ++i) {

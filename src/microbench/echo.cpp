@@ -165,6 +165,17 @@ void Deployment::client_done(Client& cc) {
   while (cc.outstanding < opts.window) client_issue(cc);
 }
 
+/// Reaps send completions as they land. At opt levels 0-1 every send is
+/// signaled; leaving the CQEs unread overruns the CQ ring (the contract
+/// checker flags it, and real hardware corrupts the ring).
+void drain_on_notify(verbs::Cq& cq) {
+  cq.set_notify([&cq]() {
+    verbs::Wc wc;
+    while (cq.poll({&wc, 1}) == 1) {
+    }
+  });
+}
+
 void Deployment::build(const cluster::ClusterConfig& cfg) {
   cpu = cfg.cpu;
   std::uint32_t n_hosts = (opts.n_clients + 2) / 3;
@@ -188,6 +199,7 @@ void Deployment::build(const cluster::ClusterConfig& cfg) {
     p.core = std::make_unique<cluster::SequentialCore>(cl->engine(), "p");
     p.scq = server.ctx().create_cq();
     p.rcq = server.ctx().create_cq();
+    drain_on_notify(*p.scq);
     if (kind == EchoKind::kWriteSend) {
       p.ud = server.ctx().create_qp(
           {verbs::Transport::kUd, p.scq.get(), p.rcq.get()});
@@ -202,6 +214,7 @@ void Deployment::build(const cluster::ClusterConfig& cfg) {
     cc->core = std::make_unique<cluster::SequentialCore>(cl->engine(), "c");
     cc->scq = cc->host->ctx().create_cq();
     cc->rcq = cc->host->ctx().create_cq();
+    drain_on_notify(*cc->scq);
     cc->arena = (c % 3) * (8192 + std::uint64_t{opts.window} * kSlot + 4096);
     cc->mr = cc->host->ctx().register_mr(
         cc->arena, 8192 + std::uint64_t{opts.window} * kSlot + 4096,
@@ -315,6 +328,7 @@ double echo_tput(const cluster::ClusterConfig& cfg, EchoKind kind,
   eng.run_until(start + measure);
   std::uint64_t after = 0;
   for (auto& c : d.clients) after += c->completed;
+  cluster::require_contract_clean(*d.cl);
   return static_cast<double>(after - before) / sim::to_sec(measure) / 1e6;
 }
 

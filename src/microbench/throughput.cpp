@@ -99,6 +99,8 @@ double measure_rate(cluster::Cluster& cl, const std::uint64_t& counter,
   std::uint64_t before = counter;
   sim::Tick start = eng.now();
   eng.run_until(start + measure);
+  // A verbs misuse would skew the number, not just crash; refuse to report.
+  cluster::require_contract_clean(cl);
   return static_cast<double>(counter - before) / sim::to_sec(measure) / 1e6;
 }
 

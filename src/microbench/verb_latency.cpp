@@ -56,6 +56,7 @@ double signaled_latency(cluster::Cluster& cl, verbs::Opcode opcode,
   });
   post();
   eng.run();
+  cluster::require_contract_clean(cl);
   return hist.mean_ns() / 1e3;
 }
 
@@ -117,6 +118,7 @@ double echo_latency(cluster::Cluster& cl, std::uint32_t payload,
                             });
   post();
   eng.run();
+  cluster::require_contract_clean(cl);
   return hist.mean_ns() / 1e3;
 }
 

@@ -32,7 +32,7 @@ void HostMemory::dma_apply(std::uint64_t addr,
   }
 }
 
-int HostMemory::add_watch(std::uint64_t addr, std::uint32_t len, WatchFn fn) {
+int HostMemory::add_watch(std::uint64_t addr, std::uint64_t len, WatchFn fn) {
   watches_.push_back(Watch{addr, len, std::move(fn), next_watch_});
   return next_watch_++;
 }

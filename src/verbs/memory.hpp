@@ -30,13 +30,13 @@ class HostMemory {
 
   /// Registers a callback for DMA writes overlapping [addr, addr+len).
   /// Returns a handle for remove_watch().
-  int add_watch(std::uint64_t addr, std::uint32_t len, WatchFn fn);
+  int add_watch(std::uint64_t addr, std::uint64_t len, WatchFn fn);
   void remove_watch(int handle);
 
  private:
   struct Watch {
     std::uint64_t addr;
-    std::uint32_t len;
+    std::uint64_t len;
     WatchFn fn;
     int handle;
   };

@@ -89,7 +89,7 @@ struct RecvWr {
 /// Registered memory region. `lkey` authorizes local access, `rkey` remote.
 struct Mr {
   std::uint64_t addr = 0;
-  std::uint32_t length = 0;
+  std::uint64_t length = 0;
   std::uint32_t lkey = 0;
   std::uint32_t rkey = 0;
   bool remote_write = false;

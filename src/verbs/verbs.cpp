@@ -10,16 +10,24 @@ namespace herd::verbs {
 // ---------------------------------------------------------------------------
 // Cq
 
+Cq::~Cq() {
+  if (auto* ck = ctx_->contract()) ck->on_cq_destroyed(*this);
+}
+
 int Cq::poll(std::span<Wc> out) {
   std::size_t n = std::min(out.size(), q_.size());
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = q_.front();
     q_.pop_front();
   }
+  if (n > 0) {
+    if (auto* ck = ctx_->contract()) ck->on_poll(*this, n);
+  }
   return static_cast<int>(n);
 }
 
-void Cq::push(const Wc& wc) {
+void Cq::push(const Wc& wc, bool reserved) {
+  if (auto* ck = ctx_->contract()) ck->on_cqe(*this, reserved);
   q_.push_back(wc);
   if (notify_) notify_();
 }
@@ -37,8 +45,18 @@ Context::Context(sim::Engine& engine, rnic::Rnic& rnic, pcie::PcieLink& pcie,
       port_(port),
       memory_(&memory) {}
 
-Mr Context::register_mr(std::uint64_t addr, std::uint32_t length,
+ContractChecker& Context::enable_contract(ContractChecker::Mode mode) {
+  if (contract_ == nullptr) {
+    contract_ = std::make_unique<ContractChecker>(mode);
+  } else {
+    contract_->set_mode(mode);
+  }
+  return *contract_;
+}
+
+Mr Context::register_mr(std::uint64_t addr, std::uint64_t length,
                         MrAccess access) {
+  if (contract_ != nullptr) contract_->on_register_mr(addr, length);
   if (addr + length > memory_->size()) {
     throw std::out_of_range("register_mr: region escapes host memory");
   }
@@ -100,7 +118,10 @@ Qp::Qp(Context& ctx, const QpAttr& attr)
   ctx_->qps_[qpn_] = this;
 }
 
-Qp::~Qp() { ctx_->qps_.erase(qpn_); }
+Qp::~Qp() {
+  if (auto* ck = ctx_->contract()) ck->on_qp_destroyed(*this);
+  ctx_->qps_.erase(qpn_);
+}
 
 void Qp::connect(Qp& remote) {
   if (attr_.transport == Transport::kUd ||
@@ -160,6 +181,8 @@ WcOpcode Qp::wc_opcode(Opcode op) const {
 
 void Qp::post_send(const SendWr& wr) {
   const auto& cal = ctx_->rnic().cal();
+  // Contract validation first: fail-fast throws here, before the model acts.
+  if (auto* ck = ctx_->contract()) ck->on_post_send(*this, wr);
   if (state_ == QpState::kError) {
     // WRs posted to an errored QP are flushed: an immediate error CQE,
     // regardless of signaling, with no wire activity.
@@ -246,6 +269,7 @@ void Qp::issue_read(SendWr wr) {
 void Qp::finish_read(std::uint32_t /*length*/) {
   assert(outstanding_reads_ > 0);
   --outstanding_reads_;
+  if (auto* ck = ctx_->contract()) ck->on_send_retired(*this);
   if (!pending_reads_.empty()) {
     SendWr next = pending_reads_.front();
     pending_reads_.pop_front();
@@ -289,11 +313,17 @@ void Qp::tx_stage(SendWr wr, std::vector<std::byte> payload, sim::Tick ready) {
 
   // Outbound throughput is the *service* rate of the TX unit, so count at
   // completion (arrival-time counting would measure the posting rate).
-  ctx_->engine().schedule_at(tx_done, [this, signaled = wr.signaled]() {
-    auto& rnic = ctx_->rnic();
-    ++rnic.counters().tx_ops;
-    if (!signaled) rnic.unsignaled_dec();
-  });
+  ctx_->engine().schedule_at(
+      tx_done, [this, signaled = wr.signaled, op = wr.opcode]() {
+        auto& rnic = ctx_->rnic();
+        ++rnic.counters().tx_ops;
+        if (!signaled) rnic.unsignaled_dec();
+        // SEND/WRITE WQEs leave the send queue once transmitted; READ WQEs
+        // stay outstanding until the response lands (see finish_read).
+        if (op != Opcode::kRead) {
+          if (auto* ck = ctx_->contract()) ck->on_send_retired(*this);
+        }
+      });
 
   // UC/UD verbs complete locally once transmitted ("fire and forget"); RC
   // completes on ACK / READ response, handled on the receive path.
@@ -376,6 +406,7 @@ void Qp::tx_stage(SendWr wr, std::vector<std::byte> payload, sim::Tick ready) {
 }
 
 void Qp::post_recv(const RecvWr& wr) {
+  if (auto* ck = ctx_->contract()) ck->on_post_recv(*this, wr);
   if (wr.sge.length == 0 ||
       !ctx_->check_local_access(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
     throw std::invalid_argument("post_recv: bad lkey / local bounds");
@@ -629,7 +660,11 @@ void Qp::deliver_requester_completion(const SendWr& wr, WcStatus status,
   wc.byte_len = wr.sge.length;
   sim::Tick tc = ctx_->pcie().dma_write(when, cal.cqe_bytes).visible;
   Cq* scq = attr_.send_cq;
-  ctx_->engine().schedule_at(tc, [scq, wc]() { scq->push(wc); });
+  // A CQE slot was reserved at post time for signaled and flushed WRs;
+  // error completions of unsignaled WRs arrive unreserved.
+  bool reserved = wr.signaled || status == WcStatus::kWrFlushErr;
+  ctx_->engine().schedule_at(tc,
+                             [scq, wc, reserved]() { scq->push(wc, reserved); });
 }
 
 void Qp::send_ack_path(sim::Tick when, Qp* requester,

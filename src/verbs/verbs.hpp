@@ -26,14 +26,22 @@
 #include "pcie/pcie.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/engine.hpp"
+#include "verbs/contract.hpp"
 #include "verbs/memory.hpp"
 #include "verbs/types.hpp"
 
 namespace herd::verbs {
 
+/// Default CQ capacity when `create_cq` is not given one (ibv_create_cq's
+/// `cqe`). Applications that bound their completion arithmetic — signaled
+/// WRs in flight plus posted RECVs — should size explicitly.
+inline constexpr std::uint32_t kDefaultCqCapacity = 4096;
+
 class Cq {
  public:
-  explicit Cq(Context& ctx) : ctx_(&ctx) {}
+  Cq(Context& ctx, std::uint32_t capacity)
+      : ctx_(&ctx), capacity_(capacity) {}
+  ~Cq();
   Cq(const Cq&) = delete;
   Cq& operator=(const Cq&) = delete;
 
@@ -42,6 +50,7 @@ class Cq {
   int poll(std::span<Wc> out);
 
   std::size_t depth() const { return q_.size(); }
+  std::uint32_t capacity() const { return capacity_; }
 
   /// Simulation-harness hook (the analogue of ibv_req_notify_cq + completion
   /// channel): invoked whenever a CQE becomes visible.
@@ -49,9 +58,13 @@ class Cq {
 
  private:
   friend class Qp;
-  void push(const Wc& wc);
+  /// `reserved` flags CQEs whose slot was accounted at post time (signaled
+  /// and flushed WRs, all RECVs); error completions of unsignaled WRs are
+  /// not. Only the contract checker consumes the distinction.
+  void push(const Wc& wc, bool reserved = true);
 
   Context* ctx_;
+  std::uint32_t capacity_;
   std::deque<Wc> q_;
   std::function<void()> notify_;
 };
@@ -60,6 +73,10 @@ struct QpAttr {
   Transport transport = Transport::kRc;
   Cq* send_cq = nullptr;
   Cq* recv_cq = nullptr;
+  /// Declared queue depths (ibv_qp_cap). The model's queues are elastic;
+  /// the contract checker enforces these bounds when enabled.
+  std::uint32_t max_send_wr = 1024;
+  std::uint32_t max_recv_wr = 4096;
 };
 
 class Qp {
@@ -71,7 +88,9 @@ class Qp {
 
   std::uint32_t qpn() const { return qpn_; }
   Transport transport() const { return attr_.transport; }
+  const QpAttr& attr() const { return attr_; }
   Context& context() { return *ctx_; }
+  const Context& context() const { return *ctx_; }
 
   /// RC error handling (§2.2.3's tradeoff made visible): after `retry_cnt`
   /// consecutive wire losses of one message, the QP transitions to kError,
@@ -148,18 +167,29 @@ class Context {
 
   sim::Engine& engine() { return *engine_; }
   rnic::Rnic& rnic() { return *rnic_; }
+  const rnic::Rnic& rnic() const { return *rnic_; }
   pcie::PcieLink& pcie() { return *pcie_; }
   fabric::Fabric& fabric() { return *fabric_; }
   std::uint32_t port() const { return port_; }
   HostMemory& memory() { return *memory_; }
 
-  std::unique_ptr<Cq> create_cq() { return std::make_unique<Cq>(*this); }
+  std::unique_ptr<Cq> create_cq(std::uint32_t capacity = kDefaultCqCapacity) {
+    return std::make_unique<Cq>(*this, capacity);
+  }
   std::unique_ptr<Qp> create_qp(const QpAttr& attr) {
     return std::make_unique<Qp>(*this, attr);
   }
 
+  /// Attaches (or returns the already-attached) contract checker. All posts,
+  /// polls, and registrations on this context are validated from then on.
+  ContractChecker& enable_contract(
+      ContractChecker::Mode mode = ContractChecker::Mode::kCollect);
+  /// The attached checker, or nullptr when checking is off.
+  ContractChecker* contract() { return contract_.get(); }
+  const ContractChecker* contract() const { return contract_.get(); }
+
   /// Registers [addr, addr+length) for RDMA access.
-  Mr register_mr(std::uint64_t addr, std::uint32_t length, MrAccess access);
+  Mr register_mr(std::uint64_t addr, std::uint64_t length, MrAccess access);
 
   /// Validates a remote access; returns nullptr if the rkey is unknown, the
   /// range escapes the region, or the permission is missing.
@@ -183,6 +213,7 @@ class Context {
   fabric::Fabric* fabric_;
   std::uint32_t port_;
   HostMemory* memory_;
+  std::unique_ptr<ContractChecker> contract_;
   std::unordered_map<std::uint32_t, Qp*> qps_;
   std::unordered_map<std::uint32_t, Mr> mrs_by_rkey_;
   std::unordered_map<std::uint32_t, Mr> mrs_by_lkey_;

@@ -156,7 +156,8 @@ TEST(HerdDelete, DeleteRemovesKeysEndToEnd) {
     client_deletes += bed.client(c).stats().deletes;
   }
   EXPECT_NEAR(static_cast<double>(client_deletes),
-              static_cast<double>(deletes), deletes * 0.1);
+              static_cast<double>(deletes),
+              static_cast<double>(deletes) * 0.1);
 }
 
 }  // namespace

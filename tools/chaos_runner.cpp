@@ -8,8 +8,8 @@
 // shrinking depend on it). On a violation the scenario is shrunk and the
 // minimal fault plan printed as JSON and as a C++ snippet.
 //
-// Exit codes: 0 = clean sweep, 1 = linearizability violation,
-//             2 = determinism mismatch, 64 = bad usage.
+// Exit codes: 0 = clean sweep, 1 = linearizability or verbs-contract
+//             violation, 2 = determinism mismatch, 64 = bad usage.
 //
 //   chaos_runner --seeds 100 --budget-ticks 3000000000
 //   chaos_runner --seeds 1 --start-seed 77 --break-dedup   # reproduce
@@ -91,8 +91,13 @@ bool parse_options(int argc, char** argv, Options& opt) {
 }
 
 void report_violation(const herd::chaos::RunOutcome& out, const Options& opt) {
-  std::printf("\n=== LINEARIZABILITY VIOLATION ===\n%s\n",
-              out.check.explanation.c_str());
+  if (out.contract_violations > 0) {
+    std::printf("\n=== VERBS CONTRACT VIOLATION ===\n%s",
+                out.contract_diagnostics.c_str());
+  } else {
+    std::printf("\n=== LINEARIZABILITY VIOLATION ===\n%s\n",
+                out.check.explanation.c_str());
+  }
   std::printf("scenario: %s\n", out.scenario.to_json().c_str());
   if (!opt.shrink) return;
 

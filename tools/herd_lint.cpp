@@ -1,0 +1,540 @@
+// herd_lint — project-invariant lint for the HERD simulator tree.
+//
+// Walks a source tree and enforces invariants that generic tools don't
+// know about:
+//
+//   determinism    No wall-clock or entropy calls (time, clock_gettime,
+//                  gettimeofday, std::chrono::*_clock::now, rand, random,
+//                  std::random_device, getpid-as-seed) inside simulation
+//                  paths (src/sim, src/rnic, src/herd, src/chaos, src/fault,
+//                  src/fabric, src/cluster, src/verbs, src/pcie, src/kv,
+//                  src/workload). The chaos harness replays seeds by
+//                  fingerprint; one hidden entropy source breaks replay and
+//                  shrinking silently.
+//   ptr-key-iter   No range-for / iterator loops over pointer-keyed
+//                  unordered containers in simulation paths. Pointer hash
+//                  order varies run to run (ASLR), so iterating one leaks
+//                  allocator layout into simulation behavior. Declaring the
+//                  map is fine; iterating it is not.
+//   raw-new        No raw `new` / `delete` outside allocator/arena code.
+//                  Ownership goes through std::unique_ptr / containers.
+//
+// Matching happens on a comment- and string-stripped view of each file, so
+// a mention of rand() in a comment never fires. Exceptions are declared in
+// a suppression file (one `path-substring rule` pair per line), keeping
+// every escape hatch reviewable in one place.
+//
+// Usage:
+//   herd_lint [--supp FILE] [--verbose] DIR...
+//
+// Exit codes: 0 = clean, 1 = violations found, 64 = bad usage / IO error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string detail;
+};
+
+struct Suppression {
+  std::string path_substring;
+  std::string rule;  // "*" matches every rule
+  mutable bool used = false;
+};
+
+struct Options {
+  std::vector<fs::path> roots;
+  fs::path supp_file;
+  bool verbose = false;
+};
+
+// ---------------------------------------------------------------------------
+// Lexing: produce a copy of the source with comments and string/char
+// literals blanked out (newlines preserved so line numbers survive).
+// ---------------------------------------------------------------------------
+
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  St st = St::kCode;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t paren = src.find('(', i + 2);
+          if (paren == std::string::npos) {
+            out += c;
+            break;
+          }
+          raw_delim = ")" + src.substr(i + 2, paren - (i + 2)) + "\"";
+          out.append(paren - i + 1, ' ');
+          i = paren;
+          st = St::kRawString;
+        } else if (c == '"') {
+          st = St::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          st = St::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') {
+          st = St::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kRawString:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          out.append(raw_delim.size(), ' ');
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True iff `word` appears in `line` as a whole identifier (not a substring
+/// of a longer identifier, not a member/namespace-qualified tail unless
+/// `allow_qualified`).
+bool has_identifier(std::string_view line, std::string_view word,
+                    bool allow_qualified = false) {
+  std::size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    std::size_t end = pos + word.size();
+    bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) {
+      if (!allow_qualified && pos >= 1 &&
+          (line[pos - 1] == '.' ||
+           (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>'))) {
+        pos = end;
+        continue;  // obj.rand / obj->rand is a member, not ::rand
+      }
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+/// True iff the identifier is followed (after spaces) by an open paren —
+/// i.e. it is being called, not merely named.
+bool has_call(std::string_view line, std::string_view fn) {
+  std::size_t pos = 0;
+  while ((pos = line.find(fn, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || (!is_ident_char(line[pos - 1]) &&
+                                line[pos - 1] != '.' &&
+                                !(pos >= 2 && line[pos - 2] == '-' &&
+                                  line[pos - 1] == '>'));
+    std::size_t end = pos + fn.size();
+    std::size_t j = end;
+    while (j < line.size() && line[j] == ' ') ++j;
+    if (left_ok && (end >= line.size() || !is_ident_char(line[end])) &&
+        j < line.size() && line[j] == '(') {
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// Paths under these directories are simulation-deterministic: every source
+/// of randomness must flow from an explicit seed.
+bool in_sim_path(const std::string& path) {
+  static const char* kSimDirs[] = {
+      "src/sim/",   "src/rnic/",    "src/herd/",  "src/chaos/",
+      "src/fault/", "src/fabric/",  "src/cluster/", "src/verbs/",
+      "src/pcie/",  "src/kv/",      "src/workload/",
+  };
+  for (const char* d : kSimDirs) {
+    if (path.find(d) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void check_determinism(const std::string& path, std::string_view line,
+                       std::size_t lineno, std::vector<Violation>& out) {
+  if (!in_sim_path(path)) return;
+  struct Banned {
+    const char* fn;
+    const char* why;
+  };
+  static const Banned kBannedCalls[] = {
+      {"time", "wall clock breaks seeded replay"},
+      {"clock_gettime", "wall clock breaks seeded replay"},
+      {"gettimeofday", "wall clock breaks seeded replay"},
+      {"rand", "unseeded libc entropy breaks seeded replay"},
+      {"srand", "global libc PRNG state breaks seeded replay"},
+      {"random", "unseeded libc entropy breaks seeded replay"},
+      {"rand_r", "libc PRNG breaks seeded replay"},
+      {"drand48", "libc PRNG breaks seeded replay"},
+      {"lrand48", "libc PRNG breaks seeded replay"},
+      {"getpid", "process id is not part of the seed"},
+  };
+  for (const Banned& b : kBannedCalls) {
+    if (has_call(line, b.fn)) {
+      out.push_back({path, lineno, "determinism",
+                     std::string(b.fn) + "() in a simulation path: " + b.why});
+    }
+  }
+  static const Banned kBannedNames[] = {
+      {"random_device", "hardware entropy breaks seeded replay"},
+      {"system_clock", "wall clock breaks seeded replay"},
+      {"steady_clock", "host clock breaks seeded replay"},
+      {"high_resolution_clock", "host clock breaks seeded replay"},
+  };
+  for (const Banned& b : kBannedNames) {
+    if (has_identifier(line, b.fn, /*allow_qualified=*/true)) {
+      out.push_back({path, lineno, "determinism",
+                     std::string(b.fn) + " in a simulation path: " + b.why});
+    }
+  }
+}
+
+/// Detects declarations of unordered containers keyed by pointer AND
+/// range-for iteration over identifiers that were so declared. The
+/// declaration itself is legal (lookup order doesn't matter); iteration
+/// order is ASLR-dependent, so looping one feeds allocator layout into
+/// simulation behavior.
+struct PtrKeyTracker {
+  std::vector<std::string> ptr_keyed_names;
+
+  void scan_declaration(std::string_view line) {
+    // unordered_{map,set}<T*  ... > name
+    for (const char* kw : {"unordered_map", "unordered_set"}) {
+      std::size_t pos = line.find(kw);
+      while (pos != std::string_view::npos) {
+        std::size_t lt = line.find('<', pos);
+        if (lt == std::string_view::npos) break;
+        // First template argument, up to ',' or matching '>'.
+        std::size_t depth = 1;
+        std::size_t j = lt + 1;
+        std::size_t arg_end = line.size();
+        for (; j < line.size() && depth > 0; ++j) {
+          if (line[j] == '<') ++depth;
+          if (line[j] == '>') --depth;
+          if (line[j] == ',' && depth == 1) {
+            arg_end = j;
+            break;
+          }
+          if (depth == 0) arg_end = j;
+        }
+        std::string_view key = line.substr(lt + 1, arg_end - lt - 1);
+        if (key.find('*') != std::string_view::npos) {
+          // Variable name follows the closing '>' (skip to it).
+          std::size_t d2 = 1;
+          std::size_t k = lt + 1;
+          for (; k < line.size() && d2 > 0; ++k) {
+            if (line[k] == '<') ++d2;
+            if (line[k] == '>') --d2;
+          }
+          while (k < line.size() &&
+                 (line[k] == ' ' || line[k] == '&' || line[k] == '*')) {
+            ++k;
+          }
+          std::size_t name_end = k;
+          while (name_end < line.size() && is_ident_char(line[name_end])) {
+            ++name_end;
+          }
+          if (name_end > k) {
+            ptr_keyed_names.emplace_back(line.substr(k, name_end - k));
+          }
+        }
+        pos = line.find(kw, pos + 1);
+      }
+    }
+  }
+
+  void check_iteration(const std::string& path, std::string_view line,
+                       std::size_t lineno, std::vector<Violation>& out) {
+    if (ptr_keyed_names.empty()) return;
+    // for ( ... : name ) — range-for over a tracked container.
+    std::size_t colon = line.find(" : ");
+    if (colon == std::string_view::npos ||
+        line.find("for") == std::string_view::npos) {
+      return;
+    }
+    std::string_view tail = line.substr(colon + 3);
+    for (const std::string& name : ptr_keyed_names) {
+      if (has_identifier(tail, name)) {
+        out.push_back(
+            {path, lineno, "ptr-key-iter",
+             "range-for over pointer-keyed container '" + name +
+                 "': iteration order depends on allocator layout"});
+      }
+    }
+  }
+};
+
+void check_raw_new(const std::string& path, std::string_view line,
+                   std::size_t lineno, std::vector<Violation>& out) {
+  // `= delete` / `delete;` are declarations, not deallocations. `new (`
+  // placement-new inside arena code is suppressed via the supp file.
+  if (has_identifier(line, "new", /*allow_qualified=*/true)) {
+    std::size_t pos = line.find("new");
+    while (pos != std::string_view::npos) {
+      bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+      std::size_t end = pos + 3;
+      bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+      if (left_ok && right_ok) {
+        // Allow `make_unique`-style false hits: require whitespace-then-type
+        // or '(' after.
+        std::size_t j = end;
+        while (j < line.size() && line[j] == ' ') ++j;
+        if (j < line.size() &&
+            (is_ident_char(line[j]) || line[j] == '(' || line[j] == ':')) {
+          out.push_back({path, lineno, "raw-new",
+                         "raw `new`: ownership must go through "
+                         "std::unique_ptr or a container"});
+          break;
+        }
+      }
+      pos = line.find("new", end);
+    }
+  }
+  if (has_identifier(line, "delete", /*allow_qualified=*/true)) {
+    std::size_t pos = line.find("delete");
+    std::size_t end = pos + 6;
+    std::size_t j = end;
+    while (j < line.size() && line[j] == ' ') ++j;
+    bool is_decl = j >= line.size() || line[j] == ';' || line[j] == ',' ||
+                   line[j] == ')';
+    bool left_is_eq = false;
+    for (std::size_t k = pos; k-- > 0;) {
+      if (line[k] == ' ') continue;
+      left_is_eq = line[k] == '=';
+      break;
+    }
+    if (!(is_decl && left_is_eq) && !is_decl) {
+      out.push_back({path, lineno, "raw-new",
+                     "raw `delete`: ownership must go through "
+                     "std::unique_ptr or a container"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool load_suppressions(const fs::path& file, std::vector<Suppression>& out) {
+  std::ifstream in(file);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    Suppression s;
+    if (ss >> s.path_substring >> s.rule) out.push_back(std::move(s));
+  }
+  return true;
+}
+
+bool suppressed(const std::vector<Suppression>& supps, const Violation& v) {
+  for (const Suppression& s : supps) {
+    if (v.file.find(s.path_substring) != std::string::npos &&
+        (s.rule == "*" || s.rule == v.rule)) {
+      s.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool lintable(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+void lint_file(const fs::path& path, std::vector<Violation>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string stripped = strip_comments_and_strings(buf.str());
+
+  std::string generic = path.generic_string();
+  PtrKeyTracker tracker;
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start <= stripped.size()) {
+    std::size_t nl = stripped.find('\n', start);
+    std::string_view line(stripped.data() + start,
+                          (nl == std::string::npos ? stripped.size() : nl) -
+                              start);
+    ++lineno;
+    check_determinism(generic, line, lineno, out);
+    tracker.scan_declaration(line);
+    tracker.check_iteration(generic, line, lineno, out);
+    if (in_sim_path(generic)) check_raw_new(generic, line, lineno, out);
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--supp" && i + 1 < argc) {
+      opt.supp_file = argv[++i];
+    } else if (a == "--verbose") {
+      opt.verbose = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--supp FILE] [--verbose] DIR...\n", argv[0]);
+      return 64;
+    } else {
+      opt.roots.emplace_back(a);
+    }
+  }
+  if (opt.roots.empty()) {
+    std::fprintf(stderr, "herd_lint: no directories given\n");
+    return 64;
+  }
+
+  std::vector<Suppression> supps;
+  if (!opt.supp_file.empty() && !load_suppressions(opt.supp_file, supps)) {
+    std::fprintf(stderr, "herd_lint: cannot read suppression file %s\n",
+                 opt.supp_file.string().c_str());
+    return 64;
+  }
+
+  std::vector<Violation> violations;
+  std::size_t files = 0;
+  for (const fs::path& root : opt.roots) {
+    std::error_code ec;
+    if (!fs::exists(root, ec)) {
+      std::fprintf(stderr, "herd_lint: no such directory: %s\n",
+                   root.string().c_str());
+      return 64;
+    }
+    std::vector<fs::path> paths;
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         it != fs::recursive_directory_iterator(); ++it) {
+      // Planted-violation fixtures lint only when named as a root (the
+      // canary test); a parent-directory sweep skips them.
+      if (it->is_directory() && it->path().filename() == "lint_fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && lintable(it->path())) {
+        paths.push_back(it->path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      ++files;
+      lint_file(p, violations);
+    }
+  }
+
+  std::size_t reported = 0;
+  std::size_t suppressed_count = 0;
+  for (const Violation& v : violations) {
+    if (suppressed(supps, v)) {
+      ++suppressed_count;
+      if (opt.verbose) {
+        std::printf("%s:%zu: suppressed [%s] %s\n", v.file.c_str(), v.line,
+                    v.rule.c_str(), v.detail.c_str());
+      }
+      continue;
+    }
+    ++reported;
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.detail.c_str());
+  }
+  for (const Suppression& s : supps) {
+    if (!s.used) {
+      std::fprintf(stderr,
+                   "herd_lint: warning: unused suppression `%s %s`\n",
+                   s.path_substring.c_str(), s.rule.c_str());
+    }
+  }
+
+  if (opt.verbose || reported > 0) {
+    std::printf("herd_lint: %zu file(s), %zu violation(s), %zu suppressed\n",
+                files, reported, suppressed_count);
+  }
+  return reported > 0 ? 1 : 0;
+}
