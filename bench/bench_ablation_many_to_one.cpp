@@ -22,10 +22,13 @@ void Ablation_ManyToOne(benchmark::State& state) {
   TputSpec spec{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 32, 4, 4};
   double mops = 0;
   for (auto _ : state) {
-    mops = microbench::many_to_one_tput(bench::apt(), spec, n_procs, 16);
+    mops = microbench::many_to_one_tput(bench::apt(), spec, n_procs, 16,
+                                        bench::measure_ticks());
   }
   state.counters["Mops"] = mops;
   state.SetLabel(std::to_string(n_procs) + " client procs / 16 machines");
+  bench::report().add_point("WRITE_UC", n_procs, {{"Mops", mops}});
+  bench::snapshot_last_microbench();
 }
 
 }  // namespace
@@ -34,4 +37,5 @@ BENCHMARK(Ablation_ManyToOne)
     ->Arg(100)->Arg(400)->Arg(800)->Arg(1600)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("ablation_many_to_one", "Many-to-one inbound WRITE scaling",
+                {"WRITE_UC"})

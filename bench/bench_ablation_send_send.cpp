@@ -31,8 +31,11 @@ void Ablation_SendSend(benchmark::State& state) {
   }
   state.counters["Mops"] = r.mops;
   state.counters["avg_us"] = r.avg_us;
-  state.SetLabel(std::string(state.range(0) == 0 ? "WRITE/SEND" : "SEND/SEND") +
-                 " clients=" + std::to_string(p.n_clients));
+  const char* series = state.range(0) == 0 ? "WRITE/SEND" : "SEND/SEND";
+  state.SetLabel(std::string(series) + " clients=" +
+                 std::to_string(p.n_clients));
+  bench::report().add_point(series, p.n_clients,
+                            {{"Mops", r.mops}, {"avg_us", r.avg_us}});
 }
 
 }  // namespace
@@ -41,4 +44,5 @@ BENCHMARK(Ablation_SendSend)
     ->ArgsProduct({{0, 1}, {51, 260, 400, 500}})
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("ablation_send_send", "WRITE/SEND vs SEND/SEND over UD",
+                {"WRITE/SEND", "SEND/SEND"})

@@ -5,15 +5,79 @@
 // (google-benchmark Iterations(1)) and reports the paper's series as
 // counters: `Mops`, `avg_us`, etc. Wall time measured by the framework is
 // just the cost of running the simulator.
+//
+// Each binary additionally declares an obs::BenchSpec and records its
+// series points into a process-wide obs::BenchReport; with --bench-out=DIR
+// the binary writes schema-versioned BENCH_<figure>.json (and, when a trace
+// was captured, TRACE_<figure>.json) there. Binary-specific flags — all
+// stripped before google-benchmark sees argv:
+//
+//   --bench-out=DIR         write BENCH_<figure>.json into DIR
+//   --git-rev=SHA           provenance stamp for the JSON ("unknown" if unset)
+//   --bench-measure-ms=M    per-point measurement window (default 2 ms of
+//                           simulated time; CI smoke passes 0.25)
+//   --bench-trace=N         sample every Nth request into a Chrome trace
+//                           (end-to-end benches only)
+//
+// Use HERD_BENCH_MAIN(figure, title, {series...}) instead of
+// BENCHMARK_MAIN().
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
 #include "baselines/emulated_kv.hpp"
 #include "cluster/cluster.hpp"
 #include "herd/testbed.hpp"
+#include "microbench/microbench.hpp"
+#include "obs/bench_report.hpp"
 
 namespace herd::bench {
+
+// --- per-binary report and options ----------------------------------------
+
+struct BenchOptions {
+  std::string out_dir;              // --bench-out ("" = stdout numbers only)
+  std::string git_rev = "unknown";  // --git-rev
+  std::uint64_t trace_every = 0;    // --bench-trace
+  double measure_ms = 2.0;          // --bench-measure-ms
+};
+
+inline BenchOptions& options() {
+  static BenchOptions o;
+  return o;
+}
+
+inline std::optional<obs::BenchReport>& report_slot() {
+  static std::optional<obs::BenchReport> r;
+  return r;
+}
+
+/// The binary's report (valid once HERD_BENCH_MAIN's main has started).
+inline obs::BenchReport& report() { return *report_slot(); }
+
+/// Measurement window honoring --bench-measure-ms.
+inline sim::Tick measure_ticks() { return sim::ms(options().measure_ms); }
+/// Warmup scales with the measurement window but never below 0.25 ms.
+inline sim::Tick warmup_ticks() {
+  return sim::ms(std::max(0.25, options().measure_ms / 2));
+}
+
+/// Copies the most recent microbench run's registry snapshot into the
+/// report (the per-layer evidence behind the figure's headline numbers).
+inline void snapshot_last_microbench() {
+  if (report_slot()) report().set_snapshot(microbench::last_run().snapshot);
+}
+
+// --- end-to-end drivers ----------------------------------------------------
 
 /// Uniform result row for the end-to-end comparisons (Figs. 9-13).
 struct E2e {
@@ -33,10 +97,13 @@ struct E2eParams {
   core::RequestMode mode = core::RequestMode::kWriteUc;
 };
 
-/// Full HERD (real MICA backend) under the paper's §5.1 setup.
+/// Full HERD (real MICA backend) under the paper's §5.1 setup. Folds the
+/// testbed's registry snapshot (and, under --bench-trace, its Chrome trace)
+/// into the report.
 inline E2e run_herd(const cluster::ClusterConfig& cc, const E2eParams& p,
-                    sim::Tick warmup = sim::ms(1),
-                    sim::Tick measure = sim::ms(2)) {
+                    sim::Tick warmup = 0, sim::Tick measure = 0) {
+  if (warmup == 0) warmup = warmup_ticks();
+  if (measure == 0) measure = measure_ticks();
   core::TestbedConfig cfg;
   cfg.cluster = cc;
   cfg.herd.n_server_procs = p.n_server_procs;
@@ -50,16 +117,22 @@ inline E2e run_herd(const cluster::ClusterConfig& cc, const E2eParams& p,
   cfg.workload.value_len = p.value_size;
   cfg.workload.n_keys = 1u << 16;
   cfg.workload.zipf = p.zipf;
+  cfg.trace_sample_every = options().trace_every;
   core::HerdTestbed bed(cfg);
   auto r = bed.run(warmup, measure);
+  if (report_slot()) {
+    report().set_snapshot(bed.snapshot());
+    if (options().trace_every > 0) report().set_trace(bed.trace_json());
+  }
   return E2e{r.mops, r.avg_latency_us, r.p5_latency_us, r.p95_latency_us};
 }
 
 /// Emulated Pilaf / FaRM-KV under the same workload parameters.
 inline E2e run_emulated(const cluster::ClusterConfig& cc,
                         baselines::System sys, const E2eParams& p,
-                        sim::Tick warmup = sim::ms(1),
-                        sim::Tick measure = sim::ms(2)) {
+                        sim::Tick warmup = 0, sim::Tick measure = 0) {
+  if (warmup == 0) warmup = warmup_ticks();
+  if (measure == 0) measure = measure_ticks();
   baselines::EmulatedConfig cfg;
   cfg.system = sys;
   cfg.cluster = cc;
@@ -84,4 +157,70 @@ inline benchmark::internal::Benchmark* one_shot(
   return b->Iterations(1)->Unit(benchmark::kMillisecond);
 }
 
+// --- main ------------------------------------------------------------------
+
+inline bool consume_flag(std::string_view arg, std::string_view prefix,
+                         std::string& value) {
+  if (arg.size() < prefix.size() || arg.substr(0, prefix.size()) != prefix) {
+    return false;
+  }
+  value = std::string(arg.substr(prefix.size()));
+  return true;
+}
+
+inline int bench_main(int argc, char** argv, obs::BenchSpec spec) {
+  report_slot().emplace(std::move(spec));
+  BenchOptions& opt = options();
+
+  std::vector<char*> keep;
+  keep.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (consume_flag(argv[i], "--bench-out=", v)) {
+      opt.out_dir = v;
+    } else if (consume_flag(argv[i], "--git-rev=", v)) {
+      opt.git_rev = v;
+    } else if (consume_flag(argv[i], "--bench-trace=", v)) {
+      opt.trace_every = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (consume_flag(argv[i], "--bench-measure-ms=", v)) {
+      opt.measure_ms = std::strtod(v.c_str(), nullptr);
+      if (opt.measure_ms <= 0) {
+        std::fprintf(stderr, "--bench-measure-ms must be > 0\n");
+        return 1;
+      }
+    } else {
+      keep.push_back(argv[i]);
+    }
+  }
+  int kept = static_cast<int>(keep.size());
+  benchmark::Initialize(&kept, keep.data());
+  if (benchmark::ReportUnrecognizedArguments(kept, keep.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  obs::BenchReport& rep = report();
+  rep.set_git_rev(opt.git_rev);
+  rep.set_config("measure_ms", obs::Json(opt.measure_ms));
+  if (!opt.out_dir.empty()) {
+    if (!rep.has_points()) {
+      std::fprintf(stderr,
+                   "--bench-out given but no series points were recorded "
+                   "(did a --benchmark_filter exclude everything?)\n");
+      return 1;
+    }
+    std::string path = rep.write(opt.out_dir);
+    std::printf("bench report: %s\n", path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace herd::bench
+
+/// Replaces BENCHMARK_MAIN(): declares the figure's BenchSpec and installs
+/// the flag-stripping main. Usage:
+///   HERD_BENCH_MAIN("fig03", "Inbound throughput", {"WRITE_UC", "READ_RC"})
+#define HERD_BENCH_MAIN(...)                                             \
+  int main(int argc, char** argv) {                                      \
+    return herd::bench::bench_main(argc, argv,                           \
+                                   herd::obs::BenchSpec{__VA_ARGS__});   \
+  }

@@ -25,6 +25,14 @@ void Fig02_VerbLatency(benchmark::State& state) {
   state.counters["WR_INLINE_us"] = r.write_inline_us;
   state.counters["ECHO_us"] = r.echo_us;
   state.counters["ECHO_half_us"] = r.echo_us / 2.0;
+  bench::report().add_point("READ", payload, {{"us", r.read_us}});
+  bench::report().add_point("WRITE", payload, {{"us", r.write_us}});
+  if (r.write_inline_us > 0) {
+    bench::report().add_point("WR_INLINE", payload,
+                              {{"us", r.write_inline_us}});
+    bench::report().add_point("ECHO", payload, {{"us", r.echo_us}});
+  }
+  bench::snapshot_last_microbench();
 }
 
 }  // namespace
@@ -34,4 +42,5 @@ BENCHMARK(Fig02_VerbLatency)
     ->Arg(512)->Arg(1024)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig02", "Verb and ECHO latency vs payload size",
+                {"READ", "WRITE", "WR_INLINE", "ECHO"})

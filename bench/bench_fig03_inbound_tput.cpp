@@ -22,15 +22,20 @@ void Fig03_Inbound(benchmark::State& state) {
                     payload <= 256, payload, 32, 4};
   TputSpec read_rc{verbs::Opcode::kRead, verbs::Transport::kRc, false,
                    payload, 16, 1};
+  sim::Tick measure = bench::measure_ticks();
   double wuc = 0, wrc = 0, rrc = 0;
   for (auto _ : state) {
-    wuc = microbench::inbound_tput(bench::apt(), write_uc);
-    wrc = microbench::inbound_tput(bench::apt(), write_rc);
-    rrc = microbench::inbound_tput(bench::apt(), read_rc);
+    wuc = microbench::inbound_tput(bench::apt(), write_uc, 16, measure);
+    wrc = microbench::inbound_tput(bench::apt(), write_rc, 16, measure);
+    rrc = microbench::inbound_tput(bench::apt(), read_rc, 16, measure);
   }
   state.counters["WRITE_UC_Mops"] = wuc;
   state.counters["WRITE_RC_Mops"] = wrc;
   state.counters["READ_RC_Mops"] = rrc;
+  bench::report().add_point("WRITE_UC", payload, {{"Mops", wuc}});
+  bench::report().add_point("WRITE_RC", payload, {{"Mops", wrc}});
+  bench::report().add_point("READ_RC", payload, {{"Mops", rrc}});
+  bench::snapshot_last_microbench();
 }
 
 }  // namespace
@@ -40,4 +45,5 @@ BENCHMARK(Fig03_Inbound)
     ->Arg(512)->Arg(1024)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig03", "Inbound verbs throughput vs payload size",
+                {"WRITE_UC", "WRITE_RC", "READ_RC"})

@@ -27,19 +27,27 @@ void Fig04_Outbound(benchmark::State& state) {
                     payload, 8, 4};
   TputSpec read_rc{verbs::Opcode::kRead, verbs::Transport::kRc, false,
                    payload, 16, 1};
+  sim::Tick measure = bench::measure_ticks();
   double wi = 0, su = 0, wp = 0, rd = 0;
   for (auto _ : state) {
     if (payload <= 256) {
-      wi = microbench::outbound_tput(bench::apt(), wr_inline);
-      su = microbench::outbound_tput(bench::apt(), send_ud);
+      wi = microbench::outbound_tput(bench::apt(), wr_inline, 16, measure);
+      su = microbench::outbound_tput(bench::apt(), send_ud, 16, measure);
     }
-    wp = microbench::outbound_tput(bench::apt(), wr_plain);
-    rd = microbench::outbound_tput(bench::apt(), read_rc);
+    wp = microbench::outbound_tput(bench::apt(), wr_plain, 16, measure);
+    rd = microbench::outbound_tput(bench::apt(), read_rc, 16, measure);
   }
   state.counters["WR_UC_INLINE_Mops"] = wi;
   state.counters["SEND_UD_Mops"] = su;
   state.counters["WRITE_UC_Mops"] = wp;
   state.counters["READ_RC_Mops"] = rd;
+  if (payload <= 256) {
+    bench::report().add_point("WR_UC_INLINE", payload, {{"Mops", wi}});
+    bench::report().add_point("SEND_UD", payload, {{"Mops", su}});
+  }
+  bench::report().add_point("WRITE_UC", payload, {{"Mops", wp}});
+  bench::report().add_point("READ_RC", payload, {{"Mops", rd}});
+  bench::snapshot_last_microbench();
 }
 
 }  // namespace
@@ -49,4 +57,5 @@ BENCHMARK(Fig04_Outbound)
     ->Arg(256)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig04", "Outbound verbs throughput vs payload size",
+                {"WR_UC_INLINE", "SEND_UD", "WRITE_UC", "READ_RC"})

@@ -24,13 +24,19 @@ void Fig05_EchoThroughput(benchmark::State& state) {
   opts.payload = 32;
   double mops = 0;
   for (auto _ : state) {
-    mops = microbench::echo_tput(bench::apt(), kind, opts);
+    mops = microbench::echo_tput(bench::apt(), kind, opts,
+                                 bench::measure_ticks());
   }
   state.counters["Mops"] = mops;
   static const char* lvl[] = {"basic", "+unreliable", "+unsignaled",
                               "+inlined"};
   state.SetLabel(std::string(microbench::echo_kind_name(kind)) + " " +
                  lvl[state.range(1)]);
+  // One series per verb combination; x = optimization level 0..3.
+  bench::report().add_point(microbench::echo_kind_name(kind),
+                            static_cast<double>(opts.opt_level),
+                            {{"Mops", mops}});
+  bench::snapshot_last_microbench();
 }
 
 }  // namespace
@@ -39,4 +45,5 @@ BENCHMARK(Fig05_EchoThroughput)
     ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3}})
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig05", "ECHO throughput across the optimization ladder",
+                {"SEND/SEND", "WR/WR", "WR/SEND"})

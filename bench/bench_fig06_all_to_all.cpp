@@ -19,15 +19,20 @@ void Fig06_AllToAll(benchmark::State& state) {
   auto n = static_cast<std::uint32_t>(state.range(0));
   TputSpec wr{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 32, 32, 4};
   TputSpec ud{verbs::Opcode::kSend, verbs::Transport::kUd, true, 32, 32, 4};
+  sim::Tick measure = bench::measure_ticks();
   double in_wr = 0, out_wr = 0, out_ud = 0;
   for (auto _ : state) {
-    in_wr = microbench::all_to_all_inbound(bench::apt(), wr, n);
-    out_wr = microbench::all_to_all_outbound(bench::apt(), wr, n);
-    out_ud = microbench::all_to_all_outbound(bench::apt(), ud, n);
+    in_wr = microbench::all_to_all_inbound(bench::apt(), wr, n, measure);
+    out_wr = microbench::all_to_all_outbound(bench::apt(), wr, n, measure);
+    out_ud = microbench::all_to_all_outbound(bench::apt(), ud, n, measure);
   }
   state.counters["In_WRITE_UC_Mops"] = in_wr;
   state.counters["Out_WRITE_UC_Mops"] = out_wr;
   state.counters["Out_SEND_UD_Mops"] = out_ud;
+  bench::report().add_point("In_WRITE_UC", n, {{"Mops", in_wr}});
+  bench::report().add_point("Out_WRITE_UC", n, {{"Mops", out_wr}});
+  bench::report().add_point("Out_SEND_UD", n, {{"Mops", out_ud}});
+  bench::snapshot_last_microbench();
 }
 
 }  // namespace
@@ -37,4 +42,5 @@ BENCHMARK(Fig06_AllToAll)
     ->Arg(16)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig06", "UD vs UC all-to-all scalability",
+                {"In_WRITE_UC", "Out_WRITE_UC", "Out_SEND_UD"})

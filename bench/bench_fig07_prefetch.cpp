@@ -26,11 +26,16 @@ void Fig07_Prefetch(benchmark::State& state) {
   opts.window = 8;
   double mops = 0;
   for (auto _ : state) {
-    mops = microbench::echo_tput(bench::apt(), EchoKind::kWriteSend, opts);
+    mops = microbench::echo_tput(bench::apt(), EchoKind::kWriteSend, opts,
+                                 bench::measure_ticks());
   }
   state.counters["Mops"] = mops;
   state.SetLabel(std::string("N=") + std::to_string(state.range(0)) +
                  (opts.prefetch ? " prefetch" : " no-prefetch"));
+  std::string series = "N=" + std::to_string(state.range(0)) +
+                       (opts.prefetch ? "/prefetch" : "/no-prefetch");
+  bench::report().add_point(series, opts.n_server_procs, {{"Mops", mops}});
+  bench::snapshot_last_microbench();
 }
 
 }  // namespace
@@ -39,4 +44,6 @@ BENCHMARK(Fig07_Prefetch)
     ->ArgsProduct({{2, 8}, {1, 2, 3, 4, 5}, {0, 1}})
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig07", "Effect of prefetching on echo throughput",
+                {"N=2/no-prefetch", "N=2/prefetch", "N=8/no-prefetch",
+                 "N=8/prefetch"})

@@ -42,6 +42,10 @@ void Fig09_EndToEnd(benchmark::State& state) {
   state.SetLabel(std::string(cc.name) + " " + name + " PUT=" +
                  std::to_string(static_cast<int>(p.put_fraction * 100)) +
                  "%");
+  // One series per cluster x system; x = PUT percentage.
+  std::string series = std::string(cc.name) + "/" + name;
+  bench::report().add_point(series, p.put_fraction * 100,
+                            {{"Mops", r.mops}, {"avg_us", r.avg_us}});
 }
 
 }  // namespace
@@ -50,4 +54,8 @@ BENCHMARK(Fig09_EndToEnd)
     ->ArgsProduct({{0, 1}, {0, 1, 2}, {0, 1, 2, 3}})
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig09", "End-to-end throughput, 48 B items, both clusters",
+                {"Apt-IB/HERD", "Apt-IB/Pilaf-em-OPT", "Apt-IB/FaRM-em",
+                 "Apt-IB/FaRM-em-VAR", "Susitna-RoCE/HERD",
+                 "Susitna-RoCE/Pilaf-em-OPT", "Susitna-RoCE/FaRM-em",
+                 "Susitna-RoCE/FaRM-em-VAR"})

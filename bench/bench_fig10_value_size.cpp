@@ -39,6 +39,9 @@ void Fig10_ValueSize(benchmark::State& state) {
   state.counters["Mops"] = r.mops;
   state.SetLabel(std::string(cc.name) + " " + name + " SV=" +
                  std::to_string(state.range(1)));
+  bench::report().add_point(std::string(cc.name) + "/" + name,
+                            static_cast<double>(p.value_size),
+                            {{"Mops", r.mops}});
 }
 
 }  // namespace
@@ -48,4 +51,8 @@ BENCHMARK(Fig10_ValueSize)
                    {0, 1, 2, 3}})
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig10", "End-to-end throughput vs value size",
+                {"Apt-IB/HERD", "Apt-IB/Pilaf-em-OPT", "Apt-IB/FaRM-em",
+                 "Apt-IB/FaRM-em-VAR", "Susitna-RoCE/HERD",
+                 "Susitna-RoCE/Pilaf-em-OPT", "Susitna-RoCE/FaRM-em",
+                 "Susitna-RoCE/FaRM-em-VAR"})

@@ -44,6 +44,12 @@ void Fig11_LatencyVsTput(benchmark::State& state) {
   state.counters["p95_us"] = r.p95_us;
   state.SetLabel(std::string(name) + " clients=" +
                  std::to_string(p.n_clients));
+  // Latency-vs-throughput curve: x = achieved Mops at this client count.
+  bench::report().add_point(name, r.mops,
+                            {{"avg_us", r.avg_us},
+                             {"p5_us", r.p5_us},
+                             {"p95_us", r.p95_us},
+                             {"clients", static_cast<double>(p.n_clients)}});
 }
 
 }  // namespace
@@ -52,4 +58,5 @@ BENCHMARK(Fig11_LatencyVsTput)
     ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3, 4, 5}})
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig11", "End-to-end latency vs throughput",
+                {"HERD", "Pilaf-em-OPT", "FaRM-em", "FaRM-em-VAR"})

@@ -39,6 +39,7 @@ void Fig13_CpuCores(benchmark::State& state) {
   state.counters["Mops"] = r.mops;
   state.SetLabel(std::string(name) + " cores=" +
                  std::to_string(p.n_server_procs));
+  bench::report().add_point(name, p.n_server_procs, {{"Mops", r.mops}});
 }
 
 }  // namespace
@@ -47,4 +48,5 @@ BENCHMARK(Fig13_CpuCores)
     ->ArgsProduct({{0, 1, 2}, {1, 2, 3, 4, 5, 6, 7}})
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig13", "Throughput vs server CPU cores",
+                {"HERD", "Pilaf-em-OPT", "FaRM-em"})

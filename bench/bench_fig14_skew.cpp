@@ -32,23 +32,28 @@ void Fig14_Skew(benchmark::State& state) {
   double total = 0;
   for (auto _ : state) {
     core::HerdTestbed bed(cfg);
-    auto r = bed.run(sim::ms(1), sim::ms(2));
+    auto r = bed.run(bench::warmup_ticks(), bench::measure_ticks());
     total = r.mops;
     per_core = bed.per_proc_mops();
+    bench::report().set_snapshot(bed.snapshot());
   }
   state.counters["total_Mops"] = total;
+  const char* series = zipf ? "Zipf(.99)" : "Uniform";
   double lo = per_core[0], hi = per_core[0];
   for (std::size_t s = 0; s < per_core.size(); ++s) {
     state.counters["core" + std::to_string(s) + "_Mops"] = per_core[s];
+    bench::report().add_point(series, static_cast<double>(s),
+                              {{"Mops", per_core[s]}});
     lo = std::min(lo, per_core[s]);
     hi = std::max(hi, per_core[s]);
   }
   state.counters["max_over_min"] = lo > 0 ? hi / lo : 0;
-  state.SetLabel(zipf ? "Zipf(.99)" : "Uniform");
+  state.SetLabel(series);
 }
 
 }  // namespace
 
 BENCHMARK(Fig14_Skew)->Arg(0)->Arg(1)->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("fig14", "Per-core throughput under skew",
+                {"Uniform", "Zipf(.99)"})

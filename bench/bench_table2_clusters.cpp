@@ -29,10 +29,18 @@ void Table2_ClusterPreset(benchmark::State& state) {
   state.counters["half_rtt_us"] = lat.echo_us / 2.0;
   state.counters["read_us"] = lat.read_us;
   state.SetLabel(cfg.name);
+  bench::report().add_point(
+      cfg.name, static_cast<double>(state.range(0)),
+      {{"link_GBps", cfg.fabric.link_gbps},
+       {"pcie_dma_GBps", cfg.pcie.dma_read_gbps},
+       {"half_rtt_us", lat.echo_us / 2.0},
+       {"read_us", lat.read_us}});
+  bench::snapshot_last_microbench();
 }
 
 }  // namespace
 
 BENCHMARK(Table2_ClusterPreset)->Arg(0)->Arg(1)->Iterations(1);
 
-BENCHMARK_MAIN();
+HERD_BENCH_MAIN("table2", "Cluster preset parameters and smoke latency",
+                {"Apt-IB", "Susitna-RoCE"})

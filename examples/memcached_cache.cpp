@@ -14,20 +14,21 @@
 int main() {
   using namespace herd;
 
-  core::TestbedConfig cfg;
-  cfg.cluster = cluster::ClusterConfig::apt();
-  cfg.herd.n_server_procs = 6;
-  cfg.herd.n_clients = 51;
-  cfg.workload.get_fraction = 0.97;   // memcached-like read mix
-  cfg.workload.value_len = 20;        // Facebook p50 value size
-  cfg.workload.n_keys = 1u << 20;     // keyspace larger than the cache
-  cfg.workload.zipf = true;           // web workloads are skewed
-  // Deliberately undersized index: ~1/4 of the keyspace fits, so the lossy
-  // index must evict and some GETs miss.
-  cfg.herd.mica.bucket_count_log2 = 12;
-  cfg.herd.mica.log_bytes = 16u << 20;
-  cfg.verify_values = true;
-  cfg.preload_keys = 1u << 18;
+  auto cfg = core::TestbedConfigBuilder()
+                 .cluster(cluster::ClusterConfig::apt())
+                 .server_procs(6)
+                 .clients(51)
+                 .get_fraction(0.97)  // memcached-like read mix
+                 .value_len(20)       // Facebook p50 value size
+                 .n_keys(1u << 20)    // keyspace larger than the cache
+                 .zipf(true)          // web workloads are skewed
+                 // Deliberately undersized index: ~1/4 of the keyspace fits,
+                 // so the lossy index must evict and some GETs miss.
+                 .mica_buckets_log2(12)
+                 .mica_log_bytes(16u << 20)
+                 .verify_values(true)
+                 .preload_keys(1u << 18)
+                 .build();
 
   std::printf("memcached-style cache on %s: zipf(0.99) over %u keys, "
               "index sized for ~%u\n",

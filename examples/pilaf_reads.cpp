@@ -21,7 +21,7 @@
 int main() {
   using namespace herd;
 
-  cluster::Cluster cl(cluster::ClusterConfig::apt(), 2, 8 << 20);
+  cluster::Cluster cl(cluster::ClusterConfigBuilder().build(), 2, 8 << 20);
   auto& server = cl.host(0);
   auto& client = cl.host(1);
   auto& eng = cl.engine();

@@ -11,17 +11,19 @@
 int main(int argc, char** argv) {
   using namespace herd;
 
-  core::TestbedConfig cfg;
-  cfg.cluster = cluster::ClusterConfig::apt();
-  cfg.herd.n_server_procs = 6;
-  cfg.herd.n_clients = argc > 1 ? std::atoi(argv[1]) : 51;
-  cfg.herd.window = 4;
-  cfg.workload.get_fraction = 0.95;        // read-intensive
-  cfg.workload.value_len = argc > 2 ? std::atoi(argv[2]) : 32;
-  cfg.workload.n_keys = 1u << 18;
-  cfg.herd.mica.bucket_count_log2 = 16;    // 512Ki-way capacity per process
-  cfg.herd.mica.log_bytes = 32u << 20;
-  cfg.verify_values = true;
+  auto cfg =
+      core::TestbedConfigBuilder()
+          .cluster(cluster::ClusterConfig::apt())
+          .server_procs(6)
+          .clients(argc > 1 ? std::atoi(argv[1]) : 51)
+          .window(4)
+          .get_fraction(0.95)  // read-intensive
+          .value_len(argc > 2 ? std::atoi(argv[2]) : 32)
+          .n_keys(1u << 18)
+          .mica_buckets_log2(16)  // 512Ki-way capacity per process
+          .mica_log_bytes(32u << 20)
+          .verify_values(true)
+          .build();  // throws with a problem list on inconsistent setups
 
   std::printf("HERD quickstart on %s: %u server procs, %u clients, "
               "%u-byte values, 95%% GET\n",
@@ -41,5 +43,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.value_mismatches));
   std::printf("  anomalies      : %llu\n",
               static_cast<unsigned long long>(r.bad));
+
+  // Every layer's counters live in one registry; snapshot() is the single
+  // end-of-run accessor (see EXPERIMENTS.md for the full JSON export).
+  obs::Snapshot snap = bed.snapshot();
+  std::printf("  server RNIC    : %llu rx ops, %llu tx ops\n",
+              static_cast<unsigned long long>(snap.value("rnic.host0.rx_ops")),
+              static_cast<unsigned long long>(snap.value("rnic.host0.tx_ops")));
   return r.value_mismatches == 0 && r.ops > 0 ? 0 : 1;
 }

@@ -17,7 +17,8 @@
 int main() {
   using namespace herd;
 
-  cluster::Cluster cl(cluster::ClusterConfig::apt(), 2, 1 << 20);
+  // ClusterConfigBuilder defaults to the Apt preset; build() validates.
+  cluster::Cluster cl(cluster::ClusterConfigBuilder().build(), 2, 1 << 20);
   auto& server = cl.host(0);
   auto& client = cl.host(1);
   auto& eng = cl.engine();

@@ -26,17 +26,17 @@ int main() {
 
   std::printf("%-10s %9s  %s\n", "workload", "total", "per-core Mops (6 cores)");
   for (const Case& c : cases) {
-    core::TestbedConfig cfg;
-    cfg.cluster = cluster::ClusterConfig::apt();
-    cfg.herd.n_server_procs = 6;
-    cfg.herd.n_clients = 51;
-    cfg.workload.get_fraction = 0.95;
-    cfg.workload.value_len = 32;
-    cfg.workload.n_keys = 1u << 20;
-    cfg.workload.zipf = c.zipf;
-    cfg.workload.zipf_theta = c.theta;
-    cfg.herd.mica.bucket_count_log2 = 16;
-    cfg.herd.mica.log_bytes = 32u << 20;
+    auto cfg = core::TestbedConfigBuilder()
+                   .cluster(cluster::ClusterConfig::apt())
+                   .server_procs(6)
+                   .clients(51)
+                   .get_fraction(0.95)
+                   .value_len(32)
+                   .n_keys(1u << 20)
+                   .zipf(c.zipf, c.theta)
+                   .mica_buckets_log2(16)
+                   .mica_log_bytes(32u << 20)
+                   .build();
 
     core::HerdTestbed bed(cfg);
     auto r = bed.run(sim::ms(1), sim::ms(3));

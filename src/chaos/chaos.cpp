@@ -1,6 +1,7 @@
 #include "chaos/chaos.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "chaos/history.hpp"
 
@@ -50,20 +51,31 @@ RunOutcome run_scenario(const Scenario& sc, std::uint64_t checker_budget) {
     if (out.contract_violations > 0) {
       out.contract_diagnostics = bed.contract_diagnostics();
     }
-    out.counters = bed.counter_report();
+    out.counters = bed.snapshot();
+    if (sc.trace_sample_every > 0) {
+      // Fold the trace bytes into the fingerprint: replay divergence in
+      // *when* pipeline stages ran — not only what completed — is caught.
+      out.trace_json = bed.trace_json();
+      out.fingerprint =
+          fnv1a(std::as_bytes(std::span<const char>(out.trace_json)),
+                out.fingerprint);
+    }
   }
 
   out.check = check_linearizability(recorder.events(), cfg.workload.n_keys,
                                     checker_budget);
-  out.counters.add("chaos.history_events", out.events);
-  out.counters.add("chaos.server_applies", out.applies);
-  out.counters.add("chaos.histories_checked", out.check.stats.histories_checked);
-  out.counters.add("chaos.ops_checked", out.check.stats.ops_checked);
-  out.counters.add("chaos.maybe_applied", out.check.stats.maybe_applied);
-  out.counters.add("chaos.max_states_visited",
-                   out.check.stats.max_states_visited);
-  out.counters.add("chaos.budget_exhausted", out.check.stats.budget_exhausted);
-  out.counters.add("chaos.cache_lossy", out.cache_lossy ? 1 : 0);
+  out.counters.set_counter("chaos.history_events", out.events);
+  out.counters.set_counter("chaos.server_applies", out.applies);
+  out.counters.set_counter("chaos.histories_checked",
+                           out.check.stats.histories_checked);
+  out.counters.set_counter("chaos.ops_checked", out.check.stats.ops_checked);
+  out.counters.set_counter("chaos.maybe_applied",
+                           out.check.stats.maybe_applied);
+  out.counters.set_counter("chaos.max_states_visited",
+                           out.check.stats.max_states_visited);
+  out.counters.set_counter("chaos.budget_exhausted",
+                           out.check.stats.budget_exhausted);
+  out.counters.set_counter("chaos.cache_lossy", out.cache_lossy ? 1 : 0);
   return out;
 }
 

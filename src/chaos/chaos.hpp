@@ -19,7 +19,7 @@
 #include "chaos/linearize.hpp"
 #include "chaos/scenario.hpp"
 #include "herd/testbed.hpp"
-#include "sim/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace herd::chaos {
 
@@ -41,7 +41,11 @@ struct RunOutcome {
   std::uint64_t contract_violations = 0;
   std::string contract_diagnostics;  // formatted violations, one per line
   core::HerdTestbed::RunResult run{};
-  sim::CounterReport counters{};  // testbed counters + chaos.* checker stats
+  /// Testbed metric snapshot extended with chaos.* checker stats.
+  obs::Snapshot counters{};
+  /// Chrome trace JSON of the run ("" unless the scenario set
+  /// trace_sample_every). Byte-identical across replays of one scenario.
+  std::string trace_json;
 };
 
 /// A run demands attention iff the checker proved a linearizability

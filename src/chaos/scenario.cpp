@@ -42,6 +42,7 @@ std::string Scenario::to_json() const {
        std::to_string(resilience.failover_threshold);
   s += ",\"break_dedup\":";
   s += break_dedup ? "true" : "false";
+  s += ",\"trace_sample_every\":" + std::to_string(trace_sample_every);
   s += ",\"plan\":" + fault::to_json(plan);
   s += "}";
   return s;
@@ -130,6 +131,7 @@ core::TestbedConfig to_testbed_config(const Scenario& sc) {
   cfg.fault_plan = sc.plan;
   cfg.verify_values = true;
   cfg.seed = sc.seed;
+  cfg.trace_sample_every = sc.trace_sample_every;
   return cfg;
 }
 

@@ -59,6 +59,12 @@ struct Scenario {
   /// Bug-injection switch: run with the server's duplicate-mutation ring
   /// disabled (HerdConfig.mutation_dedup = false).
   bool break_dedup = false;
+  /// When nonzero, the run records a request-lifecycle trace (every Nth
+  /// request sampled; see TestbedConfig::trace_sample_every). The exported
+  /// Chrome JSON lands in RunOutcome::trace_json and folds into the
+  /// determinism fingerprint, so replay divergence in *when* things
+  /// happened — not only in what completed — is caught.
+  std::uint64_t trace_sample_every = 0;
 
   std::string to_json() const;
 };

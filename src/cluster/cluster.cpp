@@ -26,6 +26,53 @@ ClusterConfig ClusterConfig::susitna() {
   return c;
 }
 
+std::vector<std::string> ClusterConfig::validate() const {
+  std::vector<std::string> problems;
+  if (name.empty()) {
+    problems.push_back("name is empty (metric prefixes need one)");
+  }
+  if (fabric.link_gbps <= 0.0) {
+    problems.push_back("fabric.link_gbps must be > 0, got " +
+                       std::to_string(fabric.link_gbps));
+  }
+  if (fabric.mtu == 0) {
+    problems.push_back("fabric.mtu must be > 0");
+  }
+  if (fabric.loss_probability < 0.0 || fabric.loss_probability > 1.0) {
+    problems.push_back("fabric.loss_probability must be in [0, 1], got " +
+                       std::to_string(fabric.loss_probability));
+  }
+  if (pcie.dma_read_gbps <= 0.0 || pcie.dma_write_gbps <= 0.0) {
+    problems.push_back("pcie DMA bandwidths must be > 0");
+  }
+  if (rnic.qp_cache_units <= 0.0) {
+    problems.push_back("rnic.qp_cache_units must be > 0");
+  }
+  if (rnic.retry_cnt == 0) {
+    problems.push_back("rnic.retry_cnt must be >= 1 (RC needs one attempt)");
+  }
+  if (rnic.max_outstanding_reads == 0) {
+    problems.push_back("rnic.max_outstanding_reads must be >= 1");
+  }
+  if (rnic.max_inline == 0) {
+    problems.push_back("rnic.max_inline must be > 0");
+  }
+  return problems;
+}
+
+ClusterConfig ClusterConfigBuilder::build() const {
+  std::vector<std::string> problems = cfg_.validate();
+  if (!problems.empty()) {
+    std::string msg = "ClusterConfig invalid:";
+    for (const std::string& p : problems) {
+      msg += "\n  - ";
+      msg += p;
+    }
+    throw std::invalid_argument(msg);
+  }
+  return cfg_;
+}
+
 Host::Host(sim::Engine& engine, fabric::Fabric& fabric,
            const ClusterConfig& cfg, std::string name, std::size_t mem_bytes,
            std::uint64_t seed)
@@ -48,6 +95,35 @@ Cluster::Cluster(const ClusterConfig& cfg, std::size_t n_hosts,
       hosts_.back()->ctx().enable_contract(
           verbs::ContractChecker::Mode::kCollect);
     }
+  }
+
+  // One registry + tracer for the whole cluster. Host display names carry
+  // '/' (illegal in metric names), so per-host prefixes are positional.
+  fabric_.register_metrics(registry_, "fabric");
+  fabric_.set_tracer(&tracer_);
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    Host& h = *hosts_[i];
+    std::string idx = std::to_string(i);
+    h.pcie().register_metrics(registry_, "pcie.host" + idx);
+    h.rnic().register_metrics(registry_, "rnic.host" + idx);
+    h.pcie().set_tracer(&tracer_);
+    h.ctx().set_tracer(&tracer_);
+  }
+  registry_.counter_fn("contract.violations",
+                       [this] { return contract_violations(); });
+  for (std::size_t r = 0; r < verbs::kContractRuleCount; ++r) {
+    auto rule = static_cast<verbs::ContractRule>(r);
+    registry_.counter_fn(
+        "contract." + std::string(verbs::contract_rule_name(rule)),
+        [this, rule] {
+          std::uint64_t n = 0;
+          for (const auto& h : hosts_) {
+            if (const verbs::ContractChecker* ck = h->ctx().contract()) {
+              n += ck->count(rule);
+            }
+          }
+          return n;
+        });
   }
 }
 

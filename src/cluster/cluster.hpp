@@ -12,6 +12,8 @@
 
 #include "cluster/cpu.hpp"
 #include "fabric/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pcie/pcie.hpp"
 #include "rnic/calibration.hpp"
 #include "rnic/rnic.hpp"
@@ -36,6 +38,67 @@ struct ClusterConfig {
   static ClusterConfig apt();
   /// Susitna: Opteron 6272, ConnectX-3 40 Gbps RoCE, PCIe 2.0 x8 (Table 2).
   static ClusterConfig susitna();
+
+  /// Consistency checks; returns human-readable problems (empty = valid).
+  /// ClusterConfigBuilder::build() enforces this; constructing a Cluster
+  /// from a raw struct stays unchecked so tests can model broken setups.
+  std::vector<std::string> validate() const;
+};
+
+/// Fluent, validating construction of a ClusterConfig:
+///
+///   auto cfg = ClusterConfigBuilder(ClusterConfig::apt())
+///                  .link_gbps(3.9)
+///                  .loss_probability(1e-6)
+///                  .build();   // throws std::invalid_argument on nonsense
+class ClusterConfigBuilder {
+ public:
+  explicit ClusterConfigBuilder(ClusterConfig base = ClusterConfig::apt())
+      : cfg_(std::move(base)) {}
+
+  ClusterConfigBuilder& name(std::string v) {
+    cfg_.name = std::move(v);
+    return *this;
+  }
+  ClusterConfigBuilder& rnic(const rnic::RnicCalibration& v) {
+    cfg_.rnic = v;
+    return *this;
+  }
+  ClusterConfigBuilder& pcie(const pcie::PcieConfig& v) {
+    cfg_.pcie = v;
+    return *this;
+  }
+  ClusterConfigBuilder& fabric(const fabric::FabricConfig& v) {
+    cfg_.fabric = v;
+    return *this;
+  }
+  ClusterConfigBuilder& cpu(const CpuModel& v) {
+    cfg_.cpu = v;
+    return *this;
+  }
+  ClusterConfigBuilder& link_gbps(double v) {
+    cfg_.fabric.link_gbps = v;
+    return *this;
+  }
+  ClusterConfigBuilder& mtu(std::uint32_t v) {
+    cfg_.fabric.mtu = v;
+    return *this;
+  }
+  ClusterConfigBuilder& loss_probability(double v) {
+    cfg_.fabric.loss_probability = v;
+    return *this;
+  }
+  ClusterConfigBuilder& contract_check(bool v) {
+    cfg_.contract_check = v;
+    return *this;
+  }
+
+  /// Validates and returns the config; throws std::invalid_argument
+  /// listing every problem when the setup is inconsistent.
+  ClusterConfig build() const;
+
+ private:
+  ClusterConfig cfg_;
 };
 
 /// One machine: DRAM, a PCIe link, an RNIC, and a verbs context.
@@ -77,6 +140,19 @@ class Cluster {
   std::size_t size() const { return hosts_.size(); }
   const ClusterConfig& config() const { return cfg_; }
 
+  /// The cluster-wide metric registry. All components (fabric, per-host
+  /// PCIe/RNIC, contract checkers) are linked at construction under stable
+  /// names: "fabric.*", "pcie.host<i>.*", "rnic.host<i>.*", "contract.*".
+  obs::MetricRegistry& metrics() { return registry_; }
+  const obs::MetricRegistry& metrics() const { return registry_; }
+  /// Point-in-time snapshot of every linked metric.
+  obs::Snapshot snapshot() const { return registry_.snapshot(); }
+
+  /// The cluster-wide tracer, pre-wired into fabric, PCIe, and verb flows.
+  /// Off until Tracer::enable() is called.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
   /// Total verbs-contract violations across all hosts (0 when the checker
   /// is disabled).
   std::uint64_t contract_violations() const;
@@ -86,6 +162,8 @@ class Cluster {
  private:
   ClusterConfig cfg_;
   sim::Engine engine_;
+  obs::MetricRegistry registry_;
+  obs::Tracer tracer_;
   fabric::Fabric fabric_;
   std::vector<std::unique_ptr<Host>> hosts_;
 };

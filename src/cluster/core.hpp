@@ -40,6 +40,7 @@ class SequentialCore {
   /// Charges time without a continuation (e.g. accounting for poll work).
   sim::Tick charge(sim::Tick cost) { return res_.acquire(cost); }
 
+  const std::string& name() const { return res_.name(); }
   sim::Tick busy_until() const { return res_.next_free(); }
   sim::Tick busy_time() const { return res_.busy_time(); }
   double utilization() const { return res_.utilization(); }

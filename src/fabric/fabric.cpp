@@ -69,6 +69,12 @@ void Fabric::transmit_at(sim::Tick start, std::uint32_t src, std::uint32_t dst,
   // contention from many senders is resolved).
   sim::Tick at_switch = ports_[src].tx->acquire_at(start, ser) + hop;
   sim::Tick arrival = ports_[dst].rx->acquire_at(at_switch, ser);
+  if (obs::tracing(tracer_)) {
+    tracer_->span(ports_[src].tx->name(), "wire_tx", at_switch - hop - ser,
+                  at_switch - hop, std::to_string(wire_bytes) + "B");
+    tracer_->span(ports_[dst].rx->name(), "wire_rx", arrival - ser, arrival,
+                  std::to_string(wire_bytes) + "B");
+  }
   engine_->schedule_at(arrival, std::move(on_arrival));
 }
 

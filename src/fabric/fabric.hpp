@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/rng.hpp"
@@ -115,6 +117,14 @@ class Fabric {
   std::uint64_t messages_degraded() const { return degraded_; }
   void count_loss() { ++lost_; }
 
+  /// Links fabric counters under `prefix` (e.g. "fabric").
+  void register_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
+    reg.link(prefix + ".messages_lost", &lost_);
+    reg.link(prefix + ".messages_degraded", &degraded_);
+  }
+
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   const FabricConfig& config() const { return cfg_; }
   std::size_t num_ports() const { return ports_.size(); }
   sim::Resource& tx_link(std::uint32_t port) { return *ports_[port].tx; }
@@ -131,8 +141,9 @@ class Fabric {
   std::vector<Port> ports_;
   sim::Pcg32 rng_;
   WireFaultModel* fault_ = nullptr;
-  std::uint64_t lost_ = 0;
-  std::uint64_t degraded_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter lost_;
+  obs::Counter degraded_;
 };
 
 }  // namespace herd::fabric

@@ -21,8 +21,12 @@ std::string json_window(const Window& w) {
 }
 
 std::string cpp_window(const Window& w) {
-  return "{" + std::to_string(w.start) + "ULL, " + std::to_string(w.end) +
-         "ULL}";
+  std::string s = "{";
+  s += std::to_string(w.start);
+  s += "ULL, ";
+  s += std::to_string(w.end);
+  s += "ULL}";
+  return s;
 }
 
 }  // namespace
@@ -263,13 +267,14 @@ void FaultInjector::arm_nic_stall(std::uint32_t host, sim::Resource& unit) {
   }
 }
 
-void FaultInjector::append_counters(sim::CounterReport& report) const {
-  report.add("fault.wire_losses", counters_.wire_losses);
-  report.add("fault.burst_entries", counters_.burst_entries);
-  report.add("fault.degraded_messages", counters_.degraded_messages);
-  report.add("fault.nic_stalls", counters_.nic_stalls);
-  report.add("fault.crashes", counters_.crashes);
-  report.add("fault.recoveries", counters_.recoveries);
+void FaultInjector::register_metrics(obs::MetricRegistry& reg,
+                                     const std::string& prefix) {
+  reg.link(prefix + ".wire_losses", &counters_.wire_losses);
+  reg.link(prefix + ".burst_entries", &counters_.burst_entries);
+  reg.link(prefix + ".degraded_messages", &counters_.degraded_messages);
+  reg.link(prefix + ".nic_stalls", &counters_.nic_stalls);
+  reg.link(prefix + ".crashes", &counters_.crashes);
+  reg.link(prefix + ".recoveries", &counters_.recoveries);
 }
 
 }  // namespace herd::fault

@@ -23,10 +23,10 @@
 #include <vector>
 
 #include "fabric/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/rng.hpp"
-#include "sim/stats.hpp"
 #include "sim/time.hpp"
 
 namespace herd::fault {
@@ -139,14 +139,15 @@ struct PlanEnvelope {
 /// the same (seed, envelope) always yields the same plan.
 FaultPlan sample_plan(std::uint64_t seed, const PlanEnvelope& env);
 
-/// Per-fault-type event tallies, surfaced via sim::CounterReport.
+/// Per-fault-type event tallies, linked into the obs::MetricRegistry as
+/// fault.* counters.
 struct FaultCounters {
-  std::uint64_t wire_losses = 0;       // messages dropped by the plan
-  std::uint64_t burst_entries = 0;     // good -> bad transitions taken
-  std::uint64_t degraded_messages = 0; // messages sent on a degraded link
-  std::uint64_t nic_stalls = 0;        // stall windows armed
-  std::uint64_t crashes = 0;           // proc crash events fired
-  std::uint64_t recoveries = 0;        // proc recovery events fired
+  obs::Counter wire_losses;        // messages dropped by the plan
+  obs::Counter burst_entries;      // good -> bad transitions taken
+  obs::Counter degraded_messages;  // messages sent on a degraded link
+  obs::Counter nic_stalls;         // stall windows armed
+  obs::Counter crashes;            // proc crash events fired
+  obs::Counter recoveries;         // proc recovery events fired
 };
 
 class FaultInjector final : public fabric::WireFaultModel {
@@ -166,7 +167,9 @@ class FaultInjector final : public fabric::WireFaultModel {
   const FaultPlan& plan() const { return plan_; }
   FaultCounters& counters() { return counters_; }
   const FaultCounters& counters() const { return counters_; }
-  void append_counters(sim::CounterReport& report) const;
+
+  /// Links the fault tallies under `prefix` (e.g. "fault").
+  void register_metrics(obs::MetricRegistry& reg, const std::string& prefix);
 
  private:
   /// Advances fault `i`'s good/bad chain to simulated time `now`.

@@ -114,7 +114,7 @@ void HerdClient::issue(const workload::Op& op) {
   ++stats_.issued;
 
   sim::Tick cost = cpu_.post_recv + kComposeCost + cpu_.post_send;
-  core_.run(cost, [this, op, s, r]() {
+  core_.run(cost, [this, op, s, r, cost]() {
     // 1. RECV for the response, on the s-th UD QP (§4.3).
     std::uint64_t rbuf = resp_base_ +
                          (std::uint64_t{s} * cfg_.window +
@@ -125,6 +125,16 @@ void HerdClient::issue(const workload::Op& op) {
 
     sim::Tick now = host_->ctx().engine().now();
     std::uint64_t seq = next_seq_++;
+    obs::Tracer* tr = host_->ctx().tracer();
+    if (tr != nullptr && trace_seq_ == 0 && tr->sample()) {
+      // This request is sampled: the window stays open (and every layer
+      // records) until it reaches a terminal state.
+      trace_seq_ = seq;
+    }
+    if (obs::tracing(tr)) {
+      tr->span(core_.name(), "client_post", now - cost, now,
+               "seq=" + std::to_string(seq));
+    }
     if (observer_ != nullptr) observer_->on_invoke(id_, seq, op, now);
     InFlight fl;
     fl.sent = now;
@@ -263,6 +273,14 @@ void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq) {
     // Terminal state: the request failed its deadline. The slot frees and a
     // very late response will be dropped by its stale token.
     if (observer_ != nullptr) observer_->on_deadline(id_, it->seq, now);
+    if (trace_seq_ == it->seq) {
+      obs::Tracer* tr = host_->ctx().tracer();
+      if (tr != nullptr) {
+        tr->instant(core_.name(), "deadline_exceeded", now);
+        tr->release();
+      }
+      trace_seq_ = 0;
+    }
     inflight_[s].erase(it);
     ++stats_.deadline_exceeded;
     assert(outstanding_ > 0);
@@ -456,7 +474,19 @@ void HerdClient::handle_response(const verbs::Wc& wc) {
     }
   }
   ++stats_.completed;
-  latency_.record(host_->ctx().engine().now() - fl.sent);
+  sim::Tick done = host_->ctx().engine().now();
+  latency_.record(done - fl.sent);
+  if (trace_seq_ == fl.seq) {
+    obs::Tracer* tr = host_->ctx().tracer();
+    if (tr != nullptr) {
+      if (tr->active()) {
+        tr->span(core_.name(), "request", fl.sent, done,
+                 "seq=" + std::to_string(fl.seq));
+      }
+      tr->release();
+    }
+    trace_seq_ = 0;
+  }
   assert(outstanding_ > 0);
   --outstanding_;
   pump();

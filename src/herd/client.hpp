@@ -181,6 +181,11 @@ class HerdClient {
   HistoryObserver* observer_ = nullptr;
   Stats stats_;
   sim::LatencyHistogram latency_;
+  /// seq of the request currently holding a tracer sampling window open
+  /// (0 = none). The client is the sampling driver: it opens the window
+  /// when a sampled request is posted, so every downstream layer records,
+  /// and releases it when the request reaches a terminal state.
+  std::uint64_t trace_seq_ = 0;
 };
 
 }  // namespace herd::core

@@ -379,9 +379,16 @@ void HerdService::advance(std::uint32_t s) {
 
   // The core finishes this batch later; if the process crashes in between,
   // the work dies with it (epoch mismatch) and retries re-drive it.
-  p.core->run(cost, [this, s, epoch = p.epoch, done = std::move(done)]() {
+  p.core->run(cost, [this, s, cost, epoch = p.epoch,
+                     done = std::move(done)]() {
     Proc& pp = *procs_[s];
     if (pp.epoch != epoch || !pp.alive) return;
+    obs::Tracer* tr = host_->ctx().tracer();
+    if (!done.empty() && obs::tracing(tr)) {
+      sim::Tick end = host_->ctx().engine().now();
+      tr->span(pp.core->name(), "mica_op", end - cost, end,
+               std::to_string(done.size()) + " op(s)");
+    }
     for (const Pending& d : done) complete(s, d);
   });
 
@@ -395,6 +402,17 @@ void HerdService::advance(std::uint32_t s) {
 void HerdService::complete(std::uint32_t s, const Pending& p) {
   Proc& proc = *procs_[s];
   ++proc.stats.requests;
+  {
+    obs::Tracer* tr = host_->ctx().tracer();
+    if (obs::tracing(tr)) {
+      const char* kind = p.request.is_delete ? "delete"
+                         : p.request.is_put  ? "put"
+                                             : "get";
+      tr->instant(proc.core->name(), std::string("serve_") + kind,
+                  host_->ctx().engine().now(),
+                  "client=" + std::to_string(p.client));
+    }
+  }
 
   // EREW normally guarantees s == partition_of(key). Under failover a
   // client re-targets a surviving process, which serves the crashed

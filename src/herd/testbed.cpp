@@ -1,9 +1,86 @@
 #include "herd/testbed.hpp"
 
 #include <algorithm>
-#include <array>
+#include <stdexcept>
+
+#include "herd/protocol.hpp"
 
 namespace herd::core {
+
+std::vector<std::string> TestbedConfig::validate() const {
+  std::vector<std::string> problems = cluster.validate();
+  if (herd.n_server_procs == 0) {
+    problems.push_back("herd.n_server_procs must be >= 1");
+  }
+  if (herd.n_clients == 0) {
+    problems.push_back("herd.n_clients must be >= 1");
+  }
+  if (clients_per_host == 0) {
+    problems.push_back("clients_per_host must be >= 1");
+  }
+  if (herd.window == 0) {
+    problems.push_back("herd.window must be >= 1 (no outstanding requests "
+                       "means no traffic)");
+  }
+  if (herd.window > verbs::kDefaultCqCapacity) {
+    problems.push_back(
+        "herd.window " + std::to_string(herd.window) +
+        " exceeds the receive-queue depth " +
+        std::to_string(verbs::kDefaultCqCapacity) +
+        " (responses would arrive with no RECV posted and be RNR-dropped)");
+  }
+  if (herd.inline_threshold > cluster.rnic.max_inline) {
+    problems.push_back(
+        "herd.inline_threshold " + std::to_string(herd.inline_threshold) +
+        " > rnic.max_inline " + std::to_string(cluster.rnic.max_inline) +
+        " (the RNIC rejects inline payloads above max_inline_data; lower "
+        "the threshold or raise the calibration)");
+  }
+  if (herd.inline_threshold > cluster.fabric.mtu) {
+    problems.push_back(
+        "herd.inline_threshold " + std::to_string(herd.inline_threshold) +
+        " > fabric.mtu " + std::to_string(cluster.fabric.mtu));
+  }
+  if (herd.response_ring == 0) {
+    problems.push_back("herd.response_ring must be >= 1");
+  }
+  if (workload.value_len == 0 || workload.value_len > kMaxValue) {
+    problems.push_back("workload.value_len must be in [1, " +
+                       std::to_string(kMaxValue) + "], got " +
+                       std::to_string(workload.value_len));
+  }
+  if (workload.n_keys == 0) {
+    problems.push_back("workload.n_keys must be >= 1");
+  }
+  if ((resilience.deadline > 0 || resilience.failover_threshold > 0) &&
+      !herd.request_tokens) {
+    problems.push_back(
+        "resilience deadlines/failover require herd.request_tokens "
+        "(late or failed-over responses must carry a correlation token)");
+  }
+  if (herd.request_tokens && herd.mutation_dedup &&
+      resilience.retry_timeout > 0 && resilience.deadline > 0 &&
+      herd.dedup_retention <= resilience.deadline + resilience.backoff_max) {
+    problems.push_back(
+        "herd.dedup_retention must exceed resilience.deadline + "
+        "resilience.backoff_max, or a late retry outlives its "
+        "duplicate-suppression entry and re-applies the mutation");
+  }
+  return problems;
+}
+
+TestbedConfig TestbedConfigBuilder::build() const {
+  std::vector<std::string> problems = cfg_.validate();
+  if (!problems.empty()) {
+    std::string msg = "TestbedConfig invalid:";
+    for (const std::string& p : problems) {
+      msg += "\n  - ";
+      msg += p;
+    }
+    throw std::invalid_argument(msg);
+  }
+  return cfg_;
+}
 
 HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
   const HerdConfig& h = cfg_.herd;
@@ -82,6 +159,77 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
     clients_.back()->set_observer(cfg_.observer);
   }
   proc_requests_.assign(h.n_server_procs, 0);
+
+  // --- Metric registration -------------------------------------------------
+  // The cluster registered fabric.*, pcie.host<i>.*, rnic.host<i>.*, and
+  // contract.* at construction; the testbed adds the aggregates that need
+  // knowledge of which host is the server and how procs/clients sum up.
+  obs::MetricRegistry& reg = cluster_->metrics();
+  if (fault_) fault_->register_metrics(reg, "fault");
+
+  const rnic::RnicCounters& nic = cluster_->host(0).rnic().counters();
+  reg.link("server_rnic.retransmissions", &nic.retransmissions);
+  reg.link("server_rnic.retry_exhausted", &nic.retry_exhausted);
+  reg.link("server_rnic.rnr_drops", &nic.rnr_drops);
+  reg.link("server_rnic.dropped_packets", &nic.dropped_packets);
+
+  auto sum_proc = [this](std::uint64_t HerdService::ProcStats::* field) {
+    return [this, field] {
+      std::uint64_t n = 0;
+      for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
+        n += service_->proc_stats(s).*field;
+      }
+      return n;
+    };
+  };
+  reg.counter_fn("service.requests",
+                 sum_proc(&HerdService::ProcStats::requests));
+  reg.counter_fn("service.bad_requests",
+                 sum_proc(&HerdService::ProcStats::bad_requests));
+  reg.counter_fn("service.duplicate_mutations",
+                 sum_proc(&HerdService::ProcStats::duplicate_mutations));
+  reg.counter_fn("service.dropped_while_dead",
+                 sum_proc(&HerdService::ProcStats::dropped_while_dead));
+  reg.counter_fn("service.rescan_dropped",
+                 sum_proc(&HerdService::ProcStats::rescan_dropped));
+  reg.counter_fn("service.foreign_serves",
+                 sum_proc(&HerdService::ProcStats::foreign_serves));
+  reg.counter_fn("service.crashes",
+                 sum_proc(&HerdService::ProcStats::crashes));
+  reg.counter_fn("service.recoveries",
+                 sum_proc(&HerdService::ProcStats::recoveries));
+
+  auto sum_client = [this](std::uint64_t HerdClient::Stats::* field) {
+    return [this, field] {
+      std::uint64_t n = 0;
+      for (const auto& c : clients_) n += c->stats().*field;
+      return n;
+    };
+  };
+  reg.counter_fn("client.issued", sum_client(&HerdClient::Stats::issued));
+  reg.counter_fn("client.completed",
+                 sum_client(&HerdClient::Stats::completed));
+  reg.counter_fn("client.retries", sum_client(&HerdClient::Stats::retries));
+  reg.counter_fn("client.deadline_exceeded",
+                 sum_client(&HerdClient::Stats::deadline_exceeded));
+  reg.counter_fn("client.failovers",
+                 sum_client(&HerdClient::Stats::failovers));
+  reg.counter_fn("client.probes", sum_client(&HerdClient::Stats::probes));
+  reg.counter_fn("client.duplicate_responses",
+                 sum_client(&HerdClient::Stats::duplicate_responses));
+  reg.counter_fn("client.bad_responses",
+                 sum_client(&HerdClient::Stats::bad_responses));
+  reg.counter_fn("client.value_mismatches",
+                 sum_client(&HerdClient::Stats::value_mismatches));
+  reg.histogram_fn("client.latency", [this] {
+    sim::LatencyHistogram merged;
+    for (const auto& c : clients_) merged.merge(c->latency());
+    return merged;
+  });
+
+  if (cfg_.trace_sample_every > 0) {
+    cluster_->tracer().enable(cfg_.trace_sample_every);
+  }
 }
 
 HerdTestbed::RunResult HerdTestbed::run(sim::Tick warmup, sim::Tick measure) {
@@ -120,74 +268,6 @@ HerdTestbed::RunResult HerdTestbed::run(sim::Tick warmup, sim::Tick measure) {
   r.p5_latency_us = merged.quantile_ns(0.05) / 1e3;
   r.p95_latency_us = merged.p95_ns() / 1e3;
   return r;
-}
-
-sim::CounterReport HerdTestbed::counter_report() const {
-  sim::CounterReport rep;
-  rep.add("fabric.messages_lost", cluster_->fabric().messages_lost());
-  rep.add("fabric.messages_degraded", cluster_->fabric().messages_degraded());
-  if (fault_) fault_->append_counters(rep);
-
-  const rnic::RnicCounters& nic = cluster_->host(0).rnic().counters();
-  rep.add("server_rnic.retransmissions", nic.retransmissions);
-  rep.add("server_rnic.retry_exhausted", nic.retry_exhausted);
-  rep.add("server_rnic.rnr_drops", nic.rnr_drops);
-  rep.add("server_rnic.dropped_packets", nic.dropped_packets);
-
-  std::uint64_t requests = 0, bad_requests = 0, dup = 0, dead_drops = 0;
-  std::uint64_t foreign = 0, crashes = 0, recoveries = 0, rescan_drops = 0;
-  for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
-    const auto& st = service_->proc_stats(s);
-    requests += st.requests;
-    bad_requests += st.bad_requests;
-    dup += st.duplicate_mutations;
-    dead_drops += st.dropped_while_dead;
-    foreign += st.foreign_serves;
-    crashes += st.crashes;
-    recoveries += st.recoveries;
-    rescan_drops += st.rescan_dropped;
-  }
-  rep.add("service.requests", requests);
-  rep.add("service.bad_requests", bad_requests);
-  rep.add("service.duplicate_mutations", dup);
-  rep.add("service.dropped_while_dead", dead_drops);
-  rep.add("service.rescan_dropped", rescan_drops);
-  rep.add("service.foreign_serves", foreign);
-  rep.add("service.crashes", crashes);
-  rep.add("service.recoveries", recoveries);
-
-  std::uint64_t retries = 0, deadlines = 0, failovers = 0, probes = 0;
-  std::uint64_t dup_resp = 0;
-  for (const auto& c : clients_) {
-    const auto& st = c->stats();
-    retries += st.retries;
-    deadlines += st.deadline_exceeded;
-    failovers += st.failovers;
-    probes += st.probes;
-    dup_resp += st.duplicate_responses;
-  }
-  rep.add("client.retries", retries);
-  rep.add("client.deadline_exceeded", deadlines);
-  rep.add("client.failovers", failovers);
-  rep.add("client.probes", probes);
-  rep.add("client.duplicate_responses", dup_resp);
-
-  rep.add("contract.violations", contract_violations());
-  std::array<std::uint64_t, verbs::kContractRuleCount> per_rule{};
-  for (std::size_t i = 0; i < cluster_->size(); ++i) {
-    const verbs::ContractChecker* ck = cluster_->host(i).ctx().contract();
-    if (ck == nullptr) continue;
-    for (std::size_t r = 0; r < verbs::kContractRuleCount; ++r) {
-      per_rule[r] += ck->count(static_cast<verbs::ContractRule>(r));
-    }
-  }
-  for (std::size_t r = 0; r < verbs::kContractRuleCount; ++r) {
-    if (per_rule[r] == 0) continue;
-    rep.add("contract." + std::string(contract_rule_name(
-                              static_cast<verbs::ContractRule>(r))),
-            per_rule[r]);
-  }
-  return rep;
 }
 
 std::uint64_t HerdTestbed::contract_violations() const {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -15,7 +16,8 @@
 #include "herd/client.hpp"
 #include "herd/config.hpp"
 #include "herd/service.hpp"
-#include "sim/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/workload.hpp"
 
 namespace herd::core {
@@ -41,9 +43,138 @@ struct TestbedConfig {
   /// must outlive the testbed). nullptr = no recording.
   HistoryObserver* observer = nullptr;
   /// Attach the verbs contract checker (collect mode) to every host's
-  /// context. Violations surface in counter_report() as "contract.*" and
+  /// context. Violations surface in snapshot() as "contract.*" and
   /// through contract_violations().
   bool contract_check = true;
+  /// Request-lifecycle tracing: when nonzero, the cluster tracer is enabled
+  /// and every Nth client request opens a sampling window (all layers record
+  /// spans while a sampled request is in flight). 0 = tracing off; the
+  /// hot-path cost of "off" is one branch per potential span.
+  std::uint64_t trace_sample_every = 0;
+
+  /// Cross-layer consistency checks; returns human-readable problems
+  /// (empty = valid). TestbedConfigBuilder::build() enforces this;
+  /// constructing a HerdTestbed from a raw struct stays unchecked so tests
+  /// can model deliberately broken setups.
+  std::vector<std::string> validate() const;
+};
+
+/// Fluent, validating construction of a TestbedConfig:
+///
+///   auto cfg = TestbedConfigBuilder()
+///                  .cluster(cluster::ClusterConfig::apt())
+///                  .server_procs(6).clients(51).window(4)
+///                  .value_len(32)
+///                  .build();   // throws std::invalid_argument on nonsense
+class TestbedConfigBuilder {
+ public:
+  explicit TestbedConfigBuilder(TestbedConfig base = {})
+      : cfg_(std::move(base)) {}
+
+  TestbedConfigBuilder& cluster(const cluster::ClusterConfig& v) {
+    cfg_.cluster = v;
+    return *this;
+  }
+  TestbedConfigBuilder& herd(const HerdConfig& v) {
+    cfg_.herd = v;
+    return *this;
+  }
+  TestbedConfigBuilder& workload(const workload::WorkloadConfig& v) {
+    cfg_.workload = v;
+    return *this;
+  }
+  TestbedConfigBuilder& server_procs(std::uint32_t v) {
+    cfg_.herd.n_server_procs = v;
+    return *this;
+  }
+  TestbedConfigBuilder& clients(std::uint32_t v) {
+    cfg_.herd.n_clients = v;
+    return *this;
+  }
+  TestbedConfigBuilder& clients_per_host(std::uint32_t v) {
+    cfg_.clients_per_host = v;
+    return *this;
+  }
+  TestbedConfigBuilder& window(std::uint32_t v) {
+    cfg_.herd.window = v;
+    return *this;
+  }
+  TestbedConfigBuilder& inline_threshold(std::uint32_t v) {
+    cfg_.herd.inline_threshold = v;
+    return *this;
+  }
+  TestbedConfigBuilder& mode(RequestMode v) {
+    cfg_.herd.mode = v;
+    return *this;
+  }
+  TestbedConfigBuilder& request_tokens(bool v) {
+    cfg_.herd.request_tokens = v;
+    return *this;
+  }
+  TestbedConfigBuilder& value_len(std::uint32_t v) {
+    cfg_.workload.value_len = v;
+    return *this;
+  }
+  TestbedConfigBuilder& get_fraction(double v) {
+    cfg_.workload.get_fraction = v;
+    return *this;
+  }
+  TestbedConfigBuilder& n_keys(std::uint64_t v) {
+    cfg_.workload.n_keys = v;
+    return *this;
+  }
+  TestbedConfigBuilder& zipf(bool on, double theta = 0.99) {
+    cfg_.workload.zipf = on;
+    cfg_.workload.zipf_theta = theta;
+    return *this;
+  }
+  TestbedConfigBuilder& mica_buckets_log2(std::uint32_t v) {
+    cfg_.herd.mica.bucket_count_log2 = v;
+    return *this;
+  }
+  TestbedConfigBuilder& mica_log_bytes(std::uint64_t v) {
+    cfg_.herd.mica.log_bytes = v;
+    return *this;
+  }
+  TestbedConfigBuilder& verify_values(bool v) {
+    cfg_.verify_values = v;
+    return *this;
+  }
+  TestbedConfigBuilder& preload_keys(std::uint64_t v) {
+    cfg_.preload_keys = v;
+    return *this;
+  }
+  TestbedConfigBuilder& seed(std::uint64_t v) {
+    cfg_.seed = v;
+    return *this;
+  }
+  TestbedConfigBuilder& fault_plan(fault::FaultPlan v) {
+    cfg_.fault_plan = std::move(v);
+    return *this;
+  }
+  TestbedConfigBuilder& resilience(const ClientResilience& v) {
+    cfg_.resilience = v;
+    return *this;
+  }
+  TestbedConfigBuilder& observer(HistoryObserver* v) {
+    cfg_.observer = v;
+    return *this;
+  }
+  TestbedConfigBuilder& contract_check(bool v) {
+    cfg_.contract_check = v;
+    return *this;
+  }
+  TestbedConfigBuilder& trace_sample_every(std::uint64_t v) {
+    cfg_.trace_sample_every = v;
+    return *this;
+  }
+
+  /// Validates and returns the config; throws std::invalid_argument
+  /// listing every problem when the setup is inconsistent.
+  TestbedConfig build() const;
+
+ private:
+  TestbedConfig cfg_;
 };
 
 class HerdTestbed {
@@ -80,16 +211,32 @@ class HerdTestbed {
   /// Per-server-process throughput over the last run window (Fig. 14).
   std::vector<double> per_proc_mops() const;
 
-  /// End-of-run counter dump: wire losses, per-fault-type events, RNIC
-  /// retransmission/drop counters, and service/client resilience tallies.
-  sim::CounterReport counter_report() const;
+  /// The testbed-wide metric registry (the cluster's, extended with
+  /// "service.*", "client.*", "server_rnic.*", and — when a fault plan is
+  /// armed — "fault.*" aggregates).
+  obs::MetricRegistry& metrics() { return cluster_->metrics(); }
+  const obs::MetricRegistry& metrics() const { return cluster_->metrics(); }
+
+  /// End-of-run metric dump: one deterministic snapshot of every registered
+  /// counter/gauge/histogram (wire losses, per-fault-type events, RNIC
+  /// retransmission/drop counters, service/client resilience tallies,
+  /// contract violations, client latency quantiles).
+  obs::Snapshot snapshot() const { return cluster_->snapshot(); }
+
+  /// The cluster tracer (enabled when TestbedConfig::trace_sample_every is
+  /// nonzero, or by hand via tracer().enable()).
+  obs::Tracer& tracer() { return cluster_->tracer(); }
+  /// Chrome trace_event JSON of everything recorded so far (load in
+  /// chrome://tracing or Perfetto).
+  std::string trace_json() const { return cluster_->tracer().chrome_json(); }
 
   /// The armed injector (nullptr when fault_plan was empty).
   fault::FaultInjector* fault() { return fault_.get(); }
 
   /// Total ibverbs-contract violations recorded across all hosts (0 when
   /// contract_check is off). A nonzero count means some component misused
-  /// the verbs layer — see counter_report() for the per-rule breakdown and
+  /// the verbs layer — see snapshot()'s contract.* entries for the
+  /// per-rule breakdown and
   /// contract_diagnostics() for the offending posts.
   std::uint64_t contract_violations() const;
   /// Formatted diagnostics of retained violations, one per line.

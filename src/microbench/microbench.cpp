@@ -1,0 +1,36 @@
+#include "microbench/microbench.hpp"
+
+namespace herd::microbench {
+
+namespace {
+RunRecord g_last;  // NOLINT: process-wide last-run record
+}  // namespace
+
+const RunRecord& last_run() { return g_last; }
+
+double Microbench::run(const cluster::ClusterConfig& cfg) {
+  record_.value = 0;
+  record_.snapshot = {};
+  record_.value = execute(cfg);
+  g_last = record_;
+  return record_.value;
+}
+
+double Microbench::measure_rate(cluster::Cluster& cl,
+                                const std::function<std::uint64_t()>& count,
+                                sim::Tick measure) {
+  auto& eng = cl.engine();
+  eng.run_until(eng.now() + sim::ms(1));  // warm-up
+  std::uint64_t before = count();
+  sim::Tick start = eng.now();
+  eng.run_until(start + measure);
+  finish(cl);
+  return static_cast<double>(count() - before) / sim::to_sec(measure) / 1e6;
+}
+
+void Microbench::finish(cluster::Cluster& cl) {
+  cluster::require_contract_clean(cl);
+  record_.snapshot = cl.snapshot();
+}
+
+}  // namespace herd::microbench

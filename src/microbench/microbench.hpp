@@ -1,0 +1,69 @@
+// Shared microbench harness (`herd::microbench`).
+//
+// Every driver (verb latency, verb throughput, ECHO) runs the same
+// protocol: build a cluster, start traffic, warm up, measure, then refuse
+// to report if the verbs contract checker saw any misuse — a bad posting
+// skews the number rather than crashing, so a dirty run is not a result.
+// Microbench centralizes that protocol plus the end-of-run registry
+// snapshot, so each driver only describes its deployment and what to count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "obs/metrics.hpp"
+
+namespace herd::microbench {
+
+/// What one driver run produced: the headline number plus the cluster's
+/// full metric snapshot at measurement end (retransmissions, cache churn,
+/// PCIe traffic — the "why" behind the headline).
+struct RunRecord {
+  std::string name;
+  std::string unit;  // "Mops" or "us"
+  double value = 0;
+  obs::Snapshot snapshot;
+};
+
+/// Base class for microbench drivers. Subclasses implement execute() —
+/// build the deployment, start traffic, and return the headline value via
+/// the protected helpers, which enforce the contract gate and capture the
+/// snapshot. Drivers that build several clusters (verb latency) call
+/// finish() per cluster; the record keeps the last snapshot.
+class Microbench {
+ public:
+  Microbench(std::string name, std::string unit)
+      : record_{std::move(name), std::move(unit), 0, {}} {}
+  virtual ~Microbench() = default;
+
+  /// Runs the bench and returns the headline value. Also publishes the
+  /// RunRecord through last_run() (member and namespace-level).
+  double run(const cluster::ClusterConfig& cfg);
+
+  const RunRecord& last_run() const { return record_; }
+
+ protected:
+  virtual double execute(const cluster::ClusterConfig& cfg) = 0;
+
+  /// Rate protocol: 1 ms warm-up, latch `count`, run `measure` of
+  /// simulated time, finish(), and return the delta in Mops.
+  double measure_rate(cluster::Cluster& cl,
+                      const std::function<std::uint64_t()>& count,
+                      sim::Tick measure);
+
+  /// Contract gate + registry snapshot. Call once per cluster, after its
+  /// traffic is done; throws on any recorded verbs-contract violation.
+  void finish(cluster::Cluster& cl);
+
+ private:
+  RunRecord record_;
+};
+
+/// Record of the most recent Microbench::run() in this process. The free
+/// driver wrappers (inbound_tput, echo_tput, ...) keep their plain-double
+/// signatures; bench binaries read the matching snapshot from here.
+const RunRecord& last_run();
+
+}  // namespace herd::microbench

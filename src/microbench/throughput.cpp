@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/core.hpp"
+#include "microbench/microbench.hpp"
 #include "sim/rng.hpp"
 #include "verbs/verbs.hpp"
 
@@ -92,23 +93,46 @@ verbs::SendWr make_wr(const TputSpec& spec, const verbs::Mr& local,
   return wr;
 }
 
-double measure_rate(cluster::Cluster& cl, const std::uint64_t& counter,
-                    sim::Tick measure) {
-  auto& eng = cl.engine();
-  eng.run_until(eng.now() + sim::ms(1));  // warm-up
-  std::uint64_t before = counter;
-  sim::Tick start = eng.now();
-  eng.run_until(start + measure);
-  // A verbs misuse would skew the number, not just crash; refuse to report.
-  cluster::require_contract_clean(cl);
-  return static_cast<double>(counter - before) / sim::to_sec(measure) / 1e6;
+/// Counts one direction of the server RNIC's verb pipeline.
+std::function<std::uint64_t()> rnic_ops(cluster::Cluster& cl,
+                                        bool inbound) {
+  return [&cl, inbound]() -> std::uint64_t {
+    const rnic::RnicCounters& c = cl.host(0).rnic().counters();
+    return inbound ? c.rx_ops.value() : c.tx_ops.value();
+  };
 }
 
-}  // namespace
+/// The five throughput experiments share everything but the deployment;
+/// each is a thin Microbench whose execute() builds it and counts one
+/// direction of the server RNIC's pipeline.
+class TputBench : public Microbench {
+ public:
+  TputBench(const char* name, const TputSpec& spec, sim::Tick measure)
+      : Microbench(name, "Mops"),
+        spec_(normalized(spec)),
+        measure_(measure) {}
 
-double inbound_tput(const cluster::ClusterConfig& cfg, const TputSpec& spec_in,
-                    std::uint32_t n_clients, sim::Tick measure) {
-  TputSpec spec = normalized(spec_in);
+ protected:
+  TputSpec spec_;
+  sim::Tick measure_;
+};
+
+class InboundTputBench final : public TputBench {
+ public:
+  InboundTputBench(const TputSpec& spec, std::uint32_t n_clients,
+                   sim::Tick measure)
+      : TputBench("inbound_tput", spec, measure), n_clients_(n_clients) {}
+
+ protected:
+  double execute(const cluster::ClusterConfig& cfg) override;
+
+ private:
+  std::uint32_t n_clients_;
+};
+
+double InboundTputBench::execute(const cluster::ClusterConfig& cfg) {
+  const TputSpec& spec = spec_;
+  std::uint32_t n_clients = n_clients_;
   cluster::Cluster cl(cfg, 1 + n_clients, 1u << 20);
   auto& server = cl.host(0);
   auto server_cq = server.ctx().create_cq();
@@ -140,13 +164,25 @@ double inbound_tput(const cluster::ClusterConfig& cfg, const TputSpec& spec_in,
         });
   }
   for (auto& r : reqs) r.pump->start();
-  return measure_rate(cl, server.rnic().counters().rx_ops, measure);
+  return measure_rate(cl, rnic_ops(cl, true), measure_);
 }
 
-double outbound_tput(const cluster::ClusterConfig& cfg,
-                     const TputSpec& spec_in, std::uint32_t n_procs,
-                     sim::Tick measure) {
-  TputSpec spec = normalized(spec_in);
+class OutboundTputBench final : public TputBench {
+ public:
+  OutboundTputBench(const TputSpec& spec, std::uint32_t n_procs,
+                    sim::Tick measure)
+      : TputBench("outbound_tput", spec, measure), n_procs_(n_procs) {}
+
+ protected:
+  double execute(const cluster::ClusterConfig& cfg) override;
+
+ private:
+  std::uint32_t n_procs_;
+};
+
+double OutboundTputBench::execute(const cluster::ClusterConfig& cfg) {
+  const TputSpec& spec = spec_;
+  std::uint32_t n_procs = n_procs_;
   cluster::Cluster cl(cfg, 1 + n_procs, 1u << 20);
   auto& server = cl.host(0);
 
@@ -225,13 +261,25 @@ double outbound_tput(const cluster::ClusterConfig& cfg,
     }
   }
   for (auto& r : procs) r.pump->start();
-  return measure_rate(cl, server.rnic().counters().tx_ops, measure);
+  return measure_rate(cl, rnic_ops(cl, false), measure_);
 }
 
-double all_to_all_inbound(const cluster::ClusterConfig& cfg,
-                          const TputSpec& spec_in, std::uint32_t n,
-                          sim::Tick measure) {
-  TputSpec spec = normalized(spec_in);
+class AllToAllInboundBench final : public TputBench {
+ public:
+  AllToAllInboundBench(const TputSpec& spec, std::uint32_t n,
+                       sim::Tick measure)
+      : TputBench("all_to_all_inbound", spec, measure), n_(n) {}
+
+ protected:
+  double execute(const cluster::ClusterConfig& cfg) override;
+
+ private:
+  std::uint32_t n_;
+};
+
+double AllToAllInboundBench::execute(const cluster::ClusterConfig& cfg) {
+  const TputSpec& spec = spec_;
+  std::uint32_t n = n_;
   cluster::Cluster cl(cfg, 1 + n, 4u << 20);
   auto& server = cl.host(0);
   auto server_cq = server.ctx().create_cq();
@@ -267,13 +315,25 @@ double all_to_all_inbound(const cluster::ClusterConfig& cfg,
         });
   }
   for (auto& r : reqs) r.pump->start();
-  return measure_rate(cl, server.rnic().counters().rx_ops, measure);
+  return measure_rate(cl, rnic_ops(cl, true), measure_);
 }
 
-double all_to_all_outbound(const cluster::ClusterConfig& cfg,
-                           const TputSpec& spec_in, std::uint32_t n,
-                           sim::Tick measure) {
-  TputSpec spec = normalized(spec_in);
+class AllToAllOutboundBench final : public TputBench {
+ public:
+  AllToAllOutboundBench(const TputSpec& spec, std::uint32_t n,
+                        sim::Tick measure)
+      : TputBench("all_to_all_outbound", spec, measure), n_(n) {}
+
+ protected:
+  double execute(const cluster::ClusterConfig& cfg) override;
+
+ private:
+  std::uint32_t n_;
+};
+
+double AllToAllOutboundBench::execute(const cluster::ClusterConfig& cfg) {
+  const TputSpec& spec = spec_;
+  std::uint32_t n = n_;
   cluster::Cluster cl(cfg, 1 + n, 4u << 20);
   auto& server = cl.host(0);
 
@@ -354,13 +414,29 @@ double all_to_all_outbound(const cluster::ClusterConfig& cfg,
     }
   }
   for (auto& r : procs) r.pump->start();
-  return measure_rate(cl, server.rnic().counters().tx_ops, measure);
+  return measure_rate(cl, rnic_ops(cl, false), measure_);
 }
 
-double many_to_one_tput(const cluster::ClusterConfig& cfg,
-                        const TputSpec& spec_in, std::uint32_t n_processes,
-                        std::uint32_t n_machines, sim::Tick measure) {
-  TputSpec spec = normalized(spec_in);
+class ManyToOneTputBench final : public TputBench {
+ public:
+  ManyToOneTputBench(const TputSpec& spec, std::uint32_t n_processes,
+                     std::uint32_t n_machines, sim::Tick measure)
+      : TputBench("many_to_one_tput", spec, measure),
+        n_processes_(n_processes),
+        n_machines_(n_machines) {}
+
+ protected:
+  double execute(const cluster::ClusterConfig& cfg) override;
+
+ private:
+  std::uint32_t n_processes_;
+  std::uint32_t n_machines_;
+};
+
+double ManyToOneTputBench::execute(const cluster::ClusterConfig& cfg) {
+  const TputSpec& spec = spec_;
+  std::uint32_t n_processes = n_processes_;
+  std::uint32_t n_machines = n_machines_;
   std::uint64_t server_mem = std::uint64_t{n_processes} * 256 + 4096;
   cluster::Cluster cl(cfg, 1 + n_machines, std::max<std::uint64_t>(
                                                server_mem, 1u << 20));
@@ -394,7 +470,37 @@ double many_to_one_tput(const cluster::ClusterConfig& cfg,
         });
   }
   for (auto& r : reqs) r.pump->start();
-  return measure_rate(cl, server.rnic().counters().rx_ops, measure);
+  return measure_rate(cl, rnic_ops(cl, true), measure_);
+}
+
+}  // namespace
+
+double inbound_tput(const cluster::ClusterConfig& cfg, const TputSpec& spec,
+                    std::uint32_t n_clients, sim::Tick measure) {
+  return InboundTputBench(spec, n_clients, measure).run(cfg);
+}
+
+double outbound_tput(const cluster::ClusterConfig& cfg, const TputSpec& spec,
+                     std::uint32_t n_procs, sim::Tick measure) {
+  return OutboundTputBench(spec, n_procs, measure).run(cfg);
+}
+
+double all_to_all_inbound(const cluster::ClusterConfig& cfg,
+                          const TputSpec& spec, std::uint32_t n,
+                          sim::Tick measure) {
+  return AllToAllInboundBench(spec, n, measure).run(cfg);
+}
+
+double all_to_all_outbound(const cluster::ClusterConfig& cfg,
+                           const TputSpec& spec, std::uint32_t n,
+                           sim::Tick measure) {
+  return AllToAllOutboundBench(spec, n, measure).run(cfg);
+}
+
+double many_to_one_tput(const cluster::ClusterConfig& cfg,
+                        const TputSpec& spec, std::uint32_t n_processes,
+                        std::uint32_t n_machines, sim::Tick measure) {
+  return ManyToOneTputBench(spec, n_processes, n_machines, measure).run(cfg);
 }
 
 }  // namespace herd::microbench

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "microbench/microbench.hpp"
 #include "sim/stats.hpp"
 #include "verbs/verbs.hpp"
 
@@ -9,7 +10,8 @@ namespace herd::microbench {
 
 namespace {
 
-/// Ping-pong driver for one signaled verb type.
+/// Ping-pong driver for one signaled verb type. Contract gating and
+/// snapshotting are the caller's job (VerbLatencyBench::finish).
 double signaled_latency(cluster::Cluster& cl, verbs::Opcode opcode,
                         bool inlined, std::uint32_t payload,
                         std::uint32_t iters) {
@@ -56,7 +58,6 @@ double signaled_latency(cluster::Cluster& cl, verbs::Opcode opcode,
   });
   post();
   eng.run();
-  cluster::require_contract_clean(cl);
   return hist.mean_ns() / 1e3;
 }
 
@@ -118,37 +119,63 @@ double echo_latency(cluster::Cluster& cl, std::uint32_t payload,
                             });
   post();
   eng.run();
-  cluster::require_contract_clean(cl);
   return hist.mean_ns() / 1e3;
 }
+
+/// Fig. 2: each variant gets a fresh two-host cluster so QP caches and
+/// resource occupancy never bleed between measurements. finish() runs per
+/// cluster; the record keeps the last (ECHO or WRITE-inline) snapshot.
+class VerbLatencyBench final : public Microbench {
+ public:
+  VerbLatencyBench(std::uint32_t payload, std::uint32_t iters)
+      : Microbench("verb_latency", "us"), payload_(payload), iters_(iters) {}
+
+  const LatencyResult& result() const { return result_; }
+
+ protected:
+  double execute(const cluster::ClusterConfig& cfg) override {
+    LatencyResult& r = result_;
+    {
+      cluster::Cluster cl(cfg, 2, 64 << 10);
+      r.read_us =
+          signaled_latency(cl, verbs::Opcode::kRead, false, payload_, iters_);
+      finish(cl);
+    }
+    {
+      cluster::Cluster cl(cfg, 2, 64 << 10);
+      r.write_us = signaled_latency(cl, verbs::Opcode::kWrite, false,
+                                    payload_, iters_);
+      finish(cl);
+    }
+    if (payload_ <= cfg.rnic.max_inline) {
+      {
+        cluster::Cluster cl(cfg, 2, 64 << 10);
+        r.write_inline_us = signaled_latency(cl, verbs::Opcode::kWrite, true,
+                                             payload_, iters_);
+        finish(cl);
+      }
+      {
+        cluster::Cluster cl(cfg, 2, 64 << 10);
+        r.echo_us = echo_latency(cl, payload_, iters_);
+        finish(cl);
+      }
+    }
+    return r.write_us;
+  }
+
+ private:
+  std::uint32_t payload_;
+  std::uint32_t iters_;
+  LatencyResult result_{};
+};
 
 }  // namespace
 
 LatencyResult verb_latency(const cluster::ClusterConfig& cfg,
                            std::uint32_t payload, std::uint32_t iters) {
-  LatencyResult r;
-  {
-    cluster::Cluster cl(cfg, 2, 64 << 10);
-    r.read_us = signaled_latency(cl, verbs::Opcode::kRead, false, payload,
-                                 iters);
-  }
-  {
-    cluster::Cluster cl(cfg, 2, 64 << 10);
-    r.write_us = signaled_latency(cl, verbs::Opcode::kWrite, false, payload,
-                                  iters);
-  }
-  if (payload <= cfg.rnic.max_inline) {
-    {
-      cluster::Cluster cl(cfg, 2, 64 << 10);
-      r.write_inline_us = signaled_latency(cl, verbs::Opcode::kWrite, true,
-                                           payload, iters);
-    }
-    {
-      cluster::Cluster cl(cfg, 2, 64 << 10);
-      r.echo_us = echo_latency(cl, payload, iters);
-    }
-  }
-  return r;
+  VerbLatencyBench b(payload, iters);
+  b.run(cfg);
+  return b.result();
 }
 
 }  // namespace herd::microbench

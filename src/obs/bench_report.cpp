@@ -1,0 +1,184 @@
+#include "obs/bench_report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace herd::obs {
+
+void BenchReport::set_config(const std::string& key, Json value) {
+  config_[key] = std::move(value);
+}
+
+BenchReport::Series& BenchReport::series_slot(const std::string& name) {
+  for (Series& s : series_) {
+    if (s.name == name) return s;
+  }
+  bool declared = spec_.series.empty();
+  for (const std::string& s : spec_.series) {
+    if (s == name) declared = true;
+  }
+  if (!declared) {
+    throw std::logic_error("BenchReport: series '" + name +
+                           "' not declared in BenchSpec for " + spec_.figure);
+  }
+  series_.push_back(Series{name, {}});
+  return series_.back();
+}
+
+void BenchReport::add_point(
+    const std::string& series, double x,
+    std::vector<std::pair<std::string, double>> metrics) {
+  Json p = Json::object();
+  p["x"] = Json(x);
+  for (auto& [k, v] : metrics) p[k] = Json(v);
+  series_slot(series).points.push_back(std::move(p));
+}
+
+bool BenchReport::has_points() const {
+  for (const Series& s : series_) {
+    if (!s.points.empty()) return true;
+  }
+  return false;
+}
+
+Json BenchReport::to_json() const {
+  Json j = Json::object();
+  j["schema"] = Json(std::string(kBenchSchema));
+  j["figure"] = Json(spec_.figure);
+  j["title"] = Json(spec_.title);
+  j["git_rev"] = Json(git_rev_);
+  j["config"] = config_;
+  Json arr = Json::array();
+  // Declared order first, then any extras in first-use order.
+  auto emit = [&](const Series& s) {
+    Json e = Json::object();
+    e["name"] = Json(s.name);
+    Json pts = Json::array();
+    for (const Json& p : s.points) pts.push_back(p);
+    e["points"] = std::move(pts);
+    arr.push_back(std::move(e));
+  };
+  for (const std::string& name : spec_.series) {
+    for (const Series& s : series_) {
+      if (s.name == name) emit(s);
+    }
+  }
+  for (const Series& s : series_) {
+    bool declared = false;
+    for (const std::string& name : spec_.series) {
+      if (s.name == name) declared = true;
+    }
+    if (!declared) emit(s);
+  }
+  j["series"] = std::move(arr);
+  j["registry"] = have_snapshot_ ? snapshot_.to_json() : Json::object();
+  return j;
+}
+
+std::string BenchReport::write(const std::string& dir) const {
+  std::string base = dir.empty() ? std::string(".") : dir;
+  std::string path = base + "/BENCH_" + spec_.figure + ".json";
+  {
+    std::ofstream f(path);
+    if (!f) {
+      throw std::runtime_error("BenchReport: cannot write " + path);
+    }
+    f << to_json().dump(2) << '\n';
+  }
+  if (!trace_.empty()) {
+    std::string tpath = base + "/TRACE_" + spec_.figure + ".json";
+    std::ofstream f(tpath);
+    if (!f) {
+      throw std::runtime_error("BenchReport: cannot write " + tpath);
+    }
+    f << trace_;
+  }
+  return path;
+}
+
+std::vector<std::string> validate_bench_json(const Json& doc) {
+  std::vector<std::string> problems;
+  auto require_string = [&](const char* key) -> const Json* {
+    const Json* v = doc.find(key);
+    if (v == nullptr || !v->is_string()) {
+      problems.push_back(std::string("missing or non-string \"") + key +
+                         "\"");
+      return nullptr;
+    }
+    return v;
+  };
+
+  if (!doc.is_object()) {
+    problems.push_back("document is not a JSON object");
+    return problems;
+  }
+  if (const Json* s = require_string("schema")) {
+    if (s->as_string() != kBenchSchema) {
+      problems.push_back("schema is \"" + s->as_string() + "\", expected \"" +
+                         std::string(kBenchSchema) + "\"");
+    }
+  }
+  if (const Json* f = require_string("figure")) {
+    if (f->as_string().empty()) problems.push_back("figure is empty");
+  }
+  require_string("title");
+  require_string("git_rev");
+
+  const Json* config = doc.find("config");
+  if (config == nullptr || !config->is_object()) {
+    problems.push_back("missing or non-object \"config\"");
+  }
+
+  const Json* series = doc.find("series");
+  if (series == nullptr || !series->is_array() || series->size() == 0) {
+    problems.push_back("missing, non-array, or empty \"series\"");
+  } else {
+    for (std::size_t i = 0; i < series->elements().size(); ++i) {
+      const Json& s = series->elements()[i];
+      std::string where = "series[" + std::to_string(i) + "]";
+      const Json* name = s.find("name");
+      if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+        problems.push_back(where + ": missing series name");
+      } else {
+        where += " (" + name->as_string() + ")";
+      }
+      const Json* pts = s.find("points");
+      if (pts == nullptr || !pts->is_array() || pts->size() == 0) {
+        problems.push_back(where + ": missing or empty points");
+        continue;
+      }
+      for (std::size_t p = 0; p < pts->elements().size(); ++p) {
+        const Json& pt = pts->elements()[p];
+        std::string pw = where + ".points[" + std::to_string(p) + "]";
+        if (!pt.is_object()) {
+          problems.push_back(pw + ": not an object");
+          continue;
+        }
+        const Json* x = pt.find("x");
+        if (x == nullptr || !x->is_number()) {
+          problems.push_back(pw + ": missing numeric \"x\"");
+        }
+        std::size_t metrics = 0;
+        for (const auto& [k, v] : pt.items()) {
+          if (k != "x" && v.is_number()) ++metrics;
+        }
+        if (metrics == 0) {
+          problems.push_back(pw + ": no metric besides \"x\"");
+        }
+      }
+    }
+  }
+
+  const Json* reg = doc.find("registry");
+  if (reg == nullptr || !reg->is_object()) {
+    problems.push_back("missing or non-object \"registry\"");
+  } else if (reg->size() != 0) {
+    const Json* counters = reg->find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+      problems.push_back("registry: missing \"counters\" object");
+    }
+  }
+  return problems;
+}
+
+}  // namespace herd::obs

@@ -1,0 +1,104 @@
+// Machine-readable benchmark output: the BENCH_fig<N>.json trajectory.
+//
+// Each per-figure bench binary declares a BenchSpec (figure id, title,
+// series), records its paper-series points while running, and writes one
+// schema-versioned JSON document next to its stdout numbers. The schema is
+// deliberately small and stable:
+//
+//   {
+//     "schema":  "herd-bench/1",
+//     "figure":  "fig03",
+//     "title":   "Inbound throughput vs payload size",
+//     "git_rev": "<sha or 'unknown', passed in via --git-rev>",
+//     "config":  { ...experiment parameters... },
+//     "series": [
+//       {"name": "WRITE_UC", "points": [{"x": 4, "Mops": 34.9}, ...]},
+//       ...
+//     ],
+//     "registry": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//   }
+//
+// "registry" is the obs::Snapshot of the last measured run — the per-layer
+// evidence (PCIe transactions, RNIC ops, QP-cache misses) behind the
+// end-to-end series. validate_bench_json() is the single checker shared by
+// obs_test and tools/bench_schema_check (the CI gate).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace herd::obs {
+
+inline constexpr std::string_view kBenchSchema = "herd-bench/1";
+
+/// Declarative description of one figure-reproducing benchmark.
+struct BenchSpec {
+  std::string figure;  // "fig03" -> BENCH_fig03.json
+  std::string title;
+  /// Declared series names; points may only land on these (a typo in a
+  /// series name throws instead of silently forking the data).
+  std::vector<std::string> series;
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(BenchSpec spec) : spec_(std::move(spec)) {}
+
+  const BenchSpec& spec() const { return spec_; }
+
+  /// Records one experiment parameter ("value_size": 32, "cluster": "Apt").
+  void set_config(const std::string& key, Json value);
+
+  /// Appends a point to `series`. `metrics` are the paper's y-values for
+  /// this x (Mops, avg_us, ...). Throws if the series was not declared.
+  void add_point(const std::string& series, double x,
+                 std::vector<std::pair<std::string, double>> metrics);
+
+  /// Registry snapshot of the (last) measured run.
+  void set_snapshot(const Snapshot& s) {
+    snapshot_ = s;
+    have_snapshot_ = true;
+  }
+
+  void set_git_rev(std::string rev) { git_rev_ = std::move(rev); }
+
+  /// Chrome trace captured during the run ("" = none). Written as a sibling
+  /// TRACE_<figure>.json file by write().
+  void set_trace(std::string chrome_json) { trace_ = std::move(chrome_json); }
+  const std::string& trace() const { return trace_; }
+
+  bool has_points() const;
+
+  Json to_json() const;
+
+  /// Writes BENCH_<figure>.json (and TRACE_<figure>.json when a trace was
+  /// captured) into `dir`; returns the bench file's path. Throws
+  /// std::runtime_error if the file cannot be written.
+  std::string write(const std::string& dir) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<Json> points;
+  };
+  Series& series_slot(const std::string& name);
+
+  BenchSpec spec_;
+  Json config_ = Json::object();
+  std::vector<Series> series_;
+  Snapshot snapshot_;
+  bool have_snapshot_ = false;
+  std::string git_rev_ = "unknown";
+  std::string trace_;
+};
+
+/// Schema check for a BENCH_*.json document. Returns human-readable
+/// problems; empty means valid.
+std::vector<std::string> validate_bench_json(const Json& doc);
+
+}  // namespace herd::obs

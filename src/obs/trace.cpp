@@ -1,0 +1,88 @@
+#include "obs/trace.hpp"
+
+#include <map>
+
+namespace herd::obs {
+
+namespace {
+
+// Ticks are picoseconds; trace_event ts/dur are microseconds. Format from
+// integer math (not doubles) so exports are byte-identical across runs.
+void append_us(std::string& out, sim::Tick t) {
+  out += std::to_string(t / 1000000);
+  std::uint64_t frac = t % 1000000;
+  if (frac == 0) return;
+  char buf[8];
+  buf[0] = '.';
+  for (int i = 6; i >= 1; --i) {
+    buf[i] = static_cast<char>('0' + frac % 10);
+    frac /= 10;
+  }
+  int len = 7;
+  while (len > 1 && buf[len - 1] == '0') --len;
+  out.append(buf, static_cast<std::size_t>(len));
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  // tid per track, in first-appearance order (stable across replays).
+  std::map<std::string, int> tids;
+  std::vector<const std::string*> track_order;
+  for (const Event& e : events_) {
+    if (tids.emplace(e.track, static_cast<int>(tids.size()) + 1).second) {
+      track_order.push_back(&e.track);
+    }
+  }
+  // emplace above assigned sizes pre-insertion; rebuild ids from order so
+  // tid 1 is the first track seen, not map order.
+  int next = 1;
+  for (const std::string* t : track_order) tids[*t] = next++;
+
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"herd-sim\"}}";
+  for (const std::string* t : track_order) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(tids[*t]);
+    out += ",\"args\":{\"name\":";
+    append_escaped(out, *t);
+    out += "}}";
+  }
+  for (const Event& e : events_) {
+    out += ",\n{\"name\":";
+    append_escaped(out, e.name);
+    out += ",\"ph\":\"";
+    out += e.instant ? 'i' : 'X';
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(tids[e.track]);
+    out += ",\"ts\":";
+    append_us(out, e.start);
+    if (e.instant) {
+      out += ",\"s\":\"t\"";
+    } else {
+      out += ",\"dur\":";
+      append_us(out, e.end > e.start ? e.end - e.start : 0);
+    }
+    if (!e.args.empty()) {
+      out += ",\"args\":{\"detail\":";
+      append_escaped(out, e.args);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace herd::obs

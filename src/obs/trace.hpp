@@ -1,0 +1,95 @@
+// Simulated-time tracer: spans and instants over sim::Tick, exported as
+// Chrome trace_event JSON (load in chrome://tracing or ui.perfetto.dev).
+//
+// The tracer records the request lifecycle the paper reasons about — client
+// post -> fabric -> RNIC RX pipeline -> dispatch -> MICA op -> TX -> client
+// poll — plus the PCIe PIO/DMA transactions and QP-cache miss stalls under
+// it. Each emitting layer appears as its own named track (pid 0, one tid
+// per track).
+//
+// Sampling: tracing every request of a multi-million-op run would swamp
+// memory, so the sampler (the HERD client) opens a window around every Nth
+// request via sample()/release(); producers record only while a window is
+// open. With tracing disabled, the producer-side gate
+// `tracing(tracer_ptr)` costs one predictable branch on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace herd::obs {
+
+class Tracer {
+ public:
+  struct Event {
+    std::string track;
+    std::string name;
+    std::string args;  // optional free-form detail ("" = none)
+    sim::Tick start = 0;
+    sim::Tick end = 0;   // == start for instants
+    bool instant = false;
+  };
+
+  /// Turns sampling on: every `sample_every`-th sample() call opens a
+  /// recording window. 1 traces everything; 0 disables.
+  void enable(std::uint64_t sample_every) { sample_every_ = sample_every; }
+  void disable() { sample_every_ = 0; }
+  bool enabled() const { return sample_every_ != 0; }
+
+  /// True while at least one sampling window is open — the hot-path gate.
+  bool active() const { return active_windows_ != 0; }
+
+  /// Rolls the sampling counter. On a hit, opens a window (recording starts)
+  /// and returns true; the caller must release() when its sampled unit of
+  /// work retires.
+  bool sample() {
+    if (sample_every_ == 0) return false;
+    if (++seen_ % sample_every_ != 0) return false;
+    ++active_windows_;
+    return true;
+  }
+  void release() {
+    if (active_windows_ > 0) --active_windows_;
+  }
+
+  void span(std::string_view track, std::string_view name, sim::Tick start,
+            sim::Tick end, std::string_view args = {}) {
+    events_.push_back(Event{std::string(track), std::string(name),
+                            std::string(args), start, end, false});
+  }
+  void instant(std::string_view track, std::string_view name, sim::Tick at,
+               std::string_view args = {}) {
+    events_.push_back(Event{std::string(track), std::string(name),
+                            std::string(args), at, at, true});
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() {
+    events_.clear();
+    seen_ = 0;
+    active_windows_ = 0;
+  }
+
+  /// Chrome trace_event JSON: complete ("X") events with ts/dur in
+  /// microseconds of simulated time, one metadata-named thread per track.
+  /// Deterministic: timestamps are formatted from integer ticks, and tids
+  /// follow first-appearance order.
+  std::string chrome_json() const;
+
+ private:
+  std::uint64_t sample_every_ = 0;
+  std::uint64_t seen_ = 0;
+  std::uint32_t active_windows_ = 0;
+  std::vector<Event> events_;
+};
+
+/// The producer-side gate: record only when a tracer is attached and a
+/// sampling window is open.
+inline bool tracing(const Tracer* t) { return t != nullptr && t->active(); }
+
+}  // namespace herd::obs

@@ -16,11 +16,24 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/time.hpp"
 
 namespace herd::pcie {
+
+/// Per-link transaction tallies — the PIO-vs-DMA budget the paper's verb
+/// asymmetries are read off (Figs. 2-6 all reduce to these).
+struct PcieCounters {
+  obs::Counter pio_writes;
+  obs::Counter pio_cachelines;  // write-combining slots consumed
+  obs::Counter dma_reads;
+  obs::Counter dma_read_bytes;
+  obs::Counter dma_writes;
+  obs::Counter dma_write_bytes;
+};
 
 struct PcieConfig {
   /// One-way latency from the CPU's store to the device seeing the data.
@@ -52,9 +65,10 @@ class PcieLink {
   PcieLink(sim::Engine& engine, const PcieConfig& cfg, std::string name)
       : engine_(&engine),
         cfg_(cfg),
-        pio_(engine, name + "/pio"),
-        dma_rd_(engine, name + "/dma_rd"),
-        dma_wr_(engine, name + "/dma_wr") {}
+        name_(std::move(name)),
+        pio_(engine, name_ + "/pio"),
+        dma_rd_(engine, name_ + "/dma_rd"),
+        dma_wr_(engine, name_ + "/dma_wr") {}
 
   static constexpr std::uint32_t kCacheline = 64;
 
@@ -65,9 +79,16 @@ class PcieLink {
   /// CPU -> device MMIO write of `bytes` (a WQE, possibly with inlined
   /// payload). Returns the tick at which the device has the data.
   sim::Tick pio_write(std::uint32_t bytes) {
-    sim::Tick occ = static_cast<sim::Tick>(cachelines(bytes)) *
-                    cfg_.pio_per_cacheline;
-    return pio_.acquire(occ) + cfg_.pio_latency;
+    std::uint32_t lines = cachelines(bytes);
+    ++counters_.pio_writes;
+    counters_.pio_cachelines += lines;
+    sim::Tick occ = static_cast<sim::Tick>(lines) * cfg_.pio_per_cacheline;
+    sim::Tick free = pio_.acquire(occ);
+    if (obs::tracing(tracer_)) {
+      tracer_->span(pio_.name(), "pio_write", free - occ, free,
+                    std::to_string(bytes) + "B");
+    }
+    return free + cfg_.pio_latency;
   }
 
   /// A DMA transaction: the engine is free to accept the next transaction at
@@ -84,31 +105,69 @@ class PcieLink {
   /// Device reads `bytes` from host memory (non-posted). `start` lets callers
   /// chain from an earlier pipeline stage.
   DmaResult dma_read(sim::Tick start, std::uint32_t bytes) {
+    ++counters_.dma_reads;
+    counters_.dma_read_bytes += bytes;
     sim::Tick occ =
         cfg_.dma_read_per_op + sim::bytes_at_gbps(bytes, cfg_.dma_read_gbps);
     sim::Tick free = dma_rd_.acquire_at(start, occ);
+    if (obs::tracing(tracer_)) {
+      tracer_->span(dma_rd_.name(), "dma_read", free - occ, free,
+                    std::to_string(bytes) + "B");
+    }
     return {free, free + cfg_.dma_read_latency};
   }
 
   /// Device writes `bytes` to host memory (posted).
   DmaResult dma_write(sim::Tick start, std::uint32_t bytes) {
+    ++counters_.dma_writes;
+    counters_.dma_write_bytes += bytes;
     sim::Tick occ =
         cfg_.dma_write_per_op + sim::bytes_at_gbps(bytes, cfg_.dma_write_gbps);
     sim::Tick free = dma_wr_.acquire_at(start, occ);
+    if (obs::tracing(tracer_)) {
+      tracer_->span(dma_wr_.name(), "dma_write", free - occ, free,
+                    std::to_string(bytes) + "B");
+    }
     return {free, free + cfg_.dma_write_latency};
   }
 
   const PcieConfig& config() const { return cfg_; }
+  const std::string& name() const { return name_; }
   sim::Resource& pio_resource() { return pio_; }
   sim::Resource& dma_read_resource() { return dma_rd_; }
   sim::Resource& dma_write_resource() { return dma_wr_; }
 
+  PcieCounters& counters() { return counters_; }
+  const PcieCounters& counters() const { return counters_; }
+
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Links this link's counters and path utilizations under `prefix`
+  /// (e.g. "pcie.host0").
+  void register_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
+    reg.link(prefix + ".pio_writes", &counters_.pio_writes);
+    reg.link(prefix + ".pio_cachelines", &counters_.pio_cachelines);
+    reg.link(prefix + ".dma_reads", &counters_.dma_reads);
+    reg.link(prefix + ".dma_read_bytes", &counters_.dma_read_bytes);
+    reg.link(prefix + ".dma_writes", &counters_.dma_writes);
+    reg.link(prefix + ".dma_write_bytes", &counters_.dma_write_bytes);
+    reg.gauge_fn(prefix + ".pio_utilization",
+                 [this] { return pio_.utilization(); });
+    reg.gauge_fn(prefix + ".dma_read_utilization",
+                 [this] { return dma_rd_.utilization(); });
+    reg.gauge_fn(prefix + ".dma_write_utilization",
+                 [this] { return dma_wr_.utilization(); });
+  }
+
  private:
   sim::Engine* engine_;
   PcieConfig cfg_;
+  std::string name_;
   sim::Resource pio_;
   sim::Resource dma_rd_;
   sim::Resource dma_wr_;
+  PcieCounters counters_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace herd::pcie

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "rnic/calibration.hpp"
 #include "rnic/qp_cache.hpp"
 #include "sim/engine.hpp"
@@ -19,13 +20,13 @@ namespace herd::rnic {
 enum class Role : std::uint8_t { kRequester, kResponder };
 
 struct RnicCounters {
-  std::uint64_t tx_ops = 0;
-  std::uint64_t rx_ops = 0;
-  std::uint64_t retransmissions = 0;  // RC hardware retransmits (wire loss)
-  std::uint64_t retry_exhausted = 0;  // RC gave up after retry_cnt attempts
-  std::uint64_t rnr_drops = 0;        // SEND arrived with empty receive queue
-  std::uint64_t access_errors = 0;    // rkey/bounds failures
-  std::uint64_t dropped_packets = 0;  // UC/UD losses (errors without NAK)
+  obs::Counter tx_ops;
+  obs::Counter rx_ops;
+  obs::Counter retransmissions;  // RC hardware retransmits (wire loss)
+  obs::Counter retry_exhausted;  // RC gave up after retry_cnt attempts
+  obs::Counter rnr_drops;        // SEND arrived with empty receive queue
+  obs::Counter access_errors;    // rkey/bounds failures
+  obs::Counter dropped_packets;  // UC/UD losses (errors without NAK)
 };
 
 class Rnic {
@@ -70,6 +71,29 @@ class Rnic {
   }
 
   QpContextCache& cache() { return cache_; }
+
+  /// Links device counters, QP-cache stats, and pipeline utilizations under
+  /// `prefix` (e.g. "rnic.host0").
+  void register_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
+    reg.link(prefix + ".tx_ops", &counters_.tx_ops);
+    reg.link(prefix + ".rx_ops", &counters_.rx_ops);
+    reg.link(prefix + ".retransmissions", &counters_.retransmissions);
+    reg.link(prefix + ".retry_exhausted", &counters_.retry_exhausted);
+    reg.link(prefix + ".rnr_drops", &counters_.rnr_drops);
+    reg.link(prefix + ".access_errors", &counters_.access_errors);
+    reg.link(prefix + ".dropped_packets", &counters_.dropped_packets);
+    reg.counter_fn(prefix + ".qp_cache_hits", [this] { return cache_.hits(); });
+    reg.counter_fn(prefix + ".qp_cache_misses",
+                   [this] { return cache_.misses(); });
+    reg.gauge_fn(prefix + ".qp_cache_working_set",
+                 [this] { return cache_.working_set(); });
+    reg.gauge_fn(prefix + ".tx_utilization",
+                 [this] { return tx_.utilization(); });
+    reg.gauge_fn(prefix + ".rx_utilization",
+                 [this] { return rx_.utilization(); });
+    reg.gauge_fn(prefix + ".dispatch_utilization",
+                 [this] { return dispatch_.utilization(); });
+  }
 
   /// Outstanding-unsignaled-WQE pressure (§3.3). Returns the extra TX
   /// occupancy while the device is over its comfortable limit.

@@ -6,34 +6,6 @@
 
 namespace herd::sim {
 
-std::uint64_t CounterReport::value(std::string_view name) const {
-  for (const auto& [n, v] : entries_) {
-    if (n == name) return v;
-  }
-  return 0;
-}
-
-bool CounterReport::has(std::string_view name) const {
-  for (const auto& [n, v] : entries_) {
-    if (n == name) return true;
-  }
-  return false;
-}
-
-std::string CounterReport::format() const {
-  std::size_t width = 0;
-  for (const auto& [n, v] : entries_) width = std::max(width, n.size());
-  std::string out;
-  for (const auto& [n, v] : entries_) {
-    out += n;
-    out.append(width + 2 - n.size(), '.');
-    out += ' ';
-    out += std::to_string(v);
-    out += '\n';
-  }
-  return out;
-}
-
 LatencyHistogram::LatencyHistogram()
     : buckets_((1u << kSubBits) +
                    (static_cast<std::size_t>(kOctaves) << kSubBits),

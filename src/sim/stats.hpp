@@ -1,41 +1,15 @@
-// Measurement helpers: latency histograms, throughput accounting, and
-// named counter reports.
+// Measurement helpers: latency histograms and throughput accounting.
+// (Named counter aggregation lives in obs/metrics.hpp — subsystems own
+// typed obs::Counter handles and link them into a MetricRegistry.)
 #pragma once
 
 #include <cstdint>
 #include <limits>
-#include <string>
-#include <string_view>
-#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace herd::sim {
-
-/// An ordered set of named event counters — how subsystems (fabric losses,
-/// fault injections, RNIC retransmissions, service-level dedup hits) surface
-/// their tallies in end-of-run reports instead of test-only accessors.
-class CounterReport {
- public:
-  void add(std::string name, std::uint64_t value) {
-    entries_.emplace_back(std::move(name), value);
-  }
-
-  /// Value of the first counter named `name`; 0 if absent.
-  std::uint64_t value(std::string_view name) const;
-  bool has(std::string_view name) const;
-
-  const std::vector<std::pair<std::string, std::uint64_t>>& entries() const {
-    return entries_;
-  }
-
-  /// Multi-line, dot-aligned "name .... value" rendering.
-  std::string format() const;
-
- private:
-  std::vector<std::pair<std::string, std::uint64_t>> entries_;
-};
 
 /// Log-linear latency histogram over ticks, HdrHistogram-style: buckets are
 /// linear within a power-of-two range, giving a bounded (<~1.6%) relative

@@ -254,14 +254,4 @@ void ContractChecker::on_qp_destroyed(const Qp& qp) {
   qp_accounts_.erase(&qp);
 }
 
-void ContractChecker::report(sim::CounterReport& out) const {
-  for (std::size_t i = 0; i < kContractRuleCount; ++i) {
-    if (counters_[i] == 0) continue;
-    out.add("contract." +
-                std::string(
-                    contract_rule_name(static_cast<ContractRule>(i))),
-            counters_[i]);
-  }
-}
-
 }  // namespace herd::verbs

@@ -28,7 +28,6 @@
 #include <string_view>
 #include <unordered_map>
 
-#include "sim/stats.hpp"
 #include "verbs/types.hpp"
 
 namespace herd::verbs {
@@ -126,9 +125,6 @@ class ContractChecker {
     counters_.fill(0);
     violations_.clear();
   }
-
-  /// Appends one "contract.<rule-name>" entry per rule with a nonzero count.
-  void report(sim::CounterReport& out) const;
 
  private:
   // Per-CQ accounting: CQEs currently queued plus CQE slots reserved by

@@ -7,6 +7,20 @@
 
 namespace herd::verbs {
 
+namespace {
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kWrite:
+      return "WRITE";
+    case Opcode::kRead:
+      return "READ";
+    case Opcode::kSend:
+    default:
+      return "SEND";
+  }
+}
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Cq
 
@@ -298,18 +312,30 @@ void Qp::tx_stage(SendWr wr, std::vector<std::byte> payload, sim::Tick ready) {
     if (!wr.inline_data) occ += cal.tx_noninline_extra;
     if (wr.signaled) occ += cal.tx_signaled_extra;
   }
-  occ += rn.context_penalty(qpn_, rnic::Role::kRequester,
-                            cache_weight(rnic::Role::kRequester));
+  sim::Tick penalty = rn.context_penalty(
+      qpn_, rnic::Role::kRequester, cache_weight(rnic::Role::kRequester));
   if (attr_.transport == Transport::kUd) {
     // UD sends carry per-destination address state (§3.3 / Fig. 12).
-    occ += rn.destination_penalty(
+    penalty += rn.destination_penalty(
         (std::uint64_t{wr.ah.ctx->port()} << 32) | wr.ah.qpn);
   }
+  occ += penalty;
   occ += rn.unsignaled_pressure();
 
   sim::Tick t1 = rn.dispatch().acquire_at(ready, cal.dispatch);
   sim::Tick tx_done = rn.tx().acquire_at(t1, occ);
   sim::Tick departed = tx_done + cal.tx_latency;
+
+  if (obs::tracing(ctx_->tracer())) {
+    auto* tr = ctx_->tracer();
+    tr->span(rn.dispatch().name(), "dispatch", t1 - cal.dispatch, t1,
+             opcode_name(wr.opcode));
+    tr->span(rn.tx().name(), std::string("tx_") + opcode_name(wr.opcode),
+             tx_done - occ, tx_done);
+    if (penalty > 0) {
+      tr->instant(rn.tx().name(), "qp_cache_miss", tx_done - occ);
+    }
+  }
 
   // Outbound throughput is the *service* rate of the TX unit, so count at
   // completion (arrival-time counting would measure the posting rate).
@@ -440,11 +466,24 @@ void Qp::rx_arrive(Inbound in) {
       occ = cal.rx_send;
       break;
   }
-  occ += rn.context_penalty(qpn_, rnic::Role::kResponder,
-                            cache_weight(rnic::Role::kResponder));
+  sim::Tick penalty = rn.context_penalty(
+      qpn_, rnic::Role::kResponder, cache_weight(rnic::Role::kResponder));
+  occ += penalty;
 
   sim::Tick t1 = rn.dispatch().acquire(cal.dispatch);
-  sim::Tick done = rn.rx().acquire_at(t1, occ) + cal.rx_latency;
+  sim::Tick rx_end = rn.rx().acquire_at(t1, occ);
+  sim::Tick done = rx_end + cal.rx_latency;
+
+  if (obs::tracing(ctx_->tracer())) {
+    auto* tr = ctx_->tracer();
+    tr->span(rn.dispatch().name(), "dispatch", t1 - cal.dispatch, t1,
+             opcode_name(in.opcode));
+    tr->span(rn.rx().name(), std::string("rx_") + opcode_name(in.opcode),
+             rx_end - occ, rx_end);
+    if (penalty > 0) {
+      tr->instant(rn.rx().name(), "qp_cache_miss", rx_end - occ);
+    }
+  }
   // Inbound throughput = RX service rate. The fabric is lossless (credit
   // flow control): when arrivals outpace service the wire backpressures, so
   // the sustainable rate is what the RX unit retires.

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "fabric/fabric.hpp"
+#include "obs/trace.hpp"
 #include "pcie/pcie.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/engine.hpp"
@@ -202,6 +203,12 @@ class Context {
 
   Qp* find_qp(std::uint32_t qpn);
 
+  /// Installs (or clears) the tracer the verb flows record RNIC pipeline
+  /// spans and QP-cache-miss instants on. The PCIe link is wired by its
+  /// owner; this only covers the verbs-layer stages.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() { return tracer_; }
+
  private:
   friend class Qp;
   std::uint32_t next_qpn_ = 1;
@@ -213,6 +220,7 @@ class Context {
   fabric::Fabric* fabric_;
   std::uint32_t port_;
   HostMemory* memory_;
+  obs::Tracer* tracer_ = nullptr;
   std::unique_ptr<ContractChecker> contract_;
   std::unordered_map<std::uint32_t, Qp*> qps_;
   std::unordered_map<std::uint32_t, Mr> mrs_by_rkey_;

@@ -401,14 +401,13 @@ TEST_F(ContractTest, FailFastThrowsContractError) {
 // ---------------------------------------------------------------------------
 // Counter surfacing.
 
-TEST_F(ContractTest, ReportNamesRulesWithCounts) {
+TEST_F(ContractTest, CountsRulesIndividually) {
   auto a = make(0, Transport::kUd);
   a.qp->post_recv({.wr_id = 1, .sge = {0, 8, a.mr.lkey}});
   a.qp->post_recv({.wr_id = 2, .sge = {8, 8, a.mr.lkey}});
-  sim::CounterReport rep;
-  checker(0).report(rep);
-  EXPECT_EQ(rep.value("contract.ud-recv-no-grh-room"), 2u);
-  EXPECT_FALSE(rep.has("contract.cq-overrun"));
+  EXPECT_EQ(checker(0).count(ContractRule::kUdRecvNoGrhRoom), 2u);
+  EXPECT_EQ(checker(0).count(ContractRule::kCqOverrun), 0u);
+  EXPECT_EQ(checker(0).total(), 2u);
 }
 
 // ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 #include "cluster/cluster.hpp"
 #include "fault/fault.hpp"
 #include "herd/testbed.hpp"
+#include "obs/metrics.hpp"
 
 namespace herd {
 namespace {
@@ -231,7 +232,7 @@ TEST(HerdFaults, DeleteWorkloadSurvivesBurstLoss) {
     EXPECT_GT(bed.client(c).stats().completed, 50u) << "client " << c;
   }
   // End-of-run counter report covers the fault and resilience layers.
-  auto rep = bed.counter_report();
+  obs::Snapshot rep = bed.snapshot();
   EXPECT_GT(rep.value("fault.wire_losses"), 0u);
   EXPECT_GT(rep.value("client.retries"), 0u);
   EXPECT_TRUE(rep.has("service.duplicate_mutations"));
@@ -303,7 +304,7 @@ TEST(HerdFaults, CrashFailoverGracefulDegradation) {
   EXPECT_EQ(after.get_misses, 0u);  // every acked PUT stayed visible
 
   // fault.* counters live in the injector and survive per-run stat resets.
-  auto rep = bed.counter_report();
+  obs::Snapshot rep = bed.snapshot();
   EXPECT_EQ(rep.value("fault.crashes"), 1u);
   EXPECT_EQ(rep.value("fault.recoveries"), 1u);
   EXPECT_GT(rep.value("service.foreign_serves"), 0u);
@@ -443,7 +444,7 @@ TEST(HerdFaults, FailoverRecreditsRecvOnFullyOccupiedSurvivor) {
   // only retire at the deadline.
   EXPECT_EQ(r.deadline_exceeded, 0u);
 
-  auto rep = bed.counter_report();
+  obs::Snapshot rep = bed.snapshot();
   EXPECT_EQ(rep.value("fault.crashes"), 1u);
   EXPECT_EQ(rep.value("fault.recoveries"), 0u);
   EXPECT_GT(rep.value("service.foreign_serves"), 0u);

@@ -1,0 +1,286 @@
+// herd::obs — registry, snapshot, tracer, and bench-report schema tests.
+//
+// Covers the observability contract the rest of the repo leans on:
+//   - MetricRegistry registration is strict (duplicate / malformed names
+//     throw) and snapshots are deterministic;
+//   - two identically-seeded testbed runs produce identical snapshots and
+//     byte-identical Chrome trace exports;
+//   - a traced request's spans appear in simulated-time order (client post,
+//     RNIC RX/dispatch/TX, PCIe DMA, MICA op);
+//   - Snapshot round-trips through JSON;
+//   - validate_bench_json accepts what BenchReport writes and rejects
+//     documents that drift from the herd-bench/1 schema.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "herd/testbed.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace herd::obs {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricRegistry, LinksAndSnapshotsTypedHandles) {
+  MetricRegistry reg;
+  Counter c;
+  Gauge g;
+  reg.link("rnic.host0.rx_ops", &c);
+  reg.link("herd.utilization", &g);
+  c.inc(41);
+  ++c;
+  g.set(0.75);
+
+  Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.value("rnic.host0.rx_ops"), 42u);
+  EXPECT_DOUBLE_EQ(s.gauge("herd.utilization"), 0.75);
+  EXPECT_TRUE(s.has("rnic.host0.rx_ops"));
+  EXPECT_FALSE(s.has("rnic.host1.rx_ops"));
+  EXPECT_EQ(s.value("rnic.host1.rx_ops"), 0u);  // absent reads as zero
+}
+
+TEST(MetricRegistry, DuplicateNameThrows) {
+  MetricRegistry reg;
+  Counter a, b;
+  reg.link("fabric.loss", &a);
+  EXPECT_THROW(reg.link("fabric.loss", &b), std::logic_error);
+  // The kind does not matter: a gauge cannot squat on a counter name either.
+  Gauge g;
+  EXPECT_THROW(reg.link("fabric.loss", &g), std::logic_error);
+}
+
+TEST(MetricRegistry, MalformedNameThrows) {
+  MetricRegistry reg;
+  Counter c;
+  EXPECT_THROW(reg.link("", &c), std::logic_error);
+  EXPECT_THROW(reg.link("has space", &c), std::logic_error);
+  EXPECT_THROW(reg.link("emoji.\xf0\x9f\x90\x9b", &c), std::logic_error);
+}
+
+TEST(MetricRegistry, CallbackMetricsEvaluateAtSnapshotTime) {
+  MetricRegistry reg;
+  std::uint64_t backing = 1;
+  reg.counter_fn("derived.total", [&] { return backing; });
+  backing = 7;  // mutated after registration, before snapshot
+  EXPECT_EQ(reg.snapshot().value("derived.total"), 7u);
+}
+
+TEST(MetricRegistry, OwnedCounterSurvivesRegistryGrowth) {
+  MetricRegistry reg;
+  Counter& first = reg.counter("owned.first");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("owned.n" + std::to_string(i));
+  }
+  first.inc(5);  // must not have been invalidated by growth
+  EXPECT_EQ(reg.snapshot().value("owned.first"), 5u);
+}
+
+// ---------------------------------------------------------------- snapshot
+
+TEST(Snapshot, JsonRoundTripPreservesEverything) {
+  Snapshot s;
+  s.set_counter("a.b", 3);
+  s.set_counter("a.c", 0);
+  s.set_gauge("g.x", 1.5);
+  HistogramStats h;
+  h.count = 10;
+  h.min = 100;
+  h.max = 9000;
+  h.mean_ns = 4.5;
+  h.p50_ns = 4.0;
+  h.p95_ns = 8.0;
+  h.p99_ns = 9.0;
+  s.set_histogram("lat.e2e", h);
+
+  Snapshot back = Snapshot::from_json(Json::parse(s.to_json().dump()));
+  EXPECT_EQ(back, s);
+}
+
+TEST(Snapshot, SerializationIsSorted) {
+  // Deterministic exports need a canonical key order regardless of
+  // registration order.
+  Snapshot s;
+  s.set_counter("z.last", 1);
+  s.set_counter("a.first", 2);
+  std::string text = s.to_json().dump();
+  EXPECT_LT(text.find("a.first"), text.find("z.last"));
+}
+
+// ------------------------------------------------------------------ tracer
+
+TEST(Tracer, SamplingOpensEveryNthWindow) {
+  Tracer t;
+  EXPECT_FALSE(t.sample());  // disabled -> never samples
+  t.enable(3);
+  int hits = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (t.sample()) {
+      ++hits;
+      EXPECT_TRUE(t.active());
+      t.release();
+    }
+  }
+  EXPECT_EQ(hits, 3);
+  EXPECT_FALSE(t.active());
+}
+
+TEST(Tracer, ProducerGateRecordsOnlyInsideWindow) {
+  Tracer t;
+  t.enable(1);
+  EXPECT_FALSE(tracing(&t));  // enabled but no window open
+  ASSERT_TRUE(t.sample());
+  EXPECT_TRUE(tracing(&t));
+  t.span("core", "work", 100, 200);
+  t.release();
+  EXPECT_FALSE(tracing(&t));
+  EXPECT_FALSE(tracing(nullptr));
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.events()[0].name, "work");
+}
+
+TEST(Tracer, ChromeJsonIsValidAndDeterministic) {
+  auto build = [] {
+    Tracer t;
+    t.span("client", "request", sim::us(1), sim::us(5));
+    t.span("rnic", "rx", sim::us(2), sim::us(3), "bytes=64");
+    t.instant("rnic", "qp_cache_miss", sim::us(2));
+    return t;
+  };
+  std::string a = build().chrome_json();
+  std::string b = build().chrome_json();
+  EXPECT_EQ(a, b);
+
+  Json doc = Json::parse(a);
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 3 recorded events + thread_name metadata for the two tracks.
+  EXPECT_GE(events->size(), 5u);
+}
+
+// ------------------------------------------------- end-to-end determinism
+
+core::TestbedConfig traced_config() {
+  core::TestbedConfig cfg;
+  cfg.herd.n_server_procs = 2;
+  cfg.herd.n_clients = 4;
+  cfg.herd.window = 4;
+  cfg.herd.mica.bucket_count_log2 = 12;
+  cfg.herd.mica.log_bytes = 4u << 20;
+  cfg.workload.n_keys = 1000;
+  cfg.workload.value_len = 32;
+  cfg.seed = 42;
+  cfg.trace_sample_every = 64;
+  return cfg;
+}
+
+TEST(ObsDeterminism, IdenticalSeedsIdenticalSnapshotsAndTraces) {
+  auto run = [] {
+    core::HerdTestbed bed(traced_config());
+    bed.run(sim::us(200), sim::us(800));
+    return std::pair{bed.snapshot(), bed.trace_json()};
+  };
+  auto [snap1, trace1] = run();
+  auto [snap2, trace2] = run();
+  EXPECT_EQ(snap1, snap2);
+  EXPECT_EQ(trace1, trace2);  // byte-identical Chrome export
+  EXPECT_GT(snap1.counters().size(), 50u);
+  EXPECT_GT(trace1.size(), 2u);
+}
+
+TEST(ObsDeterminism, TracedRequestSpansAppearInSimTimeOrder) {
+  core::HerdTestbed bed(traced_config());
+  bed.run(sim::us(200), sim::us(800));
+  const auto& events = bed.tracer().events();
+  ASSERT_FALSE(events.empty());
+
+  // Sampling windows record every event while open, so spans of concurrent
+  // requests interleave. The lifecycle ordering we assert is causal, so we
+  // follow one chain: the first sampled client post, then the first instance
+  // of each later stage at or after the previous stage's start.
+  auto first_after = [&](sim::Tick t, auto pred) {
+    sim::Tick best = 0;
+    bool found = false;
+    for (const auto& e : events) {
+      if (e.start < t || !pred(e)) continue;
+      if (!found || e.start < best) best = e.start;
+      found = true;
+    }
+    EXPECT_TRUE(found);
+    return best;
+  };
+  auto named = [](const std::string& prefix) {
+    return [prefix](const Tracer::Event& e) {
+      return e.name.compare(0, prefix.size(), prefix) == 0;
+    };
+  };
+
+  sim::Tick client_post = first_after(0, named("client_post"));
+  sim::Tick rnic_rx = first_after(client_post, named("rx_"));
+  sim::Tick dispatch = first_after(client_post, named("dispatch"));
+  sim::Tick mica = first_after(rnic_rx, named("mica_op"));
+  sim::Tick rnic_tx = first_after(mica, named("tx_"));
+  sim::Tick dma = first_after(client_post, named("dma_"));
+
+  // client post -> RNIC RX (+ dispatch) -> MICA op -> response TX, with the
+  // PCIe DMA activity in between: each later stage exists and starts strictly
+  // after the client's post, and the chain is monotone in simulated time.
+  EXPECT_LT(client_post, rnic_rx);
+  EXPECT_LT(client_post, dispatch);
+  EXPECT_LT(rnic_rx, mica);
+  EXPECT_LE(mica, rnic_tx);
+  EXPECT_LT(client_post, dma);
+  EXPECT_LT(rnic_tx, client_post + sim::us(100));  // same neighborhood
+}
+
+// ------------------------------------------------------------ bench schema
+
+BenchReport sample_report() {
+  BenchReport rep(BenchSpec{"fig99", "Test figure", {"WRITE_UC", "READ_RC"}});
+  rep.set_config("payload", Json{std::uint64_t{32}});
+  rep.add_point("WRITE_UC", 32, {{"Mops", 34.9}});
+  rep.add_point("READ_RC", 32, {{"Mops", 26.0}, {"avg_us", 5.0}});
+  Snapshot s;
+  s.set_counter("rnic.rx_ops", 123);
+  rep.set_snapshot(s);
+  rep.set_git_rev("deadbeef");
+  return rep;
+}
+
+TEST(BenchReport, UndeclaredSeriesThrows) {
+  BenchReport rep(BenchSpec{"fig99", "t", {"A"}});
+  EXPECT_THROW(rep.add_point("B", 1, {{"Mops", 1.0}}), std::logic_error);
+}
+
+TEST(BenchReport, ValidatorAcceptsWhatReportWrites) {
+  Json doc = Json::parse(sample_report().to_json().dump());
+  EXPECT_TRUE(validate_bench_json(doc).empty());
+}
+
+TEST(BenchReport, ValidatorRejectsSchemaDrift) {
+  auto mutate = [](auto fn) {
+    Json doc = sample_report().to_json();
+    fn(doc);
+    return validate_bench_json(doc);
+  };
+  EXPECT_FALSE(mutate([](Json& d) { d["schema"] = "herd-bench/0"; }).empty());
+  EXPECT_FALSE(mutate([](Json& d) { d["figure"] = Json(); }).empty());
+  EXPECT_FALSE(mutate([](Json& d) { d["series"] = Json(); }).empty());
+  EXPECT_FALSE(mutate([](Json& d) {
+                 Json bad = Json::object();
+                 bad["name"] = "X";  // no "points"
+                 d["series"].push_back(std::move(bad));
+               }).empty());
+  EXPECT_FALSE(validate_bench_json(Json::parse("{}")).empty());
+  EXPECT_FALSE(validate_bench_json(Json::parse("[1,2]")).empty());
+}
+
+}  // namespace
+}  // namespace herd::obs

@@ -1,0 +1,51 @@
+// Validates BENCH_*.json files against the herd-bench/1 schema.
+//
+// Usage: bench_schema_check FILE [FILE...]
+//
+// This is the CI gate behind the bench-smoke job: every per-figure binary
+// writes a BENCH_fig<N>.json, and this tool fails the build if any of them
+// drifts from the schema documented in src/obs/bench_report.hpp. It uses
+// the same obs::validate_bench_json() checker as tests/obs_test.cpp, so the
+// gate and the unit tests cannot disagree about what "valid" means.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_*.json [more...]\n", argv[0]);
+    return 64;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ++bad;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<std::string> problems;
+    try {
+      herd::obs::Json doc = herd::obs::Json::parse(buf.str());
+      problems = herd::obs::validate_bench_json(doc);
+    } catch (const std::exception& e) {
+      problems.push_back(std::string("not parseable as JSON: ") + e.what());
+    }
+    if (problems.empty()) {
+      std::printf("%s: ok\n", argv[i]);
+    } else {
+      ++bad;
+      for (const auto& p : problems) {
+        std::fprintf(stderr, "%s: %s\n", argv[i], p.c_str());
+      }
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}

@@ -31,6 +31,7 @@ struct Options {
   std::uint64_t start_seed = 1;
   herd::sim::Tick budget_ticks = 0;  // 0 = envelope default
   std::uint64_t replay_every = 5;    // 0 = never replay
+  std::uint64_t trace_every = 32;    // request-lifecycle trace sampling
   std::uint64_t checker_budget = 1000000;
   std::uint32_t shrink_runs = 64;
   bool break_dedup = false;
@@ -41,9 +42,9 @@ struct Options {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start-seed S] [--budget-ticks T]\n"
-               "          [--replay-every K] [--checker-budget B]\n"
-               "          [--shrink-runs R] [--break-dedup] [--no-shrink]\n"
-               "          [--verbose]\n",
+               "          [--replay-every K] [--trace-every K]\n"
+               "          [--checker-budget B] [--shrink-runs R]\n"
+               "          [--break-dedup] [--no-shrink] [--verbose]\n",
                argv0);
 }
 
@@ -67,6 +68,7 @@ bool parse_options(int argc, char** argv, Options& opt) {
       continue;
     }
     if (a == "--replay-every" && next(opt.replay_every)) continue;
+    if (a == "--trace-every" && next(opt.trace_every)) continue;
     if (a == "--checker-budget" && next(opt.checker_budget)) continue;
     if (a == "--shrink-runs" && next(v)) {
       opt.shrink_runs = static_cast<std::uint32_t>(v);
@@ -130,6 +132,7 @@ int main(int argc, char** argv) {
     std::uint64_t seed = opt.start_seed + i;
     herd::chaos::Scenario sc = herd::chaos::generate_scenario(seed, env);
     sc.break_dedup = opt.break_dedup;
+    sc.trace_sample_every = opt.trace_every;
     herd::chaos::RunOutcome out =
         herd::chaos::run_scenario(sc, opt.checker_budget);
 
@@ -137,7 +140,7 @@ int main(int argc, char** argv) {
       std::printf("%s\n", herd::chaos::summarize(out).c_str());
     }
 
-    for (const auto& [name, value] : out.counters.entries()) {
+    for (const auto& [name, value] : out.counters.counters()) {
       totals[name] += value;
     }
     agg.histories_checked += out.check.stats.histories_checked;
@@ -164,6 +167,24 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(out.fingerprint),
             static_cast<unsigned long long>(again.fingerprint),
             sc.to_json().c_str());
+        return 2;
+      }
+      // The fingerprint already folds the trace bytes, but diverging
+      // exports with a colliding hash would slip through — compare the
+      // bytes themselves, and the metric snapshots while we're at it.
+      if (again.trace_json != out.trace_json) {
+        std::printf(
+            "\n=== DETERMINISM MISMATCH ===\nseed %llu: trace export "
+            "differs on replay (%zu vs %zu bytes)\nscenario: %s\n",
+            static_cast<unsigned long long>(seed), out.trace_json.size(),
+            again.trace_json.size(), sc.to_json().c_str());
+        return 2;
+      }
+      if (!(again.counters == out.counters)) {
+        std::printf(
+            "\n=== DETERMINISM MISMATCH ===\nseed %llu: metric snapshot "
+            "differs on replay\nscenario: %s\n",
+            static_cast<unsigned long long>(seed), sc.to_json().c_str());
         return 2;
       }
     }

@@ -95,7 +95,10 @@ std::string strip_comments_and_strings(const std::string& src) {
             out += c;
             break;
           }
-          raw_delim = ")" + src.substr(i + 2, paren - (i + 2)) + "\"";
+          raw_delim.clear();
+          raw_delim += ')';
+          raw_delim.append(src, i + 2, paren - (i + 2));
+          raw_delim += '"';
           out.append(paren - i + 1, ' ');
           i = paren;
           st = St::kRawString;
