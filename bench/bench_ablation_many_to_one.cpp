@@ -27,7 +27,7 @@ void Ablation_ManyToOne(benchmark::State& state) {
   }
   state.counters["Mops"] = mops;
   state.SetLabel(std::to_string(n_procs) + " client procs / 16 machines");
-  bench::report().add_point("WRITE_UC", n_procs, {{"Mops", mops}});
+  bench::micro_point("WRITE_UC", n_procs, {{"Mops", mops}});
   bench::snapshot_last_microbench();
 }
 

@@ -77,6 +77,17 @@ inline void snapshot_last_microbench() {
   if (report_slot()) report().set_snapshot(microbench::last_run().snapshot);
 }
 
+/// Adds a point annotated with the most recent microbench run's bottleneck
+/// attribution ("bottleneck" / "bottleneck_util" / "breakdown"), and keeps
+/// that run's flight recording as the report's TIMESERIES_ sidecar.
+inline void micro_point(const std::string& series, double x,
+                        std::vector<std::pair<std::string, double>> metrics) {
+  if (!report_slot()) return;
+  const microbench::RunRecord& r = microbench::last_run();
+  report().add_point(series, x, std::move(metrics), r.attr);
+  if (!r.timeseries.is_null()) report().set_timeseries(r.timeseries);
+}
+
 // --- end-to-end drivers ----------------------------------------------------
 
 /// Uniform result row for the end-to-end comparisons (Figs. 9-13).
@@ -85,6 +96,7 @@ struct E2e {
   double avg_us = 0;
   double p5_us = 0;
   double p95_us = 0;
+  obs::Attribution attr;  // bottleneck attribution of the measure window
 };
 
 struct E2eParams {
@@ -118,13 +130,17 @@ inline E2e run_herd(const cluster::ClusterConfig& cc, const E2eParams& p,
   cfg.workload.n_keys = 1u << 16;
   cfg.workload.zipf = p.zipf;
   cfg.trace_sample_every = options().trace_every;
+  // 16 flight windows per measure window, however tiny the CI run.
+  cfg.flight_interval = measure / 16 > 0 ? measure / 16 : 1;
   core::HerdTestbed bed(cfg);
   auto r = bed.run(warmup, measure);
   if (report_slot()) {
     report().set_snapshot(bed.snapshot());
+    report().set_timeseries(bed.timeseries_json());
     if (options().trace_every > 0) report().set_trace(bed.trace_json());
   }
-  return E2e{r.mops, r.avg_latency_us, r.p5_latency_us, r.p95_latency_us};
+  return E2e{r.mops, r.avg_latency_us, r.p5_latency_us, r.p95_latency_us,
+             bed.attribution()};
 }
 
 /// Emulated Pilaf / FaRM-KV under the same workload parameters.
@@ -143,7 +159,9 @@ inline E2e run_emulated(const cluster::ClusterConfig& cc,
   cfg.value_size = p.value_size;
   baselines::EmulatedKvTestbed bed(cfg);
   auto r = bed.run(warmup, measure);
-  return E2e{r.mops, r.avg_latency_us, r.p5_latency_us, r.p95_latency_us};
+  // Emulated testbeds do not register their resources yet; attribution stays
+  // empty and the bench point simply carries no `bottleneck` field.
+  return E2e{r.mops, r.avg_latency_us, r.p5_latency_us, r.p95_latency_us, {}};
 }
 
 inline cluster::ClusterConfig apt() { return cluster::ClusterConfig::apt(); }

@@ -26,15 +26,15 @@ void Fig03_Inbound(benchmark::State& state) {
   double wuc = 0, wrc = 0, rrc = 0;
   for (auto _ : state) {
     wuc = microbench::inbound_tput(bench::apt(), write_uc, 16, measure);
+    bench::micro_point("WRITE_UC", payload, {{"Mops", wuc}});
     wrc = microbench::inbound_tput(bench::apt(), write_rc, 16, measure);
+    bench::micro_point("WRITE_RC", payload, {{"Mops", wrc}});
     rrc = microbench::inbound_tput(bench::apt(), read_rc, 16, measure);
+    bench::micro_point("READ_RC", payload, {{"Mops", rrc}});
   }
   state.counters["WRITE_UC_Mops"] = wuc;
   state.counters["WRITE_RC_Mops"] = wrc;
   state.counters["READ_RC_Mops"] = rrc;
-  bench::report().add_point("WRITE_UC", payload, {{"Mops", wuc}});
-  bench::report().add_point("WRITE_RC", payload, {{"Mops", wrc}});
-  bench::report().add_point("READ_RC", payload, {{"Mops", rrc}});
   bench::snapshot_last_microbench();
 }
 

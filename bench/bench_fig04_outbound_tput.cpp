@@ -30,23 +30,24 @@ void Fig04_Outbound(benchmark::State& state) {
   sim::Tick measure = bench::measure_ticks();
   double wi = 0, su = 0, wp = 0, rd = 0;
   for (auto _ : state) {
+    // micro_point right after each run: the point carries that run's own
+    // bottleneck attribution (Fig. 4's flip from RNIC-bound to PIO-bound
+    // across the inline/WQE-cacheline threshold is the whole story here).
     if (payload <= 256) {
       wi = microbench::outbound_tput(bench::apt(), wr_inline, 16, measure);
+      bench::micro_point("WR_UC_INLINE", payload, {{"Mops", wi}});
       su = microbench::outbound_tput(bench::apt(), send_ud, 16, measure);
+      bench::micro_point("SEND_UD", payload, {{"Mops", su}});
     }
     wp = microbench::outbound_tput(bench::apt(), wr_plain, 16, measure);
+    bench::micro_point("WRITE_UC", payload, {{"Mops", wp}});
     rd = microbench::outbound_tput(bench::apt(), read_rc, 16, measure);
+    bench::micro_point("READ_RC", payload, {{"Mops", rd}});
   }
   state.counters["WR_UC_INLINE_Mops"] = wi;
   state.counters["SEND_UD_Mops"] = su;
   state.counters["WRITE_UC_Mops"] = wp;
   state.counters["READ_RC_Mops"] = rd;
-  if (payload <= 256) {
-    bench::report().add_point("WR_UC_INLINE", payload, {{"Mops", wi}});
-    bench::report().add_point("SEND_UD", payload, {{"Mops", su}});
-  }
-  bench::report().add_point("WRITE_UC", payload, {{"Mops", wp}});
-  bench::report().add_point("READ_RC", payload, {{"Mops", rd}});
   bench::snapshot_last_microbench();
 }
 

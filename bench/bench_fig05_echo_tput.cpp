@@ -33,9 +33,8 @@ void Fig05_EchoThroughput(benchmark::State& state) {
   state.SetLabel(std::string(microbench::echo_kind_name(kind)) + " " +
                  lvl[state.range(1)]);
   // One series per verb combination; x = optimization level 0..3.
-  bench::report().add_point(microbench::echo_kind_name(kind),
-                            static_cast<double>(opts.opt_level),
-                            {{"Mops", mops}});
+  bench::micro_point(microbench::echo_kind_name(kind),
+                     static_cast<double>(opts.opt_level), {{"Mops", mops}});
   bench::snapshot_last_microbench();
 }
 

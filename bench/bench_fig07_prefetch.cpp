@@ -34,7 +34,7 @@ void Fig07_Prefetch(benchmark::State& state) {
                  (opts.prefetch ? " prefetch" : " no-prefetch"));
   std::string series = "N=" + std::to_string(state.range(0)) +
                        (opts.prefetch ? "/prefetch" : "/no-prefetch");
-  bench::report().add_point(series, opts.n_server_procs, {{"Mops", mops}});
+  bench::micro_point(series, opts.n_server_procs, {{"Mops", mops}});
   bench::snapshot_last_microbench();
 }
 

@@ -39,7 +39,8 @@ void Fig13_CpuCores(benchmark::State& state) {
   state.counters["Mops"] = r.mops;
   state.SetLabel(std::string(name) + " cores=" +
                  std::to_string(p.n_server_procs));
-  bench::report().add_point(name, p.n_server_procs, {{"Mops", r.mops}});
+  bench::report().add_point(name, p.n_server_procs, {{"Mops", r.mops}},
+                            r.attr);
 }
 
 }  // namespace

@@ -28,14 +28,20 @@ void Fig14_Skew(benchmark::State& state) {
   cfg.herd.mica.bucket_count_log2 = 16;
   cfg.herd.mica.log_bytes = 32u << 20;
 
+  sim::Tick measure = bench::measure_ticks();
+  cfg.flight_interval = measure / 16 > 0 ? measure / 16 : 1;
+
   std::vector<double> per_core;
   double total = 0;
+  obs::Attribution attr;
   for (auto _ : state) {
     core::HerdTestbed bed(cfg);
-    auto r = bed.run(bench::warmup_ticks(), bench::measure_ticks());
+    auto r = bed.run(bench::warmup_ticks(), measure);
     total = r.mops;
     per_core = bed.per_proc_mops();
+    attr = bed.attribution();
     bench::report().set_snapshot(bed.snapshot());
+    bench::report().set_timeseries(bed.timeseries_json());
   }
   state.counters["total_Mops"] = total;
   const char* series = zipf ? "Zipf(.99)" : "Uniform";
@@ -43,7 +49,7 @@ void Fig14_Skew(benchmark::State& state) {
   for (std::size_t s = 0; s < per_core.size(); ++s) {
     state.counters["core" + std::to_string(s) + "_Mops"] = per_core[s];
     bench::report().add_point(series, static_cast<double>(s),
-                              {{"Mops", per_core[s]}});
+                              {{"Mops", per_core[s]}}, attr);
     lo = std::min(lo, per_core[s]);
     hi = std::max(hi, per_core[s]);
   }

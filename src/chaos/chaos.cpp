@@ -60,6 +60,10 @@ RunOutcome run_scenario(const Scenario& sc, std::uint64_t checker_budget) {
           fnv1a(std::as_bytes(std::span<const char>(out.trace_json)),
                 out.fingerprint);
     }
+    if (sc.flight_windows > 0) {
+      obs::Json ts = bed.timeseries_json();
+      if (!ts.is_null()) out.flight_json = ts.dump(2);
+    }
   }
 
   out.check = check_linearizability(recorder.events(), cfg.workload.n_keys,

@@ -46,6 +46,13 @@ struct RunOutcome {
   /// Chrome trace JSON of the run ("" unless the scenario set
   /// trace_sample_every). Byte-identical across replays of one scenario.
   std::string trace_json;
+  /// Flight-recorder herd-timeseries/1 JSON ("" unless the scenario set
+  /// flight_windows). Never folded into the fingerprint. Note that the
+  /// sampler does schedule engine events, so a flight-enabled replay of a
+  /// recorded seed reproduces the same history (same violation, same
+  /// history hash) but not the same engine-event counts — compare
+  /// fingerprints only between runs with equal flight_windows.
+  std::string flight_json;
 };
 
 /// A run demands attention iff the checker proved a linearizability

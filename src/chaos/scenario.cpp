@@ -43,6 +43,7 @@ std::string Scenario::to_json() const {
   s += ",\"break_dedup\":";
   s += break_dedup ? "true" : "false";
   s += ",\"trace_sample_every\":" + std::to_string(trace_sample_every);
+  s += ",\"flight_windows\":" + std::to_string(flight_windows);
   s += ",\"plan\":" + fault::to_json(plan);
   s += "}";
   return s;
@@ -132,6 +133,13 @@ core::TestbedConfig to_testbed_config(const Scenario& sc) {
   cfg.verify_values = true;
   cfg.seed = sc.seed;
   cfg.trace_sample_every = sc.trace_sample_every;
+  if (sc.flight_windows > 0) {
+    // Spread the windows across the measurement budget; the flight ring
+    // holds exactly that many, so the dump is the whole run.
+    cfg.flight_interval = std::max<sim::Tick>(sc.budget / sc.flight_windows,
+                                              1);
+    cfg.flight_ring = sc.flight_windows;
+  }
   return cfg;
 }
 

@@ -65,6 +65,12 @@ struct Scenario {
   /// determinism fingerprint, so replay divergence in *when* things
   /// happened — not only in what completed — is caught.
   std::uint64_t trace_sample_every = 0;
+  /// When nonzero, the run flight-records resource utilization into this
+  /// many fixed-width windows spanning the measurement budget; the
+  /// herd-timeseries/1 JSON lands in RunOutcome::flight_json. Defaults off
+  /// (0) so existing seeds keep their fingerprints; the runner's
+  /// --flight-dump re-runs a failing seed with this set.
+  std::uint32_t flight_windows = 0;
 
   std::string to_json() const;
 };

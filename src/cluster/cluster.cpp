@@ -86,6 +86,9 @@ Host::Host(sim::Engine& engine, fabric::Fabric& fabric,
 Cluster::Cluster(const ClusterConfig& cfg, std::size_t n_hosts,
                  std::size_t mem_per_host, std::uint64_t seed)
     : cfg_(cfg), fabric_(engine_, cfg.fabric) {
+  // Before any host attaches: fabric ports register their link directions
+  // as they are created.
+  fabric_.set_resource_registry(&resources_, "fabric");
   hosts_.reserve(n_hosts);
   for (std::size_t i = 0; i < n_hosts; ++i) {
     hosts_.push_back(std::make_unique<Host>(
@@ -106,6 +109,8 @@ Cluster::Cluster(const ClusterConfig& cfg, std::size_t n_hosts,
     std::string idx = std::to_string(i);
     h.pcie().register_metrics(registry_, "pcie.host" + idx);
     h.rnic().register_metrics(registry_, "rnic.host" + idx);
+    h.pcie().register_resources(resources_, "pcie.host" + idx);
+    h.rnic().register_resources(resources_, "rnic.host" + idx);
     h.pcie().set_tracer(&tracer_);
     h.ctx().set_tracer(&tracer_);
   }

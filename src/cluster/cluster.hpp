@@ -153,6 +153,14 @@ class Cluster {
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
 
+  /// The flight recorder's resource directory. Every contended
+  /// sim::Resource (fabric link directions, per-host PCIe paths and RNIC
+  /// pipelines) registers at construction under the same stable dotted
+  /// names the metric registry uses, so obs::FlightRecorder and
+  /// obs::attribute() see the whole cluster with no extra wiring.
+  obs::ResourceRegistry& resources() { return resources_; }
+  const obs::ResourceRegistry& resources() const { return resources_; }
+
   /// Total verbs-contract violations across all hosts (0 when the checker
   /// is disabled).
   std::uint64_t contract_violations() const;
@@ -163,6 +171,7 @@ class Cluster {
   ClusterConfig cfg_;
   sim::Engine engine_;
   obs::MetricRegistry registry_;
+  obs::ResourceRegistry resources_;
   obs::Tracer tracer_;
   fabric::Fabric fabric_;
   std::vector<std::unique_ptr<Host>> hosts_;

@@ -34,6 +34,11 @@ std::uint32_t Fabric::attach(const std::string& name) {
       std::make_unique<sim::Resource>(*engine_, name + "/tx"),
       std::make_unique<sim::Resource>(*engine_, name + "/rx"),
   });
+  if (resources_ != nullptr) {
+    std::string base = resource_prefix_ + ".host" + std::to_string(id);
+    resources_->add(base + ".tx", *ports_[id].tx);
+    resources_->add(base + ".rx", *ports_[id].rx);
+  }
   return id;
 }
 
@@ -67,12 +72,20 @@ void Fabric::transmit_at(sim::Tick start, std::uint32_t src, std::uint32_t dst,
   // Store-and-forward through the switch: serialize on the source link, cross
   // the switch, then serialize on the destination link (which is where incast
   // contention from many senders is resolved).
-  sim::Tick at_switch = ports_[src].tx->acquire_at(start, ser) + hop;
-  sim::Tick arrival = ports_[dst].rx->acquire_at(at_switch, ser);
+  sim::Resource::Admission tx = ports_[src].tx->admit_at(start, ser);
+  sim::Tick at_switch = tx.done + hop;
+  sim::Resource::Admission rx = ports_[dst].rx->admit_at(at_switch, ser);
+  sim::Tick arrival = rx.done;
   if (obs::tracing(tracer_)) {
-    tracer_->span(ports_[src].tx->name(), "wire_tx", at_switch - hop - ser,
-                  at_switch - hop, std::to_string(wire_bytes) + "B");
-    tracer_->span(ports_[dst].rx->name(), "wire_rx", arrival - ser, arrival,
+    if (tx.queued() > 0) {
+      tracer_->span(ports_[src].tx->name(), "queued", tx.arrival, tx.start);
+    }
+    tracer_->span(ports_[src].tx->name(), "wire_tx", tx.start, tx.done,
+                  std::to_string(wire_bytes) + "B");
+    if (rx.queued() > 0) {
+      tracer_->span(ports_[dst].rx->name(), "queued", rx.arrival, rx.start);
+    }
+    tracer_->span(ports_[dst].rx->name(), "wire_rx", rx.start, rx.done,
                   std::to_string(wire_bytes) + "B");
   }
   engine_->schedule_at(arrival, std::move(on_arrival));

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
@@ -125,6 +126,14 @@ class Fabric {
 
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Installs the flight recorder's resource registry: ports attached from
+  /// now on register their link directions as "<prefix>.host<id>.tx"/".rx".
+  /// Call before attach()ing hosts (the Cluster constructor does).
+  void set_resource_registry(obs::ResourceRegistry* reg, std::string prefix) {
+    resources_ = reg;
+    resource_prefix_ = std::move(prefix);
+  }
+
   const FabricConfig& config() const { return cfg_; }
   std::size_t num_ports() const { return ports_.size(); }
   sim::Resource& tx_link(std::uint32_t port) { return *ports_[port].tx; }
@@ -142,6 +151,8 @@ class Fabric {
   sim::Pcg32 rng_;
   WireFaultModel* fault_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::ResourceRegistry* resources_ = nullptr;
+  std::string resource_prefix_;
   obs::Counter lost_;
   obs::Counter degraded_;
 };

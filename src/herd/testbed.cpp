@@ -52,6 +52,10 @@ std::vector<std::string> TestbedConfig::validate() const {
   if (workload.n_keys == 0) {
     problems.push_back("workload.n_keys must be >= 1");
   }
+  if (flight_interval > 0 && flight_ring == 0) {
+    problems.push_back(
+        "flight_ring must be >= 1 when flight_interval is nonzero");
+  }
   if ((resilience.deadline > 0 || resilience.failover_threshold > 0) &&
       !herd.request_tokens) {
     problems.push_back(
@@ -239,8 +243,22 @@ HerdTestbed::RunResult HerdTestbed::run(sim::Tick warmup, sim::Tick measure) {
 
   for (auto& c : clients_) c->reset_stats();
   service_->reset_stats();
+  cluster_->resources().begin_window();
+  if (cfg_.flight_interval > 0) {
+    if (!flight_) {
+      obs::FlightConfig fc;
+      fc.interval = cfg_.flight_interval;
+      fc.ring = cfg_.flight_ring;
+      fc.source = "herd-testbed";
+      flight_ = std::make_unique<obs::FlightRecorder>(
+          engine, cluster_->resources(), &cluster_->metrics(), fc);
+    }
+    flight_->start();
+  }
   sim::Tick start = engine.now();
   engine.run_until(start + measure);
+  attr_ = obs::attribute(cluster_->resources());
+  if (flight_) flight_->stop();
   last_window_ = measure;
 
   RunResult r;

@@ -16,6 +16,7 @@
 #include "herd/client.hpp"
 #include "herd/config.hpp"
 #include "herd/service.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "workload/workload.hpp"
@@ -51,6 +52,14 @@ struct TestbedConfig {
   /// spans while a sampled request is in flight). 0 = tracing off; the
   /// hot-path cost of "off" is one branch per potential span.
   std::uint64_t trace_sample_every = 0;
+  /// Flight recorder: when nonzero, run() samples every registered
+  /// resource (plus counter deltas) at this simulated-time interval during
+  /// the measure window; timeseries_json() then returns the
+  /// "herd-timeseries/1" document. 0 = off (attribution still computed).
+  sim::Tick flight_interval = 0;
+  /// Ring capacity when the flight recorder is on: only the last
+  /// `flight_ring` windows are retained.
+  std::size_t flight_ring = 256;
 
   /// Cross-layer consistency checks; returns human-readable problems
   /// (empty = valid). TestbedConfigBuilder::build() enforces this;
@@ -168,6 +177,14 @@ class TestbedConfigBuilder {
     cfg_.trace_sample_every = v;
     return *this;
   }
+  TestbedConfigBuilder& flight_interval(sim::Tick v) {
+    cfg_.flight_interval = v;
+    return *this;
+  }
+  TestbedConfigBuilder& flight_ring(std::size_t v) {
+    cfg_.flight_ring = v;
+    return *this;
+  }
 
   /// Validates and returns the config; throws std::invalid_argument
   /// listing every problem when the setup is inconsistent.
@@ -230,6 +247,16 @@ class HerdTestbed {
   /// chrome://tracing or Perfetto).
   std::string trace_json() const { return cluster_->tracer().chrome_json(); }
 
+  /// Bottleneck attribution over the last run()'s measure window.
+  const obs::Attribution& attribution() const { return attr_; }
+  /// Flight recorder of the last run() (nullptr when flight_interval == 0).
+  const obs::FlightRecorder* flight() const { return flight_.get(); }
+  /// "herd-timeseries/1" document of the last run()'s measure window
+  /// (Null when flight_interval == 0).
+  obs::Json timeseries_json() const {
+    return flight_ ? flight_->to_json() : obs::Json();
+  }
+
   /// The armed injector (nullptr when fault_plan was empty).
   fault::FaultInjector* fault() { return fault_.get(); }
 
@@ -248,6 +275,8 @@ class HerdTestbed {
   std::unique_ptr<fault::FaultInjector> fault_;
   std::unique_ptr<HerdService> service_;
   std::vector<std::unique_ptr<HerdClient>> clients_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  obs::Attribution attr_;
   sim::Tick last_window_ = 0;
   std::vector<std::uint64_t> proc_requests_;
 };

@@ -11,6 +11,8 @@ const RunRecord& last_run() { return g_last; }
 double Microbench::run(const cluster::ClusterConfig& cfg) {
   record_.value = 0;
   record_.snapshot = {};
+  record_.attr = {};
+  record_.timeseries = {};
   record_.value = execute(cfg);
   g_last = record_;
   return record_.value;
@@ -23,7 +25,18 @@ double Microbench::measure_rate(cluster::Cluster& cl,
   eng.run_until(eng.now() + sim::ms(1));  // warm-up
   std::uint64_t before = count();
   sim::Tick start = eng.now();
+  // Flight-record the measurement window: 16 fixed-width windows however
+  // small `measure` is, so tiny CI runs still carry a usable timeline.
+  cl.resources().begin_window();
+  obs::FlightConfig fc;
+  fc.interval = measure / 16 > 0 ? measure / 16 : 1;
+  fc.source = record_.name;
+  obs::FlightRecorder flight(eng, cl.resources(), &cl.metrics(), fc);
+  flight.start();
   eng.run_until(start + measure);
+  record_.attr = obs::attribute(cl.resources());
+  flight.stop();
+  record_.timeseries = flight.to_json();
   finish(cl);
   return static_cast<double>(count() - before) / sim::to_sec(measure) / 1e6;
 }

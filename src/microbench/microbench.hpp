@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cluster/cluster.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace herd::microbench {
@@ -25,6 +26,12 @@ struct RunRecord {
   std::string unit;  // "Mops" or "us"
   double value = 0;
   obs::Snapshot snapshot;
+  /// Bottleneck attribution over the measurement window (empty when the
+  /// driver did not use measure_rate / attribute the run).
+  obs::Attribution attr;
+  /// Flight-recorder "herd-timeseries/1" document for the measurement
+  /// window (Null when not recorded).
+  obs::Json timeseries;
 };
 
 /// Base class for microbench drivers. Subclasses implement execute() —
@@ -34,8 +41,10 @@ struct RunRecord {
 /// finish() per cluster; the record keeps the last snapshot.
 class Microbench {
  public:
-  Microbench(std::string name, std::string unit)
-      : record_{std::move(name), std::move(unit), 0, {}} {}
+  Microbench(std::string name, std::string unit) {
+    record_.name = std::move(name);
+    record_.unit = std::move(unit);
+  }
   virtual ~Microbench() = default;
 
   /// Runs the bench and returns the headline value. Also publishes the

@@ -1,0 +1,184 @@
+#include "obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "obs/bench_report.hpp"
+
+namespace herd::obs {
+
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string fmt_pct(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", v * 100.0);
+  return buf;
+}
+
+const Json* find_series(const Json& doc, const std::string& name) {
+  const Json* series = doc.find("series");
+  if (series == nullptr || !series->is_array()) return nullptr;
+  for (const Json& s : series->elements()) {
+    const Json* n = s.find("name");
+    if (n != nullptr && n->is_string() && n->as_string() == name) return &s;
+  }
+  return nullptr;
+}
+
+const Json* find_point(const Json& series, double x) {
+  const Json* pts = series.find("points");
+  if (pts == nullptr || !pts->is_array()) return nullptr;
+  for (const Json& p : pts->elements()) {
+    const Json* px = p.find("x");
+    if (px != nullptr && px->is_number() && px->as_double() == x) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+MetricDirection metric_direction(const std::string& metric) {
+  std::string m = lower(metric);
+  // Lower-is-better cues win: a "miss_rate" is a miss metric, not a rate
+  // metric, and "retry_ops" would be a retry count, not throughput.
+  if (contains(m, "_us") || contains(m, "_ns") || contains(m, "latency") ||
+      contains(m, "miss") || m == "us" || m == "ns") {
+    return MetricDirection::kLowerIsBetter;
+  }
+  if (contains(m, "mops") || contains(m, "ops") || contains(m, "tput") ||
+      contains(m, "rate") || contains(m, "gbps") || contains(m, "hit")) {
+    return MetricDirection::kHigherIsBetter;
+  }
+  return MetricDirection::kExact;
+}
+
+CompareResult compare_bench(const Json& baseline, const Json& current,
+                            const CompareOptions& opts) {
+  CompareResult out;
+  for (const std::string& p : validate_bench_json(baseline)) {
+    out.problems.push_back("baseline: " + p);
+  }
+  for (const std::string& p : validate_bench_json(current)) {
+    out.problems.push_back("current: " + p);
+  }
+  if (!out.problems.empty()) return out;
+
+  std::string figure = baseline.find("figure")->as_string();
+  if (current.find("figure")->as_string() != figure) {
+    out.problems.push_back("figure mismatch: baseline \"" + figure +
+                           "\" vs current \"" +
+                           current.find("figure")->as_string() + "\"");
+    return out;
+  }
+
+  auto structural = [&](const std::string& series, double x,
+                        const std::string& metric, double base,
+                        const std::string& what) {
+    Regression r;
+    r.figure = figure;
+    r.series = series;
+    r.x = x;
+    r.metric = metric;
+    r.baseline = base;
+    r.note = figure + " " + series + (metric.empty() ? "" : " " + metric) +
+             ": " + what;
+    out.regressions.push_back(std::move(r));
+  };
+
+  for (const Json& bs : baseline.find("series")->elements()) {
+    std::string sname = bs.find("name")->as_string();
+    const Json* cs = find_series(current, sname);
+    if (cs == nullptr) {
+      structural(sname, 0.0, "", 0.0, "series missing from current");
+      continue;
+    }
+    // Point identity is the x value; duplicates make the pairing between
+    // baseline and current ambiguous, so refuse to gate such a series
+    // rather than silently compare the wrong points.
+    std::set<double> seen_x;
+    for (const Json& bp : bs.find("points")->elements()) {
+      const Json* bx = bp.find("x");
+      if (bx == nullptr || !bx->is_number()) continue;
+      double x = bx->as_double();
+      if (!seen_x.insert(x).second) {
+        out.problems.push_back("baseline: " + figure + " " + sname +
+                               ": duplicate point x=" + fmt(x) +
+                               " (x must uniquely identify a point)");
+        continue;
+      }
+      const Json* cp = find_point(*cs, x);
+      if (cp == nullptr) {
+        structural(sname, x, "", 0.0,
+                   "point x=" + fmt(x) + " missing from current");
+        continue;
+      }
+      for (const auto& [metric, bval] : bp.items()) {
+        if (metric == "x" || !bval.is_number()) continue;
+        // bottleneck_util is reported context, not a gated performance
+        // number (tiny-window CI runs shift utilization legitimately).
+        if (metric == "bottleneck_util") continue;
+        const Json* cval = cp->find(metric);
+        if (cval == nullptr || !cval->is_number()) {
+          structural(sname, x, metric, bval.as_double(),
+                     "metric missing from current at x=" + fmt(x));
+          continue;
+        }
+        double base = bval.as_double();
+        double cur = cval->as_double();
+        double rel = base == 0.0 ? (cur == 0.0 ? 0.0 : 1.0)
+                                 : (cur - base) / std::fabs(base);
+        double thr = opts.threshold_for(metric);
+        MetricDirection dir = metric_direction(metric);
+        bool bad = false;
+        switch (dir) {
+          case MetricDirection::kHigherIsBetter:
+            bad = rel < -thr;
+            break;
+          case MetricDirection::kLowerIsBetter:
+            bad = rel > thr;
+            break;
+          case MetricDirection::kExact:
+            bad = std::fabs(rel) > thr;
+            break;
+        }
+        ++out.checked;
+        if (!bad) continue;
+        Regression r;
+        r.figure = figure;
+        r.series = sname;
+        r.x = x;
+        r.metric = metric;
+        r.baseline = base;
+        r.current = cur;
+        r.rel_change = rel;
+        r.note = figure + " " + sname + " x=" + fmt(x) + " " + metric + ": " +
+                 fmt(base) + " -> " + fmt(cur) + " (" + fmt_pct(rel) +
+                 ", threshold " + fmt_pct(thr) + ")";
+        out.regressions.push_back(std::move(r));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace herd::obs

@@ -1,0 +1,77 @@
+// Perf-regression gate over herd-bench/1 documents.
+//
+// compare_bench() diffs a committed baseline BENCH_*.json against a freshly
+// produced one, point by point: every (series, x, metric) triple present in
+// the baseline must exist in the current document and stay within a relative
+// threshold. Metric direction is inferred from the name — throughput-like
+// metrics ("Mops", "tput", "rate", "gbps") may only fall, latency-like ones
+// ("us", "ns", "latency", "misses") may only rise, anything else is gated in
+// both directions (deterministic sim: benign drift *is* a model change
+// worth a baseline refresh). tools/bench_compare wraps this as the CLI the
+// CI bench-compare job runs against bench/baselines/.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace herd::obs {
+
+struct CompareOptions {
+  /// Maximum allowed relative change, |cur - base| / |base|.
+  double default_threshold = 0.10;
+  /// Per-metric overrides, keyed by metric name ("Mops"), taking
+  /// precedence over default_threshold.
+  std::map<std::string, double> metric_thresholds;
+
+  double threshold_for(const std::string& metric) const {
+    auto it = metric_thresholds.find(metric);
+    return it == metric_thresholds.end() ? default_threshold : it->second;
+  }
+};
+
+/// One gated difference between baseline and current.
+struct Regression {
+  std::string figure;
+  std::string series;
+  double x = 0.0;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Signed relative change ((cur - base) / |base|); 0 for structural
+  /// problems (missing series/point/metric).
+  double rel_change = 0.0;
+  /// Human-readable one-liner, ready to print.
+  std::string note;
+};
+
+struct CompareResult {
+  std::vector<Regression> regressions;
+  /// Gated comparisons that passed (for "checked N metrics" reporting).
+  std::size_t checked = 0;
+  /// Structural problems with the inputs themselves (bad schema, figure
+  /// mismatch). Non-empty means the comparison could not be trusted.
+  std::vector<std::string> problems;
+
+  bool ok() const { return regressions.empty() && problems.empty(); }
+};
+
+/// Direction a metric is allowed to move without being gated.
+enum class MetricDirection : std::uint8_t {
+  kHigherIsBetter,  // only a drop beyond threshold regresses
+  kLowerIsBetter,   // only a rise beyond threshold regresses
+  kExact,           // any move beyond threshold regresses
+};
+
+/// Name-based direction inference (case-insensitive substring match).
+MetricDirection metric_direction(const std::string& metric);
+
+/// Diffs two herd-bench/1 documents. Both must validate against the schema
+/// and agree on "figure"; otherwise the result carries problems and no
+/// point comparisons.
+CompareResult compare_bench(const Json& baseline, const Json& current,
+                            const CompareOptions& opts = {});
+
+}  // namespace herd::obs

@@ -34,6 +34,25 @@ void BenchReport::add_point(
   series_slot(series).points.push_back(std::move(p));
 }
 
+void BenchReport::add_point(
+    const std::string& series, double x,
+    std::vector<std::pair<std::string, double>> metrics,
+    const Attribution& attr) {
+  Json p = Json::object();
+  p["x"] = Json(x);
+  for (auto& [k, v] : metrics) p[k] = Json(v);
+  if (!attr.empty()) {
+    p["bottleneck"] = Json(attr.bottleneck);
+    p["bottleneck_util"] = Json(attr.bottleneck_utilization);
+    Json stages = Json::array();
+    for (const StageBreakdown& s : attr.stages) {
+      stages.push_back(s.to_json());
+    }
+    p["breakdown"] = std::move(stages);
+  }
+  series_slot(series).points.push_back(std::move(p));
+}
+
 bool BenchReport::has_points() const {
   for (const Series& s : series_) {
     if (!s.points.empty()) return true;
@@ -92,6 +111,14 @@ std::string BenchReport::write(const std::string& dir) const {
       throw std::runtime_error("BenchReport: cannot write " + tpath);
     }
     f << trace_;
+  }
+  if (!timeseries_.is_null()) {
+    std::string spath = base + "/TIMESERIES_" + spec_.figure + ".json";
+    std::ofstream f(spath);
+    if (!f) {
+      throw std::runtime_error("BenchReport: cannot write " + spath);
+    }
+    f << timeseries_.dump(2) << '\n';
   }
   return path;
 }

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -59,6 +60,19 @@ class BenchReport {
   void add_point(const std::string& series, double x,
                  std::vector<std::pair<std::string, double>> metrics);
 
+  /// As add_point(), carrying bottleneck attribution: the point gains
+  /// "bottleneck" (resource class with max utilization), "bottleneck_util",
+  /// and a per-stage "breakdown" array. An empty attribution (no resource
+  /// did work) adds nothing.
+  void add_point(const std::string& series, double x,
+                 std::vector<std::pair<std::string, double>> metrics,
+                 const Attribution& attr);
+
+  /// Flight-recorder "herd-timeseries/1" document for the run; written as
+  /// a sibling TIMESERIES_<figure>.json by write(). Null clears it.
+  void set_timeseries(Json doc) { timeseries_ = std::move(doc); }
+  const Json& timeseries() const { return timeseries_; }
+
   /// Registry snapshot of the (last) measured run.
   void set_snapshot(const Snapshot& s) {
     snapshot_ = s;
@@ -76,8 +90,9 @@ class BenchReport {
 
   Json to_json() const;
 
-  /// Writes BENCH_<figure>.json (and TRACE_<figure>.json when a trace was
-  /// captured) into `dir`; returns the bench file's path. Throws
+  /// Writes BENCH_<figure>.json (plus TRACE_<figure>.json when a trace was
+  /// captured and TIMESERIES_<figure>.json when a flight recording was
+  /// attached) into `dir`; returns the bench file's path. Throws
   /// std::runtime_error if the file cannot be written.
   std::string write(const std::string& dir) const;
 
@@ -95,6 +110,7 @@ class BenchReport {
   bool have_snapshot_ = false;
   std::string git_rev_ = "unknown";
   std::string trace_;
+  Json timeseries_;
 };
 
 /// Schema check for a BENCH_*.json document. Returns human-readable

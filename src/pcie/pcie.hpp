@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
@@ -83,12 +84,15 @@ class PcieLink {
     ++counters_.pio_writes;
     counters_.pio_cachelines += lines;
     sim::Tick occ = static_cast<sim::Tick>(lines) * cfg_.pio_per_cacheline;
-    sim::Tick free = pio_.acquire(occ);
+    sim::Resource::Admission adm = pio_.admit(occ);
     if (obs::tracing(tracer_)) {
-      tracer_->span(pio_.name(), "pio_write", free - occ, free,
+      if (adm.queued() > 0) {
+        tracer_->span(pio_.name(), "queued", adm.arrival, adm.start);
+      }
+      tracer_->span(pio_.name(), "pio_write", adm.start, adm.done,
                     std::to_string(bytes) + "B");
     }
-    return free + cfg_.pio_latency;
+    return adm.done + cfg_.pio_latency;
   }
 
   /// A DMA transaction: the engine is free to accept the next transaction at
@@ -109,12 +113,15 @@ class PcieLink {
     counters_.dma_read_bytes += bytes;
     sim::Tick occ =
         cfg_.dma_read_per_op + sim::bytes_at_gbps(bytes, cfg_.dma_read_gbps);
-    sim::Tick free = dma_rd_.acquire_at(start, occ);
+    sim::Resource::Admission adm = dma_rd_.admit_at(start, occ);
     if (obs::tracing(tracer_)) {
-      tracer_->span(dma_rd_.name(), "dma_read", free - occ, free,
+      if (adm.queued() > 0) {
+        tracer_->span(dma_rd_.name(), "queued", adm.arrival, adm.start);
+      }
+      tracer_->span(dma_rd_.name(), "dma_read", adm.start, adm.done,
                     std::to_string(bytes) + "B");
     }
-    return {free, free + cfg_.dma_read_latency};
+    return {adm.done, adm.done + cfg_.dma_read_latency};
   }
 
   /// Device writes `bytes` to host memory (posted).
@@ -123,12 +130,15 @@ class PcieLink {
     counters_.dma_write_bytes += bytes;
     sim::Tick occ =
         cfg_.dma_write_per_op + sim::bytes_at_gbps(bytes, cfg_.dma_write_gbps);
-    sim::Tick free = dma_wr_.acquire_at(start, occ);
+    sim::Resource::Admission adm = dma_wr_.admit_at(start, occ);
     if (obs::tracing(tracer_)) {
-      tracer_->span(dma_wr_.name(), "dma_write", free - occ, free,
+      if (adm.queued() > 0) {
+        tracer_->span(dma_wr_.name(), "queued", adm.arrival, adm.start);
+      }
+      tracer_->span(dma_wr_.name(), "dma_write", adm.start, adm.done,
                     std::to_string(bytes) + "B");
     }
-    return {free, free + cfg_.dma_write_latency};
+    return {adm.done, adm.done + cfg_.dma_write_latency};
   }
 
   const PcieConfig& config() const { return cfg_; }
@@ -157,6 +167,15 @@ class PcieLink {
                  [this] { return dma_rd_.utilization(); });
     reg.gauge_fn(prefix + ".dma_write_utilization",
                  [this] { return dma_wr_.utilization(); });
+  }
+
+  /// Registers the three contended paths with the flight recorder's
+  /// resource registry under `prefix` (e.g. "pcie.host0").
+  void register_resources(obs::ResourceRegistry& reg,
+                          const std::string& prefix) {
+    reg.add(prefix + ".pio", pio_);
+    reg.add(prefix + ".dma_rd", dma_rd_);
+    reg.add(prefix + ".dma_wr", dma_wr_);
   }
 
  private:

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "rnic/calibration.hpp"
 #include "rnic/qp_cache.hpp"
@@ -93,6 +94,15 @@ class Rnic {
                  [this] { return rx_.utilization(); });
     reg.gauge_fn(prefix + ".dispatch_utilization",
                  [this] { return dispatch_.utilization(); });
+  }
+
+  /// Registers the pipeline stages with the flight recorder's resource
+  /// registry under `prefix` (e.g. "rnic.host0").
+  void register_resources(obs::ResourceRegistry& reg,
+                          const std::string& prefix) {
+    reg.add(prefix + ".tx", tx_);
+    reg.add(prefix + ".rx", rx_);
+    reg.add(prefix + ".dispatch", dispatch_);
   }
 
   /// Outstanding-unsignaled-WQE pressure (§3.3). Returns the extra TX

@@ -322,18 +322,26 @@ void Qp::tx_stage(SendWr wr, std::vector<std::byte> payload, sim::Tick ready) {
   occ += penalty;
   occ += rn.unsignaled_pressure();
 
-  sim::Tick t1 = rn.dispatch().acquire_at(ready, cal.dispatch);
-  sim::Tick tx_done = rn.tx().acquire_at(t1, occ);
+  sim::Resource::Admission disp = rn.dispatch().admit_at(ready, cal.dispatch);
+  sim::Tick t1 = disp.done;
+  sim::Resource::Admission tx = rn.tx().admit_at(t1, occ);
+  sim::Tick tx_done = tx.done;
   sim::Tick departed = tx_done + cal.tx_latency;
 
   if (obs::tracing(ctx_->tracer())) {
     auto* tr = ctx_->tracer();
-    tr->span(rn.dispatch().name(), "dispatch", t1 - cal.dispatch, t1,
+    if (disp.queued() > 0) {
+      tr->span(rn.dispatch().name(), "queued", disp.arrival, disp.start);
+    }
+    tr->span(rn.dispatch().name(), "dispatch", disp.start, disp.done,
              opcode_name(wr.opcode));
+    if (tx.queued() > 0) {
+      tr->span(rn.tx().name(), "queued", tx.arrival, tx.start);
+    }
     tr->span(rn.tx().name(), std::string("tx_") + opcode_name(wr.opcode),
-             tx_done - occ, tx_done);
+             tx.start, tx.done);
     if (penalty > 0) {
-      tr->instant(rn.tx().name(), "qp_cache_miss", tx_done - occ);
+      tr->instant(rn.tx().name(), "qp_cache_miss", tx.start);
     }
   }
 
@@ -470,18 +478,26 @@ void Qp::rx_arrive(Inbound in) {
       qpn_, rnic::Role::kResponder, cache_weight(rnic::Role::kResponder));
   occ += penalty;
 
-  sim::Tick t1 = rn.dispatch().acquire(cal.dispatch);
-  sim::Tick rx_end = rn.rx().acquire_at(t1, occ);
+  sim::Resource::Admission disp = rn.dispatch().admit(cal.dispatch);
+  sim::Tick t1 = disp.done;
+  sim::Resource::Admission rx = rn.rx().admit_at(t1, occ);
+  sim::Tick rx_end = rx.done;
   sim::Tick done = rx_end + cal.rx_latency;
 
   if (obs::tracing(ctx_->tracer())) {
     auto* tr = ctx_->tracer();
-    tr->span(rn.dispatch().name(), "dispatch", t1 - cal.dispatch, t1,
+    if (disp.queued() > 0) {
+      tr->span(rn.dispatch().name(), "queued", disp.arrival, disp.start);
+    }
+    tr->span(rn.dispatch().name(), "dispatch", disp.start, disp.done,
              opcode_name(in.opcode));
+    if (rx.queued() > 0) {
+      tr->span(rn.rx().name(), "queued", rx.arrival, rx.start);
+    }
     tr->span(rn.rx().name(), std::string("rx_") + opcode_name(in.opcode),
-             rx_end - occ, rx_end);
+             rx.start, rx.done);
     if (penalty > 0) {
-      tr->instant(rn.rx().name(), "qp_cache_miss", rx_end - occ);
+      tr->instant(rn.rx().name(), "qp_cache_miss", rx.start);
     }
   }
   // Inbound throughput = RX service rate. The fabric is lossless (credit

@@ -1,0 +1,186 @@
+// Tests for the perf-regression comparator (src/obs/bench_compare.*),
+// which gates CI against the committed bench/baselines/.
+#include <gtest/gtest.h>
+
+#include "obs/bench_compare.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace herd::obs;
+
+// A minimal valid herd-bench/1 document with one series and two points.
+Json make_doc(double mops_a, double mops_b, double lat_a) {
+  Json doc = Json::object();
+  doc["schema"] = Json("herd-bench/1");
+  doc["figure"] = Json("figX");
+  doc["title"] = Json("test");
+  doc["git_rev"] = Json("deadbeef");
+  doc["config"] = Json::object();
+  doc["registry"] = Json::object();
+  Json p0 = Json::object();
+  p0["x"] = Json(4.0);
+  p0["Mops"] = Json(mops_a);
+  p0["avg_us"] = Json(lat_a);
+  p0["bottleneck"] = Json("pcie.pio");
+  p0["bottleneck_util"] = Json(0.99);
+  Json p1 = Json::object();
+  p1["x"] = Json(8.0);
+  p1["Mops"] = Json(mops_b);
+  Json pts = Json::array();
+  pts.push_back(std::move(p0));
+  pts.push_back(std::move(p1));
+  Json s = Json::object();
+  s["name"] = Json("S");
+  s["points"] = std::move(pts);
+  Json series = Json::array();
+  series.push_back(std::move(s));
+  doc["series"] = std::move(series);
+  return doc;
+}
+
+TEST(MetricDirection, HeuristicsMatchNamingConventions) {
+  EXPECT_EQ(metric_direction("Mops"), MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(metric_direction("tput_gbps"), MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(metric_direction("hit_fraction"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(metric_direction("avg_us"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("p99_ns"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("latency"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("qp_cache_missrate"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("clients"), MetricDirection::kExact);
+}
+
+TEST(CompareBench, IdenticalDocsAreClean) {
+  Json doc = make_doc(10.0, 20.0, 5.0);
+  CompareResult res = compare_bench(doc, doc);
+  EXPECT_TRUE(res.ok());
+  // Mops x2 + avg_us; bottleneck_util and the string field are not gated.
+  EXPECT_EQ(res.checked, 3u);
+}
+
+TEST(CompareBench, ThroughputDropBeyondThresholdRegresses) {
+  Json base = make_doc(10.0, 20.0, 5.0);
+  Json cur = make_doc(8.0, 20.0, 5.0);  // -20% on Mops at x=4
+  CompareResult res = compare_bench(base, cur);
+  ASSERT_EQ(res.regressions.size(), 1u);
+  EXPECT_EQ(res.regressions[0].metric, "Mops");
+  EXPECT_EQ(res.regressions[0].x, 4.0);
+  EXPECT_NEAR(res.regressions[0].rel_change, -0.2, 1e-9);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(CompareBench, ThroughputGainIsNotARegression) {
+  Json base = make_doc(10.0, 20.0, 5.0);
+  Json cur = make_doc(15.0, 20.0, 5.0);  // +50% Mops: improvement
+  EXPECT_TRUE(compare_bench(base, cur).ok());
+}
+
+TEST(CompareBench, LatencyRiseRegressesGainDoesNot) {
+  Json base = make_doc(10.0, 20.0, 5.0);
+  Json worse = make_doc(10.0, 20.0, 6.0);  // +20% avg_us
+  Json better = make_doc(10.0, 20.0, 4.0);
+  EXPECT_FALSE(compare_bench(base, worse).ok());
+  EXPECT_TRUE(compare_bench(base, better).ok());
+}
+
+TEST(CompareBench, WithinThresholdPasses) {
+  Json base = make_doc(10.0, 20.0, 5.0);
+  Json cur = make_doc(9.5, 20.0, 5.4);  // -5% Mops, +8% avg_us
+  EXPECT_TRUE(compare_bench(base, cur).ok());
+}
+
+TEST(CompareBench, PerMetricThresholdOverrides) {
+  Json base = make_doc(10.0, 20.0, 5.0);
+  Json cur = make_doc(9.5, 20.0, 5.0);  // -5% Mops
+  CompareOptions opt;
+  opt.metric_thresholds["Mops"] = 0.02;
+  EXPECT_FALSE(compare_bench(base, cur, opt).ok());
+}
+
+TEST(CompareBench, MissingSeriesIsAStructuralRegression) {
+  Json base = make_doc(10.0, 20.0, 5.0);
+  // Current document carries a different series name: "S" went missing.
+  Json renamed = make_doc(10.0, 20.0, 5.0);
+  renamed["series"] = Json::array();
+  Json s = Json::object();
+  s["name"] = Json("T");
+  Json pts = Json::array();
+  Json p = Json::object();
+  p["x"] = Json(4.0);
+  p["Mops"] = Json(10.0);
+  pts.push_back(std::move(p));
+  s["points"] = std::move(pts);
+  renamed["series"].push_back(std::move(s));
+  CompareResult res = compare_bench(base, renamed);
+  ASSERT_EQ(res.regressions.size(), 1u);
+  EXPECT_NE(res.regressions[0].note.find("series missing"), std::string::npos);
+}
+
+TEST(CompareBench, MissingPointIsAStructuralRegression) {
+  Json base = make_doc(10.0, 20.0, 5.0);
+  // Drop the x=8 point from the current document.
+  Json cur = make_doc(10.0, 20.0, 5.0);
+  Json s = Json::object();
+  s["name"] = Json("S");
+  Json pts = Json::array();
+  pts.push_back(cur["series"].elements()[0].find("points")->elements()[0]);
+  s["points"] = std::move(pts);
+  cur["series"] = Json::array();
+  cur["series"].push_back(std::move(s));
+  CompareResult res = compare_bench(base, cur);
+  ASSERT_EQ(res.regressions.size(), 1u);
+  EXPECT_NE(res.regressions[0].note.find("point x=8"), std::string::npos);
+}
+
+TEST(CompareBench, InvalidDocumentIsAProblemNotACrash) {
+  Json bad = Json::object();
+  bad["schema"] = Json("herd-bench/1");
+  CompareResult res = compare_bench(bad, make_doc(1, 2, 3));
+  EXPECT_FALSE(res.ok());
+  EXPECT_FALSE(res.problems.empty());
+}
+
+TEST(CompareBench, FigureMismatchIsAProblem) {
+  Json base = make_doc(10.0, 20.0, 5.0);
+  Json cur = make_doc(10.0, 20.0, 5.0);
+  cur["figure"] = Json("figY");
+  CompareResult res = compare_bench(base, cur);
+  EXPECT_FALSE(res.problems.empty());
+}
+
+TEST(CompareBench, DuplicateXInBaselineIsAProblem) {
+  Json base = make_doc(10.0, 20.0, 5.0);
+  // Append a second x=4 point to the baseline series: ambiguous identity.
+  Json p = Json::object();
+  p["x"] = Json(4.0);
+  p["Mops"] = Json(11.0);
+  // series is an array; rebuild it with the extra point.
+  Json doc = make_doc(10.0, 20.0, 5.0);
+  Json s = Json::object();
+  s["name"] = Json("S");
+  Json pts = Json::array();
+  for (const Json& old : doc["series"].elements()[0].find("points")->elements()) {
+    pts.push_back(old);
+  }
+  pts.push_back(std::move(p));
+  s["points"] = std::move(pts);
+  doc["series"] = Json::array();
+  doc["series"].push_back(std::move(s));
+  CompareResult res = compare_bench(doc, base);
+  EXPECT_FALSE(res.problems.empty());
+}
+
+TEST(CompareBench, ZeroBaselineGatesOnAnyChange) {
+  Json base = make_doc(0.0, 20.0, 5.0);
+  Json same = make_doc(0.0, 20.0, 5.0);
+  EXPECT_TRUE(compare_bench(base, same).ok());
+  Json moved = make_doc(1.0, 20.0, 5.0);  // 0 -> 1 Mops is an improvement
+  EXPECT_TRUE(compare_bench(base, moved).ok());
+  Json lat_base = make_doc(10.0, 20.0, 0.0);
+  Json lat_cur = make_doc(10.0, 20.0, 2.0);  // 0 -> 2 us must gate
+  EXPECT_FALSE(compare_bench(lat_base, lat_cur).ok());
+}
+
+}  // namespace

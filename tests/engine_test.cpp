@@ -151,6 +151,94 @@ TEST(Resource, UtilizationTracksBusyFraction) {
   EXPECT_EQ(r.ops(), 0u);
 }
 
+// Regression: pipeline stages enqueue service time that lies in the future
+// (analytic completion times), so naive busy/elapsed accounting exceeded
+// 1.0. Busy time must clamp to the sampling instant.
+TEST(Resource, UtilizationNeverExceedsOneWithQueuedFutureWork) {
+  Engine eng;
+  Resource r(eng, "u");
+  for (int i = 0; i < 10; ++i) r.acquire(ns(100));  // 1000 ns of backlog
+  eng.run_until(ns(100));
+  EXPECT_NEAR(r.utilization(), 1.0, 1e-9);  // not 10.0
+  EXPECT_EQ(r.busy_time(), ns(1000));       // unclamped meter still full
+  eng.run_until(ns(2000));
+  EXPECT_NEAR(r.utilization(), 0.5, 1e-9);  // 1000 busy / 2000 elapsed
+}
+
+// Regression: reset_stats() mid-busy-segment must split the segment — the
+// part before the reset belongs to the old window, the rest accrues to the
+// new one. Both windows must still read <= 1.0.
+TEST(Resource, ResetStatsSplitsSpanningBusySegment) {
+  Engine eng;
+  Resource r(eng, "u");
+  r.acquire(ns(100));
+  eng.run_until(ns(50));
+  EXPECT_NEAR(r.utilization(), 1.0, 1e-9);
+  r.reset_stats();  // 50 ns of the segment remain ahead
+  eng.run_until(ns(100));
+  EXPECT_NEAR(r.utilization(), 1.0, 1e-9);  // remaining 50/50, not 100/50
+  eng.run_until(ns(150));
+  EXPECT_NEAR(r.utilization(), 0.5, 1e-9);
+}
+
+TEST(Resource, CumulativeBusyClampsPartialSegment) {
+  Engine eng;
+  Resource r(eng, "u");
+  r.acquire_at(ns(10), ns(20));  // busy [10, 30)
+  EXPECT_EQ(r.cumulative_busy(ns(5)), 0u);
+  EXPECT_EQ(r.cumulative_busy(ns(15)), ns(5));
+  EXPECT_EQ(r.cumulative_busy(ns(30)), ns(20));
+  EXPECT_EQ(r.cumulative_busy(ns(100)), ns(20));
+}
+
+TEST(Resource, AdmissionReportsQueueingVsServiceSplit) {
+  Engine eng;
+  Resource r(eng, "u");
+  Resource::Admission a = r.admit(ns(10));
+  EXPECT_EQ(a.queued(), 0u);
+  EXPECT_EQ(a.service(), ns(10));
+  Resource::Admission b = r.admit(ns(10));  // behind the first
+  EXPECT_EQ(b.queued(), ns(10));
+  EXPECT_EQ(b.service(), ns(10));
+  EXPECT_EQ(b.done, ns(20));
+}
+
+TEST(Resource, BacklogIsTimeToDrain) {
+  Engine eng;
+  Resource r(eng, "u");
+  EXPECT_EQ(r.backlog(), 0u);
+  r.acquire(ns(40));
+  EXPECT_EQ(r.backlog(), ns(40));
+  eng.run_until(ns(30));
+  EXPECT_EQ(r.backlog(), ns(10));
+  eng.run_until(ns(100));
+  EXPECT_EQ(r.backlog(), 0u);
+}
+
+TEST(Resource, StageStatsRecordOnlyWhenEnabled) {
+  Engine eng;
+  Resource r(eng, "u");
+  r.acquire(ns(10));
+  EXPECT_EQ(r.stage_stats(), nullptr);  // off by default: cores pay nothing
+  r.enable_stage_stats();
+  r.acquire(ns(10));  // queued 10 behind the first
+  ASSERT_NE(r.stage_stats(), nullptr);
+  EXPECT_EQ(r.stage_stats()->queue.count(), 1u);
+  EXPECT_EQ(r.stage_stats()->service.count(), 1u);
+  r.reset_stats();
+  EXPECT_EQ(r.stage_stats()->queue.count(), 0u);
+}
+
+TEST(Resource, TotalOpsSurvivesResetStats) {
+  Engine eng;
+  Resource r(eng, "u");
+  r.acquire(ns(1));
+  r.acquire(ns(1));
+  r.reset_stats();
+  EXPECT_EQ(r.ops(), 0u);
+  EXPECT_EQ(r.total_ops(), 2u);
+}
+
 TEST(SequentialCore, SerializesWork) {
   Engine eng;
   cluster::SequentialCore core(eng, "c");

@@ -1,0 +1,182 @@
+// Perf-regression gate: diffs two herd-bench/1 documents (or two
+// directories of them) and fails when any metric moved past its threshold
+// in the bad direction.
+//
+// Usage:
+//   bench_compare [options] BASELINE.json CURRENT.json
+//   bench_compare [options] --dir BASELINE_DIR CURRENT_DIR
+//
+// Options:
+//   --threshold=FRAC            Default relative threshold (default 0.10,
+//                               i.e. a 10% move in the bad direction fails).
+//   --metric-threshold=M=FRAC   Per-metric threshold override; repeatable
+//                               (e.g. --metric-threshold=avg_us=0.25).
+//   --help                      Print this help and exit 0.
+//
+// Direction is inferred from the metric name: throughput-like metrics
+// (Mops, *_rate, *_gbps, hits) must not drop; latency-like metrics (*_us,
+// *_ns, misses) must not rise; anything else is gated in both directions.
+// `bottleneck_util` and the x coordinate are never gated.
+//
+// In --dir mode every BENCH_*.json in BASELINE_DIR must exist in
+// CURRENT_DIR; a missing file is a regression (a bench silently vanishing
+// is the worst kind of slowdown). Extra files in CURRENT_DIR are fine —
+// new benches don't need a baseline to land.
+//
+// Exit codes: 0 = no regressions, 1 = regressions or invalid input,
+// 64 = usage error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+const char* kUsage =
+    "usage: bench_compare [options] BASELINE.json CURRENT.json\n"
+    "       bench_compare [options] --dir BASELINE_DIR CURRENT_DIR\n"
+    "\n"
+    "Compares herd-bench/1 documents and exits 1 if any metric regressed\n"
+    "past its threshold (relative, in the metric's bad direction).\n"
+    "\n"
+    "options:\n"
+    "  --threshold=FRAC            default relative threshold (default "
+    "0.10)\n"
+    "  --metric-threshold=M=FRAC   per-metric override, repeatable\n"
+    "  --dir                       compare directories of BENCH_*.json\n"
+    "  --help                      show this help\n"
+    "\n"
+    "exit: 0 = clean, 1 = regression or invalid input, 64 = usage\n";
+
+bool load_json(const std::string& path, herd::obs::Json& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    out = herd::obs::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s: not parseable as JSON: %s\n",
+                 path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+// Compares one baseline/current file pair; returns the number of failures
+// (regressions + validation problems) and prints each one.
+int compare_files(const std::string& base_path, const std::string& cur_path,
+                  const herd::obs::CompareOptions& opt) {
+  herd::obs::Json base, cur;
+  if (!load_json(base_path, base) || !load_json(cur_path, cur)) return 1;
+  herd::obs::CompareResult res = herd::obs::compare_bench(base, cur, opt);
+  for (const auto& p : res.problems) {
+    std::fprintf(stderr, "INVALID %s vs %s: %s\n", base_path.c_str(),
+                 cur_path.c_str(), p.c_str());
+  }
+  for (const auto& r : res.regressions) {
+    std::fprintf(stderr, "REGRESSION %s\n", r.note.c_str());
+  }
+  if (res.ok()) {
+    std::printf("%s vs %s: ok (%zu metrics checked)\n", base_path.c_str(),
+                cur_path.c_str(), res.checked);
+  }
+  return static_cast<int>(res.problems.size() + res.regressions.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  herd::obs::CompareOptions opt;
+  bool dir_mode = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--dir") {
+      dir_mode = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      opt.default_threshold = std::atof(arg.c_str() + 12);
+      if (opt.default_threshold <= 0) {
+        std::fprintf(stderr, "bench_compare: bad --threshold: %s\n",
+                     arg.c_str());
+        return 64;
+      }
+    } else if (arg.rfind("--metric-threshold=", 0) == 0) {
+      std::string spec = arg.substr(19);
+      auto eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "bench_compare: bad --metric-threshold: %s\n",
+                     arg.c_str());
+        return 64;
+      }
+      opt.metric_thresholds[spec.substr(0, eq)] =
+          std::atof(spec.c_str() + eq + 1);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown option %s\n%s",
+                   arg.c_str(), kUsage);
+      return 64;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fputs(kUsage, stderr);
+    return 64;
+  }
+
+  if (!dir_mode) {
+    return compare_files(paths[0], paths[1], opt) == 0 ? 0 : 1;
+  }
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(paths[0], ec) || !fs::is_directory(paths[1], ec)) {
+    std::fprintf(stderr, "bench_compare: --dir needs two directories\n");
+    return 64;
+  }
+  std::vector<std::string> names;
+  for (const auto& e : fs::directory_iterator(paths[0])) {
+    std::string n = e.path().filename().string();
+    if (n.rfind("BENCH_", 0) == 0 && n.size() > 5 &&
+        n.substr(n.size() - 5) == ".json") {
+      names.push_back(n);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  if (names.empty()) {
+    std::fprintf(stderr, "bench_compare: no BENCH_*.json in %s\n",
+                 paths[0].c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const auto& n : names) {
+    std::string base_path = (fs::path(paths[0]) / n).string();
+    std::string cur_path = (fs::path(paths[1]) / n).string();
+    if (!fs::exists(cur_path, ec)) {
+      std::fprintf(stderr,
+                   "REGRESSION %s: present in baseline but missing from %s\n",
+                   n.c_str(), paths[1].c_str());
+      ++failures;
+      continue;
+    }
+    failures += compare_files(base_path, cur_path, opt);
+  }
+  if (failures == 0) {
+    std::printf("bench_compare: %zu file(s) clean\n", names.size());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,12 +1,15 @@
-// Validates BENCH_*.json files against the herd-bench/1 schema.
+// Validates bench output files against their declared schema.
 //
 // Usage: bench_schema_check FILE [FILE...]
 //
-// This is the CI gate behind the bench-smoke job: every per-figure binary
-// writes a BENCH_fig<N>.json, and this tool fails the build if any of them
-// drifts from the schema documented in src/obs/bench_report.hpp. It uses
-// the same obs::validate_bench_json() checker as tests/obs_test.cpp, so the
-// gate and the unit tests cannot disagree about what "valid" means.
+// Dispatches on the document's top-level "schema" field: "herd-bench/1"
+// (BENCH_*.json, checked by obs::validate_bench_json) and
+// "herd-timeseries/1" (TIMESERIES_*.json flight-recorder dumps, checked by
+// obs::validate_timeseries_json). A document with any other schema string
+// fails — an unknown schema means a producer drifted without updating the
+// gate. This is the CI gate behind the bench-smoke job; it uses the same
+// validators as tests/obs_test.cpp and tests/flight_test.cpp, so the gate
+// and the unit tests cannot disagree about what "valid" means.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -14,6 +17,7 @@
 #include <string>
 
 #include "obs/bench_report.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 
 int main(int argc, char** argv) {
@@ -34,7 +38,21 @@ int main(int argc, char** argv) {
     std::vector<std::string> problems;
     try {
       herd::obs::Json doc = herd::obs::Json::parse(buf.str());
-      problems = herd::obs::validate_bench_json(doc);
+      std::string schema;
+      if (doc.is_object()) {
+        if (const herd::obs::Json* s = doc.find("schema");
+            s != nullptr && s->is_string()) {
+          schema = s->as_string();
+        }
+      }
+      if (schema == "herd-timeseries/1") {
+        problems = herd::obs::validate_timeseries_json(doc);
+      } else if (schema == "herd-bench/1") {
+        problems = herd::obs::validate_bench_json(doc);
+      } else {
+        problems.push_back("unknown schema \"" + schema +
+                           "\" (expected herd-bench/1 or herd-timeseries/1)");
+      }
     } catch (const std::exception& e) {
       problems.push_back(std::string("not parseable as JSON: ") + e.what());
     }

@@ -34,6 +34,7 @@ struct Options {
   std::uint64_t trace_every = 32;    // request-lifecycle trace sampling
   std::uint64_t checker_budget = 1000000;
   std::uint32_t shrink_runs = 64;
+  std::uint64_t flight_dump = 0;  // 0 = off; N = dump last N flight windows
   bool break_dedup = false;
   bool shrink = true;
   bool verbose = false;
@@ -44,7 +45,13 @@ void usage(const char* argv0) {
                "usage: %s [--seeds N] [--start-seed S] [--budget-ticks T]\n"
                "          [--replay-every K] [--trace-every K]\n"
                "          [--checker-budget B] [--shrink-runs R]\n"
-               "          [--break-dedup] [--no-shrink] [--verbose]\n",
+               "          [--flight-dump N] [--break-dedup] [--no-shrink]\n"
+               "          [--verbose]\n"
+               "\n"
+               "--flight-dump N: on a violation, replay the failing seed\n"
+               "with the flight recorder on and print the last N resource-\n"
+               "utilization windows (herd-timeseries/1 JSON) next to the\n"
+               "scenario, so the bug report carries the resource timeline.\n",
                argv0);
 }
 
@@ -70,6 +77,7 @@ bool parse_options(int argc, char** argv, Options& opt) {
     if (a == "--replay-every" && next(opt.replay_every)) continue;
     if (a == "--trace-every" && next(opt.trace_every)) continue;
     if (a == "--checker-budget" && next(opt.checker_budget)) continue;
+    if (a == "--flight-dump" && next(opt.flight_dump)) continue;
     if (a == "--shrink-runs" && next(v)) {
       opt.shrink_runs = static_cast<std::uint32_t>(v);
       continue;
@@ -101,6 +109,23 @@ void report_violation(const herd::chaos::RunOutcome& out, const Options& opt) {
                 out.check.explanation.c_str());
   }
   std::printf("scenario: %s\n", out.scenario.to_json().c_str());
+
+  if (opt.flight_dump > 0) {
+    // Replay the same seed with the flight recorder on: the sim is
+    // deterministic, so the timeline below is the timeline of the failure.
+    herd::chaos::Scenario fs = out.scenario;
+    fs.flight_windows = static_cast<std::uint32_t>(opt.flight_dump);
+    herd::chaos::RunOutcome fout =
+        herd::chaos::run_scenario(fs, opt.checker_budget);
+    if (!fout.flight_json.empty()) {
+      std::printf("flight recorder (last %llu windows):\n%s\n",
+                  static_cast<unsigned long long>(opt.flight_dump),
+                  fout.flight_json.c_str());
+    } else {
+      std::printf("flight recorder: no windows recorded\n");
+    }
+  }
+
   if (!opt.shrink) return;
 
   std::printf("shrinking (budget %u runs)...\n", opt.shrink_runs);

@@ -18,6 +18,16 @@
 //                  map is fine; iterating it is not.
 //   raw-new        No raw `new` / `delete` outside allocator/arena code.
 //                  Ownership goes through std::unique_ptr / containers.
+//   resource-registry
+//                  Files in simulation paths that construct a
+//                  `sim::Resource` (member declaration or make_unique) must
+//                  also register resources with obs::ResourceRegistry —
+//                  otherwise the flight recorder and bottleneck attribution
+//                  silently miss a queueing server and the "bottleneck"
+//                  field lies. A file counts as registry-aware when it
+//                  mentions ResourceRegistry, register_resources, or the
+//                  resources_ registry member; anything else needs a
+//                  suppression entry explaining why its resource is exempt.
 //
 // Matching happens on a comment- and string-stripped view of each file, so
 // a mention of rand() in a comment never fires. Exceptions are declared in
@@ -346,6 +356,55 @@ struct PtrKeyTracker {
   }
 };
 
+/// True iff the stripped file references the resource registry — the signal
+/// that its sim::Resource instances are (or can be) registered for flight
+/// recording. `resources_` is the conventional registry pointer/member name
+/// (see cluster::Cluster and fabric::Fabric).
+bool mentions_resource_registry(const std::string& stripped) {
+  return has_identifier(stripped, "ResourceRegistry",
+                        /*allow_qualified=*/true) ||
+         has_identifier(stripped, "register_resources",
+                        /*allow_qualified=*/true) ||
+         has_identifier(stripped, "resources_", /*allow_qualified=*/true);
+}
+
+/// Flags `sim::Resource name` declarations and make_unique<sim::Resource>
+/// in simulation paths of files that never touch the registry. References
+/// and pointers (`sim::Resource&`, `sim::Resource*`) pass: borrowing an
+/// already-registered resource is fine, constructing an invisible one is
+/// not.
+void check_resource_registry(const std::string& path, std::string_view line,
+                             std::size_t lineno, bool registry_aware,
+                             std::vector<Violation>& out) {
+  if (registry_aware || !in_sim_path(path)) return;
+  if (line.find("make_unique<sim::Resource>") != std::string_view::npos) {
+    out.push_back({path, lineno, "resource-registry",
+                   "sim::Resource constructed in a file that never "
+                   "registers with obs::ResourceRegistry: the flight "
+                   "recorder cannot see it"});
+    return;
+  }
+  std::size_t pos = 0;
+  static constexpr std::string_view kType = "sim::Resource";
+  while ((pos = line.find(kType, pos)) != std::string_view::npos) {
+    std::size_t end = pos + kType.size();
+    bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    // Declaration form: type, whitespace, identifier. `&`/`*`/`>` after the
+    // type means a reference, pointer, or template argument — not a new
+    // instance this file owns.
+    std::size_t j = end;
+    while (j < line.size() && line[j] == ' ') ++j;
+    if (left_ok && j > end && j < line.size() && is_ident_char(line[j])) {
+      out.push_back({path, lineno, "resource-registry",
+                     "sim::Resource declared in a file that never "
+                     "registers with obs::ResourceRegistry: the flight "
+                     "recorder cannot see it"});
+      return;
+    }
+    pos = end;
+  }
+}
+
 void check_raw_new(const std::string& path, std::string_view line,
                    std::size_t lineno, std::vector<Violation>& out) {
   // `= delete` / `delete;` are declarations, not deallocations. `new (`
@@ -435,6 +494,7 @@ void lint_file(const fs::path& path, std::vector<Violation>& out) {
   std::string stripped = strip_comments_and_strings(buf.str());
 
   std::string generic = path.generic_string();
+  bool registry_aware = mentions_resource_registry(stripped);
   PtrKeyTracker tracker;
   std::size_t lineno = 0;
   std::size_t start = 0;
@@ -447,6 +507,7 @@ void lint_file(const fs::path& path, std::vector<Violation>& out) {
     check_determinism(generic, line, lineno, out);
     tracker.scan_declaration(line);
     tracker.check_iteration(generic, line, lineno, out);
+    check_resource_registry(generic, line, lineno, registry_aware, out);
     if (in_sim_path(generic)) check_raw_new(generic, line, lineno, out);
     if (nl == std::string::npos) break;
     start = nl + 1;
