@@ -34,12 +34,9 @@ RunOutcome run_scenario(const Scenario& sc, std::uint64_t checker_budget) {
     auto& engine = bed.cluster().engine();
     engine.run();
 
-    for (std::uint32_t s = 0; s < sc.n_server_procs; ++s) {
-      const kv::MicaCache::Stats& st = bed.service().proc_cache(s).stats();
-      if (st.index_evictions > 0 || st.log_wraps > 0 || st.get_stale > 0) {
-        out.cache_lossy = true;
-      }
-    }
+    // Every replica counts, not just current primaries: a lossy backup
+    // becomes the store of record after a promotion.
+    out.cache_lossy = bed.service().any_cache_lossy();
 
     out.events = recorder.events().size();
     out.applies = recorder.applies();
@@ -187,6 +184,10 @@ std::string summarize(const RunOutcome& o) {
     s += "linearizable";
   }
   s += " | ops=" + std::to_string(o.run.ops);
+  if (o.scenario.replicate) {
+    s += " repl(promotions=" + std::to_string(o.run.promotions);
+    s += " stale_epoch=" + std::to_string(o.run.stale_epoch_retries) + ")";
+  }
   s += " retries=" + std::to_string(o.run.retries);
   s += " deadline_failed=" + std::to_string(o.run.deadline_exceeded);
   s += " faults=" + std::to_string(o.scenario.plan.total_faults());

@@ -42,6 +42,12 @@ std::string Scenario::to_json() const {
        std::to_string(resilience.failover_threshold);
   s += ",\"break_dedup\":";
   s += break_dedup ? "true" : "false";
+  s += ",\"replicate\":";
+  s += replicate ? "true" : "false";
+  s += ",\"crash_primary\":";
+  s += crash_primary ? "true" : "false";
+  s += ",\"drop_replication\":";
+  s += drop_replication ? "true" : "false";
   s += ",\"trace_sample_every\":" + std::to_string(trace_sample_every);
   s += ",\"flight_windows\":" + std::to_string(flight_windows);
   s += ",\"plan\":" + fault::to_json(plan);
@@ -102,6 +108,34 @@ Scenario generate_scenario(std::uint64_t seed, const ScenarioEnvelope& env) {
   // always eligible.
   pe.n_hosts = 1 + (sc.n_clients + 2) / 3;
   sc.plan = fault::sample_plan(rng.next_u64(), pe);
+
+  // Replication draws come AFTER everything above so pre-replication seeds
+  // keep their sampled topology and fault plan bit for bit.
+  sc.replicate = sc.n_server_procs >= 2 &&
+                 rng.next_double() < env.replicate_fraction;
+  if (env.force_crash_primary && sc.n_server_procs >= 2) {
+    sc.replicate = true;
+    sc.crash_primary = true;
+    // One scripted crash of a shard primary (every process is primary of
+    // its own shard at epoch 0), landing mid-budget so acked writes
+    // straddle the promotion. Replaces the sampled crashes: the point of
+    // this mode is that EVERY seed exercises failover, not the envelope's
+    // crash probability.
+    sc.plan.proc_crash.clear();
+    fault::ProcCrashFault f;
+    f.proc = static_cast<std::uint32_t>(rng.next_below(sc.n_server_procs));
+    f.crash_at = sample_between(rng, env.warmup + env.budget / 4,
+                                env.warmup + (env.budget * 3) / 4);
+    // Half the seeds recover and re-replicate; half stay dead so the
+    // promoted backup carries the rest of the run (and in-flight requests
+    // at the crash become maybe-applied for the checker).
+    if (rng.next_double() < 0.5) {
+      f.recover_at = f.crash_at + env.budget / 8 +
+                     sample_between(rng, 0, env.budget / 4);
+    }
+    sc.plan.proc_crash.push_back(f);
+  }
+  sc.drop_replication = env.drop_replication && sc.replicate;
   return sc;
 }
 
@@ -112,6 +146,8 @@ core::TestbedConfig to_testbed_config(const Scenario& sc) {
   cfg.herd.window = sc.window;
   cfg.herd.request_tokens = true;
   cfg.herd.mutation_dedup = !sc.break_dedup;
+  cfg.herd.replicate = sc.replicate;
+  cfg.herd.drop_replication = sc.drop_replication;
   // Exactly-once horizon: past deadline + backoff_max the client never
   // retries, so entries may age out safely.
   cfg.herd.dedup_retention =

@@ -39,6 +39,20 @@ struct ScenarioEnvelope {
   sim::Tick warmup = sim::us(200);
   sim::Tick budget = sim::ms(3);  // measurement window (faults live here too)
   fault::PlanEnvelope plan{};     // horizon/n_hosts/n_procs are overwritten
+  /// Fraction of multi-proc scenarios that run with primary-backup
+  /// replication on (herd::shard). Single-proc scenarios never replicate.
+  double replicate_fraction = 0.5;
+  /// Failover-focused mode: force replication on, drop the sampled process
+  /// crashes, and script exactly one crash of a shard primary mid-budget
+  /// (half the seeds recover and rejoin, half stay dead so the promoted
+  /// backup carries the rest of the run). Needs min_server_procs >= 2 to
+  /// have any effect on a given seed.
+  bool force_crash_primary = false;
+  /// Canary: plant the acked-but-not-replicated bug (HerdConfig.
+  /// drop_replication) in every replicated scenario. A crash-primary sweep
+  /// with this set MUST produce linearizability violations — if it sweeps
+  /// clean, the checker has gone blind to replication bugs.
+  bool drop_replication = false;
 };
 
 /// One fully-specified chaos run.
@@ -59,6 +73,15 @@ struct Scenario {
   /// Bug-injection switch: run with the server's duplicate-mutation ring
   /// disabled (HerdConfig.mutation_dedup = false).
   bool break_dedup = false;
+  /// Primary-backup replication on (HerdConfig.replicate): acked writes
+  /// survive a primary crash, and the checker holds the run to that.
+  bool replicate = false;
+  /// This scenario's fault plan was rewritten to crash exactly one shard
+  /// primary mid-budget (ScenarioEnvelope.force_crash_primary).
+  bool crash_primary = false;
+  /// Bug-injection switch: ack mutations without forwarding to the backup
+  /// (HerdConfig.drop_replication) — lost acked writes across a promotion.
+  bool drop_replication = false;
   /// When nonzero, the run records a request-lifecycle trace (every Nth
   /// request sampled; see TestbedConfig::trace_sample_every). The exported
   /// Chrome JSON lands in RunOutcome::trace_json and folds into the

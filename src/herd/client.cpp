@@ -54,6 +54,10 @@ HerdClient::HerdClient(cluster::Host& host, std::uint32_t id,
     qpn_to_proc_.push_back(service.proc_ah(s).qpn);
   }
 
+  // Copy the authoritative shard map (the out-of-band bootstrap a real
+  // deployment does over TCP). Redirects keep it fresh from here on.
+  shards_ = service.shards();
+
   recv_slot_.assign(cfg_.n_server_procs, 0);
   next_r_.assign(cfg_.n_server_procs, 0);
   inflight_.resize(cfg_.n_server_procs);
@@ -65,12 +69,10 @@ HerdClient::HerdClient(cluster::Host& host, std::uint32_t id,
 }
 
 void HerdClient::set_resilience(const ClientResilience& r) {
-  if ((r.deadline > 0 || r.failover_threshold > 0) && !cfg_.request_tokens) {
-    // A late response to a deadline-retired request, or one served by a
-    // failover target, is unidentifiable without correlation tokens.
-    throw std::invalid_argument(
-        "HerdClient: deadlines/failover require HerdConfig::request_tokens");
-  }
+  // Coupling rules (deadlines/failover need correlation tokens, failover
+  // needs a second process, ...) are enforced by HerdConfigBuilder::validate
+  // at config-build time, where the mistake is made — not here, where it
+  // would surface long after.
   res_ = r;
 }
 
@@ -95,7 +97,7 @@ std::uint32_t HerdClient::pick_backup(std::uint32_t s) const {
   return s;  // everyone suspected: stay with the primary
 }
 
-std::uint32_t HerdClient::route(std::uint32_t p) {
+std::uint32_t HerdClient::route(std::uint32_t p, std::uint32_t shard) {
   if (!failover_enabled() || !proc_down_[p]) return p;
   sim::Tick now = host_->ctx().engine().now();
   if (now - last_probe_[p] >= res_.probe_interval) {
@@ -104,12 +106,33 @@ std::uint32_t HerdClient::route(std::uint32_t p) {
     ++stats_.probes;
     return p;
   }
+  if (cfg_.replicate) {
+    // Only the shard's replica holders can serve the key: go to the backup
+    // (it parks the request until the failure detector promotes it).
+    std::uint32_t b = shards_.at(shard).backup;
+    if (b != kNoBackup && !proc_down_[b]) return b;
+    return p;
+  }
   return pick_backup(p);
 }
 
+std::uint32_t HerdClient::failover_target(const InFlight& fl,
+                                          std::uint32_t s) const {
+  if (cfg_.replicate) {
+    const ShardInfo& si = shards_.at(shards_.shard_of(fl.op.key));
+    if (si.primary != s && !proc_down_[si.primary]) return si.primary;
+    if (si.backup != kNoBackup && si.backup != s && !proc_down_[si.backup]) {
+      return si.backup;
+    }
+    return s;
+  }
+  return pick_backup(s);
+}
+
 void HerdClient::issue(const workload::Op& op) {
-  std::uint32_t p = kv::partition_of(op.key, cfg_.n_server_procs);
-  std::uint32_t s = route(p);
+  std::uint32_t shard = shards_.shard_of(op.key);
+  std::uint32_t p = shards_.at(shard).primary;
+  std::uint32_t s = route(p, shard);
   std::uint64_t r = next_r_[s]++;
   ++stats_.issued;
 
@@ -174,14 +197,21 @@ void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
   req.is_put = op.type == workload::OpType::kPut;
   req.is_delete = op.type == workload::OpType::kDelete;
   req.token = static_cast<std::uint32_t>(seq);
+  if (cfg_.replicate) {
+    // Stamp the believed shard epoch; retries re-encode, so a map refresh
+    // between attempts is picked up automatically.
+    req.epoch = static_cast<std::uint32_t>(
+        shards_.at(shards_.shard_of(op.key)).epoch);
+  }
   if (req.is_put) {
     value.resize(op.value_len);
     workload::WorkloadGenerator::fill_value(op.rank, value);
     req.value = value;
   }
   std::uint32_t wire = request_wire_bytes(req.is_put ? op.value_len : 0,
-                                          cfg_.request_tokens);
-  std::uint32_t start = encode_request(slot, req, cfg_.request_tokens);
+                                          cfg_.request_tokens, cfg_.replicate);
+  std::uint32_t start =
+      encode_request(slot, req, cfg_.request_tokens, cfg_.replicate);
 
   const auto& cal = host_->rnic().cal();
   if (cfg_.mode == RequestMode::kWriteUc) {
@@ -312,7 +342,7 @@ void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq) {
   if (failover_enabled() && proc_down_[s]) {
     // The process was declared dead after this request was (re-)sent to it
     // (e.g. a probe that went unanswered): individually re-route.
-    std::uint32_t b = pick_backup(s);
+    std::uint32_t b = failover_target(*it, s);
     if (b != s) {
       InFlight fl = *it;
       inflight_[s].erase(it);
@@ -367,7 +397,7 @@ void HerdClient::fail_over_outstanding(std::uint32_t s) {
   std::deque<InFlight> moved;
   moved.swap(inflight_[s]);
   for (InFlight& fl : moved) {
-    std::uint32_t b = pick_backup(s);
+    std::uint32_t b = failover_target(fl, s);
     if (b == s) {
       // No survivor to fail over to; keep waiting on the primary.
       inflight_[s].push_back(std::move(fl));
@@ -449,6 +479,21 @@ void HerdClient::handle_response(const verbs::Wc& wc) {
     }
     fl = inflight_[s].front();
     inflight_[s].pop_front();
+  }
+  if (cfg_.replicate && resp && resp->status == RespStatus::kWrongEpoch) {
+    // Our shard map is stale (a promotion or migration moved the shard).
+    // Refresh from the redirect payload and re-issue — this is routing, not
+    // an outcome: no observer event, no completion, the request stays
+    // outstanding and its deadline keeps running.
+    ++stats_.stale_epoch_retries;
+    std::uint32_t shard = shards_.shard_of(fl.op.key);
+    auto rd = decode_redirect(resp->value);
+    if (rd && shards_.refresh(shard, rd->primary, rd->epoch)) {
+      ++stats_.map_refreshes;
+    }
+    std::uint32_t p = shards_.at(shard).primary;
+    reissue(std::move(fl), route(p, shard));
+    return;
   }
   bool is_get = fl.op.type == workload::OpType::kGet;
   if (observer_ != nullptr && resp) {

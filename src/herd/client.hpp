@@ -44,6 +44,12 @@ class HerdClient {
     std::uint64_t failovers = 0;          // requests re-routed off a dead proc
     std::uint64_t probes = 0;             // requests sent to probe a dead proc
     std::uint64_t duplicate_responses = 0;  // responses to retired requests
+    /// Replicated mode: requests bounced with kWrongEpoch (the shard moved
+    /// under us) and re-issued to the authoritative primary. Not failures —
+    /// never a terminal state.
+    std::uint64_t stale_epoch_retries = 0;
+    /// Shard-map entries actually advanced by a redirect's payload.
+    std::uint64_t map_refreshes = 0;
   };
 
   /// `mem_base` is the start of a private arena in the client host's memory
@@ -81,7 +87,9 @@ class HerdClient {
 
   /// Full resilience policy: exponential backoff with jitter, per-request
   /// deadlines, and failover to a surviving server process. Deadlines and
-  /// failover require HerdConfig::request_tokens (throws otherwise).
+  /// failover require HerdConfig::request_tokens — enforced at config-build
+  /// time by HerdConfigBuilder::validate() (which TestbedConfig::validate()
+  /// delegates to), not here.
   void set_resilience(const ClientResilience& r);
   const ClientResilience& resilience() const { return res_; }
 
@@ -137,11 +145,15 @@ class HerdClient {
   bool failover_enabled() const {
     return res_.failover_threshold > 0 && cfg_.n_server_procs > 1;
   }
-  /// Server process a new request for primary `p` should address, honoring
-  /// suspected-dead state and periodic probing.
-  std::uint32_t route(std::uint32_t p);
+  /// Server process a new request for `shard` (whose mapped primary is `p`)
+  /// should address, honoring suspected-dead state and periodic probing.
+  std::uint32_t route(std::uint32_t p, std::uint32_t shard);
   /// First process other than `s` not currently suspected (s if none).
   std::uint32_t pick_backup(std::uint32_t s) const;
+  /// Where to re-send an in-flight request when `s` is suspected dead. In
+  /// replicated mode only the shard's own primary/backup can serve the key,
+  /// so the shard map decides; otherwise any survivor does (pick_backup).
+  std::uint32_t failover_target(const InFlight& fl, std::uint32_t s) const;
   /// Moves every outstanding request off suspected-dead process `s`.
   void fail_over_outstanding(std::uint32_t s);
   void reissue(InFlight fl, std::uint32_t to);
@@ -168,6 +180,10 @@ class HerdClient {
   std::vector<std::uint32_t> recv_slot_;  // per-proc ring cursor
   std::vector<std::uint64_t> next_r_;     // per-proc request counter
 
+  /// The client's copy of the server's shard map: every request routes
+  /// through it (an identity map when replication is off). Refreshed from
+  /// kWrongEpoch redirect payloads — never by guessing.
+  ShardMap shards_;
   std::vector<std::deque<InFlight>> inflight_;  // per target proc, FIFO
   std::uint64_t next_seq_ = 1;
   ClientResilience res_;

@@ -2,6 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "kv/mica_cache.hpp"
 #include "sim/time.hpp"
@@ -62,6 +65,39 @@ struct HerdConfig {
   /// checker catches the resulting histories; never disable in production
   /// configurations.
   bool mutation_dedup = true;
+
+  // --- Primary-backup replication (herd/shard.hpp) ------------------------
+
+  /// Replicate each shard on a backup server process: primaries forward
+  /// committed mutations and ack only after the backup applied (so every
+  /// acknowledged write survives a primary crash and the promotion that
+  /// follows). Requires request_tokens (the backup's duplicate-suppression
+  /// ring is what makes post-promotion retries exactly-once) and at least
+  /// two server processes. Adds a 4-byte epoch header to every request.
+  bool replicate = false;
+  /// One-way latency of the primary <-> backup forwarding hop. The server
+  /// processes share a machine (the paper's NS-processes-one-box layout),
+  /// so this is a cross-core shared-memory ring, not a fabric round trip.
+  sim::Tick repl_forward_delay = sim::us(1);
+  /// Failure-detector grace: how long after a primary's crash its backup
+  /// waits before promoting itself (models lease expiry — promoting
+  /// instantly would split-brain against a primary that was merely slow).
+  sim::Tick promotion_delay = sim::us(100);
+  /// Re-replication: how long a recovered process streams a shard from its
+  /// current primary before rejoining as backup (snapshot + delta catch-up,
+  /// modeled as an atomic state copy at stream end).
+  sim::Tick rejoin_stream_time = sim::us(400);
+  /// Live migration: length of the dual-write handoff window. The
+  /// destination takes a snapshot at migration start; mutations during the
+  /// window are forwarded to it as well; at the end the epoch bumps and the
+  /// destination becomes primary (the old primary stays on as backup).
+  sim::Tick migration_stream_time = sim::us(400);
+  /// Planted-bug canary for the chaos harness: skip replication forwarding
+  /// while still acking writes. After a promotion, acknowledged writes are
+  /// simply gone — the linearizability checker MUST fail. Never enable in
+  /// production configurations. (The HERD_DROP_REPLICATION build flag
+  /// forces this on for the CI canary build.)
+  bool drop_replication = false;
 };
 
 /// Client-side failure handling: the §2.2.3 "application-level retries"
@@ -87,6 +123,128 @@ struct ClientResilience {
   std::uint32_t failover_threshold = 0;
   /// While a process is suspected dead, probe it again this often.
   sim::Tick probe_interval = sim::ms(1);
+};
+
+/// Fluent, validating construction of a (HerdConfig, ClientResilience)
+/// pair. The coupling rules between the two structs — failover needs
+/// somewhere to fail over to, deadlines/failover/replication need
+/// correlation tokens, dedup retention must outlive the retry horizon —
+/// are enforced here at config-build time, not deep inside the client at
+/// set_resilience() time where the error surfaces long after the mistake.
+///
+///   auto built = HerdConfigBuilder()
+///                    .server_procs(6).request_tokens(true)
+///                    .failover_threshold(3).deadline(sim::us(500))
+///                    .build();   // throws std::invalid_argument on nonsense
+class HerdConfigBuilder {
+ public:
+  explicit HerdConfigBuilder(HerdConfig herd = {}, ClientResilience res = {})
+      : herd_(herd), res_(res) {}
+
+  HerdConfigBuilder& server_procs(std::uint32_t v) {
+    herd_.n_server_procs = v;
+    return *this;
+  }
+  HerdConfigBuilder& clients(std::uint32_t v) {
+    herd_.n_clients = v;
+    return *this;
+  }
+  HerdConfigBuilder& window(std::uint32_t v) {
+    herd_.window = v;
+    return *this;
+  }
+  HerdConfigBuilder& request_tokens(bool v) {
+    herd_.request_tokens = v;
+    return *this;
+  }
+  HerdConfigBuilder& replicate(bool v) {
+    herd_.replicate = v;
+    return *this;
+  }
+  HerdConfigBuilder& dedup_retention(sim::Tick v) {
+    herd_.dedup_retention = v;
+    return *this;
+  }
+  HerdConfigBuilder& retry_timeout(sim::Tick v) {
+    res_.retry_timeout = v;
+    return *this;
+  }
+  HerdConfigBuilder& deadline(sim::Tick v) {
+    res_.deadline = v;
+    return *this;
+  }
+  HerdConfigBuilder& failover_threshold(std::uint32_t v) {
+    res_.failover_threshold = v;
+    return *this;
+  }
+  HerdConfigBuilder& resilience(const ClientResilience& v) {
+    res_ = v;
+    return *this;
+  }
+
+  /// The coupling rules, reusable by TestbedConfig::validate(). Returns
+  /// human-readable problems (empty = valid).
+  static std::vector<std::string> validate(const HerdConfig& h,
+                                           const ClientResilience& r) {
+    std::vector<std::string> problems;
+    if ((r.deadline > 0 || r.failover_threshold > 0) && !h.request_tokens) {
+      problems.push_back(
+          "resilience deadlines/failover require herd.request_tokens "
+          "(late or failed-over responses must carry a correlation token)");
+    }
+    if (r.failover_threshold > 0 && h.n_server_procs < 2) {
+      problems.push_back(
+          "resilience.failover_threshold is set but herd.n_server_procs is " +
+          std::to_string(h.n_server_procs) +
+          " — failover needs a second server process to fail over to");
+    }
+    if (h.replicate && h.n_server_procs < 2) {
+      problems.push_back(
+          "herd.replicate requires n_server_procs >= 2 (each shard's backup "
+          "must live on a different process than its primary)");
+    }
+    if (h.replicate && !h.request_tokens) {
+      problems.push_back(
+          "herd.replicate requires herd.request_tokens (the backup's "
+          "duplicate-suppression ring keys on correlation tokens; without "
+          "them a retry after promotion re-applies the mutation)");
+    }
+    if (h.request_tokens && h.mutation_dedup && r.retry_timeout > 0 &&
+        r.deadline > 0 &&
+        h.dedup_retention <= r.deadline + r.backoff_max) {
+      problems.push_back(
+          "herd.dedup_retention must exceed resilience.deadline + "
+          "resilience.backoff_max, or a late retry outlives its "
+          "duplicate-suppression entry and re-applies the mutation");
+    }
+    return problems;
+  }
+
+  std::vector<std::string> validate() const { return validate(herd_, res_); }
+
+  struct Built {
+    HerdConfig herd;
+    ClientResilience resilience;
+  };
+
+  /// Validates and returns the pair; throws std::invalid_argument listing
+  /// every problem when the setup is inconsistent.
+  Built build() const {
+    std::vector<std::string> problems = validate();
+    if (!problems.empty()) {
+      std::string msg = "HerdConfig invalid:";
+      for (const std::string& p : problems) {
+        msg += "\n  - ";
+        msg += p;
+      }
+      throw std::invalid_argument(msg);
+    }
+    return {herd_, res_};
+  }
+
+ private:
+  HerdConfig herd_;
+  ClientResilience res_;
 };
 
 }  // namespace herd::core

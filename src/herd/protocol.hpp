@@ -34,6 +34,12 @@ inline constexpr std::uint16_t kDeleteLen = 0xffff;
 enum class RespStatus : std::uint8_t {
   kOk = 0,        // GET hit (value follows) or PUT acknowledged
   kNotFound = 1,  // GET miss
+  /// Replicated mode only: the addressed process is not the shard's current
+  /// primary (the client's shard map is stale — a promotion or migration
+  /// moved the shard). The response value is a kRedirectBytes payload
+  /// carrying the current (primary, epoch); the client refreshes its map
+  /// and re-issues. Not a terminal outcome — never surfaced to histories.
+  kWrongEpoch = 2,
 };
 
 inline constexpr std::uint32_t kRespHeader = 3;  // status + LEN
@@ -44,19 +50,33 @@ inline constexpr std::uint32_t kRespHeader = 3;  // status + LEN
 /// correct on a lossless fabric, ambiguous once a lost request lets a later
 /// one overtake it.
 inline constexpr std::uint32_t kTokenBytes = 4;
+/// Optional shard-epoch header (enabled by HerdConfig.replicate): 4 bytes —
+/// the low 32 bits of the client's believed epoch for the target shard —
+/// between the token and the LEN field. Lets the server distinguish "stale
+/// map, reject and redirect" from "correctly routed, epoch merely old".
+inline constexpr std::uint32_t kEpochBytes = 4;
+/// kWrongEpoch redirect payload: current primary (4) + low epoch bits (4).
+inline constexpr std::uint32_t kRedirectBytes = 8;
+/// Largest PUT value once the epoch header is on the wire (the 1 KB slot
+/// must still hold value + token + epoch + LEN + keyhash).
+inline constexpr std::uint32_t kMaxValueReplicated =
+    kSlotBytes - kReqTrailer - kTokenBytes - kEpochBytes;
 
 struct Request {
   kv::KeyHash key{};
   bool is_put = false;
   bool is_delete = false;
   std::uint32_t token = 0;             // correlation id (token mode only)
+  std::uint32_t epoch = 0;             // shard epoch (replicated mode only)
   std::span<const std::byte> value{};  // PUT payload (views caller memory)
 };
 
 /// Bytes a request occupies on the wire (and at the tail of its slot).
 inline std::uint32_t request_wire_bytes(std::uint32_t value_len,
-                                        bool with_token = false) {
-  return kReqTrailer + value_len + (with_token ? kTokenBytes : 0);
+                                        bool with_token = false,
+                                        bool with_epoch = false) {
+  return kReqTrailer + value_len + (with_token ? kTokenBytes : 0) +
+         (with_epoch ? kEpochBytes : 0);
 }
 
 /// Encodes a request right-aligned into `slot` (typically a full 1 KB slot;
@@ -64,16 +84,21 @@ inline std::uint32_t request_wire_bytes(std::uint32_t value_len,
 /// Returns the offset within the slot where the encoded bytes begin.
 inline std::uint32_t encode_request(std::span<std::byte> slot,
                                     const Request& req,
-                                    bool with_token = false) {
+                                    bool with_token = false,
+                                    bool with_epoch = false) {
   auto vlen = static_cast<std::uint32_t>(req.value.size());
   std::uint32_t start = static_cast<std::uint32_t>(slot.size()) -
-                        request_wire_bytes(vlen, with_token);
+                        request_wire_bytes(vlen, with_token, with_epoch);
   std::byte* p = slot.data() + start;
   if (vlen > 0) std::memcpy(p, req.value.data(), vlen);
   p += vlen;
   if (with_token) {
     std::memcpy(p, &req.token, kTokenBytes);
     p += kTokenBytes;
+  }
+  if (with_epoch) {
+    std::memcpy(p, &req.epoch, kEpochBytes);
+    p += kEpochBytes;
   }
   std::uint16_t len = req.is_delete ? kDeleteLen
                       : req.is_put  ? static_cast<std::uint16_t>(vlen)
@@ -88,16 +113,24 @@ inline std::uint32_t encode_request(std::span<std::byte> slot,
 /// still zero (no request present). PUTs with LEN == 0 are indistinguishable
 /// from GETs by design — HERD encodes "GET" as LEN == 0.
 inline std::optional<Request> decode_request(std::span<const std::byte> slot,
-                                              bool with_token = false) {
-  std::uint32_t trailer = kReqTrailer + (with_token ? kTokenBytes : 0);
+                                              bool with_token = false,
+                                              bool with_epoch = false) {
+  std::uint32_t trailer = kReqTrailer + (with_token ? kTokenBytes : 0) +
+                          (with_epoch ? kEpochBytes : 0);
   if (slot.size() < trailer) return std::nullopt;
   const std::byte* tail = slot.data() + slot.size() - kReqTrailer;
   Request req;
   std::memcpy(&req.key.hi, tail + 2, 8);
   std::memcpy(&req.key.lo, tail + 10, 8);
   if (req.key.is_zero()) return std::nullopt;
+  const std::byte* p = tail;
+  if (with_epoch) {
+    p -= kEpochBytes;
+    std::memcpy(&req.epoch, p, kEpochBytes);
+  }
   if (with_token) {
-    std::memcpy(&req.token, tail - kTokenBytes, kTokenBytes);
+    p -= kTokenBytes;
+    std::memcpy(&req.token, p, kTokenBytes);
   }
   std::uint16_t len;
   std::memcpy(&len, tail, 2);
@@ -160,6 +193,31 @@ inline std::optional<Response> decode_response(std::span<const std::byte> buf,
   }
   if (buf.size() < header + len) return std::nullopt;
   r.value = buf.subspan(header, len);
+  return r;
+}
+
+/// kWrongEpoch redirect payload: the authoritative (primary, epoch) for the
+/// shard the rejected request targeted. The epoch travels as its low 32
+/// bits — epochs bump only on primary changes (promotions, migrations),
+/// far too rare to wrap within any deployment's lifetime.
+struct Redirect {
+  std::uint32_t primary = 0;
+  std::uint32_t epoch = 0;
+};
+
+inline void encode_redirect(std::span<std::byte> buf, std::uint32_t primary,
+                            std::uint64_t epoch) {
+  auto ep = static_cast<std::uint32_t>(epoch);
+  std::memcpy(buf.data(), &primary, 4);
+  std::memcpy(buf.data() + 4, &ep, 4);
+}
+
+inline std::optional<Redirect> decode_redirect(
+    std::span<const std::byte> buf) {
+  if (buf.size() < kRedirectBytes) return std::nullopt;
+  Redirect r;
+  std::memcpy(&r.primary, buf.data(), 4);
+  std::memcpy(&r.epoch, buf.data() + 4, 4);
   return r;
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "sim/rng.hpp"
 #include "workload/workload.hpp"
@@ -13,6 +14,10 @@ namespace herd::core {
 namespace {
 constexpr std::uint32_t kRespStride = 1024;  // status+LEN+value, padded
 constexpr std::uint32_t kRecvStride = kSlotBytes + verbs::kGrhBytes;
+/// Sentinel slot/recv address: this Pending was already re-armed (it went
+/// through the parked queue); serving it again must not clear the slot or
+/// double-post a RECV credit.
+constexpr std::uint64_t kNoRearm = ~0ull;
 }  // namespace
 
 HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
@@ -21,8 +26,14 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
       cfg_(cfg),
       cpu_(cpu),
       region_(/*base=*/0, cfg.n_server_procs, cfg.n_clients, cfg.window),
+      shard_map_(cfg.n_server_procs, cfg.replicate),
       client_ah_(cfg.n_clients, std::vector<verbs::Ah>(cfg.n_server_procs)),
       poll_jitter_rng_(0x715EEDULL, 0x9E3779B97F4A7C15ULL) {
+  if (cfg.replicate && (!cfg.request_tokens || cfg.n_server_procs < 2)) {
+    throw std::invalid_argument(
+        "HerdService: replicate requires request_tokens and >= 2 server "
+        "processes (see HerdConfigBuilder::validate)");
+  }
   if (required_memory(cfg) > host.memory().size()) {
     throw std::invalid_argument(
         "HerdService: host memory too small; size with required_memory()");
@@ -51,6 +62,8 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
   }
   scratch_mr_ = ctx.register_mr(scratch_base, scratch_len, {});
 
+  migrations_.assign(cfg.n_server_procs, Migration{});
+
   // SEND mode keeps one RECV credit per (client, window slot) posted, so
   // the receive queue and its CQ must be sized for the full credit pool —
   // the checkable arithmetic behind "clients post RECVs before requests".
@@ -59,7 +72,14 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
   procs_.reserve(cfg.n_server_procs);
   for (std::uint32_t s = 0; s < cfg.n_server_procs; ++s) {
     auto p = std::make_unique<Proc>();
-    p->cache = std::make_unique<kv::MicaCache>(cfg.mica);
+    // Process s hosts the primary replica of shard s; with replication on
+    // it also hosts the backup replica of its left neighbor's shard
+    // (ShardMap's initial layout: backup of shard x lives on x+1).
+    p->replicas.emplace(s, make_replica());
+    if (cfg.replicate && cfg.n_server_procs > 1) {
+      p->replicas.emplace((s + cfg.n_server_procs - 1) % cfg.n_server_procs,
+                          make_replica());
+    }
     p->core = std::make_unique<cluster::SequentialCore>(
         ctx.engine(), host.name() + "/proc" + std::to_string(s));
     p->send_cq = ctx.create_cq();
@@ -69,9 +89,6 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
     ud_attr.max_recv_wr = recv_credits;
     p->ud_qp = ctx.create_qp(ud_attr);
     p->next_r.assign(cfg.n_clients, 0);
-    if (cfg.request_tokens) {
-      p->seen_tokens.assign(cfg.n_clients, TokenRing(cfg.dedup_retention));
-    }
     p->resp_base = cursor;
     cursor += per_proc_resp;
     if (cfg.mode == RequestMode::kSendUd) {
@@ -106,6 +123,22 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
   }
 
   uc_qps_.resize(cfg.n_clients);
+}
+
+HerdService::Replica HerdService::make_replica() const {
+  Replica rep;
+  rep.cache = std::make_unique<kv::MicaCache>(cfg_.mica);
+  if (cfg_.request_tokens) {
+    rep.seen_tokens.assign(cfg_.n_clients, TokenRing(cfg_.dedup_retention));
+  }
+  return rep;
+}
+
+HerdService::Replica* HerdService::find_replica(std::uint32_t proc,
+                                                std::uint32_t shard) {
+  auto& reps = procs_.at(proc)->replicas;
+  auto it = reps.find(shard);
+  return it == reps.end() ? nullptr : &it->second;
 }
 
 void HerdService::connect_client(std::uint32_t c, verbs::Qp& client_uc_qp) {
@@ -147,8 +180,12 @@ void HerdService::preload(std::uint64_t n_keys, std::uint32_t value_len) {
   for (std::uint64_t rank = 0; rank < n_keys; ++rank) {
     kv::KeyHash key = kv::hash_of_rank(rank);
     workload::WorkloadGenerator::fill_value(rank, value);
-    std::uint32_t s = kv::partition_of(key, cfg_.n_server_procs);
-    procs_[s]->cache->put(key, value);
+    std::uint32_t shard = shard_map_.shard_of(key);
+    const ShardInfo& si = shard_map_.at(shard);
+    find_replica(si.primary, shard)->cache->put(key, value);
+    if (si.backup != kNoBackup) {
+      find_replica(si.backup, shard)->cache->put(key, value);
+    }
   }
 }
 
@@ -163,6 +200,36 @@ void HerdService::crash_proc(std::uint32_t s) {
   // pipeline are gone. The request region itself survives (shmget memory).
   p.arrivals.clear();
   p.pipeline.clear();
+  p.parked.clear();
+  if (!cfg_.replicate) return;
+
+  // Replicated mode: the replicas are process memory — gone too. (The
+  // legacy single-copy model keeps the cache alive across crashes as a
+  // modeling shortcut; with real replication the data's durability comes
+  // from the copy on another process, so the shortcut is retired.)
+  p.replicas.clear();
+  auto& engine = host_->ctx().engine();
+  for (std::uint32_t sh = 0; sh < shard_map_.n_shards(); ++sh) {
+    const ShardInfo si = shard_map_.at(sh);
+    if (si.backup == s) {
+      // Redundancy lost; the primary notices synchronously (its forwarding
+      // ring peer is gone) and serves degraded until a rejoin.
+      shard_map_.set_backup(sh, kNoBackup);
+    }
+    if (si.primary == s && si.backup != kNoBackup &&
+        procs_[si.backup]->alive) {
+      // The failure detector needs promotion_delay to be sure (lease
+      // expiry); promote_shard re-checks the world when it fires.
+      engine.schedule_after(
+          cfg_.promotion_delay,
+          [this, sh, ep = si.epoch]() { promote_shard(sh, ep); });
+    }
+    if (migrations_[sh].active && migrations_[sh].dest == s) {
+      // Destination died mid-stream: abort now; its replica died with it.
+      migrations_[sh].active = false;
+      ++migration_stats_.aborted;
+    }
+  }
 }
 
 void HerdService::recover_proc(std::uint32_t s) {
@@ -170,43 +237,204 @@ void HerdService::recover_proc(std::uint32_t s) {
   if (p.alive) return;
   p.alive = true;
   ++p.stats.recoveries;
-  if (cfg_.mode != RequestMode::kWriteUc) return;
-  // Remap the request region and rescan this chunk: WRITEs that the NIC
-  // DMA-ed while the process was down are still sitting in the slots.
-  for (std::uint32_t c = 0; c < cfg_.n_clients; ++c) {
-    for (std::uint32_t r = 0; r < cfg_.window; ++r) {
-      std::uint64_t slot_addr = region_.slot_addr(s, c, r);
-      auto slot = host_->memory().span(slot_addr, kSlotBytes);
-      auto req = decode_request(slot, cfg_.request_tokens);
-      if (!req) continue;
-      if (cfg_.request_tokens && cfg_.mutation_dedup &&
-          (req->is_put || req->is_delete)) {
-        // A rescanned mutation may be arbitrarily stale: the client often
-        // failed it over to a survivor while this process was down, and if
-        // enough newer mutations followed, its dedup entry has aged out.
-        // Apply only what is provably new (newer than every recorded
-        // mutation from that client); for the rest, a duplicate entry
-        // replays in complete(), and the ambiguous remainder is dropped —
-        // re-applying risks a lost update, while a client that still wants
-        // the op is still retrying it.
-        std::uint32_t part = kv::partition_of(req->key, cfg_.n_server_procs);
-        const TokenRing& ring = procs_[part]->seen_tokens.at(c);
-        if (!ring.find(req->token) && !ring.provably_new(req->token)) {
+
+  if (!cfg_.replicate) {
+    if (cfg_.mode != RequestMode::kWriteUc) return;
+    // Remap the request region and rescan this chunk: WRITEs that the NIC
+    // DMA-ed while the process was down are still sitting in the slots.
+    for (std::uint32_t c = 0; c < cfg_.n_clients; ++c) {
+      for (std::uint32_t r = 0; r < cfg_.window; ++r) {
+        std::uint64_t slot_addr = region_.slot_addr(s, c, r);
+        auto slot = host_->memory().span(slot_addr, kSlotBytes);
+        auto req = decode_request(slot, cfg_.request_tokens);
+        if (!req) continue;
+        if (cfg_.request_tokens && cfg_.mutation_dedup &&
+            (req->is_put || req->is_delete)) {
+          // A rescanned mutation may be arbitrarily stale: the client often
+          // failed it over to a survivor while this process was down, and if
+          // enough newer mutations followed, its dedup entry has aged out.
+          // Apply only what is provably new (newer than every recorded
+          // mutation from that client); for the rest, a duplicate entry
+          // replays in complete(), and the ambiguous remainder is dropped —
+          // re-applying risks a lost update, while a client that still wants
+          // the op is still retrying it.
+          std::uint32_t part = shard_map_.shard_of(req->key);
+          const TokenRing& ring =
+              procs_[part]->replicas.at(part).seen_tokens.at(c);
+          if (!ring.find(req->token) && !ring.provably_new(req->token)) {
+            ++p.stats.rescan_dropped;
+            clear_slot(slot);
+            continue;
+          }
+        }
+        Pending pend;
+        pend.client = c;
+        pend.request = *req;
+        pend.value.assign(req->value.begin(), req->value.end());
+        pend.request.value = {};
+        pend.slot_addr = slot_addr;
+        p.arrivals.push_back(std::move(pend));
+      }
+    }
+    if (!p.arrivals.empty()) schedule_advance(s, 0);
+    return;
+  }
+
+  // Replicated mode: the process restarts empty. Landed-while-dead slots
+  // are cleared, not served — this process is not a primary anymore, so
+  // every one of those requests was failed over or is still being retried.
+  if (cfg_.mode == RequestMode::kWriteUc) {
+    for (std::uint32_t c = 0; c < cfg_.n_clients; ++c) {
+      for (std::uint32_t r = 0; r < cfg_.window; ++r) {
+        auto slot =
+            host_->memory().span(region_.slot_addr(s, c, r), kSlotBytes);
+        if (decode_request(slot, cfg_.request_tokens, cfg_.replicate)) {
           ++p.stats.rescan_dropped;
           clear_slot(slot);
-          continue;
         }
       }
-      Pending pend;
-      pend.client = c;
-      pend.request = *req;
-      pend.value.assign(req->value.begin(), req->value.end());
-      pend.request.value = {};
-      pend.slot_addr = slot_addr;
-      p.arrivals.push_back(std::move(pend));
     }
   }
-  if (!p.arrivals.empty()) schedule_advance(s, 0);
+  auto& engine = host_->ctx().engine();
+  for (std::uint32_t sh = 0; sh < shard_map_.n_shards(); ++sh) {
+    const ShardInfo si = shard_map_.at(sh);
+    if (si.primary == s && find_replica(s, sh) == nullptr) {
+      // Still the primary on record, with every replica lost (primary AND
+      // backup were down at once): resume with an empty shard. Data loss —
+      // impossible under single-failure plans, counted so nothing hides it.
+      p.replicas.emplace(sh, make_replica());
+      ++p.stats.lost_shards;
+    }
+    if (si.primary != s && si.backup == kNoBackup &&
+        procs_[si.primary]->alive) {
+      // Re-replication: stream the shard back from its current primary.
+      // The copy lands atomically at stream end (snapshot + delta
+      // catch-up); finish_rejoin re-checks the world when it fires.
+      engine.schedule_after(
+          cfg_.rejoin_stream_time,
+          [this, s, sh, pe = p.epoch]() { finish_rejoin(s, sh, pe); });
+    }
+  }
+  // Backups that parked requests for shards this primary owns can redirect
+  // them now — the clients will re-route here.
+  for (std::uint32_t q = 0; q < cfg_.n_server_procs; ++q) drain_parked(q);
+}
+
+void HerdService::promote_shard(std::uint32_t shard,
+                                std::uint64_t expected_epoch) {
+  const ShardInfo si = shard_map_.at(shard);
+  if (si.epoch != expected_epoch) return;  // superseded (e.g. a migration)
+  if (si.backup == kNoBackup) return;      // redundancy lost meanwhile
+  if (procs_[si.primary]->alive) return;   // primary back before lease expiry
+  Proc& b = *procs_[si.backup];
+  if (!b.alive) return;
+  shard_map_.promote(shard);
+  ++b.stats.promotions;
+  drain_parked(si.backup);
+}
+
+void HerdService::finish_rejoin(std::uint32_t s, std::uint32_t shard,
+                                std::uint64_t proc_epoch) {
+  Proc& p = *procs_.at(s);
+  if (!p.alive || p.epoch != proc_epoch) return;  // crashed again mid-stream
+  const ShardInfo si = shard_map_.at(shard);
+  if (si.backup != kNoBackup || si.primary == s) return;  // superseded
+  if (!procs_[si.primary]->alive) return;  // source died mid-stream
+  Replica* src = find_replica(si.primary, shard);
+  if (src == nullptr) return;
+  Replica rep;
+  rep.cache = std::make_unique<kv::MicaCache>(*src->cache);
+  rep.cache->reset_stats();
+  rep.seen_tokens = src->seen_tokens;
+  p.replicas.emplace(shard, std::move(rep));
+  shard_map_.set_backup(shard, s);
+  ++p.stats.rejoins;
+}
+
+bool HerdService::migrate_shard(std::uint32_t shard, std::uint32_t to_proc) {
+  if (!cfg_.replicate || shard >= shard_map_.n_shards() ||
+      to_proc >= cfg_.n_server_procs) {
+    return false;
+  }
+  const ShardInfo si = shard_map_.at(shard);
+  Migration& m = migrations_[shard];
+  if (m.active || to_proc == si.primary || to_proc == si.backup) return false;
+  if (!procs_[si.primary]->alive || !procs_[to_proc]->alive) return false;
+  if (find_replica(to_proc, shard) != nullptr) return false;
+  Replica* src = find_replica(si.primary, shard);
+  if (src == nullptr) return false;
+  // Snapshot now; dual-writes keep the destination current through the
+  // stream window, so the handoff needs no stop-the-world catch-up.
+  Replica rep;
+  rep.cache = std::make_unique<kv::MicaCache>(*src->cache);
+  rep.cache->reset_stats();
+  rep.seen_tokens = src->seen_tokens;
+  procs_[to_proc]->replicas.emplace(shard, std::move(rep));
+  m.active = true;
+  m.dest = to_proc;
+  m.epoch_at_start = si.epoch;
+  ++migration_stats_.started;
+  host_->ctx().engine().schedule_after(
+      cfg_.migration_stream_time,
+      [this, shard, ep = si.epoch]() { finish_migration(shard, ep); });
+  return true;
+}
+
+bool HerdService::migration_active(std::uint32_t shard) const {
+  return migrations_.at(shard).active;
+}
+
+void HerdService::finish_migration(std::uint32_t shard,
+                                   std::uint64_t expected_epoch) {
+  Migration& m = migrations_[shard];
+  if (!m.active) return;  // already aborted (destination crashed)
+  const ShardInfo si = shard_map_.at(shard);
+  if (si.epoch != expected_epoch || !procs_[m.dest]->alive ||
+      !procs_[si.primary]->alive) {
+    // A crash or promotion supersedes the migration: abort and drop the
+    // half-built destination replica.
+    m.active = false;
+    ++migration_stats_.aborted;
+    if (procs_[m.dest]->alive) procs_[m.dest]->replicas.erase(shard);
+    return;
+  }
+  std::uint32_t old_primary = si.primary;
+  std::uint32_t old_backup = si.backup;
+  // Handoff: destination becomes primary (epoch bump — clients refresh via
+  // redirects); the old primary, whose replica is complete and current,
+  // stays on as the backup; the old backup's replica is released.
+  shard_map_.migrate(shard, m.dest);
+  if (old_backup != kNoBackup && old_backup != m.dest &&
+      procs_[old_backup]->alive) {
+    procs_[old_backup]->replicas.erase(shard);
+  }
+  m.active = false;
+  ++migration_stats_.completed;
+  drain_parked(m.dest);
+}
+
+void HerdService::drain_parked(std::uint32_t s) {
+  Proc& p = *procs_.at(s);
+  if (!p.alive || p.parked.empty()) return;
+  std::deque<Pending> keep;
+  bool admitted = false;
+  while (!p.parked.empty()) {
+    Pending pend = std::move(p.parked.front());
+    p.parked.pop_front();
+    std::uint32_t shard = shard_map_.shard_of(pend.request.key);
+    const ShardInfo si = shard_map_.at(shard);
+    if (si.primary == s) {
+      p.arrivals.push_back(std::move(pend));
+      admitted = true;
+    } else if (procs_[si.primary]->alive) {
+      ++p.stats.stale_epoch_rejects;
+      send_redirect(s, pend.client, pend.request.token, si);
+    } else {
+      keep.push_back(std::move(pend));
+    }
+  }
+  p.parked = std::move(keep);
+  if (admitted) schedule_advance(s, 0);
 }
 
 bool HerdService::proc_alive(std::uint32_t s) const {
@@ -217,7 +445,19 @@ const HerdService::ProcStats& HerdService::proc_stats(std::uint32_t s) const {
   return procs_.at(s)->stats;
 }
 const kv::MicaCache& HerdService::proc_cache(std::uint32_t s) const {
-  return *procs_.at(s)->cache;
+  const ShardInfo& si = shard_map_.at(s);
+  return *procs_.at(si.primary)->replicas.at(s).cache;
+}
+bool HerdService::any_cache_lossy() const {
+  for (const auto& p : procs_) {
+    for (const auto& [shard, rep] : p->replicas) {
+      const kv::MicaCache::Stats& st = rep.cache->stats();
+      if (st.index_evictions > 0 || st.log_wraps > 0 || st.get_stale > 0) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 cluster::SequentialCore& HerdService::proc_core(std::uint32_t s) {
   return *procs_.at(s)->core;
@@ -232,6 +472,7 @@ void HerdService::reset_stats() {
     p->stats = ProcStats{};
     p->core->reset_stats();
   }
+  migration_stats_ = MigrationStats{};
 }
 
 void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
@@ -244,7 +485,7 @@ void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
   }
   std::uint64_t slot_addr = addr - (addr - region_.chunk_addr(s)) % kSlotBytes;
   auto slot = host_->memory().span(slot_addr, kSlotBytes);
-  auto req = decode_request(slot, cfg_.request_tokens);
+  auto req = decode_request(slot, cfg_.request_tokens, cfg_.replicate);
   if (!req) {
     ++p.stats.bad_requests;
     return;
@@ -293,7 +534,7 @@ void HerdService::on_recv_ready(std::uint32_t s) {
     auto buf = host_->memory().span(addr, kRecvStride);
     // The payload sits past the GRH; byte_len includes the GRH.
     auto frame = buf.subspan(verbs::kGrhBytes, wc.byte_len - verbs::kGrhBytes);
-    auto req = decode_request(frame, cfg_.request_tokens);
+    auto req = decode_request(frame, cfg_.request_tokens, cfg_.replicate);
     if (!req) {
       ++p.stats.bad_requests;
       continue;
@@ -399,7 +640,35 @@ void HerdService::advance(std::uint32_t s) {
   }
 }
 
+void HerdService::rearm(std::uint32_t s, const Pending& p) {
+  if (cfg_.mode == RequestMode::kWriteUc) {
+    if (p.slot_addr == kNoRearm) return;  // re-armed when it was parked
+    // Re-arm the slot: "The server zeroes out the keyhash field of the slot
+    // after sending a response, freeing it up for a new request."
+    clear_slot(host_->memory().span(p.slot_addr, kSlotBytes));
+  } else {
+    if (p.recv_addr == kNoRearm) return;
+    // Repost the consumed RECV.
+    procs_[s]->ud_qp->post_recv({.wr_id = p.recv_addr,
+                                 .sge = {p.recv_addr, kRecvStride,
+                                         scratch_mr_.lkey}});
+  }
+}
+
+void HerdService::send_redirect(std::uint32_t s, std::uint32_t client,
+                                std::uint32_t token, const ShardInfo& si) {
+  std::byte buf[kRedirectBytes];
+  encode_redirect(std::span<std::byte>(buf, kRedirectBytes), si.primary,
+                  si.epoch);
+  post_response(s, client, RespStatus::kWrongEpoch,
+                std::span<const std::byte>(buf, kRedirectBytes), token);
+}
+
 void HerdService::complete(std::uint32_t s, const Pending& p) {
+  if (!cfg_.replicate) {
+    complete_legacy(s, p);
+    return;
+  }
   Proc& proc = *procs_[s];
   ++proc.stats.requests;
   {
@@ -414,12 +683,228 @@ void HerdService::complete(std::uint32_t s, const Pending& p) {
     }
   }
 
-  // EREW normally guarantees s == partition_of(key). Under failover a
+  std::uint32_t shard = shard_map_.shard_of(p.request.key);
+  const ShardInfo si = shard_map_.at(shard);
+  if (si.primary != s) {
+    if (si.backup == s && !procs_[si.primary]->alive) {
+      // We are the backup and the primary is down: the failure detector
+      // will promote us shortly. Hold the request instead of bouncing the
+      // client between a dead primary and a not-yet-promoted backup.
+      ++proc.stats.parked;
+      rearm(s, p);  // the Pending copied the payload; free the slot now
+      Pending held = p;
+      held.slot_addr = kNoRearm;
+      held.recv_addr = kNoRearm;
+      proc.parked.push_back(std::move(held));
+      return;
+    }
+    // Stale shard map (promotion or migration moved the shard): reject
+    // with the authoritative (primary, epoch) so the client refreshes.
+    ++proc.stats.stale_epoch_rejects;
+    send_redirect(s, p.client, p.request.token, si);
+    rearm(s, p);
+    return;
+  }
+  if (p.request.epoch < static_cast<std::uint32_t>(si.epoch)) {
+    // Routed correctly despite an old epoch (the client's map lagged but
+    // pointed here anyway) — serve it, count it.
+    ++proc.stats.stale_epoch_serves;
+  }
+  serve(s, shard, procs_[s]->replicas.at(shard), p);
+  rearm(s, p);
+}
+
+void HerdService::serve(std::uint32_t s, std::uint32_t shard, Replica& rep,
+                        const Pending& p) {
+  Proc& proc = *procs_[s];
+  std::byte value_buf[kv::MicaCache::kMaxValue];
+  std::uint32_t token = p.request.token;
+  bool is_mutation = p.request.is_put || p.request.is_delete;
+  bool dedup = cfg_.request_tokens && cfg_.mutation_dedup && is_mutation;
+  sim::Tick now = host_->ctx().engine().now();
+  std::optional<std::uint8_t> replay =
+      dedup ? rep.seen_tokens.at(p.client).find(token) : std::nullopt;
+  if (replay) {
+    // Retry of an already-applied mutation (the original response was lost,
+    // or a failover re-sent it): replay the recorded result without
+    // re-applying. Replaying — not synthesizing kOk — matters: a DELETE of
+    // an absent key returned kNotFound, and acking its retry with kOk
+    // reports a deletion that never happened.
+    ++proc.stats.duplicate_mutations;
+    if (observer_ != nullptr) {
+      observer_->on_apply(s, p.client, p.request.key, p.request.is_delete,
+                          /*applied=*/false, now);
+    }
+    post_response(s, p.client, static_cast<RespStatus>(*replay), {}, token);
+    return;
+  }
+  if (is_mutation) {
+    RespStatus status = RespStatus::kOk;
+    if (p.request.is_delete) {
+      ++proc.stats.deletes;
+      bool erased = rep.cache->erase(p.request.key);
+      if (!erased) status = RespStatus::kNotFound;
+    } else {
+      ++proc.stats.puts;
+      rep.cache->put(p.request.key, p.value);
+    }
+    if (dedup) {
+      rep.seen_tokens.at(p.client).insert(
+          token, static_cast<std::uint8_t>(status), now);
+    }
+    if (observer_ != nullptr) {
+      observer_->on_apply(s, p.client, p.request.key, p.request.is_delete,
+                          /*applied=*/true, now);
+    }
+
+    bool drop = cfg_.drop_replication;
+#ifdef HERD_DROP_REPLICATION
+    // Planted-bug canary build: replication forwarding silently dropped.
+    // A promotion after a primary crash now loses acknowledged writes —
+    // CI asserts the linearizability checker catches exactly this.
+    drop = true;
+#endif
+    const ShardInfo si = shard_map_.at(shard);
+    const Migration& m = migrations_[shard];
+    if (!drop && m.active && procs_[m.dest]->alive) {
+      // Dual-write window: the migration destination stays current.
+      ++migration_stats_.dual_writes;
+      Fwd f;
+      f.from = s;
+      f.to = m.dest;
+      f.shard = shard;
+      f.client = p.client;
+      f.key = p.request.key;
+      f.is_delete = p.request.is_delete;
+      f.token = token;
+      f.value = p.value;
+      f.status = status;
+      f.ack = false;
+      forward_mutation(std::move(f));
+    }
+    if (!drop && si.backup != kNoBackup && procs_[si.backup]->alive) {
+      // Acknowledged-write semantics: the response waits for the backup's
+      // ack, so every acked mutation survives a promotion.
+      ++proc.stats.repl_forwards;
+      Fwd f;
+      f.from = s;
+      f.to = si.backup;
+      f.shard = shard;
+      f.client = p.client;
+      f.key = p.request.key;
+      f.is_delete = p.request.is_delete;
+      f.token = token;
+      f.value = p.value;
+      f.status = status;
+      f.ack = true;
+      forward_mutation(std::move(f));
+    } else {
+      // No live backup (lost redundancy, or the canary dropped the
+      // forward): ack directly, degraded.
+      ++proc.stats.repl_degraded;
+      post_response(s, p.client, status, {}, token);
+    }
+  } else {
+    ++proc.stats.gets;
+    auto r = rep.cache->get(p.request.key, value_buf);
+    if (r.found) {
+      ++proc.stats.get_hits;
+      post_response(s, p.client, RespStatus::kOk,
+                    std::span<const std::byte>(value_buf, r.value_len),
+                    token);
+    } else {
+      post_response(s, p.client, RespStatus::kNotFound, {}, token);
+    }
+  }
+}
+
+void HerdService::forward_mutation(Fwd f) {
+  host_->ctx().engine().schedule_after(
+      cfg_.repl_forward_delay,
+      [this, f = std::move(f)]() { deliver_forward(f); });
+}
+
+void HerdService::deliver_forward(const Fwd& f) {
+  auto& engine = host_->ctx().engine();
+  Proc& b = *procs_[f.to];
+  bool delivered = false;
+  if (b.alive) {
+    if (Replica* rep = find_replica(f.to, f.shard)) {
+      // The replica apply occupies the backup's core like any other op.
+      b.core->charge(cpu_.pipeline_step + cpu_.dram_access);
+      sim::Tick now = engine.now();
+      bool dup = cfg_.request_tokens && cfg_.mutation_dedup &&
+                 rep->seen_tokens.at(f.client).find(f.token).has_value();
+      if (!dup) {
+        if (f.is_delete) {
+          rep->cache->erase(f.key);
+        } else {
+          rep->cache->put(f.key, f.value);
+        }
+        if (cfg_.request_tokens && cfg_.mutation_dedup) {
+          // Record the PRIMARY's result, not ours: after a promotion, a
+          // retry must replay what the client was (or would have been)
+          // told, and a DELETE's kNotFound is decided by the primary's
+          // apply order.
+          rep->seen_tokens.at(f.client).insert(
+              f.token, static_cast<std::uint8_t>(f.status), now);
+        }
+      }
+      if (observer_ != nullptr) {
+        observer_->on_apply(f.to, f.client, f.key, f.is_delete,
+                            /*applied=*/!dup, now);
+      }
+      ++b.stats.repl_applies;
+      delivered = true;
+    }
+  }
+  if (!delivered) ++procs_[f.from]->stats.repl_dropped;
+  if (!f.ack) return;
+  if (!delivered) {
+    // The forwarding ring's peer is gone (crashed between the send and
+    // the delivery): ack degraded, now — the mutation is applied locally
+    // and nothing will confirm it.
+    Proc& prim = *procs_[f.from];
+    if (!prim.alive) return;
+    ++prim.stats.repl_degraded;
+    post_response(f.from, f.client, f.status, {}, f.token);
+    return;
+  }
+  engine.schedule_after(
+      cfg_.repl_forward_delay,
+      [this, from = f.from, client = f.client, status = f.status,
+       token = f.token]() {
+        Proc& prim = *procs_[from];
+        // Primary died before acking: the client never hears back, retries
+        // against the promoted backup, and the replicated dedup ring
+        // replays the recorded result — the maybe-applied path.
+        if (!prim.alive) return;
+        ++prim.stats.repl_acks;
+        post_response(from, client, status, {}, token);
+      });
+}
+
+void HerdService::complete_legacy(std::uint32_t s, const Pending& p) {
+  Proc& proc = *procs_[s];
+  ++proc.stats.requests;
+  {
+    obs::Tracer* tr = host_->ctx().tracer();
+    if (obs::tracing(tr)) {
+      const char* kind = p.request.is_delete ? "delete"
+                         : p.request.is_put  ? "put"
+                                             : "get";
+      tr->instant(proc.core->name(), std::string("serve_") + kind,
+                  host_->ctx().engine().now(),
+                  "client=" + std::to_string(p.client));
+    }
+  }
+
+  // EREW normally guarantees s == the key's shard. Under failover a
   // client re-targets a surviving process, which serves the crashed
   // process's partition from its replica (owner below) — still one writer
   // per partition because the crashed owner is not running.
-  std::uint32_t part = kv::partition_of(p.request.key, cfg_.n_server_procs);
-  Proc& owner = *procs_[part];
+  std::uint32_t part = shard_map_.shard_of(p.request.key);
+  Replica& owner = procs_[part]->replicas.at(part);
   if (part != s) ++proc.stats.foreign_serves;
 
   std::byte value_buf[kv::MicaCache::kMaxValue];
@@ -473,16 +958,7 @@ void HerdService::complete(std::uint32_t s, const Pending& p) {
     }
   }
 
-  if (cfg_.mode == RequestMode::kWriteUc) {
-    // Re-arm the slot: "The server zeroes out the keyhash field of the slot
-    // after sending a response, freeing it up for a new request."
-    clear_slot(host_->memory().span(p.slot_addr, kSlotBytes));
-  } else {
-    // Repost the consumed RECV.
-    proc.ud_qp->post_recv({.wr_id = p.recv_addr,
-                           .sge = {p.recv_addr, kRecvStride,
-                                   scratch_mr_.lkey}});
-  }
+  rearm(s, p);
 }
 
 void HerdService::post_response(std::uint32_t s, std::uint32_t client,

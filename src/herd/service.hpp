@@ -9,10 +9,21 @@
 //  * the NS *server processes*: each pinned to a core, each owning one MICA
 //    partition and one UD queue pair for responses, polling its chunk of the
 //    request region and running the two-stage prefetch pipeline (§4.1.1).
+//
+// With HerdConfig::replicate on, the EREW partitions become *shards* with
+// primary-backup replication (herd/shard.hpp): each process hosts the
+// primary replica of its own shard plus the backup replica of a neighbor's.
+// Primaries forward committed mutations to backups over a cross-core
+// shared-memory ring and ack only after the backup applied; a crashed
+// primary's backup promotes itself after a failure-detector grace period; a
+// recovered process re-replicates lost shards by streaming them back from
+// their current primaries; and a control path migrates shards between
+// healthy processes with a bounded dual-write handoff window.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -24,6 +35,7 @@
 #include "herd/observer.hpp"
 #include "herd/protocol.hpp"
 #include "herd/request_region.hpp"
+#include "herd/shard.hpp"
 #include "herd/token_ring.hpp"
 #include "kv/mica_cache.hpp"
 #include "sim/rng.hpp"
@@ -58,10 +70,14 @@ class HerdService {
   const cluster::CpuModel& cpu() const { return cpu_; }
   cluster::Host& host() { return *host_; }
 
+  /// The authoritative shard map. Clients copy it at startup and refresh
+  /// their copies from kWrongEpoch redirects.
+  const ShardMap& shards() const { return shard_map_; }
+
   /// Host memory the service needs (request region + staging rings).
   static std::uint64_t required_memory(const HerdConfig& cfg);
 
-  /// Warms partition caches with the first `n_keys` ranks (bench setup).
+  /// Warms shard replicas with the first `n_keys` ranks (bench setup).
   void preload(std::uint64_t n_keys, std::uint32_t value_len);
 
   // --- Fault injection -----------------------------------------------------
@@ -69,16 +85,42 @@ class HerdService {
   /// Fail-stop crash of server process `s`: it stops polling, its pipeline
   /// state is lost, and requests landing in its region chunk go unseen.
   /// The NIC keeps DMA-ing WRITEs into the (shmget) request region — that
-  /// memory outlives the process, which is what makes recovery rescan work.
+  /// memory outlives the process. With replication on, the process's
+  /// replicas die with it (they are process memory) and each shard it was
+  /// primary of is promoted onto its backup after promotion_delay.
   void crash_proc(std::uint32_t s);
 
-  /// Restarts process `s`: it remaps the request region and rescans its
-  /// chunk for requests that landed while it was dead (WRITE mode). The
-  /// MICA partition survives (recovery-from-replica model); in-pipeline
-  /// requests from before the crash are simply re-served via client retries.
+  /// Restarts process `s`. Unreplicated: remaps the request region and
+  /// rescans its chunk for requests that landed while it was dead (the
+  /// MICA partition survives — the legacy recovery-from-replica model).
+  /// Replicated: the process comes back empty and rejoins by streaming
+  /// each shard that lost redundancy back from its current primary
+  /// (re-replication); landed-while-dead slots are cleared, not served —
+  /// this process is no longer a primary, so clients have failed the
+  /// requests over or are still retrying them.
   void recover_proc(std::uint32_t s);
 
   bool proc_alive(std::uint32_t s) const;
+
+  // --- Live shard migration ------------------------------------------------
+
+  /// Starts migrating `shard` to `to_proc`: the destination snapshots the
+  /// primary replica now, mutations dual-write to it for
+  /// migration_stream_time, then the handoff bumps the epoch and makes the
+  /// destination primary (the old primary stays on as backup). Returns
+  /// false if the migration cannot start (replication off, actor dead,
+  /// already primary, or a migration is already in flight). A crash or
+  /// promotion during the window aborts the migration.
+  bool migrate_shard(std::uint32_t shard, std::uint32_t to_proc);
+  bool migration_active(std::uint32_t shard) const;
+
+  struct MigrationStats {
+    std::uint64_t started = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t dual_writes = 0;  // mutations forwarded to a destination
+  };
+  const MigrationStats& migration_stats() const { return migration_stats_; }
 
   // --- Introspection -------------------------------------------------------
 
@@ -99,9 +141,30 @@ class HerdService {
     /// Rescanned mutations of ambiguous staleness dropped at recovery
     /// (possibly served-and-forgotten; re-applying risks a lost update).
     std::uint64_t rescan_dropped = 0;
+    // Replication (all zero when HerdConfig::replicate is off):
+    std::uint64_t repl_forwards = 0;   // mutations forwarded to the backup
+    std::uint64_t repl_applies = 0;    // forwarded mutations applied here
+    std::uint64_t repl_acks = 0;       // responses sent after a backup ack
+    std::uint64_t repl_degraded = 0;   // acked with no live backup
+    std::uint64_t repl_dropped = 0;    // forwards that found no live replica
+    std::uint64_t stale_epoch_rejects = 0;  // redirected (not the primary)
+    std::uint64_t stale_epoch_serves = 0;   // served despite an old epoch
+    std::uint64_t parked = 0;     // held for a pending promotion
+    std::uint64_t promotions = 0; // this process promoted itself
+    std::uint64_t rejoins = 0;    // shards re-replicated onto this process
+    /// Shards this process resumed as primary with all replicas lost (both
+    /// the primary and its backup were down at once — data loss; cannot
+    /// happen under single-failure fault plans).
+    std::uint64_t lost_shards = 0;
   };
   const ProcStats& proc_stats(std::uint32_t s) const;
+  /// The cache of shard `s`'s *current primary* replica (in unreplicated
+  /// mode: the partition cache of process `s`, as before).
   const kv::MicaCache& proc_cache(std::uint32_t s) const;
+  /// True if any replica's cache anywhere has dropped data for cache
+  /// reasons (lossy index eviction, log wrap, stale entry) — the chaos
+  /// harness's "legitimate miss" escape hatch.
+  bool any_cache_lossy() const;
   cluster::SequentialCore& proc_core(std::uint32_t s);
   std::uint64_t total_requests() const;
   void reset_stats();
@@ -123,8 +186,20 @@ class HerdService {
     std::uint64_t recv_wr_id = 0;
   };
 
-  struct Proc {
+  /// One copy of one shard's state: cache plus the per-client
+  /// duplicate-suppression rings. The rings replicate with the data —
+  /// without them, a client retrying an acked-but-response-lost mutation
+  /// against a freshly promoted primary would re-apply it (lost update).
+  struct Replica {
     std::unique_ptr<kv::MicaCache> cache;
+    std::vector<TokenRing> seen_tokens;  // per client (token mode)
+  };
+
+  struct Proc {
+    /// Replicas hosted by this process, keyed by shard (std::map: hosted
+    /// shards iterate in deterministic order — replay depends on it).
+    /// Unreplicated mode hosts exactly one: shard s on process s.
+    std::map<std::uint32_t, Replica> replicas;
     std::unique_ptr<cluster::SequentialCore> core;
     std::unique_ptr<verbs::Cq> send_cq;
     std::unique_ptr<verbs::Cq> recv_cq;
@@ -132,22 +207,58 @@ class HerdService {
     std::vector<std::uint64_t> next_r;  // per-client poll counter
     std::deque<Pending> arrivals;
     std::deque<Pending> pipeline;
+    /// Requests this backup is holding for a shard whose primary is dead:
+    /// served once the failure detector promotes us, redirected if the
+    /// primary comes back first.
+    std::deque<Pending> parked;
     std::uint64_t advance_gen = 0;  // invalidates stale no-op timers
     std::uint64_t resp_base = 0;    // response staging ring
     std::uint32_t resp_slot = 0;
     std::uint64_t recv_base = 0;    // SEND mode recv buffers
     bool alive = true;
     std::uint64_t epoch = 0;  // bumped at crash; stale core work bails
-    std::vector<TokenRing> seen_tokens;  // per client, for this partition
     ProcStats stats;
   };
 
+  /// A mutation in flight on the replication ring (primary -> backup, or
+  /// primary -> migration destination). Carries the primary's result so the
+  /// replica's ring replays the authoritative status after a promotion.
+  struct Fwd {
+    std::uint32_t from = 0;   // forwarding primary
+    std::uint32_t to = 0;     // receiving replica host
+    std::uint32_t shard = 0;
+    std::uint32_t client = 0;
+    kv::KeyHash key{};
+    bool is_delete = false;
+    std::uint32_t token = 0;
+    std::vector<std::byte> value;  // PUT payload
+    RespStatus status = RespStatus::kOk;
+    bool ack = false;  // true: primary responds to the client on ack
+  };
+
+  Replica make_replica() const;
+  Replica* find_replica(std::uint32_t proc, std::uint32_t shard);
   void on_region_write(std::uint32_t s, std::uint64_t addr);
   void on_recv_ready(std::uint32_t s);
   void schedule_advance(std::uint32_t s, sim::Tick extra_delay);
   void arm_noop_timer(std::uint32_t s);
   void advance(std::uint32_t s);
   void complete(std::uint32_t s, const Pending& p);
+  void complete_legacy(std::uint32_t s, const Pending& p);
+  void serve(std::uint32_t s, std::uint32_t shard, Replica& rep,
+             const Pending& p);
+  void rearm(std::uint32_t s, const Pending& p);
+  void send_redirect(std::uint32_t s, std::uint32_t client,
+                     std::uint32_t token, const ShardInfo& si);
+  void forward_mutation(Fwd f);
+  void deliver_forward(const Fwd& f);
+  void promote_shard(std::uint32_t shard, std::uint64_t expected_epoch);
+  void finish_rejoin(std::uint32_t s, std::uint32_t shard,
+                     std::uint64_t proc_epoch);
+  void finish_migration(std::uint32_t shard, std::uint64_t expected_epoch);
+  /// Serves (if `s` just became primary) or redirects (if the shard's
+  /// primary is alive again) parked requests held by process `s`.
+  void drain_parked(std::uint32_t s);
   void post_response(std::uint32_t s, std::uint32_t client, RespStatus status,
                      std::span<const std::byte> value, std::uint32_t token);
 
@@ -155,6 +266,7 @@ class HerdService {
   HerdConfig cfg_;
   cluster::CpuModel cpu_;
   RequestRegion region_;
+  ShardMap shard_map_;
   verbs::Mr region_mr_{};
   std::unique_ptr<verbs::Cq> init_cq_;  // initializer's dummy CQ for UC QPs
   std::vector<std::unique_ptr<verbs::Qp>> uc_qps_;  // one per client
@@ -163,6 +275,15 @@ class HerdService {
   std::unordered_map<std::uint64_t, std::uint32_t> sender_to_client_;
   verbs::Mr scratch_mr_{};  // covers staging rings / recv buffers
   HistoryObserver* observer_ = nullptr;
+
+  struct Migration {
+    bool active = false;
+    std::uint32_t dest = 0;
+    std::uint64_t epoch_at_start = 0;
+  };
+  std::vector<Migration> migrations_;  // per shard
+  MigrationStats migration_stats_;
+
   /// Idle-poll detection jitter. A member (not a process-global) so two
   /// identically-seeded services in one process draw identical streams —
   /// the chaos harness's deterministic replay depends on it.

@@ -1,0 +1,113 @@
+// Shard map: keyspace partitioning and per-shard replica roles.
+//
+// The paper's EREW partitioning ("each server process owns one partition")
+// generalizes here to a level of indirection: keys hash to *shards*, and a
+// ShardMap assigns each shard a primary server process, an optional backup,
+// and an epoch. With replication off the map is the identity (shard s is
+// served by process s) and the wire format is unchanged; with replication
+// on, primaries forward committed mutations to backups before acking, and
+// the epoch is bumped on every primary change (promotion after a crash,
+// migration handoff) so a client holding a stale map can be redirected
+// instead of silently served stale data.
+//
+// The service owns the authoritative map; each client holds a copy seeded
+// at startup and refreshed from kWrongEpoch redirects. Routing MUST go
+// through ShardMap::shard_of — herd_lint's shard-route rule flags direct
+// kv::partition_of(..., n_server_procs) calls in client/service paths, the
+// single-shard assumption this indirection exists to retire.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "kv/keyhash.hpp"
+
+namespace herd::core {
+
+/// Sentinel: the shard currently has no backup replica (unreplicated mode,
+/// or redundancy lost to a crash and not yet restored by a rejoin).
+inline constexpr std::uint32_t kNoBackup = 0xffffffffu;
+
+struct ShardInfo {
+  std::uint32_t primary = 0;
+  std::uint32_t backup = kNoBackup;
+  /// Bumped on every primary change. Requests carry the client's believed
+  /// epoch; a process that is not the shard's current primary rejects with
+  /// a redirect carrying (primary, epoch) so the client can refresh.
+  std::uint64_t epoch = 0;
+};
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  /// One shard per server process; shard s starts with primary s and —
+  /// when `replicated` and there are processes to spare — backup (s+1)%N.
+  ShardMap(std::uint32_t n_shards, bool replicated) : shards_(n_shards) {
+    for (std::uint32_t s = 0; s < n_shards; ++s) {
+      shards_[s].primary = s;
+      shards_[s].backup =
+          replicated && n_shards > 1 ? (s + 1) % n_shards : kNoBackup;
+    }
+  }
+
+  std::uint32_t n_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Which shard owns `key`. Same hash as the paper's EREW partitioning, so
+  /// the identity map reproduces the unreplicated layout exactly.
+  std::uint32_t shard_of(const kv::KeyHash& key) const {
+    return kv::partition_of(key, n_shards());
+  }
+
+  const ShardInfo& at(std::uint32_t shard) const { return shards_.at(shard); }
+
+  /// Crash promotion: the backup becomes primary; redundancy is gone until
+  /// a recovered process rejoins. Epoch bumps — the old primary may come
+  /// back believing it still owns the shard.
+  void promote(std::uint32_t shard) {
+    ShardInfo& si = shards_.at(shard);
+    if (si.backup == kNoBackup) {
+      throw std::logic_error("ShardMap::promote: shard has no backup");
+    }
+    si.primary = si.backup;
+    si.backup = kNoBackup;
+    ++si.epoch;
+  }
+
+  /// Redundancy lost (backup crashed) or restored (rejoin finished). Not an
+  /// epoch bump: clients only route to primaries, so a backup change never
+  /// invalidates a client's routing decision.
+  void set_backup(std::uint32_t shard, std::uint32_t backup) {
+    shards_.at(shard).backup = backup;
+  }
+
+  /// Migration handoff: `to` (holding a streamed, dual-written replica)
+  /// becomes primary; the old primary — whose replica is complete and
+  /// current — stays on as the backup.
+  void migrate(std::uint32_t shard, std::uint32_t to) {
+    ShardInfo& si = shards_.at(shard);
+    si.backup = si.primary;
+    si.primary = to;
+    ++si.epoch;
+  }
+
+  /// Client-side refresh from a kWrongEpoch redirect. Ignores stale
+  /// redirects (epoch not newer than what the client already believes).
+  /// Returns true if the entry changed.
+  bool refresh(std::uint32_t shard, std::uint32_t primary,
+               std::uint64_t epoch) {
+    ShardInfo& si = shards_.at(shard);
+    if (epoch <= si.epoch) return false;
+    si.primary = primary;
+    si.epoch = epoch;
+    return true;
+  }
+
+ private:
+  std::vector<ShardInfo> shards_;
+};
+
+}  // namespace herd::core

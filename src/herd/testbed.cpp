@@ -44,10 +44,14 @@ std::vector<std::string> TestbedConfig::validate() const {
   if (herd.response_ring == 0) {
     problems.push_back("herd.response_ring must be >= 1");
   }
-  if (workload.value_len == 0 || workload.value_len > kMaxValue) {
-    problems.push_back("workload.value_len must be in [1, " +
-                       std::to_string(kMaxValue) + "], got " +
-                       std::to_string(workload.value_len));
+  std::uint32_t max_value = herd.replicate ? kMaxValueReplicated : kMaxValue;
+  if (workload.value_len == 0 || workload.value_len > max_value) {
+    problems.push_back(
+        "workload.value_len must be in [1, " + std::to_string(max_value) +
+        "]" +
+        (herd.replicate ? " (replication's epoch header shrinks the slot)"
+                        : "") +
+        ", got " + std::to_string(workload.value_len));
   }
   if (workload.n_keys == 0) {
     problems.push_back("workload.n_keys must be >= 1");
@@ -56,20 +60,11 @@ std::vector<std::string> TestbedConfig::validate() const {
     problems.push_back(
         "flight_ring must be >= 1 when flight_interval is nonzero");
   }
-  if ((resilience.deadline > 0 || resilience.failover_threshold > 0) &&
-      !herd.request_tokens) {
-    problems.push_back(
-        "resilience deadlines/failover require herd.request_tokens "
-        "(late or failed-over responses must carry a correlation token)");
-  }
-  if (herd.request_tokens && herd.mutation_dedup &&
-      resilience.retry_timeout > 0 && resilience.deadline > 0 &&
-      herd.dedup_retention <= resilience.deadline + resilience.backoff_max) {
-    problems.push_back(
-        "herd.dedup_retention must exceed resilience.deadline + "
-        "resilience.backoff_max, or a late retry outlives its "
-        "duplicate-suppression entry and re-applies the mutation");
-  }
+  // The HerdConfig <-> ClientResilience coupling rules (tokens, failover
+  // targets, replication, dedup retention) live in one place.
+  std::vector<std::string> coupled =
+      HerdConfigBuilder::validate(herd, resilience);
+  problems.insert(problems.end(), coupled.begin(), coupled.end());
   return problems;
 }
 
@@ -202,6 +197,37 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
                  sum_proc(&HerdService::ProcStats::crashes));
   reg.counter_fn("service.recoveries",
                  sum_proc(&HerdService::ProcStats::recoveries));
+  if (cfg_.herd.replicate) {
+    reg.counter_fn("service.repl_forwards",
+                   sum_proc(&HerdService::ProcStats::repl_forwards));
+    reg.counter_fn("service.repl_applies",
+                   sum_proc(&HerdService::ProcStats::repl_applies));
+    reg.counter_fn("service.repl_acks",
+                   sum_proc(&HerdService::ProcStats::repl_acks));
+    reg.counter_fn("service.repl_degraded",
+                   sum_proc(&HerdService::ProcStats::repl_degraded));
+    reg.counter_fn("service.repl_dropped",
+                   sum_proc(&HerdService::ProcStats::repl_dropped));
+    reg.counter_fn("service.stale_epoch_rejects",
+                   sum_proc(&HerdService::ProcStats::stale_epoch_rejects));
+    reg.counter_fn("service.parked",
+                   sum_proc(&HerdService::ProcStats::parked));
+    reg.counter_fn("service.promotions",
+                   sum_proc(&HerdService::ProcStats::promotions));
+    reg.counter_fn("service.rejoins",
+                   sum_proc(&HerdService::ProcStats::rejoins));
+    reg.counter_fn("service.lost_shards",
+                   sum_proc(&HerdService::ProcStats::lost_shards));
+    reg.counter_fn("service.migrations_completed", [this] {
+      return service_->migration_stats().completed;
+    });
+    reg.counter_fn("service.migrations_aborted", [this] {
+      return service_->migration_stats().aborted;
+    });
+    reg.counter_fn("service.migration_dual_writes", [this] {
+      return service_->migration_stats().dual_writes;
+    });
+  }
 
   auto sum_client = [this](std::uint64_t HerdClient::Stats::* field) {
     return [this, field] {
@@ -225,6 +251,12 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
                  sum_client(&HerdClient::Stats::bad_responses));
   reg.counter_fn("client.value_mismatches",
                  sum_client(&HerdClient::Stats::value_mismatches));
+  if (cfg_.herd.replicate) {
+    reg.counter_fn("client.stale_epoch_retries",
+                   sum_client(&HerdClient::Stats::stale_epoch_retries));
+    reg.counter_fn("client.map_refreshes",
+                   sum_client(&HerdClient::Stats::map_refreshes));
+  }
   reg.histogram_fn("client.latency", [this] {
     sim::LatencyHistogram merged;
     for (const auto& c : clients_) merged.merge(c->latency());
@@ -273,12 +305,14 @@ HerdTestbed::RunResult HerdTestbed::run(sim::Tick warmup, sim::Tick measure) {
     r.retries += st.retries;
     r.deadline_exceeded += st.deadline_exceeded;
     r.failovers += st.failovers;
+    r.stale_epoch_retries += st.stale_epoch_retries;
     merged.merge(c->latency());
   }
   for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
     proc_requests_[s] = service_->proc_stats(s).requests;
     r.bad += service_->proc_stats(s).bad_requests;
     r.duplicate_mutations += service_->proc_stats(s).duplicate_mutations;
+    r.promotions += service_->proc_stats(s).promotions;
   }
   r.messages_lost = cluster_->fabric().messages_lost();
   r.mops = static_cast<double>(r.ops) / sim::to_sec(measure) / 1e6;

@@ -120,6 +120,10 @@ class TestbedConfigBuilder {
     cfg_.herd.request_tokens = v;
     return *this;
   }
+  TestbedConfigBuilder& replicate(bool v) {
+    cfg_.herd.replicate = v;
+    return *this;
+  }
   TestbedConfigBuilder& value_len(std::uint32_t v) {
     cfg_.workload.value_len = v;
     return *this;
@@ -220,6 +224,8 @@ class HerdTestbed {
     std::uint64_t deadline_exceeded = 0;
     std::uint64_t failovers = 0;
     std::uint64_t duplicate_mutations = 0;
+    std::uint64_t promotions = 0;          // backup-to-primary promotions
+    std::uint64_t stale_epoch_retries = 0; // kWrongEpoch redirect re-issues
   };
 
   /// Starts the clients, warms up, measures for `measure` simulated time.

@@ -64,6 +64,11 @@ class MicaCache {
   bool erase(const KeyHash& key);
 
   const Stats& stats() const { return stats_; }
+  /// Zeroes the counters. Replica snapshots (re-replication, migration)
+  /// copy a cache wholesale and must not inherit the source's lossy-index
+  /// history — the chaos harness reads index_evictions/log_wraps/get_stale
+  /// to tell cache lossiness apart from lost writes.
+  void reset_stats() { stats_ = Stats{}; }
   std::size_t log_capacity() const { return log_.size(); }
   std::uint64_t log_head() const { return log_head_; }
 

@@ -57,9 +57,60 @@ TEST(ScenarioGen, SamplesStayInsideEnvelope) {
     core::TestbedConfig cfg = chaos::to_testbed_config(sc);
     EXPECT_GT(cfg.herd.dedup_retention,
               sc.resilience.deadline + sc.resilience.backoff_max);
+    EXPECT_EQ(cfg.herd.replicate, sc.replicate);
+    if (sc.replicate) {
+      EXPECT_GE(sc.n_server_procs, 2u);
+    }
     for (const auto& f : sc.plan.proc_crash) {
       EXPECT_LT(f.proc, sc.n_server_procs);
     }
+  }
+}
+
+TEST(ScenarioGen, CrashPrimaryModeScriptsOneTargetedCrash) {
+  ScenarioEnvelope env;
+  env.force_crash_primary = true;
+  env.min_server_procs = 2;
+  bool some_recover = false;
+  bool some_stay_dead = false;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    Scenario sc = chaos::generate_scenario(seed, env);
+    EXPECT_TRUE(sc.replicate) << "seed " << seed;
+    EXPECT_TRUE(sc.crash_primary) << "seed " << seed;
+    ASSERT_EQ(sc.plan.proc_crash.size(), 1u) << "seed " << seed;
+    const fault::ProcCrashFault& f = sc.plan.proc_crash[0];
+    EXPECT_LT(f.proc, sc.n_server_procs);
+    // Mid-budget, so acked writes straddle the promotion.
+    EXPECT_GE(f.crash_at, env.warmup + env.budget / 4);
+    EXPECT_LE(f.crash_at, env.warmup + (env.budget * 3) / 4);
+    if (f.recover_at > 0) {
+      EXPECT_GT(f.recover_at, f.crash_at);
+      some_recover = true;
+    } else {
+      some_stay_dead = true;
+    }
+  }
+  // Both failover shapes appear in a sweep: crash-and-rejoin and
+  // crash-forever (the promoted backup carries the run).
+  EXPECT_TRUE(some_recover);
+  EXPECT_TRUE(some_stay_dead);
+}
+
+TEST(ScenarioGen, ReplicationDrawsDoNotPerturbPriorSampling) {
+  // The replicate coin is drawn after every pre-existing draw, so the
+  // sampled topology and fault plan of a seed are identical whatever the
+  // replicate_fraction — old failing seeds stay reproducible.
+  ScenarioEnvelope off;
+  off.replicate_fraction = 0.0;
+  ScenarioEnvelope on;
+  on.replicate_fraction = 1.0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    Scenario a = chaos::generate_scenario(seed, off);
+    Scenario b = chaos::generate_scenario(seed, on);
+    EXPECT_FALSE(a.replicate);
+    EXPECT_EQ(b.replicate, b.n_server_procs >= 2);
+    a.replicate = b.replicate;  // the only field allowed to differ
+    EXPECT_EQ(a.to_json(), b.to_json()) << "seed " << seed;
   }
 }
 
@@ -269,6 +320,71 @@ TEST(ChaosRun, VanillaSweepIsLinearizable) {
     EXPECT_TRUE(o.counters.has("chaos.ops_checked"));
     EXPECT_TRUE(o.counters.has("fault.crashes"));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Failover under chaos: crash-primary sweeps stay linearizable, replays
+// stay deterministic, and the planted replication-drop bug is caught.
+
+TEST(ChaosRun, CrashPrimarySweepIsLinearizable) {
+  // Every seed runs replicated and loses one shard primary mid-window; the
+  // checker holds the promoted backup to every previously acked write,
+  // including the maybe-applied ops in flight at the crash.
+  ScenarioEnvelope env;
+  env.budget = sim::ms(1);
+  env.force_crash_primary = true;
+  env.min_server_procs = 2;
+  std::uint64_t promotions = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Scenario sc = chaos::generate_scenario(seed, env);
+    chaos::RunOutcome o = chaos::run_scenario(sc);
+    EXPECT_FALSE(chaos::violation(o))
+        << "seed " << seed << ": " << chaos::summarize(o) << "\n"
+        << o.check.explanation;
+    EXPECT_FALSE(o.check.inconclusive) << "seed " << seed;
+    promotions += o.run.promotions;
+  }
+  // The mode is pointless unless promotions actually happen in-window.
+  EXPECT_GT(promotions, 0u);
+}
+
+TEST(ChaosRun, CrashPrimaryReplayIsBitIdentical) {
+  ScenarioEnvelope env;
+  env.budget = sim::ms(1);
+  env.force_crash_primary = true;
+  env.min_server_procs = 2;
+  Scenario sc = chaos::generate_scenario(5, env);
+  chaos::RunOutcome a = chaos::run_scenario(sc);
+  chaos::RunOutcome b = chaos::run_scenario(sc);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.applies, b.applies);
+  ASSERT_GT(a.events, 0u);
+}
+
+TEST(ChaosRun, DropReplicationCanaryCaught) {
+  // The planted bug: primaries ack mutations without forwarding them, so a
+  // promotion serves from a backup that missed acked writes (a lost DELETE
+  // resurrects its key; the stale read is the smoking gun). At least one
+  // crash-primary seed must trip the checker — if this sweep ever comes
+  // back clean, the checker has gone blind to replication bugs and the CI
+  // canary job is worthless.
+  ScenarioEnvelope env;
+  env.force_crash_primary = true;
+  env.min_server_procs = 2;
+  env.drop_replication = true;
+  bool caught = false;
+  for (std::uint64_t seed = 1; seed <= 12 && !caught; ++seed) {
+    Scenario sc = chaos::generate_scenario(seed, env);
+    EXPECT_TRUE(sc.drop_replication);
+    chaos::RunOutcome o = chaos::run_scenario(sc);
+    if (chaos::violation(o)) {
+      caught = true;
+      EXPECT_FALSE(o.check.explanation.empty());
+    }
+  }
+  EXPECT_TRUE(caught)
+      << "no seed in 1..12 tripped the planted replication-drop bug";
 }
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,8 @@ struct Options {
   std::uint32_t shrink_runs = 64;
   std::uint64_t flight_dump = 0;  // 0 = off; N = dump last N flight windows
   bool break_dedup = false;
+  bool crash_primary = false;
+  bool drop_replication = false;
   bool shrink = true;
   bool verbose = false;
 };
@@ -46,12 +48,19 @@ void usage(const char* argv0) {
                "          [--replay-every K] [--trace-every K]\n"
                "          [--checker-budget B] [--shrink-runs R]\n"
                "          [--flight-dump N] [--break-dedup] [--no-shrink]\n"
-               "          [--verbose]\n"
+               "          [--crash-primary] [--drop-replication] [--verbose]\n"
                "\n"
                "--flight-dump N: on a violation, replay the failing seed\n"
                "with the flight recorder on and print the last N resource-\n"
                "utilization windows (herd-timeseries/1 JSON) next to the\n"
-               "scenario, so the bug report carries the resource timeline.\n",
+               "scenario, so the bug report carries the resource timeline.\n"
+               "--crash-primary: failover sweep — every seed runs with\n"
+               "primary-backup replication and a scripted crash of one shard\n"
+               "primary mid-window; the checker then holds the promoted\n"
+               "backup to every previously acknowledged write.\n"
+               "--drop-replication: plant the acked-but-not-replicated bug\n"
+               "(canary). A --crash-primary sweep with this flag must FAIL;\n"
+               "a clean exit means the checker went blind.\n",
                argv0);
 }
 
@@ -84,6 +93,14 @@ bool parse_options(int argc, char** argv, Options& opt) {
     }
     if (a == "--break-dedup") {
       opt.break_dedup = true;
+      continue;
+    }
+    if (a == "--crash-primary") {
+      opt.crash_primary = true;
+      continue;
+    }
+    if (a == "--drop-replication") {
+      opt.drop_replication = true;
       continue;
     }
     if (a == "--no-shrink") {
@@ -147,6 +164,12 @@ int main(int argc, char** argv) {
 
   herd::chaos::ScenarioEnvelope env;
   if (opt.budget_ticks > 0) env.budget = opt.budget_ticks;
+  if (opt.crash_primary) {
+    env.force_crash_primary = true;
+    // Failover needs a backup to promote.
+    env.min_server_procs = std::max<std::uint32_t>(2, env.min_server_procs);
+  }
+  env.drop_replication = opt.drop_replication;
 
   // Aggregated across the sweep for the closing report.
   std::map<std::string, std::uint64_t> totals;

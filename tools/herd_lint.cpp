@@ -28,6 +28,14 @@
 //                  mentions ResourceRegistry, register_resources, or the
 //                  resources_ registry member; anything else needs a
 //                  suppression entry explaining why its resource is exempt.
+//   shard-route    No key-to-process routing in src/herd that bypasses the
+//                  shard map: kv::partition_of() calls, or key-derived
+//                  `% n_server_procs` arithmetic. After a backup promotion
+//                  or a live shard migration the primary for a key is NOT
+//                  hash(key) % n_server_procs — requests routed that way
+//                  land on a process that no longer owns the shard.
+//                  ShardMap::shard_of is the one sanctioned wrapper
+//                  (suppressed in herd_lint.supp).
 //
 // Matching happens on a comment- and string-stripped view of each file, so
 // a mention of rand() in a comment never fires. Exceptions are declared in
@@ -452,6 +460,56 @@ void check_raw_new(const std::string& path, std::string_view line,
   }
 }
 
+/// Key-to-process routing in herd code must flow through the ShardMap:
+/// after a promotion or live migration a shard's primary is NOT
+/// hash(key) % n_server_procs, so a direct kv::partition_of() call — or
+/// hand-rolled modulo of key material by the process count — silently
+/// routes requests to a process that no longer owns the shard. Plain
+/// `% n_server_procs` (round-robin probing, bounds checks) stays legal;
+/// the modulo only fires on lines that also touch key material.
+void check_shard_route(const std::string& path, std::string_view line,
+                       std::size_t lineno, std::vector<Violation>& out) {
+  if (path.find("src/herd/") == std::string::npos) return;
+  if (has_call(line, "partition_of")) {
+    out.push_back({path, lineno, "shard-route",
+                   "kv::partition_of() in herd code: route through the "
+                   "ShardMap (shard_of/at) — after a promotion or "
+                   "migration the primary is not hash % n_server_procs"});
+    return;
+  }
+  if (!has_identifier(line, "key", /*allow_qualified=*/true) &&
+      !has_identifier(line, "hash", /*allow_qualified=*/true) &&
+      !has_identifier(line, "rank", /*allow_qualified=*/true)) {
+    return;
+  }
+  static constexpr std::string_view kProcs = "n_server_procs";
+  std::size_t pos = 0;
+  while ((pos = line.find(kProcs, pos)) != std::string_view::npos) {
+    // Walk left across the qualifier (cfg_. / cfg.herd. / this->cfg_.)
+    // looking for a modulo feeding the identifier.
+    std::size_t k = pos;
+    while (k > 0) {
+      char c = line[k - 1];
+      if (is_ident_char(c) || c == '.' || c == ' ') {
+        --k;
+        continue;
+      }
+      if (c == '>' && k >= 2 && line[k - 2] == '-') {
+        k -= 2;
+        continue;
+      }
+      break;
+    }
+    if (k > 0 && line[k - 1] == '%') {
+      out.push_back({path, lineno, "shard-route",
+                     "key-derived `% n_server_procs` routing bypasses the "
+                     "ShardMap: promotions and migrations move primaries"});
+      return;
+    }
+    pos += kProcs.size();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -508,6 +566,7 @@ void lint_file(const fs::path& path, std::vector<Violation>& out) {
     tracker.scan_declaration(line);
     tracker.check_iteration(generic, line, lineno, out);
     check_resource_registry(generic, line, lineno, registry_aware, out);
+    check_shard_route(generic, line, lineno, out);
     if (in_sim_path(generic)) check_raw_new(generic, line, lineno, out);
     if (nl == std::string::npos) break;
     start = nl + 1;
