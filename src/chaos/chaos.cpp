@@ -72,6 +72,8 @@ RunOutcome run_scenario(const Scenario& sc, std::uint64_t checker_budget) {
   out.counters.set_counter("chaos.ops_checked", out.check.stats.ops_checked);
   out.counters.set_counter("chaos.maybe_applied",
                            out.check.stats.maybe_applied);
+  out.counters.set_counter("chaos.shed_removed",
+                           out.check.stats.shed_removed);
   out.counters.set_counter("chaos.max_states_visited",
                            out.check.stats.max_states_visited);
   out.counters.set_counter("chaos.budget_exhausted",
@@ -187,6 +189,12 @@ std::string summarize(const RunOutcome& o) {
   if (o.scenario.replicate) {
     s += " repl(promotions=" + std::to_string(o.run.promotions);
     s += " stale_epoch=" + std::to_string(o.run.stale_epoch_retries) + ")";
+  }
+  if (o.scenario.overload) {
+    s += " ovl(sheds=" + std::to_string(o.run.overload_sheds);
+    s += " never_applied=" + std::to_string(o.run.shed_never_applied);
+    s += " degraded=" + std::to_string(o.run.degraded_windows);
+    s += " breaker=" + std::to_string(o.run.breaker_opens) + ")";
   }
   s += " retries=" + std::to_string(o.run.retries);
   s += " deadline_failed=" + std::to_string(o.run.deadline_exceeded);

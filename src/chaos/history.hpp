@@ -21,6 +21,12 @@ enum class EventType : std::uint8_t {
   kInvoke = 0,
   kResponse = 1,
   kDeadline = 2,
+  /// Deadline retirement where every posted attempt was answered
+  /// kOverloaded: provably never applied (overload mode only). The checker
+  /// removes the op from the history instead of treating it as
+  /// maybe-applied — a server that applied-then-shed shows up as a
+  /// violation through the surviving ops' values.
+  kShedFinal = 3,
 };
 
 /// One client-side history event. Response events carry the outcome and a
@@ -101,6 +107,18 @@ class HistoryRecorder final : public core::HistoryObserver {
                    sim::Tick now) override {
     Event e;
     e.type = EventType::kDeadline;
+    e.client = client;
+    e.seq = seq;
+    e.tick = now;
+    push(e);
+  }
+
+  void on_shed_final(std::uint32_t client, std::uint64_t seq,
+                     sim::Tick now) override {
+    // Only fires in overload-mode runs, so pre-overload scenario traces
+    // (and their fingerprints) are untouched.
+    Event e;
+    e.type = EventType::kShedFinal;
     e.client = client;
     e.seq = seq;
     e.tick = now;

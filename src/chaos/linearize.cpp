@@ -20,6 +20,9 @@ struct KeyOp {
   workload::OpType type = workload::OpType::kGet;
   core::RespStatus status = core::RespStatus::kOk;
   bool value_ok = true;
+  /// Retired via kShedFinal: provably never applied; removed from the
+  /// sub-history before the search runs.
+  bool shed_final = false;
 };
 
 /// Sequential spec of a register-with-delete with canonical per-key values.
@@ -235,12 +238,25 @@ CheckResult check_linearizability(const std::vector<Event>& events,
         // Leave the op pending: outcome unknown, maybe applied.
         open.erase(req_key(e.client, e.seq));
         break;
+      case EventType::kShedFinal: {
+        // Every posted attempt was refused before any state change: the op
+        // never applied. Mark it for removal from the sub-history.
+        auto it = open.find(req_key(e.client, e.seq));
+        if (it == open.end()) break;
+        per_key[it->second.rank][it->second.index].shed_final = true;
+        open.erase(it);
+        break;
+      }
     }
   }
 
   for (auto& [rank, ops] : per_key) {
-    // Pending GETs constrain nothing — drop them. Pending mutations are
-    // kept as maybe-applied.
+    // Fully-shed ops provably never applied: remove them outright. Pending
+    // GETs constrain nothing — drop them too. Remaining pending mutations
+    // are kept as maybe-applied.
+    std::size_t before = ops.size();
+    std::erase_if(ops, [](const KeyOp& op) { return op.shed_final; });
+    result.stats.shed_removed += before - ops.size();
     std::erase_if(ops, [](const KeyOp& op) {
       return op.response == kPendingRes && op.type == workload::OpType::kGet;
     });

@@ -21,6 +21,13 @@
 // pending PUTs (resp. DELETEs) on a key are interchangeable, the search
 // only ever branches on the earliest-invoked one — this collapses the
 // exponential pending-op symmetry while preserving completeness.
+//
+// Ops retired with a kShedFinal event are the opposite of maybe-applied:
+// every posted attempt was answered kOverloaded, which the server only
+// sends for requests refused before any state change, so the op provably
+// never applied. The checker removes them from the history entirely — if a
+// server ever applied a request it then claimed to shed, the surviving
+// ops' observed values expose it as a violation.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +42,7 @@ struct CheckStats {
   std::uint64_t histories_checked = 0;   // keys with at least one op
   std::uint64_t ops_checked = 0;         // ops across all keys
   std::uint64_t maybe_applied = 0;       // pending mutations (unknown outcome)
+  std::uint64_t shed_removed = 0;        // never-applied ops dropped (kShedFinal)
   std::uint64_t max_states_visited = 0;  // worst per-key search size
   std::uint64_t budget_exhausted = 0;    // keys whose search hit the cap
 };

@@ -48,6 +48,29 @@ std::string Scenario::to_json() const {
   s += crash_primary ? "true" : "false";
   s += ",\"drop_replication\":";
   s += drop_replication ? "true" : "false";
+  s += ",\"overload\":";
+  s += overload ? "true" : "false";
+  if (overload) {
+    s += ",\"overload_cfg\":{\"n_tenants\":" +
+         std::to_string(overload_cfg.n_tenants);
+    s += ",\"ticks_per_token\":" + std::to_string(overload_cfg.ticks_per_token);
+    s += ",\"burst\":" + std::to_string(overload_cfg.burst);
+    s += ",\"queue_high\":" + std::to_string(overload_cfg.queue_high);
+    s += ",\"queue_low\":" + std::to_string(overload_cfg.queue_low);
+    s += ",\"degraded_retry_after\":" +
+         std::to_string(overload_cfg.degraded_retry_after);
+    s += ",\"weights\":[";
+    for (std::size_t i = 0; i < overload_cfg.weights.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(overload_cfg.weights[i]);
+    }
+    s += "],\"drop_shedding\":";
+    s += overload_cfg.drop_shedding ? "true" : "false";
+    s += ",\"breaker_threshold\":" +
+         std::to_string(resilience.breaker_threshold);
+    s += ",\"breaker_cooldown\":" + std::to_string(resilience.breaker_cooldown);
+    s += "}";
+  }
   s += ",\"trace_sample_every\":" + std::to_string(trace_sample_every);
   s += ",\"flight_windows\":" + std::to_string(flight_windows);
   s += ",\"plan\":" + fault::to_json(plan);
@@ -136,6 +159,39 @@ Scenario generate_scenario(std::uint64_t seed, const ScenarioEnvelope& env) {
     sc.plan.proc_crash.push_back(f);
   }
   sc.drop_replication = env.drop_replication && sc.replicate;
+
+  // Overload draws come AFTER everything above (appended-draws discipline):
+  // seeds swept without force_overload_burst keep every earlier draw — and
+  // hence their whole scenario — bit for bit.
+  if (env.force_overload_burst) {
+    sc.overload = true;
+    core::OverloadConfig& oc = sc.overload_cfg;
+    oc.enable = true;
+    oc.n_tenants = 2 + static_cast<std::uint32_t>(rng.next_below(2));
+    // Deliberately tight: a token every 100-600 ns per tenant, small burst,
+    // low watermarks — modest load should shed.
+    oc.ticks_per_token =
+        sim::ns(100.0 * static_cast<double>(1 + rng.next_below(6)));
+    oc.burst = 4 + rng.next_below(29);
+    oc.queue_high = 8 + static_cast<std::uint32_t>(rng.next_below(25));
+    oc.queue_low =
+        1 + static_cast<std::uint32_t>(rng.next_below(oc.queue_high / 2));
+    if (rng.next_double() < 0.5) {
+      // Lopsided weights: tenant 0 outranks the rest, so degraded mode has
+      // a lowest-priority class to shed first.
+      oc.weights.assign(oc.n_tenants, 1);
+      oc.weights[0] = 2 + static_cast<std::uint32_t>(rng.next_below(7));
+    }
+    oc.degraded_retry_after =
+        sim::us(10.0 * static_cast<double>(2 + rng.next_below(9)));
+    oc.drop_shedding = env.drop_shedding;
+    if (rng.next_double() < 0.5) {
+      sc.resilience.breaker_threshold =
+          2 + static_cast<std::uint32_t>(rng.next_below(4));
+      sc.resilience.breaker_cooldown =
+          sim::us(25.0 * static_cast<double>(2 + rng.next_below(7)));
+    }
+  }
   return sc;
 }
 
@@ -148,6 +204,7 @@ core::TestbedConfig to_testbed_config(const Scenario& sc) {
   cfg.herd.mutation_dedup = !sc.break_dedup;
   cfg.herd.replicate = sc.replicate;
   cfg.herd.drop_replication = sc.drop_replication;
+  if (sc.overload) cfg.herd.overload = sc.overload_cfg;
   // Exactly-once horizon: past deadline + backoff_max the client never
   // retries, so entries may age out safely.
   cfg.herd.dedup_retention =

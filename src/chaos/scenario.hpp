@@ -53,6 +53,17 @@ struct ScenarioEnvelope {
   /// with this set MUST produce linearizability violations — if it sweeps
   /// clean, the checker has gone blind to replication bugs.
   bool drop_replication = false;
+  /// Overload-burst mode: every scenario runs with admission control on and
+  /// deliberately tight quotas/watermarks (plus, on half the seeds, client
+  /// circuit breakers), so requests are shed under load. The checker treats
+  /// fully-shed ops as never-applied — a server that applied-then-shed, or
+  /// shed-but-left-dedup-state, surfaces as a violation.
+  bool force_overload_burst = false;
+  /// Canary: disable all shedding while keeping the overload wire format
+  /// (OverloadConfig.drop_shedding). Not a correctness canary — unshed
+  /// overload collapses goodput (caught by the fig16 bench gate), it does
+  /// not corrupt histories.
+  bool drop_shedding = false;
 };
 
 /// One fully-specified chaos run.
@@ -82,6 +93,11 @@ struct Scenario {
   /// Bug-injection switch: ack mutations without forwarding to the backup
   /// (HerdConfig.drop_replication) — lost acked writes across a promotion.
   bool drop_replication = false;
+  /// Overload mode: admission control + tight quotas sampled into
+  /// `overload_cfg` (ScenarioEnvelope.force_overload_burst).
+  bool overload = false;
+  /// The sampled admission-control knobs (meaningful iff `overload`).
+  core::OverloadConfig overload_cfg{};
   /// When nonzero, the run records a request-lifecycle trace (every Nth
   /// request sampled; see TestbedConfig::trace_sample_every). The exported
   /// Chrome JSON lands in RunOutcome::trace_json and folds into the

@@ -64,6 +64,8 @@ HerdClient::HerdClient(cluster::Host& host, std::uint32_t id,
   consecutive_timeouts_.assign(cfg_.n_server_procs, 0);
   proc_down_.assign(cfg_.n_server_procs, 0);
   last_probe_.assign(cfg_.n_server_procs, 0);
+  consecutive_sheds_.assign(cfg_.n_server_procs, 0);
+  breaker_until_.assign(cfg_.n_server_procs, 0);
 
   recv_cq_->set_notify([this]() { on_response(); });
 }
@@ -133,6 +135,20 @@ void HerdClient::issue(const workload::Op& op) {
   std::uint32_t shard = shards_.shard_of(op.key);
   std::uint32_t p = shards_.at(shard).primary;
   std::uint32_t s = route(p, shard);
+  if (breaker_open(s)) {
+    // The breaker for this process is open: stop hammering a saturated
+    // server. The op keeps its window slot and re-issues at cooldown
+    // expiry (resume_held), when the breaker goes half-open.
+    ++stats_.breaker_held;
+    held_ops_.push_back(op);
+    if (!resume_scheduled_) {
+      resume_scheduled_ = true;
+      sim::Tick now = host_->ctx().engine().now();
+      sim::Tick wait = breaker_until_[s] > now ? breaker_until_[s] - now : 1;
+      host_->ctx().engine().schedule_after(wait, [this]() { resume_held(); });
+    }
+    return;
+  }
   std::uint64_t r = next_r_[s]++;
   ++stats_.issued;
 
@@ -165,7 +181,9 @@ void HerdClient::issue(const workload::Op& op) {
     fl.seq = seq;
     fl.r = r;
     fl.target = s;
+    fl.posts = 1;
     fl.op = op;
+    sim::Tick deadline = fl.deadline;
     inflight_[s].push_back(fl);
     switch (op.type) {
       case workload::OpType::kPut:
@@ -179,15 +197,56 @@ void HerdClient::issue(const workload::Op& op) {
         break;
     }
 
-    post_request(s, r, op, seq);
+    post_request(s, r, op, seq, deadline);
     arm_timer(s, seq);
   });
+}
+
+bool HerdClient::breaker_open(std::uint32_t s) {
+  if (res_.breaker_threshold == 0 || breaker_until_[s] == 0) return false;
+  sim::Tick now = host_->ctx().engine().now();
+  if (now < breaker_until_[s]) return true;
+  // Cooldown expired: half-open. Let this issue through as a probe; the
+  // breaker stays armed (breaker_until_ != 0) until a response settles it.
+  ++stats_.breaker_probes;
+  return false;
+}
+
+void HerdClient::breaker_on_shed(std::uint32_t s) {
+  if (res_.breaker_threshold == 0) return;
+  sim::Tick now = host_->ctx().engine().now();
+  if (breaker_until_[s] != 0 && now >= breaker_until_[s]) {
+    // A half-open probe was shed: the server is still saturated; re-open.
+    breaker_until_[s] = now + std::max<sim::Tick>(1, res_.breaker_cooldown);
+    ++stats_.breaker_opens;
+    return;
+  }
+  if (breaker_until_[s] != 0) return;  // already open
+  ++consecutive_sheds_[s];
+  if (consecutive_sheds_[s] >= res_.breaker_threshold) {
+    breaker_until_[s] = now + std::max<sim::Tick>(1, res_.breaker_cooldown);
+    ++stats_.breaker_opens;
+  }
+}
+
+void HerdClient::resume_held() {
+  resume_scheduled_ = false;
+  std::deque<workload::Op> held;
+  held.swap(held_ops_);
+  // issue() re-routes each op; ops whose target is still open re-hold
+  // (and re-schedule the resume).
+  while (!held.empty()) {
+    workload::Op op = held.front();
+    held.pop_front();
+    issue(op);
+  }
 }
 
 // Composes the request into a staging slot and ships it (steps 2-3 of §4.2;
 // shared by first transmission, retries, and failover re-issues).
 void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
-                              const workload::Op& op, std::uint64_t seq) {
+                              const workload::Op& op, std::uint64_t seq,
+                              sim::Tick deadline) {
   auto& mem = host_->memory();
   std::uint64_t stage = req_base_ + (req_slot_++ % kReqRing) * kSlotBytes;
   auto slot = mem.span(stage, kSlotBytes);
@@ -203,15 +262,23 @@ void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
     req.epoch = static_cast<std::uint32_t>(
         shards_.at(shards_.shard_of(op.key)).epoch);
   }
+  if (cfg_.overload.enable) {
+    // Tenant id keys the server's per-tenant quota and DRR queue; the
+    // absolute deadline lets it drop this attempt unserved once the client
+    // will no longer accept the answer.
+    req.tenant = static_cast<std::uint16_t>(id_ % cfg_.overload.n_tenants);
+    req.deadline = deadline;
+  }
   if (req.is_put) {
     value.resize(op.value_len);
     workload::WorkloadGenerator::fill_value(op.rank, value);
     req.value = value;
   }
-  std::uint32_t wire = request_wire_bytes(req.is_put ? op.value_len : 0,
-                                          cfg_.request_tokens, cfg_.replicate);
-  std::uint32_t start =
-      encode_request(slot, req, cfg_.request_tokens, cfg_.replicate);
+  std::uint32_t wire =
+      request_wire_bytes(req.is_put ? op.value_len : 0, cfg_.request_tokens,
+                         cfg_.replicate, cfg_.overload.enable);
+  std::uint32_t start = encode_request(slot, req, cfg_.request_tokens,
+                                       cfg_.replicate, cfg_.overload.enable);
 
   const auto& cal = host_->rnic().cal();
   if (cfg_.mode == RequestMode::kWriteUc) {
@@ -266,32 +333,34 @@ sim::Tick HerdClient::backoff_delay(std::uint32_t attempt) {
 // The timer is a no-op if the request is gone from that queue by the time
 // it fires (completed, or moved by failover — the mover re-arms).
 void HerdClient::arm_timer(std::uint32_t s, std::uint64_t seq) {
+  std::uint32_t attempt = 0;
   sim::Tick delay = 0;
-  if (res_.retry_timeout > 0) {
-    std::uint32_t attempt = 0;
-    for (const InFlight& fl : inflight_[s]) {
-      if (fl.seq == seq) {
-        attempt = fl.attempt;
-        break;
-      }
-    }
-    delay = backoff_delay(attempt);
-  }
-  if (res_.deadline > 0) {
-    for (const InFlight& fl : inflight_[s]) {
-      if (fl.seq != seq) continue;
-      sim::Tick now = host_->ctx().engine().now();
-      sim::Tick remain = fl.deadline > now ? fl.deadline - now : 1;
-      delay = delay == 0 ? remain : std::min(delay, remain);
+  const InFlight* op = nullptr;
+  for (const InFlight& fl : inflight_[s]) {
+    if (fl.seq == seq) {
+      op = &fl;
       break;
     }
   }
+  if (op != nullptr) attempt = op->attempt;
+  if (res_.retry_timeout > 0) {
+    delay = backoff_delay(attempt);
+  }
+  if (res_.deadline > 0 && op != nullptr) {
+    sim::Tick now = host_->ctx().engine().now();
+    sim::Tick remain = op->deadline > now ? op->deadline - now : 1;
+    delay = delay == 0 ? remain : std::min(delay, remain);
+  }
   if (delay == 0) return;  // neither retries nor deadlines configured
+  // The armed attempt travels with the wakeup: a timer that fires after the
+  // op advanced (a kOverloaded shed bumped the attempt and retry_after_shed
+  // re-posted) is stale and must not post a duplicate.
   host_->ctx().engine().schedule_after(
-      delay, [this, s, seq]() { on_timer(s, seq); });
+      delay, [this, s, seq, attempt]() { on_timer(s, seq, attempt); });
 }
 
-void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq) {
+void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq,
+                          std::uint32_t armed_attempt) {
   auto it = inflight_[s].begin();
   for (; it != inflight_[s].end(); ++it) {
     if (it->seq == seq) break;
@@ -301,8 +370,20 @@ void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq) {
   sim::Tick now = host_->ctx().engine().now();
   if (it->deadline > 0 && now >= it->deadline) {
     // Terminal state: the request failed its deadline. The slot frees and a
-    // very late response will be dropped by its stale token.
-    if (observer_ != nullptr) observer_->on_deadline(id_, it->seq, now);
+    // very late response will be dropped by its stale token. If every
+    // posted attempt came back kOverloaded, the op provably never applied
+    // anywhere (each shed is a per-attempt not-applied guarantee) — a
+    // strictly stronger verdict than the usual maybe-applied.
+    bool never_applied =
+        cfg_.overload.enable && it->posts > 0 && it->sheds == it->posts;
+    if (never_applied) ++stats_.shed_never_applied;
+    if (observer_ != nullptr) {
+      if (never_applied) {
+        observer_->on_shed_final(id_, it->seq, now);
+      } else {
+        observer_->on_deadline(id_, it->seq, now);
+      }
+    }
     if (trace_seq_ == it->seq) {
       obs::Tracer* tr = host_->ctx().tracer();
       if (tr != nullptr) {
@@ -316,6 +397,21 @@ void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq) {
     assert(outstanding_ > 0);
     --outstanding_;
     pump();
+    return;
+  }
+  if (it->attempt != armed_attempt) {
+    // The op advanced since this wakeup was armed — a shed's retry-after
+    // hold bumped the attempt, and retry_after_shed (re-)posted it. A retry
+    // from this stale view would race the fresh post and arrive as a
+    // duplicate; re-arm against the current attempt instead.
+    arm_timer(s, seq);
+    return;
+  }
+  if (it->hold_until > now) {
+    // A kOverloaded retry-after hold is in force: retry_after_shed (already
+    // scheduled at the hold's expiry) owns the re-post. Keep the deadline
+    // watch armed and otherwise stand down.
+    arm_timer(s, seq);
     return;
   }
   if (res_.retry_timeout == 0) {
@@ -353,12 +449,15 @@ void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq) {
   }
 
   ++it->attempt;
+  ++it->posts;
   ++stats_.retries;
   std::uint64_t r = it->r;
   workload::Op op = it->op;
-  core_.run(kComposeCost + cpu_.post_send, [this, target, r, op, seq]() {
-    post_request(target, r, op, seq);
-  });
+  sim::Tick deadline = it->deadline;
+  core_.run(kComposeCost + cpu_.post_send,
+            [this, target, r, op, seq, deadline]() {
+              post_request(target, r, op, seq, deadline);
+            });
   arm_timer(s, seq);
 }
 
@@ -372,12 +471,14 @@ void HerdClient::reissue(InFlight fl, std::uint32_t to) {
   fl.target = to;
   fl.r = next_r_[to]++;
   fl.attempt = 0;
+  ++fl.posts;
   std::uint64_t seq = fl.seq;
   std::uint64_t r = fl.r;
   workload::Op op = fl.op;
+  sim::Tick deadline = fl.deadline;
   inflight_[to].push_back(std::move(fl));
   core_.run(cpu_.post_recv + kComposeCost + cpu_.post_send,
-            [this, to, r, op, seq]() {
+            [this, to, r, op, seq, deadline]() {
               // The RECV credit posted at issue() time sits on the old
               // target's QP; the response now arrives on `to`'s UD QP, and a
               // UD SEND with no posted RECV is silently dropped (RNR). Post
@@ -388,7 +489,7 @@ void HerdClient::reissue(InFlight fl, std::uint32_t to) {
                                        kRespStride;
               ud_qps_[to]->post_recv(
                   {.wr_id = rbuf, .sge = {rbuf, kRespStride, arena_mr_.lkey}});
-              post_request(to, r, op, seq);
+              post_request(to, r, op, seq, deadline);
             });
   arm_timer(to, seq);
 }
@@ -407,6 +508,40 @@ void HerdClient::fail_over_outstanding(std::uint32_t s) {
     ++stats_.failovers;
     reissue(std::move(fl), b);
   }
+}
+
+void HerdClient::handle_shed(std::uint32_t s, InFlight fl, sim::Tick hint) {
+  std::uint64_t seq = fl.seq;
+  sim::Tick now = host_->ctx().engine().now();
+  // The server's hint and the client's own backoff schedule both apply;
+  // honor whichever is longer so a tiny hint can't defeat backoff.
+  sim::Tick delay = std::max(hint, backoff_delay(fl.attempt));
+  ++fl.attempt;
+  fl.hold_until = now + delay;
+  inflight_[s].push_back(std::move(fl));
+  host_->ctx().engine().schedule_after(
+      delay, [this, s, seq]() { retry_after_shed(s, seq); });
+}
+
+void HerdClient::retry_after_shed(std::uint32_t s, std::uint64_t seq) {
+  auto it = inflight_[s].begin();
+  for (; it != inflight_[s].end(); ++it) {
+    if (it->seq == seq) break;
+  }
+  if (it == inflight_[s].end()) return;  // retired or moved meanwhile
+  sim::Tick now = host_->ctx().engine().now();
+  if (it->deadline > 0 && now >= it->deadline) {
+    return;  // past its deadline: the armed timer retires it, don't re-post
+  }
+  it->hold_until = 0;
+  ++it->posts;
+  ++stats_.retries;
+  std::uint64_t r = it->r;
+  workload::Op op = it->op;
+  sim::Tick deadline = it->deadline;
+  core_.run(kComposeCost + cpu_.post_send, [this, s, r, op, seq, deadline]() {
+    post_request(s, r, op, seq, deadline);
+  });
 }
 
 void HerdClient::repost_recv(std::uint32_t s, std::uint64_t buf) {
@@ -479,6 +614,29 @@ void HerdClient::handle_response(const verbs::Wc& wc) {
     }
     fl = inflight_[s].front();
     inflight_[s].pop_front();
+  }
+  if (cfg_.overload.enable && resp &&
+      resp->status == RespStatus::kOverloaded) {
+    // Admission control refused this attempt before any state change: not
+    // an outcome. Re-arm the consumed RECV credit, feed the breaker, and
+    // re-post after the server's retry-after hint — the request stays
+    // outstanding and its deadline keeps running.
+    repost_recv(s, wc.wr_id);
+    ++stats_.overload_sheds;
+    ++fl.sheds;
+    breaker_on_shed(s);
+    sim::Tick hint = 0;
+    if (auto ra = decode_retry_after(resp->value)) {
+      hint = static_cast<sim::Tick>(ra->ticks);
+    }
+    handle_shed(s, std::move(fl), hint);
+    return;
+  }
+  // Any non-shed response from `s` shows it is serving again: reset the
+  // breaker's shed streak and close it if open.
+  if (res_.breaker_threshold > 0) {
+    consecutive_sheds_[s] = 0;
+    breaker_until_[s] = 0;
   }
   if (cfg_.replicate && resp && resp->status == RespStatus::kWrongEpoch) {
     // Our shard map is stale (a promotion or migration moved the shard).

@@ -50,6 +50,18 @@ class HerdClient {
     std::uint64_t stale_epoch_retries = 0;
     /// Shard-map entries actually advanced by a redirect's payload.
     std::uint64_t map_refreshes = 0;
+    // Overload mode (all zero otherwise):
+    /// kOverloaded replies received (attempts refused by admission control;
+    /// never terminal — the request retries after the retry-after hint).
+    std::uint64_t overload_sheds = 0;
+    /// Requests retired at their deadline with EVERY posted attempt
+    /// answered kOverloaded — provably never applied (the chaos checker
+    /// removes these from histories instead of treating them as
+    /// maybe-applied). A subset of deadline_exceeded.
+    std::uint64_t shed_never_applied = 0;
+    std::uint64_t breaker_opens = 0;   // circuit breaker tripped open
+    std::uint64_t breaker_probes = 0;  // half-open probes let through
+    std::uint64_t breaker_held = 0;    // issues delayed by an open breaker
   };
 
   /// `mem_base` is the start of a private arena in the client host's memory
@@ -130,17 +142,40 @@ class HerdClient {
     std::uint64_t r = 0;          // per-target request counter (slot ring)
     std::uint32_t target = 0;     // server process currently addressed
     std::uint32_t attempt = 0;    // retries so far
+    /// Attempts actually put on the wire vs. attempts answered kOverloaded.
+    /// At deadline retirement, posts == sheds proves the op never applied
+    /// anywhere (each shed is a per-attempt not-applied guarantee).
+    std::uint32_t posts = 0;
+    std::uint32_t sheds = 0;
+    /// Retry-after hold: on_timer must not re-post before this tick (set
+    /// from a kOverloaded hint; 0 = no hold).
+    sim::Tick hold_until = 0;
     workload::Op op{};
   };
 
   void pump();                    // fill the request window
   void issue(const workload::Op& op);
   void post_request(std::uint32_t s, std::uint64_t r, const workload::Op& op,
-                    std::uint64_t seq);
+                    std::uint64_t seq, sim::Tick deadline);
   void arm_timer(std::uint32_t s, std::uint64_t seq);
-  void on_timer(std::uint32_t s, std::uint64_t seq);
+  void on_timer(std::uint32_t s, std::uint64_t seq,
+                std::uint32_t armed_attempt);
   void on_response();             // recv CQ notify
   void handle_response(const verbs::Wc& wc);
+  /// kOverloaded reply for `fl` (already unlinked from inflight_[s]):
+  /// breaker bookkeeping, then a delayed re-post after the retry-after
+  /// hint (folded into the backoff schedule).
+  void handle_shed(std::uint32_t s, InFlight fl, sim::Tick hint);
+  /// Fires when a shed request's retry-after hold expires: re-posts it if
+  /// it is still outstanding.
+  void retry_after_shed(std::uint32_t s, std::uint64_t seq);
+  /// True while the circuit breaker for `s` is open (holding new issues).
+  bool breaker_open(std::uint32_t s);
+  /// A non-shed response from `s` closes its breaker; a shed feeds it.
+  void breaker_on_shed(std::uint32_t s);
+  /// Re-issues ops held back by an open breaker (scheduled at cooldown
+  /// expiry; ops whose target is still open are re-held).
+  void resume_held();
 
   bool failover_enabled() const {
     return res_.failover_threshold > 0 && cfg_.n_server_procs > 1;
@@ -191,6 +226,17 @@ class HerdClient {
   std::vector<std::uint32_t> consecutive_timeouts_;  // per proc
   std::vector<char> proc_down_;                      // suspected dead
   std::vector<sim::Tick> last_probe_;
+  // Per-server circuit breaker (overload mode; see ClientResilience).
+  std::vector<std::uint32_t> consecutive_sheds_;  // per proc
+  /// 0 = closed. Otherwise: open until this tick, then half-open (issues
+  /// pass as probes) until a response settles it — a shed re-opens, any
+  /// other response closes.
+  std::vector<sim::Tick> breaker_until_;
+  /// Ops generated while their target's breaker was open, waiting for the
+  /// cooldown. Bounded by the client's window (each held op keeps its
+  /// outstanding_ slot).
+  std::deque<workload::Op> held_ops_;
+  bool resume_scheduled_ = false;
   std::uint32_t outstanding_ = 0;
   bool running_ = false;
   bool verify_ = false;

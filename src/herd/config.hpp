@@ -22,6 +22,46 @@ enum class RequestMode : std::uint8_t {
   kSendUd,
 };
 
+/// Overload robustness (herd/overload.hpp): per-tenant token-bucket
+/// admission, deficit-round-robin fair dequeue, deadline-aware shedding,
+/// and a queue-depth watermark that flips the service into degraded mode.
+/// Off by default — when disabled the service path is byte-identical to
+/// the paper's behavior (no overload header on the wire, no admission
+/// bookkeeping).
+struct OverloadConfig {
+  bool enable = false;
+  /// Tenants sharing each server process. A client belongs to tenant
+  /// (client id % n_tenants), stamped into the request's overload header.
+  std::uint32_t n_tenants = 1;
+  /// Per-tenant admission token bucket: one token buys one admitted
+  /// request; a token regenerates every `ticks_per_token` ticks, up to
+  /// `burst` banked tokens. 0 ticks_per_token disables quota shedding
+  /// (watermark/deadline shedding still apply).
+  sim::Tick ticks_per_token = 0;
+  std::uint64_t burst = 32;
+  /// DRR dequeue weights by tenant (empty = all 1). Each DRR round hands
+  /// tenant t `weights[t]` dequeues, so under contention service converges
+  /// to the weight ratio. Weight is also degraded-mode priority: tenants
+  /// in the lowest-weight class are shed first.
+  std::vector<std::uint32_t> weights;
+  /// Degraded mode hysteresis: enter when a process's admitted-but-unserved
+  /// queue depth reaches `queue_high`, leave when it drains to
+  /// `queue_low`. While degraded, lowest-priority tenants are shed at
+  /// admission; at/above `queue_high` every new arrival is shed.
+  std::uint32_t queue_high = 64;
+  std::uint32_t queue_low = 16;
+  /// Retry-after hint attached to degraded-mode sheds (quota sheds hint
+  /// the exact time to the tenant's next token instead).
+  sim::Tick degraded_retry_after = sim::us(50);
+  /// Planted-bug canary for CI: disables admission control entirely (no
+  /// quota, no watermark, no deadline shedding) while leaving the wire
+  /// format unchanged, so overload collapses goodput exactly as an
+  /// unprotected server would. The fig16 bench_compare gate MUST catch
+  /// the collapse. Never enable in production configurations. (The
+  /// HERD_DROP_SHEDDING build flag forces this on for the CI canary.)
+  bool drop_shedding = false;
+};
+
 struct HerdConfig {
   /// NS: server processes, each pinned to a core, each owning one EREW
   /// keyspace partition (paper's evaluation: 6).
@@ -98,6 +138,13 @@ struct HerdConfig {
   /// production configurations. (The HERD_DROP_REPLICATION build flag
   /// forces this on for the CI canary build.)
   bool drop_replication = false;
+
+  // --- Overload robustness (herd/overload.hpp) ----------------------------
+
+  /// Admission control, per-tenant quotas/fairness, and load shedding.
+  /// Requires request_tokens (a kOverloaded reply must be matchable to the
+  /// exact attempt it sheds). Adds a kOverloadBytes header to every request.
+  OverloadConfig overload{};
 };
 
 /// Client-side failure handling: the §2.2.3 "application-level retries"
@@ -123,6 +170,18 @@ struct ClientResilience {
   std::uint32_t failover_threshold = 0;
   /// While a process is suspected dead, probe it again this often.
   sim::Tick probe_interval = sim::ms(1);
+
+  // --- Per-server circuit breaker (overload mode) -------------------------
+
+  /// Consecutive kOverloaded sheds from one server process before the
+  /// client's breaker for that process opens and new issues are held back.
+  /// 0 disables the breaker. Requires an overload-enabled deployment (the
+  /// breaker trips on kOverloaded replies, which only exist there).
+  std::uint32_t breaker_threshold = 0;
+  /// How long an open breaker holds before going half-open: the next issue
+  /// is let through as a probe; a shed re-opens the breaker, any other
+  /// response closes it.
+  sim::Tick breaker_cooldown = sim::us(100);
 };
 
 /// Fluent, validating construction of a (HerdConfig, ClientResilience)
@@ -181,6 +240,10 @@ class HerdConfigBuilder {
     res_ = v;
     return *this;
   }
+  HerdConfigBuilder& overload(const OverloadConfig& v) {
+    herd_.overload = v;
+    return *this;
+  }
 
   /// The coupling rules, reusable by TestbedConfig::validate(). Returns
   /// human-readable problems (empty = valid).
@@ -216,6 +279,42 @@ class HerdConfigBuilder {
           "herd.dedup_retention must exceed resilience.deadline + "
           "resilience.backoff_max, or a late retry outlives its "
           "duplicate-suppression entry and re-applies the mutation");
+    }
+    if (h.overload.enable && !h.request_tokens) {
+      problems.push_back(
+          "herd.overload.enable requires herd.request_tokens (a kOverloaded "
+          "shed must be matchable to the exact attempt it refused, or the "
+          "client cannot prove the attempt was never applied)");
+    }
+    if (h.overload.enable && h.overload.n_tenants == 0) {
+      problems.push_back("herd.overload.n_tenants must be >= 1");
+    }
+    if (h.overload.enable && !h.overload.weights.empty() &&
+        h.overload.weights.size() != h.overload.n_tenants) {
+      problems.push_back(
+          "herd.overload.weights must be empty or have exactly n_tenants "
+          "entries");
+    }
+    if (h.overload.enable) {
+      for (std::uint32_t w : h.overload.weights) {
+        if (w == 0) {
+          problems.push_back(
+              "herd.overload.weights entries must be >= 1 (a zero-weight "
+              "tenant would never be dequeued)");
+          break;
+        }
+      }
+    }
+    if (h.overload.enable && h.overload.queue_low >= h.overload.queue_high) {
+      problems.push_back(
+          "herd.overload.queue_low must be below queue_high (the hysteresis "
+          "band is what keeps degraded mode from flapping)");
+    }
+    if (r.breaker_threshold > 0 && !h.overload.enable) {
+      problems.push_back(
+          "resilience.breaker_threshold is set but herd.overload.enable is "
+          "false — the breaker trips on kOverloaded replies, which only an "
+          "overload-enabled service emits");
     }
     return problems;
   }

@@ -14,6 +14,12 @@
 //  * on_deadline marks the request's outcome UNKNOWN — a stale copy may
 //    still reach a server and apply after the client gave up ("maybe
 //    applied" in the linearizability check);
+//  * on_shed_final marks the request's outcome KNOWN-NOT-APPLIED: every
+//    attempt the client ever posted was answered with kOverloaded, which
+//    the server only sends for requests refused BEFORE any state change.
+//    Stronger than on_deadline — the checker removes the op from the
+//    history entirely (and a server that applied-then-shed surfaces as a
+//    violation through the surviving ops' values);
 //  * on_apply fires server-side per mutation decision, with applied=false
 //    when the duplicate-suppression ring absorbed a retry.
 #pragma once
@@ -47,6 +53,16 @@ class HistoryObserver {
   /// Request `seq` was retired at its deadline without a response.
   virtual void on_deadline(std::uint32_t client, std::uint64_t seq,
                            sim::Tick now) = 0;
+
+  /// Request `seq` was retired at its deadline with every posted attempt
+  /// answered kOverloaded: provably never applied (overload mode only).
+  /// Default forwards to on_deadline so observers that don't care about
+  /// the distinction keep their maybe-applied semantics (which are sound —
+  /// never-applied is a special case of maybe-applied).
+  virtual void on_shed_final(std::uint32_t client, std::uint64_t seq,
+                             sim::Tick now) {
+    on_deadline(client, seq, now);
+  }
 
   /// Server process `proc` decided a mutation from `client`: applied it to
   /// partition state, or suppressed it as a duplicate (applied=false).

@@ -1,0 +1,99 @@
+#include "herd/overload.hpp"
+
+#include <algorithm>
+
+namespace herd::overload {
+
+void TokenBucket::refill(sim::Tick now) {
+  if (ticks_per_token_ == 0) return;
+  if (now <= last_) return;
+  sim::Tick elapsed = now - last_;
+  std::uint64_t whole = elapsed / ticks_per_token_;
+  if (tokens_ + whole >= burst_) {
+    tokens_ = burst_;
+    last_ = now;  // full bucket banks no partial-token credit
+  } else {
+    tokens_ += whole;
+    last_ += whole * ticks_per_token_;  // carry the sub-token remainder
+  }
+}
+
+bool TokenBucket::try_take(sim::Tick now) {
+  if (ticks_per_token_ == 0) return true;
+  refill(now);
+  if (tokens_ == 0) return false;
+  --tokens_;
+  return true;
+}
+
+std::uint64_t TokenBucket::tokens(sim::Tick now) {
+  refill(now);
+  return ticks_per_token_ == 0 ? burst_ : tokens_;
+}
+
+sim::Tick TokenBucket::next_token(sim::Tick now) {
+  if (ticks_per_token_ == 0) return now;
+  refill(now);
+  if (tokens_ > 0) return now;
+  return last_ + ticks_per_token_;
+}
+
+bool DegradedMode::update(std::size_t depth) {
+  if (!active_ && high_ > 0 && depth >= high_) {
+    active_ = true;
+    ++windows_;
+  } else if (active_ && depth <= low_) {
+    active_ = false;
+  }
+  return active_;
+}
+
+AdmissionGate::AdmissionGate(const core::OverloadConfig& cfg)
+    : cfg_(cfg), degraded_(cfg.queue_high, cfg.queue_low) {
+  weights_ = cfg.weights;
+  if (weights_.empty()) {
+    weights_.assign(cfg.n_tenants, 1);
+  }
+  min_weight_ = *std::min_element(weights_.begin(), weights_.end());
+  buckets_.reserve(cfg.n_tenants);
+  for (std::uint32_t t = 0; t < cfg.n_tenants; ++t) {
+    buckets_.emplace_back(cfg.ticks_per_token, cfg.burst);
+  }
+  tenants_.resize(cfg.n_tenants);
+}
+
+Admit AdmissionGate::admit(std::uint32_t tenant, std::size_t depth,
+                           sim::Tick now) {
+  if (tenant >= buckets_.size()) tenant = 0;  // malformed header: tenant 0
+  TenantStats& ts = tenants_[tenant];
+  bool degraded = degraded_.update(depth);
+  if (degraded) {
+    // Hard cap: at/above the high watermark nothing gets in. Below it (the
+    // hysteresis band), shed only the lowest-priority weight class so
+    // high-priority tenants degrade gracefully instead of all-or-nothing.
+    bool uniform = min_weight_ == *std::max_element(weights_.begin(),
+                                                    weights_.end());
+    if (depth >= cfg_.queue_high || (!uniform && weights_[tenant] == min_weight_)) {
+      ++ts.shed_degraded;
+      return Admit::kShedDegraded;
+    }
+  }
+  if (!buckets_[tenant].try_take(now)) {
+    ++ts.shed_quota;
+    return Admit::kShedQuota;
+  }
+  ++ts.admitted;
+  return Admit::kAdmit;
+}
+
+sim::Tick AdmissionGate::retry_after(Admit a, std::uint32_t tenant,
+                                     sim::Tick now) {
+  if (tenant >= buckets_.size()) tenant = 0;
+  if (a == Admit::kShedQuota) {
+    sim::Tick at = buckets_[tenant].next_token(now);
+    return at > now ? at - now : 0;
+  }
+  return cfg_.degraded_retry_after;
+}
+
+}  // namespace herd::overload

@@ -40,6 +40,13 @@ enum class RespStatus : std::uint8_t {
   /// carrying the current (primary, epoch); the client refreshes its map
   /// and re-issues. Not a terminal outcome — never surfaced to histories.
   kWrongEpoch = 2,
+  /// Overload mode only: the request was shed by admission control (tenant
+  /// quota exhausted or degraded-mode watermark) BEFORE any MICA work or
+  /// duplicate-suppression bookkeeping. A kOverloaded reply is a hard
+  /// guarantee that this attempt was NOT applied. The response value is a
+  /// kRetryAfterBytes payload carrying a retry-after hint in ticks; the
+  /// client folds it into its backoff schedule. Not a terminal outcome.
+  kOverloaded = 3,
 };
 
 inline constexpr std::uint32_t kRespHeader = 3;  // status + LEN
@@ -57,10 +64,30 @@ inline constexpr std::uint32_t kTokenBytes = 4;
 inline constexpr std::uint32_t kEpochBytes = 4;
 /// kWrongEpoch redirect payload: current primary (4) + low epoch bits (4).
 inline constexpr std::uint32_t kRedirectBytes = 8;
+/// Optional overload header (enabled by OverloadConfig.enable): tenant id
+/// (2 bytes) + the request's absolute client-side deadline tick (8 bytes),
+/// between the value and the token field. The tenant id keys per-tenant
+/// admission quotas and DRR fair dequeue; the deadline lets the server drop
+/// already-expired requests before doing any MICA work.
+inline constexpr std::uint32_t kOverloadBytes = 2 + 8;
+/// kOverloaded retry-after payload: hint in ticks (8 bytes).
+inline constexpr std::uint32_t kRetryAfterBytes = 8;
 /// Largest PUT value once the epoch header is on the wire (the 1 KB slot
 /// must still hold value + token + epoch + LEN + keyhash).
 inline constexpr std::uint32_t kMaxValueReplicated =
     kSlotBytes - kReqTrailer - kTokenBytes - kEpochBytes;
+
+/// Largest PUT value for a given set of optional headers (never above the
+/// paper's 1000-byte cap).
+inline constexpr std::uint32_t max_value_bytes(bool with_token,
+                                               bool with_epoch,
+                                               bool with_overload) {
+  std::uint32_t v = kSlotBytes - kReqTrailer -
+                    (with_token ? kTokenBytes : 0) -
+                    (with_epoch ? kEpochBytes : 0) -
+                    (with_overload ? kOverloadBytes : 0);
+  return v > kMaxValue ? kMaxValue : v;
+}
 
 struct Request {
   kv::KeyHash key{};
@@ -68,15 +95,19 @@ struct Request {
   bool is_delete = false;
   std::uint32_t token = 0;             // correlation id (token mode only)
   std::uint32_t epoch = 0;             // shard epoch (replicated mode only)
+  std::uint16_t tenant = 0;            // tenant id (overload mode only)
+  std::uint64_t deadline = 0;          // absolute deadline tick (0 = none)
   std::span<const std::byte> value{};  // PUT payload (views caller memory)
 };
 
 /// Bytes a request occupies on the wire (and at the tail of its slot).
 inline std::uint32_t request_wire_bytes(std::uint32_t value_len,
                                         bool with_token = false,
-                                        bool with_epoch = false) {
+                                        bool with_epoch = false,
+                                        bool with_overload = false) {
   return kReqTrailer + value_len + (with_token ? kTokenBytes : 0) +
-         (with_epoch ? kEpochBytes : 0);
+         (with_epoch ? kEpochBytes : 0) +
+         (with_overload ? kOverloadBytes : 0);
 }
 
 /// Encodes a request right-aligned into `slot` (typically a full 1 KB slot;
@@ -85,13 +116,20 @@ inline std::uint32_t request_wire_bytes(std::uint32_t value_len,
 inline std::uint32_t encode_request(std::span<std::byte> slot,
                                     const Request& req,
                                     bool with_token = false,
-                                    bool with_epoch = false) {
+                                    bool with_epoch = false,
+                                    bool with_overload = false) {
   auto vlen = static_cast<std::uint32_t>(req.value.size());
-  std::uint32_t start = static_cast<std::uint32_t>(slot.size()) -
-                        request_wire_bytes(vlen, with_token, with_epoch);
+  std::uint32_t start =
+      static_cast<std::uint32_t>(slot.size()) -
+      request_wire_bytes(vlen, with_token, with_epoch, with_overload);
   std::byte* p = slot.data() + start;
   if (vlen > 0) std::memcpy(p, req.value.data(), vlen);
   p += vlen;
+  if (with_overload) {
+    std::memcpy(p, &req.tenant, 2);
+    std::memcpy(p + 2, &req.deadline, 8);
+    p += kOverloadBytes;
+  }
   if (with_token) {
     std::memcpy(p, &req.token, kTokenBytes);
     p += kTokenBytes;
@@ -114,9 +152,11 @@ inline std::uint32_t encode_request(std::span<std::byte> slot,
 /// from GETs by design — HERD encodes "GET" as LEN == 0.
 inline std::optional<Request> decode_request(std::span<const std::byte> slot,
                                               bool with_token = false,
-                                              bool with_epoch = false) {
+                                              bool with_epoch = false,
+                                              bool with_overload = false) {
   std::uint32_t trailer = kReqTrailer + (with_token ? kTokenBytes : 0) +
-                          (with_epoch ? kEpochBytes : 0);
+                          (with_epoch ? kEpochBytes : 0) +
+                          (with_overload ? kOverloadBytes : 0);
   if (slot.size() < trailer) return std::nullopt;
   const std::byte* tail = slot.data() + slot.size() - kReqTrailer;
   Request req;
@@ -131,6 +171,11 @@ inline std::optional<Request> decode_request(std::span<const std::byte> slot,
   if (with_token) {
     p -= kTokenBytes;
     std::memcpy(&req.token, p, kTokenBytes);
+  }
+  if (with_overload) {
+    p -= kOverloadBytes;
+    std::memcpy(&req.tenant, p, 2);
+    std::memcpy(&req.deadline, p + 2, 8);
   }
   std::uint16_t len;
   std::memcpy(&len, tail, 2);
@@ -218,6 +263,26 @@ inline std::optional<Redirect> decode_redirect(
   Redirect r;
   std::memcpy(&r.primary, buf.data(), 4);
   std::memcpy(&r.epoch, buf.data() + 4, 4);
+  return r;
+}
+
+/// kOverloaded retry-after payload: how long (in ticks) the shedding server
+/// suggests the client wait before retrying — time-to-next-token for quota
+/// sheds, a configured hold-off for degraded-mode sheds. Advisory: the
+/// client takes max(hint, its own backoff step).
+struct RetryAfter {
+  std::uint64_t ticks = 0;
+};
+
+inline void encode_retry_after(std::span<std::byte> buf, std::uint64_t ticks) {
+  std::memcpy(buf.data(), &ticks, 8);
+}
+
+inline std::optional<RetryAfter> decode_retry_after(
+    std::span<const std::byte> buf) {
+  if (buf.size() < kRetryAfterBytes) return std::nullopt;
+  RetryAfter r;
+  std::memcpy(&r.ticks, buf.data(), 8);
   return r;
 }
 

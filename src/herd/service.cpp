@@ -38,6 +38,19 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
     throw std::invalid_argument(
         "HerdService: host memory too small; size with required_memory()");
   }
+  if (cfg.overload.enable && !cfg.request_tokens) {
+    throw std::invalid_argument(
+        "HerdService: overload admission requires request_tokens (see "
+        "HerdConfigBuilder::validate)");
+  }
+  shed_enabled_ = cfg.overload.enable && !cfg.overload.drop_shedding;
+#ifdef HERD_DROP_SHEDDING
+  // Planted-bug canary build: admission control, the degraded-mode
+  // watermark, and deadline drops are all disarmed. Overload now collapses
+  // goodput exactly as an unprotected server's would — CI asserts the
+  // fig16 bench_compare gate catches the collapse.
+  shed_enabled_ = false;
+#endif
   auto& ctx = host.ctx();
   std::uint64_t cursor = region_.size_bytes();
 
@@ -89,6 +102,10 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
     ud_attr.max_recv_wr = recv_credits;
     p->ud_qp = ctx.create_qp(ud_attr);
     p->next_r.assign(cfg.n_clients, 0);
+    if (cfg.overload.enable) {
+      p->gate = overload::AdmissionGate(cfg.overload);
+      p->tenant_queues.configure(p->gate.weights());
+    }
     p->resp_base = cursor;
     cursor += per_proc_resp;
     if (cfg.mode == RequestMode::kSendUd) {
@@ -201,6 +218,7 @@ void HerdService::crash_proc(std::uint32_t s) {
   p.arrivals.clear();
   p.pipeline.clear();
   p.parked.clear();
+  p.tenant_queues.clear();
   if (!cfg_.replicate) return;
 
   // Replicated mode: the replicas are process memory — gone too. (The
@@ -246,7 +264,8 @@ void HerdService::recover_proc(std::uint32_t s) {
       for (std::uint32_t r = 0; r < cfg_.window; ++r) {
         std::uint64_t slot_addr = region_.slot_addr(s, c, r);
         auto slot = host_->memory().span(slot_addr, kSlotBytes);
-        auto req = decode_request(slot, cfg_.request_tokens);
+        auto req = decode_request(slot, cfg_.request_tokens,
+                                  /*with_epoch=*/false, cfg_.overload.enable);
         if (!req) continue;
         if (cfg_.request_tokens && cfg_.mutation_dedup &&
             (req->is_put || req->is_delete)) {
@@ -288,7 +307,8 @@ void HerdService::recover_proc(std::uint32_t s) {
       for (std::uint32_t r = 0; r < cfg_.window; ++r) {
         auto slot =
             host_->memory().span(region_.slot_addr(s, c, r), kSlotBytes);
-        if (decode_request(slot, cfg_.request_tokens, cfg_.replicate)) {
+        if (decode_request(slot, cfg_.request_tokens, cfg_.replicate,
+                           cfg_.overload.enable)) {
           ++p.stats.rescan_dropped;
           clear_slot(slot);
         }
@@ -398,7 +418,6 @@ void HerdService::finish_migration(std::uint32_t shard,
     if (procs_[m.dest]->alive) procs_[m.dest]->replicas.erase(shard);
     return;
   }
-  std::uint32_t old_primary = si.primary;
   std::uint32_t old_backup = si.backup;
   // Handoff: destination becomes primary (epoch bump — clients refresh via
   // redirects); the old primary, whose replica is complete and current,
@@ -444,6 +463,9 @@ bool HerdService::proc_alive(std::uint32_t s) const {
 const HerdService::ProcStats& HerdService::proc_stats(std::uint32_t s) const {
   return procs_.at(s)->stats;
 }
+const overload::AdmissionGate& HerdService::proc_gate(std::uint32_t s) const {
+  return procs_.at(s)->gate;
+}
 const kv::MicaCache& HerdService::proc_cache(std::uint32_t s) const {
   const ShardInfo& si = shard_map_.at(s);
   return *procs_.at(si.primary)->replicas.at(s).cache;
@@ -485,7 +507,8 @@ void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
   }
   std::uint64_t slot_addr = addr - (addr - region_.chunk_addr(s)) % kSlotBytes;
   auto slot = host_->memory().span(slot_addr, kSlotBytes);
-  auto req = decode_request(slot, cfg_.request_tokens, cfg_.replicate);
+  auto req = decode_request(slot, cfg_.request_tokens, cfg_.replicate,
+                            cfg_.overload.enable);
   if (!req) {
     ++p.stats.bad_requests;
     return;
@@ -503,7 +526,7 @@ void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
   pend.value.assign(req->value.begin(), req->value.end());
   pend.request.value = {};
   pend.slot_addr = slot_addr;
-  p.arrivals.push_back(std::move(pend));
+  if (!try_admit(s, std::move(pend))) return;  // shed at the door
   // Idle-poll quantization: if the process was mid-round, detection costs up
   // to a partial scan of the chunk.
   sim::Tick jitter = 0;
@@ -512,6 +535,53 @@ void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
     jitter = poll_jitter_rng_.next_u64() % (scan + 1);
   }
   schedule_advance(s, jitter);
+}
+
+bool HerdService::try_admit(std::uint32_t s, Pending&& pend) {
+  Proc& p = *procs_[s];
+  if (!shed_enabled_) {
+    // Overload off (or the drop-shedding canary disarmed it): the paper's
+    // unprotected FIFO path, byte-for-byte.
+    p.arrivals.push_back(std::move(pend));
+    return true;
+  }
+  std::uint32_t tenant = pend.request.tenant < cfg_.overload.n_tenants
+                             ? pend.request.tenant
+                             : 0;
+  std::size_t depth = p.arrivals.size() + p.tenant_queues.size();
+  sim::Tick now = host_->ctx().engine().now();
+  overload::Admit a = p.gate.admit(tenant, depth, now);
+  if (a != overload::Admit::kAdmit) {
+    if (a == overload::Admit::kShedQuota) {
+      ++p.stats.shed_quota;
+    } else {
+      ++p.stats.shed_degraded;
+    }
+    // Shed BEFORE serve(): no MICA access, no dedup-ring insert — a
+    // kOverloaded reply is a hard not-applied guarantee, and a later retry
+    // of the same token must not be mistaken for a duplicate.
+    shed(s, pend, a);
+    return false;
+  }
+  ++p.stats.admitted;
+  p.tenant_queues.push(tenant, std::move(pend));
+  return true;
+}
+
+void HerdService::shed(std::uint32_t s, const Pending& p,
+                       overload::Admit why) {
+  Proc& proc = *procs_[s];
+  sim::Tick now = host_->ctx().engine().now();
+  sim::Tick hint = proc.gate.retry_after(why, p.request.tenant, now);
+  std::byte buf[kRetryAfterBytes];
+  encode_retry_after(std::span<std::byte>(buf, kRetryAfterBytes), hint);
+  // The whole point of shedding at the door: the refusal costs one poll
+  // detection and one response post — no pipeline slot, no DRAM accesses.
+  proc.core->charge(cpu_.poll_iteration + cpu_.post_send);
+  post_response(s, p.client, RespStatus::kOverloaded,
+                std::span<const std::byte>(buf, kRetryAfterBytes),
+                p.request.token);
+  rearm(s, p);
 }
 
 void HerdService::on_recv_ready(std::uint32_t s) {
@@ -534,7 +604,8 @@ void HerdService::on_recv_ready(std::uint32_t s) {
     auto buf = host_->memory().span(addr, kRecvStride);
     // The payload sits past the GRH; byte_len includes the GRH.
     auto frame = buf.subspan(verbs::kGrhBytes, wc.byte_len - verbs::kGrhBytes);
-    auto req = decode_request(frame, cfg_.request_tokens, cfg_.replicate);
+    auto req = decode_request(frame, cfg_.request_tokens, cfg_.replicate,
+                              cfg_.overload.enable);
     if (!req) {
       ++p.stats.bad_requests;
       continue;
@@ -556,7 +627,7 @@ void HerdService::on_recv_ready(std::uint32_t s) {
       continue;
     }
     pend.client = it->second;
-    p.arrivals.push_back(pend);
+    if (!try_admit(s, std::move(pend))) continue;  // shed at the door
     schedule_advance(s, 0);
   }
 }
@@ -588,15 +659,26 @@ void HerdService::advance(std::uint32_t s) {
   ++p.advance_gen;
 
   sim::Tick cost = cpu_.poll_iteration + cpu_.pipeline_step;
+  sim::Tick now = host_->ctx().engine().now();
   bool admitted = false;
-  if (!p.arrivals.empty()) {
-    p.pipeline.push_back(p.arrivals.front());
-    p.arrivals.pop_front();
+  while (!admitted) {
+    std::optional<Pending> next = pop_arrival(p);
+    if (!next) break;
+    if (shed_enabled_ && next->request.deadline != 0 &&
+        now > static_cast<sim::Tick>(next->request.deadline)) {
+      // Deadline-aware shed: the client already retired this op, so
+      // serving it is pure waste. Drop it BEFORE the pipeline and before
+      // MICA/dedup ever see it; no response (nobody is listening), just
+      // free the slot. The expiry check costs one header compare.
+      ++p.stats.shed_deadline;
+      rearm(s, *next);
+      continue;
+    }
+    p.pipeline.push_back(std::move(*next));
     cost += cpu_.prefetch_issue;  // stage 1: prefetch the index bucket
     admitted = true;
-  } else {
-    ++p.stats.noops;
   }
+  if (!admitted) ++p.stats.noops;
 
   // Requests leaving the two-stage pipeline on this advance.
   std::vector<Pending> done;
@@ -633,11 +715,22 @@ void HerdService::advance(std::uint32_t s) {
     for (const Pending& d : done) complete(s, d);
   });
 
-  if (!p.arrivals.empty()) {
+  if (!p.arrivals.empty() || !p.tenant_queues.empty()) {
     schedule_advance(s, 0);
   } else {
     arm_noop_timer(s);
   }
+}
+
+std::optional<HerdService::Pending> HerdService::pop_arrival(Proc& p) {
+  // Bypass queue first: recovery rescans and un-parked requests were
+  // admitted before they got here. Then the DRR tenant queues.
+  if (!p.arrivals.empty()) {
+    Pending next = std::move(p.arrivals.front());
+    p.arrivals.pop_front();
+    return next;
+  }
+  return p.tenant_queues.pop();
 }
 
 void HerdService::rearm(std::uint32_t s, const Pending& p) {
@@ -825,6 +918,11 @@ void HerdService::forward_mutation(Fwd f) {
 }
 
 void HerdService::deliver_forward(const Fwd& f) {
+  // Replication-aware shedding, by construction: forwarded backup writes
+  // arrive over the cross-core ring, never through the request region, so
+  // they bypass try_admit() entirely. A backup under overload still applies
+  // every mutation its primary already committed — shedding here would
+  // silently diverge the replicas.
   auto& engine = host_->ctx().engine();
   Proc& b = *procs_[f.to];
   bool delivered = false;

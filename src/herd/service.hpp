@@ -33,6 +33,7 @@
 #include "cluster/core.hpp"
 #include "herd/config.hpp"
 #include "herd/observer.hpp"
+#include "herd/overload.hpp"
 #include "herd/protocol.hpp"
 #include "herd/request_region.hpp"
 #include "herd/shard.hpp"
@@ -156,8 +157,19 @@ class HerdService {
     /// the primary and its backup were down at once — data loss; cannot
     /// happen under single-failure fault plans).
     std::uint64_t lost_shards = 0;
+    // Overload (all zero when OverloadConfig::enable is off):
+    std::uint64_t admitted = 0;       // passed admission control
+    std::uint64_t shed_quota = 0;     // tenant token bucket empty
+    std::uint64_t shed_degraded = 0;  // degraded-mode / watermark shed
+    /// Deadline-expired requests dropped at dequeue, before any MICA work
+    /// and before the dedup ring saw them (the client already retired the
+    /// op, so no response is sent — the slot is simply re-armed).
+    std::uint64_t shed_deadline = 0;
   };
   const ProcStats& proc_stats(std::uint32_t s) const;
+  /// Process `s`'s admission gate (degraded-mode state, per-tenant tallies).
+  /// Meaningful only when OverloadConfig::enable is on.
+  const overload::AdmissionGate& proc_gate(std::uint32_t s) const;
   /// The cache of shard `s`'s *current primary* replica (in unreplicated
   /// mode: the partition cache of process `s`, as before).
   const kv::MicaCache& proc_cache(std::uint32_t s) const;
@@ -205,8 +217,15 @@ class HerdService {
     std::unique_ptr<verbs::Cq> recv_cq;
     std::unique_ptr<verbs::Qp> ud_qp;
     std::vector<std::uint64_t> next_r;  // per-client poll counter
+    /// Already-admitted work that bypasses the gate (recovery rescans,
+    /// un-parked requests, and the whole fast path when overload is off).
+    /// Bounded by the gate's queue_high watermark in overload mode and by
+    /// n_clients * window slots otherwise.
     std::deque<Pending> arrivals;
-    std::deque<Pending> pipeline;
+    std::deque<Pending> pipeline;  // two-stage §4.1.1 pipeline (capacity 2)
+    /// Overload mode: admitted requests, fair-dequeued across tenants.
+    overload::DrrQueue<Pending> tenant_queues;
+    overload::AdmissionGate gate;
     /// Requests this backup is holding for a shard whose primary is dead:
     /// served once the failure detector promotes us, redirected if the
     /// primary comes back first.
@@ -240,6 +259,14 @@ class HerdService {
   Replica* find_replica(std::uint32_t proc, std::uint32_t shard);
   void on_region_write(std::uint32_t s, std::uint64_t addr);
   void on_recv_ready(std::uint32_t s);
+  /// Admission control: enqueues `pend` (DRR tenant queues in overload
+  /// mode, plain arrivals otherwise) or sheds it with a kOverloaded reply.
+  /// Returns true iff admitted. Runs BEFORE any MICA or dedup work.
+  bool try_admit(std::uint32_t s, Pending&& pend);
+  /// Replies kOverloaded with a retry-after hint and re-arms the slot.
+  void shed(std::uint32_t s, const Pending& p, overload::Admit why);
+  /// Next request to feed the pipeline: bypass queue first, then DRR.
+  std::optional<Pending> pop_arrival(Proc& p);
   void schedule_advance(std::uint32_t s, sim::Tick extra_delay);
   void arm_noop_timer(std::uint32_t s);
   void advance(std::uint32_t s);
@@ -283,6 +310,13 @@ class HerdService {
   };
   std::vector<Migration> migrations_;  // per shard
   MigrationStats migration_stats_;
+
+  /// Overload shedding active: OverloadConfig::enable minus the
+  /// drop-shedding canary (runtime flag or HERD_DROP_SHEDDING build).
+  /// When the canary disarms shedding, the wire format keeps its overload
+  /// header but admission, watermark, and deadline drops all vanish — the
+  /// unprotected server the fig16 bench_compare gate must expose.
+  bool shed_enabled_ = false;
 
   /// Idle-poll detection jitter. A member (not a process-global) so two
   /// identically-seeded services in one process draw identical streams —

@@ -44,13 +44,16 @@ std::vector<std::string> TestbedConfig::validate() const {
   if (herd.response_ring == 0) {
     problems.push_back("herd.response_ring must be >= 1");
   }
-  std::uint32_t max_value = herd.replicate ? kMaxValueReplicated : kMaxValue;
+  std::uint32_t max_value = max_value_bytes(herd.request_tokens,
+                                            herd.replicate,
+                                            herd.overload.enable);
   if (workload.value_len == 0 || workload.value_len > max_value) {
     problems.push_back(
         "workload.value_len must be in [1, " + std::to_string(max_value) +
         "]" +
-        (herd.replicate ? " (replication's epoch header shrinks the slot)"
-                        : "") +
+        (herd.replicate || herd.overload.enable
+             ? " (optional wire headers shrink the slot)"
+             : "") +
         ", got " + std::to_string(workload.value_len));
   }
   if (workload.n_keys == 0) {
@@ -229,6 +232,52 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
     });
   }
 
+  if (cfg_.herd.overload.enable) {
+    reg.counter_fn("service.admitted",
+                   sum_proc(&HerdService::ProcStats::admitted));
+    reg.counter_fn("service.shed_quota",
+                   sum_proc(&HerdService::ProcStats::shed_quota));
+    reg.counter_fn("service.shed_degraded",
+                   sum_proc(&HerdService::ProcStats::shed_degraded));
+    reg.counter_fn("service.shed_deadline",
+                   sum_proc(&HerdService::ProcStats::shed_deadline));
+    reg.counter_fn("service.degraded_windows", [this] {
+      std::uint64_t n = 0;
+      for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
+        n += service_->proc_gate(s).degraded_windows();
+      }
+      return n;
+    });
+    reg.gauge_fn("service.degraded_procs", [this] {
+      double n = 0;
+      for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
+        n += service_->proc_gate(s).degraded() ? 1 : 0;
+      }
+      return n;
+    });
+    // Per-tenant admitted/shed gauges (summed over procs) so the flight
+    // recorder can show which tenant the gate is biting.
+    for (std::uint32_t t = 0; t < cfg_.herd.overload.n_tenants; ++t) {
+      std::string base = "service.tenant" + std::to_string(t);
+      reg.gauge_fn(base + ".admitted", [this, t] {
+        double n = 0;
+        for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
+          n += static_cast<double>(
+              service_->proc_gate(s).tenants().at(t).admitted);
+        }
+        return n;
+      });
+      reg.gauge_fn(base + ".shed", [this, t] {
+        double n = 0;
+        for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
+          const auto& ts = service_->proc_gate(s).tenants().at(t);
+          n += static_cast<double>(ts.shed_quota + ts.shed_degraded);
+        }
+        return n;
+      });
+    }
+  }
+
   auto sum_client = [this](std::uint64_t HerdClient::Stats::* field) {
     return [this, field] {
       std::uint64_t n = 0;
@@ -256,6 +305,18 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
                    sum_client(&HerdClient::Stats::stale_epoch_retries));
     reg.counter_fn("client.map_refreshes",
                    sum_client(&HerdClient::Stats::map_refreshes));
+  }
+  if (cfg_.herd.overload.enable) {
+    reg.counter_fn("client.overload_sheds",
+                   sum_client(&HerdClient::Stats::overload_sheds));
+    reg.counter_fn("client.shed_never_applied",
+                   sum_client(&HerdClient::Stats::shed_never_applied));
+    reg.counter_fn("client.breaker_opens",
+                   sum_client(&HerdClient::Stats::breaker_opens));
+    reg.counter_fn("client.breaker_probes",
+                   sum_client(&HerdClient::Stats::breaker_probes));
+    reg.counter_fn("client.breaker_held",
+                   sum_client(&HerdClient::Stats::breaker_held));
   }
   reg.histogram_fn("client.latency", [this] {
     sim::LatencyHistogram merged;
@@ -306,6 +367,9 @@ HerdTestbed::RunResult HerdTestbed::run(sim::Tick warmup, sim::Tick measure) {
     r.deadline_exceeded += st.deadline_exceeded;
     r.failovers += st.failovers;
     r.stale_epoch_retries += st.stale_epoch_retries;
+    r.overload_sheds += st.overload_sheds;
+    r.shed_never_applied += st.shed_never_applied;
+    r.breaker_opens += st.breaker_opens;
     merged.merge(c->latency());
   }
   for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
@@ -313,6 +377,13 @@ HerdTestbed::RunResult HerdTestbed::run(sim::Tick warmup, sim::Tick measure) {
     r.bad += service_->proc_stats(s).bad_requests;
     r.duplicate_mutations += service_->proc_stats(s).duplicate_mutations;
     r.promotions += service_->proc_stats(s).promotions;
+    r.admitted += service_->proc_stats(s).admitted;
+    r.shed_quota += service_->proc_stats(s).shed_quota;
+    r.shed_degraded += service_->proc_stats(s).shed_degraded;
+    r.shed_deadline += service_->proc_stats(s).shed_deadline;
+    if (cfg_.herd.overload.enable) {
+      r.degraded_windows += service_->proc_gate(s).degraded_windows();
+    }
   }
   r.messages_lost = cluster_->fabric().messages_lost();
   r.mops = static_cast<double>(r.ops) / sim::to_sec(measure) / 1e6;

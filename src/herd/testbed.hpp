@@ -124,6 +124,10 @@ class TestbedConfigBuilder {
     cfg_.herd.replicate = v;
     return *this;
   }
+  TestbedConfigBuilder& overload(const OverloadConfig& v) {
+    cfg_.herd.overload = v;
+    return *this;
+  }
   TestbedConfigBuilder& value_len(std::uint32_t v) {
     cfg_.workload.value_len = v;
     return *this;
@@ -226,6 +230,15 @@ class HerdTestbed {
     std::uint64_t duplicate_mutations = 0;
     std::uint64_t promotions = 0;          // backup-to-primary promotions
     std::uint64_t stale_epoch_retries = 0; // kWrongEpoch redirect re-issues
+    // Overload mode (all zero otherwise):
+    std::uint64_t admitted = 0;            // requests past admission control
+    std::uint64_t shed_quota = 0;          // kOverloaded: tenant bucket empty
+    std::uint64_t shed_degraded = 0;       // kOverloaded: watermark/degraded
+    std::uint64_t shed_deadline = 0;       // dropped expired at dequeue
+    std::uint64_t overload_sheds = 0;      // kOverloaded replies seen (clients)
+    std::uint64_t shed_never_applied = 0;  // retired provably-never-applied
+    std::uint64_t breaker_opens = 0;       // client circuit breakers tripped
+    std::uint64_t degraded_windows = 0;    // degraded-mode entries (procs)
   };
 
   /// Starts the clients, warms up, measures for `measure` simulated time.

@@ -114,6 +114,29 @@ TEST(ScenarioGen, ReplicationDrawsDoNotPerturbPriorSampling) {
   }
 }
 
+TEST(ScenarioGen, OverloadDrawsDoNotPerturbPriorSampling) {
+  // The overload knobs are sampled after every pre-existing draw
+  // (including the replication draws), so a seed's topology, fault plan,
+  // and replication shape are identical with and without --overload-burst
+  // — old failing seeds stay reproducible under the new sweep.
+  ScenarioEnvelope off;
+  ScenarioEnvelope on;
+  on.force_overload_burst = true;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    Scenario a = chaos::generate_scenario(seed, off);
+    Scenario b = chaos::generate_scenario(seed, on);
+    EXPECT_FALSE(a.overload);
+    EXPECT_TRUE(b.overload);
+    // The overload block (admission knobs + the client breaker riding on
+    // the same appended draws) is the only part allowed to differ.
+    a.overload = b.overload;
+    a.overload_cfg = b.overload_cfg;
+    a.resilience.breaker_threshold = b.resilience.breaker_threshold;
+    a.resilience.breaker_cooldown = b.resilience.breaker_cooldown;
+    EXPECT_EQ(a.to_json(), b.to_json()) << "seed " << seed;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Linearizability checker, on hand-built histories
 

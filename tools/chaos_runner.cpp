@@ -38,6 +38,8 @@ struct Options {
   bool break_dedup = false;
   bool crash_primary = false;
   bool drop_replication = false;
+  bool overload_burst = false;
+  bool drop_shedding = false;
   bool shrink = true;
   bool verbose = false;
 };
@@ -48,7 +50,8 @@ void usage(const char* argv0) {
                "          [--replay-every K] [--trace-every K]\n"
                "          [--checker-budget B] [--shrink-runs R]\n"
                "          [--flight-dump N] [--break-dedup] [--no-shrink]\n"
-               "          [--crash-primary] [--drop-replication] [--verbose]\n"
+               "          [--crash-primary] [--drop-replication]\n"
+               "          [--overload-burst] [--drop-shedding] [--verbose]\n"
                "\n"
                "--flight-dump N: on a violation, replay the failing seed\n"
                "with the flight recorder on and print the last N resource-\n"
@@ -60,7 +63,15 @@ void usage(const char* argv0) {
                "backup to every previously acknowledged write.\n"
                "--drop-replication: plant the acked-but-not-replicated bug\n"
                "(canary). A --crash-primary sweep with this flag must FAIL;\n"
-               "a clean exit means the checker went blind.\n",
+               "a clean exit means the checker went blind.\n"
+               "--overload-burst: every seed runs with admission control on\n"
+               "and deliberately tight quotas/watermarks, so requests are\n"
+               "shed under load; the checker treats fully-shed ops as\n"
+               "never-applied, so a server that applied-then-shed (or left\n"
+               "dedup state behind) violates.\n"
+               "--drop-shedding: disable all shedding while keeping the\n"
+               "overload wire format (goodput canary; collapse is caught by\n"
+               "the fig16 bench gate, not by this checker).\n",
                argv0);
 }
 
@@ -101,6 +112,14 @@ bool parse_options(int argc, char** argv, Options& opt) {
     }
     if (a == "--drop-replication") {
       opt.drop_replication = true;
+      continue;
+    }
+    if (a == "--overload-burst") {
+      opt.overload_burst = true;
+      continue;
+    }
+    if (a == "--drop-shedding") {
+      opt.drop_shedding = true;
       continue;
     }
     if (a == "--no-shrink") {
@@ -170,6 +189,8 @@ int main(int argc, char** argv) {
     env.min_server_procs = std::max<std::uint32_t>(2, env.min_server_procs);
   }
   env.drop_replication = opt.drop_replication;
+  env.force_overload_burst = opt.overload_burst;
+  env.drop_shedding = opt.drop_shedding;
 
   // Aggregated across the sweep for the closing report.
   std::map<std::string, std::uint64_t> totals;

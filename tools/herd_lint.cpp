@@ -28,6 +28,18 @@
 //                  mentions ResourceRegistry, register_resources, or the
 //                  resources_ registry member; anything else needs a
 //                  suppression entry explaining why its resource is exempt.
+//   bounded-queue  Files in src/herd that declare a std::deque / std::queue
+//                  must also reference a capacity or watermark identifier
+//                  (queue_high, watermark, capacity, window) somewhere in
+//                  code — the signal that SOMETHING bounds the queue. An
+//                  unbounded server-side queue is exactly the congestion-
+//                  collapse ingredient the overload subsystem exists to
+//                  remove: under overload it absorbs arrivals until
+//                  time-in-queue exceeds every client's patience and all
+//                  service work is wasted on abandoned requests. Queues
+//                  bounded by something the lint can't see (a retention
+//                  horizon, a protocol window held elsewhere) get a
+//                  suppression entry explaining the actual bound.
 //   shard-route    No key-to-process routing in src/herd that bypasses the
 //                  shard map: kv::partition_of() calls, or key-derived
 //                  `% n_server_procs` arithmetic. After a backup promotion
@@ -413,6 +425,49 @@ void check_resource_registry(const std::string& path, std::string_view line,
   }
 }
 
+/// True iff the stripped file references an identifier that conventionally
+/// bounds queue growth: the overload watermarks, an explicit capacity, the
+/// protocol window (the client-side queues are all window-clamped), or the
+/// admission machinery itself (AdmissionGate / DegradedMode — a file that
+/// owns the gate is the bound).
+bool mentions_queue_bound(const std::string& stripped) {
+  return has_identifier(stripped, "queue_high", /*allow_qualified=*/true) ||
+         has_identifier(stripped, "queue_low", /*allow_qualified=*/true) ||
+         has_identifier(stripped, "watermark", /*allow_qualified=*/true) ||
+         has_identifier(stripped, "capacity", /*allow_qualified=*/true) ||
+         has_identifier(stripped, "window", /*allow_qualified=*/true) ||
+         has_identifier(stripped, "AdmissionGate", /*allow_qualified=*/true) ||
+         has_identifier(stripped, "DegradedMode", /*allow_qualified=*/true);
+}
+
+/// Flags std::deque / std::queue declarations in src/herd files that never
+/// reference a bound (see mentions_queue_bound). File-granular on purpose:
+/// proving a particular declaration bounded needs flow analysis, but a file
+/// that grows a queue and never names any limit is the pattern that turns
+/// overload into congestion collapse.
+void check_bounded_queue(const std::string& path, std::string_view line,
+                         std::size_t lineno, bool bound_aware,
+                         std::vector<Violation>& out) {
+  if (bound_aware || path.find("src/herd/") == std::string::npos) return;
+  for (const char* kw : {"std::deque", "std::queue"}) {
+    std::size_t pos = line.find(kw);
+    while (pos != std::string_view::npos) {
+      std::size_t end = pos + std::string_view(kw).size();
+      if ((pos == 0 || !is_ident_char(line[pos - 1])) && end < line.size() &&
+          line[end] == '<') {
+        out.push_back({path, lineno, "bounded-queue",
+                       std::string(kw) +
+                           " in a file that never references a capacity or "
+                           "watermark (queue_high/watermark/capacity/window):"
+                           " unbounded queues turn overload into congestion "
+                           "collapse"});
+        return;
+      }
+      pos = line.find(kw, end);
+    }
+  }
+}
+
 void check_raw_new(const std::string& path, std::string_view line,
                    std::size_t lineno, std::vector<Violation>& out) {
   // `= delete` / `delete;` are declarations, not deallocations. `new (`
@@ -553,6 +608,7 @@ void lint_file(const fs::path& path, std::vector<Violation>& out) {
 
   std::string generic = path.generic_string();
   bool registry_aware = mentions_resource_registry(stripped);
+  bool bound_aware = mentions_queue_bound(stripped);
   PtrKeyTracker tracker;
   std::size_t lineno = 0;
   std::size_t start = 0;
@@ -566,6 +622,7 @@ void lint_file(const fs::path& path, std::vector<Violation>& out) {
     tracker.scan_declaration(line);
     tracker.check_iteration(generic, line, lineno, out);
     check_resource_registry(generic, line, lineno, registry_aware, out);
+    check_bounded_queue(generic, line, lineno, bound_aware, out);
     check_shard_route(generic, line, lineno, out);
     if (in_sim_path(generic)) check_raw_new(generic, line, lineno, out);
     if (nl == std::string::npos) break;
