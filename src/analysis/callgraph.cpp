@@ -1,0 +1,99 @@
+#include "analysis/callgraph.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace herd::analysis {
+
+bool in_sim_path(const std::string& path) {
+  static const char* kSimDirs[] = {
+      "src/sim/",   "src/rnic/",   "src/herd/",    "src/chaos/",
+      "src/fault/", "src/fabric/", "src/cluster/", "src/verbs/",
+      "src/pcie/",  "src/kv/",     "src/workload/",
+  };
+  for (const char* d : kSimDirs) {
+    if (path.find(d) != std::string::npos) return true;
+  }
+  return false;
+}
+
+CallGraph::CallGraph(const std::vector<TuIndex>& tus) {
+  for (const TuIndex& tu : tus) {
+    for (const FunctionDef& fn : tu.functions) {
+      defs_[fn.name].push_back(&fn);
+    }
+  }
+  for (const auto& [name, fns] : defs_) {
+    bool non_sim = true;
+    for (const FunctionDef* fn : fns) {
+      if (in_sim_path(fn->file)) non_sim = false;
+    }
+    non_sim_[name] = non_sim;
+    // Depth-0 taint: every known definition must reach a sink directly —
+    // one clean overload and the name is presumed clean (name-level linking
+    // cannot tell which overload a call site resolves to, and a false
+    // negative is the acceptable failure mode).
+    bool all_sink = true;
+    std::string sink;
+    for (const FunctionDef* fn : fns) {
+      if (fn->sinks.empty()) {
+        all_sink = false;
+        break;
+      }
+      std::string s = *std::min_element(fn->sinks.begin(), fn->sinks.end());
+      if (sink.empty() || s < sink) sink = s;
+    }
+    if (all_sink) {
+      TaintInfo& ti = taint_[name];
+      ti.tainted = true;
+      ti.chain = {name, sink};
+    }
+  }
+  // Fixpoint: a name taints when EVERY known definition of some callee name
+  // is tainted (and at least one exists). Iterate until no change; the
+  // tree's call graph is small, so quadratic convergence is fine.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, fns] : defs_) {
+      if (taint_.count(name) != 0) continue;
+      for (const FunctionDef* fn : fns) {
+        for (const CallSite& call : fn->calls) {
+          auto cit = taint_.find(call.callee);
+          if (cit == taint_.end() || !cit->second.tainted) continue;
+          if (call.callee == name) continue;  // self-recursion
+          // All known defs of the callee must be tainted — they are, since
+          // taint_ is keyed by name and set only when the name taints.
+          TaintInfo ti;
+          ti.tainted = true;
+          ti.chain.push_back(name);
+          ti.chain.insert(ti.chain.end(), cit->second.chain.begin(),
+                          cit->second.chain.end());
+          // Prefer the lexicographically smallest witness chain so the
+          // diagnostic is deterministic across runs and orderings.
+          auto existing = taint_.find(name);
+          if (existing == taint_.end() ||
+              ti.chain < existing->second.chain) {
+            taint_[name] = std::move(ti);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+const CallGraph::TaintInfo* CallGraph::taint_of(const std::string& name) const {
+  auto it = taint_.find(name);
+  return it == taint_.end() ? nullptr : &it->second;
+}
+
+bool CallGraph::all_defs_non_sim(const std::string& name) const {
+  auto it = non_sim_.find(name);
+  if (it == non_sim_.end()) return false;
+  auto d = defs_.find(name);
+  if (d == defs_.end() || d->second.empty()) return false;
+  return it->second;
+}
+
+}  // namespace herd::analysis

@@ -1,0 +1,46 @@
+#include "analysis/engine.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/rules_flow.hpp"
+#include "analysis/rules_legacy.hpp"
+
+namespace herd::analysis {
+
+void Engine::add_file(std::string path, std::string source) {
+  File f;
+  f.path = std::move(path);
+  f.source = std::move(source);
+  files_.push_back(std::move(f));
+}
+
+void Engine::run() {
+  violations_.clear();
+  tus_.clear();
+  tus_.reserve(files_.size());
+  for (File& f : files_) {
+    f.stream = lex(f.source);
+    run_legacy_rules(f.path, f.stream.stripped, violations_);
+    tus_.push_back(build_index(f.path, f.stream));
+  }
+  ConstantTable table;
+  for (const TuIndex& tu : tus_) {
+    for (const ConstantDef& def : tu.constants) table.add(def);
+  }
+  CallGraph graph(tus_);
+  std::vector<Violation> flow;
+  run_flow_rules({tus_, table, graph}, flow);
+  std::sort(flow.begin(), flow.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule, a.detail) <
+                     std::tie(b.file, b.line, b.rule, b.detail);
+            });
+  violations_.insert(violations_.end(),
+                     std::make_move_iterator(flow.begin()),
+                     std::make_move_iterator(flow.end()));
+}
+
+}  // namespace herd::analysis

@@ -1,0 +1,350 @@
+#include "analysis/fold.hpp"
+
+#include <set>
+
+namespace herd::analysis {
+
+namespace {
+
+std::string terminal_of(std::string_view qualified) {
+  std::size_t pos = qualified.rfind("::");
+  return std::string(pos == std::string_view::npos
+                         ? qualified
+                         : qualified.substr(pos + 2));
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+struct FoldCtx {
+  const ConstantTable* table = nullptr;
+  std::set<std::string> in_progress;  // cycle guard for identifier chains
+  int depth = 0;
+};
+
+std::optional<std::int64_t> fold_range(const Token* begin, const Token* end,
+                                       FoldCtx& ctx);
+
+/// Recursive-descent evaluator. Parse failure and eval failure are the same
+/// thing: ok_ drops and every caller bails out.
+class Parser {
+ public:
+  Parser(const Token* cur, const Token* end, FoldCtx& ctx)
+      : cur_(cur), end_(end), ctx_(ctx) {}
+
+  std::optional<std::int64_t> run() {
+    std::int64_t v = ternary();
+    if (!ok_ || cur_ != end_) return std::nullopt;
+    return v;
+  }
+
+ private:
+  bool at(std::string_view p) const {
+    return cur_ != end_ && cur_->kind == Tok::kPunct && cur_->text == p;
+  }
+  bool eat(std::string_view p) {
+    if (!at(p)) return false;
+    ++cur_;
+    return true;
+  }
+  std::int64_t fail() {
+    ok_ = false;
+    return 0;
+  }
+
+  std::int64_t ternary() {
+    std::int64_t c = lor();
+    if (!ok_ || !eat("?")) return c;
+    std::int64_t a = ternary();
+    if (!ok_ || !eat(":")) return fail();
+    std::int64_t b = ternary();
+    if (!ok_) return 0;
+    return c != 0 ? a : b;
+  }
+
+  std::int64_t lor() {
+    std::int64_t v = land();
+    while (ok_ && eat("||")) v = (v != 0) | (land() != 0);
+    return v;
+  }
+  std::int64_t land() {
+    std::int64_t v = bor();
+    while (ok_ && eat("&&")) v = (v != 0) & (bor() != 0);
+    return v;
+  }
+  std::int64_t bor() {
+    std::int64_t v = bxor();
+    while (ok_ && eat("|")) v |= bxor();
+    return v;
+  }
+  std::int64_t bxor() {
+    std::int64_t v = band();
+    while (ok_ && eat("^")) v ^= band();
+    return v;
+  }
+  std::int64_t band() {
+    std::int64_t v = eq();
+    while (ok_ && at("&") ) {
+      ++cur_;
+      v &= eq();
+    }
+    return v;
+  }
+  std::int64_t eq() {
+    std::int64_t v = rel();
+    while (ok_ && (at("==") || at("!="))) {
+      bool is_eq = cur_->text == "==";
+      ++cur_;
+      std::int64_t r = rel();
+      v = is_eq ? (v == r) : (v != r);
+    }
+    return v;
+  }
+  std::int64_t rel() {
+    std::int64_t v = shift();
+    while (ok_ && (at("<") || at(">") || at("<=") || at(">="))) {
+      std::string_view op = cur_->text;
+      ++cur_;
+      std::int64_t r = shift();
+      if (op == "<") v = v < r;
+      else if (op == ">") v = v > r;
+      else if (op == "<=") v = v <= r;
+      else v = v >= r;
+    }
+    return v;
+  }
+  std::int64_t shift() {
+    std::int64_t v = add();
+    while (ok_ && (at("<<") || at(">>"))) {
+      bool left = cur_->text == "<<";
+      ++cur_;
+      std::int64_t r = add();
+      if (r < 0 || r > 62) return fail();
+      v = left ? (v << r) : (v >> r);
+    }
+    return v;
+  }
+  std::int64_t add() {
+    std::int64_t v = mul();
+    while (ok_ && (at("+") || at("-"))) {
+      bool plus = cur_->text == "+";
+      ++cur_;
+      std::int64_t r = mul();
+      v = plus ? v + r : v - r;
+    }
+    return v;
+  }
+  std::int64_t mul() {
+    std::int64_t v = unary();
+    while (ok_ && (at("*") || at("/") || at("%"))) {
+      std::string_view op = cur_->text;
+      ++cur_;
+      std::int64_t r = unary();
+      if ((op == "/" || op == "%") && r == 0) return fail();
+      if (op == "*") v *= r;
+      else if (op == "/") v /= r;
+      else v %= r;
+    }
+    return v;
+  }
+  std::int64_t unary() {
+    if (eat("+")) return unary();
+    if (eat("-")) return -unary();
+    if (eat("~")) return ~unary();
+    if (eat("!")) return unary() == 0 ? 1 : 0;
+    return primary();
+  }
+
+  std::int64_t primary() {
+    if (cur_ == end_) return fail();
+    if (cur_->kind == Tok::kNumber) {
+      auto v = parse_int_literal(cur_->text);
+      if (!v) return fail();
+      ++cur_;
+      return *v;
+    }
+    if (eat("(")) {
+      std::int64_t v = ternary();
+      if (!ok_ || !eat(")")) return fail();
+      return v;
+    }
+    if (cur_->kind == Tok::kIdent) {
+      if (cur_->text == "true") {
+        ++cur_;
+        return 1;
+      }
+      if (cur_->text == "false") {
+        ++cur_;
+        return 0;
+      }
+      if (cur_->text == "static_cast") {
+        ++cur_;
+        if (!skip_template_args()) return fail();
+        if (!eat("(")) return fail();
+        std::int64_t v = ternary();
+        if (!ok_ || !eat(")")) return fail();
+        return v;
+      }
+      if (is_keyword(cur_->text)) return fail();
+      // Qualified identifier chain: a::b::c.
+      std::string name(cur_->text);
+      ++cur_;
+      while (at("::")) {
+        ++cur_;
+        if (cur_ == end_ || cur_->kind != Tok::kIdent) return fail();
+        name += "::";
+        name += cur_->text;
+        ++cur_;
+      }
+      return resolve(name);
+    }
+    return fail();
+  }
+
+  /// Consumes `<...>` after static_cast, splitting `>>` closers.
+  bool skip_template_args() {
+    if (!at("<")) return false;
+    ++cur_;
+    int depth = 1;
+    while (cur_ != end_ && depth > 0) {
+      if (cur_->kind == Tok::kPunct) {
+        if (cur_->text == "<") ++depth;
+        else if (cur_->text == ">") --depth;
+        else if (cur_->text == ">>") depth -= 2;
+      }
+      ++cur_;
+    }
+    return depth <= 0;
+  }
+
+  std::int64_t resolve(const std::string& name) {
+    if (ctx_.table == nullptr || ctx_.depth > 32) return fail();
+    const ConstantDef* def = ctx_.table->lookup(name);
+    if (def == nullptr) return fail();
+    if (!ctx_.in_progress.insert(def->qualified).second) return fail();
+    ++ctx_.depth;
+    auto v = fold_range(def->begin, def->end, ctx_);
+    --ctx_.depth;
+    ctx_.in_progress.erase(def->qualified);
+    if (!v) return fail();
+    return *v;
+  }
+
+  const Token* cur_;
+  const Token* end_;
+  FoldCtx& ctx_;
+  bool ok_ = true;
+};
+
+std::optional<std::int64_t> fold_range(const Token* begin, const Token* end,
+                                       FoldCtx& ctx) {
+  if (begin == nullptr || end == nullptr || begin >= end) return std::nullopt;
+  return Parser(begin, end, ctx).run();
+}
+
+}  // namespace
+
+void ConstantTable::add(ConstantDef def) {
+  std::size_t idx = defs_.size();
+  std::string term = terminal_of(def.qualified);
+  if (!by_qualified_.emplace(def.qualified, idx).second) {
+    // Same qualified name defined twice (e.g. a header indexed per TU):
+    // keep the first definition; re-adding is harmless.
+    return;
+  }
+  auto [it, fresh] = by_terminal_.emplace(term, idx);
+  if (!fresh) it->second = kNpos;  // ambiguous terminal: refuse to resolve
+  defs_.push_back(std::move(def));
+}
+
+const ConstantDef* ConstantTable::lookup(std::string_view name) const {
+  auto q = by_qualified_.find(name);
+  if (q != by_qualified_.end()) return &defs_[q->second];
+  // Suffix match on qualified names: `kv::kKeyHashBytes` matches
+  // `herd::kv::kKeyHashBytes`.
+  const ConstantDef* suffix_hit = nullptr;
+  if (name.find("::") != std::string_view::npos) {
+    std::string needle = "::";
+    needle += name;
+    for (const ConstantDef& d : defs_) {
+      if (d.qualified.size() > needle.size() &&
+          d.qualified.compare(d.qualified.size() - needle.size(),
+                              needle.size(), needle) == 0) {
+        if (suffix_hit != nullptr) return nullptr;  // ambiguous
+        suffix_hit = &d;
+      }
+    }
+    if (suffix_hit != nullptr) return suffix_hit;
+  }
+  auto t = by_terminal_.find(terminal_of(name));
+  if (t == by_terminal_.end() || t->second == kNpos) return nullptr;
+  return &defs_[t->second];
+}
+
+std::optional<std::int64_t> fold(const Token* begin, const Token* end,
+                                 const ConstantTable* table) {
+  FoldCtx ctx;
+  ctx.table = table;
+  return fold_range(begin, end, ctx);
+}
+
+std::optional<std::int64_t> fold_expr(std::string_view expr,
+                                      const ConstantTable* table) {
+  TokenStream ts = lex(expr);
+  if (ts.tokens.empty()) return std::nullopt;
+  return fold(ts.tokens.data(), ts.tokens.data() + ts.tokens.size(), table);
+}
+
+std::optional<std::int64_t> parse_int_literal(std::string_view text) {
+  std::string digits;
+  digits.reserve(text.size());
+  for (char c : text) {
+    if (c == '\'') continue;  // digit separator
+    digits += c;
+  }
+  // Reject floating literals.
+  if (digits.find('.') != std::string::npos) return std::nullopt;
+  int base = 10;
+  std::size_t i = 0;
+  if (digits.size() >= 2 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X')) {
+    base = 16;
+    i = 2;
+  } else if (digits.size() >= 2 && digits[0] == '0' &&
+             (digits[1] == 'b' || digits[1] == 'B')) {
+    base = 2;
+    i = 2;
+  } else if (digits.size() >= 2 && digits[0] == '0' &&
+             digits[1] >= '0' && digits[1] <= '7') {
+    base = 8;
+    i = 1;
+  }
+  if (base == 10 &&
+      (digits.find('e') != std::string::npos ||
+       digits.find('E') != std::string::npos)) {
+    return std::nullopt;  // 1e9 is a float
+  }
+  std::int64_t v = 0;
+  bool any = false;
+  for (; i < digits.size(); ++i) {
+    char c = digits[i];
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else break;  // suffix (u, l, z) — stop, validate below
+    if (d >= base) return std::nullopt;
+    v = v * base + d;
+    any = true;
+  }
+  for (; i < digits.size(); ++i) {
+    char c = digits[i];
+    if (c != 'u' && c != 'U' && c != 'l' && c != 'L' && c != 'z' &&
+        c != 'Z') {
+      return std::nullopt;
+    }
+  }
+  if (!any) return std::nullopt;
+  return v;
+}
+
+}  // namespace herd::analysis

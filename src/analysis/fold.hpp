@@ -1,0 +1,68 @@
+// herd::analysis — integer constant folding over token ranges.
+//
+// Evaluates the subset of C++ constant expressions the wire-format and
+// budget rules need: integer literals (decimal/hex/octal/binary, digit
+// separators, suffixes), + - * / % << >> & | ^, unary + - ~, parentheses,
+// comparisons and the conditional operator (so `v > cap ? cap : v` folds),
+// `static_cast<T>(e)` / C-style `(type)e` pass-through, and identifiers
+// resolved through a ConstantTable built by the indexer (recursively folded,
+// cycle-guarded).
+//
+// Folding is best-effort by design: anything outside the subset (function
+// calls, sizeof of a type the table doesn't know, template parameters)
+// yields "no value", and rules treat unfoldable operands as opaque — a
+// linter must never invent a number it can't prove.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/lexer.hpp"
+
+namespace herd::analysis {
+
+/// A named constant's defining expression: tokens between `=` and `;`.
+struct ConstantDef {
+  std::string qualified;  // e.g. "herd::core::kSlotBytes"
+  std::string file;
+  const Token* begin = nullptr;
+  const Token* end = nullptr;  // one past the last expression token
+};
+
+/// Cross-TU table of constexpr integer definitions, queried by qualified
+/// name with terminal-name fallback: an expression naming `kv::kKeyHashBytes`
+/// resolves to the one definition whose qualified name ends in
+/// `kKeyHashBytes`; ambiguous terminal names refuse to resolve.
+class ConstantTable {
+ public:
+  void add(ConstantDef def);
+
+  /// The definition for a (possibly qualified) name, or nullptr.
+  const ConstantDef* lookup(std::string_view name) const;
+
+  std::size_t size() const { return defs_.size(); }
+
+ private:
+  std::vector<ConstantDef> defs_;
+  std::map<std::string, std::size_t, std::less<>> by_qualified_;
+  // terminal name -> index, or npos when ambiguous
+  std::map<std::string, std::size_t, std::less<>> by_terminal_;
+};
+
+/// Folds the token range [begin, end) to an integer if every operand
+/// resolves. `table` may be null (literal-only folding).
+std::optional<std::int64_t> fold(const Token* begin, const Token* end,
+                                 const ConstantTable* table);
+
+/// Convenience: lex `expr` and fold the whole thing (tests, one-liners).
+std::optional<std::int64_t> fold_expr(std::string_view expr,
+                                      const ConstantTable* table = nullptr);
+
+/// Parses one integer literal token (0x1F, 1'000'000, 042, 0b101, 7u).
+std::optional<std::int64_t> parse_int_literal(std::string_view text);
+
+}  // namespace herd::analysis

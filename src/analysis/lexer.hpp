@@ -1,0 +1,62 @@
+// herd::analysis — C++ tokenizer.
+//
+// The lexical layer of the herd_lint v2 engine. One pass over a source file
+// produces two coordinated views:
+//
+//  - a token stream (identifiers, numbers, string/char literals,
+//    punctuators) with line numbers and byte offsets, consumed by the
+//    per-TU indexer, the constant folder, and the flow-aware rules;
+//  - a "stripped" copy of the source in which comments and the contents of
+//    string/char literals are blanked to spaces (newlines preserved), the
+//    view the line-oriented legacy rules match against — a `rand()` in a
+//    comment or a log string never fires.
+//
+// The tokenizer handles the constructs a regex can't: raw string literals
+// with custom delimiters (R"x(...)x", including encoding prefixes u8R/LR),
+// digit separators (1'000'000 lexes as ONE number token, not a number and a
+// character literal), nested template argument lists (>> is emitted as a
+// single punctuator; consumers that match angle brackets split it), line
+// continuations in preprocessor directives, and escape sequences in
+// ordinary literals. Preprocessor directives are tokenized but flagged, so
+// the indexer can skip `#define` bodies without losing the stripped view.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace herd::analysis {
+
+enum class Tok : std::uint8_t {
+  kIdent,   // identifiers and keywords
+  kNumber,  // pp-numbers: 0x1f, 1'000'000, 3.5e-2, 42u
+  kString,  // string literal, including raw strings (text spans delimiters)
+  kChar,    // character literal
+  kPunct,   // operators and punctuation, maximal munch (>>, ->, +=, ::)
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string_view text;   // view into the source buffer passed to lex()
+  std::uint32_t line = 0;  // 1-based
+  bool preproc = false;    // inside a preprocessor directive
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  /// Source with comments and literal contents blanked (see file comment).
+  std::string stripped;
+};
+
+/// Tokenizes `src`. Token text views point into `src`, which must outlive
+/// the stream. Never throws on malformed input: unterminated literals and
+/// stray bytes degrade to best-effort tokens, because a linter must keep
+/// walking the tree no matter what one file contains.
+TokenStream lex(std::string_view src);
+
+/// True for C++ keywords that can never be call targets or declared names
+/// the index cares about (if/for/while/return/sizeof/...).
+bool is_keyword(std::string_view ident);
+
+}  // namespace herd::analysis

@@ -1,0 +1,16 @@
+// herd::analysis — SARIF 2.1.0 emission for CI code-scanning upload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/violation.hpp"
+
+namespace herd::analysis {
+
+/// Renders the reported (unsuppressed) violations as one SARIF 2.1.0 run.
+/// Rule metadata for all nine rules is embedded in the driver descriptor so
+/// uploads carry descriptions even for rules with zero results this run.
+std::string to_sarif(const std::vector<Violation>& reported);
+
+}  // namespace herd::analysis

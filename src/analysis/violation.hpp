@@ -1,0 +1,24 @@
+// herd::analysis — diagnostic types shared by rules, engine, and outputs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace herd::analysis {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string detail;
+};
+
+/// One suppression-file entry: a violation is suppressed when its file path
+/// contains `path_substring` and `rule` matches ("*" matches every rule).
+struct Suppression {
+  std::string path_substring;
+  std::string rule;
+  mutable bool used = false;
+};
+
+}  // namespace herd::analysis

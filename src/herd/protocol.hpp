@@ -72,10 +72,45 @@ inline constexpr std::uint32_t kRedirectBytes = 8;
 inline constexpr std::uint32_t kOverloadBytes = 2 + 8;
 /// kOverloaded retry-after payload: hint in ticks (8 bytes).
 inline constexpr std::uint32_t kRetryAfterBytes = 8;
+
+// Per-field offsets, shared by the encode/decode pairs below so the two
+// sides cannot drift apart (herd_lint's wire-symmetry rule constant-folds
+// these and cross-checks every copy). Request trailer fields are relative
+// to the trailer base (`tail`); optional-header fields are relative to
+// their block's start.
+inline constexpr std::uint32_t kReqLenOff = 0;            // LEN (2)
+inline constexpr std::uint32_t kReqKeyHiOff = 2;          // keyhash.hi (8)
+inline constexpr std::uint32_t kReqKeyLoOff = 10;         // keyhash.lo (8)
+inline constexpr std::uint32_t kOvTenantOff = 0;          // tenant id
+inline constexpr std::uint32_t kOvTenantBytes = 2;
+inline constexpr std::uint32_t kOvDeadlineOff = kOvTenantOff + kOvTenantBytes;
+inline constexpr std::uint32_t kOvDeadlineBytes = 8;      // deadline tick
+inline constexpr std::uint32_t kRespStatusOff = 0;        // status (1)
+inline constexpr std::uint32_t kRespLenOff = 1;           // LEN (2)
+inline constexpr std::uint32_t kRedirectPrimaryOff = 0;   // primary (4)
+inline constexpr std::uint32_t kRedirectEpochOff = 4;     // low epoch (4)
+
+static_assert(kReqKeyHiOff == kReqLenOff + 2,
+              "keyhash must start right after LEN");
+static_assert(kReqKeyLoOff == kReqKeyHiOff + 8,
+              "keyhash halves must be adjacent");
+static_assert(kReqKeyLoOff + 8 == kReqTrailer,
+              "trailer fields must exactly fill kReqTrailer");
+static_assert(kOvDeadlineOff + kOvDeadlineBytes == kOverloadBytes,
+              "overload header fields must exactly fill kOverloadBytes");
+static_assert(kRespLenOff + 2 == kRespHeader,
+              "response header fields must exactly fill kRespHeader");
+static_assert(kRedirectEpochOff + 4 == kRedirectBytes,
+              "redirect fields must exactly fill kRedirectBytes");
 /// Largest PUT value once the epoch header is on the wire (the 1 KB slot
 /// must still hold value + token + epoch + LEN + keyhash).
 inline constexpr std::uint32_t kMaxValueReplicated =
     kSlotBytes - kReqTrailer - kTokenBytes - kEpochBytes;
+static_assert(kMaxValueReplicated ==
+                  kSlotBytes - kReqTrailer - kTokenBytes - kEpochBytes,
+              "replicated value cap must account for every request header");
+static_assert(kMaxValueReplicated <= kMaxValue,
+              "headers never make the replicated cap exceed the paper cap");
 
 /// Largest PUT value for a given set of optional headers (never above the
 /// paper's 1000-byte cap).
@@ -126,8 +161,8 @@ inline std::uint32_t encode_request(std::span<std::byte> slot,
   if (vlen > 0) std::memcpy(p, req.value.data(), vlen);
   p += vlen;
   if (with_overload) {
-    std::memcpy(p, &req.tenant, 2);
-    std::memcpy(p + 2, &req.deadline, 8);
+    std::memcpy(p + kOvTenantOff, &req.tenant, kOvTenantBytes);
+    std::memcpy(p + kOvDeadlineOff, &req.deadline, kOvDeadlineBytes);
     p += kOverloadBytes;
   }
   if (with_token) {
@@ -141,9 +176,9 @@ inline std::uint32_t encode_request(std::span<std::byte> slot,
   std::uint16_t len = req.is_delete ? kDeleteLen
                       : req.is_put  ? static_cast<std::uint16_t>(vlen)
                                     : 0;  // LEN == 0 encodes a GET
-  std::memcpy(p, &len, 2);
-  std::memcpy(p + 2, &req.key.hi, 8);
-  std::memcpy(p + 10, &req.key.lo, 8);
+  std::memcpy(p + kReqLenOff, &len, 2);
+  std::memcpy(p + kReqKeyHiOff, &req.key.hi, 8);
+  std::memcpy(p + kReqKeyLoOff, &req.key.lo, 8);
   return start;
 }
 
@@ -160,8 +195,8 @@ inline std::optional<Request> decode_request(std::span<const std::byte> slot,
   if (slot.size() < trailer) return std::nullopt;
   const std::byte* tail = slot.data() + slot.size() - kReqTrailer;
   Request req;
-  std::memcpy(&req.key.hi, tail + 2, 8);
-  std::memcpy(&req.key.lo, tail + 10, 8);
+  std::memcpy(&req.key.hi, tail + kReqKeyHiOff, 8);
+  std::memcpy(&req.key.lo, tail + kReqKeyLoOff, 8);
   if (req.key.is_zero()) return std::nullopt;
   const std::byte* p = tail;
   if (with_epoch) {
@@ -174,11 +209,11 @@ inline std::optional<Request> decode_request(std::span<const std::byte> slot,
   }
   if (with_overload) {
     p -= kOverloadBytes;
-    std::memcpy(&req.tenant, p, 2);
-    std::memcpy(&req.deadline, p + 2, 8);
+    std::memcpy(&req.tenant, p + kOvTenantOff, kOvTenantBytes);
+    std::memcpy(&req.deadline, p + kOvDeadlineOff, kOvDeadlineBytes);
   }
   std::uint16_t len;
-  std::memcpy(&len, tail, 2);
+  std::memcpy(&len, tail + kReqLenOff, 2);
   if (len == kDeleteLen) {
     req.is_delete = true;
     return req;
@@ -205,9 +240,9 @@ inline std::uint32_t encode_response(std::span<std::byte> buf,
                                      std::span<const std::byte> value,
                                      bool with_token = false,
                                      std::uint32_t token = 0) {
-  buf[0] = static_cast<std::byte>(status);
+  buf[kRespStatusOff] = static_cast<std::byte>(status);
   auto len = static_cast<std::uint16_t>(value.size());
-  std::memcpy(buf.data() + 1, &len, 2);
+  std::memcpy(buf.data() + kRespLenOff, &len, 2);
   std::uint32_t off = kRespHeader;
   if (with_token) {
     std::memcpy(buf.data() + off, &token, kTokenBytes);
@@ -230,9 +265,9 @@ inline std::optional<Response> decode_response(std::span<const std::byte> buf,
   std::uint32_t header = kRespHeader + (with_token ? kTokenBytes : 0);
   if (buf.size() < header) return std::nullopt;
   Response r;
-  r.status = static_cast<RespStatus>(buf[0]);
+  r.status = static_cast<RespStatus>(buf[kRespStatusOff]);
   std::uint16_t len;
-  std::memcpy(&len, buf.data() + 1, 2);
+  std::memcpy(&len, buf.data() + kRespLenOff, 2);
   if (with_token) {
     std::memcpy(&r.token, buf.data() + kRespHeader, kTokenBytes);
   }
@@ -253,16 +288,16 @@ struct Redirect {
 inline void encode_redirect(std::span<std::byte> buf, std::uint32_t primary,
                             std::uint64_t epoch) {
   auto ep = static_cast<std::uint32_t>(epoch);
-  std::memcpy(buf.data(), &primary, 4);
-  std::memcpy(buf.data() + 4, &ep, 4);
+  std::memcpy(buf.data() + kRedirectPrimaryOff, &primary, 4);
+  std::memcpy(buf.data() + kRedirectEpochOff, &ep, 4);
 }
 
 inline std::optional<Redirect> decode_redirect(
     std::span<const std::byte> buf) {
   if (buf.size() < kRedirectBytes) return std::nullopt;
   Redirect r;
-  std::memcpy(&r.primary, buf.data(), 4);
-  std::memcpy(&r.epoch, buf.data() + 4, 4);
+  std::memcpy(&r.primary, buf.data() + kRedirectPrimaryOff, 4);
+  std::memcpy(&r.epoch, buf.data() + kRedirectEpochOff, 4);
   return r;
 }
 

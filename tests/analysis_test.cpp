@@ -1,0 +1,436 @@
+// Unit tests for the herd_lint v2 analysis engine (src/analysis/):
+// tokenizer edge cases, constant folding, per-TU indexing, call-graph taint
+// propagation, flow-rule verdicts, and a golden check that the legacy rules
+// still produce v1's exact diagnostics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/engine.hpp"
+#include "analysis/fold.hpp"
+#include "analysis/index.hpp"
+#include "analysis/lexer.hpp"
+#include "analysis/rules_flow.hpp"
+#include "analysis/rules_legacy.hpp"
+#include "analysis/sarif.hpp"
+
+namespace {
+
+using namespace herd::analysis;
+
+std::vector<std::string> idents(const TokenStream& ts) {
+  std::vector<std::string> out;
+  for (const Token& t : ts.tokens) {
+    if (t.kind == Tok::kIdent) out.emplace_back(t.text);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, StripsLineAndBlockComments) {
+  TokenStream ts = lex("int a; // trailing rand()\nint /* rand */ b;\n");
+  EXPECT_EQ(idents(ts), (std::vector<std::string>{"int", "a", "int", "b"}));
+  EXPECT_EQ(ts.stripped.find("rand"), std::string::npos);
+  // Newlines survive stripping so line numbers stay aligned.
+  EXPECT_NE(ts.stripped.find('\n'), std::string::npos);
+  EXPECT_EQ(ts.tokens.back().line, 2u);  // `b;` sits on line 2
+}
+
+TEST(Lexer, BlankedStringContentsKeepLineCount) {
+  TokenStream ts = lex("auto s = \"rand() // not a comment\";\nint x;\n");
+  EXPECT_EQ(ts.stripped.find("rand"), std::string::npos);
+  EXPECT_NE(ts.stripped.find("int x;"), std::string::npos);
+  ASSERT_EQ(ts.tokens.back().text, ";");
+  EXPECT_EQ(ts.tokens.back().line, 2u);
+}
+
+TEST(Lexer, RawStringWithCustomDelimiter) {
+  TokenStream ts =
+      lex("auto s = R\"ab( \"not the end\" )\" still raw )ab\"; int z;");
+  EXPECT_EQ(ts.stripped.find("still raw"), std::string::npos);
+  std::vector<std::string> ids = idents(ts);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[3], "z");
+}
+
+TEST(Lexer, DigitSeparatorsStayOneNumberToken) {
+  TokenStream ts = lex("auto n = 1'000'000 + 0x1F'FF;");
+  std::vector<std::string> nums;
+  for (const Token& t : ts.tokens) {
+    if (t.kind == Tok::kNumber) nums.emplace_back(t.text);
+  }
+  EXPECT_EQ(nums, (std::vector<std::string>{"1'000'000", "0x1F'FF"}));
+}
+
+TEST(Lexer, NestedTemplateCloserSplitsForFolding) {
+  // `>>` lexes as one token; the fold parser re-splits it inside casts.
+  TokenStream ts = lex("std::vector<std::vector<int>> v;");
+  bool saw_shr = false;
+  for (const Token& t : ts.tokens) {
+    if (t.kind == Tok::kPunct && t.text == ">>") saw_shr = true;
+  }
+  EXPECT_TRUE(saw_shr);
+}
+
+TEST(Lexer, LineContinuationKeepsLineNumbers) {
+  TokenStream ts = lex("#define FOO \\\n  rand\nint after;");
+  ASSERT_GE(ts.tokens.size(), 2u);
+  // `rand` belongs to the continued directive line and is marked preproc.
+  for (const Token& t : ts.tokens) {
+    if (t.text == "rand") {
+      EXPECT_TRUE(t.preproc);
+    }
+    if (t.text == "after") {
+      EXPECT_FALSE(t.preproc);
+      EXPECT_EQ(t.line, 3u);
+    }
+  }
+}
+
+TEST(Lexer, CharLiteralAndEscapes) {
+  TokenStream ts = lex("char c = '\\n'; char q = '\"'; int w;");
+  EXPECT_EQ(idents(ts).back(), "w");
+  EXPECT_EQ(ts.stripped.find('"'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+TEST(Fold, LiteralsAndOperators) {
+  EXPECT_EQ(fold_expr("2 + 3 * 4"), 14);
+  EXPECT_EQ(fold_expr("(2 + 3) * 4"), 20);
+  EXPECT_EQ(fold_expr("1 << 10"), 1024);
+  EXPECT_EQ(fold_expr("0x10 | 0b1"), 17);
+  EXPECT_EQ(fold_expr("1'000'000 / 1000"), 1000);
+  EXPECT_EQ(fold_expr("-7 % 3"), -1);
+  EXPECT_EQ(fold_expr("~0 & 0xff"), 0xff);
+  EXPECT_EQ(fold_expr("1 > 2 ? 10 : 20"), 20);
+  EXPECT_EQ(fold_expr("static_cast<std::uint32_t>(6 * 7)"), 42);
+}
+
+TEST(Fold, UnfoldableYieldsNullopt) {
+  EXPECT_FALSE(fold_expr("vlen + 2").has_value());
+  EXPECT_FALSE(fold_expr("sizeof(Foo)").has_value());
+  EXPECT_FALSE(fold_expr("3.14").has_value());
+  EXPECT_FALSE(fold_expr("1 << 63").has_value());  // shift guard
+  EXPECT_FALSE(fold_expr("1 / 0").has_value());
+}
+
+TEST(Fold, ResolvesConstantsThroughTable) {
+  TokenStream ts = lex(
+      "namespace herd::core {\n"
+      "inline constexpr std::uint32_t kSlotBytes = 1024;\n"
+      "inline constexpr std::uint32_t kTrailer = 2 + 16;\n"
+      "inline constexpr std::uint32_t kMax = kSlotBytes - kTrailer;\n"
+      "}\n");
+  TuIndex tu = build_index("src/herd/protocol.hpp", ts);
+  ConstantTable table;
+  for (const ConstantDef& def : tu.constants) table.add(def);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(fold_expr("kMax", &table), 1006);
+  EXPECT_EQ(fold_expr("herd::core::kSlotBytes", &table), 1024);
+  EXPECT_EQ(fold_expr("kTrailer + 4", &table), 22);
+}
+
+TEST(Fold, AmbiguousTerminalRefusesToResolve) {
+  TokenStream a = lex("namespace x { constexpr int kN = 1; }");
+  TokenStream b = lex("namespace y { constexpr int kN = 2; }");
+  TuIndex ta = build_index("a.hpp", a);
+  TuIndex tb = build_index("b.hpp", b);
+  ConstantTable table;
+  for (const ConstantDef& def : ta.constants) table.add(def);
+  for (const ConstantDef& def : tb.constants) table.add(def);
+  EXPECT_FALSE(fold_expr("kN", &table).has_value());
+  EXPECT_EQ(fold_expr("x::kN", &table), 1);
+  EXPECT_EQ(fold_expr("y::kN", &table), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Index + call graph
+// ---------------------------------------------------------------------------
+
+TEST(Index, FindsFunctionsCallsAndSinks) {
+  TokenStream ts = lex(
+      "namespace util {\n"
+      "int jitter() { return rand() % 5; }\n"
+      "int twice() { return jitter() + jitter(); }\n"
+      "}\n");
+  TuIndex tu = build_index("src/util/jitter.hpp", ts);
+  ASSERT_EQ(tu.functions.size(), 2u);
+  EXPECT_EQ(tu.functions[0].qualified, "util::jitter");
+  ASSERT_EQ(tu.functions[0].sinks.size(), 1u);
+  EXPECT_EQ(tu.functions[0].sinks[0], "rand");
+  ASSERT_EQ(tu.functions[1].calls.size(), 2u);
+  EXPECT_EQ(tu.functions[1].calls[0].callee, "jitter");
+}
+
+TEST(Index, MemberRandIsNotASink) {
+  TokenStream ts = lex("int f(Rng& r) { return r.rand(); }");
+  TuIndex tu = build_index("x.hpp", ts);
+  ASSERT_EQ(tu.functions.size(), 1u);
+  EXPECT_TRUE(tu.functions[0].sinks.empty());
+}
+
+TEST(Index, PrefixIncrementThroughCallChainCountsAsMutation) {
+  TokenStream ts = lex(
+      "void f(Rnic& r, P* procs, int i) {\n"
+      "  ++r.counters().tx_ops;\n"
+      "  ++procs[i]->stats.repl_dropped;\n"
+      "  r.counters().rx_ops++;\n"
+      "  stats.deadline_drops += 2;\n"
+      "}\n");
+  TuIndex tu = build_index("src/verbs/verbs.cpp", ts);
+  EXPECT_EQ(tu.mutated.count("tx_ops"), 1u);
+  EXPECT_EQ(tu.mutated.count("repl_dropped"), 1u);
+  EXPECT_EQ(tu.mutated.count("rx_ops"), 1u);
+  EXPECT_EQ(tu.mutated.count("deadline_drops"), 1u);
+}
+
+TEST(Index, LambdaCaptureIsNotAClaim) {
+  TokenStream ts = lex(
+      "void reg_all(Reg& reg, Nic& nic) {\n"
+      "  reg.counter_fn(\"a.b\", [&nic]() { return nic.v(); });\n"
+      "  reg.counter_fn(\"c.d\", [] { return T::sum(&T::real_member); });\n"
+      "}\n");
+  TuIndex tu = build_index("src/obs/x.cpp", ts);
+  ASSERT_EQ(tu.claims.size(), 1u);
+  EXPECT_EQ(tu.claims[0].member, "real_member");
+  EXPECT_EQ(tu.claims[0].metric, "c.d");
+}
+
+TEST(CallGraph, TaintPropagatesTransitively) {
+  TokenStream util = lex("int jitter() { return rand() % 3; }");
+  TokenStream mid = lex("int backoff() { return jitter() * 2; }");
+  TokenStream top = lex("int schedule() { return backoff(); }");
+  std::vector<TuIndex> tus;
+  tus.push_back(build_index("src/util/a.hpp", util));
+  tus.push_back(build_index("src/util/b.hpp", mid));
+  tus.push_back(build_index("src/herd/c.hpp", top));
+  CallGraph graph(tus);
+  const CallGraph::TaintInfo* ti = graph.taint_of("schedule");
+  ASSERT_NE(ti, nullptr);
+  EXPECT_TRUE(ti->tainted);
+  EXPECT_EQ(ti->chain,
+            (std::vector<std::string>{"schedule", "backoff", "jitter",
+                                      "rand"}));
+  EXPECT_TRUE(graph.all_defs_non_sim("jitter"));
+  EXPECT_FALSE(graph.all_defs_non_sim("schedule"));
+}
+
+TEST(CallGraph, OneCleanOverloadMeansClean) {
+  TokenStream a = lex("int pick() { return rand(); }");
+  TokenStream b = lex("int pick() { return 4; }");
+  std::vector<TuIndex> tus;
+  tus.push_back(build_index("src/util/a.hpp", a));
+  tus.push_back(build_index("src/util/b.hpp", b));
+  CallGraph graph(tus);
+  EXPECT_EQ(graph.taint_of("pick"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Flow rules (via the engine, on synthetic files)
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> rule_violations(const Engine& engine,
+                                       const std::string& rule) {
+  std::vector<Violation> out;
+  for (const Violation& v : engine.violations()) {
+    if (v.rule == rule) out.push_back(v);
+  }
+  return out;
+}
+
+TEST(WireSymmetry, CleanPairIsClean) {
+  Engine engine;
+  engine.add_file("src/proto/p.hpp",
+                  "constexpr unsigned kHdr = 10;\n"
+                  "void encode_m(unsigned char* p, const M& m) {\n"
+                  "  memcpy(p, &m.tenant, 2);\n"
+                  "  memcpy(p + 2, &m.deadline, 8);\n"
+                  "  p += kHdr;\n"
+                  "}\n"
+                  "void decode_m(const unsigned char* t, M& m) {\n"
+                  "  const unsigned char* p = t;\n"
+                  "  p -= kHdr;\n"
+                  "  memcpy(&m.tenant, p, 2);\n"
+                  "  memcpy(&m.deadline, p + 2, 8);\n"
+                  "}\n");
+  engine.run();
+  EXPECT_TRUE(rule_violations(engine, "wire-symmetry").empty());
+}
+
+TEST(WireSymmetry, TwoByteSkewCaught) {
+  Engine engine;
+  engine.add_file("src/proto/p.hpp",
+                  "constexpr unsigned kHdr = 10;\n"
+                  "void encode_m(unsigned char* p, const M& m) {\n"
+                  "  memcpy(p, &m.tenant, 2);\n"
+                  "  memcpy(p + 2, &m.deadline, 8);\n"
+                  "  p += kHdr;\n"
+                  "}\n"
+                  "void decode_m(const unsigned char* t, M& m) {\n"
+                  "  const unsigned char* p = t;\n"
+                  "  p -= kHdr;\n"
+                  "  memcpy(&m.tenant, p, 2);\n"
+                  "  memcpy(&m.deadline, p + 4, 8);\n"
+                  "}\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "wire-symmetry");
+  ASSERT_EQ(v.size(), 2u);  // offset divergence + block-budget overrun
+  EXPECT_NE(v[0].detail.find("overruns its header block"), std::string::npos);
+  EXPECT_NE(v[1].detail.find("offsets diverge"), std::string::npos);
+}
+
+TEST(WireSymmetry, MissingDecodeFieldCaught) {
+  Engine engine;
+  engine.add_file("src/proto/p.hpp",
+                  "void encode_m(unsigned char* p, const M& m) {\n"
+                  "  memcpy(p, &m.a, 4);\n"
+                  "  memcpy(p + 4, &m.b, 4);\n"
+                  "}\n"
+                  "void decode_m(const unsigned char* p, M& m) {\n"
+                  "  memcpy(&m.a, p, 4);\n"
+                  "}\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "wire-symmetry");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].detail.find("'b' is copied in encode_m"), std::string::npos);
+}
+
+TEST(WireSymmetry, ReversedHeaderOrderCaught) {
+  Engine engine;
+  engine.add_file("src/proto/p.hpp",
+                  "constexpr unsigned kA = 4;\n"
+                  "constexpr unsigned kB = 8;\n"
+                  "void encode_m(unsigned char* p, const M& m) {\n"
+                  "  memcpy(p, &m.a, 4);\n"
+                  "  p += kA;\n"
+                  "  memcpy(p, &m.b, 8);\n"
+                  "  p += kB;\n"
+                  "}\n"
+                  "void decode_m(const unsigned char* t, M& m) {\n"
+                  "  const unsigned char* p = t;\n"
+                  "  p -= kA;\n"
+                  "  memcpy(&m.a, p, 4);\n"
+                  "  p -= kB;\n"
+                  "  memcpy(&m.b, p, 8);\n"
+                  "}\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "wire-symmetry");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].detail.find("reverse encode order"), std::string::npos);
+}
+
+TEST(MetricPairing, GhostCounterCaughtAndBumpedCounterClean) {
+  Engine engine;
+  engine.add_file("src/obs_user/m.hpp",
+                  "struct S { unsigned long ghost = 0, live = 0; };\n"
+                  "void reg_all(Reg& reg, S& s) {\n"
+                  "  reg.link(\"m.ghost\", &s.ghost);\n"
+                  "  reg.link(\"m.live\", &s.live);\n"
+                  "}\n"
+                  "void hit(S& s) { ++s.live; }\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "metric-pairing");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].detail.find("'m.ghost'"), std::string::npos);
+}
+
+TEST(MetricPairing, PairedCountersMustTravelTogether) {
+  Engine engine;
+  engine.add_file("src/repl/m.hpp",
+                  "struct S { unsigned long fwd = 0; };\n"
+                  "void reg_all(Reg& reg, S& s) {\n"
+                  "  reg.link(\"x.repl.forwards\", &s.fwd);\n"
+                  "}\n"
+                  "void hit(S& s) { ++s.fwd; }\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "metric-pairing");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].detail.find("without its partner 'repl.acks'"),
+            std::string::npos);
+}
+
+TEST(DeterminismTaint, SimCallerOfNonSimEntropyHelperCaught) {
+  Engine engine;
+  engine.add_file("src/util/jitter.hpp",
+                  "int jitter_ms() { return rand() % 5; }\n");
+  engine.add_file("src/herd/retry.hpp",
+                  "int next_tick(int base) { return base + jitter_ms(); }\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "determinism-taint");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].file, "src/herd/retry.hpp");
+  EXPECT_NE(v[0].detail.find("jitter_ms -> rand"), std::string::npos);
+}
+
+TEST(DeterminismTaint, SimDefinedHelperIsLegacyRulesJob) {
+  Engine engine;
+  engine.add_file("src/sim/jitter.hpp",
+                  "int jitter_ms() { return 5; }\n");
+  engine.add_file("src/herd/retry.hpp",
+                  "int next_tick(int base) { return base + jitter_ms(); }\n");
+  engine.run();
+  EXPECT_TRUE(rule_violations(engine, "determinism-taint").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Legacy rules: golden diagnostics (v1 byte-compatibility)
+// ---------------------------------------------------------------------------
+
+TEST(LegacyRules, GoldenDeterminismDiagnostic) {
+  Engine engine;
+  engine.add_file("src/sim/x.cpp", "int f() { return rand(); }\n");
+  engine.run();
+  ASSERT_EQ(engine.violations().size(), 1u);
+  const Violation& v = engine.violations()[0];
+  EXPECT_EQ(v.rule, "determinism");
+  EXPECT_EQ(v.line, 1u);
+  EXPECT_EQ(v.detail,
+            "rand() in a simulation path: unseeded libc entropy breaks "
+            "seeded replay");
+}
+
+TEST(LegacyRules, CommentedSinkDoesNotFire) {
+  Engine engine;
+  engine.add_file("src/sim/x.cpp",
+                  "// rand() here\nint f() { return 1; /* time(0) */ }\n");
+  engine.run();
+  EXPECT_TRUE(engine.violations().empty());
+}
+
+TEST(LegacyRules, RawNewOnlyInSimPaths) {
+  Engine a;
+  a.add_file("src/sim/x.cpp", "int* p = new int(3);\n");
+  a.run();
+  ASSERT_EQ(a.violations().size(), 1u);
+  EXPECT_EQ(a.violations()[0].rule, "raw-new");
+  EXPECT_EQ(a.violations()[0].detail,
+            "raw `new`: ownership must go through std::unique_ptr or a "
+            "container");
+  Engine b;
+  b.add_file("src/other/x.cpp", "int* p = new int(3);\n");
+  b.run();
+  EXPECT_TRUE(b.violations().empty());
+}
+
+TEST(Sarif, WellFormedAndEscaped) {
+  std::vector<Violation> vs;
+  vs.push_back({"src/a.hpp", 7, "wire-symmetry", "detail with \"quotes\""});
+  std::string sarif = to_sarif(vs);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"wire-symmetry\""), std::string::npos);
+  EXPECT_NE(sarif.find("detail with \\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  // All nine rules carry metadata even with zero results.
+  EXPECT_NE(sarif.find("\"id\": \"determinism-taint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"bounded-queue\""), std::string::npos);
+}
+
+}  // namespace

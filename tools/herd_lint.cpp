@@ -1,573 +1,53 @@
-// herd_lint — project-invariant lint for the HERD simulator tree.
+// herd_lint v2 — flow-aware lint driver.
 //
-// Walks a source tree and enforces invariants that generic tools don't
-// know about:
+// Thin shell over the herd::analysis engine (src/analysis/): collects the
+// files under each root, feeds them to the engine (lexer, per-TU index,
+// cross-TU constant table + call graph, nine rules), then applies the
+// suppression file and prints diagnostics exactly like v1 did.
 //
-//   determinism    No wall-clock or entropy calls (time, clock_gettime,
-//                  gettimeofday, std::chrono::*_clock::now, rand, random,
-//                  std::random_device, getpid-as-seed) inside simulation
-//                  paths (src/sim, src/rnic, src/herd, src/chaos, src/fault,
-//                  src/fabric, src/cluster, src/verbs, src/pcie, src/kv,
-//                  src/workload). The chaos harness replays seeds by
-//                  fingerprint; one hidden entropy source breaks replay and
-//                  shrinking silently.
-//   ptr-key-iter   No range-for / iterator loops over pointer-keyed
-//                  unordered containers in simulation paths. Pointer hash
-//                  order varies run to run (ASLR), so iterating one leaks
-//                  allocator layout into simulation behavior. Declaring the
-//                  map is fine; iterating it is not.
-//   raw-new        No raw `new` / `delete` outside allocator/arena code.
-//                  Ownership goes through std::unique_ptr / containers.
-//   resource-registry
-//                  Files in simulation paths that construct a
-//                  `sim::Resource` (member declaration or make_unique) must
-//                  also register resources with obs::ResourceRegistry —
-//                  otherwise the flight recorder and bottleneck attribution
-//                  silently miss a queueing server and the "bottleneck"
-//                  field lies. A file counts as registry-aware when it
-//                  mentions ResourceRegistry, register_resources, or the
-//                  resources_ registry member; anything else needs a
-//                  suppression entry explaining why its resource is exempt.
-//   bounded-queue  Files in src/herd that declare a std::deque / std::queue
-//                  must also reference a capacity or watermark identifier
-//                  (queue_high, watermark, capacity, window) somewhere in
-//                  code — the signal that SOMETHING bounds the queue. An
-//                  unbounded server-side queue is exactly the congestion-
-//                  collapse ingredient the overload subsystem exists to
-//                  remove: under overload it absorbs arrivals until
-//                  time-in-queue exceeds every client's patience and all
-//                  service work is wasted on abandoned requests. Queues
-//                  bounded by something the lint can't see (a retention
-//                  horizon, a protocol window held elsewhere) get a
-//                  suppression entry explaining the actual bound.
-//   shard-route    No key-to-process routing in src/herd that bypasses the
-//                  shard map: kv::partition_of() calls, or key-derived
-//                  `% n_server_procs` arithmetic. After a backup promotion
-//                  or a live shard migration the primary for a key is NOT
-//                  hash(key) % n_server_procs — requests routed that way
-//                  land on a process that no longer owns the shard.
-//                  ShardMap::shard_of is the one sanctioned wrapper
-//                  (suppressed in herd_lint.supp).
+// Rules — see ANALYSIS.md for the catalog and provenance:
+//   determinism, ptr-key-iter, raw-new, resource-registry, bounded-queue,
+//   shard-route                       (legacy, byte-identical with v1)
+//   wire-symmetry, metric-pairing, determinism-taint   (flow-aware, v2)
 //
-// Matching happens on a comment- and string-stripped view of each file, so
-// a mention of rand() in a comment never fires. Exceptions are declared in
-// a suppression file (one `path-substring rule` pair per line), keeping
-// every escape hatch reviewable in one place.
+// Usage: herd_lint [--supp FILE] [--verbose] [--sarif FILE]
+//                  [--strict-supp] PATH...
 //
-// Usage:
-//   herd_lint [--supp FILE] [--verbose] DIR...
+//   PATH          directory (recursive; `lint_fixtures` dirs are skipped
+//                 unless named as a root) or a single source file
+//   --supp FILE   suppression file: `path-substring rule` per line, `#`
+//                 comments, rule `*` matches all; unused entries warn
+//   --strict-supp promote unused-suppression warnings to errors (CI)
+//   --sarif FILE  also write the reported violations as SARIF 2.1.0
+//   --verbose     print suppressed violations and the summary line
 //
-// Exit codes: 0 = clean, 1 = violations found, 64 = bad usage / IO error.
+// Exit: 0 clean, 1 violations reported (or unused suppressions under
+// --strict-supp), 64 usage/IO error.
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <string_view>
 #include <vector>
 
-namespace {
+#include "analysis/engine.hpp"
+#include "analysis/sarif.hpp"
+#include "analysis/violation.hpp"
 
 namespace fs = std::filesystem;
+using herd::analysis::Suppression;
+using herd::analysis::Violation;
 
-struct Violation {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string detail;
-};
-
-struct Suppression {
-  std::string path_substring;
-  std::string rule;  // "*" matches every rule
-  mutable bool used = false;
-};
+namespace {
 
 struct Options {
   std::vector<fs::path> roots;
   fs::path supp_file;
+  fs::path sarif_file;
   bool verbose = false;
+  bool strict_supp = false;
 };
-
-// ---------------------------------------------------------------------------
-// Lexing: produce a copy of the source with comments and string/char
-// literals blanked out (newlines preserved so line numbers survive).
-// ---------------------------------------------------------------------------
-
-std::string strip_comments_and_strings(const std::string& src) {
-  std::string out;
-  out.reserve(src.size());
-  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  St st = St::kCode;
-  std::string raw_delim;  // for raw strings: the )delim" terminator
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    char c = src[i];
-    char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   src[i - 1])) &&
-                               src[i - 1] != '_'))) {
-          // Raw string literal: R"delim( ... )delim"
-          std::size_t paren = src.find('(', i + 2);
-          if (paren == std::string::npos) {
-            out += c;
-            break;
-          }
-          raw_delim.clear();
-          raw_delim += ')';
-          raw_delim.append(src, i + 2, paren - (i + 2));
-          raw_delim += '"';
-          out.append(paren - i + 1, ' ');
-          i = paren;
-          st = St::kRawString;
-        } else if (c == '"') {
-          st = St::kString;
-          out += ' ';
-        } else if (c == '\'') {
-          st = St::kChar;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case St::kLineComment:
-        if (c == '\n') {
-          st = St::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case St::kBlockComment:
-        if (c == '*' && next == '/') {
-          st = St::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case St::kString:
-        if (c == '\\' && next != '\0') {
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          st = St::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\' && next != '\0') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case St::kRawString:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          out.append(raw_delim.size(), ' ');
-          i += raw_delim.size() - 1;
-          st = St::kCode;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True iff `word` appears in `line` as a whole identifier (not a substring
-/// of a longer identifier, not a member/namespace-qualified tail unless
-/// `allow_qualified`).
-bool has_identifier(std::string_view line, std::string_view word,
-                    bool allow_qualified = false) {
-  std::size_t pos = 0;
-  while ((pos = line.find(word, pos)) != std::string_view::npos) {
-    bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-    std::size_t end = pos + word.size();
-    bool right_ok = end >= line.size() || !is_ident_char(line[end]);
-    if (left_ok && right_ok) {
-      if (!allow_qualified && pos >= 1 &&
-          (line[pos - 1] == '.' ||
-           (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>'))) {
-        pos = end;
-        continue;  // obj.rand / obj->rand is a member, not ::rand
-      }
-      return true;
-    }
-    pos = end;
-  }
-  return false;
-}
-
-/// True iff the identifier is followed (after spaces) by an open paren —
-/// i.e. it is being called, not merely named.
-bool has_call(std::string_view line, std::string_view fn) {
-  std::size_t pos = 0;
-  while ((pos = line.find(fn, pos)) != std::string_view::npos) {
-    bool left_ok = pos == 0 || (!is_ident_char(line[pos - 1]) &&
-                                line[pos - 1] != '.' &&
-                                !(pos >= 2 && line[pos - 2] == '-' &&
-                                  line[pos - 1] == '>'));
-    std::size_t end = pos + fn.size();
-    std::size_t j = end;
-    while (j < line.size() && line[j] == ' ') ++j;
-    if (left_ok && (end >= line.size() || !is_ident_char(line[end])) &&
-        j < line.size() && line[j] == '(') {
-      return true;
-    }
-    pos = end;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-/// Paths under these directories are simulation-deterministic: every source
-/// of randomness must flow from an explicit seed.
-bool in_sim_path(const std::string& path) {
-  static const char* kSimDirs[] = {
-      "src/sim/",   "src/rnic/",    "src/herd/",  "src/chaos/",
-      "src/fault/", "src/fabric/",  "src/cluster/", "src/verbs/",
-      "src/pcie/",  "src/kv/",      "src/workload/",
-  };
-  for (const char* d : kSimDirs) {
-    if (path.find(d) != std::string::npos) return true;
-  }
-  return false;
-}
-
-void check_determinism(const std::string& path, std::string_view line,
-                       std::size_t lineno, std::vector<Violation>& out) {
-  if (!in_sim_path(path)) return;
-  struct Banned {
-    const char* fn;
-    const char* why;
-  };
-  static const Banned kBannedCalls[] = {
-      {"time", "wall clock breaks seeded replay"},
-      {"clock_gettime", "wall clock breaks seeded replay"},
-      {"gettimeofday", "wall clock breaks seeded replay"},
-      {"rand", "unseeded libc entropy breaks seeded replay"},
-      {"srand", "global libc PRNG state breaks seeded replay"},
-      {"random", "unseeded libc entropy breaks seeded replay"},
-      {"rand_r", "libc PRNG breaks seeded replay"},
-      {"drand48", "libc PRNG breaks seeded replay"},
-      {"lrand48", "libc PRNG breaks seeded replay"},
-      {"getpid", "process id is not part of the seed"},
-  };
-  for (const Banned& b : kBannedCalls) {
-    if (has_call(line, b.fn)) {
-      out.push_back({path, lineno, "determinism",
-                     std::string(b.fn) + "() in a simulation path: " + b.why});
-    }
-  }
-  static const Banned kBannedNames[] = {
-      {"random_device", "hardware entropy breaks seeded replay"},
-      {"system_clock", "wall clock breaks seeded replay"},
-      {"steady_clock", "host clock breaks seeded replay"},
-      {"high_resolution_clock", "host clock breaks seeded replay"},
-  };
-  for (const Banned& b : kBannedNames) {
-    if (has_identifier(line, b.fn, /*allow_qualified=*/true)) {
-      out.push_back({path, lineno, "determinism",
-                     std::string(b.fn) + " in a simulation path: " + b.why});
-    }
-  }
-}
-
-/// Detects declarations of unordered containers keyed by pointer AND
-/// range-for iteration over identifiers that were so declared. The
-/// declaration itself is legal (lookup order doesn't matter); iteration
-/// order is ASLR-dependent, so looping one feeds allocator layout into
-/// simulation behavior.
-struct PtrKeyTracker {
-  std::vector<std::string> ptr_keyed_names;
-
-  void scan_declaration(std::string_view line) {
-    // unordered_{map,set}<T*  ... > name
-    for (const char* kw : {"unordered_map", "unordered_set"}) {
-      std::size_t pos = line.find(kw);
-      while (pos != std::string_view::npos) {
-        std::size_t lt = line.find('<', pos);
-        if (lt == std::string_view::npos) break;
-        // First template argument, up to ',' or matching '>'.
-        std::size_t depth = 1;
-        std::size_t j = lt + 1;
-        std::size_t arg_end = line.size();
-        for (; j < line.size() && depth > 0; ++j) {
-          if (line[j] == '<') ++depth;
-          if (line[j] == '>') --depth;
-          if (line[j] == ',' && depth == 1) {
-            arg_end = j;
-            break;
-          }
-          if (depth == 0) arg_end = j;
-        }
-        std::string_view key = line.substr(lt + 1, arg_end - lt - 1);
-        if (key.find('*') != std::string_view::npos) {
-          // Variable name follows the closing '>' (skip to it).
-          std::size_t d2 = 1;
-          std::size_t k = lt + 1;
-          for (; k < line.size() && d2 > 0; ++k) {
-            if (line[k] == '<') ++d2;
-            if (line[k] == '>') --d2;
-          }
-          while (k < line.size() &&
-                 (line[k] == ' ' || line[k] == '&' || line[k] == '*')) {
-            ++k;
-          }
-          std::size_t name_end = k;
-          while (name_end < line.size() && is_ident_char(line[name_end])) {
-            ++name_end;
-          }
-          if (name_end > k) {
-            ptr_keyed_names.emplace_back(line.substr(k, name_end - k));
-          }
-        }
-        pos = line.find(kw, pos + 1);
-      }
-    }
-  }
-
-  void check_iteration(const std::string& path, std::string_view line,
-                       std::size_t lineno, std::vector<Violation>& out) {
-    if (ptr_keyed_names.empty()) return;
-    // for ( ... : name ) — range-for over a tracked container.
-    std::size_t colon = line.find(" : ");
-    if (colon == std::string_view::npos ||
-        line.find("for") == std::string_view::npos) {
-      return;
-    }
-    std::string_view tail = line.substr(colon + 3);
-    for (const std::string& name : ptr_keyed_names) {
-      if (has_identifier(tail, name)) {
-        out.push_back(
-            {path, lineno, "ptr-key-iter",
-             "range-for over pointer-keyed container '" + name +
-                 "': iteration order depends on allocator layout"});
-      }
-    }
-  }
-};
-
-/// True iff the stripped file references the resource registry — the signal
-/// that its sim::Resource instances are (or can be) registered for flight
-/// recording. `resources_` is the conventional registry pointer/member name
-/// (see cluster::Cluster and fabric::Fabric).
-bool mentions_resource_registry(const std::string& stripped) {
-  return has_identifier(stripped, "ResourceRegistry",
-                        /*allow_qualified=*/true) ||
-         has_identifier(stripped, "register_resources",
-                        /*allow_qualified=*/true) ||
-         has_identifier(stripped, "resources_", /*allow_qualified=*/true);
-}
-
-/// Flags `sim::Resource name` declarations and make_unique<sim::Resource>
-/// in simulation paths of files that never touch the registry. References
-/// and pointers (`sim::Resource&`, `sim::Resource*`) pass: borrowing an
-/// already-registered resource is fine, constructing an invisible one is
-/// not.
-void check_resource_registry(const std::string& path, std::string_view line,
-                             std::size_t lineno, bool registry_aware,
-                             std::vector<Violation>& out) {
-  if (registry_aware || !in_sim_path(path)) return;
-  if (line.find("make_unique<sim::Resource>") != std::string_view::npos) {
-    out.push_back({path, lineno, "resource-registry",
-                   "sim::Resource constructed in a file that never "
-                   "registers with obs::ResourceRegistry: the flight "
-                   "recorder cannot see it"});
-    return;
-  }
-  std::size_t pos = 0;
-  static constexpr std::string_view kType = "sim::Resource";
-  while ((pos = line.find(kType, pos)) != std::string_view::npos) {
-    std::size_t end = pos + kType.size();
-    bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-    // Declaration form: type, whitespace, identifier. `&`/`*`/`>` after the
-    // type means a reference, pointer, or template argument — not a new
-    // instance this file owns.
-    std::size_t j = end;
-    while (j < line.size() && line[j] == ' ') ++j;
-    if (left_ok && j > end && j < line.size() && is_ident_char(line[j])) {
-      out.push_back({path, lineno, "resource-registry",
-                     "sim::Resource declared in a file that never "
-                     "registers with obs::ResourceRegistry: the flight "
-                     "recorder cannot see it"});
-      return;
-    }
-    pos = end;
-  }
-}
-
-/// True iff the stripped file references an identifier that conventionally
-/// bounds queue growth: the overload watermarks, an explicit capacity, the
-/// protocol window (the client-side queues are all window-clamped), or the
-/// admission machinery itself (AdmissionGate / DegradedMode — a file that
-/// owns the gate is the bound).
-bool mentions_queue_bound(const std::string& stripped) {
-  return has_identifier(stripped, "queue_high", /*allow_qualified=*/true) ||
-         has_identifier(stripped, "queue_low", /*allow_qualified=*/true) ||
-         has_identifier(stripped, "watermark", /*allow_qualified=*/true) ||
-         has_identifier(stripped, "capacity", /*allow_qualified=*/true) ||
-         has_identifier(stripped, "window", /*allow_qualified=*/true) ||
-         has_identifier(stripped, "AdmissionGate", /*allow_qualified=*/true) ||
-         has_identifier(stripped, "DegradedMode", /*allow_qualified=*/true);
-}
-
-/// Flags std::deque / std::queue declarations in src/herd files that never
-/// reference a bound (see mentions_queue_bound). File-granular on purpose:
-/// proving a particular declaration bounded needs flow analysis, but a file
-/// that grows a queue and never names any limit is the pattern that turns
-/// overload into congestion collapse.
-void check_bounded_queue(const std::string& path, std::string_view line,
-                         std::size_t lineno, bool bound_aware,
-                         std::vector<Violation>& out) {
-  if (bound_aware || path.find("src/herd/") == std::string::npos) return;
-  for (const char* kw : {"std::deque", "std::queue"}) {
-    std::size_t pos = line.find(kw);
-    while (pos != std::string_view::npos) {
-      std::size_t end = pos + std::string_view(kw).size();
-      if ((pos == 0 || !is_ident_char(line[pos - 1])) && end < line.size() &&
-          line[end] == '<') {
-        out.push_back({path, lineno, "bounded-queue",
-                       std::string(kw) +
-                           " in a file that never references a capacity or "
-                           "watermark (queue_high/watermark/capacity/window):"
-                           " unbounded queues turn overload into congestion "
-                           "collapse"});
-        return;
-      }
-      pos = line.find(kw, end);
-    }
-  }
-}
-
-void check_raw_new(const std::string& path, std::string_view line,
-                   std::size_t lineno, std::vector<Violation>& out) {
-  // `= delete` / `delete;` are declarations, not deallocations. `new (`
-  // placement-new inside arena code is suppressed via the supp file.
-  if (has_identifier(line, "new", /*allow_qualified=*/true)) {
-    std::size_t pos = line.find("new");
-    while (pos != std::string_view::npos) {
-      bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-      std::size_t end = pos + 3;
-      bool right_ok = end >= line.size() || !is_ident_char(line[end]);
-      if (left_ok && right_ok) {
-        // Allow `make_unique`-style false hits: require whitespace-then-type
-        // or '(' after.
-        std::size_t j = end;
-        while (j < line.size() && line[j] == ' ') ++j;
-        if (j < line.size() &&
-            (is_ident_char(line[j]) || line[j] == '(' || line[j] == ':')) {
-          out.push_back({path, lineno, "raw-new",
-                         "raw `new`: ownership must go through "
-                         "std::unique_ptr or a container"});
-          break;
-        }
-      }
-      pos = line.find("new", end);
-    }
-  }
-  if (has_identifier(line, "delete", /*allow_qualified=*/true)) {
-    std::size_t pos = line.find("delete");
-    std::size_t end = pos + 6;
-    std::size_t j = end;
-    while (j < line.size() && line[j] == ' ') ++j;
-    bool is_decl = j >= line.size() || line[j] == ';' || line[j] == ',' ||
-                   line[j] == ')';
-    bool left_is_eq = false;
-    for (std::size_t k = pos; k-- > 0;) {
-      if (line[k] == ' ') continue;
-      left_is_eq = line[k] == '=';
-      break;
-    }
-    if (!(is_decl && left_is_eq) && !is_decl) {
-      out.push_back({path, lineno, "raw-new",
-                     "raw `delete`: ownership must go through "
-                     "std::unique_ptr or a container"});
-    }
-  }
-}
-
-/// Key-to-process routing in herd code must flow through the ShardMap:
-/// after a promotion or live migration a shard's primary is NOT
-/// hash(key) % n_server_procs, so a direct kv::partition_of() call — or
-/// hand-rolled modulo of key material by the process count — silently
-/// routes requests to a process that no longer owns the shard. Plain
-/// `% n_server_procs` (round-robin probing, bounds checks) stays legal;
-/// the modulo only fires on lines that also touch key material.
-void check_shard_route(const std::string& path, std::string_view line,
-                       std::size_t lineno, std::vector<Violation>& out) {
-  if (path.find("src/herd/") == std::string::npos) return;
-  if (has_call(line, "partition_of")) {
-    out.push_back({path, lineno, "shard-route",
-                   "kv::partition_of() in herd code: route through the "
-                   "ShardMap (shard_of/at) — after a promotion or "
-                   "migration the primary is not hash % n_server_procs"});
-    return;
-  }
-  if (!has_identifier(line, "key", /*allow_qualified=*/true) &&
-      !has_identifier(line, "hash", /*allow_qualified=*/true) &&
-      !has_identifier(line, "rank", /*allow_qualified=*/true)) {
-    return;
-  }
-  static constexpr std::string_view kProcs = "n_server_procs";
-  std::size_t pos = 0;
-  while ((pos = line.find(kProcs, pos)) != std::string_view::npos) {
-    // Walk left across the qualifier (cfg_. / cfg.herd. / this->cfg_.)
-    // looking for a modulo feeding the identifier.
-    std::size_t k = pos;
-    while (k > 0) {
-      char c = line[k - 1];
-      if (is_ident_char(c) || c == '.' || c == ' ') {
-        --k;
-        continue;
-      }
-      if (c == '>' && k >= 2 && line[k - 2] == '-') {
-        k -= 2;
-        continue;
-      }
-      break;
-    }
-    if (k > 0 && line[k - 1] == '%') {
-      out.push_back({path, lineno, "shard-route",
-                     "key-derived `% n_server_procs` routing bypasses the "
-                     "ShardMap: promotions and migrations move primaries"});
-      return;
-    }
-    pos += kProcs.size();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
 
 bool load_suppressions(const fs::path& file, std::vector<Suppression>& out) {
   std::ifstream in(file);
@@ -599,35 +79,12 @@ bool lintable(const fs::path& p) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
 }
 
-void lint_file(const fs::path& path, std::vector<Violation>& out) {
+std::string read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return;
+  if (!in) return {};
   std::stringstream buf;
   buf << in.rdbuf();
-  std::string stripped = strip_comments_and_strings(buf.str());
-
-  std::string generic = path.generic_string();
-  bool registry_aware = mentions_resource_registry(stripped);
-  bool bound_aware = mentions_queue_bound(stripped);
-  PtrKeyTracker tracker;
-  std::size_t lineno = 0;
-  std::size_t start = 0;
-  while (start <= stripped.size()) {
-    std::size_t nl = stripped.find('\n', start);
-    std::string_view line(stripped.data() + start,
-                          (nl == std::string::npos ? stripped.size() : nl) -
-                              start);
-    ++lineno;
-    check_determinism(generic, line, lineno, out);
-    tracker.scan_declaration(line);
-    tracker.check_iteration(generic, line, lineno, out);
-    check_resource_registry(generic, line, lineno, registry_aware, out);
-    check_bounded_queue(generic, line, lineno, bound_aware, out);
-    check_shard_route(generic, line, lineno, out);
-    if (in_sim_path(generic)) check_raw_new(generic, line, lineno, out);
-    if (nl == std::string::npos) break;
-    start = nl + 1;
-  }
+  return buf.str();
 }
 
 }  // namespace
@@ -638,11 +95,17 @@ int main(int argc, char** argv) {
     std::string a = argv[i];
     if (a == "--supp" && i + 1 < argc) {
       opt.supp_file = argv[++i];
+    } else if (a == "--sarif" && i + 1 < argc) {
+      opt.sarif_file = argv[++i];
     } else if (a == "--verbose") {
       opt.verbose = true;
+    } else if (a == "--strict-supp") {
+      opt.strict_supp = true;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr,
-                   "usage: %s [--supp FILE] [--verbose] DIR...\n", argv[0]);
+                   "usage: %s [--supp FILE] [--verbose] [--sarif FILE] "
+                   "[--strict-supp] PATH...\n",
+                   argv[0]);
       return 64;
     } else {
       opt.roots.emplace_back(a);
@@ -660,8 +123,7 @@ int main(int argc, char** argv) {
     return 64;
   }
 
-  std::vector<Violation> violations;
-  std::size_t files = 0;
+  herd::analysis::Engine engine;
   for (const fs::path& root : opt.roots) {
     std::error_code ec;
     if (!fs::exists(root, ec)) {
@@ -669,12 +131,20 @@ int main(int argc, char** argv) {
                    root.string().c_str());
       return 64;
     }
+    if (fs::is_regular_file(root, ec)) {
+      if (lintable(root)) {
+        engine.add_file(root.generic_string(), read_file(root));
+      }
+      continue;
+    }
     std::vector<fs::path> paths;
     for (auto it = fs::recursive_directory_iterator(root, ec);
          it != fs::recursive_directory_iterator(); ++it) {
       // Planted-violation fixtures lint only when named as a root (the
-      // canary test); a parent-directory sweep skips them.
-      if (it->is_directory() && it->path().filename() == "lint_fixtures") {
+      // canary tests); a parent-directory sweep skips them. Matches both
+      // lint_fixtures/ (legacy corpus) and lint_fixtures_flow/ (per-rule).
+      if (it->is_directory() &&
+          it->path().filename().string().rfind("lint_fixtures", 0) == 0) {
         it.disable_recursion_pending();
         continue;
       }
@@ -684,14 +154,15 @@ int main(int argc, char** argv) {
     }
     std::sort(paths.begin(), paths.end());
     for (const fs::path& p : paths) {
-      ++files;
-      lint_file(p, violations);
+      engine.add_file(p.generic_string(), read_file(p));
     }
   }
+  engine.run();
 
   std::size_t reported = 0;
   std::size_t suppressed_count = 0;
-  for (const Violation& v : violations) {
+  std::vector<Violation> sarif_results;
+  for (const Violation& v : engine.violations()) {
     if (suppressed(supps, v)) {
       ++suppressed_count;
       if (opt.verbose) {
@@ -703,18 +174,34 @@ int main(int argc, char** argv) {
     ++reported;
     std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
                 v.detail.c_str());
+    if (!opt.sarif_file.empty()) sarif_results.push_back(v);
   }
+  std::size_t unused_supps = 0;
   for (const Suppression& s : supps) {
     if (!s.used) {
+      ++unused_supps;
       std::fprintf(stderr,
-                   "herd_lint: warning: unused suppression `%s %s`\n",
+                   "herd_lint: %s: unused suppression `%s %s`\n",
+                   opt.strict_supp ? "error" : "warning",
                    s.path_substring.c_str(), s.rule.c_str());
     }
   }
 
+  if (!opt.sarif_file.empty()) {
+    std::ofstream out(opt.sarif_file, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "herd_lint: cannot write SARIF file %s\n",
+                   opt.sarif_file.string().c_str());
+      return 64;
+    }
+    out << herd::analysis::to_sarif(sarif_results);
+  }
+
   if (opt.verbose || reported > 0) {
     std::printf("herd_lint: %zu file(s), %zu violation(s), %zu suppressed\n",
-                files, reported, suppressed_count);
+                engine.file_count(), reported, suppressed_count);
   }
-  return reported > 0 ? 1 : 0;
+  if (reported > 0) return 1;
+  if (opt.strict_supp && unused_supps > 0) return 1;
+  return 0;
 }

@@ -1,0 +1,12 @@
+// Non-sim helper with a direct entropy sink. Legal on its own (src/util is
+// outside the simulation tree), but any simulation-path caller inherits
+// the taint — that caller is the planted violation.
+#pragma once
+
+#include <cstdlib>
+
+namespace fixutil {
+
+inline int jitter_ms() { return std::rand() % 5; }
+
+}  // namespace fixutil

@@ -1,0 +1,32 @@
+// Planted wire-symmetry violation: decode reads the deadline field two
+// bytes past where encode wrote it (p + 4 vs p + 2). herd_lint MUST flag
+// both the offset divergence and the block-budget overrun (4 + 8 > 10).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace fix {
+
+inline constexpr std::uint32_t kHdrBytes = 2 + 8;  // tenant + deadline
+
+struct Msg {
+  std::uint16_t tenant = 0;
+  std::uint64_t deadline = 0;
+};
+
+inline void encode_hdr(std::uint8_t* p, const Msg& m) {
+  std::memcpy(p, &m.tenant, 2);
+  std::memcpy(p + 2, &m.deadline, 8);
+  p += kHdrBytes;
+  *p = 0;  // trailer sentinel keeps the bump observable
+}
+
+inline void decode_hdr(const std::uint8_t* tail, Msg& m) {
+  const std::uint8_t* p = tail;
+  p -= kHdrBytes;
+  std::memcpy(&m.tenant, p, 2);
+  std::memcpy(&m.deadline, p + 4, 8);  // PLANTED: 2-byte skew
+}
+
+}  // namespace fix
