@@ -37,6 +37,7 @@
 #include "baselines/emulated_kv.hpp"
 #include "cluster/cluster.hpp"
 #include "herd/testbed.hpp"
+#include "kv/partition.hpp"
 #include "microbench/microbench.hpp"
 #include "obs/bench_report.hpp"
 
@@ -123,8 +124,15 @@ inline E2e run_herd(const cluster::ClusterConfig& cc, const E2eParams& p,
   cfg.herd.window = p.window;
   cfg.herd.mode = p.mode;
   cfg.herd.inline_threshold = cc.name == "Susitna-RoCE" ? 192 : 144;
-  cfg.herd.mica.bucket_count_log2 = 15;
-  cfg.herd.mica.log_bytes = 32u << 20;
+  // One machine-wide MICA budget, divided into per-core EREW partitions —
+  // Fig. 13 sweeps cores against a *constant* memory budget, not one that
+  // grows with the core count. At the default 6 processes this yields the
+  // historical per-process sizing (2^15 buckets, 32 MB log).
+  kv::MicaCache::Config machine;
+  machine.bucket_count_log2 = 18;
+  machine.log_bytes = 192u << 20;
+  cfg.herd.mica =
+      kv::PartitionPlan::split(machine, p.n_server_procs).partition(0);
   cfg.workload.get_fraction = 1.0 - p.put_fraction;
   cfg.workload.value_len = p.value_size;
   cfg.workload.n_keys = 1u << 16;

@@ -6,23 +6,28 @@
 // each keeping `window` requests outstanding). Goodput counts only
 // requests completed within their deadline.
 //
-//  * Shedding ON: per-tenant token buckets throttle admission near the
-//    service capacity, the queue-depth watermark bounds time-in-queue, and
-//    expired requests are dropped at dequeue before any MICA work. Past
-//    saturation the goodput curve stays FLAT: the server spends its cycles
-//    on requests that can still make their deadlines, and kOverloaded
-//    retry-after hints push the excess load into client backoff.
+// Doorbell-batched response chains made response posting CPU-cheap, so a
+// shed reply no longer saves meaningful CPU over a served one. The scarce
+// resource admission control protects here is the WIRE: an all-GET
+// workload with 1000-byte values makes every served response ~200ns of
+// outbound fabric time, while a shed reply is a header-only WR. That is
+// the drain-rate gap the two arms split on:
+//
+//  * Shedding ON: per-tenant token buckets cap admission below the
+//    fabric-bound service capacity (~5 Mops), the queue-depth watermark
+//    bounds time-in-queue, and expired requests are dropped at dequeue
+//    before any MICA work. Sheds drain the region at CPU speed, so the
+//    region stays short enough that admitted requests complete well inside
+//    the retry timer. The goodput curve stays FLAT at the quota.
 //
 //  * Shedding OFF (OverloadConfig.drop_shedding — the same knob the
-//    HERD_DROP_SHEDDING canary build forces on): every arrival is queued
-//    and served in order. Past saturation the server's response latency
-//    crosses the clients' retry timer, the resulting retransmission storm
-//    doubles the offered load, and the server burns ~half its capacity
-//    serving duplicate attempts (deduped, but the cycles are gone).
-//    Goodput COLLAPSES to ~50% of peak — the classic congestion-collapse
-//    curve, cut off here before the server NIC itself saturates (past
-//    ~52 clients the NIC, which no service-layer gate can protect,
-//    becomes the bottleneck for both arms).
+//    HERD_DROP_SHEDDING canary build forces on): every arrival is served,
+//    every response carries 1000 B, and the region drains only as fast as
+//    the fabric. Past saturation the region wait crosses the clients'
+//    retry timer, the retransmission storm adds duplicate attempts the
+//    server also serves at full wire cost, and waits compound into the
+//    deadline. Goodput COLLAPSES to ~30% of peak — the classic
+//    congestion-collapse curve.
 //
 // The bench_compare gate rides on `on_retention_rate` (shed-ON goodput at
 // the deepest overload point, as a fraction of the shed-ON peak): the
@@ -41,43 +46,47 @@ core::TestbedConfig overload_bench_cfg(bool shed, std::uint32_t n_clients) {
   cfg.cluster = bench::apt();
   cfg.herd.n_server_procs = 1;
   cfg.herd.n_clients = n_clients;
-  cfg.herd.window = 4;
+  cfg.herd.window = 16;
   cfg.herd.request_tokens = true;
   cfg.herd.mica.bucket_count_log2 = 13;
   cfg.herd.mica.log_bytes = 8u << 20;
   cfg.herd.overload.enable = true;
   cfg.herd.overload.n_tenants = 2;
-  // Quota just under the single process's service capacity: admitted work
-  // is work the server can finish before it goes stale.
+  // Quota (2 tenants x 2 Mops) under the fabric-bound service capacity
+  // (~5 Mops of 1000-byte responses): admitted work is work the wire can
+  // carry before it goes stale.
   cfg.herd.overload.ticks_per_token = sim::ns(500);
-  cfg.herd.overload.burst = 16;
-  cfg.herd.overload.queue_high = 16;
-  cfg.herd.overload.queue_low = 4;
+  cfg.herd.overload.burst = 96;
+  cfg.herd.overload.queue_high = 48;
+  cfg.herd.overload.queue_low = 12;
   cfg.herd.overload.degraded_retry_after = sim::us(50);
   cfg.herd.overload.drop_shedding = !shed;
   cfg.workload.n_keys = 2048;
-  cfg.workload.get_fraction = 0.50;
-  cfg.workload.value_len = 32;
-  // The retry timer sits BETWEEN the shielded server's response latency
-  // (~5us: the admission gate keeps the queue short) and the unshielded
-  // server's saturated queue wait (~50us at the deep end): the shed-ON arm
-  // never spuriously retransmits, the shed-OFF arm storms. The deadline
-  // leaves room for 2-3 kOverloaded backoff holds (40/60/90us) so a shed
-  // request can still win a token and complete.
-  cfg.resilience.retry_timeout = sim::us(40);
+  // All GETs of 1000-byte values: serving is outbound-wire-bound, so a
+  // header-only shed reply is ~10x cheaper than a served response. (With
+  // small values the batched server serves nearly as cheaply as it sheds
+  // and admission control has nothing to protect.)
+  cfg.workload.get_fraction = 1.0;
+  cfg.workload.value_len = 1000;
+  // The retry timer sits BETWEEN the shielded arm's deep-end region wait
+  // (~90us: sheds keep the region draining at CPU speed) and the
+  // unshielded arm's saturated wait (~150us: every slot drains at wire
+  // speed): the shed-ON arm never spuriously retransmits, the shed-OFF
+  // arm storms.
+  cfg.resilience.retry_timeout = sim::us(120);
   cfg.resilience.backoff_multiplier = 1.5;
-  cfg.resilience.backoff_max = sim::us(120);
+  cfg.resilience.backoff_max = sim::us(360);
   cfg.resilience.jitter = 0.2;
   // Goodput semantics: a response that misses this deadline counts for
   // nothing (the client has moved on).
-  cfg.resilience.deadline = sim::us(300);
+  cfg.resilience.deadline = sim::us(600);
   return cfg;
 }
 
 void Fig16_Overload(benchmark::State& state) {
   // Offered load sweep: total outstanding = clients x window. Saturation
-  // of the single process sits near the low end, so the tail of the sweep
-  // is deep overload.
+  // of the single (doorbell-batched) process sits near the low end, so the
+  // tail of the sweep is deep overload.
   const std::uint32_t kClients[] = {4, 8, 16, 24, 32, 40, 48};
   constexpr int kN = static_cast<int>(std::size(kClients));
 
@@ -89,9 +98,15 @@ void Fig16_Overload(benchmark::State& state) {
 
   for (auto _ : state) {
     for (int i = 0; i < kN; ++i) {
+      // Retry/backoff dynamics (120us timer, holds up to 360us) take a few
+      // backoff generations to reach steady state, so floor the windows:
+      // CI's tiny --bench-measure-ms would otherwise measure the cold-start
+      // sync-burst transient instead of the converged curves.
+      const sim::Tick warmup = std::max(bench::warmup_ticks(), sim::ms(1));
+      const sim::Tick measure = std::max(bench::measure_ticks(), sim::ms(2));
       {
         core::HerdTestbed bed(overload_bench_cfg(true, kClients[i]));
-        auto r = bed.run(bench::warmup_ticks(), bench::measure_ticks());
+        auto r = bed.run(warmup, measure);
         on_mops[i] = r.mops;
         attrs[i] = bed.attribution();
         sheds += r.overload_sheds;
@@ -100,7 +115,7 @@ void Fig16_Overload(benchmark::State& state) {
       }
       {
         core::HerdTestbed bed(overload_bench_cfg(false, kClients[i]));
-        auto r = bed.run(bench::warmup_ticks(), bench::measure_ticks());
+        auto r = bed.run(warmup, measure);
         off_mops[i] = r.mops;
       }
     }
@@ -137,7 +152,8 @@ void Fig16_Overload(benchmark::State& state) {
   state.counters["off_retention_rate"] = off_retention;
   state.counters["overload_sheds"] = static_cast<double>(sheds);
   state.counters["shed_deadline"] = static_cast<double>(shed_deadline);
-  state.SetLabel("1 proc, clients 4..48, deadline 300us");
+  state.SetLabel(
+      "1 proc, clients 4..48 x window 16, all-GET 1000B, deadline 600us");
 }
 
 }  // namespace

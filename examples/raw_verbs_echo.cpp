@@ -8,6 +8,7 @@
 //   * the server polls its request region and answers with a SEND over UD,
 //   * selective signaling and inlining applied exactly as §3 prescribes.
 // Run it to see the one-RTT request-reply latency and per-verb behavior.
+#include <array>
 #include <cstdio>
 #include <cstring>
 
@@ -86,17 +87,22 @@ int main() {
     c_uc->post_send(wr);
   };
   c_rcq->set_notify([&]() {
-    verbs::Wc wc;
-    while (c_rcq->poll({&wc, 1}) == 1) {
-      rtt.record(eng.now() - sent_at);
-      // Verify the echoed bytes (past the 40-byte GRH).
-      auto got = client.memory().span(kRespBuf + verbs::kGrhBytes, kMsg);
-      auto want = client.memory().span(0, kMsg);
-      if (std::memcmp(got.data(), want.data(), kMsg) != 0) {
-        std::printf("PAYLOAD MISMATCH\n");
-        std::exit(1);
+    // Wide poll: drain every pending completion per notify (only one is
+    // ever outstanding here, but the batched form is the idiom to copy).
+    std::array<verbs::Wc, 4> wcs;
+    std::size_t got_n;
+    while ((got_n = c_rcq->poll(wcs)) > 0) {
+      for (std::size_t i = 0; i < got_n; ++i) {
+        rtt.record(eng.now() - sent_at);
+        // Verify the echoed bytes (past the 40-byte GRH).
+        auto got = client.memory().span(kRespBuf + verbs::kGrhBytes, kMsg);
+        auto want = client.memory().span(0, kMsg);
+        if (std::memcmp(got.data(), want.data(), kMsg) != 0) {
+          std::printf("PAYLOAD MISMATCH\n");
+          std::exit(1);
+        }
+        if (--remaining > 0) issue();
       }
-      if (--remaining > 0) issue();
     }
   });
 

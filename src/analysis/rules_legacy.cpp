@@ -307,6 +307,85 @@ void check_shard_route(const std::string& path, std::string_view line,
   }
 }
 
+/// Per-WR post_send() calls inside loop bodies in src/herd. The doorbell
+/// batching redesign made chains the hot-path idiom: accumulate the
+/// quantum's SendWrs and post them once via post_send(span) so the whole
+/// batch costs one doorbell. A post_send(wr) that executes once per loop
+/// iteration re-introduces a PIO doorbell per WR — exactly the cost the
+/// chain API exists to elide. Chain posts are recognized by a `span` or
+/// `chain` mention in the argument list; cold paths that legitimately post
+/// a single WR outside any loop are never flagged.
+///
+/// Loop extent is tracked by brace depth over the stripped view: a
+/// `for`/`while` header opens a loop body at the next `{` (or covers the
+/// following line when the body is a braceless single statement).
+struct ChainPostTracker {
+  int depth = 0;            // current brace depth
+  std::vector<int> loops;   // brace depth of each enclosing loop body
+  bool pending = false;     // loop header seen; body not yet entered
+
+  static bool loop_header(std::string_view line) {
+    return has_call(line, "for") || has_call(line, "while");
+  }
+
+  /// post_send as a member or free call (has_call rejects `->`/`.`
+  /// qualifiers, which is precisely where QP posts live). Returns the
+  /// offset just past the open paren.
+  static bool post_send_call(std::string_view line, std::size_t& arg_at) {
+    static constexpr std::string_view kFn = "post_send";
+    std::size_t pos = 0;
+    while ((pos = line.find(kFn, pos)) != std::string_view::npos) {
+      bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+      std::size_t j = pos + kFn.size();
+      while (j < line.size() && line[j] == ' ') ++j;
+      if (left_ok && j < line.size() && line[j] == '(') {
+        arg_at = j + 1;
+        return true;
+      }
+      pos += kFn.size();
+    }
+    return false;
+  }
+
+  void check(const std::string& path, std::string_view line,
+             std::size_t lineno, std::vector<Violation>& out) {
+    if (path.find("src/herd/") == std::string::npos) return;
+    bool header = loop_header(line);
+    bool in_loop = !loops.empty() || pending || header;
+    std::size_t arg_at = 0;
+    if (in_loop && post_send_call(line, arg_at)) {
+      std::string_view args = line.substr(arg_at);
+      if (args.find("span") == std::string_view::npos &&
+          args.find("chain") == std::string_view::npos) {
+        out.push_back({path, lineno, "chain-post",
+                       "per-WR post_send() in a loop: accumulate the WRs "
+                       "and post one chain (post_send(span)) — each "
+                       "per-WR post rings its own doorbell"});
+      }
+    }
+    bool opened = false;
+    for (char c : line) {
+      if (c == '{') {
+        ++depth;
+        if (header || pending) {
+          loops.push_back(depth);
+          header = false;
+          pending = false;
+          opened = true;
+        }
+      } else if (c == '}') {
+        if (!loops.empty() && loops.back() == depth) loops.pop_back();
+        --depth;
+      }
+    }
+    if (header) {
+      pending = true;  // body opens on a later line
+    } else if (pending && !opened && !line.empty()) {
+      pending = false;  // braceless single-statement body consumed
+    }
+  }
+};
+
 }  // namespace
 
 bool has_identifier(std::string_view line, std::string_view word,
@@ -354,6 +433,7 @@ void run_legacy_rules(const std::string& path, const std::string& stripped,
   bool registry_aware = mentions_resource_registry(stripped);
   bool bound_aware = mentions_queue_bound(stripped);
   PtrKeyTracker tracker;
+  ChainPostTracker chain_tracker;
   std::size_t lineno = 0;
   std::size_t start = 0;
   while (start <= stripped.size()) {
@@ -368,6 +448,7 @@ void run_legacy_rules(const std::string& path, const std::string& stripped,
     check_resource_registry(path, line, lineno, registry_aware, out);
     check_bounded_queue(path, line, lineno, bound_aware, out);
     check_shard_route(path, line, lineno, out);
+    chain_tracker.check(path, line, lineno, out);
     if (in_sim_path(path)) check_raw_new(path, line, lineno, out);
     if (nl == std::string::npos) break;
     start = nl + 1;

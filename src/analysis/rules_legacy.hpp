@@ -1,10 +1,11 @@
-// herd::analysis — the six line-oriented legacy rules.
+// herd::analysis — the line-oriented rules.
 //
-// Ported from herd_lint v1 with identical matching logic and identical
-// diagnostic strings: the existing fixture corpus must produce
-// byte-identical verdicts under the v2 engine. These rules consume the
-// lexer's stripped view (comments and literal contents blanked), one line
-// at a time:
+// The first six are ported from herd_lint v1 with identical matching logic
+// and identical diagnostic strings: the existing fixture corpus must
+// produce byte-identical verdicts under the v2 engine. chain-post joined
+// with the doorbell-batching redesign and follows the same line-oriented
+// contract. These rules consume the lexer's stripped view (comments and
+// literal contents blanked), one line at a time:
 //
 //   determinism       wall-clock / entropy calls in simulation paths
 //   ptr-key-iter      range-for over pointer-keyed unordered containers
@@ -12,6 +13,8 @@
 //   resource-registry sim::Resource constructed but never registered
 //   bounded-queue     std::deque/std::queue in src/herd with no named bound
 //   shard-route       key-to-process routing that bypasses the ShardMap
+//   chain-post        per-WR post_send() loops in src/herd hot paths that
+//                     should batch WRs into one chained post_send(span)
 #pragma once
 
 #include <string>
@@ -22,9 +25,9 @@
 
 namespace herd::analysis {
 
-/// Runs all six legacy rules over the stripped view of one file, appending
-/// violations in the v1 emission order (line-major, fixed rule order per
-/// line).
+/// Runs all line-oriented rules over the stripped view of one file,
+/// appending violations in the v1 emission order (line-major, fixed rule
+/// order per line; chain-post slots in after shard-route).
 void run_legacy_rules(const std::string& path, const std::string& stripped,
                       std::vector<Violation>& out);
 

@@ -1,6 +1,7 @@
 #include "baselines/emulated_kv.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace herd::baselines {
@@ -182,8 +183,12 @@ EmulatedKvTestbed::EmulatedKvTestbed(const EmulatedConfig& cfg)
 
 void EmulatedKvTestbed::pilaf_server_on_recv(std::uint32_t s) {
   ServerProc& p = procs_[s];
-  verbs::Wc wc;
-  while (p.recv_cq->poll({&wc, 1}) == 1) {
+  // Batched CQ reaping: drain the backlog in wide polls.
+  std::array<verbs::Wc, 16> wcs;
+  std::size_t n;
+  while ((n = p.recv_cq->poll(wcs)) > 0) {
+   for (std::size_t i = 0; i < n; ++i) {
+    const verbs::Wc& wc = wcs[i];
     if (wc.status != verbs::WcStatus::kSuccess) continue;
     // Identify the client by sender (port, qpn).
     std::uint32_t client = UINT32_MAX;
@@ -217,6 +222,7 @@ void EmulatedKvTestbed::pilaf_server_on_recv(std::uint32_t s) {
           wr.signaled = false;
           server_qps_[client]->post_send(wr);
         });
+   }
   }
 }
 

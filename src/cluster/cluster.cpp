@@ -109,6 +109,8 @@ Cluster::Cluster(const ClusterConfig& cfg, std::size_t n_hosts,
     std::string idx = std::to_string(i);
     h.pcie().register_metrics(registry_, "pcie.host" + idx);
     h.rnic().register_metrics(registry_, "rnic.host" + idx);
+    registry_.histogram_fn("verbs.host" + idx + ".chain_len",
+                           [&h] { return h.ctx().chain_len_histogram(); });
     h.pcie().register_resources(resources_, "pcie.host" + idx);
     h.rnic().register_resources(resources_, "rnic.host" + idx);
     h.pcie().set_tracer(&tracer_);

@@ -7,6 +7,10 @@
 // 150 ns").
 #pragma once
 
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
 #include "sim/time.hpp"
 
 namespace herd::cluster {
@@ -21,6 +25,10 @@ struct CpuModel {
   sim::Tick prefetch_issue = sim::ns(5);
   /// post_send(): WQE preparation + doorbell in the userland driver.
   sim::Tick post_send = sim::ns(150);
+  /// Appending one more WQE to a chained post_send: the WQE preparation
+  /// share of `post_send` without the doorbell ring — what makes a chain of
+  /// N responses cheaper than N posts on the CPU side as well as on PCIe.
+  sim::Tick post_send_chain_wqe = sim::ns(60);
   /// post_recv(): cheaper than a send, but far from free — this is why
   /// RECV-posting servers (Pilaf PUTs) need more cores (Fig. 13).
   sim::Tick post_recv = sim::ns(100);
@@ -30,6 +38,65 @@ struct CpuModel {
   sim::Tick cq_poll = sim::ns(30);
   /// Bookkeeping to advance one stage of an application-level pipeline.
   sim::Tick pipeline_step = sim::ns(5);
+
+  /// CPU cost of a chained post of `n` WQEs: one full post_send (WQE prep +
+  /// doorbell) plus the cheaper per-WQE append for the rest.
+  sim::Tick chained_post_cost(std::size_t n) const {
+    if (n == 0) return 0;
+    return post_send +
+           static_cast<sim::Tick>(n - 1) * post_send_chain_wqe;
+  }
+};
+
+/// Explicit core-to-QP affinity: which QPs each server core owns, pinned at
+/// construction. HERD's scaling story (Fig. 13) depends on every core
+/// touching only its own QPs — shared QPs would serialize doorbells and
+/// CQ polls across cores — so the testbed builds this map once and asserts
+/// against it instead of deriving ownership ad hoc at each call site.
+class CoreAffinityMap {
+ public:
+  CoreAffinityMap() = default;
+
+  /// `n_cores` cores, QP ids [0, n_qps) dealt round-robin: QP q lives on
+  /// core q % n_cores. The layout every EREW partitioned server uses.
+  static CoreAffinityMap round_robin(std::uint32_t n_cores,
+                                     std::uint32_t n_qps) {
+    if (n_cores == 0) {
+      throw std::invalid_argument("CoreAffinityMap: n_cores must be > 0");
+    }
+    CoreAffinityMap m;
+    m.qps_of_core_.resize(n_cores);
+    m.core_of_qp_.resize(n_qps);
+    for (std::uint32_t q = 0; q < n_qps; ++q) {
+      std::uint32_t c = q % n_cores;
+      m.core_of_qp_[q] = c;
+      m.qps_of_core_[c].push_back(q);
+    }
+    return m;
+  }
+
+  std::uint32_t n_cores() const {
+    return static_cast<std::uint32_t>(qps_of_core_.size());
+  }
+  std::uint32_t n_qps() const {
+    return static_cast<std::uint32_t>(core_of_qp_.size());
+  }
+
+  /// The core that owns QP `qp`.
+  std::uint32_t core_of(std::uint32_t qp) const {
+    return core_of_qp_.at(qp);
+  }
+  /// The QP ids core `core` owns, in ascending order.
+  const std::vector<std::uint32_t>& qps_of(std::uint32_t core) const {
+    return qps_of_core_.at(core);
+  }
+  bool owns(std::uint32_t core, std::uint32_t qp) const {
+    return qp < core_of_qp_.size() && core_of_qp_[qp] == core;
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> qps_of_core_;
+  std::vector<std::uint32_t> core_of_qp_;
 };
 
 }  // namespace herd::cluster

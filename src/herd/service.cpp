@@ -1,6 +1,7 @@
 #include "herd/service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <optional>
 #include <stdexcept>
@@ -25,6 +26,10 @@ HerdService::HerdService(cluster::Host& host, const HerdConfig& cfg,
     : host_(&host),
       cfg_(cfg),
       cpu_(cpu),
+      // One UD QP per server process, QP s pinned to core s. Built once and
+      // asserted against in the hot paths instead of re-derived ad hoc.
+      affinity_(cluster::CoreAffinityMap::round_robin(cfg.n_server_procs,
+                                                      cfg.n_server_procs)),
       region_(/*base=*/0, cfg.n_server_procs, cfg.n_clients, cfg.window),
       shard_map_(cfg.n_server_procs, cfg.replicate),
       client_ah_(cfg.n_clients, std::vector<verbs::Ah>(cfg.n_server_procs)),
@@ -219,6 +224,8 @@ void HerdService::crash_proc(std::uint32_t s) {
   p.pipeline.clear();
   p.parked.clear();
   p.tenant_queues.clear();
+  p.resp_chain.clear();  // unflushed responses die with the process
+  p.resp_coalesce = false;
   if (!cfg_.replicate) return;
 
   // Replicated mode: the replicas are process memory — gone too. (The
@@ -586,50 +593,64 @@ void HerdService::shed(std::uint32_t s, const Pending& p,
 
 void HerdService::on_recv_ready(std::uint32_t s) {
   Proc& p = *procs_[s];
-  verbs::Wc wc;
-  while (p.recv_cq->poll({&wc, 1}) == 1) {
-    if (wc.status != verbs::WcStatus::kSuccess) {
-      ++p.stats.bad_requests;
-      continue;
+  assert(affinity_.owns(s, s) && "EREW: proc s drains only its own QP's CQ");
+  // Batched CQ reaping: drain the whole backlog with wide polls (one
+  // cq_poll's worth of CQEs per call instead of one), admit everything,
+  // then kick the pipeline once for the batch.
+  std::array<verbs::Wc, 16> wcs;
+  bool admitted = false;
+  std::size_t n;
+  while ((n = p.recv_cq->poll(wcs)) > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const verbs::Wc& wc = wcs[i];
+      if (wc.status != verbs::WcStatus::kSuccess) {
+        ++p.stats.bad_requests;
+        continue;
+      }
+      std::uint64_t addr = wc.wr_id;
+      if (!p.alive) {
+        // Fail-stop over SEND/SEND: the message was consumed by the NIC but
+        // no process will ever see it. Repost so credits survive recovery.
+        ++p.stats.dropped_while_dead;
+        p.ud_qp->post_recv(
+            {.wr_id = addr, .sge = {addr, kRecvStride, scratch_mr_.lkey}});
+        continue;
+      }
+      auto buf = host_->memory().span(addr, kRecvStride);
+      // The payload sits past the GRH; byte_len includes the GRH.
+      auto frame =
+          buf.subspan(verbs::kGrhBytes, wc.byte_len - verbs::kGrhBytes);
+      auto req = decode_request(frame, cfg_.request_tokens, cfg_.replicate,
+                                cfg_.overload.enable);
+      if (!req) {
+        ++p.stats.bad_requests;
+        continue;
+      }
+      Pending pend;
+      pend.request = *req;
+      pend.value.assign(req->value.begin(), req->value.end());
+      pend.request.value = {};
+      pend.recv_addr = addr;
+      pend.recv_wr_id = wc.wr_id;
+      // Identify the client by the (port, QPN) of the sending UD QP —
+      // clients in SEND mode send requests from the same UD QP they receive
+      // responses on, which they registered via set_client_ah().
+      std::uint64_t sender =
+          (std::uint64_t{wc.src_port} << 32) | wc.src_qp;
+      auto it = sender_to_client_.find(sender);
+      if (it == sender_to_client_.end()) {
+        ++p.stats.bad_requests;
+        continue;
+      }
+      pend.client = it->second;
+      if (!try_admit(s, std::move(pend))) continue;  // shed at the door
+      admitted = true;
     }
-    std::uint64_t addr = wc.wr_id;
-    if (!p.alive) {
-      // Fail-stop over SEND/SEND: the message was consumed by the NIC but
-      // no process will ever see it. Repost so credits survive recovery.
-      ++p.stats.dropped_while_dead;
-      p.ud_qp->post_recv(
-          {.wr_id = addr, .sge = {addr, kRecvStride, scratch_mr_.lkey}});
-      continue;
-    }
-    auto buf = host_->memory().span(addr, kRecvStride);
-    // The payload sits past the GRH; byte_len includes the GRH.
-    auto frame = buf.subspan(verbs::kGrhBytes, wc.byte_len - verbs::kGrhBytes);
-    auto req = decode_request(frame, cfg_.request_tokens, cfg_.replicate,
-                              cfg_.overload.enable);
-    if (!req) {
-      ++p.stats.bad_requests;
-      continue;
-    }
-    Pending pend;
-    pend.request = *req;
-    pend.value.assign(req->value.begin(), req->value.end());
-    pend.request.value = {};
-    pend.recv_addr = addr;
-    pend.recv_wr_id = wc.wr_id;
-    // Identify the client by the (port, QPN) of the sending UD QP — clients
-    // in SEND mode send requests from the same UD QP they receive responses
-    // on, which they registered via set_client_ah().
-    std::uint64_t sender =
-        (std::uint64_t{wc.src_port} << 32) | wc.src_qp;
-    auto it = sender_to_client_.find(sender);
-    if (it == sender_to_client_.end()) {
-      ++p.stats.bad_requests;
-      continue;
-    }
-    pend.client = it->second;
-    if (!try_admit(s, std::move(pend))) continue;  // shed at the door
-    schedule_advance(s, 0);
   }
+  // One advance per drain: the pipeline self-reschedules while arrivals
+  // remain, so kicking it once per batch preserves the per-request
+  // pipelining while letting the whole batch's responses coalesce.
+  if (admitted) schedule_advance(s, 0);
 }
 
 void HerdService::schedule_advance(std::uint32_t s, sim::Tick extra_delay) {
@@ -696,9 +717,15 @@ void HerdService::advance(std::uint32_t s) {
                     : cpu_.dram_access;
   for (const Pending& d : done) {
     std::uint32_t accesses = d.request.is_put || d.request.is_delete ? 1 : 2;
-    cost += accesses * access_cost + cpu_.post_send;
+    cost += accesses * access_cost;
     if (cfg_.mode == RequestMode::kSendUd) cost += cpu_.post_recv;
   }
+  // Doorbell batching (§4.3): each quantum's responses are appended to the
+  // proc's open WR chain — a cheap WQE build, no doorbell. The quantum
+  // that finds the core's run queue drained behind it (or hits the chain
+  // cap) posts the whole chain; flush_responses() charges the one full
+  // post_send that rings the doorbell.
+  cost += static_cast<sim::Tick>(done.size()) * cpu_.post_send_chain_wqe;
 
   // The core finishes this batch later; if the process crashes in between,
   // the work dies with it (epoch mismatch) and retries re-drive it.
@@ -712,7 +739,19 @@ void HerdService::advance(std::uint32_t s) {
       tr->span(pp.core->name(), "mica_op", end - cost, end,
                std::to_string(done.size()) + " op(s)");
     }
+    // Coalescing window: every response this quantum produces (serves,
+    // redirects, replays) lands in resp_chain. The backlog lives in the
+    // core's run queue: while more quanta are stacked behind this one the
+    // chain stays open, and the last quantum of the backlog (core idle
+    // after it) rings the single doorbell for the whole run.
+    pp.resp_coalesce = true;
     for (const Pending& d : done) complete(s, d);
+    pp.resp_coalesce = false;
+    const bool backlog_drained =
+        pp.core->busy_until() <= host_->ctx().engine().now();
+    if (backlog_drained || pp.resp_chain.size() >= kRespChainCap) {
+      flush_responses(s);
+    }
   });
 
   if (!p.arrivals.empty() || !p.tenant_queues.empty()) {
@@ -1083,7 +1122,28 @@ void HerdService::post_response(std::uint32_t s, std::uint32_t client,
   wr.signaled = false;
   wr.inline_data = len <= cfg_.inline_threshold;
   wr.ah = verbs::Ah{ah.ctx, ah.qpn};
+  if (p.resp_coalesce) {
+    // Inside a scheduling quantum: accumulate; the burst-ending
+    // flush_responses() posts the accumulated WRs as one chain. The
+    // staging ring (response_ring slots) is far deeper than the chain cap,
+    // so slots stay live until the chained post captures/DMAs them.
+    p.resp_chain.push_back(wr);
+    return;
+  }
   p.ud_qp->post_send(wr);
+}
+
+void HerdService::flush_responses(std::uint32_t s) {
+  Proc& p = *procs_[s];
+  if (p.resp_chain.empty()) return;
+  assert(affinity_.owns(s, s) && "EREW: proc s posts only on its own QP");
+  ++p.stats.resp_chains;
+  p.stats.resp_chained += p.resp_chain.size();
+  // The per-WR WQE builds were charged by the quanta that produced the
+  // responses; the flush pays the one post_send that rings the doorbell.
+  p.core->charge(cpu_.post_send);
+  p.ud_qp->post_send(std::span<const verbs::SendWr>(p.resp_chain));
+  p.resp_chain.clear();
 }
 
 }  // namespace herd::core

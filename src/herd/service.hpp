@@ -75,6 +75,11 @@ class HerdService {
   /// their copies from kWrongEpoch redirects.
   const ShardMap& shards() const { return shard_map_; }
 
+  /// Core-to-QP ownership, pinned at construction: server process `s` runs
+  /// on core `s` and owns exactly UD QP `s` (EREW — no QP is ever shared
+  /// between cores, the precondition for Fig. 13's linear scaling).
+  const cluster::CoreAffinityMap& affinity() const { return affinity_; }
+
   /// Host memory the service needs (request region + staging rings).
   static std::uint64_t required_memory(const HerdConfig& cfg);
 
@@ -165,6 +170,9 @@ class HerdService {
     /// and before the dedup ring saw them (the client already retired the
     /// op, so no response is sent — the slot is simply re-armed).
     std::uint64_t shed_deadline = 0;
+    // Doorbell batching:
+    std::uint64_t resp_chains = 0;   // chained response posts (1 doorbell each)
+    std::uint64_t resp_chained = 0;  // responses carried by those chains
   };
   const ProcStats& proc_stats(std::uint32_t s) const;
   /// Process `s`'s admission gate (degraded-mode state, per-tenant tallies).
@@ -233,6 +241,13 @@ class HerdService {
     std::uint64_t advance_gen = 0;  // invalidates stale no-op timers
     std::uint64_t resp_base = 0;    // response staging ring
     std::uint32_t resp_slot = 0;
+    /// Response coalescing (§4.3 doorbell batching): while a burst of
+    /// queued arrivals is draining through the pipeline, post_response()
+    /// appends WRs here instead of ringing a doorbell per response; the
+    /// burst-ending quantum (or the chain cap) flushes the accumulated
+    /// responses as one WR chain — one doorbell for the whole burst.
+    std::vector<verbs::SendWr> resp_chain;
+    bool resp_coalesce = false;
     std::uint64_t recv_base = 0;    // SEND mode recv buffers
     bool alive = true;
     std::uint64_t epoch = 0;  // bumped at crash; stale core work bails
@@ -288,10 +303,19 @@ class HerdService {
   void drain_parked(std::uint32_t s);
   void post_response(std::uint32_t s, std::uint32_t client, RespStatus status,
                      std::span<const std::byte> value, std::uint32_t token);
+  /// Posts process `s`'s accumulated response chain as one post_send(span)
+  /// — one doorbell for the whole burst — and clears it.
+  void flush_responses(std::uint32_t s);
+
+  /// Longest response chain a proc accumulates before flushing mid-burst.
+  /// Bounds response latency under sustained load and keeps the chain far
+  /// below the staging ring and send-queue depths.
+  static constexpr std::size_t kRespChainCap = 16;
 
   cluster::Host* host_;
   HerdConfig cfg_;
   cluster::CpuModel cpu_;
+  cluster::CoreAffinityMap affinity_;
   RequestRegion region_;
   ShardMap shard_map_;
   verbs::Mr region_mr_{};

@@ -1,0 +1,79 @@
+// Per-core MICA partitioning (§4.1, Fig. 13).
+//
+// HERD shards the key space into EREW partitions, one per server core: each
+// core owns one MICA instance outright, so no lock, cache line, or log tail
+// is ever shared between cores. The *machine* has one memory budget, though
+// — 4 GB of log and a fixed index in the paper — and the per-core instances
+// must split it, not multiply it. This helper turns a machine-wide
+// MicaCache::Config into the per-partition configs a service or bench
+// builds its replicas from, keeping the arithmetic (and its rounding rules)
+// in one checkable place instead of scattered across call sites.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "kv/mica_cache.hpp"
+
+namespace herd::kv {
+
+/// A machine-wide MICA budget divided across `n_partitions` cores.
+class PartitionPlan {
+ public:
+  /// Splits `machine` evenly: each partition gets 1/n of the log bytes and
+  /// 1/n of the index buckets (bucket_count_log2 shrinks by ceil(log2 n),
+  /// floored at 1 so tiny budgets still index). Seeds are derived per
+  /// partition (partition 0 keeps the machine seed) so identical keys hash
+  /// to different ways in different partitions — the same decorrelation a
+  /// per-process seed gives the real system. Throws if `n_partitions` is 0.
+  static PartitionPlan split(const MicaCache::Config& machine,
+                             std::uint32_t n_partitions) {
+    if (n_partitions == 0) {
+      throw std::invalid_argument("PartitionPlan: n_partitions must be > 0");
+    }
+    PartitionPlan plan;
+    plan.machine_ = machine;
+    std::uint32_t shift = 0;
+    while ((1u << shift) < n_partitions) ++shift;  // ceil(log2 n)
+    std::uint32_t buckets_log2 =
+        machine.bucket_count_log2 > shift ? machine.bucket_count_log2 - shift
+                                          : 1;
+    std::size_t log_each = machine.log_bytes / n_partitions;
+    plan.parts_.reserve(n_partitions);
+    for (std::uint32_t p = 0; p < n_partitions; ++p) {
+      MicaCache::Config c;
+      c.bucket_count_log2 = buckets_log2;
+      c.log_bytes = log_each;
+      c.seed = machine.seed + 0x9E3779B97F4A7C15ULL * p;
+      plan.parts_.push_back(c);
+    }
+    return plan;
+  }
+
+  std::uint32_t n_partitions() const {
+    return static_cast<std::uint32_t>(parts_.size());
+  }
+  /// The config partition `p` builds its MicaCache from.
+  const MicaCache::Config& partition(std::uint32_t p) const {
+    return parts_.at(p);
+  }
+  /// The machine-wide budget this plan divided.
+  const MicaCache::Config& machine() const { return machine_; }
+
+  /// Aggregate log bytes actually allotted (<= machine().log_bytes; the
+  /// remainder of the integer division is intentionally left unused rather
+  /// than given to one lucky partition — EREW partitions must be uniform
+  /// for Fig. 13's per-core scaling claim to hold).
+  std::size_t total_log_bytes() const {
+    std::size_t total = 0;
+    for (const auto& c : parts_) total += c.log_bytes;
+    return total;
+  }
+
+ private:
+  MicaCache::Config machine_{};
+  std::vector<MicaCache::Config> parts_;
+};
+
+}  // namespace herd::kv

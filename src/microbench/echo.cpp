@@ -1,5 +1,6 @@
 #include "microbench/echo.hpp"
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -168,11 +169,12 @@ void Deployment::client_done(Client& cc) {
 
 /// Reaps send completions as they land. At opt levels 0-1 every send is
 /// signaled; leaving the CQEs unread overruns the CQ ring (the contract
-/// checker flags it, and real hardware corrupts the ring).
+/// checker flags it, and real hardware corrupts the ring). Wide polls: one
+/// drain call reaps up to 16 CQEs.
 void drain_on_notify(verbs::Cq& cq) {
   cq.set_notify([&cq]() {
-    verbs::Wc wc;
-    while (cq.poll({&wc, 1}) == 1) {
+    std::array<verbs::Wc, 16> wcs;
+    while (cq.poll(wcs) > 0) {
     }
   });
 }
@@ -241,10 +243,15 @@ void Deployment::build(const cluster::ClusterConfig& cfg) {
           });
     } else {
       cc->rcq->set_notify([this, ccp = cc.get()]() {
-        verbs::Wc wc;
-        while (ccp->rcq->poll({&wc, 1}) == 1) {
-          if (wc.opcode != verbs::WcOpcode::kRecv) continue;
-          ccp->core->run(cpu.cq_poll, [this, ccp]() { client_done(*ccp); });
+        // Batched reap: one cq_poll charge covers each wide poll's drain.
+        std::array<verbs::Wc, 16> wcs;
+        std::size_t n;
+        while ((n = ccp->rcq->poll(wcs)) > 0) {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (wcs[i].opcode != verbs::WcOpcode::kRecv) continue;
+            sim::Tick cost = i == 0 ? cpu.cq_poll : 0;
+            ccp->core->run(cost, [this, ccp]() { client_done(*ccp); });
+          }
         }
       });
     }
@@ -270,16 +277,21 @@ void Deployment::build(const cluster::ClusterConfig& cfg) {
     (void)rbase;
     for (std::uint32_t s = 0; s < opts.n_server_procs; ++s) {
       procs[s].rcq->set_notify([this, s]() {
-        verbs::Wc wc;
-        while (procs[s].rcq->poll({&wc, 1}) == 1) {
-          if (wc.opcode != verbs::WcOpcode::kRecv) continue;
-          auto c = static_cast<std::uint32_t>(wc.wr_id >> 16);
-          auto w = static_cast<std::uint32_t>(wc.wr_id & 0xffff);
-          // Repost happens inside serve()'s charged CPU cost.
-          std::uint64_t buf = req_base(c, w);
-          server_qps[c]->post_recv(
-              {.wr_id = wc.wr_id, .sge = {buf, kSlot, smr.lkey}});
-          serve(s, c);
+        // Batched CQ reaping: drain the backlog in wide polls.
+        std::array<verbs::Wc, 16> wcs;
+        std::size_t n;
+        while ((n = procs[s].rcq->poll(wcs)) > 0) {
+          for (std::size_t i = 0; i < n; ++i) {
+            const verbs::Wc& wc = wcs[i];
+            if (wc.opcode != verbs::WcOpcode::kRecv) continue;
+            auto c = static_cast<std::uint32_t>(wc.wr_id >> 16);
+            auto w = static_cast<std::uint32_t>(wc.wr_id & 0xffff);
+            // Repost happens inside serve()'s charged CPU cost.
+            std::uint64_t buf = req_base(c, w);
+            server_qps[c]->post_recv(
+                {.wr_id = wc.wr_id, .sge = {buf, kSlot, smr.lkey}});
+            serve(s, c);
+          }
         }
       });
     }

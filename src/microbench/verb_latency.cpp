@@ -1,5 +1,6 @@
 #include "microbench/verb_latency.hpp"
 
+#include <array>
 #include <memory>
 
 #include "microbench/microbench.hpp"
@@ -47,12 +48,15 @@ double signaled_latency(cluster::Cluster& cl, verbs::Opcode opcode,
     cqp->post_send(wr);
   };
   scq->set_notify([&]() {
-    verbs::Wc wc;
-    while (scq->poll({&wc, 1}) == 1) {
-      hist.record(eng.now() - posted);
-      if (--remaining > 0) {
-        // Small think time so consecutive ops don't overlap.
-        eng.schedule_after(sim::ns(100), post);
+    std::array<verbs::Wc, 4> wcs;
+    std::size_t n;
+    while ((n = scq->poll(wcs)) > 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        hist.record(eng.now() - posted);
+        if (--remaining > 0) {
+          // Small think time so consecutive ops don't overlap.
+          eng.schedule_after(sim::ns(100), post);
+        }
       }
     }
   });

@@ -30,6 +30,7 @@ namespace herd::pcie {
 struct PcieCounters {
   obs::Counter pio_writes;
   obs::Counter pio_cachelines;  // write-combining slots consumed
+  obs::Counter doorbells;       // send-queue doorbell rings (one per chain)
   obs::Counter dma_reads;
   obs::Counter dma_read_bytes;
   obs::Counter dma_writes;
@@ -95,6 +96,16 @@ class PcieLink {
     return adm.done + cfg_.pio_latency;
   }
 
+  /// Rings a send-queue doorbell: one PIO transaction of `bytes` (the first
+  /// WQE of a chain, possibly with inlined payload). The rest of a chained
+  /// post never touches the PIO path — the device fetches the linked WQEs
+  /// with DMA reads — so the doorbell count, not the WQE count, is what the
+  /// PIO path scales with.
+  sim::Tick doorbell(std::uint32_t bytes) {
+    ++counters_.doorbells;
+    return pio_write(bytes);
+  }
+
   /// A DMA transaction: the engine is free to accept the next transaction at
   /// `free` (occupancy end); the data is visible/available at `visible`
   /// (occupancy + propagation latency). Chaining a second transaction of the
@@ -157,6 +168,7 @@ class PcieLink {
   void register_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
     reg.link(prefix + ".pio_writes", &counters_.pio_writes);
     reg.link(prefix + ".pio_cachelines", &counters_.pio_cachelines);
+    reg.link(prefix + ".doorbells", &counters_.doorbells);
     reg.link(prefix + ".dma_reads", &counters_.dma_reads);
     reg.link(prefix + ".dma_read_bytes", &counters_.dma_read_bytes);
     reg.link(prefix + ".dma_writes", &counters_.dma_writes);

@@ -23,6 +23,7 @@ enum class Role : std::uint8_t { kRequester, kResponder };
 struct RnicCounters {
   obs::Counter tx_ops;
   obs::Counter rx_ops;
+  obs::Counter wqe_fetches;      // linked WQEs pulled over PCIe (chained posts)
   obs::Counter retransmissions;  // RC hardware retransmits (wire loss)
   obs::Counter retry_exhausted;  // RC gave up after retry_cnt attempts
   obs::Counter rnr_drops;        // SEND arrived with empty receive queue
@@ -78,6 +79,7 @@ class Rnic {
   void register_metrics(obs::MetricRegistry& reg, const std::string& prefix) {
     reg.link(prefix + ".tx_ops", &counters_.tx_ops);
     reg.link(prefix + ".rx_ops", &counters_.rx_ops);
+    reg.link(prefix + ".wqe_fetches", &counters_.wqe_fetches);
     reg.link(prefix + ".retransmissions", &counters_.retransmissions);
     reg.link(prefix + ".retry_exhausted", &counters_.retry_exhausted);
     reg.link(prefix + ".rnr_drops", &counters_.rnr_drops);

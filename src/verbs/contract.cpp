@@ -33,6 +33,12 @@ std::string_view contract_rule_name(ContractRule rule) {
       return "ud-recv-no-grh-room";
     case ContractRule::kMrInvalid:
       return "mr-invalid";
+    case ContractRule::kChainTooLong:
+      return "chain-too-long";
+    case ContractRule::kChainCqOverrun:
+      return "chain-cq-overrun";
+    case ContractRule::kChainOpcodeHidden:
+      return "chain-opcode-hidden";
   }
   return "unknown";
 }
@@ -75,6 +81,71 @@ struct Findings {
 };
 
 }  // namespace
+
+void ContractChecker::on_post_chain(const Qp& qp,
+                                    std::span<const SendWr> chain) {
+  // A chain of one is exactly a single-WR post; the per-WR rules cover it
+  // without double-recording.
+  if (chain.size() < 2) return;
+  const QpAttr& attr = qp.attr();
+  const std::uint32_t qpn = qp.qpn();
+  Findings f;
+
+  const bool flushing = qp.state() != QpState::kReady;
+  const auto len = static_cast<std::uint32_t>(chain.size());
+  if (!flushing) {
+    // The whole chain must fit the send queue's free depth at once — the
+    // incremental per-WR check only trips after the queue already wrapped.
+    const std::uint32_t inflight = qp_accounts_[&qp].sq_inflight;
+    if (inflight + len > attr.max_send_wr) {
+      f.add(ContractRule::kChainTooLong, qpn, chain.front().wr_id,
+            "chain of " + std::to_string(len) + " WRs + " +
+                std::to_string(inflight) + " in flight > max_send_wr " +
+                std::to_string(attr.max_send_wr));
+    }
+    // Transport-illegal opcodes past position 0: sequential posting would
+    // put the legal prefix on the wire before the reject surfaces, so the
+    // application must hear about it at chain-build time.
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      const SendWr& wr = chain[i];
+      const bool illegal =
+          (attr.transport == Transport::kUd && wr.opcode != Opcode::kSend) ||
+          (attr.transport == Transport::kUc && wr.opcode == Opcode::kRead);
+      if (illegal) {
+        f.add(ContractRule::kChainOpcodeHidden, qpn, wr.wr_id,
+              std::string(wr.opcode == Opcode::kRead ? "READ" : "WRITE") +
+                  " hidden at chain position " + std::to_string(i) +
+                  " on a " +
+                  (attr.transport == Transport::kUd ? "UD" : "UC") +
+                  " QP (Table 1)");
+      }
+    }
+  }
+
+  // Per-chain selective-signaling accounting: every signaled WR (or, on a
+  // flushing QP, every WR — error completions ignore signaling) claims a
+  // CQE slot the moment the chain posts.
+  if (attr.send_cq != nullptr) {
+    std::uint32_t demand = 0;
+    for (const SendWr& wr : chain) {
+      if (flushing || wr.signaled) ++demand;
+    }
+    const CqAccount& a = account(*attr.send_cq);
+    if (demand > 0 && a.queued + a.reserved + demand > a.capacity) {
+      f.add(ContractRule::kChainCqOverrun, qpn, chain.front().wr_id,
+            "chain reserves " + std::to_string(demand) +
+                " CQEs on a send CQ holding " + std::to_string(a.queued) +
+                " + " + std::to_string(a.reserved) +
+                " reserved of capacity " + std::to_string(a.capacity));
+    }
+  }
+
+  if (!f.list.empty()) {
+    for (const auto& v : f.list) record(v);
+    // Fail-fast rejects the whole chain before any WR reaches the hardware.
+    if (mode_ == Mode::kFailFast) throw ContractError(f.list.front());
+  }
+}
 
 void ContractChecker::on_post_send(const Qp& qp, const SendWr& wr) {
   const QpAttr& attr = qp.attr();

@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -53,10 +54,17 @@ enum class ContractRule : std::uint8_t {
                       // arithmetic the paper's recipe depends on)
   kUdRecvNoGrhRoom,   // UD RECV buffer smaller than the 40 B GRH
   kMrInvalid,         // MR registration with a zero-length range
+  kChainTooLong,      // WR chain longer than the free send-queue depth
+  kChainCqOverrun,    // whole-chain CQE demand exceeds the send CQ's room
+                      // (per-chain selective-signaling arithmetic: every
+                      // signaled WR of the chain reserves a slot at once)
+  kChainOpcodeHidden, // transport-illegal opcode at position >= 1 of a
+                      // chain: sequential posting would land the prefix on
+                      // the hardware before the reject surfaces
 };
 
 inline constexpr std::size_t kContractRuleCount =
-    static_cast<std::size_t>(ContractRule::kMrInvalid) + 1;
+    static_cast<std::size_t>(ContractRule::kChainOpcodeHidden) + 1;
 
 /// Stable short name, e.g. "qp-not-ready", "cq-overrun".
 std::string_view contract_rule_name(ContractRule rule);
@@ -93,6 +101,13 @@ class ContractChecker {
   void set_mode(Mode mode) { mode_ = mode; }
 
   // --- Verb-layer hooks (called by Qp/Cq/Context when attached) -----------
+  /// Whole-chain validation, called once per post_send(span) BEFORE any WR
+  /// of the chain acts: chain length against the send queue's remaining
+  /// depth, the chain's aggregate CQE demand against the send CQ, and
+  /// transport-illegal opcodes hidden past position 0 (the per-WR hook
+  /// would only reject those after the prefix already posted). Single-WR
+  /// chains are fully covered by the per-WR rules and skip these.
+  void on_post_chain(const Qp& qp, std::span<const SendWr> chain);
   void on_post_send(const Qp& qp, const SendWr& wr);
   void on_post_recv(const Qp& qp, const RecvWr& wr);
   void on_register_mr(std::uint64_t addr, std::uint64_t length);

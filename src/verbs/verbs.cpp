@@ -193,55 +193,96 @@ WcOpcode Qp::wc_opcode(Opcode op) const {
   }
 }
 
-void Qp::post_send(const SendWr& wr) {
+void Qp::post_send(std::span<const SendWr> chain) {
+  if (chain.empty()) return;
   const auto& cal = ctx_->rnic().cal();
-  // Contract validation first: fail-fast throws here, before the model acts.
-  if (auto* ck = ctx_->contract()) ck->on_post_send(*this, wr);
-  if (state_ == QpState::kError) {
-    // WRs posted to an errored QP are flushed: an immediate error CQE,
-    // regardless of signaling, with no wire activity.
-    deliver_requester_completion(wr, WcStatus::kWrFlushErr,
-                                 ctx_->engine().now());
-    return;
-  }
-  // Table 1 legality.
-  if (attr_.transport == Transport::kUd && wr.opcode != Opcode::kSend) {
-    throw std::invalid_argument("post_send: UD supports SEND only (Table 1)");
-  }
-  if (attr_.transport == Transport::kUc && wr.opcode == Opcode::kRead) {
-    throw std::invalid_argument("post_send: UC does not support READ (Table 1)");
-  }
-  if (attr_.transport == Transport::kUd) {
-    if (wr.ah.ctx == nullptr) {
-      throw std::invalid_argument("post_send: UD send needs an address handle");
+  // Chain-level contract rules first (length vs SQ depth, whole-chain CQE
+  // arithmetic, illegal opcodes hidden mid-chain): fail-fast throws before
+  // any prefix of the chain reaches the hardware.
+  if (auto* ck = ctx_->contract()) ck->on_post_chain(*this, chain);
+  ctx_->chain_len_.record(static_cast<sim::Tick>(chain.size()));
+
+  // One doorbell per chain: the first non-READ WR pays the PIO transaction
+  // and the linked rest are WQE fetches on the DMA-read path. Posting is
+  // sequential, so an invalid WR throws after the WRs before it posted —
+  // the ibv_post_send bad_wr contract.
+  sim::Tick doorbell_done = 0;
+  for (const SendWr& wr : chain) {
+    // Per-WR contract accounting (SQ in-flight, CQE reserves) tracks each
+    // WR as it is accepted, exactly as under single-WR posting.
+    if (auto* ck = ctx_->contract()) ck->on_post_send(*this, wr);
+    if (state_ == QpState::kError) {
+      // WRs posted to an errored QP are flushed: an immediate error CQE,
+      // regardless of signaling, with no wire activity.
+      deliver_requester_completion(wr, WcStatus::kWrFlushErr,
+                                   ctx_->engine().now());
+      continue;
     }
-  } else if (remote_ == nullptr) {
-    throw std::logic_error("post_send: QP not connected");
-  }
-  if (wr.inline_data) {
+    // Table 1 legality.
+    if (attr_.transport == Transport::kUd && wr.opcode != Opcode::kSend) {
+      throw std::invalid_argument("post_send: UD supports SEND only (Table 1)");
+    }
+    if (attr_.transport == Transport::kUc && wr.opcode == Opcode::kRead) {
+      throw std::invalid_argument("post_send: UC does not support READ (Table 1)");
+    }
+    if (attr_.transport == Transport::kUd) {
+      if (wr.ah.ctx == nullptr) {
+        throw std::invalid_argument("post_send: UD send needs an address handle");
+      }
+    } else if (remote_ == nullptr) {
+      throw std::logic_error("post_send: QP not connected");
+    }
+    if (wr.inline_data) {
+      if (wr.opcode == Opcode::kRead) {
+        throw std::invalid_argument("post_send: cannot inline a READ");
+      }
+      if (wr.sge.length > cal.max_inline) {
+        throw std::invalid_argument("post_send: inline payload exceeds max_inline");
+      }
+    }
+    if (wr.sge.length > 0 &&
+        !ctx_->check_local_access(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
+      throw std::invalid_argument("post_send: bad lkey / local bounds");
+    }
+
+    if (!wr.signaled) ctx_->rnic().unsignaled_inc();
+
     if (wr.opcode == Opcode::kRead) {
-      throw std::invalid_argument("post_send: cannot inline a READ");
+      // READs are never doorbell-coalesced: the outstanding-READ window may
+      // hold them long past this post, so each rings when it issues.
+      start_read(wr);
+      continue;
     }
-    if (wr.sge.length > cal.max_inline) {
-      throw std::invalid_argument("post_send: inline payload exceeds max_inline");
-    }
+#ifdef HERD_NO_DOORBELL_BATCH
+    // Canary build: forget the previous doorbell so every WR rings its own
+    // PIO transaction — the pre-batching cost model the fig04 bench_compare
+    // gate must catch.
+    doorbell_done = 0;
+#endif
+    post_chained(wr, doorbell_done);
   }
-  if (wr.sge.length > 0 &&
-      !ctx_->check_local_access(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
-    throw std::invalid_argument("post_send: bad lkey / local bounds");
+}
+
+void Qp::post_chained(const SendWr& wr, sim::Tick& doorbell_done) {
+  sim::Tick wqe_ready;   // WQE contents known to the device (gates execution)
+  sim::Tick wqe_free;    // fetch engine free again (gates the payload read)
+  if (doorbell_done == 0) {
+    // The doorbell WR: its WQE (with any inlined payload) travels in the
+    // PIO write itself.
+    doorbell_done = ctx_->pcie().doorbell(wqe_bytes(wr));
+    wqe_ready = doorbell_done;
+    wqe_free = doorbell_done;
+  } else {
+    // A linked WQE: the device pulls it from the host send queue with a
+    // non-posted DMA read once the doorbell told it the chain exists.
+    ++ctx_->rnic().counters().wqe_fetches;
+    auto fetch = ctx_->pcie().dma_read(doorbell_done, wqe_bytes(wr));
+    wqe_ready = fetch.visible;
+    wqe_free = fetch.free;
   }
-
-  if (!wr.signaled) ctx_->rnic().unsignaled_inc();
-
-  if (wr.opcode == Opcode::kRead) {
-    start_read(wr);
-    return;
-  }
-
-  // PIO the WQE to the device. Inline payloads are captured *now* — the
-  // application buffer is reusable as soon as post_send returns (a real
-  // inline-WQE property that HERD's clients depend on).
-  sim::Tick pio_done = ctx_->pcie().pio_write(wqe_bytes(wr));
+  // Inline payloads are captured *now* — the application buffer is reusable
+  // as soon as post_send returns (a real inline-WQE property that HERD's
+  // clients depend on).
   if (wr.inline_data || wr.sge.length == 0) {
     std::vector<std::byte> payload;
     if (wr.sge.length > 0) {
@@ -249,13 +290,17 @@ void Qp::post_send(const SendWr& wr) {
       payload.assign(src.begin(), src.end());
     }
     ctx_->engine().schedule_at(
-        sq_order(pio_done), [this, wr, p = std::move(payload)]() mutable {
+        sq_order(wqe_ready), [this, wr, p = std::move(payload)]() mutable {
           tx_stage(wr, std::move(p), ctx_->engine().now());
         });
   } else {
     // Non-inline: the device fetches the payload with a DMA read; the buffer
-    // contents are sampled at DMA time, not post time.
-    sim::Tick dma_done = ctx_->pcie().dma_read(pio_done, wr.sge.length).visible;
+    // contents are sampled at DMA time, not post time. The read chains off
+    // the WQE fetch's `free` tick, not `visible`: the DMA engine pipelines
+    // back-to-back transactions, so a chain pays the 400ns read round-trip
+    // once as latency, never per WR as throughput.
+    sim::Tick dma_done =
+        ctx_->pcie().dma_read(wqe_free, wr.sge.length).visible;
     ctx_->engine().schedule_at(sq_order(dma_done), [this, wr]() {
       auto src = ctx_->memory().span(wr.sge.addr, wr.sge.length);
       std::vector<std::byte> payload(src.begin(), src.end());
@@ -274,7 +319,7 @@ void Qp::start_read(SendWr wr) {
 
 void Qp::issue_read(SendWr wr) {
   ++outstanding_reads_;
-  sim::Tick pio_done = ctx_->pcie().pio_write(wqe_bytes(wr));
+  sim::Tick pio_done = ctx_->pcie().doorbell(wqe_bytes(wr));
   ctx_->engine().schedule_at(sq_order(pio_done), [this, wr]() {
     tx_stage(wr, {}, ctx_->engine().now());
   });

@@ -27,6 +27,7 @@
 #include "pcie/pcie.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/engine.hpp"
+#include "sim/stats.hpp"
 #include "verbs/contract.hpp"
 #include "verbs/memory.hpp"
 #include "verbs/types.hpp"
@@ -104,10 +105,26 @@ class Qp {
   void connect(Qp& remote);
   bool connected() const { return remote_ != nullptr; }
 
-  /// Posts a send-queue verb. Throws std::invalid_argument for combinations
-  /// that Table 1 forbids (READ on UC/UD, WRITE on UD), oversized inline
-  /// payloads, UD sends without an address handle, or unconnected RC/UC QPs.
-  void post_send(const SendWr& wr);
+  /// Posts a chain of send-queue verbs with ONE doorbell: the first WQE
+  /// rides the PIO doorbell transaction (pcie.doorbells), the linked rest
+  /// are fetched by the device over DMA (rnic.wqe_fetches). This is the
+  /// posting surface: hot loops should accumulate WRs and post once.
+  ///
+  /// Semantics mirror ibv_post_send with a linked wr list:
+  ///  * WRs execute in chain order (send-queue FIFO; a later WR never
+  ///    overtakes an earlier one still fetching its WQE or payload).
+  ///  * Validation is sequential: a bad WR throws std::invalid_argument
+  ///    (Table 1 legality, oversized inline, missing AH, unconnected
+  ///    RC/UC, bad lkey) after the WRs before it were already posted —
+  ///    exactly ibverbs' bad_wr contract. The chain-aware contract rules
+  ///    (enable_contract) flag illegal opcodes *before* the prefix posts.
+  ///  * READ WRs are never doorbell-coalesced: the outstanding-READ window
+  ///    (§3.2.2) may defer them long past this doorbell, so each issues
+  ///    with its own PIO transaction when flow control releases it.
+  void post_send(std::span<const SendWr> chain);
+
+  /// Single-WR convenience wrapper over the chain API (a chain of one).
+  void post_send(const SendWr& wr) { post_send({&wr, 1}); }
 
   void post_recv(const RecvWr& wr);
   std::size_t recv_queue_depth() const { return recv_queue_.size(); }
@@ -116,6 +133,11 @@ class Qp {
   friend class Context;
 
   struct Inbound;  // a message arriving at the responder side
+
+  /// Posts one non-READ WR of a chain. `doorbell_done` is 0 until the
+  /// chain's doorbell PIO is paid (by the first non-READ WR); later WRs
+  /// chain WQE DMA fetches off it instead of ringing again.
+  void post_chained(const SendWr& wr, sim::Tick& doorbell_done);
 
   // Flow stages.
   void tx_stage(SendWr wr, std::vector<std::byte> payload, sim::Tick ready);
@@ -209,6 +231,13 @@ class Context {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() { return tracer_; }
 
+  /// WR-chain length per post_send across every QP on this context (the
+  /// value recorded is a count, not a latency). A mean near 1 in a hot path
+  /// means the doorbell-batching API is being paid for and not used.
+  const sim::LatencyHistogram& chain_len_histogram() const {
+    return chain_len_;
+  }
+
  private:
   friend class Qp;
   std::uint32_t next_qpn_ = 1;
@@ -221,6 +250,7 @@ class Context {
   std::uint32_t port_;
   HostMemory* memory_;
   obs::Tracer* tracer_ = nullptr;
+  sim::LatencyHistogram chain_len_;
   std::unique_ptr<ContractChecker> contract_;
   std::unordered_map<std::uint32_t, Qp*> qps_;
   std::unordered_map<std::uint32_t, Mr> mrs_by_rkey_;

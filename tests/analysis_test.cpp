@@ -420,6 +420,79 @@ TEST(LegacyRules, RawNewOnlyInSimPaths) {
   EXPECT_TRUE(b.violations().empty());
 }
 
+TEST(ChainPost, PerWrLoopIsFlagged) {
+  Engine engine;
+  engine.add_file("src/herd/s.cpp",
+                  "void f(Qp& qp, const std::vector<Wr>& done) {\n"
+                  "  for (const Wr& wr : done) {\n"
+                  "    qp.post_send(wr);\n"
+                  "  }\n"
+                  "}\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "chain-post");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].line, 3u);
+}
+
+TEST(ChainPost, BracelessLoopBodyIsFlagged) {
+  Engine engine;
+  engine.add_file("src/herd/s.cpp",
+                  "void f(Qp& qp, const Wr& wr, int n) {\n"
+                  "  while (n-- > 0)\n"
+                  "    qp.post_send(wr);\n"
+                  "}\n");
+  engine.run();
+  ASSERT_EQ(rule_violations(engine, "chain-post").size(), 1u);
+}
+
+TEST(ChainPost, ChainedSpanPostInLoopIsClean) {
+  Engine engine;
+  engine.add_file(
+      "src/herd/s.cpp",
+      "void f(Qp& qp, const std::vector<Wr>& batch) {\n"
+      "  while (more()) {\n"
+      "    qp.post_send(std::span<const Wr>(batch));\n"
+      "  }\n"
+      "}\n");
+  engine.run();
+  EXPECT_TRUE(rule_violations(engine, "chain-post").empty());
+}
+
+TEST(ChainPost, SinglePostOutsideLoopIsClean) {
+  Engine engine;
+  engine.add_file("src/herd/s.cpp",
+                  "void f(Qp& qp, const Wr& wr) {\n"
+                  "  qp.post_send(wr);\n"
+                  "}\n");
+  engine.run();
+  EXPECT_TRUE(rule_violations(engine, "chain-post").empty());
+}
+
+TEST(ChainPost, PostAfterLoopClosesIsClean) {
+  Engine engine;
+  engine.add_file("src/herd/s.cpp",
+                  "void f(Qp& qp, const std::vector<Wr>& done) {\n"
+                  "  for (const Wr& wr : done) {\n"
+                  "    stage(wr);\n"
+                  "  }\n"
+                  "  qp.post_send(done.front());\n"
+                  "}\n");
+  engine.run();
+  EXPECT_TRUE(rule_violations(engine, "chain-post").empty());
+}
+
+TEST(ChainPost, OnlyHerdPathsAreChecked) {
+  Engine engine;
+  engine.add_file("src/microbench/s.cpp",
+                  "void f(Qp& qp, const Wr& wr, int n) {\n"
+                  "  for (int i = 0; i < n; ++i) {\n"
+                  "    qp.post_send(wr);\n"
+                  "  }\n"
+                  "}\n");
+  engine.run();
+  EXPECT_TRUE(rule_violations(engine, "chain-post").empty());
+}
+
 TEST(Sarif, WellFormedAndEscaped) {
   std::vector<Violation> vs;
   vs.push_back({"src/a.hpp", 7, "wire-symmetry", "detail with \"quotes\""});

@@ -482,5 +482,104 @@ TEST(ContractCleanRun, SignaledEchoBenchIsViolationFree) {
                                         opts, sim::ms(1)));
 }
 
+// ---------------------------------------------------------------------------
+// Chain rules: WR chains must fit the send queue, reserve their CQEs up
+// front, and carry no transport-illegal opcode hidden past position 0.
+
+TEST_F(ContractTest, FlagsChainLongerThanSendQueue) {
+  QpAttr attr;
+  attr.max_send_wr = 4;
+  auto a = make(0, Transport::kUc, attr);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+
+  std::vector<SendWr> chain(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    chain[i].opcode = Opcode::kWrite;
+    chain[i].wr_id = 40 + i;
+    chain[i].sge = {0, 32, a.mr.lkey};
+    chain[i].remote_addr = 4096;
+    chain[i].rkey = b.mr.rkey;
+    chain[i].signaled = false;
+  }
+  a.qp->post_send(std::span<const SendWr>(chain));
+  EXPECT_EQ(checker(0).count(ContractRule::kChainTooLong), 1u);
+  EXPECT_EQ(checker(0).violations().front().format(),
+            "[chain-too-long] qp 1 wr 40: chain of 8 WRs + 0 in flight > "
+            "max_send_wr 4");
+}
+
+TEST_F(ContractTest, FlagsChainCqeDemandOverCqCapacity) {
+  auto& ctx = cl_.host(0).ctx();
+  auto scq = ctx.create_cq(/*capacity=*/2);
+  auto rcq = ctx.create_cq();
+  auto qp = ctx.create_qp({Transport::kUc, scq.get(), rcq.get()});
+  auto mr = ctx.register_mr(0, 64 << 10, {});
+  auto b = make(1, Transport::kUc);
+  qp->connect(*b.qp);
+
+  std::vector<SendWr> chain(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    chain[i].opcode = Opcode::kWrite;
+    chain[i].wr_id = 50 + i;
+    chain[i].sge = {0, 32, mr.lkey};
+    chain[i].remote_addr = 4096;
+    chain[i].rkey = b.mr.rkey;
+    chain[i].signaled = true;  // all four claim a CQE on a 2-slot CQ
+  }
+  qp->post_send(std::span<const SendWr>(chain));
+  EXPECT_EQ(checker(0).count(ContractRule::kChainCqOverrun), 1u);
+  EXPECT_EQ(checker(0).violations().front().format(),
+            "[chain-cq-overrun] qp 1 wr 50: chain reserves 4 CQEs on a "
+            "send CQ holding 0 + 0 reserved of capacity 2");
+}
+
+TEST_F(ContractTest, FlagsIllegalOpcodeHiddenMidChain) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+
+  std::vector<SendWr> chain(2);
+  chain[0].opcode = Opcode::kWrite;
+  chain[0].wr_id = 60;
+  chain[0].sge = {0, 32, a.mr.lkey};
+  chain[0].remote_addr = 4096;
+  chain[0].rkey = b.mr.rkey;
+  chain[0].signaled = false;
+  chain[1].opcode = Opcode::kRead;  // Table 1: no READ on UC — hidden at 1
+  chain[1].wr_id = 61;
+  chain[1].sge = {0, 32, a.mr.lkey};
+  chain[1].remote_addr = 4096;
+  chain[1].rkey = b.mr.rkey;
+
+  // The chain hook records at chain-build time; sequential posting then
+  // rejects the READ itself (per-WR Table 1 rule) after the legal prefix.
+  EXPECT_THROW(a.qp->post_send(std::span<const SendWr>(chain)),
+               std::invalid_argument);
+  EXPECT_EQ(checker(0).count(ContractRule::kChainOpcodeHidden), 1u);
+  EXPECT_EQ(checker(0).violations().front().format(),
+            "[chain-opcode-hidden] qp 1 wr 61: READ hidden at chain "
+            "position 1 on a UC QP (Table 1)");
+}
+
+TEST_F(ContractTest, ChainOfOneUsesOnlyPerWrRules) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {0, 32, a.mr.lkey};
+  wr.remote_addr = 4096;
+  wr.rkey = b.mr.rkey;
+  wr.signaled = true;
+  a.qp->post_send(std::span<const SendWr>(&wr, 1));
+  cl_.engine().run();
+  EXPECT_EQ(checker(0).count(ContractRule::kChainTooLong), 0u);
+  EXPECT_EQ(checker(0).count(ContractRule::kChainCqOverrun), 0u);
+  EXPECT_EQ(checker(0).count(ContractRule::kChainOpcodeHidden), 0u);
+  EXPECT_TRUE(checker(0).violations().empty());
+}
+
 }  // namespace
 }  // namespace herd::verbs

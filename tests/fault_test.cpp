@@ -297,8 +297,11 @@ TEST(HerdFaults, CrashFailoverGracefulDegradation) {
   auto during = bed.run(sim::ms(2), sim::ms(2));
   EXPECT_EQ(during.value_mismatches, 0u);
   EXPECT_GT(during.failovers + before.failovers, 0u);
+  // A crash now also loses the proc's open response chain (up to a
+  // coalescing window of WRs die unposted with it), so the degradation
+  // floor sits a touch below the pre-batching 0.9.
   EXPECT_GE(static_cast<double>(during.ops),
-            0.9 * static_cast<double>(before.ops));
+            0.85 * static_cast<double>(before.ops));
 
   // Recovery at 9 ms: process 0 rescans its region chunk; requests it finds
   // were often also failed over to process 1, so the duplicate-suppression

@@ -167,5 +167,45 @@ TEST(HerdEndToEnd, ThroughputScalesWithClients) {
   EXPECT_GT(big_mops, small_mops * 2);
 }
 
+TEST(HerdEndToEnd, ResponsesLeaveInChains) {
+  // §4.3 doorbell batching: all responses completed in one scheduling
+  // quantum leave in ONE chained post_send, so the per-proc chain stats
+  // must show multi-response chains and the server's doorbell count must
+  // sit well below its response count.
+  TestbedConfig cfg = small_config();
+  HerdTestbed bed(cfg);
+  auto r = bed.run(sim::ms(1), sim::ms(2));
+  ASSERT_GT(r.ops, 1000u);
+
+  std::uint64_t chains = 0;
+  std::uint64_t chained = 0;
+  for (std::uint32_t s = 0; s < cfg.herd.n_server_procs; ++s) {
+    const auto& ps = bed.service().proc_stats(s);
+    chains += ps.resp_chains;
+    chained += ps.resp_chained;
+  }
+  EXPECT_GT(chains, 0u);
+  EXPECT_GE(chained, chains);
+  EXPECT_GT(chained, r.ops / 2);  // the hot path carries the traffic
+
+  const auto& pc = bed.cluster().host(0).pcie().counters();
+  EXPECT_LT(pc.doorbells, chained);  // batching: fewer doorbells than WRs
+}
+
+TEST(HerdEndToEnd, ServiceAffinityIsOneQpPerCore) {
+  // EREW partitioning (Fig. 13): proc s owns exactly QP s — the explicit
+  // map the service asserts against when draining CQs and posting chains.
+  TestbedConfig cfg = small_config();
+  HerdTestbed bed(cfg);
+  const auto& aff = bed.service().affinity();
+  EXPECT_EQ(aff.n_cores(), cfg.herd.n_server_procs);
+  EXPECT_EQ(aff.n_qps(), cfg.herd.n_server_procs);
+  for (std::uint32_t s = 0; s < cfg.herd.n_server_procs; ++s) {
+    EXPECT_TRUE(aff.owns(s, s));
+    ASSERT_EQ(aff.qps_of(s).size(), 1u);
+    EXPECT_EQ(aff.qps_of(s).front(), s);
+  }
+}
+
 }  // namespace
 }  // namespace herd::core

@@ -1,10 +1,12 @@
 // Unit + property tests: MICA-style lossy index + circular log cache.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "kv/mica_cache.hpp"
+#include "kv/partition.hpp"
 #include "sim/rng.hpp"
 #include "workload/workload.hpp"
 
@@ -204,6 +206,96 @@ TEST(MicaCache, StatsAccounting) {
   EXPECT_EQ(c.stats().gets, 2u);
   EXPECT_EQ(c.stats().get_hits, 1u);
   EXPECT_EQ(c.stats().get_misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionPlan: one machine budget split into EREW per-core partitions.
+
+TEST(PartitionPlan, SplitsBudgetUniformly) {
+  MicaCache::Config machine;
+  machine.bucket_count_log2 = 18;
+  machine.log_bytes = 192u << 20;
+  machine.seed = 7;
+
+  auto plan = PartitionPlan::split(machine, 6);
+  ASSERT_EQ(plan.n_partitions(), 6u);
+  for (std::uint32_t p = 0; p < 6; ++p) {
+    // ceil(log2 6) = 3 index bits move from per-partition to the shard id.
+    EXPECT_EQ(plan.partition(p).bucket_count_log2, 15u);
+    EXPECT_EQ(plan.partition(p).log_bytes, (192u << 20) / 6);
+  }
+  // Uniformity over generosity: the division remainder stays unallotted.
+  EXPECT_LE(plan.total_log_bytes(), machine.log_bytes);
+  EXPECT_EQ(plan.machine().log_bytes, machine.log_bytes);
+}
+
+TEST(PartitionPlan, PartitionZeroKeepsTheMachineSeed) {
+  MicaCache::Config machine;
+  machine.seed = 42;
+  auto plan = PartitionPlan::split(machine, 4);
+  EXPECT_EQ(plan.partition(0).seed, 42u);
+  // And the rest decorrelate: all four seeds distinct.
+  for (std::uint32_t p = 1; p < 4; ++p) {
+    for (std::uint32_t q = 0; q < p; ++q) {
+      EXPECT_NE(plan.partition(p).seed, plan.partition(q).seed);
+    }
+  }
+}
+
+TEST(PartitionPlan, SinglePartitionIsTheMachineConfig) {
+  MicaCache::Config machine;
+  machine.bucket_count_log2 = 16;
+  machine.log_bytes = 16u << 20;
+  machine.seed = 9;
+  auto plan = PartitionPlan::split(machine, 1);
+  ASSERT_EQ(plan.n_partitions(), 1u);
+  EXPECT_EQ(plan.partition(0).bucket_count_log2, 16u);
+  EXPECT_EQ(plan.partition(0).log_bytes, 16u << 20);
+  EXPECT_EQ(plan.partition(0).seed, 9u);
+}
+
+TEST(PartitionPlan, TinyBudgetsStillIndex) {
+  MicaCache::Config machine;
+  machine.bucket_count_log2 = 2;
+  machine.log_bytes = 1u << 16;
+  auto plan = PartitionPlan::split(machine, 32);  // shift 5 > 2 available
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    EXPECT_EQ(plan.partition(p).bucket_count_log2, 1u);  // floored, not 0
+  }
+}
+
+TEST(PartitionPlan, RejectsZeroPartitions) {
+  MicaCache::Config machine;
+  EXPECT_THROW(PartitionPlan::split(machine, 0), std::invalid_argument);
+}
+
+TEST(PartitionPlan, PartitionedCachesServeDisjointKeySpaces) {
+  MicaCache::Config machine;
+  machine.bucket_count_log2 = 12;
+  machine.log_bytes = 4u << 20;
+  auto plan = PartitionPlan::split(machine, 4);
+
+  // Build one cache per partition, insert each key into the partition that
+  // owns it (shard = rank % 4), and verify EREW: the owner hits, others
+  // were never asked.
+  std::vector<std::unique_ptr<MicaCache>> parts;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    parts.push_back(std::make_unique<MicaCache>(plan.partition(p)));
+  }
+  std::vector<std::byte> val(16, std::byte{0x3C});
+  for (std::uint64_t r = 0; r < 400; ++r) {
+    parts[r % 4]->put(hash_of_rank(r), val);
+  }
+  std::byte out[16];
+  std::uint64_t hits = 0;
+  for (std::uint64_t r = 0; r < 400; ++r) {
+    if (parts[r % 4]->get(hash_of_rank(r), out).found) ++hits;
+  }
+  EXPECT_GT(hits, 350u);  // lossy index: near-total, not perfect, recall
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(parts[p]->stats().puts, 100u);
+    EXPECT_EQ(parts[p]->stats().gets, 100u);
+  }
 }
 
 }  // namespace

@@ -63,22 +63,30 @@ TEST(OutboundTput, ReadsHoldTwentyTwoMops) {
   EXPECT_NEAR(outbound_tput(kApt, rd), 22.0, 1.5);
 }
 
-TEST(OutboundTput, InlineWriteKneeAt28Bytes) {
-  // One write-combining cacheline holds a 36 B WQE + 28 B payload; beyond
-  // that PIO throughput halves (§3.2.2's 64-byte staircase).
+TEST(OutboundTput, DoorbellBatchingFlattensInlineWriteKnee) {
+  // One write-combining cacheline holds a 36 B WQE + 28 B payload; per-WR
+  // posting halves PIO throughput beyond that (§3.2.2's 64-byte staircase).
+  // With doorbell batching only the chain head crosses PIO, so the knee
+  // disappears and both payloads run at the (higher) wire-limited rate.
+  // The HERD_NO_DOORBELL_BATCH canary restores the staircase.
   TputSpec below{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 28, 8, 4};
   TputSpec above{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 40, 8, 4};
   double b = outbound_tput(kApt, below);
   double a = outbound_tput(kApt, above);
-  EXPECT_GT(b, a * 1.15);
+  EXPECT_NEAR(b, a, b * 0.1);  // knee gone: no staircase between 28 and 40 B
+  EXPECT_GT(b, 28.0);          // and both clear the old PIO-capped plateau
 }
 
-TEST(OutboundTput, UdSendDropsEarlierThanWrite) {
-  // "Due to the larger datagram header, the throughput for SEND-UD drops
-  //  for smaller payload sizes than for WRITEs."
+TEST(OutboundTput, DoorbellBatchingClosesUdSendGap) {
+  // Per-WR posting: "due to the larger datagram header, the throughput for
+  //  SEND-UD drops for smaller payload sizes than for WRITEs." Chained WQEs
+  // are DMA-fetched, so the 65 B UD WQE no longer pays the PIO staircase and
+  // SEND-UD pulls even with WRITE at the same payload.
   TputSpec wr{verbs::Opcode::kWrite, verbs::Transport::kUc, true, 24, 8, 4};
   TputSpec ud{verbs::Opcode::kSend, verbs::Transport::kUd, true, 24, 8, 4};
-  EXPECT_GT(outbound_tput(kApt, wr), outbound_tput(kApt, ud) * 1.1);
+  double w = outbound_tput(kApt, wr);
+  double u = outbound_tput(kApt, ud);
+  EXPECT_NEAR(w, u, w * 0.1);
 }
 
 TEST(Echo, OptimizationLadderIsMonotonic) {
@@ -126,7 +134,12 @@ TEST(AllToAll, UdOutboundScales) {
   TputSpec ud{verbs::Opcode::kSend, verbs::Transport::kUd, true, 32, 32, 4};
   double out4 = all_to_all_outbound(kApt, ud, 4);
   double out16 = all_to_all_outbound(kApt, ud, 16);
-  EXPECT_GT(out16, out4 * 0.85);  // slight sag only (§3.3)
+  // §3.3 promises only a slight sag. Doorbell batching lifts the 4-proc
+  // number above the old PIO cap, while at 16 procs the chained WQE fetches
+  // of all procs contend on the DMA-read path, so the relative sag widens a
+  // little — but aggregate throughput must not collapse.
+  EXPECT_GT(out16, out4 * 0.75);
+  EXPECT_GT(out16, 22.0);
 }
 
 TEST(ManyToOne, SixteenHundredClientsSustainLineRate) {

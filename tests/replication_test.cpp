@@ -44,11 +44,13 @@ TEST(Replication, SteadyStateForwardsAndAcksEveryMutation) {
   EXPECT_EQ(r.get_misses, 0u);
 
   obs::Snapshot rep = bed.snapshot();
-  // Every acked mutation went through the backup: forwards == acks, and
+  // Every acked mutation went through the backup: forwards == acks up to
+  // the handful in flight across the snapshot boundary (response batching
+  // holds acks in the proc's WR chain until the quantum's flush), and
   // nothing was acked degraded (both processes healthy throughout).
   EXPECT_GT(rep.value("service.repl_forwards"), 0u);
-  EXPECT_EQ(rep.value("service.repl_forwards"),
-            rep.value("service.repl_acks"));
+  EXPECT_NEAR(static_cast<double>(rep.value("service.repl_forwards")),
+              static_cast<double>(rep.value("service.repl_acks")), 2.0);
   EXPECT_GT(rep.value("service.repl_applies"), 0u);
   EXPECT_EQ(rep.value("service.repl_degraded"), 0u);
   EXPECT_EQ(rep.value("service.repl_dropped"), 0u);

@@ -3,8 +3,11 @@
 // behavior, READ flow control, inline semantics.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "verbs/verbs.hpp"
@@ -602,6 +605,223 @@ TEST_F(VerbsTest, PostRecvValidatesBuffer) {
                std::invalid_argument);
   EXPECT_THROW(b.qp->post_recv({.wr_id = 1, .sge = {0, 0, b.mr.lkey}}),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Doorbell/WQE batching: chained post_send.
+
+TEST_F(VerbsTest, ChainDeliversEveryWrInOrder) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+
+  std::vector<SendWr> chain(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    fill(0, i * 256, 64, static_cast<std::uint8_t>(0x10 * (i + 1)));
+    chain[i].opcode = Opcode::kWrite;
+    chain[i].wr_id = i;
+    chain[i].sge = {i * 256, 64, a.mr.lkey};
+    chain[i].remote_addr = 4096 + i * 256;
+    chain[i].rkey = b.mr.rkey;
+    chain[i].signaled = (i == 3);  // selective signaling: tail only
+  }
+  a.qp->post_send(std::span<const SendWr>(chain));
+  cl_.engine().run();
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(matches(1, 4096 + i * 256, 64,
+                        static_cast<std::uint8_t>(0x10 * (i + 1))));
+  }
+  auto wc = poll_one(*a.scq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->wr_id, 3u);
+  EXPECT_FALSE(poll_one(*a.scq).has_value());  // the rest were unsignaled
+}
+
+TEST_F(VerbsTest, ChainSameAddressLastWriterWins) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+
+  fill(0, 0, 32, 0xA0);
+  fill(0, 1024, 32, 0xB0);
+  std::vector<SendWr> chain(2);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    chain[i].opcode = Opcode::kWrite;
+    chain[i].wr_id = i;
+    chain[i].sge = {i * 1024, 32, a.mr.lkey};
+    chain[i].remote_addr = 8192;  // both target the same remote slot
+    chain[i].rkey = b.mr.rkey;
+    chain[i].signaled = (i == 1);
+  }
+  a.qp->post_send(std::span<const SendWr>(chain));
+  cl_.engine().run();
+  // SQ FIFO: position 1 executes after position 0.
+  EXPECT_TRUE(matches(1, 8192, 32, 0xB0));
+}
+
+TEST_F(VerbsTest, ChainRingsOneDoorbellAndFetchesTheRest) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+
+  const auto& pc = cl_.host(0).pcie().counters();
+  const auto& rc = cl_.host(0).rnic().counters();
+  const std::uint64_t db0 = pc.doorbells;
+  const std::uint64_t wf0 = rc.wqe_fetches;
+
+  std::vector<SendWr> chain(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    chain[i].opcode = Opcode::kWrite;
+    chain[i].wr_id = i;
+    chain[i].sge = {0, 32, a.mr.lkey};
+    chain[i].remote_addr = 4096;
+    chain[i].rkey = b.mr.rkey;
+    chain[i].inline_data = true;
+    chain[i].signaled = false;
+  }
+  a.qp->post_send(std::span<const SendWr>(chain));
+  cl_.engine().run();
+
+  EXPECT_EQ(pc.doorbells - db0, 1u);   // head of chain: one PIO doorbell
+  EXPECT_EQ(rc.wqe_fetches - wf0, 3u); // tail WQEs pulled by DMA
+}
+
+TEST_F(VerbsTest, PerWrPostsRingPerWrDoorbells) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+
+  const auto& pc = cl_.host(0).pcie().counters();
+  const auto& rc = cl_.host(0).rnic().counters();
+  const std::uint64_t db0 = pc.doorbells;
+  const std::uint64_t wf0 = rc.wqe_fetches;
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.sge = {0, 32, a.mr.lkey};
+    wr.remote_addr = 4096;
+    wr.rkey = b.mr.rkey;
+    wr.inline_data = true;
+    wr.signaled = false;
+    a.qp->post_send(wr);  // single-WR wrapper == chain of one
+  }
+  cl_.engine().run();
+
+  EXPECT_EQ(pc.doorbells - db0, 4u);
+  EXPECT_EQ(rc.wqe_fetches - wf0, 0u);
+}
+
+TEST_F(VerbsTest, ChainedNonInlinePayloadsArriveByDma) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+
+  const auto& pc = cl_.host(0).pcie().counters();
+  const std::uint64_t dma0 = pc.dma_reads;
+
+  std::vector<SendWr> chain(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    fill(0, i * 1024, 512, static_cast<std::uint8_t>(i + 1));
+    chain[i].opcode = Opcode::kWrite;
+    chain[i].wr_id = i;
+    chain[i].sge = {i * 1024, 512, a.mr.lkey};  // 512 B: never inlined
+    chain[i].remote_addr = 4096 + i * 1024;
+    chain[i].rkey = b.mr.rkey;
+    chain[i].signaled = (i == 2);
+  }
+  a.qp->post_send(std::span<const SendWr>(chain));
+  cl_.engine().run();
+
+  // Each WR DMA-reads its payload; chained WQEs add their own fetches.
+  EXPECT_GE(pc.dma_reads - dma0, 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(matches(1, 4096 + i * 1024, 512,
+                        static_cast<std::uint8_t>(i + 1)));
+  }
+  ASSERT_TRUE(poll_one(*a.scq).has_value());
+}
+
+TEST_F(VerbsTest, ReadsNeverCoalesceDoorbells) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+
+  const auto& pc = cl_.host(0).pcie().counters();
+  const std::uint64_t db0 = pc.doorbells;
+
+  std::vector<SendWr> chain(2);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    chain[i].opcode = Opcode::kRead;
+    chain[i].wr_id = i;
+    chain[i].sge = {i * 256, 64, a.mr.lkey};
+    chain[i].remote_addr = 4096;
+    chain[i].rkey = b.mr.rkey;
+    chain[i].signaled = true;
+  }
+  a.qp->post_send(std::span<const SendWr>(chain));
+  cl_.engine().run();
+
+  EXPECT_EQ(pc.doorbells - db0, 2u);  // READs go through the read pipeline
+  int done = 0;
+  while (poll_one(*a.scq)) ++done;
+  EXPECT_EQ(done, 2);
+}
+
+TEST_F(VerbsTest, ChainInvalidWrThrowsAfterLegalPrefix) {
+  auto a = make(0, Transport::kUc);
+  auto b = make(1, Transport::kUc);
+  a.qp->connect(*b.qp);
+
+  fill(0, 0, 32, 0x5A);
+  std::vector<SendWr> chain(3);
+  chain[0].opcode = Opcode::kWrite;
+  chain[0].sge = {0, 32, a.mr.lkey};
+  chain[0].remote_addr = 4096;
+  chain[0].rkey = b.mr.rkey;
+  chain[0].signaled = false;
+  chain[1].opcode = Opcode::kWrite;
+  chain[1].sge = {0, 32, 0xbad};  // invalid lkey: rejected at this position
+  chain[1].remote_addr = 4096;
+  chain[1].rkey = b.mr.rkey;
+  chain[2] = chain[0];
+  chain[2].remote_addr = 8192;
+
+  // ibv_post_send's bad_wr semantics: the legal prefix is on the wire, the
+  // offending WR throws, the suffix is never posted.
+  EXPECT_THROW(a.qp->post_send(std::span<const SendWr>(chain)),
+               std::invalid_argument);
+  cl_.engine().run();
+  EXPECT_TRUE(matches(1, 4096, 32, 0x5A));    // prefix delivered
+  EXPECT_FALSE(matches(1, 8192, 32, 0x5A));   // suffix never posted
+}
+
+TEST_F(VerbsTest, WidePollDrainsBatchedCompletionsInOrder) {
+  auto a = make(0, Transport::kRc);
+  auto b = make(1, Transport::kRc);
+  a.qp->connect(*b.qp);
+
+  std::vector<SendWr> chain(6);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    chain[i].opcode = Opcode::kWrite;
+    chain[i].wr_id = 100 + i;
+    chain[i].sge = {0, 32, a.mr.lkey};
+    chain[i].remote_addr = 4096 + i * 64;
+    chain[i].rkey = b.mr.rkey;
+    chain[i].signaled = true;
+  }
+  a.qp->post_send(std::span<const SendWr>(chain));
+  cl_.engine().run();
+
+  std::array<Wc, 4> wcs;
+  std::size_t n = a.scq->poll(wcs);
+  ASSERT_EQ(n, 4u);  // one wide poll drains up to span size, FIFO
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(wcs[i].wr_id, 100 + i);
+  n = a.scq->poll(wcs);
+  ASSERT_EQ(n, 2u);  // the remainder on the next sweep
+  EXPECT_EQ(wcs[0].wr_id, 104u);
+  EXPECT_EQ(wcs[1].wr_id, 105u);
 }
 
 }  // namespace
