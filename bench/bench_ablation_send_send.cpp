@@ -35,7 +35,8 @@ void Ablation_SendSend(benchmark::State& state) {
   state.SetLabel(std::string(series) + " clients=" +
                  std::to_string(p.n_clients));
   bench::report().add_point(series, p.n_clients,
-                            {{"Mops", r.mops}, {"avg_us", r.avg_us}}, r.attr);
+                            {{"Mops", r.mops}, {"avg_us", r.avg_us}}, r.attr,
+                            r.tail);
 }
 
 }  // namespace

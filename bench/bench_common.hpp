@@ -73,19 +73,26 @@ inline sim::Tick warmup_ticks() {
 }
 
 /// Copies the most recent microbench run's registry snapshot into the
-/// report (the per-layer evidence behind the figure's headline numbers).
+/// report (the per-layer evidence behind the figure's headline numbers),
+/// plus its Chrome trace when --bench-trace captured one.
 inline void snapshot_last_microbench() {
-  if (report_slot()) report().set_snapshot(microbench::last_run().snapshot);
+  if (!report_slot()) return;
+  report().set_snapshot(microbench::last_run().snapshot);
+  if (options().trace_every > 0 &&
+      !microbench::last_run().trace_json.empty()) {
+    report().set_trace(microbench::last_run().trace_json);
+  }
 }
 
 /// Adds a point annotated with the most recent microbench run's bottleneck
-/// attribution ("bottleneck" / "bottleneck_util" / "breakdown"), and keeps
-/// that run's flight recording as the report's TIMESERIES_ sidecar.
+/// attribution ("bottleneck" / "bottleneck_util" / "breakdown") and its
+/// per-op p99 "tail" stage breakdown, and keeps that run's flight recording
+/// as the report's TIMESERIES_ sidecar.
 inline void micro_point(const std::string& series, double x,
                         std::vector<std::pair<std::string, double>> metrics) {
   if (!report_slot()) return;
   const microbench::RunRecord& r = microbench::last_run();
-  report().add_point(series, x, std::move(metrics), r.attr);
+  report().add_point(series, x, std::move(metrics), r.attr, r.tail);
   if (!r.timeseries.is_null()) report().set_timeseries(r.timeseries);
 }
 
@@ -98,6 +105,9 @@ struct E2e {
   double p5_us = 0;
   double p95_us = 0;
   obs::Attribution attr;  // bottleneck attribution of the measure window
+  /// p99 per-request stage breakdown (obs::tail_json shape) of the sampled
+  /// "ok" requests; Null when tracing was off (--bench-trace=0).
+  obs::Json tail;
 };
 
 struct E2eParams {
@@ -147,8 +157,12 @@ inline E2e run_herd(const cluster::ClusterConfig& cc, const E2eParams& p,
     report().set_timeseries(bed.timeseries_json());
     if (options().trace_every > 0) report().set_trace(bed.trace_json());
   }
-  return E2e{r.mops, r.avg_latency_us, r.p5_latency_us, r.p95_latency_us,
-             bed.attribution()};
+  obs::Json tail;
+  if (bed.tail().count("ok") > 0) {
+    tail = obs::tail_json(bed.tail().quantile("ok", 0.99));
+  }
+  return E2e{r.mops,     r.avg_latency_us, r.p5_latency_us,
+             r.p95_latency_us, bed.attribution(), std::move(tail)};
 }
 
 /// Emulated Pilaf / FaRM-KV under the same workload parameters.
@@ -169,7 +183,8 @@ inline E2e run_emulated(const cluster::ClusterConfig& cc,
   auto r = bed.run(warmup, measure);
   // Emulated testbeds do not register their resources yet; attribution stays
   // empty and the bench point simply carries no `bottleneck` field.
-  return E2e{r.mops, r.avg_latency_us, r.p5_latency_us, r.p95_latency_us, {}};
+  return E2e{r.mops, r.avg_latency_us, r.p5_latency_us, r.p95_latency_us,
+             {},     {}};
 }
 
 inline cluster::ClusterConfig apt() { return cluster::ClusterConfig::apt(); }
@@ -218,6 +233,7 @@ inline int bench_main(int argc, char** argv, obs::BenchSpec spec) {
       keep.push_back(argv[i]);
     }
   }
+  microbench::set_trace_capture(opt.trace_every > 0);
   int kept = static_cast<int>(keep.size());
   benchmark::Initialize(&kept, keep.data());
   if (benchmark::ReportUnrecognizedArguments(kept, keep.data())) return 1;

@@ -45,7 +45,8 @@ void Fig09_EndToEnd(benchmark::State& state) {
   // One series per cluster x system; x = PUT percentage.
   std::string series = std::string(cc.name) + "/" + name;
   bench::report().add_point(series, p.put_fraction * 100,
-                            {{"Mops", r.mops}, {"avg_us", r.avg_us}}, r.attr);
+                            {{"Mops", r.mops}, {"avg_us", r.avg_us}}, r.attr,
+                            r.tail);
 }
 
 }  // namespace

@@ -41,7 +41,7 @@ void Fig10_ValueSize(benchmark::State& state) {
                  std::to_string(state.range(1)));
   bench::report().add_point(std::string(cc.name) + "/" + name,
                             static_cast<double>(p.value_size),
-                            {{"Mops", r.mops}}, r.attr);
+                            {{"Mops", r.mops}}, r.attr, r.tail);
 }
 
 }  // namespace

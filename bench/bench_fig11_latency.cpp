@@ -54,7 +54,7 @@ void Fig11_LatencyVsTput(benchmark::State& state) {
                              {"p5_us", r.p5_us},
                              {"p95_us", r.p95_us},
                              {"Mops", r.mops}},
-                            r.attr);
+                            r.attr, r.tail);
 }
 
 }  // namespace

@@ -29,7 +29,7 @@ void Fig12_ClientScalability(benchmark::State& state) {
   state.SetLabel("WS=" + std::to_string(p.window) + " clients=" +
                  std::to_string(p.n_clients));
   bench::report().add_point("WS=" + std::to_string(p.window), p.n_clients,
-                            {{"Mops", r.mops}}, r.attr);
+                            {{"Mops", r.mops}}, r.attr, r.tail);
 }
 
 }  // namespace

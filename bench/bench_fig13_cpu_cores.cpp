@@ -40,7 +40,7 @@ void Fig13_CpuCores(benchmark::State& state) {
   state.SetLabel(std::string(name) + " cores=" +
                  std::to_string(p.n_server_procs));
   bench::report().add_point(name, p.n_server_procs, {{"Mops", r.mops}},
-                            r.attr);
+                            r.attr, r.tail);
 }
 
 }  // namespace

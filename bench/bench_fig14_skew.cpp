@@ -30,10 +30,12 @@ void Fig14_Skew(benchmark::State& state) {
 
   sim::Tick measure = bench::measure_ticks();
   cfg.flight_interval = measure / 16 > 0 ? measure / 16 : 1;
+  cfg.trace_sample_every = bench::options().trace_every;
 
   std::vector<double> per_core;
   double total = 0;
   obs::Attribution attr;
+  obs::Json tail;
   for (auto _ : state) {
     core::HerdTestbed bed(cfg);
     auto r = bed.run(bench::warmup_ticks(), measure);
@@ -42,6 +44,12 @@ void Fig14_Skew(benchmark::State& state) {
     attr = bed.attribution();
     bench::report().set_snapshot(bed.snapshot());
     bench::report().set_timeseries(bed.timeseries_json());
+    if (bench::options().trace_every > 0) {
+      bench::report().set_trace(bed.trace_json());
+    }
+    if (bed.tail().count("ok") > 0) {
+      tail = obs::tail_json(bed.tail().quantile("ok", 0.99));
+    }
   }
   state.counters["total_Mops"] = total;
   const char* series = zipf ? "Zipf(.99)" : "Uniform";
@@ -49,7 +57,7 @@ void Fig14_Skew(benchmark::State& state) {
   for (std::size_t s = 0; s < per_core.size(); ++s) {
     state.counters["core" + std::to_string(s) + "_Mops"] = per_core[s];
     bench::report().add_point(series, static_cast<double>(s),
-                              {{"Mops", per_core[s]}}, attr);
+                              {{"Mops", per_core[s]}}, attr, tail);
     lo = std::min(lo, per_core[s]);
     hi = std::max(hi, per_core[s]);
   }

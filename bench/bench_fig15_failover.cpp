@@ -26,6 +26,10 @@ void Fig15_Failover(benchmark::State& state) {
   cfg.herd.window = 1;
   cfg.herd.request_tokens = true;
   cfg.herd.replicate = true;
+  // Wire-level trace ids: a sampled request keeps one trace id across the
+  // original send, failover re-send, and the promoted primary's serve.
+  cfg.herd.trace = true;
+  cfg.trace_sample_every = bench::options().trace_every;
   cfg.herd.mica.bucket_count_log2 = 13;
   cfg.herd.mica.log_bytes = 8u << 20;
   cfg.workload.n_keys = 2048;
@@ -51,6 +55,7 @@ void Fig15_Failover(benchmark::State& state) {
   std::vector<obs::Attribution> attrs(kSlices);
   std::uint64_t promotions = 0;
   std::uint64_t failovers = 0;
+  obs::Json tail;
   for (auto _ : state) {
     core::HerdTestbed bed(cfg);
     for (int i = 0; i < kSlices; ++i) {
@@ -61,6 +66,12 @@ void Fig15_Failover(benchmark::State& state) {
       failovers += r.failovers;
     }
     bench::report().set_snapshot(bed.snapshot());
+    if (bench::options().trace_every > 0) {
+      bench::report().set_trace(bed.trace_json());
+    }
+    if (bed.tail().count("ok") > 0) {
+      tail = obs::tail_json(bed.tail().quantile("ok", 0.99));
+    }
   }
 
   double pre = 0;
@@ -101,7 +112,7 @@ void Fig15_Failover(benchmark::State& state) {
        {"post_Mops", post},
        {"recovery_rate", pre > 0 ? post / pre : 0},
        {"recovery_us", recovery_us}},
-      attrs[kSlices - 1]);
+      attrs[kSlices - 1], tail);
 
   state.counters["pre_Mops"] = pre;
   state.counters["dip_Mops"] = dip;

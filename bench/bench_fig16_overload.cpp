@@ -48,6 +48,11 @@ core::TestbedConfig overload_bench_cfg(bool shed, std::uint32_t n_clients) {
   cfg.herd.n_clients = n_clients;
   cfg.herd.window = 16;
   cfg.herd.request_tokens = true;
+  // Wire-level trace ids: a sampled request keeps one trace id across
+  // kOverloaded shed replies, backoff holds, and the retry that finally
+  // lands.
+  cfg.herd.trace = true;
+  cfg.trace_sample_every = bench::options().trace_every;
   cfg.herd.mica.bucket_count_log2 = 13;
   cfg.herd.mica.log_bytes = 8u << 20;
   cfg.herd.overload.enable = true;
@@ -93,6 +98,7 @@ void Fig16_Overload(benchmark::State& state) {
   double on_mops[kN] = {};
   double off_mops[kN] = {};
   obs::Attribution attrs[kN];
+  obs::Json tails[kN];
   std::uint64_t sheds = 0;
   std::uint64_t shed_deadline = 0;
 
@@ -111,7 +117,15 @@ void Fig16_Overload(benchmark::State& state) {
         attrs[i] = bed.attribution();
         sheds += r.overload_sheds;
         shed_deadline += r.shed_deadline;
-        if (i == kN - 1) bench::report().set_snapshot(bed.snapshot());
+        if (bed.tail().count("ok") > 0) {
+          tails[i] = obs::tail_json(bed.tail().quantile("ok", 0.99));
+        }
+        if (i == kN - 1) {
+          bench::report().set_snapshot(bed.snapshot());
+          if (bench::options().trace_every > 0) {
+            bench::report().set_trace(bed.trace_json());
+          }
+        }
       }
       {
         core::HerdTestbed bed(overload_bench_cfg(false, kClients[i]));
@@ -136,7 +150,7 @@ void Fig16_Overload(benchmark::State& state) {
     bench::report().add_point("goodput", kClients[i],
                               {{"Mops", on_mops[i]},
                                {"unshielded_Mops", off_mops[i]}},
-                              attrs[i]);
+                              attrs[i], tails[i]);
   }
   bench::report().add_point(
       "summary", 0,

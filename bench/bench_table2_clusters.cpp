@@ -29,12 +29,15 @@ void Table2_ClusterPreset(benchmark::State& state) {
   state.counters["half_rtt_us"] = lat.echo_us / 2.0;
   state.counters["read_us"] = lat.read_us;
   state.SetLabel(cfg.name);
+  // verb_latency's last cluster is the 16 B ECHO ping-pong; its tail
+  // breakdown rides along with the preset's smoke-latency row.
   bench::report().add_point(
       cfg.name, static_cast<double>(state.range(0)),
       {{"link_GBps", cfg.fabric.link_gbps},
        {"pcie_dma_GBps", cfg.pcie.dma_read_gbps},
        {"half_rtt_us", lat.echo_us / 2.0},
-       {"read_us", lat.read_us}});
+       {"read_us", lat.read_us}},
+      {}, microbench::last_run().tail);
   bench::snapshot_last_microbench();
 }
 

@@ -505,10 +505,192 @@ void run_determinism_taint(const FlowContext& ctx,
   }
 }
 
+// ---------------------------------------------------------------------------
+// span-pairing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Matching ')' for the '(' at `open`, or `end` when unbalanced.
+std::size_t match_close(const std::vector<Token>& code, std::size_t open,
+                        std::size_t end) {
+  int depth = 0;
+  for (std::size_t i = open; i < end; ++i) {
+    if (code[i].kind != Tok::kPunct) continue;
+    if (code[i].text == "(") ++depth;
+    else if (code[i].text == ")" && --depth == 0) return i;
+  }
+  return end;
+}
+
+bool range_mentions(const std::vector<Token>& code, std::size_t begin,
+                    std::size_t end, std::string_view name) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (code[i].kind == Tok::kIdent && code[i].text == name) return true;
+  }
+  return false;
+}
+
+/// One span_begin call site plus what the rule learned about its id.
+struct SpanOpen {
+  std::uint32_t line = 0;
+  std::string receiver;             // identifier assigned the SpanId
+  bool discarded = false;           // no assignment at all
+  bool returned = false;            // `return tr->span_begin(...)`: caller owns
+  std::size_t open_end = 0;         // token after the call's ')'
+};
+
+/// Recovers `recv = obj->span_begin` / `return tr.span_begin` shape by
+/// walking backwards from the `span_begin` token over the object chain.
+SpanOpen classify_open(const std::vector<Token>& code, std::size_t begin_tok,
+                       std::size_t body_begin) {
+  SpanOpen open;
+  open.line = code[begin_tok].line;
+  std::size_t j = begin_tok;
+  while (j > body_begin) {
+    const Token& t = code[j - 1];
+    bool chain = t.kind == Tok::kIdent ||
+                 (t.kind == Tok::kPunct &&
+                  (t.text == "." || t.text == "->" || t.text == "::" ||
+                   t.text == "(" || t.text == ")"));
+    if (!chain) break;
+    if (t.kind == Tok::kIdent && t.text == "return") {
+      open.returned = true;
+      return open;
+    }
+    --j;
+  }
+  if (j > body_begin && tok_is(code[j - 1], "=") && j >= 2 &&
+      code[j - 2].kind == Tok::kIdent) {
+    open.receiver = code[j - 2].text;
+    return open;
+  }
+  open.discarded = true;
+  return open;
+}
+
+}  // namespace
+
+void run_span_pairing(const FlowContext& ctx, std::vector<Violation>& out) {
+  // Everything any span_end call in the tree names. A span id stowed into a
+  // member counts as closed when some function — any TU, the close is often
+  // in a different method of the same class — passes that member to
+  // span_end ("root_span" pairs `fl.root_span = root` with
+  // `tr->span_end(it->root_span, ...)`).
+  std::set<std::string, std::less<>> ended;
+  for (const TuIndex& tu : ctx.tus) {
+    const std::vector<Token>& code = tu.code;
+    for (const FunctionDef& fn : tu.functions) {
+      for (std::size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+        if (code[i].kind != Tok::kIdent || code[i].text != "span_end" ||
+            !tok_is(code[i + 1], "(")) {
+          continue;
+        }
+        std::size_t close = match_close(code, i + 1, fn.body_end);
+        for (std::size_t k = i + 2; k < close; ++k) {
+          if (code[k].kind == Tok::kIdent) ended.emplace(code[k].text);
+        }
+        i = close;
+      }
+    }
+  }
+
+  for (const TuIndex& tu : ctx.tus) {
+    if (tu.file.find("src/herd") == std::string::npos) continue;
+    const std::vector<Token>& code = tu.code;
+    for (const FunctionDef& fn : tu.functions) {
+      for (std::size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+        if (code[i].kind != Tok::kIdent || code[i].text != "span_begin" ||
+            !tok_is(code[i + 1], "(")) {
+          continue;
+        }
+        SpanOpen open = classify_open(code, i, fn.body_begin);
+        open.open_end = match_close(code, i + 1, fn.body_end) + 1;
+        i = open.open_end - 1;
+        if (open.returned) continue;  // caller owns the id
+        if (open.discarded) {
+          out.push_back(
+              {fn.file, open.line, "span-pairing",
+               "result of span_begin in " + fn.name +
+                   " is discarded: the span can never be closed and exports "
+                   "as a lone \"B\" event"});
+          continue;
+        }
+        // Uses of the receiver after the begin call.
+        std::size_t first_end = 0;      // first local span_end naming it
+        std::vector<std::string> members;  // `obj.member = receiver` stores
+        bool other_use = false;
+        for (std::size_t k = open.open_end; k < fn.body_end; ++k) {
+          if (code[k].kind == Tok::kIdent && code[k].text == "span_end" &&
+              k + 1 < fn.body_end && tok_is(code[k + 1], "(")) {
+            std::size_t close = match_close(code, k + 1, fn.body_end);
+            if (range_mentions(code, k + 2, close, open.receiver) &&
+                first_end == 0) {
+              first_end = k;
+            }
+            k = close;
+            continue;
+          }
+          if (code[k].kind != Tok::kIdent || code[k].text != open.receiver) {
+            continue;
+          }
+          if (k >= open.open_end + 3 && tok_is(code[k - 1], "=") &&
+              code[k - 2].kind == Tok::kIdent &&
+              (tok_is(code[k - 3], ".") || tok_is(code[k - 3], "->"))) {
+            members.emplace_back(code[k - 2].text);
+          } else {
+            other_use = true;
+          }
+        }
+        if (first_end != 0) {
+          // Locally paired — but every return between the begin and its
+          // first close leaves the function with the span open.
+          for (std::size_t k = open.open_end; k < first_end; ++k) {
+            if (code[k].kind == Tok::kIdent && code[k].text == "return") {
+              out.push_back(
+                  {fn.file, code[k].line, "span-pairing",
+                   "return leaves " + fn.name + " before span_end closes '" +
+                       open.receiver +
+                       "' (begin at line " + std::to_string(open.line) +
+                       "): the span leaks on this path"});
+            }
+          }
+          continue;
+        }
+        if (!members.empty()) {
+          bool closed = false;
+          for (const std::string& m : members) {
+            if (ended.count(m) != 0) closed = true;
+          }
+          if (!closed) {
+            out.push_back(
+                {fn.file, open.line, "span-pairing",
+                 "span id from span_begin in " + fn.name +
+                     " is stored into '" + members.front() +
+                     "' but nothing in the tree ever passes it to span_end"});
+          }
+          continue;
+        }
+        // A receiver that escapes through some other expression (call
+        // argument, container insert) is someone else's to close — flag
+        // only the certain leak where nothing ever touches it again.
+        if (!other_use) {
+          out.push_back(
+              {fn.file, open.line, "span-pairing",
+               "'" + open.receiver + "' is opened by span_begin in " +
+                   fn.name +
+                   " but never closed or used again: the span leaks"});
+        }
+      }
+    }
+  }
+}
+
 void run_flow_rules(const FlowContext& ctx, std::vector<Violation>& out) {
   run_wire_symmetry(ctx, out);
   run_metric_pairing(ctx, out);
   run_determinism_taint(ctx, out);
+  run_span_pairing(ctx, out);
 }
 
 }  // namespace herd::analysis

@@ -1,4 +1,4 @@
-// herd::analysis — the three flow-aware rules (herd_lint v2).
+// herd::analysis — the four flow-aware rules (herd_lint v2).
 //
 //   wire-symmetry     encode_X/decode_X pairs must copy the same fields at
 //                     the same folded offsets with the same sizes, bump
@@ -12,8 +12,14 @@
 //                     wall-clock/entropy sink through a helper defined
 //                     outside the simulation directories (the per-file
 //                     determinism rule cannot see the transitive leak)
+//   span-pairing      every obs::Tracer::span_begin in src/herd must reach
+//                     a span_end on all paths: an early return between the
+//                     begin and its local end leaks the span, and a span id
+//                     stowed into a member must be closed somewhere in the
+//                     tree (an open span exports as a lone "B" event and
+//                     the trace tooling downstream rejects the file)
 //
-// All three consume the per-TU indexes plus the cross-TU constant table and
+// All four consume the per-TU indexes plus the cross-TU constant table and
 // call graph; none of them re-reads source text.
 #pragma once
 
@@ -36,8 +42,9 @@ void run_wire_symmetry(const FlowContext& ctx, std::vector<Violation>& out);
 void run_metric_pairing(const FlowContext& ctx, std::vector<Violation>& out);
 void run_determinism_taint(const FlowContext& ctx,
                            std::vector<Violation>& out);
+void run_span_pairing(const FlowContext& ctx, std::vector<Violation>& out);
 
-/// All three, in rule order. Appended violations are NOT sorted; the engine
+/// All four, in rule order. Appended violations are NOT sorted; the engine
 /// sorts the flow section by (file, line, rule).
 void run_flow_rules(const FlowContext& ctx, std::vector<Violation>& out);
 

@@ -12,7 +12,7 @@ struct RuleMeta {
   std::string_view description;
 };
 
-constexpr std::array<RuleMeta, 9> kRules = {{
+constexpr std::array<RuleMeta, 11> kRules = {{
     {"determinism",
      "Wall-clock or entropy source used directly in a simulation path; "
      "seeded replay diverges."},
@@ -31,6 +31,9 @@ constexpr std::array<RuleMeta, 9> kRules = {{
     {"shard-route",
      "Key-to-process routing that bypasses the ShardMap; promotions and "
      "migrations move primaries."},
+    {"chain-post",
+     "Per-WR post_send() inside a loop in src/herd; batch the WRs and post "
+     "one chain so the batch costs a single doorbell."},
     {"wire-symmetry",
      "encode_X/decode_X copy different fields, offsets, sizes, or header "
      "block order, or a header constant is missing from the size budget."},
@@ -40,6 +43,9 @@ constexpr std::array<RuleMeta, 9> kRules = {{
     {"determinism-taint",
      "Simulation-path function reaches a wall-clock/entropy sink through a "
      "helper defined outside the simulation tree."},
+    {"span-pairing",
+     "Tracer span_begin in src/herd with a path that never reaches "
+     "span_end; the open span exports as a lone \"B\" event."},
 }};
 
 void append_escaped(std::string& out, std::string_view s) {

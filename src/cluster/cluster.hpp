@@ -13,6 +13,7 @@
 #include "cluster/cpu.hpp"
 #include "fabric/fabric.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tail.hpp"
 #include "obs/trace.hpp"
 #include "pcie/pcie.hpp"
 #include "rnic/calibration.hpp"
@@ -153,6 +154,13 @@ class Cluster {
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
 
+  /// The cluster-wide per-request tail profiler. Producers on both sides
+  /// of the wire (HERD client and service) mark stages against the same
+  /// sampled trace ids; sim time is global, so the telescoping stage sums
+  /// equal end-to-end latency exactly. Off until TailProfiler::enable().
+  obs::TailProfiler& tail() { return tail_; }
+  const obs::TailProfiler& tail() const { return tail_; }
+
   /// The flight recorder's resource directory. Every contended
   /// sim::Resource (fabric link directions, per-host PCIe paths and RNIC
   /// pipelines) registers at construction under the same stable dotted
@@ -173,6 +181,7 @@ class Cluster {
   obs::MetricRegistry registry_;
   obs::ResourceRegistry resources_;
   obs::Tracer tracer_;
+  obs::TailProfiler tail_;
   fabric::Fabric fabric_;
   std::vector<std::unique_ptr<Host>> hosts_;
 };

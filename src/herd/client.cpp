@@ -171,9 +171,26 @@ void HerdClient::issue(const workload::Op& op) {
       // records) until it reaches a terminal state.
       trace_seq_ = seq;
     }
+    // The sampled request's causal identity, kept across every re-send.
+    std::uint64_t trace_id =
+        trace_seq_ == seq ? (std::uint64_t{id_} << 32) | seq : 0;
+    obs::SpanId root = 0;
     if (obs::tracing(tr)) {
+      if (trace_id != 0) {
+        // Root span: opened here, closed at the terminal state — every hop
+        // of the request's lifetime nests under it.
+        root = tr->span_begin(core_.name(), "request", now - cost,
+                              "seq=" + std::to_string(seq),
+                              obs::TraceCtx{trace_id, 0});
+      }
       tr->span(core_.name(), "client_post", now - cost, now,
-               "seq=" + std::to_string(seq));
+               "seq=" + std::to_string(seq), obs::TraceCtx{trace_id, root});
+    }
+    if (trace_id != 0) {
+      if (obs::TailProfiler* tp = host_->ctx().tail()) {
+        tp->begin(trace_id, now - cost);
+        tp->stage(trace_id, "client_post", now);
+      }
     }
     if (observer_ != nullptr) observer_->on_invoke(id_, seq, op, now);
     InFlight fl;
@@ -183,6 +200,8 @@ void HerdClient::issue(const workload::Op& op) {
     fl.r = r;
     fl.target = s;
     fl.posts = 1;
+    fl.trace_id = trace_id;
+    fl.root_span = root;
     fl.op = op;
     sim::Tick deadline = fl.deadline;
     inflight_[s].push_back(fl);
@@ -198,7 +217,7 @@ void HerdClient::issue(const workload::Op& op) {
         break;
     }
 
-    post_request(s, r, op, seq, deadline);
+    post_request(s, r, op, seq, deadline, trace_id, root);
     arm_timer(s, seq);
   });
 }
@@ -247,7 +266,8 @@ void HerdClient::resume_held() {
 // shared by first transmission, retries, and failover re-issues).
 void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
                               const workload::Op& op, std::uint64_t seq,
-                              sim::Tick deadline) {
+                              sim::Tick deadline, std::uint64_t trace_id,
+                              std::uint32_t parent_span) {
   auto& mem = host_->memory();
   std::uint64_t stage = req_base_ + (req_slot_++ % kReqRing) * kSlotBytes;
   auto slot = mem.span(stage, kSlotBytes);
@@ -270,6 +290,12 @@ void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
     req.tenant = static_cast<std::uint16_t>(id_ % cfg_.overload.n_tenants);
     req.deadline = deadline;
   }
+  if (cfg_.trace) {
+    // Every re-send re-encodes the SAME trace id: retries, redirects, and
+    // failover re-sends are hops of one trace, not new traces.
+    req.trace_id = trace_id;
+    req.parent_span = parent_span;
+  }
   if (req.is_put) {
     value.resize(op.value_len);
     workload::WorkloadGenerator::fill_value(op.rank, value);
@@ -277,9 +303,10 @@ void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
   }
   std::uint32_t wire =
       request_wire_bytes(req.is_put ? op.value_len : 0, cfg_.request_tokens,
-                         cfg_.replicate, cfg_.overload.enable);
-  std::uint32_t start = encode_request(slot, req, cfg_.request_tokens,
-                                       cfg_.replicate, cfg_.overload.enable);
+                         cfg_.replicate, cfg_.overload.enable, cfg_.trace);
+  std::uint32_t start =
+      encode_request(slot, req, cfg_.request_tokens, cfg_.replicate,
+                     cfg_.overload.enable, cfg_.trace);
 
   const auto& cal = host_->rnic().cal();
   if (cfg_.mode == RequestMode::kWriteUc) {
@@ -291,6 +318,7 @@ void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
     wr.rkey = service_->region_mr().rkey;
     wr.inline_data = wire <= cal.max_inline;
     wr.signaled = false;
+    wr.trace_id = req.trace_id;
     uc_qp_->post_send(wr);
   } else {
     verbs::SendWr wr;
@@ -299,6 +327,7 @@ void HerdClient::post_request(std::uint32_t s, std::uint64_t r,
     wr.inline_data = wire <= cal.max_inline;
     wr.signaled = false;
     wr.ah = service_->proc_ah(s);
+    wr.trace_id = req.trace_id;
     ud_qps_[s]->post_send(wr);
   }
 }
@@ -388,10 +417,19 @@ void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq,
     if (trace_seq_ == it->seq) {
       obs::Tracer* tr = host_->ctx().tracer();
       if (tr != nullptr) {
-        tr->instant(core_.name(), "deadline_exceeded", now);
+        tr->instant(core_.name(), "deadline_exceeded", now, {},
+                    obs::TraceCtx{it->trace_id, it->root_span});
+        if (it->root_span != 0) tr->span_end(it->root_span, now);
         tr->release();
       }
       trace_seq_ = 0;
+    }
+    if (it->trace_id != 0) {
+      if (obs::TailProfiler* tp = host_->ctx().tail()) {
+        tp->finish(it->trace_id,
+                   never_applied ? "shed_never_applied" : "deadline", now,
+                   "deadline_wait");
+      }
     }
     inflight_[s].erase(it);
     ++stats_.deadline_exceeded;
@@ -455,9 +493,24 @@ void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq,
   std::uint64_t r = it->r;
   workload::Op op = it->op;
   sim::Tick deadline = it->deadline;
+  std::uint64_t trace_id = it->trace_id;
+  std::uint32_t root = it->root_span;
+  if (trace_id != 0) {
+    obs::Tracer* tr = host_->ctx().tracer();
+    if (obs::tracing(tr)) {
+      tr->instant(core_.name(), "retry", now,
+                  "attempt=" + std::to_string(it->attempt),
+                  obs::TraceCtx{trace_id, root});
+    }
+    // The silent interval since the last mark was spent waiting out the
+    // lost attempt — charge it to the retry, not to whatever came before.
+    if (obs::TailProfiler* tp = host_->ctx().tail()) {
+      tp->stage(trace_id, "retry_wait", now);
+    }
+  }
   core_.run(kComposeCost + cpu_.post_send,
-            [this, target, r, op, seq, deadline]() {
-              post_request(target, r, op, seq, deadline);
+            [this, target, r, op, seq, deadline, trace_id, root]() {
+              post_request(target, r, op, seq, deadline, trace_id, root);
             });
   arm_timer(s, seq);
 }
@@ -468,7 +521,7 @@ void HerdClient::on_timer(std::uint32_t s, std::uint64_t seq,
 // nothing about the new target, and carrying them over would make the first
 // loss on the healthy path cost a near-max backoff. The deadline (absolute)
 // still bounds the request's total lifetime.
-void HerdClient::reissue(InFlight fl, std::uint32_t to) {
+void HerdClient::reissue(InFlight fl, std::uint32_t to, const char* stage) {
   fl.target = to;
   fl.r = next_r_[to]++;
   fl.attempt = 0;
@@ -477,9 +530,22 @@ void HerdClient::reissue(InFlight fl, std::uint32_t to) {
   std::uint64_t r = fl.r;
   workload::Op op = fl.op;
   sim::Tick deadline = fl.deadline;
+  std::uint64_t trace_id = fl.trace_id;
+  std::uint32_t root = fl.root_span;
+  if (trace_id != 0) {
+    sim::Tick now = host_->ctx().engine().now();
+    obs::Tracer* tr = host_->ctx().tracer();
+    if (obs::tracing(tr)) {
+      tr->instant(core_.name(), stage, now, "to=" + std::to_string(to),
+                  obs::TraceCtx{trace_id, root});
+    }
+    if (obs::TailProfiler* tp = host_->ctx().tail()) {
+      tp->stage(trace_id, stage, now);
+    }
+  }
   inflight_[to].push_back(std::move(fl));
   core_.run(cpu_.post_recv + kComposeCost + cpu_.post_send,
-            [this, to, r, op, seq, deadline]() {
+            [this, to, r, op, seq, deadline, trace_id, root]() {
               // The RECV credit posted at issue() time sits on the old
               // target's QP; the response now arrives on `to`'s UD QP, and a
               // UD SEND with no posted RECV is silently dropped (RNR). Post
@@ -490,7 +556,7 @@ void HerdClient::reissue(InFlight fl, std::uint32_t to) {
                                        kRespStride;
               ud_qps_[to]->post_recv(
                   {.wr_id = rbuf, .sge = {rbuf, kRespStride, arena_mr_.lkey}});
-              post_request(to, r, op, seq, deadline);
+              post_request(to, r, op, seq, deadline, trace_id, root);
             });
   arm_timer(to, seq);
 }
@@ -540,9 +606,23 @@ void HerdClient::retry_after_shed(std::uint32_t s, std::uint64_t seq) {
   std::uint64_t r = it->r;
   workload::Op op = it->op;
   sim::Tick deadline = it->deadline;
-  core_.run(kComposeCost + cpu_.post_send, [this, s, r, op, seq, deadline]() {
-    post_request(s, r, op, seq, deadline);
-  });
+  std::uint64_t trace_id = it->trace_id;
+  std::uint32_t root = it->root_span;
+  if (trace_id != 0) {
+    obs::Tracer* tr = host_->ctx().tracer();
+    if (obs::tracing(tr)) {
+      tr->instant(core_.name(), "shed_retry", now, {},
+                  obs::TraceCtx{trace_id, root});
+    }
+    // Time parked waiting out the server's retry-after hint.
+    if (obs::TailProfiler* tp = host_->ctx().tail()) {
+      tp->stage(trace_id, "backoff_hold", now);
+    }
+  }
+  core_.run(kComposeCost + cpu_.post_send,
+            [this, s, r, op, seq, deadline, trace_id, root]() {
+              post_request(s, r, op, seq, deadline, trace_id, root);
+            });
 }
 
 void HerdClient::repost_recv(std::uint32_t s, std::uint64_t buf) {
@@ -631,6 +711,18 @@ void HerdClient::handle_response(const verbs::Wc& wc) {
     repost_recv(s, wc.wr_id);
     ++stats_.overload_sheds;
     ++fl.sheds;
+    if (fl.trace_id != 0) {
+      sim::Tick now = host_->ctx().engine().now();
+      obs::Tracer* tr = host_->ctx().tracer();
+      if (obs::tracing(tr)) {
+        tr->instant(core_.name(), "overload_shed", now, {},
+                    obs::TraceCtx{fl.trace_id, fl.root_span});
+      }
+      // The shed reply's flight back to us since the server's last mark.
+      if (obs::TailProfiler* tp = host_->ctx().tail()) {
+        tp->stage(fl.trace_id, "net_out", now);
+      }
+    }
     breaker_on_shed(s);
     sim::Tick hint = 0;
     if (auto ra = decode_retry_after(resp->value)) {
@@ -657,7 +749,7 @@ void HerdClient::handle_response(const verbs::Wc& wc) {
       ++stats_.map_refreshes;
     }
     std::uint32_t p = shards_.at(shard).primary;
-    reissue(std::move(fl), route(p, shard));
+    reissue(std::move(fl), route(p, shard), "redirect_rtt");
     return;
   }
   bool is_get = fl.op.type == workload::OpType::kGet;
@@ -690,12 +782,21 @@ void HerdClient::handle_response(const verbs::Wc& wc) {
     obs::Tracer* tr = host_->ctx().tracer();
     if (tr != nullptr) {
       if (tr->active()) {
-        tr->span(core_.name(), "request", fl.sent, done,
-                 "seq=" + std::to_string(fl.seq));
+        if (fl.root_span != 0) {
+          tr->span_end(fl.root_span, done, "seq=" + std::to_string(fl.seq));
+        } else {
+          tr->span(core_.name(), "request", fl.sent, done,
+                   "seq=" + std::to_string(fl.seq));
+        }
       }
       tr->release();
     }
     trace_seq_ = 0;
+  }
+  if (fl.trace_id != 0) {
+    if (obs::TailProfiler* tp = host_->ctx().tail()) {
+      tp->finish(fl.trace_id, "ok", done);
+    }
   }
   assert(outstanding_ > 0);
   --outstanding_;

@@ -150,13 +150,20 @@ class HerdClient {
     /// Retry-after hold: on_timer must not re-post before this tick (set
     /// from a kOverloaded hint; 0 = no hold).
     sim::Tick hold_until = 0;
+    /// Causal identity of the sampled request: (client id << 32) | seq of
+    /// the FIRST attempt, preserved verbatim across retries, redirects,
+    /// failover re-sends, and shed/backoff cycles (0 = not sampled).
+    std::uint64_t trace_id = 0;
+    /// The open "request" root span (closed at the terminal state).
+    obs::SpanId root_span = 0;
     workload::Op op{};
   };
 
   void pump();                    // fill the request window
   void issue(const workload::Op& op);
   void post_request(std::uint32_t s, std::uint64_t r, const workload::Op& op,
-                    std::uint64_t seq, sim::Tick deadline);
+                    std::uint64_t seq, sim::Tick deadline,
+                    std::uint64_t trace_id = 0, std::uint32_t parent_span = 0);
   void arm_timer(std::uint32_t s, std::uint64_t seq);
   void on_timer(std::uint32_t s, std::uint64_t seq,
                 std::uint32_t armed_attempt);
@@ -191,7 +198,10 @@ class HerdClient {
   std::uint32_t failover_target(const InFlight& fl, std::uint32_t s) const;
   /// Moves every outstanding request off suspected-dead process `s`.
   void fail_over_outstanding(std::uint32_t s);
-  void reissue(InFlight fl, std::uint32_t to);
+  /// `stage` names both the tracer instant and the tail-profiler stage the
+  /// elapsed wait is charged to ("redirect_rtt" / "failover_wait").
+  void reissue(InFlight fl, std::uint32_t to,
+               const char* stage = "failover_wait");
   void repost_recv(std::uint32_t s, std::uint64_t buf);
 
   cluster::Host* host_;

@@ -106,6 +106,13 @@ struct HerdConfig {
   /// configurations.
   bool mutation_dedup = true;
 
+  /// Carry a kTraceBytes trace-context header (64-bit trace id + issuing
+  /// span id) in every request, enabling causal per-request tracing and
+  /// tail attribution. Requires request_tokens: a traced response must be
+  /// matchable to the exact attempt that carried the id, or retries would
+  /// fork the trace. Costs 12 bytes of inline-PIO budget per request.
+  bool trace = false;
+
   // --- Primary-backup replication (herd/shard.hpp) ------------------------
 
   /// Replicate each shard on a backup server process: primaries forward
@@ -220,6 +227,10 @@ class HerdConfigBuilder {
     herd_.replicate = v;
     return *this;
   }
+  HerdConfigBuilder& trace(bool v) {
+    herd_.trace = v;
+    return *this;
+  }
   HerdConfigBuilder& dedup_retention(sim::Tick v) {
     herd_.dedup_retention = v;
     return *this;
@@ -279,6 +290,12 @@ class HerdConfigBuilder {
           "herd.dedup_retention must exceed resilience.deadline + "
           "resilience.backoff_max, or a late retry outlives its "
           "duplicate-suppression entry and re-applies the mutation");
+    }
+    if (h.trace && !h.request_tokens) {
+      problems.push_back(
+          "herd.trace requires herd.request_tokens (a traced response must "
+          "be matchable to the exact attempt that carried the trace id, or "
+          "retries would fork the trace)");
     }
     if (h.overload.enable && !h.request_tokens) {
       problems.push_back(

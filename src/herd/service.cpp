@@ -225,6 +225,7 @@ void HerdService::crash_proc(std::uint32_t s) {
   p.parked.clear();
   p.tenant_queues.clear();
   p.resp_chain.clear();  // unflushed responses die with the process
+  p.resp_chain_meta.clear();
   p.resp_coalesce = false;
   if (!cfg_.replicate) return;
 
@@ -272,7 +273,8 @@ void HerdService::recover_proc(std::uint32_t s) {
         std::uint64_t slot_addr = region_.slot_addr(s, c, r);
         auto slot = host_->memory().span(slot_addr, kSlotBytes);
         auto req = decode_request(slot, cfg_.request_tokens,
-                                  /*with_epoch=*/false, cfg_.overload.enable);
+                                  /*with_epoch=*/false, cfg_.overload.enable,
+                                  cfg_.trace);
         if (!req) continue;
         if (cfg_.request_tokens && cfg_.mutation_dedup &&
             (req->is_put || req->is_delete)) {
@@ -299,6 +301,7 @@ void HerdService::recover_proc(std::uint32_t s) {
         pend.value.assign(req->value.begin(), req->value.end());
         pend.request.value = {};
         pend.slot_addr = slot_addr;
+        pend.detected = host_->ctx().engine().now();
         p.arrivals.push_back(std::move(pend));
       }
     }
@@ -315,7 +318,7 @@ void HerdService::recover_proc(std::uint32_t s) {
         auto slot =
             host_->memory().span(region_.slot_addr(s, c, r), kSlotBytes);
         if (decode_request(slot, cfg_.request_tokens, cfg_.replicate,
-                           cfg_.overload.enable)) {
+                           cfg_.overload.enable, cfg_.trace)) {
           ++p.stats.rescan_dropped;
           clear_slot(slot);
         }
@@ -454,7 +457,8 @@ void HerdService::drain_parked(std::uint32_t s) {
       admitted = true;
     } else if (procs_[si.primary]->alive) {
       ++p.stats.stale_epoch_rejects;
-      send_redirect(s, pend.client, pend.request.token, si);
+      send_redirect(s, pend.client, pend.request.token, si,
+                    pend.request.trace_id, pend.request.parent_span);
     } else {
       keep.push_back(std::move(pend));
     }
@@ -515,7 +519,7 @@ void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
   std::uint64_t slot_addr = addr - (addr - region_.chunk_addr(s)) % kSlotBytes;
   auto slot = host_->memory().span(slot_addr, kSlotBytes);
   auto req = decode_request(slot, cfg_.request_tokens, cfg_.replicate,
-                            cfg_.overload.enable);
+                            cfg_.overload.enable, cfg_.trace);
   if (!req) {
     ++p.stats.bad_requests;
     return;
@@ -533,6 +537,12 @@ void HerdService::on_region_write(std::uint32_t s, std::uint64_t addr) {
   pend.value.assign(req->value.begin(), req->value.end());
   pend.request.value = {};
   pend.slot_addr = slot_addr;
+  pend.detected = host_->ctx().engine().now();
+  if (req->trace_id != 0) {
+    if (obs::TailProfiler* tp = host_->ctx().tail()) {
+      tp->stage(req->trace_id, "net_in", pend.detected);
+    }
+  }
   if (!try_admit(s, std::move(pend))) return;  // shed at the door
   // Idle-poll quantization: if the process was mid-round, detection costs up
   // to a partial scan of the chunk.
@@ -558,6 +568,20 @@ bool HerdService::try_admit(std::uint32_t s, Pending&& pend) {
   std::size_t depth = p.arrivals.size() + p.tenant_queues.size();
   sim::Tick now = host_->ctx().engine().now();
   overload::Admit a = p.gate.admit(tenant, depth, now);
+  if (pend.request.trace_id != 0) {
+    obs::Tracer* tr = host_->ctx().tracer();
+    if (obs::tracing(tr)) {
+      const char* decision = a == overload::Admit::kAdmit ? "admit"
+                             : a == overload::Admit::kShedQuota
+                                 ? "shed_quota"
+                                 : "shed_degraded";
+      tr->instant(p.core->name(), std::string("admission_") + decision, now,
+                  "tenant=" + std::to_string(tenant) +
+                      " depth=" + std::to_string(depth),
+                  obs::TraceCtx{pend.request.trace_id,
+                                pend.request.parent_span});
+    }
+  }
   if (a != overload::Admit::kAdmit) {
     if (a == overload::Admit::kShedQuota) {
       ++p.stats.shed_quota;
@@ -587,7 +611,7 @@ void HerdService::shed(std::uint32_t s, const Pending& p,
   proc.core->charge(cpu_.poll_iteration + cpu_.post_send);
   post_response(s, p.client, RespStatus::kOverloaded,
                 std::span<const std::byte>(buf, kRetryAfterBytes),
-                p.request.token);
+                p.request.token, p.request.trace_id, p.request.parent_span);
   rearm(s, p);
 }
 
@@ -621,7 +645,7 @@ void HerdService::on_recv_ready(std::uint32_t s) {
       auto frame =
           buf.subspan(verbs::kGrhBytes, wc.byte_len - verbs::kGrhBytes);
       auto req = decode_request(frame, cfg_.request_tokens, cfg_.replicate,
-                                cfg_.overload.enable);
+                                cfg_.overload.enable, cfg_.trace);
       if (!req) {
         ++p.stats.bad_requests;
         continue;
@@ -643,6 +667,12 @@ void HerdService::on_recv_ready(std::uint32_t s) {
         continue;
       }
       pend.client = it->second;
+      pend.detected = host_->ctx().engine().now();
+      if (req->trace_id != 0) {
+        if (obs::TailProfiler* tp = host_->ctx().tail()) {
+          tp->stage(req->trace_id, "net_in", pend.detected);
+        }
+      }
       if (!try_admit(s, std::move(pend))) continue;  // shed at the door
       admitted = true;
     }
@@ -692,8 +722,32 @@ void HerdService::advance(std::uint32_t s) {
       // MICA/dedup ever see it; no response (nobody is listening), just
       // free the slot. The expiry check costs one header compare.
       ++p.stats.shed_deadline;
+      if (next->request.trace_id != 0) {
+        if (obs::TailProfiler* tp = host_->ctx().tail()) {
+          tp->stage(next->request.trace_id, "drr_wait", now);
+        }
+        obs::Tracer* tr = host_->ctx().tracer();
+        if (obs::tracing(tr)) {
+          tr->instant(p.core->name(), "deadline_drop", now,
+                      "client=" + std::to_string(next->client),
+                      obs::TraceCtx{next->request.trace_id,
+                                    next->request.parent_span});
+        }
+      }
       rearm(s, *next);
       continue;
+    }
+    if (next->request.trace_id != 0) {
+      if (obs::TailProfiler* tp = host_->ctx().tail()) {
+        tp->stage(next->request.trace_id, "drr_wait", now);
+      }
+      obs::Tracer* tr = host_->ctx().tracer();
+      if (obs::tracing(tr) && now > next->detected) {
+        tr->span(p.core->name(), "drr_wait", next->detected, now,
+                 "client=" + std::to_string(next->client),
+                 obs::TraceCtx{next->request.trace_id,
+                               next->request.parent_span});
+      }
     }
     p.pipeline.push_back(std::move(*next));
     cost += cpu_.prefetch_issue;  // stage 1: prefetch the index bucket
@@ -736,8 +790,17 @@ void HerdService::advance(std::uint32_t s) {
     obs::Tracer* tr = host_->ctx().tracer();
     if (!done.empty() && obs::tracing(tr)) {
       sim::Tick end = host_->ctx().engine().now();
+      // The batch span carries the sampled member's trace context (at most
+      // one — the client samples a single request at a time).
+      obs::TraceCtx bctx{};
+      for (const Pending& d : done) {
+        if (d.request.trace_id != 0) {
+          bctx = obs::TraceCtx{d.request.trace_id, d.request.parent_span};
+          break;
+        }
+      }
       tr->span(pp.core->name(), "mica_op", end - cost, end,
-               std::to_string(done.size()) + " op(s)");
+               std::to_string(done.size()) + " op(s)", bctx);
     }
     // Coalescing window: every response this quantum produces (serves,
     // redirects, replays) lands in resp_chain. The backlog lives in the
@@ -788,15 +851,25 @@ void HerdService::rearm(std::uint32_t s, const Pending& p) {
 }
 
 void HerdService::send_redirect(std::uint32_t s, std::uint32_t client,
-                                std::uint32_t token, const ShardInfo& si) {
+                                std::uint32_t token, const ShardInfo& si,
+                                std::uint64_t trace_id,
+                                std::uint32_t parent_span) {
   std::byte buf[kRedirectBytes];
   encode_redirect(std::span<std::byte>(buf, kRedirectBytes), si.primary,
                   si.epoch);
   post_response(s, client, RespStatus::kWrongEpoch,
-                std::span<const std::byte>(buf, kRedirectBytes), token);
+                std::span<const std::byte>(buf, kRedirectBytes), token,
+                trace_id, parent_span);
 }
 
 void HerdService::complete(std::uint32_t s, const Pending& p) {
+  if (p.request.trace_id != 0) {
+    // The pipeline residency — from DRR dequeue to this quantum's end —
+    // is the request's MICA share of the breakdown.
+    if (obs::TailProfiler* tp = host_->ctx().tail()) {
+      tp->stage(p.request.trace_id, "mica_op", host_->ctx().engine().now());
+    }
+  }
   if (!cfg_.replicate) {
     complete_legacy(s, p);
     return;
@@ -811,7 +884,8 @@ void HerdService::complete(std::uint32_t s, const Pending& p) {
                                              : "get";
       tr->instant(proc.core->name(), std::string("serve_") + kind,
                   host_->ctx().engine().now(),
-                  "client=" + std::to_string(p.client));
+                  "client=" + std::to_string(p.client),
+                  obs::TraceCtx{p.request.trace_id, p.request.parent_span});
     }
   }
 
@@ -833,7 +907,8 @@ void HerdService::complete(std::uint32_t s, const Pending& p) {
     // Stale shard map (promotion or migration moved the shard): reject
     // with the authoritative (primary, epoch) so the client refreshes.
     ++proc.stats.stale_epoch_rejects;
-    send_redirect(s, p.client, p.request.token, si);
+    send_redirect(s, p.client, p.request.token, si, p.request.trace_id,
+                  p.request.parent_span);
     rearm(s, p);
     return;
   }
@@ -867,7 +942,8 @@ void HerdService::serve(std::uint32_t s, std::uint32_t shard, Replica& rep,
       observer_->on_apply(s, p.client, p.request.key, p.request.is_delete,
                           /*applied=*/false, now);
     }
-    post_response(s, p.client, static_cast<RespStatus>(*replay), {}, token);
+    post_response(s, p.client, static_cast<RespStatus>(*replay), {}, token,
+                  p.request.trace_id, p.request.parent_span);
     return;
   }
   if (is_mutation) {
@@ -901,6 +977,15 @@ void HerdService::serve(std::uint32_t s, std::uint32_t shard, Replica& rep,
     if (!drop && m.active && procs_[m.dest]->alive) {
       // Dual-write window: the migration destination stays current.
       ++migration_stats_.dual_writes;
+      if (p.request.trace_id != 0) {
+        obs::Tracer* tr = host_->ctx().tracer();
+        if (obs::tracing(tr)) {
+          tr->instant(proc.core->name(), "migration_dual_write", now,
+                      "dest=" + std::to_string(m.dest),
+                      obs::TraceCtx{p.request.trace_id,
+                                    p.request.parent_span});
+        }
+      }
       Fwd f;
       f.from = s;
       f.to = m.dest;
@@ -912,12 +997,23 @@ void HerdService::serve(std::uint32_t s, std::uint32_t shard, Replica& rep,
       f.value = p.value;
       f.status = status;
       f.ack = false;
+      f.trace_id = p.request.trace_id;
+      f.parent_span = p.request.parent_span;
       forward_mutation(std::move(f));
     }
     if (!drop && si.backup != kNoBackup && procs_[si.backup]->alive) {
       // Acknowledged-write semantics: the response waits for the backup's
       // ack, so every acked mutation survives a promotion.
       ++proc.stats.repl_forwards;
+      if (p.request.trace_id != 0) {
+        obs::Tracer* tr = host_->ctx().tracer();
+        if (obs::tracing(tr)) {
+          tr->instant(proc.core->name(), "repl_forward", now,
+                      "backup=" + std::to_string(si.backup),
+                      obs::TraceCtx{p.request.trace_id,
+                                    p.request.parent_span});
+        }
+      }
       Fwd f;
       f.from = s;
       f.to = si.backup;
@@ -929,12 +1025,15 @@ void HerdService::serve(std::uint32_t s, std::uint32_t shard, Replica& rep,
       f.value = p.value;
       f.status = status;
       f.ack = true;
+      f.trace_id = p.request.trace_id;
+      f.parent_span = p.request.parent_span;
       forward_mutation(std::move(f));
     } else {
       // No live backup (lost redundancy, or the canary dropped the
       // forward): ack directly, degraded.
       ++proc.stats.repl_degraded;
-      post_response(s, p.client, status, {}, token);
+      post_response(s, p.client, status, {}, token, p.request.trace_id,
+                    p.request.parent_span);
     }
   } else {
     ++proc.stats.gets;
@@ -943,9 +1042,10 @@ void HerdService::serve(std::uint32_t s, std::uint32_t shard, Replica& rep,
       ++proc.stats.get_hits;
       post_response(s, p.client, RespStatus::kOk,
                     std::span<const std::byte>(value_buf, r.value_len),
-                    token);
+                    token, p.request.trace_id, p.request.parent_span);
     } else {
-      post_response(s, p.client, RespStatus::kNotFound, {}, token);
+      post_response(s, p.client, RespStatus::kNotFound, {}, token,
+                    p.request.trace_id, p.request.parent_span);
     }
   }
 }
@@ -991,6 +1091,15 @@ void HerdService::deliver_forward(const Fwd& f) {
         observer_->on_apply(f.to, f.client, f.key, f.is_delete,
                             /*applied=*/!dup, now);
       }
+      if (f.trace_id != 0) {
+        obs::Tracer* tr = host_->ctx().tracer();
+        if (obs::tracing(tr)) {
+          tr->instant(b.core->name(), "repl_apply", now,
+                      "shard=" + std::to_string(f.shard) +
+                          (dup ? " dup" : ""),
+                      obs::TraceCtx{f.trace_id, f.parent_span});
+        }
+      }
       ++b.stats.repl_applies;
       delivered = true;
     }
@@ -1004,20 +1113,36 @@ void HerdService::deliver_forward(const Fwd& f) {
     Proc& prim = *procs_[f.from];
     if (!prim.alive) return;
     ++prim.stats.repl_degraded;
-    post_response(f.from, f.client, f.status, {}, f.token);
+    post_response(f.from, f.client, f.status, {}, f.token, f.trace_id,
+                  f.parent_span);
     return;
   }
   engine.schedule_after(
       cfg_.repl_forward_delay,
       [this, from = f.from, client = f.client, status = f.status,
-       token = f.token]() {
+       token = f.token, trace_id = f.trace_id, parent = f.parent_span,
+       applied = engine.now()]() {
         Proc& prim = *procs_[from];
         // Primary died before acking: the client never hears back, retries
         // against the promoted backup, and the replicated dedup ring
         // replays the recorded result — the maybe-applied path.
         if (!prim.alive) return;
         ++prim.stats.repl_acks;
-        post_response(from, client, status, {}, token);
+        if (trace_id != 0) {
+          sim::Tick now = host_->ctx().engine().now();
+          // The whole forward round trip — primary send through backup
+          // apply to this ack — is the request's replication share.
+          if (obs::TailProfiler* tp = host_->ctx().tail()) {
+            tp->stage(trace_id, "repl_fwd", now);
+          }
+          obs::Tracer* tr = host_->ctx().tracer();
+          if (obs::tracing(tr)) {
+            tr->span(prim.core->name(), "repl_ack", applied, now,
+                     "client=" + std::to_string(client),
+                     obs::TraceCtx{trace_id, parent});
+          }
+        }
+        post_response(from, client, status, {}, token, trace_id, parent);
       });
 }
 
@@ -1032,7 +1157,8 @@ void HerdService::complete_legacy(std::uint32_t s, const Pending& p) {
                                              : "get";
       tr->instant(proc.core->name(), std::string("serve_") + kind,
                   host_->ctx().engine().now(),
-                  "client=" + std::to_string(p.client));
+                  "client=" + std::to_string(p.client),
+                  obs::TraceCtx{p.request.trace_id, p.request.parent_span});
     }
   }
 
@@ -1062,7 +1188,8 @@ void HerdService::complete_legacy(std::uint32_t s, const Pending& p) {
       observer_->on_apply(s, p.client, p.request.key, p.request.is_delete,
                           /*applied=*/false, now);
     }
-    post_response(s, p.client, static_cast<RespStatus>(*replay), {}, token);
+    post_response(s, p.client, static_cast<RespStatus>(*replay), {}, token,
+                  p.request.trace_id, p.request.parent_span);
   } else if (is_mutation) {
     RespStatus status = RespStatus::kOk;
     if (p.request.is_delete) {
@@ -1081,7 +1208,8 @@ void HerdService::complete_legacy(std::uint32_t s, const Pending& p) {
       observer_->on_apply(s, p.client, p.request.key, p.request.is_delete,
                           /*applied=*/true, now);
     }
-    post_response(s, p.client, status, {}, token);
+    post_response(s, p.client, status, {}, token, p.request.trace_id,
+                  p.request.parent_span);
   } else {
     ++proc.stats.gets;
     auto r = owner.cache->get(p.request.key, value_buf);
@@ -1089,9 +1217,10 @@ void HerdService::complete_legacy(std::uint32_t s, const Pending& p) {
       ++proc.stats.get_hits;
       post_response(s, p.client, RespStatus::kOk,
                     std::span<const std::byte>(value_buf, r.value_len),
-                    token);
+                    token, p.request.trace_id, p.request.parent_span);
     } else {
-      post_response(s, p.client, RespStatus::kNotFound, {}, token);
+      post_response(s, p.client, RespStatus::kNotFound, {}, token,
+                    p.request.trace_id, p.request.parent_span);
     }
   }
 
@@ -1101,7 +1230,8 @@ void HerdService::complete_legacy(std::uint32_t s, const Pending& p) {
 void HerdService::post_response(std::uint32_t s, std::uint32_t client,
                                 RespStatus status,
                                 std::span<const std::byte> value,
-                                std::uint32_t token) {
+                                std::uint32_t token, std::uint64_t trace_id,
+                                std::uint32_t parent_span) {
   Proc& p = *procs_[s];
   const verbs::Ah& ah = client_ah_.at(client).at(s);
   if (ah.ctx == nullptr) {
@@ -1117,6 +1247,7 @@ void HerdService::post_response(std::uint32_t s, std::uint32_t client,
   verbs::SendWr wr;
   wr.opcode = verbs::Opcode::kSend;
   wr.sge = {addr, len, scratch_mr_.lkey};
+  wr.trace_id = trace_id;
   // Responses are unsignaled: "HERD uses SENDs for responding to requests,
   // it can use new requests as an indication of the completion of old SENDs"
   wr.signaled = false;
@@ -1128,6 +1259,8 @@ void HerdService::post_response(std::uint32_t s, std::uint32_t client,
     // staging ring (response_ring slots) is far deeper than the chain cap,
     // so slots stay live until the chained post captures/DMAs them.
     p.resp_chain.push_back(wr);
+    p.resp_chain_meta.push_back(
+        {trace_id, parent_span, host_->ctx().engine().now()});
     return;
   }
   p.ud_qp->post_send(wr);
@@ -1143,7 +1276,30 @@ void HerdService::flush_responses(std::uint32_t s) {
   // responses; the flush pays the one post_send that rings the doorbell.
   p.core->charge(cpu_.post_send);
   p.ud_qp->post_send(std::span<const verbs::SendWr>(p.resp_chain));
+  // Sampled chain members: the time a response sat parked is its own
+  // chain_hold, and the single doorbell's post cost is split evenly across
+  // the chain — never billed whole to whichever member triggered the flush.
+  // charge() advances the profiler's mark by exactly the share, so the
+  // telescoping stage sums still equal end-to-end latency.
+  sim::Tick now = host_->ctx().engine().now();
+  auto share =
+      cpu_.post_send / static_cast<sim::Tick>(p.resp_chain.size());
+  obs::TailProfiler* tp = host_->ctx().tail();
+  obs::Tracer* tr = host_->ctx().tracer();
+  for (const Proc::RespMeta& m : p.resp_chain_meta) {
+    if (m.trace_id == 0) continue;
+    if (tp != nullptr) {
+      tp->stage(m.trace_id, "chain_hold", now);
+      tp->charge(m.trace_id, "doorbell", share);
+    }
+    if (obs::tracing(tr) && now > m.appended) {
+      tr->span(p.core->name(), "chain_hold", m.appended, now,
+               "chain_len=" + std::to_string(p.resp_chain.size()),
+               obs::TraceCtx{m.trace_id, m.parent_span});
+    }
+  }
   p.resp_chain.clear();
+  p.resp_chain_meta.clear();
 }
 
 }  // namespace herd::core

@@ -204,6 +204,9 @@ class HerdService {
     std::uint64_t slot_addr = 0;     // WRITE mode: slot to re-arm
     std::uint64_t recv_addr = 0;     // SEND mode: recv buffer to repost
     std::uint64_t recv_wr_id = 0;
+    /// Detection tick: when the poll loop (or recv CQ) first saw this
+    /// request. The DRR-wait span runs from here to pipeline admission.
+    sim::Tick detected = 0;
   };
 
   /// One copy of one shard's state: cache plus the per-client
@@ -247,6 +250,18 @@ class HerdService {
     /// burst-ending quantum (or the chain cap) flushes the accumulated
     /// responses as one WR chain — one doorbell for the whole burst.
     std::vector<verbs::SendWr> resp_chain;
+    /// Per-chain-member trace metadata, parallel to resp_chain: which
+    /// sampled request (if any) each parked response belongs to and when it
+    /// was appended. flush_responses() turns each entry into a chain_hold
+    /// stage plus an amortized share of the doorbell's post cost, so the
+    /// per-request breakdown sums correctly instead of billing the whole
+    /// chained post to the last member.
+    struct RespMeta {
+      std::uint64_t trace_id = 0;
+      std::uint32_t parent_span = 0;
+      sim::Tick appended = 0;
+    };
+    std::vector<RespMeta> resp_chain_meta;
     bool resp_coalesce = false;
     std::uint64_t recv_base = 0;    // SEND mode recv buffers
     bool alive = true;
@@ -268,6 +283,11 @@ class HerdService {
     std::vector<std::byte> value;  // PUT payload
     RespStatus status = RespStatus::kOk;
     bool ack = false;  // true: primary responds to the client on ack
+    /// Causal trace context of the originating request (0 = unsampled):
+    /// replication forwards, backup applies, and the ack-path response all
+    /// record against the same trace id the client put on the wire.
+    std::uint64_t trace_id = 0;
+    std::uint32_t parent_span = 0;
   };
 
   Replica make_replica() const;
@@ -291,7 +311,8 @@ class HerdService {
              const Pending& p);
   void rearm(std::uint32_t s, const Pending& p);
   void send_redirect(std::uint32_t s, std::uint32_t client,
-                     std::uint32_t token, const ShardInfo& si);
+                     std::uint32_t token, const ShardInfo& si,
+                     std::uint64_t trace_id = 0, std::uint32_t parent_span = 0);
   void forward_mutation(Fwd f);
   void deliver_forward(const Fwd& f);
   void promote_shard(std::uint32_t shard, std::uint64_t expected_epoch);
@@ -302,7 +323,8 @@ class HerdService {
   /// primary is alive again) parked requests held by process `s`.
   void drain_parked(std::uint32_t s);
   void post_response(std::uint32_t s, std::uint32_t client, RespStatus status,
-                     std::span<const std::byte> value, std::uint32_t token);
+                     std::span<const std::byte> value, std::uint32_t token,
+                     std::uint64_t trace_id = 0, std::uint32_t parent_span = 0);
   /// Posts process `s`'s accumulated response chain as one post_send(span)
   /// — one doorbell for the whole burst — and clears it.
   void flush_responses(std::uint32_t s);

@@ -324,8 +324,35 @@ HerdTestbed::HerdTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
     return merged;
   });
 
+  // Per-shard dimensions: each server process's own tallies, so a tail
+  // regression can be localized to one shard/core without re-running.
+  for (std::uint32_t s = 0; s < cfg_.herd.n_server_procs; ++s) {
+    std::string base = "service.proc" + std::to_string(s);
+    reg.counter_fn(base + ".requests",
+                   [this, s] { return service_->proc_stats(s).requests; });
+    reg.counter_fn(base + ".resp_chains", [this, s] {
+      return service_->proc_stats(s).resp_chains;
+    });
+    reg.counter_fn(base + ".resp_chained", [this, s] {
+      return service_->proc_stats(s).resp_chained;
+    });
+    if (cfg_.herd.overload.enable) {
+      reg.counter_fn(base + ".shed", [this, s] {
+        const HerdService::ProcStats& st = service_->proc_stats(s);
+        return st.shed_quota + st.shed_degraded + st.shed_deadline;
+      });
+    }
+  }
+  reg.counter_fn("service.resp_chains",
+                 sum_proc(&HerdService::ProcStats::resp_chains));
+  reg.counter_fn("service.resp_chained",
+                 sum_proc(&HerdService::ProcStats::resp_chained));
+
   if (cfg_.trace_sample_every > 0) {
     cluster_->tracer().enable(cfg_.trace_sample_every);
+    // The tail profiler rides the same sampling window: the client begins a
+    // profile for exactly the requests whose trace id goes on the wire.
+    cluster_->tail().enable();
   }
 }
 

@@ -185,6 +185,13 @@ class TestbedConfigBuilder {
     cfg_.trace_sample_every = v;
     return *this;
   }
+  /// Carry TraceCtx on the request wire (12 bytes after the value; needs
+  /// request_tokens). Without it, sampled requests still trace client-side,
+  /// but the server cannot attribute its stages to the trace id.
+  TestbedConfigBuilder& trace(bool v) {
+    cfg_.herd.trace = v;
+    return *this;
+  }
   TestbedConfigBuilder& flight_interval(sim::Tick v) {
     cfg_.flight_interval = v;
     return *this;
@@ -262,6 +269,12 @@ class HerdTestbed {
   /// The cluster tracer (enabled when TestbedConfig::trace_sample_every is
   /// nonzero, or by hand via tracer().enable()).
   obs::Tracer& tracer() { return cluster_->tracer(); }
+  /// The cluster tail profiler (enabled alongside the tracer when
+  /// trace_sample_every is nonzero). Sampled requests' per-stage latency
+  /// breakdowns accumulate here; quantile("ok", 0.99) is the p99 cut the
+  /// bench reports publish.
+  obs::TailProfiler& tail() { return cluster_->tail(); }
+  const obs::TailProfiler& tail() const { return cluster_->tail(); }
   /// Chrome trace_event JSON of everything recorded so far (load in
   /// chrome://tracing or Perfetto).
   std::string trace_json() const { return cluster_->tracer().chrome_json(); }

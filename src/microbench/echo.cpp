@@ -1,8 +1,10 @@
 #include "microbench/echo.hpp"
 
 #include <array>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/core.hpp"
@@ -65,6 +67,14 @@ struct Deployment {
   std::vector<std::unique_ptr<Client>> clients;
   std::vector<std::unique_ptr<verbs::Qp>> server_qps;  // per client
   sim::Pcg32 jitter{99, 7};
+
+  /// Tail sampling: client 0's every-16th echo is profiled issue ->
+  /// doorbell ("client_post") -> response arrival ("echo_rtt"). Responses
+  /// aren't tagged, but a single client's echoes complete in issue order in
+  /// the simulator, so a FIFO of (issue index, profiler id) matches them.
+  static constexpr std::uint64_t kTailSampleEvery = 16;
+  obs::TailProfiler* tail = nullptr;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> tail_fifo;
 
   std::uint64_t req_base(std::uint32_t c, std::uint32_t w) const {
     return (std::uint64_t{c} * opts.window + w) * kSlot;
@@ -137,8 +147,18 @@ void Deployment::client_issue(Client& cc) {
   bool recv_response = kind == EchoKind::kSendSend ||
                        (kind == EchoKind::kWriteSend);
   if (recv_response) cost += cpu.post_recv;
+  std::uint64_t idx = cc.slot;  // issue index of this echo
   std::uint32_t w = cc.slot++ % opts.window;
-  cc.core->run(cost, [this, &cc, w, recv_response]() {
+  std::uint64_t tail_id = 0;
+  if (tail != nullptr && cc.id == 0 && idx % kTailSampleEvery == 0) {
+    tail_id = idx + 1;  // profiler key; 0 means "unsampled"
+    tail->begin(tail_id, cl->engine().now());
+    tail_fifo.emplace_back(idx, tail_id);
+  }
+  cc.core->run(cost, [this, &cc, w, recv_response, tail_id]() {
+    if (tail_id != 0) {
+      tail->stage(tail_id, "client_post", cl->engine().now());
+    }
     if (recv_response) {
       std::uint64_t rbuf = cc.arena + 8192 + w * kSlot;
       verbs::Qp* rqp =
@@ -163,6 +183,13 @@ void Deployment::client_issue(Client& cc) {
 
 void Deployment::client_done(Client& cc) {
   ++cc.completed;
+  if (cc.id == 0 && tail != nullptr) {
+    sim::Tick now = cl->engine().now();
+    while (!tail_fifo.empty() && tail_fifo.front().first < cc.completed) {
+      tail->finish(tail_fifo.front().second, "ok", now, "echo_rtt");
+      tail_fifo.pop_front();
+    }
+  }
   if (cc.outstanding > 0) --cc.outstanding;
   while (cc.outstanding < opts.window) client_issue(cc);
 }
@@ -336,6 +363,7 @@ class EchoBench final : public Microbench {
     d.unreliable = opts_.opt_level >= 1;
     d.unsignaled = opts_.opt_level >= 2;
     d.inlined = opts_.opt_level >= 3;
+    d.tail = &tail();
     d.build(cfg);
 
     for (auto& c : d.clients) {

@@ -1,18 +1,32 @@
 #include "microbench/microbench.hpp"
 
+#include "obs/bench_report.hpp"
+
 namespace herd::microbench {
 
 namespace {
-RunRecord g_last;  // NOLINT: process-wide last-run record
+RunRecord g_last;            // NOLINT: process-wide last-run record
+bool g_trace_capture = false;     // NOLINT: --bench-trace knob
+std::uint32_t g_next_pump = 0;    // NOLINT: per-run pump ordinal counter
 }  // namespace
 
 const RunRecord& last_run() { return g_last; }
+
+void set_trace_capture(bool on) { g_trace_capture = on; }
+bool trace_capture() { return g_trace_capture; }
+
+std::uint32_t next_pump_ordinal() { return ++g_next_pump; }
 
 double Microbench::run(const cluster::ClusterConfig& cfg) {
   record_.value = 0;
   record_.snapshot = {};
   record_.attr = {};
   record_.timeseries = {};
+  record_.tail = {};
+  record_.trace_json.clear();
+  g_next_pump = 0;  // identical runs hand out identical trace-id salts
+  tail_.clear();
+  tail_.enable();
   record_.value = execute(cfg);
   g_last = record_;
   return record_.value;
@@ -23,6 +37,13 @@ double Microbench::measure_rate(cluster::Cluster& cl,
                                 sim::Tick measure) {
   auto& eng = cl.engine();
   eng.run_until(eng.now() + sim::ms(1));  // warm-up
+  if (g_trace_capture) {
+    // One window over the whole measurement: every span the cluster's
+    // pre-wired tracer sees is recorded, and sampled ops (nonzero WR trace
+    // ids) group their RNIC pipeline hops under one trace id each.
+    cl.tracer().enable(1);
+    cl.tracer().sample();
+  }
   std::uint64_t before = count();
   sim::Tick start = eng.now();
   // Flight-record the measurement window: 16 fixed-width windows however
@@ -44,6 +65,15 @@ double Microbench::measure_rate(cluster::Cluster& cl,
 void Microbench::finish(cluster::Cluster& cl) {
   cluster::require_contract_clean(cl);
   record_.snapshot = cl.snapshot();
+  if (tail_.count("ok") > 0) {
+    record_.tail = obs::tail_json(tail_.quantile("ok", 0.99));
+  }
+  tail_.clear();
+  if (g_trace_capture && cl.tracer().enabled()) {
+    record_.trace_json = cl.tracer().chrome_json();
+    cl.tracer().release();
+    cl.tracer().disable();
+  }
 }
 
 }  // namespace herd::microbench

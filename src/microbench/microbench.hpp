@@ -14,7 +14,9 @@
 
 #include "cluster/cluster.hpp"
 #include "obs/flight.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tail.hpp"
 
 namespace herd::microbench {
 
@@ -32,7 +34,27 @@ struct RunRecord {
   /// Flight-recorder "herd-timeseries/1" document for the measurement
   /// window (Null when not recorded).
   obs::Json timeseries;
+  /// Per-op p99 stage breakdown (obs::tail_json shape) of the sampled ops
+  /// that completed "ok"; Null when the driver sampled nothing.
+  obs::Json tail;
+  /// Chrome-trace export ("herd-trace/2") of the measurement window when
+  /// trace capture was requested (set_trace_capture); empty otherwise.
+  /// Multi-cluster drivers keep the last cluster's trace, same convention
+  /// as the snapshot.
+  std::string trace_json;
 };
+
+/// Turns Chrome-trace capture on (true) or off for subsequent runs: the
+/// measurement window of each cluster is recorded through the cluster's
+/// pre-wired tracer and exported into RunRecord::trace_json. Bench binaries
+/// set this from --bench-trace.
+void set_trace_capture(bool on);
+bool trace_capture();
+
+/// Deterministic per-run ordinal for pump/driver instances, used to salt
+/// the trace ids of sampled ops so concurrent pumps never collide. Reset at
+/// the start of every Microbench::run().
+std::uint32_t next_pump_ordinal();
 
 /// Base class for microbench drivers. Subclasses implement execute() —
 /// build the deployment, start traffic, and return the headline value via
@@ -64,10 +86,19 @@ class Microbench {
 
   /// Contract gate + registry snapshot. Call once per cluster, after its
   /// traffic is done; throws on any recorded verbs-contract violation.
+  /// Folds any finished tail samples into the record (p99 of outcome "ok")
+  /// and resets the profiler, so multi-cluster drivers keep the last
+  /// cluster's breakdown — same convention as the snapshot.
   void finish(cluster::Cluster& cl);
+
+  /// Per-op tail profiler the driver's pumps mark stages into. Enabled for
+  /// every run: sampling cadence is the driver's choice (every Nth op), and
+  /// the overhead is simulator-side only.
+  obs::TailProfiler& tail() { return tail_; }
 
  private:
   RunRecord record_;
+  obs::TailProfiler tail_;
 };
 
 /// Record of the most recent Microbench::run() in this process. The free

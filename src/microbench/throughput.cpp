@@ -22,6 +22,12 @@ namespace {
 /// a batch. A batch is built first, then consecutive WRs targeting the same
 /// QP post as ONE WR chain — one doorbell and one (cheaper) chained
 /// post_send charge on the issuing core instead of a full post per verb.
+///
+/// Every kTailSampleEvery-th *signaled* verb is tail-profiled: its wr_id
+/// carries the sequence number so the completion can be matched, and the
+/// profiler records issue -> doorbell ("post_cpu") and doorbell ->
+/// completion ("net_rtt") — the two-stage breakdown behind the microbench
+/// figures' per-point "tail" field.
 class WindowPump {
  public:
   /// Builds the next WR and names the QP it goes to (all-to-all pumps pick
@@ -29,13 +35,18 @@ class WindowPump {
   using MakeFn =
       std::function<std::pair<verbs::Qp*, verbs::SendWr>(bool signaled)>;
 
+  static constexpr std::uint32_t kTailSampleEvery = 16;  // of signaled verbs
+
   WindowPump(sim::Engine& eng, cluster::SequentialCore& core, verbs::Cq& cq,
-             const TputSpec& spec, const cluster::CpuModel& cpu, MakeFn make)
+             const TputSpec& spec, const cluster::CpuModel& cpu,
+             obs::TailProfiler* tail, MakeFn make)
       : eng_(&eng),
         core_(&core),
         cq_(&cq),
         spec_(spec),
         cpu_(cpu),
+        tail_(tail),
+        ordinal_(next_pump_ordinal()),
         make_(std::move(make)) {
     cq_->set_notify([this]() { on_cq(); });
   }
@@ -49,7 +60,17 @@ class WindowPump {
     batch.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       ++seq_;
-      batch.push_back(make_(seq_ % spec_.signal_every == 0));
+      bool signaled = seq_ % spec_.signal_every == 0;
+      batch.push_back(make_(signaled));
+      if (tail_ != nullptr && signaled &&
+          (seq_ / spec_.signal_every) % kTailSampleEvery == 0) {
+        batch.back().second.wr_id = seq_;
+        // One trace id per sampled verb (ordinal salt keeps concurrent
+        // pumps apart); the RNIC pipeline spans on both hosts carry it.
+        batch.back().second.trace_id =
+            (std::uint64_t{ordinal_} << 32) | seq_;
+        tail_->begin(seq_, eng_->now());
+      }
     }
     std::size_t i = 0;
     while (i < batch.size()) {
@@ -60,7 +81,14 @@ class WindowPump {
       for (std::size_t k = i; k < j; ++k) chain.push_back(batch[k].second);
       verbs::Qp* qp = batch[i].first;
       core_->run(cpu_.chained_post_cost(chain.size()),
-                 [qp, chain = std::move(chain)]() {
+                 [this, qp, chain = std::move(chain)]() {
+                   if (tail_ != nullptr) {
+                     for (const verbs::SendWr& w : chain) {
+                       if (w.wr_id != 0) {
+                         tail_->stage(w.wr_id, "post_cpu", eng_->now());
+                       }
+                     }
+                   }
                    qp->post_send(std::span<const verbs::SendWr>(chain));
                  });
       i = j;
@@ -73,6 +101,14 @@ class WindowPump {
     std::array<verbs::Wc, 16> wcs;
     std::size_t n;
     while ((n = cq_->poll(wcs)) > 0) {
+      if (tail_ != nullptr) {
+        sim::Tick now = eng_->now();
+        for (std::size_t k = 0; k < n; ++k) {
+          if (wcs[k].wr_id != 0) {
+            tail_->finish(wcs[k].wr_id, "ok", now, "net_rtt");
+          }
+        }
+      }
       post_batch(static_cast<std::uint32_t>(n) * spec_.signal_every);
     }
   }
@@ -82,6 +118,8 @@ class WindowPump {
   verbs::Cq* cq_;
   TputSpec spec_;
   cluster::CpuModel cpu_;
+  obs::TailProfiler* tail_;
+  std::uint32_t ordinal_;
   MakeFn make_;
   std::uint64_t seq_ = 0;
 };
@@ -184,7 +222,7 @@ double InboundTputBench::execute(const cluster::ClusterConfig& cfg) {
     std::uint64_t target = std::uint64_t{i} * 4096;
     verbs::Qp* qp = r.qps[0].get();
     r.pump = std::make_unique<WindowPump>(
-        cl.engine(), *r.core, *r.scq, spec, cfg.cpu,
+        cl.engine(), *r.core, *r.scq, spec, cfg.cpu, &tail(),
         [qp, spec, &r, smr, target](bool signaled) {
           return std::pair{qp, make_wr(spec, r.mr, smr, target, signaled)};
         });
@@ -260,7 +298,7 @@ double OutboundTputBench::execute(const cluster::ClusterConfig& cfg) {
       verbs::Ah ah{&chost.ctx(), rq->qpn()};
       r.qps.push_back(std::move(ud));
       r.pump = std::make_unique<WindowPump>(
-          cl.engine(), *r.core, *r.scq, spec, cfg.cpu,
+          cl.engine(), *r.core, *r.scq, spec, cfg.cpu, &tail(),
           [uq, spec, &r, ah](bool signaled) {
             verbs::SendWr wr;
             wr.opcode = verbs::Opcode::kSend;
@@ -280,7 +318,7 @@ double OutboundTputBench::execute(const cluster::ClusterConfig& cfg) {
       verbs::Mr cmr = cs.mr;
       r.qps.push_back(std::move(sqp));
       r.pump = std::make_unique<WindowPump>(
-          cl.engine(), *r.core, *r.scq, spec, cfg.cpu,
+          cl.engine(), *r.core, *r.scq, spec, cfg.cpu, &tail(),
           [qp, spec, &r, cmr](bool signaled) {
             return std::pair{qp, make_wr(spec, r.mr, cmr, 0, signaled)};
           });
@@ -333,7 +371,7 @@ double AllToAllInboundBench::execute(const cluster::ClusterConfig& cfg) {
       server_qps.push_back(std::move(sqp));
     }
     r.pump = std::make_unique<WindowPump>(
-        cl.engine(), *r.core, *r.scq, spec, cfg.cpu,
+        cl.engine(), *r.core, *r.scq, spec, cfg.cpu, &tail(),
         [&r, spec, smr, i, n](bool signaled) {
           std::uint32_t j = r.rng.next_below(n);
           std::uint64_t target = (std::uint64_t{i} * n + j) * 256;
@@ -409,7 +447,7 @@ double AllToAllOutboundBench::execute(const cluster::ClusterConfig& cfg) {
       verbs::Qp* uq = ud.get();
       r.qps.push_back(std::move(ud));
       r.pump = std::make_unique<WindowPump>(
-          cl.engine(), *r.core, *r.scq, spec, cfg.cpu,
+          cl.engine(), *r.core, *r.scq, spec, cfg.cpu, &tail(),
           [&r, uq, spec, &clients, &cl, n](bool signaled) {
             std::uint32_t j = r.rng.next_below(n);
             verbs::SendWr wr;
@@ -431,7 +469,7 @@ double AllToAllOutboundBench::execute(const cluster::ClusterConfig& cfg) {
         clients[j].qps.push_back(std::move(cqp));
       }
       r.pump = std::make_unique<WindowPump>(
-          cl.engine(), *r.core, *r.scq, spec, cfg.cpu,
+          cl.engine(), *r.core, *r.scq, spec, cfg.cpu, &tail(),
           [&r, spec, &clients, s, n](bool signaled) {
             std::uint32_t j = r.rng.next_below(n);
             std::uint64_t target = std::uint64_t{s} * 256;
@@ -492,7 +530,7 @@ double ManyToOneTputBench::execute(const cluster::ClusterConfig& cfg) {
     std::uint64_t target = std::uint64_t{i} * 256;
     verbs::Qp* qp = r.qps[0].get();
     r.pump = std::make_unique<WindowPump>(
-        cl.engine(), *r.core, *r.scq, spec, cfg.cpu,
+        cl.engine(), *r.core, *r.scq, spec, cfg.cpu, &tail(),
         [qp, spec, &r, smr, target](bool signaled) {
           return std::pair{qp, make_wr(spec, r.mr, smr, target, signaled)};
         });

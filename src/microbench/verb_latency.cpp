@@ -11,11 +11,16 @@ namespace herd::microbench {
 
 namespace {
 
+/// Every 16th ping is tail-profiled. One op is in flight at a time, so the
+/// whole latency is a single honest "net_rtt" (or "echo_rtt") stage — the
+/// breakdown trivially sums to the end-to-end number.
+constexpr std::uint32_t kTailSampleEvery = 16;
+
 /// Ping-pong driver for one signaled verb type. Contract gating and
 /// snapshotting are the caller's job (VerbLatencyBench::finish).
 double signaled_latency(cluster::Cluster& cl, verbs::Opcode opcode,
                         bool inlined, std::uint32_t payload,
-                        std::uint32_t iters) {
+                        std::uint32_t iters, obs::TailProfiler* tail) {
   auto& client = cl.host(0);
   auto& server = cl.host(1);
   auto scq = client.ctx().create_cq();
@@ -35,6 +40,7 @@ double signaled_latency(cluster::Cluster& cl, verbs::Opcode opcode,
   auto& eng = cl.engine();
   sim::Tick posted = 0;
   std::uint32_t remaining = iters;
+  std::uint64_t seq = 0, sampled = 0;
 
   std::function<void()> post = [&]() {
     verbs::SendWr wr;
@@ -45,6 +51,10 @@ double signaled_latency(cluster::Cluster& cl, verbs::Opcode opcode,
     wr.inline_data = inlined;
     wr.signaled = true;
     posted = eng.now();
+    if (tail != nullptr && ++seq % kTailSampleEvery == 0) {
+      sampled = seq;
+      tail->begin(sampled, posted);
+    }
     cqp->post_send(wr);
   };
   scq->set_notify([&]() {
@@ -53,6 +63,10 @@ double signaled_latency(cluster::Cluster& cl, verbs::Opcode opcode,
     while ((n = scq->poll(wcs)) > 0) {
       for (std::size_t i = 0; i < n; ++i) {
         hist.record(eng.now() - posted);
+        if (sampled != 0) {
+          tail->finish(sampled, "ok", eng.now(), "net_rtt");
+          sampled = 0;
+        }
         if (--remaining > 0) {
           // Small think time so consecutive ops don't overlap.
           eng.schedule_after(sim::ns(100), post);
@@ -67,7 +81,7 @@ double signaled_latency(cluster::Cluster& cl, verbs::Opcode opcode,
 
 /// Inlined + unsignaled WRITE echo over RC (Fig. 2a's "WR-I, RC (ECHO)").
 double echo_latency(cluster::Cluster& cl, std::uint32_t payload,
-                    std::uint32_t iters) {
+                    std::uint32_t iters, obs::TailProfiler* tail) {
   auto& client = cl.host(0);
   auto& server = cl.host(1);
   auto ccq = client.ctx().create_cq();
@@ -103,6 +117,7 @@ double echo_latency(cluster::Cluster& cl, std::uint32_t payload,
     });
   });
 
+  std::uint64_t seq = 0, sampled = 0;
   std::function<void()> post = [&]() {
     verbs::SendWr wr;
     wr.opcode = verbs::Opcode::kWrite;
@@ -112,11 +127,20 @@ double echo_latency(cluster::Cluster& cl, std::uint32_t payload,
     wr.inline_data = true;
     wr.signaled = false;
     posted = eng.now();
+    if (tail != nullptr && ++seq % kTailSampleEvery == 0) {
+      sampled = seq;
+      tail->begin(sampled, posted);
+    }
     cqp->post_send(wr);
   };
   client.memory().add_watch(4096, payload,
                             [&](std::uint64_t, std::uint32_t) {
                               hist.record(eng.now() - posted);
+                              if (sampled != 0) {
+                                tail->finish(sampled, "ok", eng.now(),
+                                             "echo_rtt");
+                                sampled = 0;
+                              }
                               if (--remaining > 0) {
                                 eng.schedule_after(sim::ns(100), post);
                               }
@@ -141,26 +165,26 @@ class VerbLatencyBench final : public Microbench {
     LatencyResult& r = result_;
     {
       cluster::Cluster cl(cfg, 2, 64 << 10);
-      r.read_us =
-          signaled_latency(cl, verbs::Opcode::kRead, false, payload_, iters_);
+      r.read_us = signaled_latency(cl, verbs::Opcode::kRead, false, payload_,
+                                   iters_, &tail());
       finish(cl);
     }
     {
       cluster::Cluster cl(cfg, 2, 64 << 10);
       r.write_us = signaled_latency(cl, verbs::Opcode::kWrite, false,
-                                    payload_, iters_);
+                                    payload_, iters_, &tail());
       finish(cl);
     }
     if (payload_ <= cfg.rnic.max_inline) {
       {
         cluster::Cluster cl(cfg, 2, 64 << 10);
         r.write_inline_us = signaled_latency(cl, verbs::Opcode::kWrite, true,
-                                             payload_, iters_);
+                                             payload_, iters_, &tail());
         finish(cl);
       }
       {
         cluster::Cluster cl(cfg, 2, 64 << 10);
-        r.echo_us = echo_latency(cl, payload_, iters_);
+        r.echo_us = echo_latency(cl, payload_, iters_, &tail());
         finish(cl);
       }
     }

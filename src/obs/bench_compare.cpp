@@ -72,6 +72,60 @@ MetricDirection metric_direction(const std::string& metric) {
   return MetricDirection::kExact;
 }
 
+std::vector<std::string> check_tail_consistency(const Json& doc) {
+  std::vector<std::string> problems;
+  const Json* series = doc.find("series");
+  if (series == nullptr || !series->is_array()) return problems;
+  std::string figure;
+  if (const Json* f = doc.find("figure"); f != nullptr && f->is_string()) {
+    figure = f->as_string();
+  }
+  for (const Json& s : series->elements()) {
+    std::string sname;
+    if (const Json* n = s.find("name"); n != nullptr && n->is_string()) {
+      sname = n->as_string();
+    }
+    const Json* pts = s.find("points");
+    if (pts == nullptr || !pts->is_array()) continue;
+    for (const Json& p : pts->elements()) {
+      const Json* tail = p.find("tail");
+      if (tail == nullptr || !tail->is_object()) continue;
+      double x = 0;
+      if (const Json* px = p.find("x"); px != nullptr && px->is_number()) {
+        x = px->as_double();
+      }
+      std::string where = figure + " " + sname + " x=" + fmt(x);
+      const Json* total = tail->find("p99_total_us");
+      const Json* sum = tail->find("stage_sum_us");
+      const Json* stages = tail->find("stages");
+      if (total == nullptr || !total->is_number() || sum == nullptr ||
+          !sum->is_number() || stages == nullptr || !stages->is_object()) {
+        problems.push_back(where + ": malformed tail object");
+        continue;
+      }
+      double resum = 0;
+      for (const auto& [name, us] : stages->items()) {
+        if (us.is_number()) resum += us.as_double();
+      }
+      double t = total->as_double();
+      double claimed = sum->as_double();
+      // fp-only slack: stage values were each rounded tick->us once.
+      double eps = std::max(1e-3, 1e-6 * std::fabs(claimed));
+      if (std::fabs(resum - claimed) > eps) {
+        problems.push_back(where + ": tail stages re-sum to " + fmt(resum) +
+                           " but stage_sum_us says " + fmt(claimed));
+      }
+      // The 1% attribution gate: decomposed time must equal end-to-end.
+      if (std::fabs(claimed - t) > 0.01 * std::fabs(t)) {
+        problems.push_back(where + ": tail stage sum " + fmt(claimed) +
+                           " vs p99_total_us " + fmt(t) +
+                           " differs by more than 1%");
+      }
+    }
+  }
+  return problems;
+}
+
 CompareResult compare_bench(const Json& baseline, const Json& current,
                             const CompareOptions& opts) {
   CompareResult out;
@@ -79,6 +133,9 @@ CompareResult compare_bench(const Json& baseline, const Json& current,
     out.problems.push_back("baseline: " + p);
   }
   for (const std::string& p : validate_bench_json(current)) {
+    out.problems.push_back("current: " + p);
+  }
+  for (const std::string& p : check_tail_consistency(current)) {
     out.problems.push_back("current: " + p);
   }
   if (!out.problems.empty()) return out;

@@ -68,9 +68,19 @@ enum class MetricDirection : std::uint8_t {
 /// Name-based direction inference (case-insensitive substring match).
 MetricDirection metric_direction(const std::string& metric);
 
+/// Per-request attribution consistency: for every point carrying a "tail"
+/// object, the emitted stages must re-sum to stage_sum_us (fp tolerance)
+/// and stage_sum_us must equal p99_total_us within 1% — the telescoping
+/// guarantee obs::TailProfiler makes by construction, checked on the
+/// producer's own output so a broken stage mark (double charge, missed
+/// residual) fails the gate rather than skewing the breakdown silently.
+/// Returns human-readable problems; empty means consistent.
+std::vector<std::string> check_tail_consistency(const Json& doc);
+
 /// Diffs two herd-bench/1 documents. Both must validate against the schema
 /// and agree on "figure"; otherwise the result carries problems and no
-/// point comparisons.
+/// point comparisons. The current document additionally passes
+/// check_tail_consistency(); violations surface as problems.
 CompareResult compare_bench(const Json& baseline, const Json& current,
                             const CompareOptions& opts = {});
 

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace herd::obs {
 
 void BenchReport::set_config(const std::string& key, Json value) {
@@ -38,6 +40,13 @@ void BenchReport::add_point(
     const std::string& series, double x,
     std::vector<std::pair<std::string, double>> metrics,
     const Attribution& attr) {
+  add_point(series, x, std::move(metrics), attr, Json());
+}
+
+void BenchReport::add_point(
+    const std::string& series, double x,
+    std::vector<std::pair<std::string, double>> metrics,
+    const Attribution& attr, const Json& tail) {
   Json p = Json::object();
   p["x"] = Json(x);
   for (auto& [k, v] : metrics) p[k] = Json(v);
@@ -50,7 +59,19 @@ void BenchReport::add_point(
     }
     p["breakdown"] = std::move(stages);
   }
+  if (!tail.is_null()) p["tail"] = tail;
   series_slot(series).points.push_back(std::move(p));
+}
+
+Json tail_json(const TailProfiler::QuantileCut& cut) {
+  if (!cut.valid) return Json();
+  Json t = Json::object();
+  t["p99_total_us"] = Json(cut.total_us);
+  t["stage_sum_us"] = Json(cut.stage_sum_us);
+  Json stages = Json::object();
+  for (const auto& [name, us] : cut.stages_us) stages[name] = Json(us);
+  t["stages"] = std::move(stages);
+  return t;
 }
 
 bool BenchReport::has_points() const {
@@ -192,6 +213,35 @@ std::vector<std::string> validate_bench_json(const Json& doc) {
         if (metrics == 0) {
           problems.push_back(pw + ": no metric besides \"x\"");
         }
+        if (const Json* tail = pt.find("tail")) {
+          if (!tail->is_object()) {
+            problems.push_back(pw + ": \"tail\" is not an object");
+          } else {
+            const Json* total = tail->find("p99_total_us");
+            if (total == nullptr || !total->is_number()) {
+              problems.push_back(pw +
+                                 ": tail missing numeric \"p99_total_us\"");
+            }
+            const Json* sum = tail->find("stage_sum_us");
+            if (sum == nullptr || !sum->is_number()) {
+              problems.push_back(pw +
+                                 ": tail missing numeric \"stage_sum_us\"");
+            }
+            const Json* stages = tail->find("stages");
+            if (stages == nullptr || !stages->is_object() ||
+                stages->size() == 0) {
+              problems.push_back(pw +
+                                 ": tail missing non-empty \"stages\" object");
+            } else {
+              for (const auto& [k, v] : stages->items()) {
+                if (!v.is_number()) {
+                  problems.push_back(pw + ": tail stage \"" + k +
+                                     "\" is not a number");
+                }
+              }
+            }
+          }
+        }
       }
     }
   }
@@ -205,6 +255,81 @@ std::vector<std::string> validate_bench_json(const Json& doc) {
       problems.push_back("registry: missing \"counters\" object");
     }
   }
+  return problems;
+}
+
+std::vector<std::string> validate_trace_json(const Json& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_object()) {
+    problems.push_back("trace document is not a JSON object");
+    return problems;
+  }
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    problems.push_back("trace: missing or non-string \"schema\"");
+  } else if (schema->as_string() != kTraceSchema) {
+    problems.push_back("trace schema is \"" + schema->as_string() +
+                       "\", expected \"" + std::string(kTraceSchema) + "\"");
+  }
+  const Json* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array() || events->size() == 0) {
+    problems.push_back("trace: missing, non-array, or empty \"traceEvents\"");
+    return problems;
+  }
+  std::size_t spans = 0;
+  for (std::size_t i = 0; i < events->elements().size(); ++i) {
+    const Json& e = events->elements()[i];
+    std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (!e.is_object()) {
+      problems.push_back(where + ": not an object");
+      continue;
+    }
+    const Json* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      problems.push_back(where + ": missing \"ph\"");
+      continue;
+    }
+    const std::string& phase = ph->as_string();
+    const Json* name = e.find("name");
+    std::string label =
+        name != nullptr && name->is_string() ? name->as_string() : "?";
+    if (phase == "M") continue;  // metadata rows carry no timestamps
+    if (phase == "B") {
+      // An unpaired span_begin exports as a lone "B": some code path
+      // returned without calling span_end. Reject the document.
+      problems.push_back(where + ": unpaired begin-span \"" + label +
+                         "\" (span_begin without span_end)");
+      continue;
+    }
+    if (phase != "X" && phase != "i") {
+      problems.push_back(where + ": unexpected phase \"" + phase + "\"");
+      continue;
+    }
+    const Json* ts = e.find("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      problems.push_back(where + ": missing numeric \"ts\"");
+    }
+    if (phase == "X") {
+      const Json* dur = e.find("dur");
+      if (dur == nullptr || !dur->is_number()) {
+        problems.push_back(where + ": \"X\" event missing numeric \"dur\"");
+      }
+      // Causal spans carry ids in args; require internal consistency when
+      // present (span id must be nonzero if a trace id is attached).
+      if (const Json* args = e.find("args")) {
+        const Json* span = args->find("span");
+        const Json* trace = args->find("trace");
+        if (trace != nullptr &&
+            (span == nullptr || !span->is_number() ||
+             span->as_uint() == 0)) {
+          problems.push_back(where + ": traced span \"" + label +
+                             "\" has no span id");
+        }
+        if (span != nullptr) ++spans;
+      }
+    }
+  }
+  (void)spans;
   return problems;
 }
 

@@ -32,6 +32,7 @@
 #include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tail.hpp"
 
 namespace herd::obs {
 
@@ -67,6 +68,13 @@ class BenchReport {
   void add_point(const std::string& series, double x,
                  std::vector<std::pair<std::string, double>> metrics,
                  const Attribution& attr);
+
+  /// As the attributed add_point(), additionally carrying a per-request
+  /// "tail" object (see tail_json()). A Null tail adds nothing, so callers
+  /// can pass the result of tail_json() unconditionally.
+  void add_point(const std::string& series, double x,
+                 std::vector<std::pair<std::string, double>> metrics,
+                 const Attribution& attr, const Json& tail);
 
   /// Flight-recorder "herd-timeseries/1" document for the run; written as
   /// a sibling TIMESERIES_<figure>.json by write(). Null clears it.
@@ -113,8 +121,24 @@ class BenchReport {
   Json timeseries_;
 };
 
+/// Per-point tail-attribution object from a TailProfiler quantile cut:
+///
+///   {"p99_total_us": 12.4, "stage_sum_us": 12.4,
+///    "stages": {"client_post": 0.3, "net_in": 1.1, ...}}
+///
+/// stage_sum_us is emitted separately (not recomputed by readers) so the
+/// bench_compare consistency gate can check sum-vs-total on the producer's
+/// own numbers. Returns Null for an invalid cut (no finished sample).
+Json tail_json(const TailProfiler::QuantileCut& cut);
+
 /// Schema check for a BENCH_*.json document. Returns human-readable
 /// problems; empty means valid.
 std::vector<std::string> validate_bench_json(const Json& doc);
+
+/// Schema check for a TRACE_*.json Chrome-trace document emitted by
+/// obs::Tracer ("herd-trace/2" via otherData.schema). Flags structural
+/// problems and any "B"-phase event: an unpaired span_begin exports as "B",
+/// so a trace containing one has a missing span_end on some path.
+std::vector<std::string> validate_trace_json(const Json& doc);
 
 }  // namespace herd::obs

@@ -1,0 +1,144 @@
+#include "obs/tail.hpp"
+
+#include <algorithm>
+
+namespace herd::obs {
+
+TailProfiler::Live* TailProfiler::find(std::uint64_t trace_id) {
+  for (Live& l : live_) {
+    if (l.trace_id == trace_id) return &l;
+  }
+  return nullptr;
+}
+
+const TailProfiler::Live* TailProfiler::find(std::uint64_t trace_id) const {
+  for (const Live& l : live_) {
+    if (l.trace_id == trace_id) return &l;
+  }
+  return nullptr;
+}
+
+void TailProfiler::begin(std::uint64_t trace_id, sim::Tick now) {
+  if (!enabled_ || trace_id == 0) return;
+  if (Live* l = find(trace_id)) {
+    l->begin = now;
+    l->mark = now;
+    l->stages.clear();
+    return;
+  }
+  live_.push_back(Live{trace_id, now, now, {}});
+}
+
+void TailProfiler::stage(std::uint64_t trace_id, std::string_view stage,
+                         sim::Tick now) {
+  Live* l = find(trace_id);
+  if (l == nullptr) return;
+  sim::Tick dur = now > l->mark ? now - l->mark : 0;
+  if (!l->stages.empty() && l->stages.back().first == stage) {
+    l->stages.back().second += dur;
+  } else {
+    l->stages.emplace_back(std::string(stage), dur);
+  }
+  if (now > l->mark) l->mark = now;
+}
+
+void TailProfiler::charge(std::uint64_t trace_id, std::string_view stage,
+                          sim::Tick amount) {
+  Live* l = find(trace_id);
+  if (l == nullptr) return;
+  if (!l->stages.empty() && l->stages.back().first == stage) {
+    l->stages.back().second += amount;
+  } else {
+    l->stages.emplace_back(std::string(stage), amount);
+  }
+  l->mark += amount;
+}
+
+void TailProfiler::finish(std::uint64_t trace_id, std::string_view outcome,
+                          sim::Tick now, std::string_view residual_stage) {
+  Live* l = find(trace_id);
+  if (l == nullptr) return;
+  if (now > l->mark) stage(trace_id, residual_stage, now);
+  Sample s;
+  s.trace_id = l->trace_id;
+  s.outcome = std::string(outcome);
+  s.total = now > l->begin ? now - l->begin : 0;
+  s.stages = std::move(l->stages);
+  done_.push_back(std::move(s));
+  drop(trace_id);
+}
+
+void TailProfiler::drop(std::uint64_t trace_id) {
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i].trace_id == trace_id) {
+      live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+bool TailProfiler::tracking(std::uint64_t trace_id) const {
+  return find(trace_id) != nullptr;
+}
+
+TailProfiler::QuantileCut TailProfiler::quantile(std::string_view outcome,
+                                                 double q) const {
+  std::vector<const Sample*> set;
+  for (const Sample& s : done_) {
+    if (s.outcome == outcome) set.push_back(&s);
+  }
+  QuantileCut cut;
+  if (set.empty()) return cut;
+  std::stable_sort(set.begin(), set.end(),
+                   [](const Sample* a, const Sample* b) {
+                     return a->total < b->total;
+                   });
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Nearest-rank: ceil(q * n), clamped to [1, n].
+  std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(
+                                                      set.size()) + 0.999999);
+  if (rank < 1) rank = 1;
+  if (rank > set.size()) rank = set.size();
+  const Sample& s = *set[rank - 1];
+  cut.valid = true;
+  cut.trace_id = s.trace_id;
+  cut.total_us = static_cast<double>(s.total) / 1e6;
+  // Merge repeated stage names (a shed/retry cycle visits net_out twice),
+  // preserving first-appearance order.
+  for (const auto& [name, ticks] : s.stages) {
+    bool merged = false;
+    for (auto& [n, us] : cut.stages_us) {
+      if (n == name) {
+        us += static_cast<double>(ticks) / 1e6;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      cut.stages_us.emplace_back(name, static_cast<double>(ticks) / 1e6);
+    }
+  }
+  for (const auto& [n, us] : cut.stages_us) cut.stage_sum_us += us;
+  return cut;
+}
+
+std::vector<std::string> TailProfiler::outcomes() const {
+  std::vector<std::string> out;
+  for (const Sample& s : done_) {
+    if (std::find(out.begin(), out.end(), s.outcome) == out.end()) {
+      out.push_back(s.outcome);
+    }
+  }
+  return out;
+}
+
+std::size_t TailProfiler::count(std::string_view outcome) const {
+  std::size_t n = 0;
+  for (const Sample& s : done_) {
+    if (s.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+}  // namespace herd::obs

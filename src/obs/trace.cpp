@@ -32,6 +32,16 @@ void append_escaped(std::string& out, const std::string& s) {
   out += '"';
 }
 
+void append_hex(std::string& out, std::uint64_t v) {
+  char buf[18];
+  int i = 18;
+  do {
+    buf[--i] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  out.append(buf + i, static_cast<std::size_t>(18 - i));
+}
+
 }  // namespace
 
 std::string Tracer::chrome_json() const {
@@ -49,7 +59,9 @@ std::string Tracer::chrome_json() const {
   for (const std::string* t : track_order) tids[*t] = next++;
 
   std::string out;
-  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  out += "{\"schema\":\"";
+  out += kTraceSchema;
+  out += "\",\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
          "\"args\":{\"name\":\"herd-sim\"}}";
   for (const std::string* t : track_order) {
@@ -63,20 +75,37 @@ std::string Tracer::chrome_json() const {
     out += ",\n{\"name\":";
     append_escaped(out, e.name);
     out += ",\"ph\":\"";
-    out += e.instant ? 'i' : 'X';
+    // A span_begin never span_end'ed exports as a lone "B": visible in
+    // viewers, rejected by bench_schema_check.
+    out += e.instant ? 'i' : (e.open ? 'B' : 'X');
     out += "\",\"pid\":0,\"tid\":";
     out += std::to_string(tids[e.track]);
     out += ",\"ts\":";
     append_us(out, e.start);
     if (e.instant) {
       out += ",\"s\":\"t\"";
-    } else {
+    } else if (!e.open) {
       out += ",\"dur\":";
       append_us(out, e.end > e.start ? e.end - e.start : 0);
     }
-    if (!e.args.empty()) {
-      out += ",\"args\":{\"detail\":";
-      append_escaped(out, e.args);
+    bool traced = e.trace_id != 0 || e.span_id != 0;
+    if (!e.args.empty() || traced) {
+      out += ",\"args\":{";
+      bool first = true;
+      if (!e.args.empty()) {
+        out += "\"detail\":";
+        append_escaped(out, e.args);
+        first = false;
+      }
+      if (traced) {
+        if (!first) out += ',';
+        out += "\"trace\":\"0x";
+        append_hex(out, e.trace_id);
+        out += "\",\"span\":";
+        out += std::to_string(e.span_id);
+        out += ",\"parent\":";
+        out += std::to_string(e.parent);
+      }
       out += '}';
     }
     out += '}';

@@ -79,6 +79,12 @@ struct SendWr {
   bool signaled = true;
   /// UD SENDs: destination address handle.
   Ah ah{};
+  /// Causal-trace annotation (simulator-side, not wire bytes): the trace id
+  /// of the sampled request this WR belongs to, or 0. The RNIC pipeline
+  /// spans (dispatch/tx on the requester, dispatch/rx on the responder — the
+  /// WR is echoed across the wire) carry it so a request's RNIC hops group
+  /// under the same trace id as its client/service spans.
+  std::uint64_t trace_id = 0;
 };
 
 struct RecvWr {

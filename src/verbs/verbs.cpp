@@ -375,18 +375,20 @@ void Qp::tx_stage(SendWr wr, std::vector<std::byte> payload, sim::Tick ready) {
 
   if (obs::tracing(ctx_->tracer())) {
     auto* tr = ctx_->tracer();
+    obs::TraceCtx tc{wr.trace_id, 0};
     if (disp.queued() > 0) {
-      tr->span(rn.dispatch().name(), "queued", disp.arrival, disp.start);
+      tr->span(rn.dispatch().name(), "queued", disp.arrival, disp.start, {},
+               tc);
     }
     tr->span(rn.dispatch().name(), "dispatch", disp.start, disp.done,
-             opcode_name(wr.opcode));
+             opcode_name(wr.opcode), tc);
     if (tx.queued() > 0) {
-      tr->span(rn.tx().name(), "queued", tx.arrival, tx.start);
+      tr->span(rn.tx().name(), "queued", tx.arrival, tx.start, {}, tc);
     }
     tr->span(rn.tx().name(), std::string("tx_") + opcode_name(wr.opcode),
-             tx.start, tx.done);
+             tx.start, tx.done, {}, tc);
     if (penalty > 0) {
-      tr->instant(rn.tx().name(), "qp_cache_miss", tx.start);
+      tr->instant(rn.tx().name(), "qp_cache_miss", tx.start, {}, tc);
     }
   }
 
@@ -531,18 +533,20 @@ void Qp::rx_arrive(Inbound in) {
 
   if (obs::tracing(ctx_->tracer())) {
     auto* tr = ctx_->tracer();
+    obs::TraceCtx tc{in.wr.trace_id, 0};
     if (disp.queued() > 0) {
-      tr->span(rn.dispatch().name(), "queued", disp.arrival, disp.start);
+      tr->span(rn.dispatch().name(), "queued", disp.arrival, disp.start, {},
+               tc);
     }
     tr->span(rn.dispatch().name(), "dispatch", disp.start, disp.done,
-             opcode_name(in.opcode));
+             opcode_name(in.opcode), tc);
     if (rx.queued() > 0) {
-      tr->span(rn.rx().name(), "queued", rx.arrival, rx.start);
+      tr->span(rn.rx().name(), "queued", rx.arrival, rx.start, {}, tc);
     }
     tr->span(rn.rx().name(), std::string("rx_") + opcode_name(in.opcode),
-             rx.start, rx.done);
+             rx.start, rx.done, {}, tc);
     if (penalty > 0) {
-      tr->instant(rn.rx().name(), "qp_cache_miss", rx.start);
+      tr->instant(rn.rx().name(), "qp_cache_miss", rx.start, {}, tc);
     }
   }
   // Inbound throughput = RX service rate. The fabric is lossless (credit

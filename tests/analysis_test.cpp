@@ -380,6 +380,106 @@ TEST(DeterminismTaint, SimDefinedHelperIsLegacyRulesJob) {
   EXPECT_TRUE(rule_violations(engine, "determinism-taint").empty());
 }
 
+TEST(SpanPairing, LocallyPairedSpanIsClean) {
+  Engine engine;
+  engine.add_file("src/herd/poll.hpp",
+                  "unsigned f(T& tr, long now) {\n"
+                  "  unsigned s = tr.span_begin(\"p\", \"drr_wait\", now);\n"
+                  "  tr.span_end(s, now);\n"
+                  "  return 1;\n"
+                  "}\n");
+  engine.run();
+  EXPECT_TRUE(rule_violations(engine, "span-pairing").empty());
+}
+
+TEST(SpanPairing, EarlyReturnBeforeEndCaught) {
+  Engine engine;
+  engine.add_file("src/herd/poll.hpp",
+                  "unsigned f(T& tr, bool e, long now) {\n"
+                  "  unsigned s = tr.span_begin(\"p\", \"drr_wait\", now);\n"
+                  "  if (e) return 0;\n"
+                  "  tr.span_end(s, now);\n"
+                  "  return 1;\n"
+                  "}\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "span-pairing");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].line, 3u);
+  EXPECT_NE(v[0].detail.find("before span_end closes 's'"),
+            std::string::npos);
+}
+
+TEST(SpanPairing, DiscardedResultCaught) {
+  Engine engine;
+  engine.add_file("src/herd/poll.hpp",
+                  "void f(T& tr, long now) {\n"
+                  "  tr.span_begin(\"p\", \"mica_op\", now);\n"
+                  "}\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "span-pairing");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].detail.find("discarded"), std::string::npos);
+}
+
+TEST(SpanPairing, MemberEscapeClosedInAnotherFunctionIsClean) {
+  // The client's real shape: the root span id rides in the in-flight
+  // record and a different method closes it at the terminal state.
+  Engine engine;
+  engine.add_file("src/herd/cl.hpp",
+                  "void issue(T& tr, F& fl, long now) {\n"
+                  "  unsigned root = tr.span_begin(\"c\", \"request\", now);\n"
+                  "  fl.root_span = root;\n"
+                  "}\n"
+                  "void retire(T& tr, F& fl, long now) {\n"
+                  "  tr.span_end(fl.root_span, now);\n"
+                  "}\n");
+  engine.run();
+  EXPECT_TRUE(rule_violations(engine, "span-pairing").empty());
+}
+
+TEST(SpanPairing, MemberEscapeNeverClosedCaught) {
+  Engine engine;
+  engine.add_file("src/herd/cl.hpp",
+                  "void issue(T& tr, F& fl, long now) {\n"
+                  "  unsigned root = tr.span_begin(\"c\", \"request\", now);\n"
+                  "  fl.root_span = root;\n"
+                  "}\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "span-pairing");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].detail.find("'root_span'"), std::string::npos);
+  EXPECT_NE(v[0].detail.find("nothing in the tree"), std::string::npos);
+}
+
+TEST(SpanPairing, NeverClosedNeverUsedCaught) {
+  Engine engine;
+  engine.add_file("src/herd/poll.hpp",
+                  "void f(T& tr, long now) {\n"
+                  "  unsigned s = tr.span_begin(\"p\", \"drr_wait\", now);\n"
+                  "}\n");
+  engine.run();
+  std::vector<Violation> v = rule_violations(engine, "span-pairing");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].detail.find("never closed or used again"),
+            std::string::npos);
+}
+
+TEST(SpanPairing, ReturnedIdAndOutsideHerdAreNotThisRulesJob) {
+  Engine engine;
+  // Ownership transferred to the caller: not a leak here.
+  engine.add_file("src/herd/mk.hpp",
+                  "unsigned open_root(T& tr, long now) {\n"
+                  "  return tr.span_begin(\"c\", \"request\", now);\n"
+                  "}\n");
+  // Same leak shape outside src/herd: out of scope for this rule.
+  engine.add_file("src/obs/self.hpp",
+                  "void f(T& tr, long now) {\n"
+                  "  tr.span_begin(\"p\", \"x\", now);\n"
+                  "}\n");
+  engine.run();
+  EXPECT_TRUE(rule_violations(engine, "span-pairing").empty());
+}
+
 // ---------------------------------------------------------------------------
 // Legacy rules: golden diagnostics (v1 byte-compatibility)
 // ---------------------------------------------------------------------------

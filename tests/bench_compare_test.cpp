@@ -172,6 +172,80 @@ TEST(CompareBench, DuplicateXInBaselineIsAProblem) {
   EXPECT_FALSE(res.problems.empty());
 }
 
+// make_doc(10, 20, 5) with a tail object on the first point (the Json
+// value type has no mutable array access, so the doc is rebuilt).
+Json make_doc_with_tail(double total, double sum,
+                        std::vector<std::pair<std::string, double>> stages) {
+  Json tail = Json::object();
+  tail["p99_total_us"] = Json(total);
+  tail["stage_sum_us"] = Json(sum);
+  Json st = Json::object();
+  for (auto& [k, v] : stages) st[k] = Json(v);
+  tail["stages"] = std::move(st);
+
+  Json doc = make_doc(10.0, 20.0, 5.0);
+  Json series = Json::array();
+  for (const Json& s : doc.find("series")->elements()) {
+    Json ns = Json::object();
+    ns["name"] = *s.find("name");
+    Json pts = Json::array();
+    bool first = true;
+    for (const Json& p : s.find("points")->elements()) {
+      Json np = p;
+      if (first) {
+        np["tail"] = std::move(tail);
+        first = false;
+      }
+      pts.push_back(std::move(np));
+    }
+    ns["points"] = std::move(pts);
+    series.push_back(std::move(ns));
+  }
+  doc["series"] = std::move(series);
+  return doc;
+}
+
+TEST(TailConsistency, ConsistentTailPasses) {
+  Json doc =
+      make_doc_with_tail(12.4, 12.4, {{"client_post", 0.4}, {"net_rtt", 12.0}});
+  EXPECT_TRUE(check_tail_consistency(doc).empty());
+  // No tail at all is also fine — the check gates only what is present.
+  Json bare = make_doc(10.0, 20.0, 5.0);
+  EXPECT_TRUE(check_tail_consistency(bare).empty());
+}
+
+TEST(TailConsistency, SumVsTotalBeyondOnePercentFails) {
+  // Stages agree with stage_sum_us but account for only 97% of the
+  // end-to-end p99: the attribution silently lost 0.4 us somewhere.
+  Json doc =
+      make_doc_with_tail(12.4, 12.0, {{"client_post", 0.4}, {"net_rtt", 11.6}});
+  std::vector<std::string> problems = check_tail_consistency(doc);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("differs by more than 1%"), std::string::npos);
+}
+
+TEST(TailConsistency, StagesResumMismatchFails) {
+  Json doc =
+      make_doc_with_tail(12.4, 12.4, {{"client_post", 0.4}, {"net_rtt", 11.6}});
+  std::vector<std::string> problems = check_tail_consistency(doc);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("re-sum"), std::string::npos);
+}
+
+TEST(CompareBench, TailInconsistencyInCurrentIsAProblem) {
+  Json base = make_doc(10.0, 20.0, 5.0);
+  Json cur =
+      make_doc_with_tail(12.4, 12.0, {{"client_post", 0.4}, {"net_rtt", 11.6}});
+  CompareResult res = compare_bench(base, cur);
+  EXPECT_FALSE(res.ok());
+  ASSERT_FALSE(res.problems.empty());
+  EXPECT_NE(res.problems[0].find("more than 1%"), std::string::npos);
+  // A consistent tail on the current side gates nothing.
+  Json good =
+      make_doc_with_tail(12.4, 12.4, {{"client_post", 0.4}, {"net_rtt", 12.0}});
+  EXPECT_TRUE(compare_bench(base, good).ok());
+}
+
 TEST(CompareBench, ZeroBaselineGatesOnAnyChange) {
   Json base = make_doc(0.0, 20.0, 5.0);
   Json same = make_doc(0.0, 20.0, 5.0);

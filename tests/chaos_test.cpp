@@ -8,12 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "chaos/chaos.hpp"
 #include "chaos/history.hpp"
 #include "chaos/linearize.hpp"
 #include "chaos/scenario.hpp"
+#include "fault/fault.hpp"
+#include "herd/testbed.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
 
 namespace herd {
 namespace {
@@ -448,6 +455,107 @@ TEST(ChaosRun, BrokenDedupCaughtAndShrunk) {
   // And it is a complete bug report: emitting the plan as JSON/C++ works.
   EXPECT_FALSE(fault::to_json(sr.minimal.plan).empty());
   EXPECT_FALSE(fault::to_cpp(sr.minimal.plan).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Trace propagation under chaos: the wire-level trace id must survive the
+// same fault schedules the linearizability checker exercises. The chaos
+// harness itself does not export traces (RunOutcome is a checker verdict),
+// so these tests script the crash-primary shape directly on a testbed.
+
+// A replicated 2-process deployment with wire-level trace ids, a scripted
+// primary crash mid-run, and failover tuned to fire well inside the window.
+core::TestbedConfig crash_primary_traced(sim::Tick crash_at) {
+  core::TestbedConfig cfg;
+  cfg.herd.n_server_procs = 2;
+  cfg.herd.n_clients = 6;
+  cfg.herd.window = 1;
+  cfg.herd.request_tokens = true;
+  cfg.herd.replicate = true;
+  cfg.herd.trace = true;
+  cfg.trace_sample_every = 16;
+  cfg.herd.mica.bucket_count_log2 = 13;
+  cfg.herd.mica.log_bytes = 8u << 20;
+  cfg.workload.n_keys = 2048;
+  cfg.workload.get_fraction = 0.50;
+  cfg.workload.value_len = 32;
+  cfg.resilience.retry_timeout = sim::us(30);
+  cfg.resilience.backoff_multiplier = 2.0;
+  cfg.resilience.backoff_max = sim::us(120);
+  cfg.resilience.jitter = 0.2;
+  cfg.resilience.deadline = sim::ms(1);
+  cfg.resilience.failover_threshold = 3;
+  cfg.resilience.probe_interval = sim::ms(1);
+  cfg.seed = 7;
+  cfg.fault_plan.proc_crash.push_back(fault::ProcCrashFault{0, crash_at, 0});
+  return cfg;
+}
+
+TEST(ChaosTrace, ReplayExportsBitIdenticalTraceBytes) {
+  // Determinism must extend to the trace itself: two runs of the same
+  // crash-primary schedule export byte-identical Chrome JSON, so a replayed
+  // chaos failure can be diffed span-by-span against the original.
+  auto run = [] {
+    core::HerdTestbed bed(crash_primary_traced(sim::us(300)));
+    bed.run(sim::us(200), sim::us(800));
+    return bed.trace_json();
+  };
+  std::string a = run();
+  std::string b = run();
+  EXPECT_EQ(a, b);
+  ASSERT_GT(a.size(), 2u);
+  EXPECT_TRUE(obs::validate_trace_json(obs::Json::parse(a)).empty());
+}
+
+TEST(ChaosTrace, SingleTraceIdSurvivesPrimaryCrashAndFailover) {
+  // Crash the primary mid-measure. Sampled requests caught by the crash are
+  // re-sent to the backup after the failure detector trips; the re-send is a
+  // hop of the SAME trace, so one trace id must appear on both a client
+  // track and more than one server proc track, with every span still paired.
+  core::HerdTestbed bed(crash_primary_traced(sim::us(300)));
+  auto r = bed.run(sim::us(200), sim::us(800));
+  ASSERT_GT(r.failovers, 0u);
+  ASSERT_GT(r.promotions, 0u);
+  EXPECT_EQ(bed.tracer().open_spans(), 0u);
+
+  obs::Json doc = obs::Json::parse(bed.trace_json());
+  EXPECT_TRUE(obs::validate_trace_json(doc).empty());
+
+  std::map<double, std::string> tracks;
+  std::map<std::string, std::set<std::string>> tracks_of;  // trace -> tracks
+  for (const obs::Json& e : doc.find("traceEvents")->elements()) {
+    const obs::Json* ph = e.find("ph");
+    if (ph == nullptr) continue;
+    if (ph->as_string() == "M") {
+      const obs::Json* name = e.find("name");
+      if (name != nullptr && name->as_string() == "thread_name") {
+        tracks[e.find("tid")->as_double()] =
+            e.find("args")->find("name")->as_string();
+      }
+      continue;
+    }
+    const obs::Json* args = e.find("args");
+    const obs::Json* trace = args == nullptr ? nullptr : args->find("trace");
+    if (trace == nullptr || trace->as_string() == "0x0") continue;
+    tracks_of[trace->as_string()].insert(tracks[e.find("tid")->as_double()]);
+  }
+  ASSERT_FALSE(tracks_of.empty());
+
+  // Tracks are "<fabric>/<host>/<unit>".
+  bool crossed_failover = false;
+  for (const auto& [id, tr] : tracks_of) {
+    bool client = false;
+    std::set<std::string> procs;
+    for (const std::string& t : tr) {
+      if (t.find("/client") != std::string::npos) client = true;
+      if (t.find("/proc") != std::string::npos) procs.insert(t);
+    }
+    // One id, both ends of the wire, and served by two distinct processes:
+    // the original primary before the crash, the promoted backup after.
+    if (client && procs.size() >= 2) crossed_failover = true;
+  }
+  EXPECT_TRUE(crossed_failover)
+      << "no sampled trace id spans a client track and two server procs";
 }
 
 }  // namespace

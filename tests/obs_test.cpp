@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -165,6 +167,171 @@ TEST(Tracer, ChromeJsonIsValidAndDeterministic) {
   EXPECT_GE(events->size(), 5u);
 }
 
+// --------------------------------------------- causal spans (herd-trace/2)
+
+TEST(Tracer, SpanBeginEndExportsCompleteEventWithCausalArgs) {
+  Tracer t;
+  TraceCtx root_ctx{0x300000007ULL, 0};
+  SpanId root = t.span_begin("client0", "request", sim::us(1), "seq=7",
+                             root_ctx);
+  ASSERT_NE(root, 0u);
+  EXPECT_EQ(t.open_spans(), 1u);
+  t.span("client0", "client_post", sim::us(1), sim::us(2), {},
+         TraceCtx{0x300000007ULL, root});
+  t.span_end(root, sim::us(9));
+  EXPECT_EQ(t.open_spans(), 0u);
+
+  Json doc = Json::parse(t.chrome_json());
+  EXPECT_EQ(doc.find("schema")->as_string(), kTraceSchema);
+  EXPECT_TRUE(validate_trace_json(doc).empty());
+  // Both spans export as complete "X" events carrying the trace id; the
+  // child's parent arg names the root span.
+  int xs = 0;
+  bool saw_child = false;
+  for (const Json& e : doc.find("traceEvents")->elements()) {
+    const Json* ph = e.find("ph");
+    if (ph == nullptr || ph->as_string() != "X") continue;
+    ++xs;
+    const Json* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("trace")->as_string(), "0x300000007");
+    if (e.find("name")->as_string() == "client_post") {
+      saw_child = true;
+      EXPECT_EQ(args->find("parent")->as_uint(), root);
+    }
+  }
+  EXPECT_EQ(xs, 2);
+  EXPECT_TRUE(saw_child);
+}
+
+TEST(Tracer, SpanEndOnUnknownIdIsIgnored) {
+  Tracer t;
+  SpanId id = t.span_begin("proc0", "drr_wait", sim::us(3));
+  t.span_end(id + 7, sim::us(4));  // bogus id: no effect
+  EXPECT_EQ(t.open_spans(), 1u);
+  t.span_end(id, sim::us(4));
+  t.span_end(id, sim::us(5));  // double close: no effect, no crash
+  EXPECT_EQ(t.open_spans(), 0u);
+}
+
+TEST(Tracer, OpenSpanExportsBPhaseWhichValidatorRejects) {
+  Tracer t;
+  t.span_begin("proc0", "drr_wait", sim::us(3));
+  EXPECT_EQ(t.open_spans(), 1u);
+  Json doc = Json::parse(t.chrome_json());
+  std::vector<std::string> problems = validate_trace_json(doc);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("unpaired begin-span"), std::string::npos);
+}
+
+TEST(TraceValidator, RejectsSchemaDrift) {
+  Tracer t;
+  t.span("client", "request", sim::us(1), sim::us(5));
+  Json doc = Json::parse(t.chrome_json());
+  ASSERT_TRUE(validate_trace_json(doc).empty());
+  doc["schema"] = Json("herd-trace/1");
+  EXPECT_FALSE(validate_trace_json(doc).empty());
+}
+
+// ----------------------------------------------- per-request tail profiler
+
+TEST(TailProfiler, StagesTelescopeExactlyToTotal) {
+  TailProfiler tp;
+  tp.enable();
+  tp.begin(7, sim::us(10));
+  tp.stage(7, "client_post", sim::us(11));
+  tp.stage(7, "net_in", sim::us(14));
+  tp.stage(7, "mica_op", sim::us(15));
+  tp.finish(7, "ok", sim::us(20), "net_out");
+  ASSERT_EQ(tp.finished(), 1u);
+  const TailProfiler::Sample& s = tp.samples()[0];
+  EXPECT_EQ(s.total, sim::us(10));
+  sim::Tick sum = 0;
+  for (const auto& [name, ticks] : s.stages) sum += ticks;
+  EXPECT_EQ(sum, s.total);  // the telescoping invariant, exactly
+}
+
+TEST(TailProfiler, ChargeAmortizesWithoutBreakingTheTelescope) {
+  // charge() bills a fixed share (the chain-amortization hook) and advances
+  // the mark by the same amount, so the residual stage picks up the rest.
+  TailProfiler tp;
+  tp.enable();
+  tp.begin(9, 0);
+  tp.charge(9, "doorbell", sim::us(2));
+  tp.finish(9, "ok", sim::us(10), "net_rtt");
+  const TailProfiler::Sample& s = tp.samples()[0];
+  ASSERT_EQ(s.stages.size(), 2u);
+  EXPECT_EQ(s.stages[0].first, "doorbell");
+  EXPECT_EQ(s.stages[0].second, sim::us(2));
+  EXPECT_EQ(s.stages[1].first, "net_rtt");
+  EXPECT_EQ(s.stages[1].second, sim::us(8));
+  EXPECT_EQ(s.total, sim::us(10));
+}
+
+TEST(TailProfiler, QuantileCutMergesRepeatedStages) {
+  TailProfiler tp;
+  tp.enable();
+  // One slow request with a stage name charged twice (retry loop shape).
+  tp.begin(1, 0);
+  tp.stage(1, "backoff_hold", sim::us(3));
+  tp.stage(1, "net_out", sim::us(4));
+  tp.stage(1, "backoff_hold", sim::us(9));
+  tp.finish(1, "ok", sim::us(10), "net_out");
+  tp.begin(2, 0);
+  tp.finish(2, "ok", sim::us(1), "net_out");
+
+  TailProfiler::QuantileCut cut = tp.quantile("ok", 0.99);
+  ASSERT_TRUE(cut.valid);
+  EXPECT_EQ(cut.trace_id, 1u);  // p99 of {1us, 10us} is the slow one
+  EXPECT_DOUBLE_EQ(cut.total_us, 10.0);
+  EXPECT_DOUBLE_EQ(cut.stage_sum_us, cut.total_us);
+  double backoff = 0, net = 0;
+  for (const auto& [name, us] : cut.stages_us) {
+    if (name == "backoff_hold") backoff += us;
+    if (name == "net_out") net += us;
+  }
+  EXPECT_DOUBLE_EQ(backoff, 8.0);  // 3 + 5, merged under one name
+  EXPECT_DOUBLE_EQ(net, 2.0);
+  EXPECT_FALSE(tp.quantile("deadline", 0.99).valid);
+}
+
+TEST(TailProfiler, TailJsonRoundTripsThroughBenchValidator) {
+  TailProfiler tp;
+  tp.enable();
+  tp.begin(5, 0);
+  tp.stage(5, "client_post", sim::us(1));
+  tp.finish(5, "ok", sim::us(6), "net_out");
+  Json tail = tail_json(tp.quantile("ok", 0.99));
+  ASSERT_TRUE(tail.is_object());
+  EXPECT_DOUBLE_EQ(tail.find("p99_total_us")->as_double(), 6.0);
+  EXPECT_DOUBLE_EQ(tail.find("stage_sum_us")->as_double(), 6.0);
+
+  BenchReport rep(BenchSpec{"fig99", "t", {"A"}});
+  rep.add_point("A", 1, {{"Mops", 1.0}}, Attribution{}, tail);
+  EXPECT_TRUE(validate_bench_json(rep.to_json()).empty());
+
+  EXPECT_TRUE(tail_json(TailProfiler::QuantileCut{}).is_null());
+}
+
+TEST(BenchReport, ValidatorRejectsMalformedTail) {
+  auto with_tail = [](Json tail) {
+    BenchReport rep(BenchSpec{"fig99", "t", {"A"}});
+    rep.add_point("A", 1, {{"Mops", 1.0}}, Attribution{}, tail);
+    return validate_bench_json(rep.to_json());
+  };
+  Json missing_sum = Json::object();
+  missing_sum["p99_total_us"] = Json(5.0);
+  missing_sum["stages"] = Json::object();
+  missing_sum["stages"]["net_out"] = Json(5.0);
+  EXPECT_FALSE(with_tail(std::move(missing_sum)).empty());
+
+  Json empty_stages = Json::object();
+  empty_stages["p99_total_us"] = Json(5.0);
+  empty_stages["stage_sum_us"] = Json(5.0);
+  empty_stages["stages"] = Json::object();
+  EXPECT_FALSE(with_tail(std::move(empty_stages)).empty());
+}
+
 // ------------------------------------------------- end-to-end determinism
 
 core::TestbedConfig traced_config() {
@@ -238,6 +405,83 @@ TEST(ObsDeterminism, TracedRequestSpansAppearInSimTimeOrder) {
   EXPECT_LE(mica, rnic_tx);
   EXPECT_LT(client_post, dma);
   EXPECT_LT(rnic_tx, client_post + sim::us(100));  // same neighborhood
+}
+
+// ------------------------------------- causal propagation across the wire
+
+core::TestbedConfig wire_traced_config() {
+  core::TestbedConfig cfg = traced_config();
+  cfg.herd.request_tokens = true;  // trace header requires tokened requests
+  cfg.herd.trace = true;
+  return cfg;
+}
+
+TEST(TraceE2E, ExportValidatesAndKeepsOneTraceIdAcrossClientAndServer) {
+  core::HerdTestbed bed(wire_traced_config());
+  bed.run(sim::us(200), sim::us(800));
+  EXPECT_EQ(bed.tracer().open_spans(), 0u);  // every begin reached its end
+
+  Json doc = Json::parse(bed.trace_json());
+  EXPECT_TRUE(validate_trace_json(doc).empty());
+
+  // Resolve tid -> track names, then group traced events by trace id. A
+  // sampled request must keep ONE id across the client track and the
+  // server-side stages (net_in/drr_wait/mica_op/... live on proc tracks).
+  std::map<double, std::string> tracks;
+  std::map<std::string, std::set<std::string>> tracks_of;  // trace -> tracks
+  for (const Json& e : doc.find("traceEvents")->elements()) {
+    const Json* ph = e.find("ph");
+    if (ph == nullptr) continue;
+    if (ph->as_string() == "M") {
+      const Json* name = e.find("name");
+      if (name != nullptr && name->as_string() == "thread_name") {
+        tracks[e.find("tid")->as_double()] =
+            e.find("args")->find("name")->as_string();
+      }
+      continue;
+    }
+    const Json* args = e.find("args");
+    const Json* trace = args == nullptr ? nullptr : args->find("trace");
+    if (trace == nullptr || trace->as_string() == "0x0") continue;
+    tracks_of[trace->as_string()].insert(
+        tracks[e.find("tid")->as_double()]);
+  }
+  ASSERT_FALSE(tracks_of.empty());
+  // Tracks are "<fabric>/<host>/<unit>"; a sampled id must show up on both
+  // a client unit and a server proc unit.
+  bool crossed = false;
+  for (const auto& [id, tr] : tracks_of) {
+    bool client = false, server = false;
+    for (const std::string& t : tr) {
+      if (t.find("/client") != std::string::npos) client = true;
+      if (t.find("/proc") != std::string::npos) server = true;
+    }
+    crossed = crossed || (client && server);
+  }
+  EXPECT_TRUE(crossed);
+}
+
+TEST(TraceE2E, TailStagesSumExactlyToEndToEndLatency) {
+  core::HerdTestbed bed(wire_traced_config());
+  bed.run(sim::us(200), sim::us(800));
+  ASSERT_GT(bed.tail().count("ok"), 0u);
+  EXPECT_EQ(bed.tail().in_flight(), 0u);
+  // Telescoping is exact on ticks; the bench gate allows 1% only for the
+  // tick->us rounding of the emitted JSON.
+  for (const TailProfiler::Sample& s : bed.tail().samples()) {
+    sim::Tick sum = 0;
+    for (const auto& [name, ticks] : s.stages) sum += ticks;
+    EXPECT_EQ(sum, s.total) << "sample 0x" << std::hex << s.trace_id;
+  }
+  TailProfiler::QuantileCut cut = bed.tail().quantile("ok", 0.99);
+  ASSERT_TRUE(cut.valid);
+  EXPECT_NEAR(cut.stage_sum_us, cut.total_us, 0.01 * cut.total_us);
+  // Both sides of the wire contributed stages.
+  bool server_side = false;
+  for (const auto& [name, us] : cut.stages_us) {
+    if (name == "mica_op" || name == "net_in") server_side = true;
+  }
+  EXPECT_TRUE(server_side);
 }
 
 // ------------------------------------------------------------ bench schema

@@ -262,6 +262,60 @@ TEST(Protocol, DeletedAckResponseWithTokenHasNoValue) {
 // ---------------------------------------------------------------------------
 // Request region layout (Fig. 8).
 
+TEST(Protocol, TraceHeaderRoundTripsWithAllOtherHeaders) {
+  // Trace mode rides along with token + epoch + overload headers: the 12-byte
+  // trace header sits closest to the value, so every other header decodes at
+  // its usual offset whether or not tracing is on.
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  std::vector<std::byte> value(64);
+  workload::WorkloadGenerator::fill_value(64, value);
+  Request req;
+  req.key = kv::hash_of_rank(11);
+  req.is_put = true;
+  req.value = value;
+  req.token = 0xfeed;
+  req.epoch = 7;
+  req.tenant = 3;
+  req.deadline = 123456;
+  req.trace_id = (std::uint64_t{5} << 32) | 99;  // client 5, seq 99
+  req.parent_span = 42;
+  std::uint32_t start = encode_request(slot, req, /*with_token=*/true,
+                                       /*with_epoch=*/true,
+                                       /*with_overload=*/true,
+                                       /*with_trace=*/true);
+  EXPECT_EQ(start,
+            kSlotBytes - request_wire_bytes(64, true, true, true, true));
+  auto dec = decode_request(slot, true, true, true, true);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->trace_id, req.trace_id);
+  EXPECT_EQ(dec->parent_span, 42u);
+  EXPECT_EQ(dec->token, 0xfeedu);
+  EXPECT_EQ(dec->epoch, 7u);
+  EXPECT_EQ(dec->tenant, 3u);
+  EXPECT_EQ(dec->deadline, 123456u);
+  ASSERT_EQ(dec->value.size(), 64u);
+}
+
+TEST(Protocol, UnsampledTraceRequestCarriesZeroId) {
+  std::vector<std::byte> slot(kSlotBytes, std::byte{0});
+  Request req;
+  req.key = kv::hash_of_rank(4);
+  encode_request(slot, req, true, false, false, /*with_trace=*/true);
+  auto dec = decode_request(slot, true, false, false, true);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->trace_id, 0u);
+  EXPECT_EQ(dec->parent_span, 0u);
+}
+
+TEST(Protocol, TraceHeaderShrinksMaxValueByTwelveBytes) {
+  EXPECT_EQ(request_wire_bytes(0, true, true, false, true) -
+                request_wire_bytes(0, true, true, false, false),
+            kTraceBytes);
+  std::uint32_t without = max_value_bytes(true, true, true, false);
+  std::uint32_t with = max_value_bytes(true, true, true, true);
+  EXPECT_EQ(without - with, kTraceBytes);
+}
+
 TEST(RequestRegion, PaperSizingExample) {
   // "With NC = 200, NS = 16 and W = 2, this is approximately 6 MB."
   RequestRegion r(0, 16, 200, 2);

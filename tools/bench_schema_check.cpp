@@ -3,13 +3,17 @@
 // Usage: bench_schema_check FILE [FILE...]
 //
 // Dispatches on the document's top-level "schema" field: "herd-bench/1"
-// (BENCH_*.json, checked by obs::validate_bench_json) and
-// "herd-timeseries/1" (TIMESERIES_*.json flight-recorder dumps, checked by
-// obs::validate_timeseries_json). A document with any other schema string
-// fails — an unknown schema means a producer drifted without updating the
-// gate. This is the CI gate behind the bench-smoke job; it uses the same
-// validators as tests/obs_test.cpp and tests/flight_test.cpp, so the gate
-// and the unit tests cannot disagree about what "valid" means.
+// (BENCH_*.json, checked by obs::validate_bench_json — including each
+// point's optional per-request "tail" breakdown), "herd-timeseries/1"
+// (TIMESERIES_*.json flight-recorder dumps, checked by
+// obs::validate_timeseries_json), and "herd-trace/2" (TRACE_*.json Chrome
+// traces, checked by obs::validate_trace_json — which rejects any "B"
+// phase event, because an unpaired span_begin exports as a lone "B"). A
+// document with any other schema string fails — an unknown schema means a
+// producer drifted without updating the gate. This is the CI gate behind
+// the bench-smoke job; it uses the same validators as tests/obs_test.cpp
+// and tests/flight_test.cpp, so the gate and the unit tests cannot
+// disagree about what "valid" means.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -49,9 +53,12 @@ int main(int argc, char** argv) {
         problems = herd::obs::validate_timeseries_json(doc);
       } else if (schema == "herd-bench/1") {
         problems = herd::obs::validate_bench_json(doc);
+      } else if (schema == "herd-trace/2") {
+        problems = herd::obs::validate_trace_json(doc);
       } else {
-        problems.push_back("unknown schema \"" + schema +
-                           "\" (expected herd-bench/1 or herd-timeseries/1)");
+        problems.push_back(
+            "unknown schema \"" + schema +
+            "\" (expected herd-bench/1, herd-timeseries/1, or herd-trace/2)");
       }
     } catch (const std::exception& e) {
       problems.push_back(std::string("not parseable as JSON: ") + e.what());

@@ -2,14 +2,15 @@
 //
 // Thin shell over the herd::analysis engine (src/analysis/): collects the
 // files under each root, feeds them to the engine (lexer, per-TU index,
-// cross-TU constant table + call graph, ten rules), then applies the
+// cross-TU constant table + call graph, eleven rules), then applies the
 // suppression file and prints diagnostics exactly like v1 did.
 //
 // Rules — see ANALYSIS.md for the catalog and provenance:
 //   determinism, ptr-key-iter, raw-new, resource-registry, bounded-queue,
 //   shard-route                       (legacy, byte-identical with v1)
 //   chain-post                        (line-oriented, doorbell batching)
-//   wire-symmetry, metric-pairing, determinism-taint   (flow-aware, v2)
+//   wire-symmetry, metric-pairing, determinism-taint,
+//   span-pairing                      (flow-aware, v2)
 //
 // Usage: herd_lint [--supp FILE] [--verbose] [--sarif FILE]
 //                  [--strict-supp] PATH...
